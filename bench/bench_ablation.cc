@@ -1,0 +1,192 @@
+// Ablations over the reproduction's own design choices (DESIGN.md §4 note):
+//
+//  A1 invocation-mechanism ladder: the same logical call made five ways —
+//     direct slot, via composition re-export, via interposer, via active
+//     message, via cross-domain proxy. Shows where each architecture layer
+//     spends its cost and that composition re-export is free at call time.
+//  A2 proto-thread pool sizing: dispatch latency under blocking handlers as
+//     the pool is starved or ample (the engine grows on demand; the ablation
+//     shows what the preallocation buys).
+//  A3 payload marshalling rule: cross-domain call with payload flagged vs
+//     the same bytes passed unflagged (callee reads nonsense but the cost
+//     difference isolates the marshalling itself).
+#include <benchmark/benchmark.h>
+
+#include "src/components/interposer.h"
+#include "src/nucleus/active_message.h"
+#include "src/nucleus/proxy.h"
+#include "src/obj/composition.h"
+#include "src/threads/popup.h"
+
+namespace {
+
+using namespace para;           // NOLINT
+using namespace para::nucleus;  // NOLINT
+
+const obj::TypeInfo* AdderType() {
+  static const obj::TypeInfo type("abl.adder", 1, {"add"});
+  return &type;
+}
+
+class Adder : public obj::Object {
+ public:
+  Adder() {
+    obj::Interface* iface = ExportInterface(AdderType(), this);
+    iface->SetSlot(0, obj::Thunk<Adder, &Adder::Add>());
+  }
+  uint64_t Add(uint64_t a, uint64_t b, uint64_t, uint64_t) { return a + b; }
+};
+
+// --- A1: invocation ladder ---------------------------------------------------
+
+void BM_Ladder_DirectSlot(benchmark::State& state) {
+  Adder adder;
+  obj::Interface* iface = *adder.GetInterface("abl.adder");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(iface->Invoke(0, 1, 2));
+  }
+}
+
+void BM_Ladder_CompositionReExport(benchmark::State& state) {
+  // N nested compositions re-exporting the leaf's interface: call cost must
+  // not grow with depth (the re-export copies slots, it does not chain).
+  int depth = static_cast<int>(state.range(0));
+  auto leaf = std::make_unique<Adder>();
+  std::unique_ptr<obj::Object> current = std::move(leaf);
+  for (int i = 0; i < depth; ++i) {
+    auto comp = std::make_unique<obj::Composition>();
+    obj::Object* inner = current.get();
+    (void)inner;
+    PARA_CHECK(comp->AddChild("inner", std::move(current)).ok());
+    PARA_CHECK(comp->ReExport("inner", "abl.adder").ok());
+    current = std::move(comp);
+  }
+  obj::Interface* iface = *current->GetInterface("abl.adder");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(iface->Invoke(0, 1, 2));
+  }
+  state.counters["depth"] = depth;
+}
+
+void BM_Ladder_Interposer(benchmark::State& state) {
+  Adder adder;
+  auto monitor = components::CallMonitor::Wrap(&adder, 0);
+  obj::Interface* iface = *monitor->GetInterface("abl.adder");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(iface->Invoke(0, 1, 2));
+  }
+}
+
+void BM_Ladder_ActiveMessage(benchmark::State& state) {
+  hw::Machine machine;
+  threads::Scheduler sched(&machine.clock());
+  threads::PopupEngine popups(&sched, 8);
+  EventService events(&machine, &popups);
+  VirtualMemoryService vmem(64);
+  ActiveMessageService am(&vmem, &events);
+  Context* ctx = vmem.CreateContext("am", vmem.kernel_context());
+  auto ep = am.CreateEndpoint(ctx);
+  PARA_CHECK(ep.ok());
+  uint64_t sink = 0;
+  PARA_CHECK(am.RegisterHandler(*ep, 0, [&](uint64_t a, uint64_t b, uint64_t, uint64_t) {
+    sink += a + b;
+  }).ok());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(am.Send(*ep, 0, 1, 2));
+  }
+  benchmark::DoNotOptimize(sink);
+}
+
+void BM_Ladder_CrossDomainProxy(benchmark::State& state) {
+  VirtualMemoryService vmem(64);
+  ProxyEngine engine(&vmem);
+  Context* server = vmem.kernel_context();
+  Context* client = vmem.CreateContext("client", server);
+  Adder adder;
+  auto proxy = engine.CreateProxy(&adder, server, client);
+  PARA_CHECK(proxy.ok());
+  obj::Interface* iface = *(*proxy)->GetInterface("abl.adder");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(iface->Invoke(0, 1, 2));
+  }
+}
+
+// --- A2: proto pool sizing ----------------------------------------------------
+
+void BM_PopupPoolSize(benchmark::State& state) {
+  // Burst of blocking dispatches per iteration: small pools force on-demand
+  // slot construction (fresh stacks), big pools amortize it.
+  size_t pool = static_cast<size_t>(state.range(0));
+  hw::Machine machine;
+  threads::Scheduler sched(&machine.clock());
+  threads::PopupEngine popups(&sched, pool);
+  constexpr int kBurst = 16;
+  for (auto _ : state) {
+    for (int i = 0; i < kBurst; ++i) {
+      popups.Dispatch([&sched]() { sched.Yield(); });  // always promotes
+    }
+    sched.RunUntilIdle();
+  }
+  state.counters["pool"] = static_cast<double>(pool);
+  state.counters["promotions"] = static_cast<double>(popups.stats().promotions);
+}
+
+// --- A3: payload marshalling rule ----------------------------------------------
+
+const obj::TypeInfo* SinkType() {
+  static const obj::TypeInfo type("abl.sink", 1, {"take"});
+  return &type;
+}
+
+class SinkObj : public obj::Object {
+ public:
+  SinkObj() {
+    obj::Interface* iface = ExportInterface(SinkType(), this);
+    iface->SetSlot(0, obj::Thunk<SinkObj, &SinkObj::Take>());
+  }
+  uint64_t Take(uint64_t a, uint64_t b, uint64_t, uint64_t) { return a ^ b; }
+};
+
+void RunPayloadAblation(benchmark::State& state, bool marshalled) {
+  VirtualMemoryService vmem(128);
+  ProxyEngine engine(&vmem);
+  Context* server = vmem.kernel_context();
+  Context* client = vmem.CreateContext("client", server);
+  SinkObj sink;
+  ProxyOptions options;
+  if (marshalled) {
+    options.payload_slots.insert("abl.sink#0");
+  }
+  auto proxy = engine.CreateProxy(&sink, server, client, options);
+  PARA_CHECK(proxy.ok());
+  obj::Interface* iface = *(*proxy)->GetInterface("abl.sink");
+
+  size_t bytes = static_cast<size_t>(state.range(0));
+  auto buf = vmem.AllocatePages(client, bytes / kPageSize + 1, kProtReadWrite);
+  PARA_CHECK(buf.ok());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(iface->Invoke(0, *buf, bytes));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(marshalled ? bytes : 0));
+}
+
+void BM_ProxyPayloadMarshalled(benchmark::State& state) {
+  RunPayloadAblation(state, true);
+}
+void BM_ProxyPayloadUnmarshalled(benchmark::State& state) {
+  RunPayloadAblation(state, false);
+}
+
+BENCHMARK(BM_Ladder_DirectSlot);
+BENCHMARK(BM_Ladder_CompositionReExport)->Arg(0)->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK(BM_Ladder_Interposer);
+BENCHMARK(BM_Ladder_ActiveMessage);
+BENCHMARK(BM_Ladder_CrossDomainProxy);
+BENCHMARK(BM_PopupPoolSize)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+BENCHMARK(BM_ProxyPayloadMarshalled)->Arg(256)->Arg(4096);
+BENCHMARK(BM_ProxyPayloadUnmarshalled)->Arg(256)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,147 @@
+// E1 — method invocation overhead (§2).
+//
+// Paper claim: "a method invocation is usually just a procedure call, [but]
+// these tend to be expensive on our target hardware. Still, we expect the
+// overhead to be relatively low because our objects have a relatively large
+// grain size."
+//
+// Rows: direct C++ call, interface-slot call, delegated slot, C++ virtual
+// call, and late-bound by-name call — each swept over the work done per call
+// (the "grain size"). The expectation to reproduce: slot-call overhead is a
+// few ns and vanishes as grain grows.
+#include <benchmark/benchmark.h>
+
+#include "src/obj/bound_method.h"
+#include "src/obj/object.h"
+
+namespace {
+
+using namespace para::obj;  // NOLINT
+
+const TypeInfo* WorkType() {
+  static const TypeInfo type("bench.work", 1, {"work"});
+  return &type;
+}
+
+// xorshift step repeated `grain` times: cheap, unpredictable, not optimizable
+// away.
+uint64_t DoWork(uint64_t seed, uint64_t grain) {
+  uint64_t x = seed | 1;
+  for (uint64_t i = 0; i < grain; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+  }
+  return x;
+}
+
+class Worker : public Object {
+ public:
+  Worker() {
+    Interface* iface = ExportInterface(WorkType(), this);
+    iface->SetSlot(0, Thunk<Worker, &Worker::Work>());
+  }
+  uint64_t Work(uint64_t seed, uint64_t grain, uint64_t, uint64_t) {
+    return DoWork(seed, grain);
+  }
+};
+
+struct VirtualWorker {
+  virtual ~VirtualWorker() = default;
+  virtual uint64_t Work(uint64_t seed, uint64_t grain) = 0;
+};
+
+struct VirtualWorkerImpl : VirtualWorker {
+  uint64_t Work(uint64_t seed, uint64_t grain) override { return DoWork(seed, grain); }
+};
+
+void BM_DirectCall(benchmark::State& state) {
+  uint64_t grain = static_cast<uint64_t>(state.range(0));
+  uint64_t acc = 1;
+  for (auto _ : state) {
+    acc = DoWork(acc, grain);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+
+void BM_InterfaceSlotCall(benchmark::State& state) {
+  uint64_t grain = static_cast<uint64_t>(state.range(0));
+  Worker worker;
+  Interface* iface = *worker.GetInterface("bench.work");
+  uint64_t acc = 1;
+  for (auto _ : state) {
+    acc = iface->Invoke(0, acc, grain);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+
+void BM_DelegatedSlotCall(benchmark::State& state) {
+  // A facade whose slot was delegated to another object's implementation —
+  // same machinery, one extra object hop at setup time, zero at call time.
+  uint64_t grain = static_cast<uint64_t>(state.range(0));
+  Worker real;
+  Worker facade;
+  Interface* facade_iface = *facade.GetInterface("bench.work");
+  facade_iface->DelegateSlot(0, **real.GetInterface("bench.work"));
+  uint64_t acc = 1;
+  for (auto _ : state) {
+    acc = facade_iface->Invoke(0, acc, grain);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+
+void BM_VirtualCall(benchmark::State& state) {
+  uint64_t grain = static_cast<uint64_t>(state.range(0));
+  VirtualWorkerImpl impl;
+  VirtualWorker* worker = &impl;
+  uint64_t acc = 1;
+  for (auto _ : state) {
+    acc = worker->Work(acc, grain);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+
+void BM_InvokeByName(benchmark::State& state) {
+  // The fully late-bound form: method-name lookup on every call (tooling
+  // path, not the production path).
+  uint64_t grain = static_cast<uint64_t>(state.range(0));
+  Worker worker;
+  Interface* iface = *worker.GetInterface("bench.work");
+  uint64_t acc = 1;
+  for (auto _ : state) {
+    acc = *iface->InvokeByName("work", acc, grain);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+
+void BM_BoundMethodCached(benchmark::State& state) {
+  // §2's contemplated "run time inline techniques": by-name binding with a
+  // monomorphic inline cache — resolves once, slot-calls thereafter.
+  uint64_t grain = static_cast<uint64_t>(state.range(0));
+  Worker worker;
+  Interface* iface = *worker.GetInterface("bench.work");
+  BoundMethod work("work");
+  uint64_t acc = 1;
+  for (auto _ : state) {
+    acc = *work.Invoke(iface, acc, grain);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.counters["cache_misses"] = static_cast<double>(work.cache_misses());
+}
+
+void GrainArgs(benchmark::internal::Benchmark* bench) {
+  for (long grain : {0L, 16L, 256L, 4096L}) {
+    bench->Arg(grain);
+  }
+}
+
+BENCHMARK(BM_DirectCall)->Apply(GrainArgs);
+BENCHMARK(BM_InterfaceSlotCall)->Apply(GrainArgs);
+BENCHMARK(BM_DelegatedSlotCall)->Apply(GrainArgs);
+BENCHMARK(BM_VirtualCall)->Apply(GrainArgs);
+BENCHMARK(BM_InvokeByName)->Apply(GrainArgs);
+BENCHMARK(BM_BoundMethodCached)->Apply(GrainArgs);
+
+}  // namespace
+
+BENCHMARK_MAIN();

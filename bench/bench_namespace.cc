@@ -1,0 +1,143 @@
+// E2 — instance naming and late binding (§2).
+//
+// Cost of name-space operations: lookup vs path depth, override-chain
+// resolution, first bind (proxy materialization) vs cached re-bind.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "src/nucleus/directory.h"
+#include "src/nucleus/vmem.h"
+#include "src/obj/object.h"
+
+namespace {
+
+using namespace para;           // NOLINT
+using namespace para::nucleus;  // NOLINT
+
+const obj::TypeInfo* NopType() {
+  static const obj::TypeInfo type("bench.nop", 1, {"nop"});
+  return &type;
+}
+
+class Nop : public obj::Object {
+ public:
+  Nop() {
+    obj::Interface* iface = ExportInterface(NopType(), this);
+    iface->SetSlot(0, obj::Thunk<Nop, &Nop::DoNop>());
+  }
+  uint64_t DoNop(uint64_t, uint64_t, uint64_t, uint64_t) { return 0; }
+};
+
+std::string PathOfDepth(int depth) {
+  std::string path;
+  for (int i = 0; i < depth; ++i) {
+    path += "/d" + std::to_string(i);
+  }
+  return path + "/obj";
+}
+
+struct Fixture {
+  Fixture() : vmem(64), proxies(&vmem), dir(&proxies) {}
+  VirtualMemoryService vmem;
+  ProxyEngine proxies;
+  DirectoryService dir;
+  Nop nop;
+};
+
+void BM_LookupByDepth(benchmark::State& state) {
+  Fixture fx;
+  int depth = static_cast<int>(state.range(0));
+  std::string path = PathOfDepth(depth);
+  (void)fx.dir.Register(path, &fx.nop, fx.vmem.kernel_context());
+  for (auto _ : state) {
+    auto result = fx.dir.Lookup(path);
+    benchmark::DoNotOptimize(result);
+  }
+}
+
+void BM_LookupWithOverrideChain(benchmark::State& state) {
+  Fixture fx;
+  int chain = static_cast<int>(state.range(0));
+  (void)fx.dir.Register("/target/final", &fx.nop, fx.vmem.kernel_context());
+  Context* user = fx.vmem.CreateContext("user", fx.vmem.kernel_context());
+  // /o0 -> /o1 -> ... -> /target/final
+  for (int i = 0; i < chain; ++i) {
+    std::string from = "/o" + std::to_string(i);
+    std::string to = (i + 1 == chain) ? "/target/final" : "/o" + std::to_string(i + 1);
+    user->AddOverride(from, to);
+  }
+  std::string start = chain > 0 ? "/o0" : "/target/final";
+  for (auto _ : state) {
+    auto result = fx.dir.Lookup(start, user);
+    benchmark::DoNotOptimize(result);
+  }
+}
+
+void BM_LookupThroughParentChain(benchmark::State& state) {
+  // Overrides are inherited: resolution walks ancestor contexts.
+  Fixture fx;
+  int ancestors = static_cast<int>(state.range(0));
+  (void)fx.dir.Register("/x", &fx.nop, fx.vmem.kernel_context());
+  Context* context = fx.vmem.kernel_context();
+  for (int i = 0; i < ancestors; ++i) {
+    context = fx.vmem.CreateContext("ctx" + std::to_string(i), context);
+  }
+  for (auto _ : state) {
+    auto result = fx.dir.Lookup("/x", context);
+    benchmark::DoNotOptimize(result);
+  }
+}
+
+void BM_BindSameDomain(benchmark::State& state) {
+  Fixture fx;
+  (void)fx.dir.Register("/svc", &fx.nop, fx.vmem.kernel_context());
+  for (auto _ : state) {
+    auto binding = fx.dir.Bind("/svc", fx.vmem.kernel_context());
+    benchmark::DoNotOptimize(binding);
+  }
+}
+
+void BM_BindCrossDomainCached(benchmark::State& state) {
+  Fixture fx;
+  (void)fx.dir.Register("/svc", &fx.nop, fx.vmem.kernel_context());
+  Context* user = fx.vmem.CreateContext("user", fx.vmem.kernel_context());
+  (void)fx.dir.Bind("/svc", user);  // warm the proxy cache
+  for (auto _ : state) {
+    auto binding = fx.dir.Bind("/svc", user);
+    benchmark::DoNotOptimize(binding);
+  }
+}
+
+void BM_BindCrossDomainFirst(benchmark::State& state) {
+  // First bind pays proxy construction: fault pages + argument pages.
+  Fixture fx;
+  (void)fx.dir.Register("/svc", &fx.nop, fx.vmem.kernel_context());
+  for (auto _ : state) {
+    state.PauseTiming();
+    Context* user = fx.vmem.CreateContext("user", fx.vmem.kernel_context());
+    state.ResumeTiming();
+    auto binding = fx.dir.Bind("/svc", user);
+    benchmark::DoNotOptimize(binding);
+  }
+}
+
+void BM_RegisterUnregister(benchmark::State& state) {
+  Fixture fx;
+  for (auto _ : state) {
+    (void)fx.dir.Register("/tmp/obj", &fx.nop, fx.vmem.kernel_context());
+    (void)fx.dir.Unregister("/tmp/obj");
+  }
+}
+
+BENCHMARK(BM_LookupByDepth)->DenseRange(1, 12, 2);
+BENCHMARK(BM_LookupWithOverrideChain)->DenseRange(0, 7, 1);
+BENCHMARK(BM_LookupThroughParentChain)->Arg(0)->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK(BM_BindSameDomain);
+BENCHMARK(BM_BindCrossDomainCached);
+BENCHMARK(BM_BindCrossDomainFirst);
+BENCHMARK(BM_RegisterUnregister);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,132 @@
+// E4 — cross-domain invocation via fault-driven proxies (§3).
+//
+// Same-domain interface call vs cross-domain proxy call (argument frame
+// marshalling + simulated page fault + per-page fault handler + context
+// switch), swept over payload size. The paper's architecture makes
+// cross-domain calls *much* more expensive than same-domain calls — that gap
+// is precisely why configurable component placement (E9) matters.
+#include <benchmark/benchmark.h>
+
+#include "src/nucleus/proxy.h"
+#include "src/nucleus/vmem.h"
+
+namespace {
+
+using namespace para;           // NOLINT
+using namespace para::nucleus;  // NOLINT
+
+const obj::TypeInfo* SinkType() {
+  static const obj::TypeInfo type("bench.sink", 1, {"scalar", "consume"});
+  return &type;
+}
+
+class Sink : public obj::Object {
+ public:
+  Sink(VirtualMemoryService* vmem, Context* home) : vmem_(vmem), home_(home) {
+    obj::Interface* iface = ExportInterface(SinkType(), this);
+    iface->SetSlot(0, obj::Thunk<Sink, &Sink::Scalar>());
+    iface->SetSlot(1, obj::Thunk<Sink, &Sink::Consume>());
+  }
+
+  uint64_t Scalar(uint64_t a, uint64_t b, uint64_t, uint64_t) { return a + b; }
+
+  uint64_t Consume(uint64_t vaddr, uint64_t len, uint64_t, uint64_t) {
+    // Touch the payload like a real consumer (checksum the first and last
+    // words through the MMU).
+    auto first = vmem_->ReadU64(home_, vaddr);
+    auto last = len >= 8 ? vmem_->ReadU64(home_, vaddr + len - 8) : first;
+    return (first.ok() && last.ok()) ? (*first ^ *last) : ~uint64_t{0};
+  }
+
+ private:
+  VirtualMemoryService* vmem_;
+  Context* home_;
+};
+
+struct Fixture {
+  Fixture() : vmem(256), engine(&vmem), server(vmem.kernel_context()),
+              client(vmem.CreateContext("client", server)), sink(&vmem, server) {}
+  VirtualMemoryService vmem;
+  ProxyEngine engine;
+  Context* server;
+  Context* client;
+  Sink sink;
+};
+
+void BM_SameDomainCall(benchmark::State& state) {
+  Fixture fx;
+  obj::Interface* iface = *fx.sink.GetInterface("bench.sink");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(iface->Invoke(0, 1, 2));
+  }
+}
+
+void BM_CrossDomainScalar(benchmark::State& state) {
+  Fixture fx;
+  auto proxy = fx.engine.CreateProxy(&fx.sink, fx.server, fx.client);
+  obj::Interface* iface = *(*proxy)->GetInterface("bench.sink");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(iface->Invoke(0, 1, 2));
+  }
+  state.counters["faults"] =
+      benchmark::Counter(static_cast<double>(fx.engine.stats().faults),
+                         benchmark::Counter::kIsRate);
+}
+
+void BM_CrossDomainPayload(benchmark::State& state) {
+  size_t bytes = static_cast<size_t>(state.range(0));
+  Fixture fx;
+  ProxyOptions options;
+  options.payload_slots.insert("bench.sink#1");
+  auto proxy = fx.engine.CreateProxy(&fx.sink, fx.server, fx.client, options);
+  obj::Interface* iface = *(*proxy)->GetInterface("bench.sink");
+
+  auto buf = fx.vmem.AllocatePages(fx.client, (bytes + kPageSize - 1) / kPageSize + 1,
+                                   kProtReadWrite);
+  std::vector<uint8_t> payload(bytes, 0xAB);
+  (void)fx.vmem.Write(fx.client, *buf, payload);
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(iface->Invoke(1, *buf, bytes));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bytes));
+}
+
+void BM_SameDomainPayload(benchmark::State& state) {
+  // The in-domain equivalent: callee reads the buffer through the MMU, no
+  // marshalling.
+  size_t bytes = static_cast<size_t>(state.range(0));
+  Fixture fx;
+  obj::Interface* iface = *fx.sink.GetInterface("bench.sink");
+  auto buf = fx.vmem.AllocatePages(fx.server, (bytes + kPageSize - 1) / kPageSize + 1,
+                                   kProtReadWrite);
+  std::vector<uint8_t> payload(bytes, 0xAB);
+  (void)fx.vmem.Write(fx.server, *buf, payload);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(iface->Invoke(1, *buf, bytes));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bytes));
+}
+
+void BM_ProxyConstruction(benchmark::State& state) {
+  Fixture fx;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Context* client = fx.vmem.CreateContext("c", fx.server);
+    state.ResumeTiming();
+    auto proxy = fx.engine.CreateProxy(&fx.sink, fx.server, client);
+    benchmark::DoNotOptimize(proxy);
+  }
+}
+
+BENCHMARK(BM_SameDomainCall);
+BENCHMARK(BM_CrossDomainScalar);
+BENCHMARK(BM_SameDomainPayload)->Arg(64)->Arg(512)->Arg(4096);
+BENCHMARK(BM_CrossDomainPayload)->Arg(64)->Arg(512)->Arg(4096);
+BENCHMARK(BM_ProxyConstruction);
+
+}  // namespace
+
+BENCHMARK_MAIN();

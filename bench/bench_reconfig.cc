@@ -1,0 +1,158 @@
+// E10 — dynamic reconfiguration (§2, §3).
+//
+// Name-space interposition (Replace) latency, and the full repository load
+// pipeline: fetch -> CRC/parse -> certificate validation -> instantiate ->
+// register. Kernel loads pay certification; user loads skip it — the
+// measured difference is the price of admission to the kernel domain.
+#include <benchmark/benchmark.h>
+
+#include "src/base/log.h"
+
+#include "src/base/random.h"
+#include "src/components/matrix.h"
+#include "src/nucleus/nucleus.h"
+
+namespace {
+
+// Benchmark output stays clean: suppress the nucleus boot banner.
+const bool kQuietLogs = [] {
+  para::Logger::Get().set_min_level(para::LogLevel::kError);
+  return true;
+}();
+
+
+using namespace para;           // NOLINT
+using namespace para::nucleus;  // NOLINT
+
+struct Testbed {
+  Testbed() {
+    para::Random rng(0xEC);
+    authority = std::make_unique<CertificationAuthority>(crypto::GenerateKeyPair(512, rng));
+    signer_keys = crypto::GenerateKeyPair(512, rng);
+    grant = authority->Grant("signer", signer_keys.public_key, kCertKernelEligible);
+
+    nucleus::Nucleus::Config config;
+    config.physical_pages = 512;
+    config.authority_key = authority->public_key();
+    nucleus = std::make_unique<Nucleus>(&machine, config);
+    PARA_CHECK(nucleus->Boot().ok());
+    PARA_CHECK(nucleus->certification().RegisterGrant(grant).ok());
+    PARA_CHECK(nucleus->repository()
+                   .RegisterFactory("matrix.factory",
+                                    [](Context*) {
+                                      return std::make_unique<components::MatrixComponent>();
+                                    })
+                   .ok());
+  }
+
+  ComponentImage MakeImage(const std::string& name, size_t code_bytes, bool certified) {
+    ComponentImage image;
+    image.name = name;
+    image.version = 1;
+    image.factory = "matrix.factory";
+    image.code = std::vector<uint8_t>(code_bytes, 0x77);
+    if (certified) {
+      Certifier signer("signer", signer_keys, grant,
+                       [](const std::string&, std::span<const uint8_t>, uint32_t) {
+                         return OkStatus();
+                       });
+      auto cert = signer.Certify(name, 1, image.code, kCertKernelEligible, 0);
+      PARA_CHECK(cert.ok());
+      image.certificate = cert->Serialize();
+    }
+    return image;
+  }
+
+  hw::Machine machine;
+  std::unique_ptr<CertificationAuthority> authority;
+  crypto::RsaKeyPair signer_keys;
+  DelegationGrant grant;
+  std::unique_ptr<Nucleus> nucleus;
+};
+
+void BM_InterposeReplace(benchmark::State& state) {
+  // The §2 interposition primitive: swap the handle at a path.
+  Testbed bed;
+  auto* kernel = bed.nucleus->kernel_context();
+  components::MatrixComponent a, b;
+  PARA_CHECK(bed.nucleus->directory().Register("/app/m", &a, kernel).ok());
+  obj::Object* current = &b;
+  obj::Object* other = &a;
+  for (auto _ : state) {
+    auto old = bed.nucleus->directory().Replace("/app/m", current, kernel);
+    benchmark::DoNotOptimize(old);
+    std::swap(current, other);
+  }
+}
+
+void BM_ReplaceWithProxyInvalidation(benchmark::State& state) {
+  // Replace when a cross-domain client holds a cached proxy: the swap also
+  // invalidates and (on next bind) rebuilds the proxy.
+  Testbed bed;
+  auto* kernel = bed.nucleus->kernel_context();
+  Context* user = bed.nucleus->CreateUserContext("app");
+  components::MatrixComponent a, b;
+  PARA_CHECK(bed.nucleus->directory().Register("/app/m", &a, kernel).ok());
+  obj::Object* current = &b;
+  obj::Object* other = &a;
+  for (auto _ : state) {
+    auto binding = bed.nucleus->directory().Bind("/app/m", user);  // (re)build proxy
+    benchmark::DoNotOptimize(binding);
+    auto old = bed.nucleus->directory().Replace("/app/m", current, kernel);
+    benchmark::DoNotOptimize(old);
+    std::swap(current, other);
+  }
+}
+
+void BM_UserLoadPipeline(benchmark::State& state) {
+  Testbed bed;
+  ComponentImage image = bed.MakeImage("plain", static_cast<size_t>(state.range(0)),
+                                       /*certified=*/false);
+  PARA_CHECK(bed.nucleus->repository().Store(image).ok());
+  Context* user = bed.nucleus->CreateUserContext("app");
+  uint64_t n = 0;
+  for (auto _ : state) {
+    std::string path = "/app/load" + std::to_string(n++);
+    auto loaded = bed.nucleus->loader().Load("plain", user, path);
+    benchmark::DoNotOptimize(loaded);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+
+void BM_KernelLoadPipeline(benchmark::State& state) {
+  // Same pipeline + digest + RSA verify: the certification toll at load
+  // time (and never again at run time — see E7).
+  Testbed bed;
+  ComponentImage image = bed.MakeImage("blessed", static_cast<size_t>(state.range(0)),
+                                       /*certified=*/true);
+  PARA_CHECK(bed.nucleus->repository().Store(image).ok());
+  uint64_t n = 0;
+  for (auto _ : state) {
+    std::string path = "/kernel/load" + std::to_string(n++);
+    auto loaded = bed.nucleus->loader().Load("blessed", bed.nucleus->kernel_context(), path);
+    benchmark::DoNotOptimize(loaded);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+
+void BM_RepositoryFetchParse(benchmark::State& state) {
+  // Just the image fetch + CRC + parse stage.
+  Testbed bed;
+  ComponentImage image = bed.MakeImage("raw", static_cast<size_t>(state.range(0)), false);
+  PARA_CHECK(bed.nucleus->repository().Store(image).ok());
+  for (auto _ : state) {
+    auto fetched = bed.nucleus->repository().Fetch("raw");
+    benchmark::DoNotOptimize(fetched);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+
+BENCHMARK(BM_InterposeReplace);
+BENCHMARK(BM_ReplaceWithProxyInvalidation);
+BENCHMARK(BM_UserLoadPipeline)->Arg(4096)->Arg(65536);
+BENCHMARK(BM_KernelLoadPipeline)->Arg(4096)->Arg(65536);
+BENCHMARK(BM_RepositoryFetchParse)->Arg(4096)->Arg(65536);
+
+}  // namespace
+
+BENCHMARK_MAIN();

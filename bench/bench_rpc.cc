@@ -1,0 +1,132 @@
+// RPC round-trip latency — the §2 example object measured end to end: RPC
+// layer over the UDP/IP-lite stack over the driver over the simulated link,
+// with the stack placed in-kernel (direct driver calls) or in a user domain
+// (every driver call through the fault-based proxy). Companion to E9 at the
+// request/response level instead of raw datagram throughput.
+#include <benchmark/benchmark.h>
+
+#include "src/base/log.h"
+
+#include "src/components/net_driver.h"
+#include "src/components/rpc.h"
+#include "src/nucleus/nucleus.h"
+
+namespace {
+
+// Benchmark output stays clean: suppress the nucleus boot banner.
+const bool kQuietLogs = [] {
+  para::Logger::Get().set_min_level(para::LogLevel::kError);
+  return true;
+}();
+
+
+using namespace para;              // NOLINT
+using namespace para::components;  // NOLINT
+
+struct Testbed {
+  explicit Testbed(bool user_placed_client) {
+    net_a = machine.AddDevice(std::make_unique<hw::NetworkDevice>("n0", 4, 0xAAAA));
+    net_b = machine.AddDevice(std::make_unique<hw::NetworkDevice>("n1", 5, 0xBBBB));
+    machine.AddLink(hw::NetworkLink::Config{.latency = 10, .loss_rate = 0, .seed = 1})
+        ->Attach(net_a, net_b);
+
+    nucleus::Nucleus::Config config;
+    config.physical_pages = 1024;
+    config.authority_key = AuthorityKey();
+    nucleus = std::make_unique<nucleus::Nucleus>(&machine, config);
+    PARA_CHECK(nucleus->Boot().ok());
+
+    auto* kernel = nucleus->kernel_context();
+    auto da = NetDriver::Create(&nucleus->vmem(), &nucleus->events(), net_a, kernel);
+    auto db = NetDriver::Create(&nucleus->vmem(), &nucleus->events(), net_b, kernel);
+    PARA_CHECK(da.ok() && db.ok());
+    driver_a = std::move(*da);
+    driver_b = std::move(*db);
+    PARA_CHECK(nucleus->directory().Register("/net/a", driver_a.get(), kernel).ok());
+    PARA_CHECK(nucleus->directory().Register("/net/b", driver_b.get(), kernel).ok());
+
+    StackComponent::Deps deps{&nucleus->vmem(), &nucleus->events(), &nucleus->directory()};
+    nucleus::Context* client_home =
+        user_placed_client ? nucleus->CreateUserContext("app") : kernel;
+    auto cs = StackComponent::Create(deps, client_home, "/net/a",
+                                     net::StackConfig{0xAAAA, 0x0A000001});
+    auto ss = StackComponent::Create(deps, kernel, "/net/b",
+                                     net::StackConfig{0xBBBB, 0x0A000002});
+    PARA_CHECK(cs.ok() && ss.ok());
+    client_stack = std::move(*cs);
+    server_stack = std::move(*ss);
+    client_stack->stack().AddNeighbor(0x0A000002, 0xBBBB);
+    server_stack->stack().AddNeighbor(0x0A000001, 0xAAAA);
+
+    RpcComponent::Config client_config;
+    client_config.local_port = 700;
+    client_config.peer_ip = 0x0A000002;
+    client_config.peer_port = 800;
+    auto c = RpcComponent::Create(&nucleus->vmem(), &nucleus->scheduler(),
+                                  client_stack.get(), client_config);
+    RpcComponent::Config server_config;
+    server_config.local_port = 800;
+    auto s = RpcComponent::Create(&nucleus->vmem(), &nucleus->scheduler(),
+                                  server_stack.get(), server_config);
+    PARA_CHECK(c.ok() && s.ok());
+    client = std::move(*c);
+    server = std::move(*s);
+    PARA_CHECK(server->RegisterProcedure(
+        1, [](std::span<const uint8_t> req) -> Result<std::vector<uint8_t>> {
+          return std::vector<uint8_t>(req.begin(), req.end());
+        }).ok());
+  }
+
+  static const crypto::RsaPublicKey& AuthorityKey() {
+    static const crypto::RsaKeyPair keys = [] {
+      para::Random rng(0xABC);
+      return crypto::GenerateKeyPair(512, rng);
+    }();
+    return keys.public_key;
+  }
+
+  hw::Machine machine;
+  hw::NetworkDevice* net_a;
+  hw::NetworkDevice* net_b;
+  std::unique_ptr<nucleus::Nucleus> nucleus;
+  std::unique_ptr<NetDriver> driver_a;
+  std::unique_ptr<NetDriver> driver_b;
+  std::unique_ptr<StackComponent> client_stack;
+  std::unique_ptr<StackComponent> server_stack;
+  std::unique_ptr<RpcComponent> client;
+  std::unique_ptr<RpcComponent> server;
+};
+
+void RunRpcBench(benchmark::State& state, bool user_placed) {
+  Testbed bed(user_placed);
+  size_t payload = static_cast<size_t>(state.range(0));
+  std::vector<uint8_t> request(payload, 0x2A);
+  constexpr int kCallsPerIter = 8;
+  uint64_t ok_calls = 0;
+  for (auto _ : state) {
+    // Each iteration runs a batch of echo calls on a client thread with the
+    // machine pumping virtual time underneath.
+    bed.nucleus->scheduler().Spawn("client", [&]() {
+      for (int i = 0; i < kCallsPerIter; ++i) {
+        auto reply = bed.client->Call(1, request);
+        if (reply.ok()) {
+          ++ok_calls;
+        }
+      }
+    });
+    bed.nucleus->Run();
+  }
+  state.counters["ok_calls"] = static_cast<double>(ok_calls);
+  state.counters["via_proxy"] = bed.client_stack->bound_via_proxy() ? 1 : 0;
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kCallsPerIter);
+}
+
+void BM_RpcEchoKernelStack(benchmark::State& state) { RunRpcBench(state, false); }
+void BM_RpcEchoUserStack(benchmark::State& state) { RunRpcBench(state, true); }
+
+BENCHMARK(BM_RpcEchoKernelStack)->Arg(16)->Arg(256)->Arg(1024);
+BENCHMARK(BM_RpcEchoUserStack)->Arg(16)->Arg(256)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

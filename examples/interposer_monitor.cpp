@@ -1,0 +1,112 @@
+// Interposing agents on /shared/network (§1, §2).
+//
+// Demonstrates both faces of interposition:
+//   * the benign one — a transparent CallMonitor that counts and traces
+//     every driver call ("powerful monitoring tools");
+//   * the malicious one — a PacketSnoop that forwards faithfully while
+//     copying every transmitted payload, the §1 scenario that software
+//     verification cannot reveal and that motivates certification.
+//
+//   $ ./interposer_monitor
+#include <cstdio>
+
+#include "src/base/random.h"
+#include "src/components/interposer.h"
+#include "src/components/net_driver.h"
+#include "src/components/protocol_stack.h"
+#include "src/hw/machine.h"
+#include "src/nucleus/nucleus.h"
+
+using namespace para;              // NOLINT
+using namespace para::components;  // NOLINT
+
+int main() {
+  hw::Machine machine;
+  auto* net_a = machine.AddDevice(std::make_unique<hw::NetworkDevice>("net0", 4, 0xAAAA));
+  auto* net_b = machine.AddDevice(std::make_unique<hw::NetworkDevice>("net1", 5, 0xBBBB));
+  machine.AddLink(hw::NetworkLink::Config{.latency = 100, .loss_rate = 0, .seed = 1})
+      ->Attach(net_a, net_b);
+
+  para::Random rng(7);
+  nucleus::Nucleus::Config config;
+  config.physical_pages = 512;
+  config.authority_key = crypto::GenerateKeyPair(512, rng).public_key;
+  nucleus::Nucleus nucleus(&machine, config);
+  PARA_CHECK(nucleus.Boot().ok());
+
+  auto* kernel = nucleus.kernel_context();
+  auto driver_a = NetDriver::Create(&nucleus.vmem(), &nucleus.events(), net_a, kernel);
+  auto driver_b = NetDriver::Create(&nucleus.vmem(), &nucleus.events(), net_b, kernel);
+  PARA_CHECK(driver_a.ok() && driver_b.ok());
+  PARA_CHECK(nucleus.directory().Register("/shared/net0", driver_a->get(), kernel).ok());
+  PARA_CHECK(nucleus.directory().Register("/shared/net1", driver_b->get(), kernel).ok());
+
+  // --- Interpose: build the agent, replace the handle in the name space ---
+  auto monitor = CallMonitor::Wrap(driver_a->get());
+  auto snoop = PacketSnoop::Wrap(monitor.get(), &nucleus.vmem(), kernel);
+  PARA_CHECK(snoop.ok());
+  PARA_CHECK(nucleus.directory().Replace("/shared/net0", snoop->get(), kernel).ok());
+  std::printf("interposed: /shared/net0 -> PacketSnoop -> CallMonitor -> NetDriver\n");
+
+  // --- An unsuspecting protocol stack binds to /shared/net0 ---
+  StackComponent::Deps deps{&nucleus.vmem(), &nucleus.events(), &nucleus.directory()};
+  auto tx = StackComponent::Create(deps, kernel, "/shared/net0",
+                                   net::StackConfig{0xAAAA, 0x0A000001});
+  auto rx = StackComponent::Create(deps, kernel, "/shared/net1",
+                                   net::StackConfig{0xBBBB, 0x0A000002});
+  PARA_CHECK(tx.ok() && rx.ok());
+  (*tx)->stack().AddNeighbor(0x0A000002, 0xBBBB);
+  auto riface = (*rx)->GetInterface("paramecium.net.stack");
+  (*riface)->Invoke(1, 443);  // bind port
+
+  // Send three "confidential" datagrams.
+  auto buf = nucleus.vmem().AllocatePages(kernel, 1, nucleus::kProtReadWrite);
+  auto siface = (*tx)->GetInterface("paramecium.net.stack");
+  const char* secrets[] = {"wire 100 coins to bob", "password=hunter2", "launch code 0000"};
+  for (const char* secret : secrets) {
+    std::string text(secret);
+    PARA_CHECK(nucleus.vmem().Write(kernel, *buf,
+                                    std::span<const uint8_t>(
+                                        reinterpret_cast<const uint8_t*>(text.data()),
+                                        text.size())).ok());
+    (*siface)->Invoke(0, 0x0A000002, (uint64_t{9} << 16) | 443, *buf, text.size());
+    machine.Advance(500);
+    nucleus.scheduler().RunUntilIdle();
+  }
+
+  // The receiver got everything, unaware of the interposition chain.
+  auto rbuf = nucleus.vmem().AllocatePages(kernel, 1, nucleus::kProtReadWrite);
+  int delivered = 0;
+  for (;;) {
+    uint64_t len = (*riface)->Invoke(2, 443, *rbuf, nucleus::kPageSize);
+    if (len == 0) {
+      break;
+    }
+    ++delivered;
+  }
+  std::printf("receiver: %d datagrams delivered normally\n", delivered);
+
+  // The monitoring tool's view.
+  std::printf("\nCallMonitor observed %llu driver calls:\n",
+              static_cast<unsigned long long>(monitor->total_calls()));
+  std::printf("  send calls:      %llu\n",
+              static_cast<unsigned long long>(
+                  monitor->calls_for("paramecium.device.network", 0)));
+  std::printf("  poll_recv calls: %llu\n",
+              static_cast<unsigned long long>(
+                  monitor->calls_for("paramecium.device.network", 1)));
+
+  // The snoop's haul — §1: "software verification of the component cannot
+  // easily reveal packet snooping."
+  std::printf("\nPacketSnoop silently captured %zu frames:\n", (*snoop)->captured().size());
+  for (const auto& frame : (*snoop)->captured()) {
+    std::string text(frame.begin(), frame.end());
+    for (const char* secret : secrets) {
+      if (text.find(secret) != std::string::npos) {
+        std::printf("  leaked: \"%s\"\n", secret);
+      }
+    }
+  }
+  std::printf("\nmoral (§4): only *certified* components belong on /shared/network.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+#include "src/base/bitmap.h"
+
+#include <bit>
+
+#include "src/base/log.h"
+
+namespace para {
+
+namespace {
+constexpr size_t kBitsPerWord = 64;
+}  // namespace
+
+Bitmap::Bitmap(size_t bit_count)
+    : bit_count_(bit_count), words_((bit_count + kBitsPerWord - 1) / kBitsPerWord, 0) {}
+
+bool Bitmap::Test(size_t index) const {
+  PARA_CHECK(index < bit_count_);
+  return (words_[index / kBitsPerWord] >> (index % kBitsPerWord)) & 1u;
+}
+
+void Bitmap::Set(size_t index) {
+  PARA_CHECK(index < bit_count_);
+  words_[index / kBitsPerWord] |= uint64_t{1} << (index % kBitsPerWord);
+}
+
+void Bitmap::Clear(size_t index) {
+  PARA_CHECK(index < bit_count_);
+  words_[index / kBitsPerWord] &= ~(uint64_t{1} << (index % kBitsPerWord));
+}
+
+void Bitmap::SetRange(size_t first, size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+    Set(first + i);
+  }
+}
+
+void Bitmap::ClearRange(size_t first, size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+    Clear(first + i);
+  }
+}
+
+bool Bitmap::RangeClear(size_t first, size_t count) const {
+  if (first + count > bit_count_) {
+    return false;
+  }
+  for (size_t i = 0; i < count; ++i) {
+    if (Test(first + i)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<size_t> Bitmap::AllocateRun(size_t count) {
+  if (count == 0) {
+    return Status(ErrorCode::kInvalidArgument, "zero-length run");
+  }
+  if (count > bit_count_) {
+    return Status(ErrorCode::kResourceExhausted, "run larger than bitmap");
+  }
+  size_t run = 0;
+  for (size_t i = 0; i < bit_count_; ++i) {
+    // Skip whole set words on run restart for speed.
+    if (run == 0 && i % kBitsPerWord == 0) {
+      while (i + kBitsPerWord <= bit_count_ && words_[i / kBitsPerWord] == ~uint64_t{0}) {
+        i += kBitsPerWord;
+      }
+      if (i >= bit_count_) {
+        break;
+      }
+    }
+    if (Test(i)) {
+      run = 0;
+    } else if (++run == count) {
+      size_t first = i + 1 - count;
+      SetRange(first, count);
+      return first;
+    }
+  }
+  return Status(ErrorCode::kResourceExhausted, "no free run");
+}
+
+size_t Bitmap::CountSet() const {
+  size_t total = 0;
+  for (size_t w = 0; w < words_.size(); ++w) {
+    uint64_t word = words_[w];
+    // Mask tail bits beyond bit_count_ in the final word.
+    if ((w + 1) * kBitsPerWord > bit_count_) {
+      size_t valid = bit_count_ - w * kBitsPerWord;
+      if (valid < kBitsPerWord) {
+        word &= (uint64_t{1} << valid) - 1;
+      }
+    }
+    total += static_cast<size_t>(std::popcount(word));
+  }
+  return total;
+}
+
+}  // namespace para

@@ -1,0 +1,45 @@
+// Fixed-size bitmap with first-fit run allocation. Backs the physical page
+// allocator and the I/O-space allocator in the nucleus.
+#ifndef PARAMECIUM_SRC_BASE_BITMAP_H_
+#define PARAMECIUM_SRC_BASE_BITMAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace para {
+
+class Bitmap {
+ public:
+  explicit Bitmap(size_t bit_count);
+
+  size_t size() const { return bit_count_; }
+
+  bool Test(size_t index) const;
+  void Set(size_t index);
+  void Clear(size_t index);
+
+  // Sets/clears [first, first+count).
+  void SetRange(size_t first, size_t count);
+  void ClearRange(size_t first, size_t count);
+
+  // True when every bit of [first, first+count) is clear.
+  bool RangeClear(size_t first, size_t count) const;
+
+  // Finds the first run of `count` clear bits, sets them, and returns the
+  // first index. kResourceExhausted when no such run exists.
+  Result<size_t> AllocateRun(size_t count);
+
+  // Number of set bits.
+  size_t CountSet() const;
+
+ private:
+  size_t bit_count_;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace para
+
+#endif  // PARAMECIUM_SRC_BASE_BITMAP_H_

@@ -1,0 +1,45 @@
+#include "src/base/crc32.h"
+
+#include <array>
+
+namespace para {
+
+namespace {
+
+// Table generated at static-init time from the reflected polynomial.
+std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = MakeTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32Init() { return 0xFFFFFFFFu; }
+
+uint32_t Crc32Update(uint32_t crc, std::span<const uint8_t> data) {
+  const auto& table = Table();
+  for (uint8_t byte : data) {
+    crc = table[(crc ^ byte) & 0xFF] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+uint32_t Crc32Final(uint32_t crc) { return crc ^ 0xFFFFFFFFu; }
+
+uint32_t Crc32(std::span<const uint8_t> data) {
+  return Crc32Final(Crc32Update(Crc32Init(), data));
+}
+
+}  // namespace para

@@ -1,0 +1,23 @@
+// CRC-32 (IEEE 802.3 polynomial). Used as the frame check sequence of the
+// simulated network link and as a cheap integrity check on component images.
+#ifndef PARAMECIUM_SRC_BASE_CRC32_H_
+#define PARAMECIUM_SRC_BASE_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace para {
+
+// One-shot CRC over a buffer.
+uint32_t Crc32(std::span<const uint8_t> data);
+
+// Incremental form: crc = Crc32Update(crc, chunk) starting from
+// Crc32Init(), finished with Crc32Final(crc).
+uint32_t Crc32Init();
+uint32_t Crc32Update(uint32_t crc, std::span<const uint8_t> data);
+uint32_t Crc32Final(uint32_t crc);
+
+}  // namespace para
+
+#endif  // PARAMECIUM_SRC_BASE_CRC32_H_

@@ -1,0 +1,44 @@
+#include "src/base/hexdump.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace para {
+
+std::string Hexdump(std::span<const uint8_t> data, size_t bytes_per_line) {
+  std::string out;
+  char buf[32];
+  for (size_t offset = 0; offset < data.size(); offset += bytes_per_line) {
+    snprintf(buf, sizeof(buf), "%08zx  ", offset);
+    out += buf;
+    size_t line = std::min(bytes_per_line, data.size() - offset);
+    for (size_t i = 0; i < bytes_per_line; ++i) {
+      if (i < line) {
+        snprintf(buf, sizeof(buf), "%02x ", data[offset + i]);
+        out += buf;
+      } else {
+        out += "   ";
+      }
+    }
+    out += " |";
+    for (size_t i = 0; i < line; ++i) {
+      uint8_t c = data[offset + i];
+      out += std::isprint(c) ? static_cast<char>(c) : '.';
+    }
+    out += "|\n";
+  }
+  return out;
+}
+
+std::string HexEncode(std::span<const uint8_t> data) {
+  static const char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (uint8_t byte : data) {
+    out += kDigits[byte >> 4];
+    out += kDigits[byte & 0xF];
+  }
+  return out;
+}
+
+}  // namespace para

@@ -1,0 +1,19 @@
+// Debug hexdump formatting (offset | hex bytes | ASCII), used by device and
+// certificate diagnostics.
+#ifndef PARAMECIUM_SRC_BASE_HEXDUMP_H_
+#define PARAMECIUM_SRC_BASE_HEXDUMP_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace para {
+
+std::string Hexdump(std::span<const uint8_t> data, size_t bytes_per_line = 16);
+
+// Lowercase hex string, no separators ("deadbeef").
+std::string HexEncode(std::span<const uint8_t> data);
+
+}  // namespace para
+
+#endif  // PARAMECIUM_SRC_BASE_HEXDUMP_H_

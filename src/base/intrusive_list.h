@@ -1,0 +1,165 @@
+// Intrusive doubly-linked list, the workhorse container of the nucleus and
+// thread package (run queues, wait queues, page lists). Nodes embed their
+// link; the list never allocates. Modeled on classic kernel list_head but
+// type-safe.
+#ifndef PARAMECIUM_SRC_BASE_INTRUSIVE_LIST_H_
+#define PARAMECIUM_SRC_BASE_INTRUSIVE_LIST_H_
+
+#include <cstddef>
+#include <iterator>
+
+#include "src/base/log.h"
+
+namespace para {
+
+// Embed one of these (possibly several, with distinct Tag types) in any
+// object that needs list membership.
+template <typename Tag = void>
+class ListNode {
+ public:
+  ListNode() = default;
+  ~ListNode() { PARA_CHECK(!in_list()); }
+
+  ListNode(const ListNode&) = delete;
+  ListNode& operator=(const ListNode&) = delete;
+
+  bool in_list() const { return next_ != nullptr; }
+
+  // Detaches this node from whatever list contains it. Safe on unlinked nodes.
+  void Unlink() {
+    if (!in_list()) {
+      return;
+    }
+    prev_->next_ = next_;
+    next_->prev_ = prev_;
+    next_ = nullptr;
+    prev_ = nullptr;
+  }
+
+ private:
+  template <typename T, ListNode<void> T::* M, typename Tg>
+  friend class IntrusiveList;
+  template <typename T, typename Tg, ListNode<Tg> T::* M>
+  friend class TaggedIntrusiveList;
+
+  ListNode* next_ = nullptr;
+  ListNode* prev_ = nullptr;
+};
+
+// IntrusiveList<T, &T::node_>: a list of T threaded through member `node_`.
+template <typename T, ListNode<void> T::* Member, typename Tag = void>
+class IntrusiveList {
+ public:
+  IntrusiveList() {
+    head_.next_ = &head_;
+    head_.prev_ = &head_;
+  }
+  ~IntrusiveList() {
+    Clear();
+    // Neutralize the sentinel so its own destructor's membership check (which
+    // guards real nodes) does not fire.
+    head_.next_ = nullptr;
+    head_.prev_ = nullptr;
+  }
+
+  IntrusiveList(const IntrusiveList&) = delete;
+  IntrusiveList& operator=(const IntrusiveList&) = delete;
+
+  bool empty() const { return head_.next_ == &head_; }
+
+  size_t size() const {
+    size_t n = 0;
+    for (const ListNode<>* p = head_.next_; p != &head_; p = p->next_) {
+      ++n;
+    }
+    return n;
+  }
+
+  void PushBack(T* item) { InsertBefore(&head_, item); }
+  void PushFront(T* item) { InsertBefore(head_.next_, item); }
+
+  T* Front() { return empty() ? nullptr : FromNode(head_.next_); }
+  T* Back() { return empty() ? nullptr : FromNode(head_.prev_); }
+
+  // Removes and returns the first element, or nullptr when empty.
+  T* PopFront() {
+    if (empty()) {
+      return nullptr;
+    }
+    T* item = FromNode(head_.next_);
+    NodeOf(item)->Unlink();
+    return item;
+  }
+
+  // Removes `item` from this list. The caller must know the item is linked
+  // here (debug builds cannot verify which list owns a node).
+  void Remove(T* item) { NodeOf(item)->Unlink(); }
+
+  // Inserts `item` before the first element for which `less(item, elem)`
+  // holds; keeps the list sorted if it already was. O(n).
+  template <typename Less>
+  void InsertSorted(T* item, Less less) {
+    ListNode<>* p = head_.next_;
+    while (p != &head_ && !less(item, FromNode(p))) {
+      p = p->next_;
+    }
+    InsertBefore(p, item);
+  }
+
+  void Clear() {
+    while (!empty()) {
+      PopFront();
+    }
+  }
+
+  class iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = T*;
+    using difference_type = ptrdiff_t;
+    using pointer = T**;
+    using reference = T*&;
+
+    explicit iterator(ListNode<>* node) : node_(node) {}
+    T* operator*() const { return FromNode(node_); }
+    iterator& operator++() {
+      node_ = node_->next_;
+      return *this;
+    }
+    bool operator==(const iterator& other) const { return node_ == other.node_; }
+    bool operator!=(const iterator& other) const { return node_ != other.node_; }
+
+   private:
+    ListNode<>* node_;
+  };
+
+  iterator begin() { return iterator(head_.next_); }
+  iterator end() { return iterator(&head_); }
+
+ private:
+  static ListNode<>* NodeOf(T* item) { return &(item->*Member); }
+
+  static T* FromNode(ListNode<>* node) {
+    // offsetof on non-standard-layout types is conditionally supported; the
+    // member-pointer arithmetic below is the portable equivalent.
+    alignas(T) static char probe_storage[sizeof(T)];
+    T* probe = reinterpret_cast<T*>(probe_storage);
+    ptrdiff_t offset = reinterpret_cast<char*>(&(probe->*Member)) - reinterpret_cast<char*>(probe);
+    return reinterpret_cast<T*>(reinterpret_cast<char*>(node) - offset);
+  }
+
+  void InsertBefore(ListNode<>* pos, T* item) {
+    ListNode<>* node = NodeOf(item);
+    PARA_CHECK(!node->in_list());
+    node->prev_ = pos->prev_;
+    node->next_ = pos;
+    pos->prev_->next_ = node;
+    pos->prev_ = node;
+  }
+
+  ListNode<> head_;
+};
+
+}  // namespace para
+
+#endif  // PARAMECIUM_SRC_BASE_INTRUSIVE_LIST_H_

@@ -1,0 +1,58 @@
+#include "src/base/log.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace para {
+
+Logger& Logger::Get() {
+  static Logger logger;
+  return logger;
+}
+
+namespace {
+
+// Strips the directory part so log lines show "vmem.cc:42" not a full path.
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+void Logger::Logv(LogLevel level, const char* file, int line, const char* fmt, va_list args) {
+  if (level < min_level_) {
+    return;
+  }
+  char body[1024];
+  vsnprintf(body, sizeof(body), fmt, args);
+  char full[1200];
+  snprintf(full, sizeof(full), "[%s] %s:%d: %s", LogLevelName(level).data(), Basename(file),
+           line, body);
+  if (sink_) {
+    sink_(level, full);
+  } else {
+    fprintf(stderr, "%s\n", full);
+  }
+}
+
+void Logger::Log(LogLevel level, const char* file, int line, const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  Logv(level, file, line, fmt, args);
+  va_end(args);
+}
+
+void PanicImpl(const char* file, int line, const char* fmt, ...) {
+  char body[1024];
+  va_list args;
+  va_start(args, fmt);
+  vsnprintf(body, sizeof(body), fmt, args);
+  va_end(args);
+  fprintf(stderr, "[PANIC] %s:%d: %s\n", Basename(file), line, body);
+  fflush(stderr);
+  abort();
+}
+
+}  // namespace para

@@ -1,0 +1,78 @@
+// Minimal leveled logger. Kernel-style: a fixed sink (stderr by default, or a
+// capture buffer for tests), printf-style formatting, compile-time level
+// gating via PARA_LOG_MIN_LEVEL.
+#ifndef PARAMECIUM_SRC_BASE_LOG_H_
+#define PARAMECIUM_SRC_BASE_LOG_H_
+
+#include <cstdarg>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace para {
+
+enum class LogLevel : uint8_t { kTrace = 0, kDebug, kInfo, kWarn, kError, kFatal };
+
+constexpr std::string_view LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kFatal: return "FATAL";
+  }
+  return "?";
+}
+
+// Global log configuration. Not thread-safe by design: configure once at
+// start-up (the simulated machine is single-threaded at the host level; the
+// thread package is cooperative).
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view)>;
+
+  static Logger& Get();
+
+  void set_min_level(LogLevel level) { min_level_ = level; }
+  LogLevel min_level() const { return min_level_; }
+
+  // Replaces the output sink; pass nullptr to restore the stderr default.
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+  void Logv(LogLevel level, const char* file, int line, const char* fmt, va_list args);
+  void Log(LogLevel level, const char* file, int line, const char* fmt, ...)
+      __attribute__((format(printf, 5, 6)));
+
+ private:
+  Logger() = default;
+  LogLevel min_level_ = LogLevel::kInfo;
+  Sink sink_;
+};
+
+[[noreturn]] void PanicImpl(const char* file, int line, const char* fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+}  // namespace para
+
+#define PARA_LOG(level, ...) \
+  ::para::Logger::Get().Log((level), __FILE__, __LINE__, __VA_ARGS__)
+
+#define PARA_TRACE(...) PARA_LOG(::para::LogLevel::kTrace, __VA_ARGS__)
+#define PARA_DEBUG(...) PARA_LOG(::para::LogLevel::kDebug, __VA_ARGS__)
+#define PARA_INFO(...) PARA_LOG(::para::LogLevel::kInfo, __VA_ARGS__)
+#define PARA_WARN(...) PARA_LOG(::para::LogLevel::kWarn, __VA_ARGS__)
+#define PARA_ERROR(...) PARA_LOG(::para::LogLevel::kError, __VA_ARGS__)
+
+// Unrecoverable invariant violation: log and abort.
+#define PARA_PANIC(...) ::para::PanicImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+#define PARA_CHECK(cond)                                    \
+  do {                                                      \
+    if (!(cond)) {                                          \
+      PARA_PANIC("check failed: %s", #cond);                \
+    }                                                       \
+  } while (0)
+
+#endif  // PARAMECIUM_SRC_BASE_LOG_H_

@@ -1,0 +1,62 @@
+// Fixed-capacity single-producer/single-consumer ring buffer. Used by device
+// models (network RX/TX rings, console) and by the event service's deferred
+// queue. Capacity must be a power of two.
+#ifndef PARAMECIUM_SRC_BASE_RING_BUFFER_H_
+#define PARAMECIUM_SRC_BASE_RING_BUFFER_H_
+
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/base/log.h"
+
+namespace para {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(size_t capacity) : slots_(capacity) {
+    PARA_CHECK(capacity >= 2 && (capacity & (capacity - 1)) == 0);
+  }
+
+  size_t capacity() const { return slots_.size(); }
+  size_t size() const { return head_ - tail_; }
+  bool empty() const { return head_ == tail_; }
+  bool full() const { return size() == capacity(); }
+
+  // Returns false (and drops the item) when the ring is full.
+  bool Push(T item) {
+    if (full()) {
+      return false;
+    }
+    slots_[head_ & (capacity() - 1)] = std::move(item);
+    ++head_;
+    return true;
+  }
+
+  std::optional<T> Pop() {
+    if (empty()) {
+      return std::nullopt;
+    }
+    T item = std::move(slots_[tail_ & (capacity() - 1)]);
+    ++tail_;
+    return item;
+  }
+
+  // Peek at the oldest element without consuming it.
+  const T* Front() const {
+    return empty() ? nullptr : &slots_[tail_ & (capacity() - 1)];
+  }
+
+  void Clear() { tail_ = head_; }
+
+ private:
+  std::vector<T> slots_;
+  size_t head_ = 0;  // next write
+  size_t tail_ = 0;  // next read
+};
+
+}  // namespace para
+
+#endif  // PARAMECIUM_SRC_BASE_RING_BUFFER_H_

@@ -1,0 +1,72 @@
+// Slab allocator for fixed-size objects. The nucleus uses slabs for page
+// descriptors, call-back records, and proxy stubs so hot paths never hit the
+// general-purpose heap. Freed slots are chained through their own storage.
+#ifndef PARAMECIUM_SRC_BASE_SLAB_H_
+#define PARAMECIUM_SRC_BASE_SLAB_H_
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "src/base/log.h"
+
+namespace para {
+
+template <typename T, size_t SlabObjects = 64>
+class SlabAllocator {
+ public:
+  SlabAllocator() = default;
+  ~SlabAllocator() { PARA_CHECK(live_ == 0); }
+
+  SlabAllocator(const SlabAllocator&) = delete;
+  SlabAllocator& operator=(const SlabAllocator&) = delete;
+
+  template <typename... Args>
+  T* New(Args&&... args) {
+    if (free_list_ == nullptr) {
+      Grow();
+    }
+    FreeSlot* slot = free_list_;
+    free_list_ = slot->next;
+    ++live_;
+    return new (slot) T(std::forward<Args>(args)...);
+  }
+
+  void Delete(T* object) {
+    PARA_CHECK(object != nullptr);
+    object->~T();
+    auto* slot = reinterpret_cast<FreeSlot*>(object);
+    slot->next = free_list_;
+    free_list_ = slot;
+    PARA_CHECK(live_ > 0);
+    --live_;
+  }
+
+  size_t live() const { return live_; }
+  size_t capacity() const { return slabs_.size() * SlabObjects; }
+
+ private:
+  union FreeSlot {
+    FreeSlot* next;
+    alignas(T) unsigned char storage[sizeof(T)];
+  };
+
+  void Grow() {
+    auto slab = std::make_unique<FreeSlot[]>(SlabObjects);
+    for (size_t i = 0; i < SlabObjects; ++i) {
+      slab[i].next = free_list_;
+      free_list_ = &slab[i];
+    }
+    slabs_.push_back(std::move(slab));
+  }
+
+  std::vector<std::unique_ptr<FreeSlot[]>> slabs_;
+  FreeSlot* free_list_ = nullptr;
+  size_t live_ = 0;
+};
+
+}  // namespace para
+
+#endif  // PARAMECIUM_SRC_BASE_SLAB_H_

@@ -1,0 +1,174 @@
+// Error model for the Paramecium reproduction.
+//
+// Library code does not throw: every fallible operation returns a Status or a
+// Result<T>. The codes mirror the failure classes the nucleus services need
+// to report (name-space misses, permission/certification failures, fault
+// conditions from the software MMU, resource exhaustion).
+#ifndef PARAMECIUM_SRC_BASE_STATUS_H_
+#define PARAMECIUM_SRC_BASE_STATUS_H_
+
+#include <cstdint>
+#include <new>
+#include <string_view>
+#include <utility>
+
+namespace para {
+
+enum class ErrorCode : uint8_t {
+  kOk = 0,
+  kNotFound,          // name-space lookup miss, unknown interface, missing page
+  kAlreadyExists,     // duplicate registration
+  kPermissionDenied,  // protection violation, uncertified component in kernel domain
+  kInvalidArgument,   // malformed input
+  kOutOfRange,        // address or index outside mapped region
+  kResourceExhausted, // out of pages, threads, irq lines...
+  kFailedPrecondition,// operation not legal in current state
+  kUnavailable,       // device not present / link down
+  kCertificateInvalid,// signature or digest mismatch
+  kFault,             // unhandled processor event / page fault
+  kInternal,          // invariant violation
+};
+
+// Human-readable name for an error code.
+constexpr std::string_view ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "OK";
+    case ErrorCode::kNotFound: return "NOT_FOUND";
+    case ErrorCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case ErrorCode::kPermissionDenied: return "PERMISSION_DENIED";
+    case ErrorCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case ErrorCode::kOutOfRange: return "OUT_OF_RANGE";
+    case ErrorCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case ErrorCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case ErrorCode::kUnavailable: return "UNAVAILABLE";
+    case ErrorCode::kCertificateInvalid: return "CERTIFICATE_INVALID";
+    case ErrorCode::kFault: return "FAULT";
+    case ErrorCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+// A status word: an error code plus an optional static message. Messages are
+// string literals (no ownership) so Status stays trivially copyable and cheap
+// enough for hot kernel paths.
+class [[nodiscard]] Status {
+ public:
+  constexpr Status() : code_(ErrorCode::kOk), message_("") {}
+  constexpr explicit Status(ErrorCode code, const char* message = "")
+      : code_(code), message_(message) {}
+
+  static constexpr Status Ok() { return Status(); }
+
+  constexpr bool ok() const { return code_ == ErrorCode::kOk; }
+  constexpr ErrorCode code() const { return code_; }
+  constexpr std::string_view message() const { return message_; }
+  constexpr std::string_view code_name() const { return ErrorCodeName(code_); }
+
+  constexpr bool operator==(const Status& other) const { return code_ == other.code_; }
+  constexpr bool is(ErrorCode code) const { return code_ == code; }
+
+ private:
+  ErrorCode code_;
+  const char* message_;
+};
+
+constexpr Status OkStatus() { return Status::Ok(); }
+
+// Result<T>: either a value or a non-OK Status. A minimal expected<> workalike
+// (the toolchain's std::expected is not assumed), with the subset of API the
+// code base needs: ok(), status(), value(), operator*, operator->.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  // Intentionally implicit: allows `return value;` and `return status;`.
+  Result(const T& value) : has_value_(true) { new (&storage_.value) T(value); }
+  Result(T&& value) : has_value_(true) { new (&storage_.value) T(std::move(value)); }
+  Result(Status status) : has_value_(false) {
+    storage_.status = status.ok() ? Status(ErrorCode::kInternal, "OK status used as error")
+                                  : status;
+  }
+  Result(ErrorCode code) : Result(Status(code)) {}
+
+  Result(const Result& other) : has_value_(other.has_value_) {
+    if (has_value_) {
+      new (&storage_.value) T(other.storage_.value);
+    } else {
+      storage_.status = other.storage_.status;
+    }
+  }
+  Result(Result&& other) noexcept : has_value_(other.has_value_) {
+    if (has_value_) {
+      new (&storage_.value) T(std::move(other.storage_.value));
+    } else {
+      storage_.status = other.storage_.status;
+    }
+  }
+  Result& operator=(const Result& other) {
+    if (this != &other) {
+      this->~Result();
+      new (this) Result(other);
+    }
+    return *this;
+  }
+  Result& operator=(Result&& other) noexcept {
+    if (this != &other) {
+      this->~Result();
+      new (this) Result(std::move(other));
+    }
+    return *this;
+  }
+  ~Result() {
+    if (has_value_) {
+      storage_.value.~T();
+    }
+  }
+
+  bool ok() const { return has_value_; }
+  Status status() const { return has_value_ ? OkStatus() : storage_.status; }
+
+  T& value() & { return storage_.value; }
+  const T& value() const& { return storage_.value; }
+  T&& value() && { return std::move(storage_.value); }
+
+  T& operator*() & { return storage_.value; }
+  const T& operator*() const& { return storage_.value; }
+  T* operator->() { return &storage_.value; }
+  const T* operator->() const { return &storage_.value; }
+
+  // Returns the value or `fallback` when this Result holds an error.
+  T value_or(T fallback) const& { return has_value_ ? storage_.value : std::move(fallback); }
+
+ private:
+  union Storage {
+    Storage() {}
+    ~Storage() {}
+    T value;
+    Status status;
+  } storage_;
+  bool has_value_;
+};
+
+// Propagate-on-error helpers, used pervasively in the nucleus.
+#define PARA_RETURN_IF_ERROR(expr)          \
+  do {                                      \
+    ::para::Status _status = (expr);        \
+    if (!_status.ok()) {                    \
+      return _status;                       \
+    }                                       \
+  } while (0)
+
+#define PARA_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) {                                 \
+    return tmp.status();                           \
+  }                                                \
+  lhs = std::move(tmp).value()
+
+#define PARA_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define PARA_ASSIGN_OR_RETURN_NAME(a, b) PARA_ASSIGN_OR_RETURN_CONCAT(a, b)
+#define PARA_ASSIGN_OR_RETURN(lhs, expr) \
+  PARA_ASSIGN_OR_RETURN_IMPL(PARA_ASSIGN_OR_RETURN_NAME(_result_, __LINE__), lhs, expr)
+
+}  // namespace para
+
+#endif  // PARAMECIUM_SRC_BASE_STATUS_H_

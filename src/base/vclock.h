@@ -1,0 +1,32 @@
+// Virtual clock for the simulated machine. The hardware model advances this
+// clock explicitly (one tick per simulated cycle quantum); timer devices and
+// the scheduler read it. Keeping time virtual makes every experiment
+// deterministic and independent of host load.
+#ifndef PARAMECIUM_SRC_BASE_VCLOCK_H_
+#define PARAMECIUM_SRC_BASE_VCLOCK_H_
+
+#include <cstdint>
+
+namespace para {
+
+using VTime = uint64_t;  // virtual nanoseconds
+
+class VirtualClock {
+ public:
+  VTime now() const { return now_; }
+
+  void Advance(VTime delta) { now_ += delta; }
+  void AdvanceTo(VTime t) {
+    if (t > now_) {
+      now_ = t;
+    }
+  }
+  void Reset() { now_ = 0; }
+
+ private:
+  VTime now_ = 0;
+};
+
+}  // namespace para
+
+#endif  // PARAMECIUM_SRC_BASE_VCLOCK_H_

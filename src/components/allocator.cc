@@ -1,0 +1,96 @@
+#include "src/components/allocator.h"
+
+#include "src/base/log.h"
+
+namespace para::components {
+
+namespace {
+constexpr uint64_t kAlign = 16;
+
+uint64_t AlignUp(uint64_t v) { return (v + kAlign - 1) & ~(kAlign - 1); }
+}  // namespace
+
+Result<std::unique_ptr<AllocatorComponent>> AllocatorComponent::Create(
+    nucleus::VirtualMemoryService* vmem, nucleus::Context* home, size_t pages) {
+  if (vmem == nullptr || home == nullptr || pages == 0) {
+    return Status(ErrorCode::kInvalidArgument, "allocator needs backing pages");
+  }
+  auto allocator = std::unique_ptr<AllocatorComponent>(new AllocatorComponent());
+  PARA_ASSIGN_OR_RETURN(allocator->base_,
+                        vmem->AllocatePages(home, pages, nucleus::kProtReadWrite));
+  allocator->bytes_ = pages * nucleus::kPageSize;
+  allocator->free_blocks_[allocator->base_] = allocator->bytes_;
+  allocator->Install();
+  return allocator;
+}
+
+void AllocatorComponent::Install() {
+  obj::Interface iface(AllocatorType(), this);
+  iface.SetSlot(0, obj::Thunk<AllocatorComponent, &AllocatorComponent::Alloc>());
+  iface.SetSlot(1, obj::Thunk<AllocatorComponent, &AllocatorComponent::Free>());
+  iface.SetSlot(2, obj::Thunk<AllocatorComponent, &AllocatorComponent::AllocatedBytes>());
+  iface.SetSlot(3, obj::Thunk<AllocatorComponent, &AllocatorComponent::BlockCount>());
+  ExportInterface(AllocatorType()->name(), std::move(iface));
+}
+
+uint64_t AllocatorComponent::Alloc(uint64_t bytes, uint64_t, uint64_t, uint64_t) {
+  if (bytes == 0) {
+    return 0;
+  }
+  uint64_t need = AlignUp(bytes);
+  // First fit.
+  for (auto it = free_blocks_.begin(); it != free_blocks_.end(); ++it) {
+    if (it->second < need) {
+      continue;
+    }
+    nucleus::VAddr addr = it->first;
+    size_t remaining = it->second - need;
+    free_blocks_.erase(it);
+    if (remaining > 0) {
+      free_blocks_[addr + need] = remaining;
+    }
+    used_blocks_[addr] = need;
+    allocated_ += need;
+    return addr;
+  }
+  return 0;  // exhausted
+}
+
+uint64_t AllocatorComponent::Free(uint64_t vaddr, uint64_t, uint64_t, uint64_t) {
+  auto it = used_blocks_.find(vaddr);
+  if (it == used_blocks_.end()) {
+    return ~uint64_t{0};
+  }
+  size_t size = it->second;
+  used_blocks_.erase(it);
+  allocated_ -= size;
+
+  // Insert and coalesce with neighbors.
+  auto [pos, inserted] = free_blocks_.emplace(vaddr, size);
+  PARA_CHECK(inserted);
+  // Merge with successor.
+  auto next = std::next(pos);
+  if (next != free_blocks_.end() && pos->first + pos->second == next->first) {
+    pos->second += next->second;
+    free_blocks_.erase(next);
+  }
+  // Merge with predecessor.
+  if (pos != free_blocks_.begin()) {
+    auto prev = std::prev(pos);
+    if (prev->first + prev->second == pos->first) {
+      prev->second += pos->second;
+      free_blocks_.erase(pos);
+    }
+  }
+  return 0;
+}
+
+uint64_t AllocatorComponent::AllocatedBytes(uint64_t, uint64_t, uint64_t, uint64_t) {
+  return allocated_;
+}
+
+uint64_t AllocatorComponent::BlockCount(uint64_t, uint64_t, uint64_t, uint64_t) {
+  return used_blocks_.size();
+}
+
+}  // namespace para::components

@@ -1,0 +1,44 @@
+// Memory-allocator component — the paper's example of an *application*
+// toolbox component ("application components such as memory allocators or
+// matrices", §2). First-fit free-list allocator over a vmem region in its
+// home protection domain.
+#ifndef PARAMECIUM_SRC_COMPONENTS_ALLOCATOR_H_
+#define PARAMECIUM_SRC_COMPONENTS_ALLOCATOR_H_
+
+#include <map>
+#include <memory>
+
+#include "src/components/interfaces.h"
+#include "src/nucleus/vmem.h"
+#include "src/obj/object.h"
+
+namespace para::components {
+
+class AllocatorComponent : public obj::Object {
+ public:
+  // Backs the allocator with `pages` fresh pages in `home`.
+  static Result<std::unique_ptr<AllocatorComponent>> Create(
+      nucleus::VirtualMemoryService* vmem, nucleus::Context* home, size_t pages);
+
+  uint64_t Alloc(uint64_t bytes, uint64_t, uint64_t, uint64_t);
+  uint64_t Free(uint64_t vaddr, uint64_t, uint64_t, uint64_t);
+  uint64_t AllocatedBytes(uint64_t, uint64_t, uint64_t, uint64_t);
+  uint64_t BlockCount(uint64_t, uint64_t, uint64_t, uint64_t);
+
+  nucleus::VAddr region_base() const { return base_; }
+  size_t region_bytes() const { return bytes_; }
+
+ private:
+  AllocatorComponent() = default;
+  void Install();
+
+  nucleus::VAddr base_ = 0;
+  size_t bytes_ = 0;
+  std::map<nucleus::VAddr, size_t> free_blocks_;  // base -> size, coalesced
+  std::map<nucleus::VAddr, size_t> used_blocks_;
+  uint64_t allocated_ = 0;
+};
+
+}  // namespace para::components
+
+#endif  // PARAMECIUM_SRC_COMPONENTS_ALLOCATOR_H_

@@ -1,0 +1,39 @@
+// Console driver component: the simplest device driver in the toolbox.
+#ifndef PARAMECIUM_SRC_COMPONENTS_CONSOLE_DRIVER_H_
+#define PARAMECIUM_SRC_COMPONENTS_CONSOLE_DRIVER_H_
+
+#include <memory>
+
+#include "src/components/interfaces.h"
+#include "src/hw/console.h"
+#include "src/nucleus/vmem.h"
+#include "src/obj/object.h"
+
+namespace para::components {
+
+class ConsoleDriver : public obj::Object {
+ public:
+  static Result<std::unique_ptr<ConsoleDriver>> Create(nucleus::VirtualMemoryService* vmem,
+                                                       hw::ConsoleDevice* device,
+                                                       nucleus::Context* home);
+
+  uint64_t PutChar(uint64_t c, uint64_t, uint64_t, uint64_t);
+  uint64_t Write(uint64_t vaddr, uint64_t len, uint64_t, uint64_t);
+  uint64_t GetChar(uint64_t, uint64_t, uint64_t, uint64_t);
+
+ private:
+  ConsoleDriver(nucleus::VirtualMemoryService* vmem, hw::ConsoleDevice* device,
+                nucleus::Context* home)
+      : vmem_(vmem), device_(device), home_(home) {}
+
+  Status Setup();
+
+  nucleus::VirtualMemoryService* vmem_;
+  hw::ConsoleDevice* device_;
+  nucleus::Context* home_;
+  nucleus::VAddr regs_ = 0;
+};
+
+}  // namespace para::components
+
+#endif  // PARAMECIUM_SRC_COMPONENTS_CONSOLE_DRIVER_H_

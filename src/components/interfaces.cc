@@ -1,0 +1,53 @@
+#include "src/components/interfaces.h"
+
+namespace para::components {
+
+const obj::TypeInfo* NetDriverType() {
+  static const obj::TypeInfo type(
+      "paramecium.device.network", 1,
+      {"send", "poll_recv", "get_mac", "irq_event", "set_rx_irq", "stats"});
+  return &type;
+}
+
+const obj::TypeInfo* AllocatorType() {
+  static const obj::TypeInfo type("paramecium.mem.allocator", 1,
+                                  {"alloc", "free", "allocated_bytes", "block_count"});
+  return &type;
+}
+
+const obj::TypeInfo* MatrixType() {
+  static const obj::TypeInfo type("paramecium.app.matrix", 1,
+                                  {"create", "destroy", "set", "get", "multiply", "sum"});
+  return &type;
+}
+
+const obj::TypeInfo* ConsoleType() {
+  static const obj::TypeInfo type("paramecium.device.console", 1,
+                                  {"put_char", "write", "get_char"});
+  return &type;
+}
+
+const obj::TypeInfo* TimerType() {
+  static const obj::TypeInfo type("paramecium.device.timer", 1,
+                                  {"program", "stop", "expirations", "irq_event"});
+  return &type;
+}
+
+const obj::TypeInfo* StackType() {
+  static const obj::TypeInfo type("paramecium.net.stack", 1,
+                                  {"send", "bind_port", "recv", "stats"});
+  return &type;
+}
+
+const obj::TypeInfo* ThreadPackageType() {
+  static const obj::TypeInfo type("paramecium.threads", 1,
+                                  {"yield", "sleep", "current_id", "spawn"});
+  return &type;
+}
+
+const obj::TypeInfo* MeasurementType() {
+  static const obj::TypeInfo type("paramecium.measurement", 1, {"invocations", "reset"});
+  return &type;
+}
+
+}  // namespace para::components

@@ -1,0 +1,99 @@
+// Interposing agents (§2, citing Jones): "building an interposing object
+// (i.e., one that exports a superset of the original object's interfaces,
+// reimplements those methods it sees fit and forwards the others to the
+// original object) and replace the object handle in the name space."
+//
+// Two agents are provided:
+//  * CallMonitor — a transparent tracing interposer: forwards every method,
+//    counting per-slot invocations and recording a bounded trace. The
+//    "powerful monitoring tools" of §2.
+//  * PacketSnoop — a malicious interposer on a network-driver interface that
+//    quietly copies every transmitted payload. It exists to demonstrate the
+//    paper's §1 trust argument: nothing in the *software* architecture stops
+//    it; only certification of what may sit on /shared/network does.
+#ifndef PARAMECIUM_SRC_COMPONENTS_INTERPOSER_H_
+#define PARAMECIUM_SRC_COMPONENTS_INTERPOSER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/components/interfaces.h"
+#include "src/nucleus/vmem.h"
+#include "src/obj/object.h"
+
+namespace para::components {
+
+struct MonitorRecord {
+  std::string interface_name;
+  size_t slot;
+  uint64_t a0, a1;
+  uint64_t result;
+};
+
+class CallMonitor : public obj::Object {
+ public:
+  // Wraps `target`, mirroring every exported interface. The monitor also
+  // exports MeasurementType() (the paper's interface-evolution example: the
+  // superset interface does not disturb existing clients).
+  static std::unique_ptr<CallMonitor> Wrap(obj::Object* target, size_t trace_limit = 64);
+
+  uint64_t total_calls() const { return total_calls_; }
+  uint64_t calls_for(const std::string& interface_name, size_t slot) const;
+  const std::vector<MonitorRecord>& trace() const { return trace_; }
+
+  uint64_t Invocations(uint64_t, uint64_t, uint64_t, uint64_t) { return total_calls_; }
+  uint64_t ResetMeasurement(uint64_t, uint64_t, uint64_t, uint64_t) {
+    total_calls_ = 0;
+    trace_.clear();
+    return 0;
+  }
+
+ private:
+  struct SlotRecord {
+    CallMonitor* monitor;
+    const obj::Interface* target_iface;
+    std::string interface_name;
+    size_t slot;
+    uint64_t calls = 0;
+  };
+
+  explicit CallMonitor(size_t trace_limit) : trace_limit_(trace_limit) {}
+
+  static uint64_t Trampoline(void* state, uint64_t a0, uint64_t a1, uint64_t a2, uint64_t a3);
+
+  size_t trace_limit_;
+  uint64_t total_calls_ = 0;
+  std::vector<MonitorRecord> trace_;
+  std::vector<std::unique_ptr<SlotRecord>> records_;
+};
+
+class PacketSnoop : public obj::Object {
+ public:
+  // Wraps an object exporting NetDriverType(), intercepting slot 0 (send).
+  // Captured payloads are read out of the caller's domain via vmem — the
+  // snoop runs in the same protection domain as the driver, exactly the
+  // §1 scenario ("software verification ... cannot easily reveal packet
+  // snooping").
+  static Result<std::unique_ptr<PacketSnoop>> Wrap(obj::Object* target,
+                                                   nucleus::VirtualMemoryService* vmem,
+                                                   nucleus::Context* domain);
+
+  const std::vector<std::vector<uint8_t>>& captured() const { return captured_; }
+
+ private:
+  PacketSnoop(nucleus::VirtualMemoryService* vmem, nucleus::Context* domain)
+      : vmem_(vmem), domain_(domain) {}
+
+  static uint64_t SendTap(void* state, uint64_t a0, uint64_t a1, uint64_t a2, uint64_t a3);
+
+  nucleus::VirtualMemoryService* vmem_;
+  nucleus::Context* domain_;
+  const obj::Interface* target_iface_ = nullptr;
+  std::vector<std::vector<uint8_t>> captured_;
+};
+
+}  // namespace para::components
+
+#endif  // PARAMECIUM_SRC_COMPONENTS_INTERPOSER_H_

@@ -1,0 +1,109 @@
+#include "src/components/matrix.h"
+
+#include <cstring>
+
+namespace para::components {
+
+uint64_t DoubleToBits(double value) {
+  uint64_t bits;
+  std::memcpy(&bits, &value, 8);
+  return bits;
+}
+
+double BitsToDouble(uint64_t bits) {
+  double value;
+  std::memcpy(&value, &bits, 8);
+  return value;
+}
+
+MatrixComponent::MatrixComponent() {
+  obj::Interface iface(MatrixType(), this);
+  iface.SetSlot(0, obj::Thunk<MatrixComponent, &MatrixComponent::Create>());
+  iface.SetSlot(1, obj::Thunk<MatrixComponent, &MatrixComponent::Destroy>());
+  iface.SetSlot(2, obj::Thunk<MatrixComponent, &MatrixComponent::Set>());
+  iface.SetSlot(3, obj::Thunk<MatrixComponent, &MatrixComponent::Get>());
+  iface.SetSlot(4, obj::Thunk<MatrixComponent, &MatrixComponent::Multiply>());
+  iface.SetSlot(5, obj::Thunk<MatrixComponent, &MatrixComponent::Sum>());
+  ExportInterface(MatrixType()->name(), std::move(iface));
+}
+
+const MatrixComponent::Matrix* MatrixComponent::Find(uint64_t handle) const {
+  auto it = matrices_.find(handle);
+  return it == matrices_.end() ? nullptr : &it->second;
+}
+
+uint64_t MatrixComponent::Create(uint64_t rows, uint64_t cols, uint64_t, uint64_t) {
+  if (rows == 0 || cols == 0 || rows * cols > (1u << 24)) {
+    return 0;
+  }
+  uint64_t handle = next_handle_++;
+  matrices_[handle] = Matrix{static_cast<size_t>(rows), static_cast<size_t>(cols),
+                             std::vector<double>(rows * cols, 0.0)};
+  return handle;
+}
+
+uint64_t MatrixComponent::Destroy(uint64_t handle, uint64_t, uint64_t, uint64_t) {
+  return matrices_.erase(handle) > 0 ? 0 : ~uint64_t{0};
+}
+
+uint64_t MatrixComponent::Set(uint64_t handle, uint64_t index, uint64_t bits, uint64_t) {
+  auto it = matrices_.find(handle);
+  if (it == matrices_.end() || index >= it->second.cells.size()) {
+    return ~uint64_t{0};
+  }
+  it->second.cells[index] = BitsToDouble(bits);
+  return 0;
+}
+
+uint64_t MatrixComponent::Get(uint64_t handle, uint64_t index, uint64_t, uint64_t) {
+  const Matrix* m = Find(handle);
+  if (m == nullptr || index >= m->cells.size()) {
+    return 0;
+  }
+  return DoubleToBits(m->cells[index]);
+}
+
+uint64_t MatrixComponent::Multiply(uint64_t lhs, uint64_t rhs, uint64_t, uint64_t) {
+  const Matrix* a = Find(lhs);
+  const Matrix* b = Find(rhs);
+  if (a == nullptr || b == nullptr || a->cols != b->rows) {
+    return 0;
+  }
+  Matrix out{a->rows, b->cols, std::vector<double>(a->rows * b->cols, 0.0)};
+  for (size_t i = 0; i < a->rows; ++i) {
+    for (size_t k = 0; k < a->cols; ++k) {
+      double aik = a->cells[i * a->cols + k];
+      if (aik == 0.0) {
+        continue;
+      }
+      for (size_t j = 0; j < b->cols; ++j) {
+        out.cells[i * out.cols + j] += aik * b->cells[k * b->cols + j];
+      }
+    }
+  }
+  uint64_t handle = next_handle_++;
+  matrices_[handle] = std::move(out);
+  return handle;
+}
+
+uint64_t MatrixComponent::Sum(uint64_t handle, uint64_t, uint64_t, uint64_t) {
+  const Matrix* m = Find(handle);
+  if (m == nullptr) {
+    return 0;
+  }
+  double sum = 0.0;
+  for (double v : m->cells) {
+    sum += v;
+  }
+  return DoubleToBits(sum);
+}
+
+Result<double> MatrixComponent::At(uint64_t handle, size_t row, size_t col) const {
+  const Matrix* m = Find(handle);
+  if (m == nullptr || row >= m->rows || col >= m->cols) {
+    return Status(ErrorCode::kOutOfRange, "bad cell");
+  }
+  return m->cells[row * m->cols + col];
+}
+
+}  // namespace para::components

@@ -1,0 +1,51 @@
+// Matrix component — the other application-component example of §2, and the
+// workload object for the parallel-programming examples (§1: Paramecium "is
+// intended to provide support for parallel programming").
+#ifndef PARAMECIUM_SRC_COMPONENTS_MATRIX_H_
+#define PARAMECIUM_SRC_COMPONENTS_MATRIX_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/components/interfaces.h"
+#include "src/obj/object.h"
+
+namespace para::components {
+
+class MatrixComponent : public obj::Object {
+ public:
+  MatrixComponent();
+
+  uint64_t Create(uint64_t rows, uint64_t cols, uint64_t, uint64_t);
+  uint64_t Destroy(uint64_t handle, uint64_t, uint64_t, uint64_t);
+  uint64_t Set(uint64_t handle, uint64_t index, uint64_t bits, uint64_t);
+  uint64_t Get(uint64_t handle, uint64_t index, uint64_t, uint64_t);
+  uint64_t Multiply(uint64_t lhs, uint64_t rhs, uint64_t, uint64_t);
+  uint64_t Sum(uint64_t handle, uint64_t, uint64_t, uint64_t);
+
+  // Host-side helpers (used by examples/tests without bit-casting).
+  Result<double> At(uint64_t handle, size_t row, size_t col) const;
+  size_t live_matrices() const { return matrices_.size(); }
+
+ private:
+  struct Matrix {
+    size_t rows;
+    size_t cols;
+    std::vector<double> cells;
+  };
+
+  const Matrix* Find(uint64_t handle) const;
+
+  std::map<uint64_t, Matrix> matrices_;
+  uint64_t next_handle_ = 1;
+};
+
+// Bit-pattern helpers for passing doubles through the u64 convention.
+uint64_t DoubleToBits(double value);
+double BitsToDouble(uint64_t bits);
+
+}  // namespace para::components
+
+#endif  // PARAMECIUM_SRC_COMPONENTS_MATRIX_H_

@@ -1,0 +1,65 @@
+// Network device driver component. A toolbox component (§3: "all other
+// system components, like ... device drivers ... reside outside this
+// nucleus") that can be instantiated in the kernel domain or a user domain.
+// It claims the device's register block as exclusive I/O space and the
+// on-device buffer as a (shareable) window, per the paper's I/O-space model.
+#ifndef PARAMECIUM_SRC_COMPONENTS_NET_DRIVER_H_
+#define PARAMECIUM_SRC_COMPONENTS_NET_DRIVER_H_
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "src/components/interfaces.h"
+#include "src/hw/netdev.h"
+#include "src/nucleus/event.h"
+#include "src/nucleus/vmem.h"
+#include "src/obj/object.h"
+
+namespace para::components {
+
+class NetDriver : public obj::Object {
+ public:
+  // Maps the device into `home` and hooks the RX interrupt. The driver
+  // exports NetDriverType() plus MeasurementType().
+  static Result<std::unique_ptr<NetDriver>> Create(nucleus::VirtualMemoryService* vmem,
+                                                   nucleus::EventService* events,
+                                                   hw::NetworkDevice* device,
+                                                   nucleus::Context* home);
+
+  ~NetDriver() override;
+
+  nucleus::Context* home() const { return home_; }
+  uint64_t rx_frames_buffered() const { return rx_frames_.size(); }
+
+  // Method implementations (uniform convention; see interfaces.h).
+  uint64_t Send(uint64_t payload_vaddr, uint64_t len, uint64_t, uint64_t);
+  uint64_t PollRecv(uint64_t dest_vaddr, uint64_t capacity, uint64_t, uint64_t);
+  uint64_t GetMac(uint64_t, uint64_t, uint64_t, uint64_t);
+  uint64_t IrqEvent(uint64_t, uint64_t, uint64_t, uint64_t);
+  uint64_t SetRxIrq(uint64_t enable, uint64_t, uint64_t, uint64_t);
+  uint64_t Stats(uint64_t index, uint64_t, uint64_t, uint64_t);
+  uint64_t Invocations(uint64_t, uint64_t, uint64_t, uint64_t);
+  uint64_t ResetMeasurement(uint64_t, uint64_t, uint64_t, uint64_t);
+
+ private:
+  NetDriver(nucleus::VirtualMemoryService* vmem, nucleus::EventService* events,
+            hw::NetworkDevice* device, nucleus::Context* home);
+
+  Status Setup();
+  void OnRxInterrupt();
+
+  nucleus::VirtualMemoryService* vmem_;
+  nucleus::EventService* events_;
+  hw::NetworkDevice* device_;
+  nucleus::Context* home_;
+  nucleus::VAddr regs_ = 0;
+  nucleus::VAddr buffer_ = 0;
+  uint64_t event_registration_ = 0;
+  std::deque<std::vector<uint8_t>> rx_frames_;  // driver-side RX queue
+  uint64_t invocations_ = 0;
+};
+
+}  // namespace para::components
+
+#endif  // PARAMECIUM_SRC_COMPONENTS_NET_DRIVER_H_

@@ -1,0 +1,116 @@
+// RPC component — the paper's own §2 example object: "adding a measurement
+// interface to an RPC object does not require recompilation of its users,
+// since the RPC interface itself does not change."
+//
+// A request/response layer composed with a protocol-stack component in its
+// own protection domain (the stack, in turn, may reach the network driver
+// directly or through a cross-domain proxy — E9). The server side registers
+// procedure handlers; the client side issues blocking calls: the calling
+// thread parks on the scheduler and the stack's RX pop-up thread wakes it
+// when the matching reply arrives — synchronous RPC over asynchronous
+// delivery, exactly what pop-up threads exist for (§3).
+//
+// Wire format (little-endian, on top of UDP-lite):
+//   u32 xid | u32 proc | u32 flags (bit0 = reply, bit1 = error) | payload...
+#ifndef PARAMECIUM_SRC_COMPONENTS_RPC_H_
+#define PARAMECIUM_SRC_COMPONENTS_RPC_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/components/interfaces.h"
+#include "src/components/protocol_stack.h"
+#include "src/nucleus/vmem.h"
+#include "src/threads/scheduler.h"
+
+namespace para::components {
+
+// Server-side procedure: consumes the request payload, produces the reply.
+using RpcProcedure =
+    std::function<Result<std::vector<uint8_t>>(std::span<const uint8_t> request)>;
+
+// The RPC interface (uniform convention; addresses in the component's home
+// domain):
+//   0 call(proc, payload_vaddr, len, capacity) -> reply length, ~0 on error
+//   1 procedure_count()                        -> registered procedures
+const obj::TypeInfo* RpcType();
+
+struct RpcStats {
+  uint64_t calls = 0;
+  uint64_t replies = 0;
+  uint64_t timeouts = 0;
+  uint64_t server_requests = 0;
+  uint64_t server_errors = 0;
+};
+
+class RpcComponent : public obj::Object {
+ public:
+  struct Config {
+    net::Port local_port = 0;    // port this endpoint binds on its stack
+    net::IpAddr peer_ip = 0;     // server address (client side)
+    net::Port peer_port = 0;     // server port (client side)
+    VTime call_timeout = 10'000'000;  // virtual ns a call waits for its reply
+  };
+
+  // `stack` must live in the same protection domain as this component (the
+  // usual composition); it stays owned by the caller.
+  static Result<std::unique_ptr<RpcComponent>> Create(nucleus::VirtualMemoryService* vmem,
+                                                      threads::Scheduler* scheduler,
+                                                      StackComponent* stack, Config config);
+
+  // Server side: registers the handler for `proc`.
+  Status RegisterProcedure(uint32_t proc, RpcProcedure procedure);
+
+  // Client side (host-typed convenience; the interface slot wraps this).
+  // Blocks the calling thread until the reply arrives or the timeout
+  // expires. Must run on a scheduler thread (or a proto-thread, which the
+  // block will promote).
+  Result<std::vector<uint8_t>> Call(uint32_t proc, std::span<const uint8_t> request);
+
+  const RpcStats& stats() const { return stats_; }
+
+  // Interface slots.
+  uint64_t CallSlot(uint64_t proc, uint64_t payload_vaddr, uint64_t len, uint64_t capacity);
+  uint64_t ProcedureCount(uint64_t, uint64_t, uint64_t, uint64_t);
+  uint64_t Invocations(uint64_t, uint64_t, uint64_t, uint64_t);
+  uint64_t ResetMeasurement(uint64_t, uint64_t, uint64_t, uint64_t);
+
+ private:
+  static constexpr size_t kHeaderBytes = 12;
+  static constexpr uint32_t kFlagReply = 1u << 0;
+  static constexpr uint32_t kFlagError = 1u << 1;
+
+  struct PendingCall {
+    bool done = false;
+    bool error = false;
+    std::vector<uint8_t> reply;
+  };
+
+  RpcComponent(nucleus::VirtualMemoryService* vmem, threads::Scheduler* scheduler,
+               StackComponent* stack, Config config)
+      : vmem_(vmem), scheduler_(scheduler), stack_(stack), config_(config) {}
+
+  Status Setup();
+  void OnDatagram(const net::Datagram& datagram);
+  void HandleRequest(const net::Datagram& datagram, uint32_t xid, uint32_t proc,
+                     std::span<const uint8_t> payload);
+  Status SendMessage(net::IpAddr ip, net::Port port, uint32_t xid, uint32_t proc,
+                     uint32_t flags, std::span<const uint8_t> payload);
+
+  nucleus::VirtualMemoryService* vmem_;
+  threads::Scheduler* scheduler_;
+  StackComponent* stack_;
+  Config config_;
+  std::map<uint32_t, RpcProcedure> procedures_;
+  std::map<uint32_t, std::unique_ptr<PendingCall>> pending_;
+  uint32_t next_xid_ = 1;
+  RpcStats stats_;
+};
+
+}  // namespace para::components
+
+#endif  // PARAMECIUM_SRC_COMPONENTS_RPC_H_

@@ -1,0 +1,44 @@
+#include "src/components/thread_pkg.h"
+
+#include "src/base/log.h"
+
+namespace para::components {
+
+ThreadPackage::ThreadPackage(threads::Scheduler* scheduler) : scheduler_(scheduler) {
+  PARA_CHECK(scheduler != nullptr);
+  obj::Interface iface(ThreadPackageType(), this);
+  iface.SetSlot(0, obj::Thunk<ThreadPackage, &ThreadPackage::Yield>());
+  iface.SetSlot(1, obj::Thunk<ThreadPackage, &ThreadPackage::Sleep>());
+  iface.SetSlot(2, obj::Thunk<ThreadPackage, &ThreadPackage::CurrentId>());
+  iface.SetSlot(3, obj::Thunk<ThreadPackage, &ThreadPackage::Spawn>());
+  ExportInterface(ThreadPackageType()->name(), std::move(iface));
+}
+
+uint64_t ThreadPackage::Yield(uint64_t, uint64_t, uint64_t, uint64_t) {
+  scheduler_->Yield();
+  return 0;
+}
+
+uint64_t ThreadPackage::Sleep(uint64_t ns, uint64_t, uint64_t, uint64_t) {
+  scheduler_->Sleep(ns);
+  return 0;
+}
+
+uint64_t ThreadPackage::CurrentId(uint64_t, uint64_t, uint64_t, uint64_t) {
+  threads::Thread* current = scheduler_->current();
+  return current == nullptr ? 0 : current->id();
+}
+
+uint64_t ThreadPackage::Spawn(uint64_t fn, uint64_t arg, uint64_t priority, uint64_t) {
+  if (fn == 0) {
+    return 0;
+  }
+  auto entry = reinterpret_cast<void (*)(uint64_t)>(fn);
+  int prio = priority > threads::kMaxPriority ? threads::kDefaultPriority
+                                              : static_cast<int>(priority);
+  threads::Thread* thread =
+      scheduler_->Spawn("component-thread", [entry, arg]() { entry(arg); }, prio);
+  return thread->id();
+}
+
+}  // namespace para::components

@@ -1,0 +1,35 @@
+// Thread-package component: wraps the cooperative scheduler (src/threads) as
+// a bindable toolbox object — §3 lists "thread packages" first among the
+// components living outside the nucleus.
+#ifndef PARAMECIUM_SRC_COMPONENTS_THREAD_PKG_H_
+#define PARAMECIUM_SRC_COMPONENTS_THREAD_PKG_H_
+
+#include <memory>
+
+#include "src/components/interfaces.h"
+#include "src/obj/object.h"
+#include "src/threads/scheduler.h"
+
+namespace para::components {
+
+class ThreadPackage : public obj::Object {
+ public:
+  explicit ThreadPackage(threads::Scheduler* scheduler);
+
+  uint64_t Yield(uint64_t, uint64_t, uint64_t, uint64_t);
+  uint64_t Sleep(uint64_t ns, uint64_t, uint64_t, uint64_t);
+  uint64_t CurrentId(uint64_t, uint64_t, uint64_t, uint64_t);
+  // fn is a host pointer to void(*)(uint64_t); arg is passed through. The
+  // pointer-through-u64 is the component-image substitution boundary (see
+  // DESIGN.md §2) — in real Paramecium this would be a code address.
+  uint64_t Spawn(uint64_t fn, uint64_t arg, uint64_t priority, uint64_t);
+
+  threads::Scheduler* scheduler() { return scheduler_; }
+
+ private:
+  threads::Scheduler* scheduler_;
+};
+
+}  // namespace para::components
+
+#endif  // PARAMECIUM_SRC_COMPONENTS_THREAD_PKG_H_

@@ -1,0 +1,55 @@
+#include "src/components/timer_driver.h"
+
+namespace para::components {
+
+Result<std::unique_ptr<TimerDriver>> TimerDriver::Create(nucleus::VirtualMemoryService* vmem,
+                                                         hw::TimerDevice* device,
+                                                         nucleus::Context* home) {
+  if (vmem == nullptr || device == nullptr || home == nullptr) {
+    return Status(ErrorCode::kInvalidArgument, "timer driver needs vmem, device, home");
+  }
+  auto driver = std::unique_ptr<TimerDriver>(new TimerDriver(vmem, device, home));
+  PARA_RETURN_IF_ERROR(driver->Setup());
+  return driver;
+}
+
+Status TimerDriver::Setup() {
+  PARA_ASSIGN_OR_RETURN(regs_, vmem_->MapDeviceRegisters(home_, device_));
+  obj::Interface iface(TimerType(), this);
+  iface.SetSlot(0, obj::Thunk<TimerDriver, &TimerDriver::Program>());
+  iface.SetSlot(1, obj::Thunk<TimerDriver, &TimerDriver::Stop>());
+  iface.SetSlot(2, obj::Thunk<TimerDriver, &TimerDriver::Expirations>());
+  iface.SetSlot(3, obj::Thunk<TimerDriver, &TimerDriver::IrqEvent>());
+  ExportInterface(TimerType()->name(), std::move(iface));
+  return OkStatus();
+}
+
+uint64_t TimerDriver::Program(uint64_t interval_ns, uint64_t periodic, uint64_t, uint64_t) {
+  Status a = vmem_->WriteIo32(home_, regs_ + hw::TimerDevice::kRegIntervalLo,
+                              static_cast<uint32_t>(interval_ns));
+  Status b = vmem_->WriteIo32(home_, regs_ + hw::TimerDevice::kRegIntervalHi,
+                              static_cast<uint32_t>(interval_ns >> 32));
+  uint32_t ctrl = hw::TimerDevice::kCtrlEnable |
+                  (periodic != 0 ? hw::TimerDevice::kCtrlPeriodic : 0);
+  Status c = vmem_->WriteIo32(home_, regs_ + hw::TimerDevice::kRegCtrl, ctrl);
+  return (a.ok() && b.ok() && c.ok()) ? 0 : ~uint64_t{0};
+}
+
+uint64_t TimerDriver::Stop(uint64_t, uint64_t, uint64_t, uint64_t) {
+  return vmem_->WriteIo32(home_, regs_ + hw::TimerDevice::kRegCtrl, 0).ok() ? 0 : ~uint64_t{0};
+}
+
+uint64_t TimerDriver::Expirations(uint64_t, uint64_t, uint64_t, uint64_t) {
+  auto lo = vmem_->ReadIo32(home_, regs_ + hw::TimerDevice::kRegCountLo);
+  auto hi = vmem_->ReadIo32(home_, regs_ + hw::TimerDevice::kRegCountHi);
+  if (!lo.ok() || !hi.ok()) {
+    return 0;
+  }
+  return (static_cast<uint64_t>(*hi) << 32) | *lo;
+}
+
+uint64_t TimerDriver::IrqEvent(uint64_t, uint64_t, uint64_t, uint64_t) {
+  return nucleus::IrqEvent(device_->irq_line());
+}
+
+}  // namespace para::components

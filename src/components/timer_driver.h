@@ -1,0 +1,41 @@
+// Timer driver component.
+#ifndef PARAMECIUM_SRC_COMPONENTS_TIMER_DRIVER_H_
+#define PARAMECIUM_SRC_COMPONENTS_TIMER_DRIVER_H_
+
+#include <memory>
+
+#include "src/components/interfaces.h"
+#include "src/hw/timer.h"
+#include "src/nucleus/event.h"
+#include "src/nucleus/vmem.h"
+#include "src/obj/object.h"
+
+namespace para::components {
+
+class TimerDriver : public obj::Object {
+ public:
+  static Result<std::unique_ptr<TimerDriver>> Create(nucleus::VirtualMemoryService* vmem,
+                                                     hw::TimerDevice* device,
+                                                     nucleus::Context* home);
+
+  uint64_t Program(uint64_t interval_ns, uint64_t periodic, uint64_t, uint64_t);
+  uint64_t Stop(uint64_t, uint64_t, uint64_t, uint64_t);
+  uint64_t Expirations(uint64_t, uint64_t, uint64_t, uint64_t);
+  uint64_t IrqEvent(uint64_t, uint64_t, uint64_t, uint64_t);
+
+ private:
+  TimerDriver(nucleus::VirtualMemoryService* vmem, hw::TimerDevice* device,
+              nucleus::Context* home)
+      : vmem_(vmem), device_(device), home_(home) {}
+
+  Status Setup();
+
+  nucleus::VirtualMemoryService* vmem_;
+  hw::TimerDevice* device_;
+  nucleus::Context* home_;
+  nucleus::VAddr regs_ = 0;
+};
+
+}  // namespace para::components
+
+#endif  // PARAMECIUM_SRC_COMPONENTS_TIMER_DRIVER_H_

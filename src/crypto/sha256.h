@@ -1,0 +1,42 @@
+// SHA-256 (FIPS 180-4), implemented from scratch. This is the message-digest
+// function the paper's certification service embeds in every certificate so
+// a component cannot be modified after it has been certified (§4).
+#ifndef PARAMECIUM_SRC_CRYPTO_SHA256_H_
+#define PARAMECIUM_SRC_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace para::crypto {
+
+using Digest = std::array<uint8_t, 32>;
+
+class Sha256 {
+ public:
+  Sha256() { Reset(); }
+
+  void Reset();
+  void Update(std::span<const uint8_t> data);
+  Digest Finish();
+
+  // Convenience one-shot.
+  static Digest Hash(std::span<const uint8_t> data);
+  static Digest HashString(const std::string& s);
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t state_[8];
+  uint64_t total_bytes_;
+  uint8_t buffer_[64];
+  size_t buffered_;
+};
+
+// Constant-time digest comparison (certification must not leak match length).
+bool DigestEqual(const Digest& a, const Digest& b);
+
+}  // namespace para::crypto
+
+#endif  // PARAMECIUM_SRC_CRYPTO_SHA256_H_

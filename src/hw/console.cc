@@ -1,0 +1,47 @@
+#include "src/hw/console.h"
+
+namespace para::hw {
+
+ConsoleDevice::ConsoleDevice(std::string name, int irq_line)
+    : Device(std::move(name), irq_line, kRegisterBytes) {}
+
+void ConsoleDevice::UpdateStatus() {
+  uint32_t status = input_.empty() ? 0 : kStatusInputAvailable;
+  PokeReg(kRegStatus, status);
+}
+
+uint32_t ConsoleDevice::ReadReg(size_t offset) {
+  if (offset == kRegData) {
+    if (input_.empty()) {
+      return 0;
+    }
+    uint8_t byte = input_.front();
+    input_.pop_front();
+    UpdateStatus();
+    return byte;
+  }
+  return PeekReg(offset);
+}
+
+void ConsoleDevice::WriteReg(size_t offset, uint32_t value) {
+  if (offset == kRegData) {
+    if ((PeekReg(kRegCtrl) & kCtrlEnable) != 0) {
+      output_ += static_cast<char>(value & 0xFF);
+    }
+    return;
+  }
+  PokeReg(offset, value);
+}
+
+void ConsoleDevice::InjectInput(const std::string& text) {
+  for (char c : text) {
+    input_.push_back(static_cast<uint8_t>(c));
+  }
+  UpdateStatus();
+  if ((PeekReg(kRegCtrl) & (kCtrlEnable | kCtrlInputIrqEnable)) ==
+      (kCtrlEnable | kCtrlInputIrqEnable)) {
+    RaiseIrq();
+  }
+}
+
+}  // namespace para::hw

@@ -1,0 +1,46 @@
+// Console device: byte-oriented output sink plus an input queue that raises
+// an interrupt per injected byte. Registers:
+//   0x00 CTRL   bit0 enable, bit1 input irq enable
+//   0x04 DATA   write: emit byte; read: pop next input byte (0 if none)
+//   0x08 STATUS bit0 input available
+#ifndef PARAMECIUM_SRC_HW_CONSOLE_H_
+#define PARAMECIUM_SRC_HW_CONSOLE_H_
+
+#include <deque>
+#include <string>
+
+#include "src/hw/device.h"
+
+namespace para::hw {
+
+class ConsoleDevice : public Device {
+ public:
+  static constexpr size_t kRegCtrl = 0x00;
+  static constexpr size_t kRegData = 0x04;
+  static constexpr size_t kRegStatus = 0x08;
+  static constexpr size_t kRegisterBytes = 0x10;
+
+  static constexpr uint32_t kCtrlEnable = 1u << 0;
+  static constexpr uint32_t kCtrlInputIrqEnable = 1u << 1;
+  static constexpr uint32_t kStatusInputAvailable = 1u << 0;
+
+  ConsoleDevice(std::string name, int irq_line);
+
+  uint32_t ReadReg(size_t offset) override;
+  void WriteReg(size_t offset, uint32_t value) override;
+
+  // Test/host side: inject input and inspect output.
+  void InjectInput(const std::string& text);
+  const std::string& output() const { return output_; }
+  void ClearOutput() { output_.clear(); }
+
+ private:
+  void UpdateStatus();
+
+  std::string output_;
+  std::deque<uint8_t> input_;
+};
+
+}  // namespace para::hw
+
+#endif  // PARAMECIUM_SRC_HW_CONSOLE_H_

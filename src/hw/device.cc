@@ -1,0 +1,38 @@
+#include "src/hw/device.h"
+
+#include <cstring>
+
+#include "src/base/log.h"
+#include "src/hw/machine.h"
+
+namespace para::hw {
+
+Device::Device(std::string name, int irq_line, size_t register_block_bytes,
+               size_t device_buffer_bytes)
+    : name_(std::move(name)),
+      irq_line_(irq_line),
+      registers_(register_block_bytes, 0),
+      buffer_(device_buffer_bytes, 0) {}
+
+uint32_t Device::ReadReg(size_t offset) { return PeekReg(offset); }
+
+void Device::WriteReg(size_t offset, uint32_t value) { PokeReg(offset, value); }
+
+uint32_t Device::PeekReg(size_t offset) const {
+  PARA_CHECK(offset + 4 <= registers_.size());
+  uint32_t value;
+  std::memcpy(&value, registers_.data() + offset, 4);
+  return value;
+}
+
+void Device::PokeReg(size_t offset, uint32_t value) {
+  PARA_CHECK(offset + 4 <= registers_.size());
+  std::memcpy(registers_.data() + offset, &value, 4);
+}
+
+void Device::RaiseIrq() {
+  PARA_CHECK(machine_ != nullptr);
+  machine_->irq().Raise(irq_line_);
+}
+
+}  // namespace para::hw

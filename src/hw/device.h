@@ -1,0 +1,67 @@
+// Device model base. A device owns a register block (raw bytes that the
+// memory-management service can map into a protection domain as I/O space,
+// §3) and optionally an on-device buffer that can be shared across contexts.
+// Register reads/writes go through virtual hooks so devices implement their
+// side effects.
+#ifndef PARAMECIUM_SRC_HW_DEVICE_H_
+#define PARAMECIUM_SRC_HW_DEVICE_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/base/vclock.h"
+
+namespace para::hw {
+
+class Machine;
+
+class Device {
+ public:
+  Device(std::string name, int irq_line, size_t register_block_bytes,
+         size_t device_buffer_bytes = 0);
+  virtual ~Device() = default;
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  const std::string& name() const { return name_; }
+  int irq_line() const { return irq_line_; }
+
+  // Raw backing store for the I/O-space service: register block (private
+  // mapping) and on-device buffer (shareable mapping).
+  std::span<uint8_t> register_block() { return registers_; }
+  std::span<uint8_t> device_buffer() { return buffer_; }
+
+  // 32-bit register access at byte offset (device semantics live here).
+  virtual uint32_t ReadReg(size_t offset);
+  virtual void WriteReg(size_t offset, uint32_t value);
+
+  // Called by the machine whenever virtual time has advanced.
+  virtual void Tick() {}
+
+  // Earliest future virtual time at which this device needs a Tick, if any.
+  virtual std::optional<VTime> NextDeadline() const { return std::nullopt; }
+
+ protected:
+  friend class Machine;
+
+  uint32_t PeekReg(size_t offset) const;
+  void PokeReg(size_t offset, uint32_t value);  // no side effects
+
+  void RaiseIrq();
+
+  Machine* machine_ = nullptr;  // set on attach
+
+ private:
+  std::string name_;
+  int irq_line_;
+  std::vector<uint8_t> registers_;
+  std::vector<uint8_t> buffer_;
+};
+
+}  // namespace para::hw
+
+#endif  // PARAMECIUM_SRC_HW_DEVICE_H_

@@ -1,0 +1,67 @@
+#include "src/hw/irq.h"
+
+#include "src/base/log.h"
+
+namespace para::hw {
+
+bool InterruptController::Deliverable(int line) const {
+  return enabled_ && !in_delivery_ && hook_ != nullptr && !masked(line);
+}
+
+void InterruptController::Raise(int line) {
+  PARA_CHECK(line >= 0 && line < kNumLines);
+  ++raises_;
+  pending_ |= uint32_t{1} << line;
+  if (Deliverable(line)) {
+    DeliverPending();
+  }
+}
+
+void InterruptController::Mask(int line) {
+  PARA_CHECK(line >= 0 && line < kNumLines);
+  mask_ |= uint32_t{1} << line;
+}
+
+void InterruptController::Unmask(int line) {
+  PARA_CHECK(line >= 0 && line < kNumLines);
+  mask_ &= ~(uint32_t{1} << line);
+  DeliverPending();
+}
+
+bool InterruptController::masked(int line) const {
+  return (mask_ >> line) & 1u;
+}
+
+void InterruptController::EnableInterrupts() {
+  enabled_ = true;
+  DeliverPending();
+}
+
+void InterruptController::DisableInterrupts() { enabled_ = false; }
+
+bool InterruptController::line_pending(int line) const {
+  return (pending_ >> line) & 1u;
+}
+
+bool InterruptController::DeliverPending() {
+  if (!enabled_ || in_delivery_ || hook_ == nullptr) {
+    return false;
+  }
+  bool delivered = false;
+  in_delivery_ = true;
+  // Deliver in line order; a handler may raise further interrupts, which
+  // stay pending until this delivery pass completes (no nesting).
+  uint32_t deliverable = pending_ & ~mask_;
+  while (deliverable != 0) {
+    int line = __builtin_ctz(deliverable);
+    pending_ &= ~(uint32_t{1} << line);
+    ++deliveries_;
+    delivered = true;
+    hook_(line);
+    deliverable = pending_ & ~mask_;
+  }
+  in_delivery_ = false;
+  return delivered;
+}
+
+}  // namespace para::hw

@@ -1,0 +1,61 @@
+// Interrupt controller model. Devices raise lines; the nucleus event service
+// installs the delivery hook and turns deliveries into processor events
+// (§3 "processor event management"). Masking and a global enable flag model
+// interrupt disabling for critical sections.
+#ifndef PARAMECIUM_SRC_HW_IRQ_H_
+#define PARAMECIUM_SRC_HW_IRQ_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace para::hw {
+
+class InterruptController {
+ public:
+  static constexpr int kNumLines = 32;
+
+  using DeliveryHook = std::function<void(int line)>;
+
+  // Latches the line pending. If interrupts are enabled and the line is
+  // unmasked, the delivery hook runs synchronously (the simulated CPU takes
+  // the interrupt at the next instruction boundary, which in this model is
+  // "now").
+  void Raise(int line);
+
+  void Mask(int line);
+  void Unmask(int line);
+  bool masked(int line) const;
+
+  // Global interrupt enable (like SPARC PIL / x86 IF).
+  void EnableInterrupts();
+  void DisableInterrupts();
+  bool interrupts_enabled() const { return enabled_; }
+
+  uint32_t pending() const { return pending_; }
+  bool line_pending(int line) const;
+
+  // The nucleus event service installs this.
+  void set_delivery_hook(DeliveryHook hook) { hook_ = std::move(hook); }
+
+  // Delivers every pending, unmasked line (called on unmask/enable and by
+  // the machine poll loop).
+  bool DeliverPending();
+
+  uint64_t deliveries() const { return deliveries_; }
+  uint64_t raises() const { return raises_; }
+
+ private:
+  bool Deliverable(int line) const;
+
+  uint32_t pending_ = 0;
+  uint32_t mask_ = 0;
+  bool enabled_ = true;
+  bool in_delivery_ = false;  // no nested delivery: model a CPU taking one trap at a time
+  DeliveryHook hook_;
+  uint64_t deliveries_ = 0;
+  uint64_t raises_ = 0;
+};
+
+}  // namespace para::hw
+
+#endif  // PARAMECIUM_SRC_HW_IRQ_H_

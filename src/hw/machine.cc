@@ -1,0 +1,72 @@
+#include "src/hw/machine.h"
+
+namespace para::hw {
+
+Device* Machine::FindDevice(std::string_view name) {
+  for (const auto& device : devices_) {
+    if (device->name() == name) {
+      return device.get();
+    }
+  }
+  return nullptr;
+}
+
+bool Machine::Poll() {
+  bool progress = false;
+  for (const auto& link : links_) {
+    progress |= link->DeliverDue(clock_.now());
+  }
+  for (const auto& device : devices_) {
+    auto deadline = device->NextDeadline();
+    if (deadline.has_value() && *deadline <= clock_.now()) {
+      device->Tick();
+      progress = true;
+    }
+  }
+  progress |= irq_.DeliverPending();
+  return progress;
+}
+
+std::optional<VTime> Machine::NextEventTime() const {
+  std::optional<VTime> earliest;
+  auto consider = [&earliest](std::optional<VTime> t) {
+    if (t.has_value() && (!earliest.has_value() || *t < *earliest)) {
+      earliest = t;
+    }
+  };
+  for (const auto& device : devices_) {
+    consider(device->NextDeadline());
+  }
+  for (const auto& link : links_) {
+    consider(link->NextArrival());
+  }
+  return earliest;
+}
+
+void Machine::Advance(VTime delta) {
+  VTime target = clock_.now() + delta;
+  for (;;) {
+    Poll();
+    auto next = NextEventTime();
+    if (!next.has_value() || *next > target) {
+      break;
+    }
+    clock_.AdvanceTo(*next);
+  }
+  clock_.AdvanceTo(target);
+  Poll();
+}
+
+bool Machine::IdleStep() {
+  if (Poll()) {
+    return true;
+  }
+  auto next = NextEventTime();
+  if (!next.has_value()) {
+    return false;
+  }
+  clock_.AdvanceTo(*next);
+  return Poll();
+}
+
+}  // namespace para::hw

@@ -1,0 +1,68 @@
+// The simulated machine: virtual clock + interrupt controller + devices +
+// links. This is the substitution for the paper's SPARC target (see
+// DESIGN.md §2): everything the nucleus needs from hardware — traps,
+// interrupts, device registers, time — comes from here.
+#ifndef PARAMECIUM_SRC_HW_MACHINE_H_
+#define PARAMECIUM_SRC_HW_MACHINE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/vclock.h"
+#include "src/hw/device.h"
+#include "src/hw/irq.h"
+#include "src/hw/netdev.h"
+
+namespace para::hw {
+
+class Machine {
+ public:
+  Machine() = default;
+
+  VirtualClock& clock() { return clock_; }
+  InterruptController& irq() { return irq_; }
+
+  // Takes ownership and wires the device to this machine. Returns the raw
+  // pointer for convenience.
+  template <typename D>
+  D* AddDevice(std::unique_ptr<D> device) {
+    D* raw = device.get();
+    raw->machine_ = this;
+    devices_.push_back(std::move(device));
+    return raw;
+  }
+
+  NetworkLink* AddLink(NetworkLink::Config config) {
+    links_.push_back(std::make_unique<NetworkLink>(config));
+    return links_.back().get();
+  }
+
+  Device* FindDevice(std::string_view name);
+
+  // Delivers everything due at the current time (link arrivals, device
+  // deadlines, pending interrupts). Returns true when progress was made.
+  bool Poll();
+
+  // Advances virtual time by `delta`, stopping at every intermediate event.
+  void Advance(VTime delta);
+
+  // Earliest future event across devices and links.
+  std::optional<VTime> NextEventTime() const;
+
+  // Scheduler idle hook: polls; if nothing is due now but an event is
+  // scheduled, advances to it. Returns false when the machine is fully idle.
+  bool IdleStep();
+
+ private:
+  VirtualClock clock_;
+  InterruptController irq_;
+  std::vector<std::unique_ptr<Device>> devices_;
+  std::vector<std::unique_ptr<NetworkLink>> links_;
+};
+
+}  // namespace para::hw
+
+#endif  // PARAMECIUM_SRC_HW_MACHINE_H_

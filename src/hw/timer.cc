@@ -1,0 +1,61 @@
+#include "src/hw/timer.h"
+
+#include "src/hw/machine.h"
+
+namespace para::hw {
+
+TimerDevice::TimerDevice(std::string name, int irq_line)
+    : Device(std::move(name), irq_line, kRegisterBytes) {}
+
+VTime TimerDevice::Interval() const {
+  return (static_cast<VTime>(PeekReg(kRegIntervalHi)) << 32) | PeekReg(kRegIntervalLo);
+}
+
+void TimerDevice::Arm() {
+  uint32_t ctrl = PeekReg(kRegCtrl);
+  if ((ctrl & kCtrlEnable) != 0 && Interval() > 0) {
+    deadline_ = machine_->clock().now() + Interval();
+    armed_ = true;
+  } else {
+    armed_ = false;
+  }
+}
+
+void TimerDevice::WriteReg(size_t offset, uint32_t value) {
+  PokeReg(offset, value);
+  if (offset == kRegCtrl) {
+    Arm();
+  }
+}
+
+void TimerDevice::Tick() {
+  while (armed_ && machine_->clock().now() >= deadline_) {
+    ++expirations_;
+    PokeReg(kRegCountLo, static_cast<uint32_t>(expirations_));
+    PokeReg(kRegCountHi, static_cast<uint32_t>(expirations_ >> 32));
+    if ((PeekReg(kRegCtrl) & kCtrlPeriodic) != 0) {
+      deadline_ += Interval();
+    } else {
+      armed_ = false;
+      PokeReg(kRegCtrl, PeekReg(kRegCtrl) & ~kCtrlEnable);
+    }
+    RaiseIrq();
+  }
+}
+
+std::optional<VTime> TimerDevice::NextDeadline() const {
+  if (!armed_) {
+    return std::nullopt;
+  }
+  return deadline_;
+}
+
+void TimerDevice::Program(VTime interval, bool periodic) {
+  WriteReg(kRegIntervalLo, static_cast<uint32_t>(interval));
+  WriteReg(kRegIntervalHi, static_cast<uint32_t>(interval >> 32));
+  WriteReg(kRegCtrl, kCtrlEnable | (periodic ? kCtrlPeriodic : 0));
+}
+
+void TimerDevice::Stop() { WriteReg(kRegCtrl, 0); }
+
+}  // namespace para::hw

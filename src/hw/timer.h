@@ -1,0 +1,47 @@
+// Programmable interval timer. Registers (byte offsets):
+//   0x00 CTRL    bit0 = enable, bit1 = periodic
+//   0x04 INTERVAL_LO / 0x08 INTERVAL_HI  (virtual ns)
+//   0x0C COUNT_LO / 0x10 COUNT_HI        (expirations so far, read-only)
+// Raises its IRQ line on every expiry.
+#ifndef PARAMECIUM_SRC_HW_TIMER_H_
+#define PARAMECIUM_SRC_HW_TIMER_H_
+
+#include "src/hw/device.h"
+
+namespace para::hw {
+
+class TimerDevice : public Device {
+ public:
+  static constexpr size_t kRegCtrl = 0x00;
+  static constexpr size_t kRegIntervalLo = 0x04;
+  static constexpr size_t kRegIntervalHi = 0x08;
+  static constexpr size_t kRegCountLo = 0x0C;
+  static constexpr size_t kRegCountHi = 0x10;
+  static constexpr size_t kRegisterBytes = 0x20;
+
+  static constexpr uint32_t kCtrlEnable = 1u << 0;
+  static constexpr uint32_t kCtrlPeriodic = 1u << 1;
+
+  TimerDevice(std::string name, int irq_line);
+
+  void WriteReg(size_t offset, uint32_t value) override;
+  void Tick() override;
+  std::optional<VTime> NextDeadline() const override;
+
+  // Convenience for drivers.
+  void Program(VTime interval, bool periodic);
+  void Stop();
+  uint64_t expirations() const { return expirations_; }
+
+ private:
+  VTime Interval() const;
+  void Arm();
+
+  VTime deadline_ = 0;
+  bool armed_ = false;
+  uint64_t expirations_ = 0;
+};
+
+}  // namespace para::hw
+
+#endif  // PARAMECIUM_SRC_HW_TIMER_H_

@@ -1,0 +1,98 @@
+#include "src/net/stack.h"
+
+#include "src/base/log.h"
+
+namespace para::net {
+
+ProtocolStack::ProtocolStack(StackConfig config, FrameSender sender)
+    : config_(config), sender_(std::move(sender)) {
+  PARA_CHECK(sender_ != nullptr);
+}
+
+void ProtocolStack::AddNeighbor(IpAddr ip, MacAddr mac) { neighbors_[ip] = mac; }
+
+Status ProtocolStack::BindPort(Port port, DatagramHandler handler) {
+  if (handler == nullptr) {
+    return Status(ErrorCode::kInvalidArgument, "null handler");
+  }
+  auto [it, inserted] = sockets_.emplace(port, std::move(handler));
+  if (!inserted) {
+    return Status(ErrorCode::kAlreadyExists, "port in use");
+  }
+  return OkStatus();
+}
+
+Status ProtocolStack::UnbindPort(Port port) {
+  return sockets_.erase(port) > 0 ? OkStatus()
+                                  : Status(ErrorCode::kNotFound, "port not bound");
+}
+
+Status ProtocolStack::SendDatagram(IpAddr dst, Port src_port, Port dst_port,
+                                   std::span<const uint8_t> payload) {
+  auto neighbor = neighbors_.find(dst);
+  if (neighbor == neighbors_.end()) {
+    return Status(ErrorCode::kUnavailable, "no route to host");
+  }
+  PacketBuffer packet;
+  packet.Append(payload);
+  UdpEncap(packet, UdpHeader{src_port, dst_port, 0});
+  IpEncap(packet, IpHeader{64, kIpProtoUdpLite, config_.ip, dst, 0});
+  EthEncap(packet, EthHeader{neighbor->second, config_.mac, kEtherTypeIpLite});
+  ++stats_.datagrams_out;
+  ++stats_.frames_out;
+  return sender_(packet.data());
+}
+
+void ProtocolStack::OnFrame(std::span<const uint8_t> frame) {
+  ++stats_.frames_in;
+  PacketBuffer packet = PacketBuffer::FromBytes(frame);
+
+  auto eth = EthDecap(packet);
+  if (!eth.ok()) {
+    ++stats_.drops_bad_frame;
+    return;
+  }
+  if (eth->dst != config_.mac && eth->dst != kMacBroadcast) {
+    ++stats_.drops_not_for_us;
+    return;
+  }
+  if (eth->ether_type != kEtherTypeIpLite) {
+    ++stats_.drops_bad_frame;
+    return;
+  }
+
+  auto ip = IpDecap(packet);
+  if (!ip.ok()) {
+    ++stats_.drops_bad_frame;
+    return;
+  }
+  if (ip->dst != config_.ip) {
+    ++stats_.drops_not_for_us;
+    return;
+  }
+  if (ip->proto != kIpProtoUdpLite) {
+    ++stats_.drops_bad_frame;
+    return;
+  }
+
+  auto udp = UdpDecap(packet);
+  if (!udp.ok()) {
+    ++stats_.drops_bad_frame;
+    return;
+  }
+
+  auto socket = sockets_.find(udp->dst_port);
+  if (socket == sockets_.end()) {
+    ++stats_.drops_no_socket;
+    return;
+  }
+  ++stats_.datagrams_in;
+  Datagram datagram;
+  datagram.src = ip->src;
+  datagram.src_port = udp->src_port;
+  auto payload = packet.data();
+  datagram.payload.assign(payload.begin(), payload.end());
+  socket->second(datagram);
+}
+
+}  // namespace para::net

@@ -1,0 +1,78 @@
+// The UDP/IP-lite protocol stack. Deliberately transport-agnostic about
+// where it runs: it talks to its network driver through a FrameIo function
+// pair, so the same stack object can be placed in the kernel protection
+// domain (direct calls into the driver) or in a user domain (proxy calls) —
+// the configurability experiment E9 and the paper's §1 motivating example.
+#ifndef PARAMECIUM_SRC_NET_STACK_H_
+#define PARAMECIUM_SRC_NET_STACK_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/net/headers.h"
+#include "src/net/pktbuf.h"
+
+namespace para::net {
+
+// Driver-facing frame output: sends raw bytes on the wire.
+using FrameSender = std::function<Status(std::span<const uint8_t>)>;
+
+// Datagram delivery to a bound socket.
+struct Datagram {
+  IpAddr src = 0;
+  Port src_port = 0;
+  std::vector<uint8_t> payload;
+};
+using DatagramHandler = std::function<void(const Datagram&)>;
+
+struct StackConfig {
+  MacAddr mac = 0;
+  IpAddr ip = 0;
+};
+
+struct StackStats {
+  uint64_t frames_out = 0;
+  uint64_t frames_in = 0;
+  uint64_t datagrams_out = 0;
+  uint64_t datagrams_in = 0;
+  uint64_t drops_bad_frame = 0;
+  uint64_t drops_not_for_us = 0;
+  uint64_t drops_no_socket = 0;
+};
+
+class ProtocolStack {
+ public:
+  ProtocolStack(StackConfig config, FrameSender sender);
+
+  // Static neighbor table (the simulation has no ARP).
+  void AddNeighbor(IpAddr ip, MacAddr mac);
+
+  // Binds a datagram handler to a local port.
+  Status BindPort(Port port, DatagramHandler handler);
+  Status UnbindPort(Port port);
+
+  // Sends a UDP-lite datagram.
+  Status SendDatagram(IpAddr dst, Port src_port, Port dst_port,
+                      std::span<const uint8_t> payload);
+
+  // Driver-facing input: a raw frame arrived on the wire.
+  void OnFrame(std::span<const uint8_t> frame);
+
+  const StackStats& stats() const { return stats_; }
+  const StackConfig& config() const { return config_; }
+
+ private:
+  StackConfig config_;
+  FrameSender sender_;
+  std::map<IpAddr, MacAddr> neighbors_;
+  std::map<Port, DatagramHandler> sockets_;
+  StackStats stats_;
+};
+
+}  // namespace para::net
+
+#endif  // PARAMECIUM_SRC_NET_STACK_H_

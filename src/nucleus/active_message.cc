@@ -1,0 +1,121 @@
+#include "src/nucleus/active_message.h"
+
+#include "src/base/log.h"
+
+namespace para::nucleus {
+
+ActiveMessageService::ActiveMessageService(VirtualMemoryService* vmem, EventService* events)
+    : vmem_(vmem), events_(events) {
+  PARA_CHECK(vmem != nullptr && events != nullptr);
+}
+
+Result<uint64_t> ActiveMessageService::CreateEndpoint(Context* context) {
+  if (context == nullptr) {
+    return Status(ErrorCode::kInvalidArgument, "endpoint needs a context");
+  }
+  Endpoint endpoint;
+  endpoint.context = context;
+  size_t ring_bytes = kRingSlots * kFrameBytes;
+  PARA_ASSIGN_OR_RETURN(
+      endpoint.ring_base,
+      vmem_->AllocatePages(context, (ring_bytes + kPageSize - 1) / kPageSize,
+                           kProtReadWrite));
+  endpoint.handlers.resize(kHandlerSlots);
+
+  uint64_t id = next_endpoint_++;
+  // The delivery vector: an active-message event whose pop-up thread drains
+  // this endpoint. `detail` carries the endpoint id.
+  PARA_ASSIGN_OR_RETURN(
+      endpoint.event_registration,
+      events_->Register(kTrapActiveMessage, context,
+                        [this, id](EventNumber, uint64_t detail) {
+                          if (detail == id) {
+                            Drain(id);
+                          }
+                        },
+                        threads::DispatchMode::kProtoThread, "am-endpoint"));
+  endpoints_.emplace(id, std::move(endpoint));
+  return id;
+}
+
+Status ActiveMessageService::DestroyEndpoint(uint64_t endpoint_id) {
+  auto it = endpoints_.find(endpoint_id);
+  if (it == endpoints_.end()) {
+    return Status(ErrorCode::kNotFound, "no such endpoint");
+  }
+  (void)events_->Unregister(it->second.event_registration);
+  size_t ring_bytes = kRingSlots * kFrameBytes;
+  (void)vmem_->FreePages(it->second.context, it->second.ring_base,
+                         (ring_bytes + kPageSize - 1) / kPageSize);
+  endpoints_.erase(it);
+  return OkStatus();
+}
+
+Status ActiveMessageService::RegisterHandler(uint64_t endpoint_id, uint64_t slot,
+                                             AmHandler handler) {
+  auto it = endpoints_.find(endpoint_id);
+  if (it == endpoints_.end()) {
+    return Status(ErrorCode::kNotFound, "no such endpoint");
+  }
+  if (slot >= kHandlerSlots || handler == nullptr) {
+    return Status(ErrorCode::kInvalidArgument, "bad handler slot");
+  }
+  it->second.handlers[slot] = std::move(handler);
+  return OkStatus();
+}
+
+Status ActiveMessageService::Send(uint64_t dest_endpoint, uint64_t slot, uint64_t a0,
+                                  uint64_t a1, uint64_t a2, uint64_t a3) {
+  auto it = endpoints_.find(dest_endpoint);
+  if (it == endpoints_.end()) {
+    return Status(ErrorCode::kNotFound, "no such endpoint");
+  }
+  Endpoint& ep = it->second;
+  if (ep.head - ep.tail >= kRingSlots) {
+    ++stats_.dropped_full;
+    return Status(ErrorCode::kResourceExhausted, "endpoint ring full");
+  }
+  // Marshal the frame into the destination domain through the MMU — the
+  // "map in arguments" step of an active-message transport.
+  uint64_t frame[kFrameWords] = {slot, a0, a1, a2, a3};
+  VAddr at = ep.ring_base + (ep.head % kRingSlots) * kFrameBytes;
+  PARA_RETURN_IF_ERROR(vmem_->Write(
+      ep.context, at,
+      std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(frame), sizeof(frame))));
+  ++ep.head;
+  ++stats_.sends;
+  events_->RaiseTrap(kTrapActiveMessage, dest_endpoint);
+  return OkStatus();
+}
+
+size_t ActiveMessageService::Drain(uint64_t endpoint_id) {
+  auto it = endpoints_.find(endpoint_id);
+  if (it == endpoints_.end()) {
+    return 0;
+  }
+  Endpoint& ep = it->second;
+  size_t delivered = 0;
+  while (ep.tail < ep.head) {
+    uint64_t frame[kFrameWords];
+    VAddr at = ep.ring_base + (ep.tail % kRingSlots) * kFrameBytes;
+    Status read = vmem_->Read(
+        ep.context, at,
+        std::span<uint8_t>(reinterpret_cast<uint8_t*>(frame), sizeof(frame)));
+    if (!read.ok()) {
+      PARA_ERROR("active-message ring unreadable: %s", read.message().data());
+      break;
+    }
+    ++ep.tail;
+    uint64_t slot = frame[0];
+    if (slot >= kHandlerSlots || ep.handlers[slot] == nullptr) {
+      ++stats_.dropped_no_handler;
+      continue;
+    }
+    ++stats_.deliveries;
+    ++delivered;
+    ep.handlers[slot](frame[1], frame[2], frame[3], frame[4]);
+  }
+  return delivered;
+}
+
+}  // namespace para::nucleus

@@ -1,0 +1,89 @@
+// Active-message invocations (§3): "Objects can be placed in separate MMU
+// contexts. This is useful for isolating faults when debugging or when
+// implementing active message like invocations." The paper's own antecedent
+// is van Doorn & Tanenbaum, "Using Active Messages to Support Shared
+// Objects" (SIGOPS EW 1994) — the same group's parallel-programming
+// substrate, which is why the §1 application domain cares.
+//
+// Model: an *endpoint* per protection domain with a message ring living in
+// that domain's memory. Send() marshals a 4-word frame through the software
+// MMU into the destination ring and raises a software event; the event
+// service turns it into a pop-up thread (proto fast path) that drains the
+// ring and runs the registered handler. Handlers may block — promotion gives
+// them full thread semantics, the whole point of §3's event design.
+#ifndef PARAMECIUM_SRC_NUCLEUS_ACTIVE_MESSAGE_H_
+#define PARAMECIUM_SRC_NUCLEUS_ACTIVE_MESSAGE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/nucleus/event.h"
+#include "src/nucleus/vmem.h"
+#include "src/obj/object.h"
+
+namespace para::nucleus {
+
+// Handler invoked in the destination domain with the message's four words.
+using AmHandler = std::function<void(uint64_t a0, uint64_t a1, uint64_t a2, uint64_t a3)>;
+
+struct AmStats {
+  uint64_t sends = 0;
+  uint64_t deliveries = 0;
+  uint64_t dropped_full = 0;   // destination ring full
+  uint64_t dropped_no_handler = 0;
+};
+
+class ActiveMessageService : public obj::Object {
+ public:
+  static constexpr size_t kRingSlots = 64;  // frames per endpoint ring
+  static constexpr size_t kHandlerSlots = 16;
+
+  ActiveMessageService(VirtualMemoryService* vmem, EventService* events);
+
+  // Creates an endpoint whose message ring lives in `context`. Returns the
+  // endpoint id used as a destination address.
+  Result<uint64_t> CreateEndpoint(Context* context);
+  Status DestroyEndpoint(uint64_t endpoint);
+
+  // Installs the handler for `slot` on an endpoint.
+  Status RegisterHandler(uint64_t endpoint, uint64_t slot, AmHandler handler);
+
+  // Sends a message: writes the frame into the destination ring (through the
+  // MMU) and raises the active-message event. Delivery is asynchronous —
+  // the handler runs as a pop-up thread.
+  Status Send(uint64_t dest_endpoint, uint64_t slot, uint64_t a0 = 0, uint64_t a1 = 0,
+              uint64_t a2 = 0, uint64_t a3 = 0);
+
+  // Synchronously drains an endpoint's ring (also called by the event
+  // handler; exposed for deterministic tests).
+  size_t Drain(uint64_t endpoint);
+
+  const AmStats& stats() const { return stats_; }
+  size_t endpoint_count() const { return endpoints_.size(); }
+
+ private:
+  struct Endpoint {
+    Context* context = nullptr;
+    VAddr ring_base = 0;   // kRingSlots frames of 5 u64 (slot + 4 args)
+    uint64_t head = 0;     // producer index
+    uint64_t tail = 0;     // consumer index
+    std::vector<AmHandler> handlers;
+    uint64_t event_registration = 0;
+  };
+
+  static constexpr size_t kFrameWords = 5;
+  static constexpr size_t kFrameBytes = kFrameWords * 8;
+
+  VirtualMemoryService* vmem_;
+  EventService* events_;
+  std::map<uint64_t, Endpoint> endpoints_;
+  uint64_t next_endpoint_ = 1;
+  AmStats stats_;
+};
+
+}  // namespace para::nucleus
+
+#endif  // PARAMECIUM_SRC_NUCLEUS_ACTIVE_MESSAGE_H_

@@ -1,0 +1,262 @@
+#include "src/nucleus/cert.h"
+
+#include <cstring>
+
+#include "src/base/hexdump.h"
+#include "src/base/log.h"
+
+namespace para::nucleus {
+
+namespace {
+
+void PutU32(std::vector<uint8_t>& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutU64(std::vector<uint8_t>& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutBytes(std::vector<uint8_t>& out, std::span<const uint8_t> bytes) {
+  PutU32(out, static_cast<uint32_t>(bytes.size()));
+  out.insert(out.end(), bytes.begin(), bytes.end());
+}
+
+void PutString(std::vector<uint8_t>& out, const std::string& s) {
+  PutBytes(out, std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(s.data()), s.size()));
+}
+
+class Reader {
+ public:
+  explicit Reader(std::span<const uint8_t> data) : data_(data) {}
+
+  bool ok() const { return ok_; }
+
+  uint32_t U32() {
+    uint32_t v = 0;
+    if (pos_ + 4 > data_.size()) {
+      ok_ = false;
+      return 0;
+    }
+    for (int i = 0; i < 4; ++i) {
+      v |= uint32_t{data_[pos_ + i]} << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  uint64_t U64() {
+    uint64_t v = 0;
+    if (pos_ + 8 > data_.size()) {
+      ok_ = false;
+      return 0;
+    }
+    for (int i = 0; i < 8; ++i) {
+      v |= uint64_t{data_[pos_ + i]} << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  std::vector<uint8_t> Bytes() {
+    uint32_t len = U32();
+    if (!ok_ || pos_ + len > data_.size()) {
+      ok_ = false;
+      return {};
+    }
+    std::vector<uint8_t> out(data_.begin() + pos_, data_.begin() + pos_ + len);
+    pos_ += len;
+    return out;
+  }
+
+  std::string String() {
+    auto bytes = Bytes();
+    return std::string(bytes.begin(), bytes.end());
+  }
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace
+
+crypto::Digest ComponentDigest(const std::string& name, uint32_t version,
+                               std::span<const uint8_t> code) {
+  crypto::Sha256 h;
+  h.Update(code);
+  h.Update(std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(name.data()), name.size()));
+  uint8_t v[4] = {static_cast<uint8_t>(version), static_cast<uint8_t>(version >> 8),
+                  static_cast<uint8_t>(version >> 16), static_cast<uint8_t>(version >> 24)};
+  h.Update(v);
+  return h.Finish();
+}
+
+std::vector<uint8_t> Certificate::SignedBytes() const {
+  std::vector<uint8_t> out;
+  PutString(out, component_name);
+  PutU32(out, version);
+  PutBytes(out, code_digest);
+  PutBytes(out, signer);
+  PutU32(out, flags);
+  PutU64(out, issued_at);
+  return out;
+}
+
+std::vector<uint8_t> Certificate::Serialize() const {
+  std::vector<uint8_t> out = SignedBytes();
+  PutBytes(out, signature);
+  return out;
+}
+
+Result<Certificate> Certificate::Deserialize(std::span<const uint8_t> bytes) {
+  Reader r(bytes);
+  Certificate cert;
+  cert.component_name = r.String();
+  cert.version = r.U32();
+  auto digest = r.Bytes();
+  auto signer = r.Bytes();
+  cert.flags = r.U32();
+  cert.issued_at = r.U64();
+  cert.signature = r.Bytes();
+  if (!r.ok() || !r.AtEnd() || digest.size() != cert.code_digest.size() ||
+      signer.size() != cert.signer.size()) {
+    return Status(ErrorCode::kInvalidArgument, "malformed certificate");
+  }
+  std::memcpy(cert.code_digest.data(), digest.data(), digest.size());
+  std::memcpy(cert.signer.data(), signer.data(), signer.size());
+  return cert;
+}
+
+std::vector<uint8_t> DelegationGrant::SignedBytes() const {
+  std::vector<uint8_t> out;
+  PutString(out, delegate_name);
+  PutBytes(out, delegate_key.modulus.ToBytes());
+  PutBytes(out, delegate_key.exponent.ToBytes());
+  PutU32(out, max_flags);
+  return out;
+}
+
+DelegationGrant CertificationAuthority::Grant(std::string delegate_name,
+                                              const crypto::RsaPublicKey& delegate_key,
+                                              uint32_t max_flags) const {
+  DelegationGrant grant;
+  grant.delegate_name = std::move(delegate_name);
+  grant.delegate_key = delegate_key;
+  grant.max_flags = max_flags;
+  crypto::Digest digest = crypto::Sha256::Hash(grant.SignedBytes());
+  grant.signature = crypto::Sign(keys_.private_key, digest);
+  return grant;
+}
+
+Certifier::Certifier(std::string name, crypto::RsaKeyPair keys, DelegationGrant grant,
+                     CertifierPolicy policy)
+    : name_(std::move(name)),
+      keys_(std::move(keys)),
+      grant_(std::move(grant)),
+      policy_(std::move(policy)) {
+  PARA_CHECK(policy_ != nullptr);
+}
+
+Result<Certificate> Certifier::Certify(const std::string& component_name, uint32_t version,
+                                       std::span<const uint8_t> code, uint32_t requested_flags,
+                                       uint64_t now) {
+  ++attempts_;
+  if ((requested_flags & ~grant_.max_flags) != 0) {
+    return Status(ErrorCode::kPermissionDenied, "delegate may not issue these flags");
+  }
+  PARA_RETURN_IF_ERROR(policy_(component_name, code, requested_flags));
+  Certificate cert;
+  cert.component_name = component_name;
+  cert.version = version;
+  cert.code_digest = ComponentDigest(component_name, version, code);
+  cert.signer = keys_.public_key.Fingerprint();
+  cert.flags = requested_flags;
+  cert.issued_at = now;
+  crypto::Digest digest = crypto::Sha256::Hash(cert.SignedBytes());
+  cert.signature = crypto::Sign(keys_.private_key, digest);
+  ++issued_;
+  return cert;
+}
+
+Result<Certificate> CertifierChain::Certify(const std::string& component_name, uint32_t version,
+                                            std::span<const uint8_t> code,
+                                            uint32_t requested_flags, uint64_t now) {
+  Status last(ErrorCode::kUnavailable, "no delegates configured");
+  for (Certifier* certifier : chain_) {
+    auto cert = certifier->Certify(component_name, version, code, requested_flags, now);
+    if (cert.ok()) {
+      return cert;
+    }
+    // "If one subordinate fails to certify a component another can be
+    // tried" — e.g. the prover gives up and hands over to the admin.
+    last = cert.status();
+  }
+  return last;
+}
+
+CertificationService::CertificationService(crypto::RsaPublicKey authority_key)
+    : authority_key_(std::move(authority_key)) {}
+
+Status CertificationService::RegisterGrant(const DelegationGrant& grant) {
+  crypto::Digest digest = crypto::Sha256::Hash(grant.SignedBytes());
+  PARA_RETURN_IF_ERROR(crypto::Verify(authority_key_, digest, grant.signature));
+  std::string fingerprint = para::HexEncode(grant.delegate_key.Fingerprint());
+  auto [it, inserted] = grants_.emplace(fingerprint, grant);
+  if (!inserted) {
+    return Status(ErrorCode::kAlreadyExists, "grant already registered");
+  }
+  return OkStatus();
+}
+
+Status CertificationService::Validate(const Certificate& certificate,
+                                      std::span<const uint8_t> code) const {
+  ++stats_.validations;
+  // 1. Digest binding: the component must be byte-identical to what was
+  //    certified.
+  crypto::Digest actual =
+      ComponentDigest(certificate.component_name, certificate.version, code);
+  if (!crypto::DigestEqual(actual, certificate.code_digest)) {
+    ++stats_.rejected_digest;
+    return Status(ErrorCode::kCertificateInvalid, "component modified after certification");
+  }
+  // 2. The signer must hold a grant from the authority.
+  auto it = grants_.find(para::HexEncode(certificate.signer));
+  if (it == grants_.end()) {
+    ++stats_.rejected_signer;
+    return Status(ErrorCode::kCertificateInvalid, "unknown certifier");
+  }
+  const DelegationGrant& grant = it->second;
+  // 3. The certificate's flags must stay within the delegation.
+  if ((certificate.flags & ~grant.max_flags) != 0) {
+    ++stats_.rejected_flags;
+    return Status(ErrorCode::kCertificateInvalid, "certificate exceeds delegation");
+  }
+  // 4. The delegate's signature must verify.
+  crypto::Digest signed_digest = crypto::Sha256::Hash(certificate.SignedBytes());
+  Status sig = crypto::Verify(grant.delegate_key, signed_digest, certificate.signature);
+  if (!sig.ok()) {
+    ++stats_.rejected_signature;
+    return sig;
+  }
+  ++stats_.accepted;
+  return OkStatus();
+}
+
+Status CertificationService::ValidateForKernel(const Certificate& certificate,
+                                               std::span<const uint8_t> code) const {
+  PARA_RETURN_IF_ERROR(Validate(certificate, code));
+  if ((certificate.flags & kCertKernelEligible) == 0) {
+    return Status(ErrorCode::kPermissionDenied, "component not certified for kernel domain");
+  }
+  return OkStatus();
+}
+
+}  // namespace para::nucleus

@@ -1,0 +1,176 @@
+// Certification (§4). "An authority certifies which components are
+// trustworthy and are therefore permitted to run in the kernel address
+// space. Each component contains a certificate that is validated by the
+// kernel by means of a simple security architecture."
+//
+// Three roles, as in the paper:
+//  * CertificationAuthority — the root of trust. Usually off-line; it signs
+//    *delegation grants* for subordinates ("system administrators,
+//    experimenters, ... and programs").
+//  * Certifier — a delegate: a keypair, a grant, and a *policy* (the
+//    type-safe-language compiler, correctness prover, test team, or grad
+//    student deciding whether a component is trustworthy). CertifierChain
+//    tries delegates in preference order — the paper's escape hatch.
+//  * CertificationService — the kernel side: validates a component's
+//    certificate at load time (digest binding + signature + delegation
+//    chain), after which no run-time checks are needed.
+#ifndef PARAMECIUM_SRC_NUCLEUS_CERT_H_
+#define PARAMECIUM_SRC_NUCLEUS_CERT_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/base/random.h"
+#include "src/base/status.h"
+#include "src/crypto/rsa.h"
+#include "src/crypto/sha256.h"
+#include "src/obj/object.h"
+
+namespace para::nucleus {
+
+// Capability flags a certificate can convey.
+enum CertFlags : uint32_t {
+  kCertKernelEligible = 1u << 0,  // may be mapped into the kernel domain
+  kCertDriverClass = 1u << 1,     // may claim device I/O space
+  kCertSharedService = 1u << 2,   // may be bound by multiple non-cooperating users
+};
+
+// A component certificate: binds a message digest of the component to a
+// signer. "Certificates include a message digest of the component so that it
+// is impossible to modify the component after it has been certified."
+struct Certificate {
+  std::string component_name;
+  uint32_t version = 0;
+  crypto::Digest code_digest{};
+  crypto::Digest signer{};  // fingerprint of the certifying delegate's key
+  uint32_t flags = 0;
+  uint64_t issued_at = 0;
+  std::vector<uint8_t> signature;
+
+  // Canonical serialization (excluding the signature) — what gets signed.
+  std::vector<uint8_t> SignedBytes() const;
+  // Full wire form, including the signature.
+  std::vector<uint8_t> Serialize() const;
+  static Result<Certificate> Deserialize(std::span<const uint8_t> bytes);
+};
+
+// A delegation grant: the authority vouches for a delegate key, bounding the
+// flags it may issue.
+struct DelegationGrant {
+  std::string delegate_name;
+  crypto::RsaPublicKey delegate_key;
+  uint32_t max_flags = 0;
+  std::vector<uint8_t> signature;  // by the authority
+
+  std::vector<uint8_t> SignedBytes() const;
+};
+
+class CertificationAuthority {
+ public:
+  explicit CertificationAuthority(crypto::RsaKeyPair keys) : keys_(std::move(keys)) {}
+
+  static CertificationAuthority Generate(size_t key_bits, para::Random& rng) {
+    return CertificationAuthority(crypto::GenerateKeyPair(key_bits, rng));
+  }
+
+  const crypto::RsaPublicKey& public_key() const { return keys_.public_key; }
+
+  DelegationGrant Grant(std::string delegate_name, const crypto::RsaPublicKey& delegate_key,
+                        uint32_t max_flags) const;
+
+ private:
+  crypto::RsaKeyPair keys_;
+};
+
+// The policy half of a delegate: inspects a component and decides. Returning
+// non-OK means "this subordinate fails to certify" — the chain moves on.
+using CertifierPolicy =
+    std::function<Status(const std::string& name, std::span<const uint8_t> code,
+                         uint32_t requested_flags)>;
+
+class Certifier {
+ public:
+  Certifier(std::string name, crypto::RsaKeyPair keys, DelegationGrant grant,
+            CertifierPolicy policy);
+
+  const std::string& name() const { return name_; }
+  const DelegationGrant& grant() const { return grant_; }
+  const crypto::RsaPublicKey& public_key() const { return keys_.public_key; }
+
+  // Computes the component digest, runs the policy, and signs on success.
+  Result<Certificate> Certify(const std::string& component_name, uint32_t version,
+                              std::span<const uint8_t> code, uint32_t requested_flags,
+                              uint64_t now);
+
+  uint64_t attempts() const { return attempts_; }
+  uint64_t issued() const { return issued_; }
+
+ private:
+  std::string name_;
+  crypto::RsaKeyPair keys_;
+  DelegationGrant grant_;
+  CertifierPolicy policy_;
+  uint64_t attempts_ = 0;
+  uint64_t issued_ = 0;
+};
+
+// Ordered delegates with the escape hatch: "if one subordinate fails to
+// certify a component another can be tried."
+class CertifierChain {
+ public:
+  void Add(Certifier* certifier) { chain_.push_back(certifier); }
+
+  Result<Certificate> Certify(const std::string& component_name, uint32_t version,
+                              std::span<const uint8_t> code, uint32_t requested_flags,
+                              uint64_t now);
+
+  size_t size() const { return chain_.size(); }
+
+ private:
+  std::vector<Certifier*> chain_;
+};
+
+struct CertValidationStats {
+  uint64_t validations = 0;
+  uint64_t accepted = 0;
+  uint64_t rejected_digest = 0;
+  uint64_t rejected_signer = 0;
+  uint64_t rejected_signature = 0;
+  uint64_t rejected_flags = 0;
+};
+
+// The kernel-resident validation service (§3's fourth nucleus service).
+class CertificationService : public obj::Object {
+ public:
+  explicit CertificationService(crypto::RsaPublicKey authority_key);
+
+  // Installs a delegation grant after checking the authority's signature.
+  Status RegisterGrant(const DelegationGrant& grant);
+
+  // Full load-time validation: digest binding, known signer, delegated flag
+  // bounds, and signature. After this, the component runs with no run-time
+  // checks — the paper's core efficiency claim (experiment E7).
+  Status Validate(const Certificate& certificate, std::span<const uint8_t> code) const;
+
+  // Validates specifically for kernel-domain loading.
+  Status ValidateForKernel(const Certificate& certificate,
+                           std::span<const uint8_t> code) const;
+
+  const CertValidationStats& stats() const { return stats_; }
+
+ private:
+  crypto::RsaPublicKey authority_key_;
+  std::map<std::string, DelegationGrant> grants_;  // by hex fingerprint of delegate key
+  mutable CertValidationStats stats_;
+};
+
+// Digest over a component's code identity (code || name || version).
+crypto::Digest ComponentDigest(const std::string& name, uint32_t version,
+                               std::span<const uint8_t> code);
+
+}  // namespace para::nucleus
+
+#endif  // PARAMECIUM_SRC_NUCLEUS_CERT_H_

@@ -1,0 +1,103 @@
+// Protection domains. "The nucleus provides four services, which all use a
+// protection domain or context as their unit of granularity" (§3). A Context
+// owns a software page table (filled by the virtual-memory service), a set of
+// name-space overrides (§2), and a parent link — the name space is inherited
+// from the object that created the context.
+#ifndef PARAMECIUM_SRC_NUCLEUS_CONTEXT_H_
+#define PARAMECIUM_SRC_NUCLEUS_CONTEXT_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "src/base/status.h"
+
+namespace para::nucleus {
+
+inline constexpr size_t kPageSize = 4096;
+inline constexpr uint64_t kPageShift = 12;
+
+using VAddr = uint64_t;
+using PhysPage = uint32_t;
+using ContextId = uint32_t;
+
+inline constexpr ContextId kKernelContextId = 0;
+
+// Page protection bits.
+enum PageProt : uint8_t {
+  kProtNone = 0,
+  kProtRead = 1 << 0,
+  kProtWrite = 1 << 1,
+  kProtReadWrite = kProtRead | kProtWrite,
+};
+
+// A software page-table entry.
+struct Pte {
+  PhysPage phys = 0;
+  uint8_t prot = kProtNone;
+  bool shared = false;       // mapped into more than one context
+  bool io = false;           // I/O-space window (see vmem.h), phys is an io handle
+  bool has_fault_handler = false;
+};
+
+class Context {
+ public:
+  Context(ContextId id, std::string name, Context* parent)
+      : id_(id), name_(std::move(name)), parent_(parent) {}
+
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  ContextId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  Context* parent() const { return parent_; }
+  bool is_kernel() const { return id_ == kKernelContextId; }
+
+  // --- page table (maintained by VirtualMemoryService) ---
+
+  const Pte* Lookup(VAddr vaddr) const {
+    auto it = pages_.find(vaddr >> kPageShift);
+    return it == pages_.end() ? nullptr : &it->second;
+  }
+  Pte* LookupMutable(VAddr vaddr) {
+    auto it = pages_.find(vaddr >> kPageShift);
+    return it == pages_.end() ? nullptr : &it->second;
+  }
+  void Install(VAddr vaddr, Pte pte) { pages_[vaddr >> kPageShift] = pte; }
+  bool Uninstall(VAddr vaddr) { return pages_.erase(vaddr >> kPageShift) > 0; }
+  size_t mapped_pages() const { return pages_.size(); }
+
+  // Bump allocator for virtual addresses; regions are never reused, which
+  // keeps dangling-mapping bugs loud (any access after unmap faults).
+  VAddr AllocateRegion(size_t pages) {
+    VAddr base = next_vaddr_;
+    next_vaddr_ += static_cast<VAddr>(pages) * kPageSize;
+    return base;
+  }
+
+  // --- name-space overrides (§2) ---
+  // Maps an instance path to another path ("control the child objects it
+  // will import"). Consulted by the directory service before the shared
+  // name space; inherited through parent_.
+  void AddOverride(const std::string& path, const std::string& replacement) {
+    overrides_[path] = replacement;
+  }
+  void RemoveOverride(const std::string& path) { overrides_.erase(path); }
+  const std::string* FindOverride(const std::string& path) const {
+    auto it = overrides_.find(path);
+    return it == overrides_.end() ? nullptr : &it->second;
+  }
+  size_t override_count() const { return overrides_.size(); }
+
+ private:
+  ContextId id_;
+  std::string name_;
+  Context* parent_;
+  std::unordered_map<uint64_t, Pte> pages_;  // vpage -> pte
+  VAddr next_vaddr_ = 0x0000'1000'0000;      // leave low range unmapped
+  std::unordered_map<std::string, std::string> overrides_;
+};
+
+}  // namespace para::nucleus
+
+#endif  // PARAMECIUM_SRC_NUCLEUS_CONTEXT_H_

@@ -1,0 +1,172 @@
+#include "src/nucleus/directory.h"
+
+#include "src/base/log.h"
+
+namespace para::nucleus {
+
+Result<std::vector<std::string>> DirectoryService::SplitPath(std::string_view path) {
+  if (path.empty() || path[0] != '/') {
+    return Status(ErrorCode::kInvalidArgument, "paths are absolute");
+  }
+  std::vector<std::string> parts;
+  size_t start = 1;
+  while (start <= path.size()) {
+    size_t end = path.find('/', start);
+    if (end == std::string_view::npos) {
+      end = path.size();
+    }
+    if (end == start) {
+      if (end == path.size()) {
+        break;  // trailing slash
+      }
+      return Status(ErrorCode::kInvalidArgument, "empty path component");
+    }
+    parts.emplace_back(path.substr(start, end - start));
+    start = end + 1;
+  }
+  return parts;
+}
+
+Result<DirectoryService::Node*> DirectoryService::Walk(std::string_view path, bool create) {
+  PARA_ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitPath(path));
+  Node* node = root_.get();
+  for (const std::string& part : parts) {
+    auto it = node->children.find(part);
+    if (it == node->children.end()) {
+      if (!create) {
+        return Status(ErrorCode::kNotFound, "no such name");
+      }
+      it = node->children.emplace(part, std::make_unique<Node>()).first;
+    }
+    node = it->second.get();
+  }
+  return node;
+}
+
+std::string DirectoryService::ResolveOverrides(std::string_view path, Context* client) {
+  std::string current(path);
+  // Bounded: override chains must not loop forever.
+  for (int depth = 0; depth < 8; ++depth) {
+    const std::string* replacement = nullptr;
+    for (Context* c = client; c != nullptr; c = c->parent()) {
+      replacement = c->FindOverride(current);
+      if (replacement != nullptr) {
+        break;
+      }
+    }
+    if (replacement == nullptr) {
+      return current;
+    }
+    ++stats_.override_hits;
+    current = *replacement;
+  }
+  PARA_WARN("override chain too deep for %s", current.c_str());
+  return current;
+}
+
+Status DirectoryService::Register(std::string_view path, obj::Object* object, Context* owner,
+                                  std::unique_ptr<obj::Object> owned) {
+  if (object == nullptr || owner == nullptr) {
+    return Status(ErrorCode::kInvalidArgument, "registration needs an object and a context");
+  }
+  PARA_ASSIGN_OR_RETURN(Node * node, Walk(path, /*create=*/true));
+  if (node->object != nullptr) {
+    return Status(ErrorCode::kAlreadyExists, "name already bound");
+  }
+  node->object = object;
+  node->owner = owner;
+  node->owned = std::move(owned);
+  return OkStatus();
+}
+
+Status DirectoryService::Unregister(std::string_view path) {
+  PARA_ASSIGN_OR_RETURN(Node * node, Walk(path, /*create=*/false));
+  if (node->object == nullptr) {
+    return Status(ErrorCode::kNotFound, "name not bound");
+  }
+  node->object = nullptr;
+  node->owner = nullptr;
+  node->owned.reset();
+  node->proxies.clear();
+  return OkStatus();
+}
+
+Result<obj::Object*> DirectoryService::Lookup(std::string_view path, Context* client) {
+  ++stats_.lookups;
+  std::string resolved = client ? ResolveOverrides(path, client) : std::string(path);
+  PARA_ASSIGN_OR_RETURN(Node * node, Walk(resolved, /*create=*/false));
+  if (node->object == nullptr) {
+    return Status(ErrorCode::kNotFound, "name is a directory");
+  }
+  return node->object;
+}
+
+Result<Binding> DirectoryService::Bind(std::string_view path, Context* client,
+                                       ProxyEngine::Options proxy_options) {
+  if (client == nullptr) {
+    return Status(ErrorCode::kInvalidArgument, "bind needs a client context");
+  }
+  ++stats_.binds;
+  std::string resolved = ResolveOverrides(path, client);
+  PARA_ASSIGN_OR_RETURN(Node * node, Walk(resolved, /*create=*/false));
+  if (node->object == nullptr) {
+    return Status(ErrorCode::kNotFound, "name is a directory");
+  }
+  if (node->owner == client) {
+    return Binding{node->object, /*via_proxy=*/false};
+  }
+  // Cross-domain: materialize (or reuse) a proxy for this client.
+  auto it = node->proxies.find(client->id());
+  if (it == node->proxies.end()) {
+    PARA_ASSIGN_OR_RETURN(
+        std::unique_ptr<obj::Object> proxy,
+        proxies_->CreateProxy(node->object, node->owner, client, std::move(proxy_options)));
+    it = node->proxies.emplace(client->id(), std::move(proxy)).first;
+    ++stats_.proxy_binds;
+  }
+  return Binding{it->second.get(), /*via_proxy=*/true};
+}
+
+Result<obj::Object*> DirectoryService::Replace(std::string_view path, obj::Object* replacement,
+                                               Context* owner,
+                                               std::unique_ptr<obj::Object> owned) {
+  if (replacement == nullptr || owner == nullptr) {
+    return Status(ErrorCode::kInvalidArgument, "replacement needs an object and a context");
+  }
+  PARA_ASSIGN_OR_RETURN(Node * node, Walk(path, /*create=*/false));
+  if (node->object == nullptr) {
+    return Status(ErrorCode::kNotFound, "name not bound");
+  }
+  obj::Object* old = node->object;
+  node->object = replacement;
+  node->owner = owner;
+  node->owned = std::move(owned);  // old owned object (if any) is retired here
+  node->proxies.clear();           // stale proxies must not bypass the interposer
+  ++stats_.interpositions;
+  return old;
+}
+
+Result<std::vector<std::string>> DirectoryService::List(std::string_view path) {
+  PARA_ASSIGN_OR_RETURN(Node * node, Walk(path, /*create=*/false));
+  std::vector<std::string> names;
+  names.reserve(node->children.size());
+  for (const auto& [name, child] : node->children) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+bool DirectoryService::Exists(std::string_view path) {
+  auto node = Walk(path, /*create=*/false);
+  return node.ok() && (*node)->object != nullptr;
+}
+
+Result<Context*> DirectoryService::OwnerOf(std::string_view path) {
+  PARA_ASSIGN_OR_RETURN(Node * node, Walk(path, /*create=*/false));
+  if (node->object == nullptr) {
+    return Status(ErrorCode::kNotFound, "name not bound");
+  }
+  return node->owner;
+}
+
+}  // namespace para::nucleus

@@ -1,0 +1,106 @@
+// Directory service (§2, §3): the hierarchical name space for object
+// instances. "Each object has its own instance name and is registered in a
+// hierarchical name space together with its object handle. This name is used
+// by other objects to bind to it."
+//
+// Features reproduced:
+//  * register / unregister / bind / load-style lookup;
+//  * per-context *overrides*, inherited through the context parent chain
+//    ("each object can provide a set of overrides which allows it to locally
+//    reconfigure its name space");
+//  * *interposition*: replacing the handle at a path so all further lookups
+//    resolve to the interposing agent;
+//  * cross-domain binds materialize a *proxy* (proxy.h).
+#ifndef PARAMECIUM_SRC_NUCLEUS_DIRECTORY_H_
+#define PARAMECIUM_SRC_NUCLEUS_DIRECTORY_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/nucleus/context.h"
+#include "src/nucleus/proxy.h"
+#include "src/obj/object.h"
+
+namespace para::nucleus {
+
+// A bound object handle as returned to a client. `object` is either the
+// target itself (same-domain bind) or a proxy owned by the directory.
+struct Binding {
+  obj::Object* object = nullptr;
+  bool via_proxy = false;
+};
+
+struct DirectoryStats {
+  uint64_t lookups = 0;
+  uint64_t binds = 0;
+  uint64_t proxy_binds = 0;
+  uint64_t override_hits = 0;
+  uint64_t interpositions = 0;
+};
+
+class DirectoryService : public obj::Object {
+ public:
+  explicit DirectoryService(ProxyEngine* proxies) : proxies_(proxies), root_(new Node) {}
+
+  // Registers `object` (living in `owner`) at an absolute path like
+  // "/shared/network". Intermediate directories are created. The directory
+  // does not take ownership unless `owned` is provided.
+  Status Register(std::string_view path, obj::Object* object, Context* owner,
+                  std::unique_ptr<obj::Object> owned = nullptr);
+
+  Status Unregister(std::string_view path);
+
+  // Pure lookup: no proxies, no binding bookkeeping. Override resolution is
+  // applied for `client` (may be null for a raw lookup).
+  Result<obj::Object*> Lookup(std::string_view path, Context* client = nullptr);
+
+  // Binds `client` to the instance at `path`. Same protection domain: the
+  // object itself. Different domain: a (cached) proxy. Overrides of `client`
+  // and its ancestors are honored.
+  Result<Binding> Bind(std::string_view path, Context* client,
+                       ProxyEngine::Options proxy_options = {});
+
+  // Atomically replaces the handle at `path`, returning the previous object
+  // ("replace the object handle in the name space. All further lookups ...
+  // will result in a reference to the interposing agent"). Cached proxies
+  // for the path are invalidated.
+  Result<obj::Object*> Replace(std::string_view path, obj::Object* replacement, Context* owner,
+                               std::unique_ptr<obj::Object> owned = nullptr);
+
+  // Children of a directory node, sorted.
+  Result<std::vector<std::string>> List(std::string_view path);
+
+  bool Exists(std::string_view path);
+
+  // Owner context of the instance at `path`.
+  Result<Context*> OwnerOf(std::string_view path);
+
+  const DirectoryStats& stats() const { return stats_; }
+
+ private:
+  struct Node {
+    std::map<std::string, std::unique_ptr<Node>> children;
+    obj::Object* object = nullptr;
+    Context* owner = nullptr;
+    std::unique_ptr<obj::Object> owned;
+    // Proxy cache: one proxy per client context id.
+    std::map<ContextId, std::unique_ptr<obj::Object>> proxies;
+  };
+
+  static Result<std::vector<std::string>> SplitPath(std::string_view path);
+  Result<Node*> Walk(std::string_view path, bool create);
+  // Applies the override chain of `client` to `path` (bounded depth).
+  std::string ResolveOverrides(std::string_view path, Context* client);
+
+  ProxyEngine* proxies_;
+  std::unique_ptr<Node> root_;
+  DirectoryStats stats_;
+};
+
+}  // namespace para::nucleus
+
+#endif  // PARAMECIUM_SRC_NUCLEUS_DIRECTORY_H_

@@ -1,0 +1,66 @@
+#include "src/nucleus/event.h"
+
+#include "src/base/log.h"
+
+namespace para::nucleus {
+
+EventService::EventService(hw::Machine* machine, threads::PopupEngine* popup)
+    : machine_(machine), popup_(popup), table_(kEventCount) {
+  PARA_CHECK(machine != nullptr && popup != nullptr);
+  machine_->irq().set_delivery_hook([this](int line) { Dispatch(IrqEvent(line), 0); });
+}
+
+Result<uint64_t> EventService::Register(EventNumber event, Context* context,
+                                        EventCallback callback, threads::DispatchMode mode,
+                                        std::string name) {
+  if (event >= kEventCount) {
+    return Status(ErrorCode::kInvalidArgument, "unknown event");
+  }
+  if (context == nullptr || callback == nullptr) {
+    return Status(ErrorCode::kInvalidArgument, "call-back needs a context and a function");
+  }
+  uint64_t id = next_id_++;
+  table_[event].push_back(Entry{id, {context, std::move(callback), mode, std::move(name)}});
+  return id;
+}
+
+Status EventService::Unregister(uint64_t registration_id) {
+  for (auto& entries : table_) {
+    for (auto it = entries.begin(); it != entries.end(); ++it) {
+      if (it->id == registration_id) {
+        entries.erase(it);
+        return OkStatus();
+      }
+    }
+  }
+  return Status(ErrorCode::kNotFound, "no such registration");
+}
+
+void EventService::RaiseTrap(EventNumber trap, uint64_t detail) {
+  PARA_CHECK(trap >= kEventTrapBase && trap < kEventCount);
+  Dispatch(trap, detail);
+}
+
+void EventService::Dispatch(EventNumber event, uint64_t detail) {
+  ++stats_.raised;
+  auto& entries = table_[event];
+  if (entries.empty()) {
+    ++stats_.unhandled;
+    PARA_WARN("unhandled processor event %u (detail 0x%llx)", event,
+              static_cast<unsigned long long>(detail));
+    return;
+  }
+  // Snapshot: a handler may (un)register while running.
+  std::vector<Entry> snapshot = entries;
+  for (const auto& entry : snapshot) {
+    ++stats_.dispatched;
+    const EventRegistration& reg = entry.registration;
+    popup_->Dispatch([cb = reg.callback, event, detail]() { cb(event, detail); }, reg.mode);
+  }
+}
+
+size_t EventService::registration_count(EventNumber event) const {
+  return event < kEventCount ? table_[event].size() : 0;
+}
+
+}  // namespace para::nucleus

@@ -1,0 +1,88 @@
+#include "src/nucleus/nucleus.h"
+
+#include "src/base/log.h"
+
+namespace para::nucleus {
+
+namespace {
+
+// Minimal introspection interface every nucleus service exports, so the
+// kernel composition is inspectable through the object architecture itself.
+const obj::TypeInfo* InfoType() {
+  static const obj::TypeInfo type("paramecium.info", 1, {"kind"});
+  return &type;
+}
+
+// Service kind constants returned by the "kind" method.
+enum ServiceKind : uint64_t {
+  kKindEvents = 1,
+  kKindVmem = 2,
+  kKindDirectory = 3,
+  kKindCertification = 4,
+};
+
+uint64_t KindMethod(void* state, uint64_t, uint64_t, uint64_t, uint64_t) {
+  return *static_cast<const uint64_t*>(state);
+}
+
+}  // namespace
+
+Nucleus::Nucleus(hw::Machine* machine, Config config)
+    : machine_(machine),
+      scheduler_(&machine->clock()),
+      popups_(&scheduler_, config.popup_pool),
+      vmem_(config.physical_pages),
+      events_(machine, &popups_),
+      proxies_(&vmem_),
+      directory_(&proxies_),
+      certification_(std::move(config.authority_key)),
+      loader_(&repository_, &certification_, &directory_) {
+  proxies_.set_current_domain(kernel_context());
+  scheduler_.set_idle_handler([this]() { return machine_->IdleStep(); });
+}
+
+Nucleus::~Nucleus() = default;
+
+Status Nucleus::Boot() {
+  if (booted_) {
+    return Status(ErrorCode::kFailedPrecondition, "already booted");
+  }
+
+  // The nucleus is a composition of its service objects (§2: "the
+  // Paramecium kernel is a composition, composed of objects that manage
+  // interrupts, user contexts, etc.").
+  static const uint64_t kKinds[] = {kKindEvents, kKindVmem, kKindDirectory, kKindCertification};
+  events_.ExportInterface(InfoType(), const_cast<uint64_t*>(&kKinds[0]))
+      ->SetSlot(0, &KindMethod);
+  vmem_.ExportInterface(InfoType(), const_cast<uint64_t*>(&kKinds[1]))->SetSlot(0, &KindMethod);
+  directory_.ExportInterface(InfoType(), const_cast<uint64_t*>(&kKinds[2]))
+      ->SetSlot(0, &KindMethod);
+  certification_.ExportInterface(InfoType(), const_cast<uint64_t*>(&kKinds[3]))
+      ->SetSlot(0, &KindMethod);
+
+  PARA_RETURN_IF_ERROR(AddChildRef("events", &events_));
+  PARA_RETURN_IF_ERROR(AddChildRef("vmem", &vmem_));
+  PARA_RETURN_IF_ERROR(AddChildRef("directory", &directory_));
+  PARA_RETURN_IF_ERROR(AddChildRef("certification", &certification_));
+
+  // Boot name space.
+  Context* kernel = kernel_context();
+  PARA_RETURN_IF_ERROR(directory_.Register("/nucleus/events", &events_, kernel));
+  PARA_RETURN_IF_ERROR(directory_.Register("/nucleus/vmem", &vmem_, kernel));
+  PARA_RETURN_IF_ERROR(directory_.Register("/nucleus/directory", &directory_, kernel));
+  PARA_RETURN_IF_ERROR(directory_.Register("/nucleus/certification", &certification_, kernel));
+  PARA_RETURN_IF_ERROR(directory_.Register("/nucleus/kernel", this, kernel));
+
+  booted_ = true;
+  PARA_INFO("nucleus booted: %zu physical pages, %d irq lines",
+            vmem_.physical_pages(), hw::InterruptController::kNumLines);
+  return OkStatus();
+}
+
+Context* Nucleus::CreateUserContext(const std::string& name, Context* parent) {
+  return vmem_.CreateContext(name, parent == nullptr ? kernel_context() : parent);
+}
+
+void Nucleus::Run() { scheduler_.Run(); }
+
+}  // namespace para::nucleus

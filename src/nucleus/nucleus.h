@@ -1,0 +1,84 @@
+// The Paramecium nucleus: "a protected and trusted component which
+// implements only those services that cannot be moved into the application
+// without jeopardizing the system's integrity" (§3). It is itself a
+// *composition* (§2) — a static one, "currently only used for building the
+// resident part of the kernel" — of the four services: processor event
+// management, memory management, the directory service, and the
+// certification service, plus the component repository/loader they feed.
+//
+// Everything else — thread packages, device drivers, protocol stacks, memory
+// allocators — lives in src/components and is loaded into kernel or user
+// protection domains per configuration.
+#ifndef PARAMECIUM_SRC_NUCLEUS_NUCLEUS_H_
+#define PARAMECIUM_SRC_NUCLEUS_NUCLEUS_H_
+
+#include <memory>
+#include <string>
+
+#include "src/hw/machine.h"
+#include "src/nucleus/cert.h"
+#include "src/nucleus/directory.h"
+#include "src/nucleus/event.h"
+#include "src/nucleus/proxy.h"
+#include "src/nucleus/repository.h"
+#include "src/nucleus/vmem.h"
+#include "src/obj/composition.h"
+#include "src/threads/popup.h"
+#include "src/threads/scheduler.h"
+
+namespace para::nucleus {
+
+class Nucleus : public obj::Composition {
+ public:
+  struct Config {
+    size_t physical_pages = 4096;
+    size_t popup_pool = 8;
+    crypto::RsaPublicKey authority_key;
+  };
+
+  Nucleus(hw::Machine* machine, Config config);
+  ~Nucleus() override;
+
+  // Builds the boot name space (/nucleus/*, /shared, /devices) and registers
+  // the nucleus services as named instances — the kernel is just another
+  // composition whose parts are visible through the directory.
+  Status Boot();
+
+  hw::Machine& machine() { return *machine_; }
+  threads::Scheduler& scheduler() { return scheduler_; }
+  threads::PopupEngine& popups() { return popups_; }
+  VirtualMemoryService& vmem() { return vmem_; }
+  EventService& events() { return events_; }
+  ProxyEngine& proxies() { return proxies_; }
+  DirectoryService& directory() { return directory_; }
+  CertificationService& certification() { return certification_; }
+  ComponentRepository& repository() { return repository_; }
+  ComponentLoader& loader() { return loader_; }
+
+  Context* kernel_context() { return vmem_.kernel_context(); }
+
+  // Creates a user protection domain whose name space (overrides) inherits
+  // from `parent` (kernel context if null).
+  Context* CreateUserContext(const std::string& name, Context* parent = nullptr);
+
+  // Runs the scheduler with the machine as the idle handler until every
+  // thread has finished.
+  void Run();
+
+ private:
+  hw::Machine* machine_;
+  threads::Scheduler scheduler_;
+  threads::PopupEngine popups_;
+  VirtualMemoryService vmem_;
+  EventService events_;
+  ProxyEngine proxies_;
+  DirectoryService directory_;
+  CertificationService certification_;
+  ComponentRepository repository_;
+  ComponentLoader loader_;
+  bool booted_ = false;
+};
+
+}  // namespace para::nucleus
+
+#endif  // PARAMECIUM_SRC_NUCLEUS_NUCLEUS_H_

@@ -1,0 +1,80 @@
+// Cross-domain invocation proxies (§3): "Importing an object from another
+// protection domain, by means of the directory service, causes a proxy to
+// appear. This proxy provides exactly the same set of interfaces as the
+// original object, but each interface entry will cause a page fault when
+// referenced. Control is then transferred to a per page fault handler which
+// will map in arguments into the object's protection domain, switch context,
+// and invoke the actual method. Return values are handled similarly."
+//
+// The model here follows that mechanism literally on the software MMU:
+//  * every proxy slot owns an entry address on a fault-only page in the
+//    client domain with a per-page fault handler installed;
+//  * invoking a slot writes a 5-word argument frame into the client's
+//    argument page, then *faults* on the slot's entry address;
+//  * the fault handler copies the frame into the server domain's argument
+//    page, performs the context switch, invokes the real method, and copies
+//    the return value back.
+// Methods flagged as payload-carrying additionally copy an (a0 = vaddr,
+// a1 = length) buffer across domains, which is what experiment E4 sweeps.
+#ifndef PARAMECIUM_SRC_NUCLEUS_PROXY_H_
+#define PARAMECIUM_SRC_NUCLEUS_PROXY_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/nucleus/vmem.h"
+#include "src/obj/object.h"
+
+namespace para::nucleus {
+
+struct ProxyStats {
+  uint64_t calls = 0;
+  uint64_t faults = 0;
+  uint64_t context_switches = 0;
+  uint64_t payload_bytes = 0;
+};
+
+struct ProxyOptions {
+  // Slots (by interface name + slot index encoded as "iface#slot") whose
+  // a0/a1 arguments are a buffer to copy *into* the callee domain before the
+  // call (input payloads, e.g. a driver's send).
+  std::set<std::string> payload_slots;
+  // Slots whose a0/a1 arguments are an *output* buffer: the callee writes up
+  // to a1 bytes at the (re-homed) a0 and returns the byte count; the proxy
+  // copies that many bytes back into the caller's buffer afterwards —
+  // "return values are handled similarly" (§3).
+  std::set<std::string> out_payload_slots;
+  size_t payload_capacity_pages = 4;
+};
+
+class ProxyEngine {
+ public:
+  explicit ProxyEngine(VirtualMemoryService* vmem) : vmem_(vmem) {}
+
+  using Options = ProxyOptions;
+
+  // Builds a proxy object in `client` for `target`, which lives in `server`.
+  // The proxy exports exactly the interfaces of `target`.
+  Result<std::unique_ptr<obj::Object>> CreateProxy(obj::Object* target, Context* server,
+                                                   Context* client, Options options = {});
+
+  const ProxyStats& stats() const { return stats_; }
+
+  // The protection domain currently executing (context-switch bookkeeping).
+  Context* current_domain() const { return current_domain_; }
+  void set_current_domain(Context* context) { current_domain_ = context; }
+
+ private:
+  friend class ProxyObject;
+
+  VirtualMemoryService* vmem_;
+  ProxyStats stats_;
+  Context* current_domain_ = nullptr;
+};
+
+}  // namespace para::nucleus
+
+#endif  // PARAMECIUM_SRC_NUCLEUS_PROXY_H_

@@ -1,0 +1,205 @@
+#include "src/nucleus/repository.h"
+
+#include "src/base/crc32.h"
+#include "src/base/log.h"
+
+namespace para::nucleus {
+
+namespace {
+
+constexpr uint32_t kImageMagic = 0x50434F4D;  // "PCOM"
+
+void PutU32(std::vector<uint8_t>& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutBlock(std::vector<uint8_t>& out, std::span<const uint8_t> bytes) {
+  PutU32(out, static_cast<uint32_t>(bytes.size()));
+  out.insert(out.end(), bytes.begin(), bytes.end());
+}
+
+void PutString(std::vector<uint8_t>& out, const std::string& s) {
+  PutBlock(out, std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(s.data()), s.size()));
+}
+
+Result<uint32_t> GetU32(std::span<const uint8_t> data, size_t* pos) {
+  if (*pos + 4 > data.size()) {
+    return Status(ErrorCode::kInvalidArgument, "truncated image");
+  }
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= uint32_t{data[*pos + i]} << (8 * i);
+  }
+  *pos += 4;
+  return v;
+}
+
+Result<std::vector<uint8_t>> GetBlock(std::span<const uint8_t> data, size_t* pos) {
+  PARA_ASSIGN_OR_RETURN(uint32_t len, GetU32(data, pos));
+  if (*pos + len > data.size()) {
+    return Status(ErrorCode::kInvalidArgument, "truncated image block");
+  }
+  std::vector<uint8_t> out(data.begin() + *pos, data.begin() + *pos + len);
+  *pos += len;
+  return out;
+}
+
+}  // namespace
+
+std::vector<uint8_t> ComponentImage::Serialize() const {
+  std::vector<uint8_t> body;
+  PutU32(body, kImageMagic);
+  PutString(body, name);
+  PutU32(body, version);
+  PutString(body, factory);
+  PutBlock(body, code);
+  PutBlock(body, certificate);
+  PutU32(body, Crc32(body));  // trailer CRC over everything before it
+  return body;
+}
+
+Result<ComponentImage> ComponentImage::Deserialize(std::span<const uint8_t> bytes) {
+  if (bytes.size() < 8) {
+    return Status(ErrorCode::kInvalidArgument, "image too small");
+  }
+  // CRC check first: corrupt images never get parsed further.
+  size_t crc_pos = bytes.size() - 4;
+  uint32_t stored = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored |= uint32_t{bytes[crc_pos + i]} << (8 * i);
+  }
+  if (Crc32(bytes.subspan(0, crc_pos)) != stored) {
+    return Status(ErrorCode::kInvalidArgument, "image CRC mismatch");
+  }
+
+  size_t pos = 0;
+  PARA_ASSIGN_OR_RETURN(uint32_t magic, GetU32(bytes, &pos));
+  if (magic != kImageMagic) {
+    return Status(ErrorCode::kInvalidArgument, "bad image magic");
+  }
+  ComponentImage image;
+  PARA_ASSIGN_OR_RETURN(std::vector<uint8_t> name_bytes, GetBlock(bytes, &pos));
+  image.name.assign(name_bytes.begin(), name_bytes.end());
+  PARA_ASSIGN_OR_RETURN(image.version, GetU32(bytes, &pos));
+  PARA_ASSIGN_OR_RETURN(std::vector<uint8_t> factory_bytes, GetBlock(bytes, &pos));
+  image.factory.assign(factory_bytes.begin(), factory_bytes.end());
+  PARA_ASSIGN_OR_RETURN(image.code, GetBlock(bytes, &pos));
+  PARA_ASSIGN_OR_RETURN(image.certificate, GetBlock(bytes, &pos));
+  if (pos != crc_pos) {
+    return Status(ErrorCode::kInvalidArgument, "image has trailing bytes");
+  }
+  return image;
+}
+
+std::string ComponentRepository::Key(const std::string& name, uint32_t version) {
+  return name + "@" + std::to_string(version);
+}
+
+Status ComponentRepository::RegisterFactory(const std::string& name, ComponentFactory factory) {
+  if (factory == nullptr) {
+    return Status(ErrorCode::kInvalidArgument, "null factory");
+  }
+  auto [it, inserted] = factories_.emplace(name, std::move(factory));
+  if (!inserted) {
+    return Status(ErrorCode::kAlreadyExists, "factory already registered");
+  }
+  return OkStatus();
+}
+
+Status ComponentRepository::Store(const ComponentImage& image) {
+  if (image.name.empty() || image.factory.empty()) {
+    return Status(ErrorCode::kInvalidArgument, "image needs a name and a factory");
+  }
+  images_[Key(image.name, image.version)] = image.Serialize();
+  auto it = latest_version_.find(image.name);
+  if (it == latest_version_.end() || it->second < image.version) {
+    latest_version_[image.name] = image.version;
+  }
+  return OkStatus();
+}
+
+Result<ComponentImage> ComponentRepository::Fetch(const std::string& name) const {
+  auto it = latest_version_.find(name);
+  if (it == latest_version_.end()) {
+    return Status(ErrorCode::kNotFound, "no such component");
+  }
+  return Fetch(name, it->second);
+}
+
+Result<ComponentImage> ComponentRepository::Fetch(const std::string& name,
+                                                  uint32_t version) const {
+  auto it = images_.find(Key(name, version));
+  if (it == images_.end()) {
+    return Status(ErrorCode::kNotFound, "no such component version");
+  }
+  return ComponentImage::Deserialize(it->second);
+}
+
+std::vector<std::string> ComponentRepository::ListComponents() const {
+  std::vector<std::string> names;
+  for (const auto& [name, version] : latest_version_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+Result<ComponentFactory> ComponentRepository::FindFactory(const std::string& name) const {
+  auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    return Status(ErrorCode::kNotFound, "no such factory");
+  }
+  return it->second;
+}
+
+Result<ComponentLoader::LoadedComponent> ComponentLoader::Load(const std::string& name,
+                                                               Context* target,
+                                                               const std::string& path) {
+  if (target == nullptr) {
+    return Status(ErrorCode::kInvalidArgument, "load needs a target context");
+  }
+  ++stats_.loads;
+  PARA_ASSIGN_OR_RETURN(ComponentImage image, repository_->Fetch(name));
+
+  if (target->is_kernel()) {
+    // "Giving applications the ability to down-load arbitrary code into the
+    // kernel potentially violates [integrity]" — only certified components
+    // may be mapped into the kernel protection domain.
+    if (image.certificate.empty()) {
+      ++stats_.rejected;
+      return Status(ErrorCode::kPermissionDenied, "kernel load requires a certificate");
+    }
+    PARA_ASSIGN_OR_RETURN(Certificate cert, Certificate::Deserialize(image.certificate));
+    if (cert.component_name != image.name || cert.version != image.version) {
+      ++stats_.rejected;
+      return Status(ErrorCode::kCertificateInvalid, "certificate names another component");
+    }
+    Status valid = certification_->ValidateForKernel(cert, image.code);
+    if (!valid.ok()) {
+      ++stats_.rejected;
+      return valid;
+    }
+    ++stats_.kernel_loads;
+  }
+
+  PARA_ASSIGN_OR_RETURN(ComponentFactory factory, repository_->FindFactory(image.factory));
+  std::unique_ptr<obj::Object> instance = factory(target);
+  if (instance == nullptr) {
+    return Status(ErrorCode::kInternal, "factory produced no object");
+  }
+  obj::Object* raw = instance.get();
+  PARA_RETURN_IF_ERROR(directory_->Register(path, raw, target, std::move(instance)));
+  return LoadedComponent{raw, target, path};
+}
+
+Result<Binding> ComponentLoader::BindOrLoad(const std::string& path, const std::string& name,
+                                            Context* home, Context* client,
+                                            ProxyOptions proxy_options) {
+  if (!directory_->Exists(path)) {
+    PARA_RETURN_IF_ERROR(Load(name, home, path).status());
+  }
+  return directory_->Bind(path, client, std::move(proxy_options));
+}
+
+}  // namespace para::nucleus

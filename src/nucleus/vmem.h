@@ -1,0 +1,145 @@
+// Memory-management service (§3): virtual and physical pages, MMU contexts,
+// exclusive/shared allocation, per-page fault call-backs, and I/O-space
+// allocation. This is a *software MMU*: components access memory through
+// Read/Write/ReadU64/WriteU64, which translate through the owning context's
+// page table and deliver faults exactly where real hardware would.
+//
+// Cross-domain invocation (§3 directory service) is built on the per-page
+// fault call-backs this service provides, as in the paper (which cites
+// SPACE's fault-based cross-domain calls).
+#ifndef PARAMECIUM_SRC_NUCLEUS_VMEM_H_
+#define PARAMECIUM_SRC_NUCLEUS_VMEM_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/bitmap.h"
+#include "src/base/status.h"
+#include "src/hw/device.h"
+#include "src/nucleus/context.h"
+#include "src/obj/object.h"
+
+namespace para::nucleus {
+
+// Why a page access faulted.
+enum class FaultKind : uint8_t { kNotPresent, kProtection, kFaultHandler };
+
+struct FaultInfo {
+  Context* context;
+  VAddr vaddr;
+  FaultKind kind;
+  bool write;
+};
+
+// Per-page fault call-back: return OkStatus to retry the access (the handler
+// is expected to have fixed the mapping), anything else to fail the access.
+using FaultHandler = std::function<Status(const FaultInfo&)>;
+
+struct VmemStats {
+  uint64_t pages_allocated = 0;
+  uint64_t pages_freed = 0;
+  uint64_t faults = 0;
+  uint64_t fault_handler_runs = 0;
+  uint64_t shared_mappings = 0;
+  uint64_t io_mappings = 0;
+};
+
+class VirtualMemoryService : public obj::Object {
+ public:
+  // `physical_pages` is the size of the simulated physical memory.
+  explicit VirtualMemoryService(size_t physical_pages);
+
+  // --- context management ---
+  Context* CreateContext(std::string name, Context* parent);
+  Status DestroyContext(Context* context);
+  Context* kernel_context() { return contexts_.front().get(); }
+  Context* FindContext(ContextId id);
+
+  // --- page allocation (§3: "pages can be allocated exclusively or shared
+  // among different protection domains") ---
+
+  // Allocates `count` fresh physical pages and maps them at a fresh virtual
+  // region of `context`. Returns the base virtual address.
+  Result<VAddr> AllocatePages(Context* context, size_t count, uint8_t prot);
+
+  // Maps the physical pages backing [vaddr, vaddr + count*kPageSize) of
+  // `from` into a fresh region of `to` (shared memory). Returns the base
+  // address in `to`.
+  Result<VAddr> SharePages(Context* from, VAddr vaddr, size_t count, Context* to, uint8_t prot);
+
+  // Unmaps; frees physical pages when the last mapping goes away.
+  Status FreePages(Context* context, VAddr vaddr, size_t count);
+
+  Status Protect(Context* context, VAddr vaddr, size_t count, uint8_t prot);
+
+  // Installs a fault call-back on one page ("individual virtual pages can
+  // have fault call-backs associated with them"). The page need not be
+  // mapped: installing a handler on an unmapped address creates a
+  // fault-only PTE — this is what proxies use.
+  Status SetFaultHandler(Context* context, VAddr vaddr, FaultHandler handler);
+  Status ClearFaultHandler(Context* context, VAddr vaddr);
+
+  // Raises a fault on `vaddr` as if the CPU had trapped on it, running the
+  // installed per-page fault handler. Cross-domain proxies use this to model
+  // "each interface entry will cause a page fault when referenced" (§3).
+  Status Fault(Context* context, VAddr vaddr, FaultKind kind, bool write) {
+    return RaiseFault(context, vaddr, kind, write);
+  }
+
+  // --- access through the software MMU ---
+  Status Read(Context* context, VAddr vaddr, std::span<uint8_t> out);
+  Status Write(Context* context, VAddr vaddr, std::span<const uint8_t> data);
+  Result<uint64_t> ReadU64(Context* context, VAddr vaddr);
+  Status WriteU64(Context* context, VAddr vaddr, uint64_t value);
+
+  // Translates to a host pointer (used by trusted kernel-domain code that
+  // has already been certified; bypasses per-access checks).
+  Result<uint8_t*> TranslateForKernel(Context* context, VAddr vaddr, size_t len, bool write);
+
+  // --- I/O space (§3: exclusive register windows, shared device buffers) ---
+
+  // Maps a device register block into `context`. Exclusive: only one context
+  // may hold it. Returns the I/O virtual base; access via ReadIo32/WriteIo32.
+  Result<VAddr> MapDeviceRegisters(Context* context, hw::Device* device);
+  // Maps the device's on-board buffer; shareable across contexts.
+  Result<VAddr> MapDeviceBuffer(Context* context, hw::Device* device, uint8_t prot);
+  Status UnmapIo(Context* context, VAddr vaddr);
+
+  Result<uint32_t> ReadIo32(Context* context, VAddr vaddr);
+  Status WriteIo32(Context* context, VAddr vaddr, uint32_t value);
+
+  const VmemStats& stats() const { return stats_; }
+  size_t free_pages() const;
+  size_t physical_pages() const { return page_refcount_.size(); }
+
+ private:
+  struct IoWindow {
+    hw::Device* device = nullptr;
+    bool registers = false;  // true: register block; false: device buffer
+    Context* exclusive_owner = nullptr;
+    size_t buffer_page_offset = 0;  // byte offset of this window's page in the device buffer
+  };
+
+  // Resolves one page access; runs fault handlers and retries once.
+  Result<Pte*> ResolvePage(Context* context, VAddr vaddr, bool write);
+  Status RaiseFault(Context* context, VAddr vaddr, FaultKind kind, bool write);
+
+  uint8_t* PagePtr(PhysPage page) { return memory_.data() + static_cast<size_t>(page) * kPageSize; }
+
+  std::vector<uint8_t> memory_;            // simulated physical memory
+  Bitmap page_bitmap_;                     // physical allocator
+  std::vector<uint16_t> page_refcount_;    // sharing refcounts
+  std::vector<std::unique_ptr<Context>> contexts_;
+  std::unordered_map<uint64_t, FaultHandler> fault_handlers_;  // (ctx id << 32 | vpage)
+  std::vector<IoWindow> io_windows_;       // indexed by Pte::phys for io PTEs
+  ContextId next_context_id_ = 0;
+  VmemStats stats_;
+};
+
+}  // namespace para::nucleus
+
+#endif  // PARAMECIUM_SRC_NUCLEUS_VMEM_H_

@@ -1,0 +1,104 @@
+#include "src/obj/composition.h"
+
+namespace para::obj {
+
+Composition::ChildEntry* Composition::FindEntry(std::string_view name) {
+  for (auto& entry : children_) {
+    if (entry.name == name) {
+      return &entry;
+    }
+  }
+  return nullptr;
+}
+
+const Composition::ChildEntry* Composition::FindEntry(std::string_view name) const {
+  for (const auto& entry : children_) {
+    if (entry.name == name) {
+      return &entry;
+    }
+  }
+  return nullptr;
+}
+
+Status Composition::AddChild(std::string_view name, std::unique_ptr<Object> child) {
+  if (FindEntry(name) != nullptr) {
+    return Status(ErrorCode::kAlreadyExists, "child name taken");
+  }
+  if (child == nullptr) {
+    return Status(ErrorCode::kInvalidArgument, "null child");
+  }
+  Object* raw = child.get();
+  children_.push_back(ChildEntry{std::string(name), raw, std::move(child)});
+  return OkStatus();
+}
+
+Status Composition::AddChildRef(std::string_view name, Object* child) {
+  if (FindEntry(name) != nullptr) {
+    return Status(ErrorCode::kAlreadyExists, "child name taken");
+  }
+  if (child == nullptr) {
+    return Status(ErrorCode::kInvalidArgument, "null child");
+  }
+  children_.push_back(ChildEntry{std::string(name), child, nullptr});
+  return OkStatus();
+}
+
+Result<std::unique_ptr<Object>> Composition::ReplaceChild(std::string_view name,
+                                                          std::unique_ptr<Object> replacement) {
+  ChildEntry* entry = FindEntry(name);
+  if (entry == nullptr) {
+    return Status(ErrorCode::kNotFound, "no such child");
+  }
+  if (replacement == nullptr) {
+    return Status(ErrorCode::kInvalidArgument, "null replacement");
+  }
+  std::unique_ptr<Object> old = std::move(entry->owned);
+  entry->object = replacement.get();
+  entry->owned = std::move(replacement);
+  return old;  // may be null if the old child was non-owned
+}
+
+Status Composition::RemoveChild(std::string_view name) {
+  for (auto it = children_.begin(); it != children_.end(); ++it) {
+    if (it->name == name) {
+      children_.erase(it);
+      return OkStatus();
+    }
+  }
+  return Status(ErrorCode::kNotFound, "no such child");
+}
+
+Result<Object*> Composition::Child(std::string_view name) const {
+  const ChildEntry* entry = FindEntry(name);
+  if (entry == nullptr) {
+    return Status(ErrorCode::kNotFound, "no such child");
+  }
+  return entry->object;
+}
+
+std::vector<std::string> Composition::ChildNames() const {
+  std::vector<std::string> names;
+  names.reserve(children_.size());
+  for (const auto& entry : children_) {
+    names.push_back(entry.name);
+  }
+  return names;
+}
+
+Status Composition::ReExport(std::string_view child_name, std::string_view interface_name) {
+  ChildEntry* entry = FindEntry(child_name);
+  if (entry == nullptr) {
+    return Status(ErrorCode::kNotFound, "no such child");
+  }
+  auto iface = entry->object->GetInterface(interface_name);
+  if (!iface.ok()) {
+    return iface.status();
+  }
+  // The re-exported interface is a copy whose slots still point at the
+  // child's implementation: invoking through the composition is exactly as
+  // fast as invoking the child directly.
+  ExportInterface(interface_name, **iface);
+  return OkStatus();
+}
+
+}  // namespace para::obj

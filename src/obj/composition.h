@@ -1,0 +1,68 @@
+// Composition (§2): "an ordinary object composed of other object instances.
+// Composition is to objects what objects are to data: an encapsulation
+// technique." The Paramecium kernel itself is a composition of the objects
+// managing interrupts, user contexts, and so on; compositions nest
+// recursively.
+//
+// A composition owns (or references) named child instances and can re-export
+// child interfaces as its own. Children added at construction model *static*
+// composition (link time — how the resident kernel is built); children
+// replaced afterwards model *dynamic* composition (run time — the common
+// form, "it allows for the composing objects to be replaced by new
+// instances").
+#ifndef PARAMECIUM_SRC_OBJ_COMPOSITION_H_
+#define PARAMECIUM_SRC_OBJ_COMPOSITION_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/obj/object.h"
+
+namespace para::obj {
+
+class Composition : public Object {
+ public:
+  Composition() = default;
+
+  // Adds an owned child under `name`. kAlreadyExists when the name is taken.
+  Status AddChild(std::string_view name, std::unique_ptr<Object> child);
+
+  // Adds a non-owned child (static composition over objects with external
+  // lifetime, e.g. nucleus services embedded by value).
+  Status AddChildRef(std::string_view name, Object* child);
+
+  // Replaces the child under `name` with a new instance; returns the old
+  // instance when it was owned so the caller can retire it gracefully.
+  // This is dynamic recomposition (experiment E10).
+  Result<std::unique_ptr<Object>> ReplaceChild(std::string_view name,
+                                               std::unique_ptr<Object> replacement);
+
+  Status RemoveChild(std::string_view name);
+
+  Result<Object*> Child(std::string_view name) const;
+  std::vector<std::string> ChildNames() const;
+  size_t child_count() const { return children_.size(); }
+
+  // Re-exports child `child_name`'s interface `interface_name` as this
+  // composition's own interface — the encapsulation step.
+  Status ReExport(std::string_view child_name, std::string_view interface_name);
+
+ private:
+  struct ChildEntry {
+    std::string name;
+    Object* object;                  // always valid
+    std::unique_ptr<Object> owned;   // null for AddChildRef children
+  };
+
+  ChildEntry* FindEntry(std::string_view name);
+  const ChildEntry* FindEntry(std::string_view name) const;
+
+  std::vector<ChildEntry> children_;
+};
+
+}  // namespace para::obj
+
+#endif  // PARAMECIUM_SRC_OBJ_COMPOSITION_H_

@@ -1,0 +1,23 @@
+#include "src/obj/interface.h"
+
+namespace para::obj {
+
+Result<size_t> TypeInfo::MethodIndex(std::string_view method) const {
+  for (size_t i = 0; i < methods_.size(); ++i) {
+    if (methods_[i] == method) {
+      return i;
+    }
+  }
+  return Status(ErrorCode::kNotFound, "no such method");
+}
+
+Result<uint64_t> Interface::InvokeByName(std::string_view method, uint64_t a0, uint64_t a1,
+                                         uint64_t a2, uint64_t a3) const {
+  if (type_ == nullptr) {
+    return Status(ErrorCode::kFailedPrecondition, "invalid interface");
+  }
+  PARA_ASSIGN_OR_RETURN(size_t index, type_->MethodIndex(method));
+  return Invoke(index, a0, a1, a2, a3);
+}
+
+}  // namespace para::obj

@@ -1,0 +1,121 @@
+// The Paramecium software architecture, §2 of the paper: a programming-
+// language-independent object model whose main abstractions are *object
+// instances* and *named interfaces*.
+//
+// An interface is "a set of methods, state pointers and type information".
+// We model that literally: an Interface is an array of MethodSlots, each
+// carrying a raw function pointer and the state pointer it should be applied
+// to, plus a pointer to the TypeInfo describing the interface type. A slot's
+// state pointer need not belong to the exporting object — that is exactly the
+// paper's *method delegation* ("to support code sharing the architecture
+// supports method delegation").
+//
+// All methods share one language-neutral calling convention:
+//     uint64_t method(void* state, uint64_t a0, uint64_t a1, uint64_t a2, uint64_t a3)
+// Typed C++ wrappers are layered on top (see object.h); cross-domain proxies
+// and interposers operate on the uniform convention.
+#ifndef PARAMECIUM_SRC_OBJ_INTERFACE_H_
+#define PARAMECIUM_SRC_OBJ_INTERFACE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace para::obj {
+
+// Uniform method signature. Arguments wider than four words are passed
+// indirectly (a pointer in a0), matching how the cross-domain proxy maps
+// argument pages.
+using MethodFn = uint64_t (*)(void* state, uint64_t a0, uint64_t a1, uint64_t a2, uint64_t a3);
+
+// Type information for one interface type: a stable name (e.g.
+// "paramecium.device.network"), a version, and the ordered method names.
+// Interface evolution happens by exporting *additional* named interfaces,
+// never by mutating an existing TypeInfo (the paper's RPC-measurement
+// example).
+class TypeInfo {
+ public:
+  TypeInfo(std::string name, uint32_t version, std::vector<std::string> methods)
+      : name_(std::move(name)), version_(version), methods_(std::move(methods)) {}
+
+  const std::string& name() const { return name_; }
+  uint32_t version() const { return version_; }
+  size_t method_count() const { return methods_.size(); }
+  const std::string& method_name(size_t index) const { return methods_[index]; }
+
+  // Slot index for a method name, or kNotFound.
+  Result<size_t> MethodIndex(std::string_view method) const;
+
+ private:
+  std::string name_;
+  uint32_t version_;
+  std::vector<std::string> methods_;
+};
+
+// One entry of an interface: implementation + the state it binds.
+struct MethodSlot {
+  MethodFn fn = nullptr;
+  void* state = nullptr;
+};
+
+// An interface instance as exported by an object. Copyable value type: an
+// interposer copies the original interface and overwrites the slots it
+// reimplements; the rest keep forwarding to the original state (delegation).
+class Interface {
+ public:
+  Interface() = default;
+  Interface(const TypeInfo* type, void* default_state)
+      : type_(type), slots_(type->method_count()) {
+    for (auto& slot : slots_) {
+      slot.state = default_state;
+    }
+  }
+
+  const TypeInfo* type() const { return type_; }
+  bool valid() const { return type_ != nullptr; }
+  size_t slot_count() const { return slots_.size(); }
+
+  void SetSlot(size_t index, MethodFn fn) { slots_[index].fn = fn; }
+  void SetSlot(size_t index, MethodFn fn, void* state) {
+    slots_[index].fn = fn;
+    slots_[index].state = state;
+  }
+  const MethodSlot& slot(size_t index) const { return slots_[index]; }
+
+  // Rebinds every slot's state pointer (used when cloning interfaces into
+  // proxies or delegates).
+  void RebindState(void* state) {
+    for (auto& slot : slots_) {
+      slot.state = state;
+    }
+  }
+
+  // Delegates slot `index` to another interface's implementation of the same
+  // index: this is per-method code sharing.
+  void DelegateSlot(size_t index, const Interface& target) {
+    slots_[index] = target.slots_[index];
+  }
+
+  // Invokes a method by slot index. The indirection cost of this call is what
+  // experiment E1 measures.
+  uint64_t Invoke(size_t index, uint64_t a0 = 0, uint64_t a1 = 0, uint64_t a2 = 0,
+                  uint64_t a3 = 0) const {
+    const MethodSlot& s = slots_[index];
+    return s.fn(s.state, a0, a1, a2, a3);
+  }
+
+  // Invokes a method by name (late-bound form; slower, used by tooling).
+  Result<uint64_t> InvokeByName(std::string_view method, uint64_t a0 = 0, uint64_t a1 = 0,
+                                uint64_t a2 = 0, uint64_t a3 = 0) const;
+
+ private:
+  const TypeInfo* type_ = nullptr;
+  std::vector<MethodSlot> slots_;
+};
+
+}  // namespace para::obj
+
+#endif  // PARAMECIUM_SRC_OBJ_INTERFACE_H_

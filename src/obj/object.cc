@@ -1,0 +1,47 @@
+#include "src/obj/object.h"
+
+namespace para::obj {
+
+Result<Interface*> Object::GetInterface(std::string_view interface_name) {
+  for (auto& [name, iface] : interfaces_) {
+    if (name == interface_name) {
+      return &iface;
+    }
+  }
+  return Status(ErrorCode::kNotFound, "object does not export interface");
+}
+
+const Interface* Object::FindInterface(std::string_view interface_name) const {
+  for (const auto& [name, iface] : interfaces_) {
+    if (name == interface_name) {
+      return &iface;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<std::string> Object::InterfaceNames() const {
+  std::vector<std::string> names;
+  names.reserve(interfaces_.size());
+  for (const auto& [name, iface] : interfaces_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+Interface* Object::ExportInterface(const TypeInfo* type, void* state) {
+  return ExportInterface(type->name(), Interface(type, state));
+}
+
+Interface* Object::ExportInterface(std::string_view name, Interface iface) {
+  for (auto& [existing_name, existing] : interfaces_) {
+    if (existing_name == name) {
+      existing = std::move(iface);
+      return &existing;
+    }
+  }
+  interfaces_.emplace_back(std::string(name), std::move(iface));
+  return &interfaces_.back().second;
+}
+
+}  // namespace para::obj

@@ -1,0 +1,69 @@
+// Objects: "conceptually a collection of methods and instance data. Each
+// object exports one or more named interfaces" (§2). Objects are coarse
+// grained — schedulers, IP layers, device drivers, allocators, matrices.
+#ifndef PARAMECIUM_SRC_OBJ_OBJECT_H_
+#define PARAMECIUM_SRC_OBJ_OBJECT_H_
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/obj/interface.h"
+
+namespace para::obj {
+
+// Base class for every component in the system — OS and application
+// components share this architecture, which is what lets them be
+// interchanged between kernel and user protection domains.
+class Object {
+ public:
+  Object() = default;
+  virtual ~Object() = default;
+
+  Object(const Object&) = delete;
+  Object& operator=(const Object&) = delete;
+
+  // Looks up an exported interface by its type name. This is the standard
+  // "obtain an interface from a given object handle" operation of §2.
+  Result<Interface*> GetInterface(std::string_view interface_name);
+  const Interface* FindInterface(std::string_view interface_name) const;
+
+  // Every interface name this object exports, in export order.
+  std::vector<std::string> InterfaceNames() const;
+
+  bool Exports(std::string_view interface_name) const {
+    return FindInterface(interface_name) != nullptr;
+  }
+
+  // Exports a new interface of the given type with all slots bound to
+  // `state` (typically the implementing object itself). Returns the
+  // interface so the caller can fill its slots. Re-exporting a name replaces
+  // the previous interface (used by interposers).
+  Interface* ExportInterface(const TypeInfo* type, void* state);
+
+  // Exports a pre-built interface value (used by proxies and interposers).
+  Interface* ExportInterface(std::string_view name, Interface iface);
+
+ private:
+  // Insertion-ordered, node-based so Interface* returned from GetInterface
+  // stays valid across later exports. Objects export few interfaces; linear
+  // lookup is fine.
+  std::list<std::pair<std::string, Interface>> interfaces_;
+};
+
+// Thunk<C, &C::Method>() produces a MethodFn that casts `state` to C* and
+// invokes the member. This is the only glue between typed C++ components and
+// the language-neutral slot convention.
+template <typename C, uint64_t (C::*Method)(uint64_t, uint64_t, uint64_t, uint64_t)>
+constexpr MethodFn Thunk() {
+  return [](void* state, uint64_t a0, uint64_t a1, uint64_t a2, uint64_t a3) -> uint64_t {
+    return (static_cast<C*>(state)->*Method)(a0, a1, a2, a3);
+  };
+}
+
+}  // namespace para::obj
+
+#endif  // PARAMECIUM_SRC_OBJ_OBJECT_H_

@@ -1,0 +1,183 @@
+#include "src/sfi/assembler.h"
+
+#include <cctype>
+#include <cstring>
+#include <map>
+#include <sstream>
+
+namespace para::sfi {
+
+namespace {
+
+// Mnemonic table built once from OpName.
+const std::map<std::string, Op>& Mnemonics() {
+  static const std::map<std::string, Op> table = [] {
+    std::map<std::string, Op> t;
+    for (int i = 0; i < static_cast<int>(Op::kOpCount); ++i) {
+      t[OpName(static_cast<Op>(i))] = static_cast<Op>(i);
+    }
+    return t;
+  }();
+  return table;
+}
+
+Result<uint64_t> ParseNumber(const std::string& token) {
+  if (token.empty()) {
+    return Status(ErrorCode::kInvalidArgument, "empty operand");
+  }
+  uint64_t value = 0;
+  if (token.size() > 2 && token[0] == '0' && (token[1] == 'x' || token[1] == 'X')) {
+    for (size_t i = 2; i < token.size(); ++i) {
+      char c = static_cast<char>(std::tolower(token[i]));
+      uint64_t digit;
+      if (c >= '0' && c <= '9') {
+        digit = static_cast<uint64_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        digit = static_cast<uint64_t>(c - 'a' + 10);
+      } else {
+        return Status(ErrorCode::kInvalidArgument, "bad hex digit");
+      }
+      value = value * 16 + digit;
+    }
+    return value;
+  }
+  for (char c : token) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      return Status(ErrorCode::kInvalidArgument, "bad decimal digit");
+    }
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return value;
+}
+
+}  // namespace
+
+void Assembler::Emit(Op op) { code_.push_back(static_cast<uint8_t>(op)); }
+
+void Assembler::EmitPush(uint64_t value) {
+  Emit(Op::kPush);
+  for (int i = 0; i < 8; ++i) {
+    code_.push_back(static_cast<uint8_t>(value >> (8 * i)));
+  }
+}
+
+void Assembler::EmitLdArg(uint8_t index) {
+  Emit(Op::kLdArg);
+  code_.push_back(index);
+}
+
+void Assembler::EmitJump(Op op, const std::string& label) {
+  Emit(op);
+  fixups_.push_back(Fixup{code_.size(), label});
+  for (int i = 0; i < 4; ++i) {
+    code_.push_back(0);
+  }
+}
+
+void Assembler::Label(const std::string& name) { labels_.emplace_back(name, code_.size()); }
+
+void Assembler::EntryPoint() { entries_.push_back(static_cast<uint32_t>(code_.size())); }
+
+Result<Program> Assembler::Finish(size_t memory_bytes) {
+  std::map<std::string, size_t> label_map(labels_.begin(), labels_.end());
+  if (label_map.size() != labels_.size()) {
+    return Status(ErrorCode::kInvalidArgument, "duplicate label");
+  }
+  for (const Fixup& fixup : fixups_) {
+    auto it = label_map.find(fixup.label);
+    if (it == label_map.end()) {
+      return Status(ErrorCode::kNotFound, "undefined label");
+    }
+    // rel32 is relative to the end of the operand (next instruction).
+    int64_t rel = static_cast<int64_t>(it->second) - static_cast<int64_t>(fixup.offset + 4);
+    int32_t rel32 = static_cast<int32_t>(rel);
+    std::memcpy(code_.data() + fixup.offset, &rel32, 4);
+  }
+  Program program;
+  program.code = std::move(code_);
+  program.entry_points = std::move(entries_);
+  if (program.entry_points.empty()) {
+    program.entry_points.push_back(0);  // implicit single entry at offset 0
+  }
+  program.memory_bytes = memory_bytes;
+  return program;
+}
+
+Result<Program> Assembler::Assemble(std::string_view source, size_t memory_bytes) {
+  Assembler assembler;
+  std::istringstream lines{std::string(source)};
+  std::string line;
+  while (std::getline(lines, line)) {
+    // Strip comments and whitespace.
+    size_t semi = line.find(';');
+    if (semi != std::string::npos) {
+      line.resize(semi);
+    }
+    std::istringstream tokens(line);
+    std::string word;
+    if (!(tokens >> word)) {
+      continue;  // blank line
+    }
+    if (word == ".entry") {
+      assembler.EntryPoint();
+      continue;
+    }
+    if (word.back() == ':') {
+      word.pop_back();
+      assembler.Label(word);
+      // A label line may still carry an instruction after it.
+      if (!(tokens >> word)) {
+        continue;
+      }
+    }
+    auto it = Mnemonics().find(word);
+    if (it == Mnemonics().end()) {
+      return Status(ErrorCode::kInvalidArgument, "unknown mnemonic");
+    }
+    Op op = it->second;
+    switch (op) {
+      case Op::kPush: {
+        std::string operand;
+        if (!(tokens >> operand)) {
+          return Status(ErrorCode::kInvalidArgument, "push needs an operand");
+        }
+        PARA_ASSIGN_OR_RETURN(uint64_t value, ParseNumber(operand));
+        assembler.EmitPush(value);
+        break;
+      }
+      case Op::kLdArg: {
+        std::string operand;
+        if (!(tokens >> operand)) {
+          return Status(ErrorCode::kInvalidArgument, "ldarg needs an operand");
+        }
+        PARA_ASSIGN_OR_RETURN(uint64_t index, ParseNumber(operand));
+        if (index > 3) {
+          return Status(ErrorCode::kInvalidArgument, "ldarg index 0..3");
+        }
+        assembler.EmitLdArg(static_cast<uint8_t>(index));
+        break;
+      }
+      case Op::kJmp:
+      case Op::kJz:
+      case Op::kJnz:
+      case Op::kCall: {
+        std::string label;
+        if (!(tokens >> label)) {
+          return Status(ErrorCode::kInvalidArgument, "jump needs a label");
+        }
+        assembler.EmitJump(op, label);
+        break;
+      }
+      default:
+        assembler.Emit(op);
+        break;
+    }
+    std::string extra;
+    if (tokens >> extra) {
+      return Status(ErrorCode::kInvalidArgument, "trailing tokens");
+    }
+  }
+  return assembler.Finish(memory_bytes);
+}
+
+}  // namespace para::sfi

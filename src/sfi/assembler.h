@@ -1,0 +1,54 @@
+// Tiny two-pass assembler for the SFI bytecode. Syntax, one instruction per
+// line:
+//     ; comment
+//     label:
+//     push 42
+//     ldarg 0
+//     jnz loop
+//     .entry method_name      ; marks the next instruction as an entry point
+// Numeric operands are decimal or 0x-hex. Jump/call targets are labels.
+#ifndef PARAMECIUM_SRC_SFI_ASSEMBLER_H_
+#define PARAMECIUM_SRC_SFI_ASSEMBLER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/sfi/isa.h"
+
+namespace para::sfi {
+
+class Assembler {
+ public:
+  // Assembles `source` into a program. Entry points appear in .entry
+  // declaration order. `memory_bytes` sizes the program's data memory.
+  static Result<Program> Assemble(std::string_view source, size_t memory_bytes = 4096);
+
+  // Programmatic emission (used by generators and tests).
+  Assembler() = default;
+
+  void Emit(Op op);
+  void EmitPush(uint64_t value);
+  void EmitLdArg(uint8_t index);
+  void EmitJump(Op op, const std::string& label);  // kJmp/kJz/kJnz/kCall
+  void Label(const std::string& name);
+  void EntryPoint();  // next instruction starts a method
+
+  Result<Program> Finish(size_t memory_bytes = 4096);
+
+ private:
+  struct Fixup {
+    size_t offset;      // where the rel32 lives
+    std::string label;
+  };
+
+  std::vector<uint8_t> code_;
+  std::vector<uint32_t> entries_;
+  std::vector<Fixup> fixups_;
+  std::vector<std::pair<std::string, size_t>> labels_;
+};
+
+}  // namespace para::sfi
+
+#endif  // PARAMECIUM_SRC_SFI_ASSEMBLER_H_

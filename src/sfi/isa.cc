@@ -1,0 +1,63 @@
+#include "src/sfi/isa.h"
+
+namespace para::sfi {
+
+const char* OpName(Op op) {
+  switch (op) {
+    case Op::kHalt: return "halt";
+    case Op::kPush: return "push";
+    case Op::kDrop: return "drop";
+    case Op::kDup: return "dup";
+    case Op::kSwap: return "swap";
+    case Op::kAdd: return "add";
+    case Op::kSub: return "sub";
+    case Op::kMul: return "mul";
+    case Op::kDivU: return "divu";
+    case Op::kRemU: return "remu";
+    case Op::kAnd: return "and";
+    case Op::kOr: return "or";
+    case Op::kXor: return "xor";
+    case Op::kShl: return "shl";
+    case Op::kShr: return "shr";
+    case Op::kEq: return "eq";
+    case Op::kNe: return "ne";
+    case Op::kLtU: return "ltu";
+    case Op::kGtU: return "gtu";
+    case Op::kNot: return "not";
+    case Op::kLoad8: return "load8";
+    case Op::kLoad16: return "load16";
+    case Op::kLoad32: return "load32";
+    case Op::kLoad64: return "load64";
+    case Op::kStore8: return "store8";
+    case Op::kStore16: return "store16";
+    case Op::kStore32: return "store32";
+    case Op::kStore64: return "store64";
+    case Op::kJmp: return "jmp";
+    case Op::kJz: return "jz";
+    case Op::kJnz: return "jnz";
+    case Op::kCall: return "call";
+    case Op::kRet: return "ret";
+    case Op::kLdArg: return "ldarg";
+    case Op::kRetV: return "retv";
+    case Op::kOpCount: return "?";
+  }
+  return "?";
+}
+
+size_t InstructionLength(Op op) {
+  switch (op) {
+    case Op::kPush:
+      return 1 + 8;
+    case Op::kJmp:
+    case Op::kJz:
+    case Op::kJnz:
+    case Op::kCall:
+      return 1 + 4;
+    case Op::kLdArg:
+      return 1 + 1;
+    default:
+      return 1;
+  }
+}
+
+}  // namespace para::sfi

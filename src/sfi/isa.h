@@ -1,0 +1,64 @@
+// Bytecode ISA for the software-fault-isolation baseline.
+//
+// The paper argues (§4, §5) that certification beats the Exo-kernel/SPIN
+// approach — sandboxing (Wahbe et al.) and type-safe languages — because a
+// certificate validated at load time "obviates the need for run time fault
+// checks thus allowing components to be more efficient". To measure that
+// claim (experiment E7) we need an executable artifact whose run-time checks
+// can be switched on and off. This stack VM is that artifact:
+//  * kSandboxed mode bounds-checks every memory access and meters
+//    instructions (the SFI run-time checks);
+//  * kTrusted mode executes the same code with no checks (what a certified
+//    native component gets to do).
+//
+// A program is a flat code array plus a function table (one entry point per
+// exported method slot).
+#ifndef PARAMECIUM_SRC_SFI_ISA_H_
+#define PARAMECIUM_SRC_SFI_ISA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace para::sfi {
+
+enum class Op : uint8_t {
+  kHalt = 0,   // stop; return 0
+  kPush,       // push imm64
+  kDrop,       // pop and discard
+  kDup,        // duplicate top
+  kSwap,       // swap top two
+  kAdd, kSub, kMul, kDivU, kRemU,
+  kAnd, kOr, kXor, kShl, kShr,
+  kEq, kNe, kLtU, kGtU,
+  kNot,        // logical not (0 -> 1, else 0)
+  kLoad8, kLoad16, kLoad32, kLoad64,     // pop addr, push value
+  kStore8, kStore16, kStore32, kStore64, // pop value, pop addr
+  kJmp,        // rel32 unconditional
+  kJz,         // pop; jump if zero
+  kJnz,        // pop; jump if non-zero
+  kCall,       // rel32; pushes return pc on call stack
+  kRet,        // return from call
+  kLdArg,      // push argument u8 (0..3)
+  kRetV,       // pop top of stack, halt with it as the result
+  kOpCount,
+};
+
+struct Program {
+  std::vector<uint8_t> code;
+  std::vector<uint32_t> entry_points;  // per method slot
+  size_t memory_bytes = 4096;
+
+  // Code identity for certification: the raw bytes that get digested.
+  const std::vector<uint8_t>& identity() const { return code; }
+};
+
+// Human-readable opcode name (diagnostics, verifier errors).
+const char* OpName(Op op);
+
+// Byte length of the instruction at `op` (opcode + operands).
+size_t InstructionLength(Op op);
+
+}  // namespace para::sfi
+
+#endif  // PARAMECIUM_SRC_SFI_ISA_H_

@@ -1,0 +1,84 @@
+#include "src/sfi/verifier.h"
+
+#include <cstring>
+#include <set>
+
+namespace para::sfi {
+
+Result<VerifyReport> Verify(const Program& program) {
+  const auto& code = program.code;
+  if (code.empty()) {
+    return Status(ErrorCode::kInvalidArgument, "empty program");
+  }
+
+  // Pass 1: decode linearly, collecting instruction boundaries.
+  VerifyReport report;
+  std::set<size_t> starts;
+  std::vector<std::pair<size_t, int32_t>> jumps;  // (operand offset, rel)
+  size_t pc = 0;
+  while (pc < code.size()) {
+    starts.insert(pc);
+    uint8_t raw = code[pc];
+    if (raw >= static_cast<uint8_t>(Op::kOpCount)) {
+      return Status(ErrorCode::kInvalidArgument, "invalid opcode");
+    }
+    Op op = static_cast<Op>(raw);
+    size_t len = InstructionLength(op);
+    if (pc + len > code.size()) {
+      return Status(ErrorCode::kInvalidArgument, "truncated instruction");
+    }
+    ++report.instructions;
+    switch (op) {
+      case Op::kJmp:
+      case Op::kJz:
+      case Op::kJnz:
+      case Op::kCall: {
+        int32_t rel;
+        std::memcpy(&rel, code.data() + pc + 1, 4);
+        jumps.emplace_back(pc + 1, rel);
+        ++report.jumps;
+        break;
+      }
+      case Op::kLdArg:
+        if (code[pc + 1] > 3) {
+          return Status(ErrorCode::kInvalidArgument, "ldarg index out of range");
+        }
+        break;
+      case Op::kLoad8:
+      case Op::kLoad16:
+      case Op::kLoad32:
+      case Op::kLoad64:
+      case Op::kStore8:
+      case Op::kStore16:
+      case Op::kStore32:
+      case Op::kStore64:
+        ++report.memory_ops;
+        break;
+      default:
+        break;
+    }
+    pc += len;
+  }
+
+  // Pass 2: every jump target must be an instruction start.
+  for (const auto& [operand_offset, rel] : jumps) {
+    int64_t target = static_cast<int64_t>(operand_offset + 4) + rel;
+    if (target < 0 || static_cast<size_t>(target) >= code.size() ||
+        !starts.contains(static_cast<size_t>(target))) {
+      return Status(ErrorCode::kInvalidArgument, "jump to non-instruction");
+    }
+  }
+
+  // Entry points must be instruction starts.
+  for (uint32_t entry : program.entry_points) {
+    if (!starts.contains(entry)) {
+      return Status(ErrorCode::kInvalidArgument, "entry point is not an instruction");
+    }
+  }
+  if (program.entry_points.empty()) {
+    return Status(ErrorCode::kInvalidArgument, "program has no entry points");
+  }
+  return report;
+}
+
+}  // namespace para::sfi

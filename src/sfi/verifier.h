@@ -1,0 +1,26 @@
+// Static verifier for SFI programs. Run once at load time in *both* modes:
+// it guarantees structural sanity (valid opcodes, in-bounds instruction
+// boundaries, jump targets landing on instruction starts, sane entry
+// points). What it deliberately cannot guarantee — memory accesses staying in
+// bounds, termination — is exactly what the sandbox pays per-access and
+// per-instruction run-time checks for, and what certification lets trusted
+// code skip.
+#ifndef PARAMECIUM_SRC_SFI_VERIFIER_H_
+#define PARAMECIUM_SRC_SFI_VERIFIER_H_
+
+#include "src/base/status.h"
+#include "src/sfi/isa.h"
+
+namespace para::sfi {
+
+struct VerifyReport {
+  size_t instructions = 0;
+  size_t jumps = 0;
+  size_t memory_ops = 0;
+};
+
+Result<VerifyReport> Verify(const Program& program);
+
+}  // namespace para::sfi
+
+#endif  // PARAMECIUM_SRC_SFI_VERIFIER_H_

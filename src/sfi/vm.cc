@@ -1,0 +1,303 @@
+#include "src/sfi/vm.h"
+
+#include <cstring>
+
+#include "src/base/log.h"
+
+namespace para::sfi {
+
+namespace {
+size_t RoundUpPow2(size_t v) {
+  size_t p = 1;
+  while (p < v) {
+    p <<= 1;
+  }
+  return p;
+}
+}  // namespace
+
+Vm::Vm(const Program* program, ExecMode mode)
+    // Power-of-two size so trusted mode can mask addresses; +8 bytes of slack
+    // so a masked address near the top can still take a full-width access
+    // without a range branch on the hot path.
+    : program_(program), mode_(mode), memory_(RoundUpPow2(program->memory_bytes) + 8, 0) {
+  PARA_CHECK(program != nullptr);
+}
+
+Result<uint64_t> Vm::Run(size_t method, uint64_t a0, uint64_t a1, uint64_t a2, uint64_t a3) {
+  if (method >= program_->entry_points.size()) {
+    return Status(ErrorCode::kNotFound, "no such entry point");
+  }
+  // Compile-time specialization: the trusted loop contains no trace of the
+  // run-time checks, exactly like certified native code.
+  if (mode_ == ExecMode::kSandboxed) {
+    return RunImpl<true>(method, a0, a1, a2, a3);
+  }
+  return RunImpl<false>(method, a0, a1, a2, a3);
+}
+
+template <bool kSandboxed>
+Result<uint64_t> Vm::RunImpl(size_t method, uint64_t a0, uint64_t a1, uint64_t a2,
+                             uint64_t a3) {
+  const uint8_t* code = program_->code.data();
+  const size_t code_size = program_->code.size();
+  constexpr bool sandboxed = kSandboxed;
+  const size_t mem_size = memory_.size() - 8;  // power of two; 8 bytes of slack beyond
+  uint8_t* mem = memory_.data();
+  (void)code_size;
+  (void)mem_size;
+
+  uint64_t stack[kStackSlots];
+  size_t sp = 0;  // next free slot
+  size_t call_stack[kCallDepth];
+  size_t csp = 0;
+  uint64_t args[4] = {a0, a1, a2, a3};
+  size_t pc = program_->entry_points[method];
+  uint64_t fuel = fuel_;
+
+  // Counters accumulate in locals and flush on scope exit so the hot loop
+  // carries no extra stores.
+  struct CounterFlush {
+    uint64_t instructions = 0;
+    uint64_t checks = 0;
+    uint64_t calls = 0;
+    VmStats* stats;
+    explicit CounterFlush(VmStats* s) : stats(s) {}
+    ~CounterFlush() {
+      stats->instructions += instructions;
+      stats->bounds_checks += checks;
+      stats->calls += calls;
+    }
+  } counters(&stats_);
+
+  auto push = [&](uint64_t v) -> bool {
+    if (sp >= kStackSlots) {
+      return false;
+    }
+    stack[sp++] = v;
+    return true;
+  };
+  auto pop = [&](uint64_t* v) -> bool {
+    if (sp == 0) {
+      return false;
+    }
+    *v = stack[--sp];
+    return true;
+  };
+
+#define VM_PUSH(v)                                                      \
+  do {                                                                  \
+    if (!push(v)) return Status(ErrorCode::kResourceExhausted, "stack overflow"); \
+  } while (0)
+#define VM_POP(v)                                                        \
+  do {                                                                   \
+    if (!pop(v)) return Status(ErrorCode::kFailedPrecondition, "stack underflow"); \
+  } while (0)
+
+  for (;;) {
+    if constexpr (sandboxed) {
+      // The sandbox runs *unverified* code, so every dynamic invariant is a
+      // run-time check: pc in bounds, instruction metering (anti-runaway).
+      // Trusted code was statically verified and certified; it skips all of
+      // this (§4: "all run time checks can then be omitted").
+      if (pc >= code_size) {
+        return Status(ErrorCode::kOutOfRange, "pc out of code");
+      }
+      if (fuel-- == 0) {
+        return Status(ErrorCode::kResourceExhausted, "out of fuel");
+      }
+    }
+    ++counters.instructions;
+    Op op = static_cast<Op>(code[pc]);
+    switch (op) {
+      case Op::kHalt:
+        return uint64_t{0};
+      case Op::kPush: {
+        uint64_t imm;
+        std::memcpy(&imm, code + pc + 1, 8);
+        VM_PUSH(imm);
+        pc += 9;
+        continue;
+      }
+      case Op::kDrop: {
+        uint64_t v;
+        VM_POP(&v);
+        ++pc;
+        continue;
+      }
+      case Op::kDup: {
+        uint64_t v;
+        VM_POP(&v);
+        VM_PUSH(v);
+        VM_PUSH(v);
+        ++pc;
+        continue;
+      }
+      case Op::kSwap: {
+        uint64_t a, b;
+        VM_POP(&a);
+        VM_POP(&b);
+        VM_PUSH(a);
+        VM_PUSH(b);
+        ++pc;
+        continue;
+      }
+#define VM_BINOP(name, expr)          \
+  case Op::name: {                    \
+    uint64_t rhs, lhs;                \
+    VM_POP(&rhs);                     \
+    VM_POP(&lhs);                     \
+    VM_PUSH(expr);                    \
+    ++pc;                             \
+    continue;                         \
+  }
+      VM_BINOP(kAdd, lhs + rhs)
+      VM_BINOP(kSub, lhs - rhs)
+      VM_BINOP(kMul, lhs * rhs)
+      VM_BINOP(kAnd, lhs & rhs)
+      VM_BINOP(kOr, lhs | rhs)
+      VM_BINOP(kXor, lhs ^ rhs)
+      VM_BINOP(kShl, rhs >= 64 ? 0 : lhs << rhs)
+      VM_BINOP(kShr, rhs >= 64 ? 0 : lhs >> rhs)
+      VM_BINOP(kEq, lhs == rhs ? 1 : 0)
+      VM_BINOP(kNe, lhs != rhs ? 1 : 0)
+      VM_BINOP(kLtU, lhs < rhs ? 1 : 0)
+      VM_BINOP(kGtU, lhs > rhs ? 1 : 0)
+#undef VM_BINOP
+      case Op::kDivU: {
+        uint64_t rhs, lhs;
+        VM_POP(&rhs);
+        VM_POP(&lhs);
+        if (rhs == 0) {
+          return Status(ErrorCode::kInvalidArgument, "divide by zero");
+        }
+        VM_PUSH(lhs / rhs);
+        ++pc;
+        continue;
+      }
+      case Op::kRemU: {
+        uint64_t rhs, lhs;
+        VM_POP(&rhs);
+        VM_POP(&lhs);
+        if (rhs == 0) {
+          return Status(ErrorCode::kInvalidArgument, "divide by zero");
+        }
+        VM_PUSH(lhs % rhs);
+        ++pc;
+        continue;
+      }
+      case Op::kNot: {
+        uint64_t v;
+        VM_POP(&v);
+        VM_PUSH(v == 0 ? 1 : 0);
+        ++pc;
+        continue;
+      }
+#define VM_LOAD(name, width)                                                     \
+  case Op::name: {                                                               \
+    uint64_t addr;                                                               \
+    VM_POP(&addr);                                                               \
+    if constexpr (sandboxed) {                                                   \
+      ++counters.checks;                                                    \
+      if (addr + (width) > mem_size) {                                           \
+        return Status(ErrorCode::kOutOfRange, "load out of bounds");             \
+      }                                                                          \
+    }                                                                            \
+    /* trusted mode: raw access — certified code IS trusted with this memory */  \
+    uint64_t value = 0;                                                          \
+    std::memcpy(&value, mem + addr, (width));                                    \
+    VM_PUSH(value);                                                              \
+    ++pc;                                                                        \
+    continue;                                                                    \
+  }
+      VM_LOAD(kLoad8, 1)
+      VM_LOAD(kLoad16, 2)
+      VM_LOAD(kLoad32, 4)
+      VM_LOAD(kLoad64, 8)
+#undef VM_LOAD
+#define VM_STORE(name, width)                                                    \
+  case Op::name: {                                                               \
+    uint64_t value, addr;                                                        \
+    VM_POP(&value);                                                              \
+    VM_POP(&addr);                                                               \
+    if constexpr (sandboxed) {                                                   \
+      ++counters.checks;                                                    \
+      if (addr + (width) > mem_size) {                                           \
+        return Status(ErrorCode::kOutOfRange, "store out of bounds");            \
+      }                                                                          \
+    }                                                                            \
+    std::memcpy(mem + addr, &value, (width));                                    \
+    pc += 1;                                                                     \
+    continue;                                                                    \
+  }
+      VM_STORE(kStore8, 1)
+      VM_STORE(kStore16, 2)
+      VM_STORE(kStore32, 4)
+      VM_STORE(kStore64, 8)
+#undef VM_STORE
+      case Op::kJmp: {
+        int32_t rel;
+        std::memcpy(&rel, code + pc + 1, 4);
+        pc = static_cast<size_t>(static_cast<int64_t>(pc + 5) + rel);
+        if constexpr (sandboxed) {
+          if (pc >= code_size) {
+            return Status(ErrorCode::kOutOfRange, "jump out of code");
+          }
+        }
+        continue;
+      }
+      case Op::kJz: {
+        uint64_t v;
+        VM_POP(&v);
+        int32_t rel;
+        std::memcpy(&rel, code + pc + 1, 4);
+        pc = (v == 0) ? static_cast<size_t>(static_cast<int64_t>(pc + 5) + rel) : pc + 5;
+        continue;
+      }
+      case Op::kJnz: {
+        uint64_t v;
+        VM_POP(&v);
+        int32_t rel;
+        std::memcpy(&rel, code + pc + 1, 4);
+        pc = (v != 0) ? static_cast<size_t>(static_cast<int64_t>(pc + 5) + rel) : pc + 5;
+        continue;
+      }
+      case Op::kCall: {
+        if (csp >= kCallDepth) {
+          return Status(ErrorCode::kResourceExhausted, "call depth exceeded");
+        }
+        ++counters.calls;
+        int32_t rel;
+        std::memcpy(&rel, code + pc + 1, 4);
+        call_stack[csp++] = pc + 5;
+        pc = static_cast<size_t>(static_cast<int64_t>(pc + 5) + rel);
+        continue;
+      }
+      case Op::kRet: {
+        if (csp == 0) {
+          return uint64_t{0};  // return from outermost frame = halt
+        }
+        pc = call_stack[--csp];
+        continue;
+      }
+      case Op::kLdArg: {
+        uint8_t index = code[pc + 1];
+        VM_PUSH(args[index & 3]);
+        pc += 2;
+        continue;
+      }
+      case Op::kRetV: {
+        uint64_t v;
+        VM_POP(&v);
+        return v;
+      }
+      case Op::kOpCount:
+        break;
+    }
+    return Status(ErrorCode::kInvalidArgument, "invalid opcode at runtime");
+  }
+#undef VM_PUSH
+#undef VM_POP
+}
+
+}  // namespace para::sfi

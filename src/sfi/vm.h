@@ -1,0 +1,64 @@
+// The SFI interpreter. Two execution modes (see isa.h):
+//  * kSandboxed — per-access bounds checks + instruction metering: the
+//    run-time cost the Exo-kernel/SPIN-style approach pays forever;
+//  * kTrusted  — no checks: what load-time certification buys (§4).
+#ifndef PARAMECIUM_SRC_SFI_VM_H_
+#define PARAMECIUM_SRC_SFI_VM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/sfi/isa.h"
+
+namespace para::sfi {
+
+enum class ExecMode : uint8_t { kSandboxed, kTrusted };
+
+struct VmStats {
+  uint64_t instructions = 0;
+  uint64_t bounds_checks = 0;
+  uint64_t calls = 0;
+};
+
+class Vm {
+ public:
+  static constexpr size_t kStackSlots = 1024;
+  static constexpr size_t kCallDepth = 256;
+  static constexpr uint64_t kDefaultFuel = 100'000'000;
+
+  Vm(const Program* program, ExecMode mode);
+
+  // Runs entry point `method` with up to four arguments. Returns the value
+  // produced by retv/halt. Sandboxed mode pays every dynamic check (pc
+  // bounds, fuel metering, memory bounds, jump-target validation) and
+  // returns kOutOfRange / kResourceExhausted on violations. Trusted mode
+  // runs with NO run-time checks at all: out-of-bounds access by a trusted
+  // program is undefined behaviour, exactly as it is for certified native
+  // code in the paper's model — which is why only *verified and certified*
+  // programs may be instantiated trusted (SfiComponent enforces the
+  // verifier; the loader enforces the certificate).
+  Result<uint64_t> Run(size_t method, uint64_t a0 = 0, uint64_t a1 = 0, uint64_t a2 = 0,
+                       uint64_t a3 = 0);
+
+  std::vector<uint8_t>& memory() { return memory_; }
+  const VmStats& stats() const { return stats_; }
+  ExecMode mode() const { return mode_; }
+  void set_fuel(uint64_t fuel) { fuel_ = fuel; }
+
+ private:
+  // The interpreter loop, specialized per mode at compile time so trusted
+  // execution carries no residue of the sandbox checks.
+  template <bool kSandboxed>
+  Result<uint64_t> RunImpl(size_t method, uint64_t a0, uint64_t a1, uint64_t a2, uint64_t a3);
+
+  const Program* program_;
+  ExecMode mode_;
+  std::vector<uint8_t> memory_;
+  uint64_t fuel_ = kDefaultFuel;
+  VmStats stats_;
+};
+
+}  // namespace para::sfi
+
+#endif  // PARAMECIUM_SRC_SFI_VM_H_

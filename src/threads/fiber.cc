@@ -1,0 +1,39 @@
+#include "src/threads/fiber.h"
+
+#include "src/base/log.h"
+
+namespace para::threads {
+
+Fiber::Fiber() {
+  // Context will be filled in by the first SwitchFrom(this) performed by
+  // another fiber; getcontext here just initializes the structure.
+  getcontext(&context_);
+  started_ = true;
+}
+
+Fiber::Fiber(std::function<void()> entry, size_t stack_size)
+    : stack_(new uint8_t[stack_size]), entry_(std::move(entry)) {
+  getcontext(&context_);
+  context_.uc_stack.ss_sp = stack_.get();
+  context_.uc_stack.ss_size = stack_size;
+  context_.uc_link = nullptr;  // entry must never return unmanaged
+  // makecontext only passes ints; split the pointer across two words.
+  auto self = reinterpret_cast<uintptr_t>(this);
+  makecontext(&context_, reinterpret_cast<void (*)()>(&Fiber::Trampoline), 2,
+              static_cast<unsigned>(self >> 32), static_cast<unsigned>(self & 0xFFFFFFFFu));
+}
+
+void Fiber::Trampoline(unsigned hi, unsigned lo) {
+  auto self = reinterpret_cast<Fiber*>((static_cast<uintptr_t>(hi) << 32) |
+                                       static_cast<uintptr_t>(lo));
+  self->started_ = true;
+  self->entry_();
+  PARA_PANIC("fiber entry returned without a successor context");
+}
+
+void Fiber::SwitchFrom(Fiber* from) {
+  PARA_CHECK(from != this);
+  swapcontext(&from->context_, &context_);
+}
+
+}  // namespace para::threads

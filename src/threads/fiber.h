@@ -1,0 +1,52 @@
+// Execution contexts for the thread package. A Fiber is a stack plus a saved
+// processor context; SwitchTo transfers control synchronously. Built on
+// ucontext so the whole simulated machine stays inside one host thread —
+// scheduling is cooperative and deterministic, matching a uniprocessor
+// kernel.
+#ifndef PARAMECIUM_SRC_THREADS_FIBER_H_
+#define PARAMECIUM_SRC_THREADS_FIBER_H_
+
+#include <ucontext.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+namespace para::threads {
+
+class Fiber {
+ public:
+  static constexpr size_t kDefaultStackSize = 256 * 1024;
+
+  // A fiber that will run `entry` when first switched to. When `entry`
+  // returns, control passes to the context saved by the last SwitchTo into
+  // this fiber (callers must arrange never to let entry return without a
+  // place to go; the thread package wraps entries accordingly).
+  explicit Fiber(std::function<void()> entry, size_t stack_size = kDefaultStackSize);
+
+  // Wraps the currently-executing host context (the "main" fiber). Owns no
+  // stack.
+  Fiber();
+
+  ~Fiber() = default;
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  // Saves the current context into `from` and resumes this fiber.
+  void SwitchFrom(Fiber* from);
+
+  bool started() const { return started_; }
+
+ private:
+  static void Trampoline(unsigned hi, unsigned lo);
+
+  ucontext_t context_;
+  std::unique_ptr<uint8_t[]> stack_;
+  std::function<void()> entry_;
+  bool started_ = false;
+};
+
+}  // namespace para::threads
+
+#endif  // PARAMECIUM_SRC_THREADS_FIBER_H_

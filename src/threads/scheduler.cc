@@ -1,0 +1,240 @@
+#include "src/threads/scheduler.h"
+
+#include <algorithm>
+
+#include "src/base/log.h"
+#include "src/threads/popup.h"
+
+namespace para::threads {
+
+namespace {
+
+bool HigherPriority(Thread* a, Thread* b) { return a->priority() > b->priority(); }
+
+}  // namespace
+
+Scheduler::Scheduler(VirtualClock* clock) : clock_(clock) { PARA_CHECK(clock != nullptr); }
+
+Scheduler::~Scheduler() {
+  ReapFinished();
+  PARA_CHECK(live_threads_ == 0);
+}
+
+Thread* Scheduler::Spawn(std::string name, Thread::Entry entry, int priority) {
+  PARA_CHECK(priority >= kMinPriority && priority <= kMaxPriority);
+  auto thread = std::unique_ptr<Thread>(
+      new Thread(this, std::move(name), std::move(entry), priority, next_thread_id_++));
+  Thread* raw = thread.get();
+  threads_.push_back(std::move(thread));
+  ++live_threads_;
+  ++stats_.threads_spawned;
+  Enqueue(raw);
+  return raw;
+}
+
+void* Scheduler::CurrentToken() const {
+  if (current_proto_ != nullptr) {
+    return current_proto_;
+  }
+  if (current_ != nullptr) {
+    return current_;
+  }
+  return const_cast<Fiber*>(&main_fiber_);  // the main loop's identity
+}
+
+Thread* Scheduler::EnsureCurrentThread() {
+  if (current_proto_ != nullptr) {
+    return PromoteCurrentProto();
+  }
+  return current_;
+}
+
+Thread* Scheduler::PromoteCurrentProto() {
+  ProtoSlot* slot = current_proto_;
+  PARA_CHECK(slot != nullptr);
+  current_proto_ = nullptr;
+  slot->promoted = true;
+
+  auto thread = std::unique_ptr<Thread>(new Thread(
+      this, "popup-" + std::to_string(next_thread_id_), slot, kInterruptPriority,
+      next_thread_id_));
+  ++next_thread_id_;
+  Thread* raw = thread.get();
+  raw->state_ = ThreadState::kRunning;
+  slot->promoted_thread = raw;
+  threads_.push_back(std::move(thread));
+  ++live_threads_;
+  ++stats_.proto_promotions;
+  // The promoted thread is what is executing right now.
+  current_ = raw;
+  return raw;
+}
+
+void Scheduler::Enqueue(Thread* thread) {
+  thread->state_ = ThreadState::kReady;
+  run_queue_.InsertSorted(thread, HigherPriority);
+}
+
+Thread* Scheduler::PickNext() { return run_queue_.PopFront(); }
+
+void Scheduler::SwitchOut(Thread* thread) {
+  Fiber* target = thread->first_switch_target_;
+  thread->first_switch_target_ = nullptr;
+  if (target == nullptr) {
+    target = &main_fiber_;
+  }
+  ++stats_.context_switches;
+  target->SwitchFrom(thread->fiber_);
+}
+
+void Scheduler::DispatchTo(Thread* thread) {
+  current_ = thread;
+  thread->state_ = ThreadState::kRunning;
+  ++stats_.context_switches;
+  thread->fiber_->SwitchFrom(&main_fiber_);
+  current_ = nullptr;
+}
+
+void Scheduler::Yield() {
+  if (current_proto_ != nullptr) {
+    PromoteCurrentProto();
+  }
+  Thread* thread = current_;
+  if (thread == nullptr) {
+    return;  // main loop: nothing to yield to
+  }
+  Enqueue(thread);
+  SwitchOut(thread);
+}
+
+void Scheduler::Block(Thread::QueueList* wait_queue) {
+  if (current_proto_ != nullptr) {
+    PromoteCurrentProto();
+  }
+  Thread* thread = current_;
+  PARA_CHECK(thread != nullptr);  // the main loop must never block
+  thread->state_ = ThreadState::kBlocked;
+  if (wait_queue != nullptr) {
+    wait_queue->PushBack(thread);
+  }
+  SwitchOut(thread);
+}
+
+void Scheduler::Unblock(Thread* thread) {
+  PARA_CHECK(thread->state_ == ThreadState::kBlocked ||
+             thread->state_ == ThreadState::kSleeping);
+  thread->queue_link_.Unlink();  // leave whatever wait/sleep queue it is on
+  Enqueue(thread);
+}
+
+Thread* Scheduler::WakeOne(Thread::QueueList* wait_queue) {
+  Thread* thread = wait_queue->Front();
+  if (thread == nullptr) {
+    return nullptr;
+  }
+  Unblock(thread);
+  return thread;
+}
+
+void Scheduler::WakeAll(Thread::QueueList* wait_queue) {
+  while (WakeOne(wait_queue) != nullptr) {
+  }
+}
+
+void Scheduler::Sleep(VTime duration) {
+  if (current_proto_ != nullptr) {
+    PromoteCurrentProto();
+  }
+  Thread* thread = current_;
+  if (thread == nullptr) {
+    // Sleeping from the main loop just advances virtual time.
+    clock_->Advance(duration);
+    return;
+  }
+  ++stats_.sleeps;
+  thread->state_ = ThreadState::kSleeping;
+  thread->wake_time_ = clock_->now() + duration;
+  sleep_queue_.InsertSorted(thread,
+                            [](Thread* a, Thread* b) { return a->wake_time_ < b->wake_time_; });
+  SwitchOut(thread);
+}
+
+void Scheduler::Exit() {
+  Thread* thread = current_;
+  PARA_CHECK(thread != nullptr);
+  thread->state_ = ThreadState::kDone;
+  WakeAll(&thread->joiners_);
+  finished_.push_back(thread);
+  PARA_CHECK(live_threads_ > 0);
+  --live_threads_;
+  SwitchOut(thread);
+  PARA_PANIC("finished thread was rescheduled");
+}
+
+void Scheduler::Join(Thread* thread) {
+  PARA_CHECK(thread != current_);
+  while (thread->state_ != ThreadState::kDone) {
+    Block(&thread->joiners_);
+  }
+}
+
+bool Scheduler::WakeDueSleepers() {
+  bool woke = false;
+  while (true) {
+    Thread* sleeper = sleep_queue_.Front();
+    if (sleeper == nullptr || sleeper->wake_time_ > clock_->now()) {
+      break;
+    }
+    sleep_queue_.Remove(sleeper);
+    Enqueue(sleeper);
+    woke = true;
+  }
+  return woke;
+}
+
+void Scheduler::ReapFinished() {
+  for (Thread* done : finished_) {
+    auto it = std::find_if(threads_.begin(), threads_.end(),
+                           [done](const std::unique_ptr<Thread>& t) { return t.get() == done; });
+    PARA_CHECK(it != threads_.end());
+    threads_.erase(it);
+  }
+  finished_.clear();
+}
+
+void Scheduler::RunUntilIdle() {
+  PARA_CHECK(current_ == nullptr && current_proto_ == nullptr);
+  WakeDueSleepers();
+  while (Thread* next = PickNext()) {
+    DispatchTo(next);
+    WakeDueSleepers();
+  }
+  ReapFinished();
+}
+
+void Scheduler::Run() {
+  PARA_CHECK(current_ == nullptr && current_proto_ == nullptr);
+  while (live_threads_ > 0) {
+    ReapFinished();
+    if (Thread* next = PickNext()) {
+      DispatchTo(next);
+      continue;
+    }
+    if (WakeDueSleepers()) {
+      continue;
+    }
+    if (idle_handler_ && idle_handler_()) {
+      continue;
+    }
+    Thread* sleeper = sleep_queue_.Front();
+    if (sleeper != nullptr) {
+      clock_->AdvanceTo(sleeper->wake_time_);
+      WakeDueSleepers();
+      continue;
+    }
+    PARA_PANIC("scheduler deadlock: %zu live threads, none runnable", live_threads_);
+  }
+  ReapFinished();
+}
+
+}  // namespace para::threads

@@ -1,0 +1,129 @@
+// Cooperative priority scheduler over fibers, with the paper's proto-thread
+// promotion built in: code running as a proto-thread (see popup.h) that
+// blocks, sleeps, or yields is transparently turned into a real thread first
+// ("only when the proto-thread is about to block or be rescheduled do we turn
+// it into a real thread", §3).
+#ifndef PARAMECIUM_SRC_THREADS_SCHEDULER_H_
+#define PARAMECIUM_SRC_THREADS_SCHEDULER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/base/vclock.h"
+#include "src/threads/thread.h"
+
+namespace para::threads {
+
+struct SchedulerStats {
+  uint64_t context_switches = 0;
+  uint64_t threads_spawned = 0;
+  uint64_t proto_promotions = 0;
+  uint64_t sleeps = 0;
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(VirtualClock* clock);
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  // Creates a ready thread. The returned pointer stays valid until the thread
+  // finishes AND has been joined or reaped by Run().
+  Thread* Spawn(std::string name, Thread::Entry entry, int priority = kDefaultPriority);
+
+  // The running thread; nullptr while the scheduler main loop (or a
+  // proto-thread, which has no identity yet) is executing.
+  Thread* current() const { return current_; }
+
+  // Opaque identity of the running activity: the Thread*, the ProtoSlot*, or
+  // nullptr for the main loop. Sync primitives use this for ownership.
+  void* CurrentToken() const;
+
+  // Cooperative reschedule. Promotes a running proto-thread.
+  void Yield();
+
+  // Blocks the current activity; if `wait_queue` is non-null the thread is
+  // appended so the waker can find it. Promotes a running proto-thread.
+  void Block(Thread::QueueList* wait_queue = nullptr);
+
+  // Makes a blocked thread ready.
+  void Unblock(Thread* thread);
+
+  // Wakes the first waiter of a queue. Returns it, or nullptr when empty.
+  Thread* WakeOne(Thread::QueueList* wait_queue);
+  void WakeAll(Thread::QueueList* wait_queue);
+
+  // Sleeps for `duration` of virtual time. Promotes a proto-thread.
+  void Sleep(VTime duration);
+
+  // Terminates the current thread. Must be on a thread (or promoted proto).
+  [[noreturn]] void Exit();
+
+  // Blocks until `thread` has finished. The thread is reaped on return.
+  void Join(Thread* thread);
+
+  // Runs ready threads until none are ready (does not advance virtual time).
+  void RunUntilIdle();
+
+  // Runs until every thread has finished, advancing the virtual clock over
+  // sleeps and invoking the idle handler (the machine hook) when nothing is
+  // runnable. Panics on deadlock (nothing runnable, nothing sleeping, idle
+  // handler makes no progress).
+  void Run();
+
+  // Machine hook: called when no thread is runnable; returns true when it
+  // made progress (e.g. delivered a device interrupt that unblocked work).
+  void set_idle_handler(std::function<bool()> handler) { idle_handler_ = std::move(handler); }
+
+  VirtualClock* clock() const { return clock_; }
+  const SchedulerStats& stats() const { return stats_; }
+  size_t live_thread_count() const { return live_threads_; }
+
+  // Returns the current thread, promoting a running proto-thread into a real
+  // thread first. Sync primitives call this before taking ownership of
+  // anything (a lock holder needs a durable identity). Returns nullptr when
+  // called from the scheduler main loop itself.
+  Thread* EnsureCurrentThread();
+
+  bool in_proto() const { return current_proto_ != nullptr; }
+
+ private:
+  friend class PopupEngine;
+
+  // Converts the running proto-thread into a full Thread that adopts the
+  // proto's fiber; the new thread becomes `current_` and its first
+  // switch-out will resume the dispatcher that launched the proto.
+  Thread* PromoteCurrentProto();
+
+  void Enqueue(Thread* thread);
+  Thread* PickNext();
+  // Switches away from `thread` to the scheduler main context, or — for a
+  // freshly-promoted thread — to the dispatcher recorded at promotion.
+  void SwitchOut(Thread* thread);
+  void DispatchTo(Thread* thread);
+  bool WakeDueSleepers();
+  void ReapFinished();
+
+  VirtualClock* clock_;
+  Fiber main_fiber_;                 // the host context running Run()
+  Thread* current_ = nullptr;
+  ProtoSlot* current_proto_ = nullptr;
+
+  Thread::QueueList run_queue_;      // sorted by priority, FIFO within
+  Thread::QueueList sleep_queue_;    // sorted by wake_time_
+  std::vector<std::unique_ptr<Thread>> threads_;  // all live threads
+  std::vector<Thread*> finished_;    // done, pending reap
+  size_t live_threads_ = 0;
+  uint64_t next_thread_id_ = 1;
+  std::function<bool()> idle_handler_;
+  SchedulerStats stats_;
+};
+
+}  // namespace para::threads
+
+#endif  // PARAMECIUM_SRC_THREADS_SCHEDULER_H_

@@ -1,0 +1,76 @@
+#include "src/threads/sync.h"
+
+#include "src/base/log.h"
+
+namespace para::threads {
+
+Mutex::~Mutex() {
+  PARA_CHECK(owner_ == nullptr);
+  PARA_CHECK(waiters_.empty());
+}
+
+void Mutex::Lock() {
+  scheduler_->EnsureCurrentThread();
+  while (owner_ != nullptr) {
+    PARA_CHECK(owner_ != scheduler_->CurrentToken());  // recursive lock is a bug
+    scheduler_->Block(&waiters_);
+  }
+  owner_ = scheduler_->CurrentToken();
+}
+
+bool Mutex::TryLock() {
+  if (owner_ != nullptr) {
+    return false;
+  }
+  scheduler_->EnsureCurrentThread();
+  owner_ = scheduler_->CurrentToken();
+  return true;
+}
+
+void Mutex::Unlock() {
+  PARA_CHECK(owner_ == scheduler_->CurrentToken());
+  owner_ = nullptr;
+  // Hand-off is not direct: the woken waiter re-checks in its Lock loop,
+  // which keeps the invariant simple under priority scheduling.
+  scheduler_->WakeOne(&waiters_);
+}
+
+CondVar::~CondVar() { PARA_CHECK(waiters_.empty()); }
+
+void CondVar::Wait(Mutex* mutex) {
+  // Cooperative scheduler: no preemption between Unlock and Block, so the
+  // release+wait pair is atomic with respect to other threads.
+  scheduler_->EnsureCurrentThread();
+  mutex->Unlock();
+  scheduler_->Block(&waiters_);
+  mutex->Lock();
+}
+
+void CondVar::Signal() { scheduler_->WakeOne(&waiters_); }
+
+void CondVar::Broadcast() { scheduler_->WakeAll(&waiters_); }
+
+Semaphore::~Semaphore() { PARA_CHECK(waiters_.empty()); }
+
+void Semaphore::Down() {
+  scheduler_->EnsureCurrentThread();
+  while (count_ == 0) {
+    scheduler_->Block(&waiters_);
+  }
+  --count_;
+}
+
+bool Semaphore::TryDown() {
+  if (count_ == 0) {
+    return false;
+  }
+  --count_;
+  return true;
+}
+
+void Semaphore::Up() {
+  ++count_;
+  scheduler_->WakeOne(&waiters_);
+}
+
+}  // namespace para::threads

@@ -1,0 +1,88 @@
+// Blocking synchronization primitives over the cooperative scheduler. Any of
+// these called from a proto-thread promote it to a full thread first — taking
+// ownership of shared state requires a durable identity (this is precisely
+// the "about to block" trigger of §3).
+#ifndef PARAMECIUM_SRC_THREADS_SYNC_H_
+#define PARAMECIUM_SRC_THREADS_SYNC_H_
+
+#include <cstdint>
+
+#include "src/threads/scheduler.h"
+
+namespace para::threads {
+
+class Mutex {
+ public:
+  explicit Mutex(Scheduler* scheduler) : scheduler_(scheduler) {}
+  ~Mutex();
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock();
+  // Returns false instead of blocking when the mutex is held.
+  bool TryLock();
+  void Unlock();
+
+  bool held() const { return owner_ != nullptr; }
+
+ private:
+  Scheduler* scheduler_;
+  void* owner_ = nullptr;  // CurrentToken() of the holder
+  Thread::QueueList waiters_;
+};
+
+// RAII guard.
+class MutexGuard {
+ public:
+  explicit MutexGuard(Mutex* mutex) : mutex_(mutex) { mutex_->Lock(); }
+  ~MutexGuard() { mutex_->Unlock(); }
+  MutexGuard(const MutexGuard&) = delete;
+  MutexGuard& operator=(const MutexGuard&) = delete;
+
+ private:
+  Mutex* mutex_;
+};
+
+class CondVar {
+ public:
+  explicit CondVar(Scheduler* scheduler) : scheduler_(scheduler) {}
+  ~CondVar();
+
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // Atomically (w.r.t. the cooperative scheduler) releases `mutex`, waits,
+  // and reacquires it before returning.
+  void Wait(Mutex* mutex);
+  void Signal();
+  void Broadcast();
+
+ private:
+  Scheduler* scheduler_;
+  Thread::QueueList waiters_;
+};
+
+class Semaphore {
+ public:
+  Semaphore(Scheduler* scheduler, int64_t initial) : scheduler_(scheduler), count_(initial) {}
+  ~Semaphore();
+
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  void Down();           // P
+  bool TryDown();
+  void Up();             // V
+
+  int64_t count() const { return count_; }
+
+ private:
+  Scheduler* scheduler_;
+  int64_t count_;
+  Thread::QueueList waiters_;
+};
+
+}  // namespace para::threads
+
+#endif  // PARAMECIUM_SRC_THREADS_SYNC_H_

@@ -1,0 +1,41 @@
+#include "src/threads/thread.h"
+
+#include "src/threads/popup.h"
+#include "src/threads/scheduler.h"
+
+namespace para::threads {
+
+namespace {
+
+// Entry wrapper: a thread whose entry returns must terminate through the
+// scheduler, never fall off its fiber.
+std::function<void()> WrapEntry(Scheduler* scheduler, Thread::Entry entry) {
+  return [scheduler, entry = std::move(entry)]() {
+    entry();
+    scheduler->Exit();
+  };
+}
+
+}  // namespace
+
+Thread::Thread(Scheduler* scheduler, std::string name, Entry entry, int priority, uint64_t id)
+    : scheduler_(scheduler),
+      name_(std::move(name)),
+      priority_(priority),
+      id_(id),
+      owned_fiber_(std::make_unique<Fiber>(WrapEntry(scheduler, std::move(entry)))) {
+  fiber_ = owned_fiber_.get();
+}
+
+Thread::Thread(Scheduler* scheduler, std::string name, ProtoSlot* slot, int priority,
+               uint64_t id)
+    : scheduler_(scheduler),
+      name_(std::move(name)),
+      priority_(priority),
+      id_(id),
+      promoted_(true) {
+  fiber_ = slot->fiber.get();
+  first_switch_target_ = slot->return_to;
+}
+
+}  // namespace para::threads

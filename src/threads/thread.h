@@ -1,0 +1,78 @@
+// Thread objects for the cooperative thread package. The package itself is a
+// *component* in Paramecium terms — it lives outside the nucleus and is bound
+// through the directory service (see components/thread_pkg.*); this header is
+// its implementation.
+#ifndef PARAMECIUM_SRC_THREADS_THREAD_H_
+#define PARAMECIUM_SRC_THREADS_THREAD_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/base/intrusive_list.h"
+#include "src/base/vclock.h"
+#include "src/threads/fiber.h"
+
+namespace para::threads {
+
+class Scheduler;
+class PopupEngine;
+struct ProtoSlot;
+
+enum class ThreadState : uint8_t { kReady, kRunning, kBlocked, kSleeping, kDone };
+
+// Priorities: 0 (lowest) .. 7 (highest). Pop-up threads for interrupts
+// default to high priority.
+inline constexpr int kMinPriority = 0;
+inline constexpr int kMaxPriority = 7;
+inline constexpr int kDefaultPriority = 3;
+inline constexpr int kInterruptPriority = 6;
+
+class Thread {
+ public:
+  using Entry = std::function<void()>;
+
+  const std::string& name() const { return name_; }
+  ThreadState state() const { return state_; }
+  int priority() const { return priority_; }
+  uint64_t id() const { return id_; }
+  bool promoted_from_proto() const { return promoted_; }
+
+ private:
+  friend class Scheduler;
+  friend class PopupEngine;
+
+  // Normal spawn.
+  Thread(Scheduler* scheduler, std::string name, Entry entry, int priority, uint64_t id);
+  // Promotion: adopts the fiber of the currently-running proto-thread. The
+  // slot's storage is transferred by PopupEngine once the dispatcher resumes.
+  Thread(Scheduler* scheduler, std::string name, ProtoSlot* slot, int priority, uint64_t id);
+
+  Scheduler* scheduler_;
+  std::string name_;
+  Entry entry_;
+  int priority_;
+  uint64_t id_;
+  ThreadState state_ = ThreadState::kReady;
+  VTime wake_time_ = 0;  // valid while kSleeping
+  bool promoted_ = false;
+
+  std::unique_ptr<Fiber> owned_fiber_;     // normal threads
+  std::unique_ptr<ProtoSlot> proto_slot_;  // promoted threads, once adopted
+  Fiber* fiber_ = nullptr;                 // execution context, whichever origin
+
+  // A freshly-promoted thread must resume the dispatcher that launched its
+  // proto, not the scheduler main loop, on its first switch-out.
+  Fiber* first_switch_target_ = nullptr;
+
+  ListNode<> queue_link_;  // run/wait/sleep queue membership
+  IntrusiveList<Thread, &Thread::queue_link_> joiners_;
+
+ public:
+  // Exposed for IntrusiveList member-pointer instantiation.
+  using QueueList = IntrusiveList<Thread, &Thread::queue_link_>;
+};
+
+}  // namespace para::threads
+
+#endif  // PARAMECIUM_SRC_THREADS_THREAD_H_

@@ -1,0 +1,122 @@
+#include "src/base/bitmap.h"
+
+#include <gtest/gtest.h>
+
+namespace para {
+namespace {
+
+TEST(BitmapTest, StartsClear) {
+  Bitmap b(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(b.CountSet(), 0u);
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_FALSE(b.Test(i));
+  }
+}
+
+TEST(BitmapTest, SetAndClear) {
+  Bitmap b(70);
+  b.Set(0);
+  b.Set(63);
+  b.Set(64);
+  b.Set(69);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(63));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(69));
+  EXPECT_EQ(b.CountSet(), 4u);
+  b.Clear(63);
+  EXPECT_FALSE(b.Test(63));
+  EXPECT_EQ(b.CountSet(), 3u);
+}
+
+TEST(BitmapTest, RangeOperations) {
+  Bitmap b(128);
+  b.SetRange(10, 20);
+  EXPECT_EQ(b.CountSet(), 20u);
+  EXPECT_FALSE(b.RangeClear(5, 10));
+  EXPECT_TRUE(b.RangeClear(30, 50));
+  b.ClearRange(10, 20);
+  EXPECT_EQ(b.CountSet(), 0u);
+}
+
+TEST(BitmapTest, RangeClearOutOfBounds) {
+  Bitmap b(64);
+  EXPECT_FALSE(b.RangeClear(60, 10));
+}
+
+TEST(BitmapTest, AllocateRunFirstFit) {
+  Bitmap b(64);
+  auto a = b.AllocateRun(8);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(*a, 0u);
+  auto c = b.AllocateRun(8);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, 8u);
+  b.ClearRange(0, 8);
+  auto d = b.AllocateRun(4);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(*d, 0u);  // reuses the freed hole
+}
+
+TEST(BitmapTest, AllocateRunSkipsOccupied) {
+  Bitmap b(32);
+  b.SetRange(0, 4);
+  b.SetRange(6, 2);
+  auto r = b.AllocateRun(3);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 8u);  // hole at 4..5 is too small
+}
+
+TEST(BitmapTest, AllocateRunExhaustion) {
+  Bitmap b(16);
+  ASSERT_TRUE(b.AllocateRun(16).ok());
+  auto r = b.AllocateRun(1);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kResourceExhausted);
+}
+
+TEST(BitmapTest, AllocateRunBadArgs) {
+  Bitmap b(16);
+  EXPECT_FALSE(b.AllocateRun(0).ok());
+  EXPECT_FALSE(b.AllocateRun(17).ok());
+}
+
+TEST(BitmapTest, AllocateRunAcrossWordBoundary) {
+  Bitmap b(128);
+  b.SetRange(0, 60);
+  auto r = b.AllocateRun(10);  // must span the 64-bit word boundary
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 60u);
+  for (size_t i = 60; i < 70; ++i) {
+    EXPECT_TRUE(b.Test(i));
+  }
+}
+
+TEST(BitmapTest, CountSetMasksTailBits) {
+  Bitmap b(65);
+  b.SetRange(0, 65);
+  EXPECT_EQ(b.CountSet(), 65u);
+}
+
+class BitmapRunParamTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BitmapRunParamTest, AllocFreeRoundTrip) {
+  const size_t run = GetParam();
+  Bitmap b(256);
+  auto first = b.AllocateRun(run);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(b.CountSet(), run);
+  b.ClearRange(*first, run);
+  EXPECT_EQ(b.CountSet(), 0u);
+  // Property: after free, the same run is allocatable again at the same spot.
+  auto second = b.AllocateRun(run);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*second, *first);
+}
+
+INSTANTIATE_TEST_SUITE_P(Runs, BitmapRunParamTest,
+                         ::testing::Values(1, 2, 3, 63, 64, 65, 127, 128, 255, 256));
+
+}  // namespace
+}  // namespace para

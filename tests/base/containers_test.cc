@@ -1,0 +1,197 @@
+// Intrusive list, ring buffer, and slab allocator tests.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/base/intrusive_list.h"
+#include "src/base/ring_buffer.h"
+#include "src/base/slab.h"
+
+namespace para {
+namespace {
+
+struct Item {
+  explicit Item(int v) : value(v) {}
+  int value;
+  ListNode<> link;
+};
+
+using ItemList = IntrusiveList<Item, &Item::link>;
+
+TEST(IntrusiveListTest, PushPopFifo) {
+  ItemList list;
+  Item a(1), b(2), c(3);
+  EXPECT_TRUE(list.empty());
+  list.PushBack(&a);
+  list.PushBack(&b);
+  list.PushBack(&c);
+  EXPECT_EQ(list.size(), 3u);
+  EXPECT_EQ(list.PopFront()->value, 1);
+  EXPECT_EQ(list.PopFront()->value, 2);
+  EXPECT_EQ(list.PopFront()->value, 3);
+  EXPECT_EQ(list.PopFront(), nullptr);
+}
+
+TEST(IntrusiveListTest, PushFront) {
+  ItemList list;
+  Item a(1), b(2);
+  list.PushFront(&a);
+  list.PushFront(&b);
+  EXPECT_EQ(list.Front()->value, 2);
+  EXPECT_EQ(list.Back()->value, 1);
+  list.Clear();
+}
+
+TEST(IntrusiveListTest, RemoveMiddle) {
+  ItemList list;
+  Item a(1), b(2), c(3);
+  list.PushBack(&a);
+  list.PushBack(&b);
+  list.PushBack(&c);
+  list.Remove(&b);
+  EXPECT_EQ(list.size(), 2u);
+  EXPECT_EQ(list.PopFront()->value, 1);
+  EXPECT_EQ(list.PopFront()->value, 3);
+  EXPECT_FALSE(b.link.in_list());
+}
+
+TEST(IntrusiveListTest, UnlinkIsIdempotent) {
+  Item a(1);
+  a.link.Unlink();  // unlinked node: no-op
+  ItemList list;
+  list.PushBack(&a);
+  a.link.Unlink();
+  a.link.Unlink();
+  EXPECT_TRUE(list.empty());
+}
+
+TEST(IntrusiveListTest, InsertSortedKeepsOrder) {
+  ItemList list;
+  Item a(5), b(1), c(3), d(3);
+  auto less = [](Item* x, Item* y) { return x->value < y->value; };
+  list.InsertSorted(&a, less);
+  list.InsertSorted(&b, less);
+  list.InsertSorted(&c, less);
+  list.InsertSorted(&d, less);  // equal keys: FIFO within
+  std::vector<int> order;
+  for (Item* item : list) {
+    order.push_back(item->value);
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 3, 5}));
+  // d was inserted after c.
+  list.Remove(&b);
+  EXPECT_EQ(list.PopFront(), &c);
+  EXPECT_EQ(list.PopFront(), &d);
+  list.Clear();
+}
+
+TEST(IntrusiveListTest, Iteration) {
+  ItemList list;
+  Item items[5] = {Item(0), Item(1), Item(2), Item(3), Item(4)};
+  for (auto& item : items) {
+    list.PushBack(&item);
+  }
+  int expected = 0;
+  for (Item* item : list) {
+    EXPECT_EQ(item->value, expected++);
+  }
+  EXPECT_EQ(expected, 5);
+  list.Clear();
+}
+
+TEST(RingBufferTest, PushPop) {
+  RingBuffer<int> ring(4);
+  EXPECT_TRUE(ring.empty());
+  EXPECT_TRUE(ring.Push(1));
+  EXPECT_TRUE(ring.Push(2));
+  EXPECT_EQ(ring.size(), 2u);
+  EXPECT_EQ(*ring.Pop(), 1);
+  EXPECT_EQ(*ring.Pop(), 2);
+  EXPECT_FALSE(ring.Pop().has_value());
+}
+
+TEST(RingBufferTest, FullDropsPush) {
+  RingBuffer<int> ring(4);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(ring.Push(i));
+  }
+  EXPECT_TRUE(ring.full());
+  EXPECT_FALSE(ring.Push(99));
+  EXPECT_EQ(*ring.Pop(), 0);
+  EXPECT_TRUE(ring.Push(4));  // room again
+}
+
+TEST(RingBufferTest, WrapsAround) {
+  RingBuffer<int> ring(4);
+  for (int round = 0; round < 10; ++round) {
+    EXPECT_TRUE(ring.Push(round));
+    EXPECT_EQ(*ring.Pop(), round);
+  }
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(RingBufferTest, FrontPeeks) {
+  RingBuffer<std::string> ring(2);
+  EXPECT_EQ(ring.Front(), nullptr);
+  ring.Push("x");
+  ASSERT_NE(ring.Front(), nullptr);
+  EXPECT_EQ(*ring.Front(), "x");
+  EXPECT_EQ(ring.size(), 1u);  // peek does not consume
+}
+
+TEST(RingBufferTest, ClearEmpties) {
+  RingBuffer<int> ring(8);
+  ring.Push(1);
+  ring.Push(2);
+  ring.Clear();
+  EXPECT_TRUE(ring.empty());
+}
+
+struct Tracked {
+  explicit Tracked(int* counter) : counter_(counter) { ++*counter_; }
+  ~Tracked() { --*counter_; }
+  int* counter_;
+  char payload[24];
+};
+
+TEST(SlabTest, NewDelete) {
+  SlabAllocator<Tracked, 8> slab;
+  int live = 0;
+  Tracked* a = slab.New(&live);
+  Tracked* b = slab.New(&live);
+  EXPECT_EQ(live, 2);
+  EXPECT_EQ(slab.live(), 2u);
+  slab.Delete(a);
+  slab.Delete(b);
+  EXPECT_EQ(live, 0);
+  EXPECT_EQ(slab.live(), 0u);
+}
+
+TEST(SlabTest, ReusesFreedSlots) {
+  SlabAllocator<Tracked, 4> slab;
+  int live = 0;
+  Tracked* a = slab.New(&live);
+  slab.Delete(a);
+  Tracked* b = slab.New(&live);
+  EXPECT_EQ(a, b);  // the freed slot comes back first
+  slab.Delete(b);
+}
+
+TEST(SlabTest, GrowsBeyondOneSlab) {
+  SlabAllocator<Tracked, 4> slab;
+  int live = 0;
+  std::vector<Tracked*> items;
+  for (int i = 0; i < 33; ++i) {
+    items.push_back(slab.New(&live));
+  }
+  EXPECT_EQ(live, 33);
+  EXPECT_GE(slab.capacity(), 33u);
+  for (Tracked* item : items) {
+    slab.Delete(item);
+  }
+  EXPECT_EQ(live, 0);
+}
+
+}  // namespace
+}  // namespace para

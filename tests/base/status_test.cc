@@ -1,0 +1,115 @@
+#include "src/base/status.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace para {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_EQ(s.code_name(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s(ErrorCode::kNotFound, "missing page");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.is(ErrorCode::kNotFound));
+  EXPECT_EQ(s.message(), "missing page");
+  EXPECT_EQ(s.code_name(), "NOT_FOUND");
+}
+
+TEST(StatusTest, EqualityIsByCode) {
+  EXPECT_EQ(Status(ErrorCode::kFault, "a"), Status(ErrorCode::kFault, "b"));
+  EXPECT_FALSE(Status(ErrorCode::kFault) == Status(ErrorCode::kInternal));
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int i = 0; i <= static_cast<int>(ErrorCode::kInternal); ++i) {
+    EXPECT_NE(ErrorCodeName(static_cast<ErrorCode>(i)), "UNKNOWN");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status(ErrorCode::kOutOfRange, "nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kOutOfRange);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, ErrorFromCode) {
+  Result<std::string> r(ErrorCode::kUnavailable);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kUnavailable);
+}
+
+TEST(ResultTest, OkStatusAsErrorBecomesInternal) {
+  Result<int> r{OkStatus()};
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kInternal);
+}
+
+TEST(ResultTest, MoveOnlyTypes) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> taken = std::move(r).value();
+  EXPECT_EQ(*taken, 7);
+}
+
+TEST(ResultTest, CopyAndAssign) {
+  Result<std::string> a(std::string("hello"));
+  Result<std::string> b = a;
+  EXPECT_TRUE(b.ok());
+  EXPECT_EQ(*b, "hello");
+  b = Result<std::string>(Status(ErrorCode::kFault));
+  EXPECT_FALSE(b.ok());
+  b = a;
+  EXPECT_TRUE(b.ok());
+  EXPECT_EQ(*b, "hello");
+}
+
+Result<int> Doubler(Result<int> in) {
+  PARA_ASSIGN_OR_RETURN(int v, in);
+  return v * 2;
+}
+
+Status FailIfNegative(int v) {
+  if (v < 0) {
+    return Status(ErrorCode::kInvalidArgument, "negative");
+  }
+  return OkStatus();
+}
+
+Status Chain(int v) {
+  PARA_RETURN_IF_ERROR(FailIfNegative(v));
+  return OkStatus();
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto ok = Doubler(21);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  auto err = Doubler(Status(ErrorCode::kNotFound));
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), ErrorCode::kNotFound);
+}
+
+TEST(ResultTest, ReturnIfErrorMacro) {
+  EXPECT_TRUE(Chain(1).ok());
+  EXPECT_EQ(Chain(-1).code(), ErrorCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace para

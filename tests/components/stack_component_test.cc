@@ -1,0 +1,164 @@
+// Protocol-stack component placement tests — the E9 configurability story:
+// identical component code bound to the driver directly (same domain) or via
+// a cross-domain proxy.
+#include "src/components/protocol_stack.h"
+
+#include <gtest/gtest.h>
+
+#include "src/components/net_driver.h"
+#include "tests/components/test_fixture.h"
+
+namespace para::components {
+namespace {
+
+using para::testing::NucleusFixture;
+
+class StackComponentTest : public NucleusFixture {
+ protected:
+  void SetUp() override {
+    auto* kernel = nucleus_->kernel_context();
+    auto driver_a = NetDriver::Create(&nucleus_->vmem(), &nucleus_->events(), net_a_, kernel);
+    auto driver_b = NetDriver::Create(&nucleus_->vmem(), &nucleus_->events(), net_b_, kernel);
+    ASSERT_TRUE(driver_a.ok());
+    ASSERT_TRUE(driver_b.ok());
+    driver_a_ = std::move(*driver_a);
+    driver_b_ = std::move(*driver_b);
+    ASSERT_TRUE(nucleus_->directory()
+                    .Register("/shared/net0", driver_a_.get(), kernel)
+                    .ok());
+    ASSERT_TRUE(nucleus_->directory()
+                    .Register("/shared/net1", driver_b_.get(), kernel)
+                    .ok());
+  }
+
+  StackComponent::Deps Deps() {
+    return StackComponent::Deps{&nucleus_->vmem(), &nucleus_->events(),
+                                &nucleus_->directory()};
+  }
+
+  // Sends `text` from one stack component to another and returns what
+  // arrived on `port` at the receiver.
+  std::string RoundTrip(StackComponent* sender, StackComponent* receiver, uint16_t port,
+                        const std::string& text) {
+    auto* vmem = &nucleus_->vmem();
+    auto sbuf = vmem->AllocatePages(sender->home(), 1, nucleus::kProtReadWrite);
+    EXPECT_TRUE(sbuf.ok());
+    EXPECT_TRUE(vmem->Write(sender->home(), *sbuf,
+                            std::span<const uint8_t>(
+                                reinterpret_cast<const uint8_t*>(text.data()), text.size()))
+                    .ok());
+
+    auto siface = sender->GetInterface(StackType()->name());
+    EXPECT_TRUE(siface.ok());
+    auto riface = receiver->GetInterface(StackType()->name());
+    EXPECT_TRUE(riface.ok());
+    EXPECT_EQ((*riface)->Invoke(1, port), 0u);  // bind_port
+
+    net::IpAddr dst = receiver->stack().config().ip;
+    uint64_t ports = (uint64_t{9999} << 16) | port;
+    EXPECT_EQ((*siface)->Invoke(0, dst, ports, *sbuf, text.size()), 0u);
+
+    machine_.Advance(500);
+    Settle();
+
+    auto rbuf = vmem->AllocatePages(receiver->home(), 1, nucleus::kProtReadWrite);
+    EXPECT_TRUE(rbuf.ok());
+    uint64_t len = (*riface)->Invoke(2, port, *rbuf, nucleus::kPageSize);
+    std::string out(len, '\0');
+    EXPECT_TRUE(vmem->Read(receiver->home(), *rbuf,
+                           std::span<uint8_t>(reinterpret_cast<uint8_t*>(out.data()), len))
+                    .ok());
+    return out;
+  }
+
+  std::unique_ptr<NetDriver> driver_a_;
+  std::unique_ptr<NetDriver> driver_b_;
+};
+
+TEST_F(StackComponentTest, InKernelPlacementBindsDirect) {
+  auto stack = StackComponent::Create(Deps(), nucleus_->kernel_context(), "/shared/net0",
+                                      net::StackConfig{0xAAAA, 0x0A000001});
+  ASSERT_TRUE(stack.ok());
+  EXPECT_FALSE((*stack)->bound_via_proxy());
+}
+
+TEST_F(StackComponentTest, UserPlacementBindsViaProxy) {
+  nucleus::Context* user = nucleus_->CreateUserContext("app");
+  auto stack = StackComponent::Create(Deps(), user, "/shared/net0",
+                                      net::StackConfig{0xAAAA, 0x0A000001});
+  ASSERT_TRUE(stack.ok());
+  EXPECT_TRUE((*stack)->bound_via_proxy());
+}
+
+TEST_F(StackComponentTest, KernelToKernelDatagram) {
+  auto* kernel = nucleus_->kernel_context();
+  auto tx = StackComponent::Create(Deps(), kernel, "/shared/net0",
+                                   net::StackConfig{0xAAAA, 0x0A000001});
+  auto rx = StackComponent::Create(Deps(), kernel, "/shared/net1",
+                                   net::StackConfig{0xBBBB, 0x0A000002});
+  ASSERT_TRUE(tx.ok());
+  ASSERT_TRUE(rx.ok());
+  (*tx)->stack().AddNeighbor(0x0A000002, 0xBBBB);
+  (*rx)->stack().AddNeighbor(0x0A000001, 0xAAAA);
+
+  EXPECT_EQ(RoundTrip(tx->get(), rx->get(), 80, "kernel to kernel"), "kernel to kernel");
+  EXPECT_EQ((*tx)->stack().stats().datagrams_out, 1u);
+  EXPECT_EQ((*rx)->stack().stats().datagrams_in, 1u);
+}
+
+TEST_F(StackComponentTest, UserPlacedStackStillMovesDatagrams) {
+  // The same component, placed in a user domain: all driver traffic crosses
+  // the proxy, payload marshalling included.
+  nucleus::Context* user = nucleus_->CreateUserContext("app");
+  auto tx = StackComponent::Create(Deps(), user, "/shared/net0",
+                                   net::StackConfig{0xAAAA, 0x0A000001});
+  auto rx = StackComponent::Create(Deps(), nucleus_->kernel_context(), "/shared/net1",
+                                   net::StackConfig{0xBBBB, 0x0A000002});
+  ASSERT_TRUE(tx.ok());
+  ASSERT_TRUE(rx.ok());
+  (*tx)->stack().AddNeighbor(0x0A000002, 0xBBBB);
+  (*rx)->stack().AddNeighbor(0x0A000001, 0xAAAA);
+
+  uint64_t proxy_calls_before = nucleus_->proxies().stats().calls;
+  EXPECT_EQ(RoundTrip(tx->get(), rx->get(), 80, "via proxy"), "via proxy");
+  EXPECT_GT(nucleus_->proxies().stats().calls, proxy_calls_before);
+  EXPECT_GT(nucleus_->proxies().stats().payload_bytes, 0u);
+}
+
+TEST_F(StackComponentTest, BidirectionalUserStacks) {
+  nucleus::Context* app1 = nucleus_->CreateUserContext("app1");
+  nucleus::Context* app2 = nucleus_->CreateUserContext("app2");
+  auto s1 = StackComponent::Create(Deps(), app1, "/shared/net0",
+                                   net::StackConfig{0xAAAA, 0x0A000001});
+  auto s2 = StackComponent::Create(Deps(), app2, "/shared/net1",
+                                   net::StackConfig{0xBBBB, 0x0A000002});
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  (*s1)->stack().AddNeighbor(0x0A000002, 0xBBBB);
+  (*s2)->stack().AddNeighbor(0x0A000001, 0xAAAA);
+
+  EXPECT_EQ(RoundTrip(s1->get(), s2->get(), 10, "one way"), "one way");
+  EXPECT_EQ(RoundTrip(s2->get(), s1->get(), 11, "other way"), "other way");
+}
+
+TEST_F(StackComponentTest, RecvOnEmptyPortReturnsZero) {
+  auto stack = StackComponent::Create(Deps(), nucleus_->kernel_context(), "/shared/net0",
+                                      net::StackConfig{0xAAAA, 0x0A000001});
+  ASSERT_TRUE(stack.ok());
+  auto iface = (*stack)->GetInterface(StackType()->name());
+  ASSERT_TRUE(iface.ok());
+  EXPECT_EQ((*iface)->Invoke(1, 80), 0u);
+  auto buf = nucleus_->vmem().AllocatePages(nucleus_->kernel_context(), 1,
+                                            nucleus::kProtReadWrite);
+  ASSERT_TRUE(buf.ok());
+  EXPECT_EQ((*iface)->Invoke(2, 80, *buf, nucleus::kPageSize), 0u);
+}
+
+TEST_F(StackComponentTest, MissingDriverPathFails) {
+  auto stack = StackComponent::Create(Deps(), nucleus_->kernel_context(), "/shared/ghost",
+                                      net::StackConfig{0xAAAA, 0x0A000001});
+  EXPECT_FALSE(stack.ok());
+}
+
+}  // namespace
+}  // namespace para::components

@@ -1,0 +1,72 @@
+// Shared fixture: a booted machine + nucleus with a pair of linked network
+// devices, a console, and a timer — the standard testbed for component and
+// integration tests.
+#ifndef PARAMECIUM_TESTS_COMPONENTS_TEST_FIXTURE_H_
+#define PARAMECIUM_TESTS_COMPONENTS_TEST_FIXTURE_H_
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/base/random.h"
+#include "src/hw/console.h"
+#include "src/hw/timer.h"
+#include "src/nucleus/nucleus.h"
+
+namespace para::testing {
+
+class NucleusFixture : public ::testing::Test {
+ protected:
+  static constexpr int kNetAIrq = 4;
+  static constexpr int kNetBIrq = 5;
+  static constexpr int kConsoleIrq = 6;
+  static constexpr int kTimerIrq = 7;
+
+  NucleusFixture() {
+    net_a_ = machine_.AddDevice(std::make_unique<hw::NetworkDevice>("net0", kNetAIrq, 0xAAAA));
+    net_b_ = machine_.AddDevice(std::make_unique<hw::NetworkDevice>("net1", kNetBIrq, 0xBBBB));
+    link_ = machine_.AddLink(hw::NetworkLink::Config{.latency = 100, .loss_rate = 0.0,
+                                                     .seed = 1});
+    link_->Attach(net_a_, net_b_);
+    console_ = machine_.AddDevice(std::make_unique<hw::ConsoleDevice>("con", kConsoleIrq));
+    timer_ = machine_.AddDevice(std::make_unique<hw::TimerDevice>("timer", kTimerIrq));
+
+    nucleus::Nucleus::Config config;
+    config.physical_pages = 512;
+    config.authority_key = AuthorityKeys().public_key;
+    nucleus_ = std::make_unique<nucleus::Nucleus>(&machine_, config);
+    EXPECT_TRUE(nucleus_->Boot().ok());
+  }
+
+  // One authority key pair for the whole test binary (keygen is slow).
+  static const crypto::RsaKeyPair& AuthorityKeys() {
+    static const crypto::RsaKeyPair keys = [] {
+      para::Random rng(0xA07704177);
+      return crypto::GenerateKeyPair(512, rng);
+    }();
+    return keys;
+  }
+
+  // Pumps device events and the scheduler until quiescent.
+  void Settle() {
+    for (int i = 0; i < 64; ++i) {
+      bool progress = machine_.IdleStep();
+      nucleus_->scheduler().RunUntilIdle();
+      if (!progress) {
+        break;
+      }
+    }
+  }
+
+  hw::Machine machine_;
+  hw::NetworkDevice* net_a_ = nullptr;
+  hw::NetworkDevice* net_b_ = nullptr;
+  hw::NetworkLink* link_ = nullptr;
+  hw::ConsoleDevice* console_ = nullptr;
+  hw::TimerDevice* timer_ = nullptr;
+  std::unique_ptr<nucleus::Nucleus> nucleus_;
+};
+
+}  // namespace para::testing
+
+#endif  // PARAMECIUM_TESTS_COMPONENTS_TEST_FIXTURE_H_

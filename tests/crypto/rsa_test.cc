@@ -1,0 +1,107 @@
+#include "src/crypto/rsa.h"
+
+#include <gtest/gtest.h>
+
+#include "src/base/random.h"
+
+namespace para::crypto {
+namespace {
+
+// Key generation is the slow part; share one pair across tests.
+class RsaTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    para::Random rng(0xC0FFEE);
+    keys_ = new RsaKeyPair(GenerateKeyPair(512, rng));
+  }
+  static void TearDownTestSuite() {
+    delete keys_;
+    keys_ = nullptr;
+  }
+
+  static RsaKeyPair* keys_;
+};
+
+RsaKeyPair* RsaTest::keys_ = nullptr;
+
+TEST_F(RsaTest, KeyShape) {
+  EXPECT_EQ(keys_->public_key.modulus.bit_length(), 512u);
+  EXPECT_EQ(keys_->public_key.exponent, BigNum(65537));
+  EXPECT_EQ(keys_->public_key.modulus, keys_->private_key.modulus);
+  EXPECT_EQ(keys_->public_key.modulus_bytes(), 64u);
+}
+
+TEST_F(RsaTest, SignVerifyRoundTrip) {
+  Digest digest = Sha256::HashString("certify me");
+  auto signature = Sign(keys_->private_key, digest);
+  EXPECT_EQ(signature.size(), keys_->public_key.modulus_bytes());
+  EXPECT_TRUE(Verify(keys_->public_key, digest, signature).ok());
+}
+
+TEST_F(RsaTest, TamperedDigestFails) {
+  Digest digest = Sha256::HashString("original");
+  auto signature = Sign(keys_->private_key, digest);
+  Digest other = Sha256::HashString("tampered");
+  auto status = Verify(keys_->public_key, other, signature);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), para::ErrorCode::kCertificateInvalid);
+}
+
+TEST_F(RsaTest, TamperedSignatureFails) {
+  Digest digest = Sha256::HashString("payload");
+  auto signature = Sign(keys_->private_key, digest);
+  signature[10] ^= 0x40;
+  EXPECT_FALSE(Verify(keys_->public_key, digest, signature).ok());
+}
+
+TEST_F(RsaTest, WrongLengthSignatureFails) {
+  Digest digest = Sha256::HashString("payload");
+  auto signature = Sign(keys_->private_key, digest);
+  signature.pop_back();
+  EXPECT_FALSE(Verify(keys_->public_key, digest, signature).ok());
+}
+
+TEST_F(RsaTest, SignatureOutOfRangeFails) {
+  Digest digest = Sha256::HashString("payload");
+  // All-FF "signature" >= modulus must be rejected before exponentiation.
+  std::vector<uint8_t> bogus(keys_->public_key.modulus_bytes(), 0xFF);
+  EXPECT_FALSE(Verify(keys_->public_key, digest, bogus).ok());
+}
+
+TEST_F(RsaTest, WrongKeyFails) {
+  para::Random rng(0xBEEF);
+  RsaKeyPair other = GenerateKeyPair(512, rng);
+  Digest digest = Sha256::HashString("payload");
+  auto signature = Sign(keys_->private_key, digest);
+  EXPECT_FALSE(Verify(other.public_key, digest, signature).ok());
+}
+
+TEST_F(RsaTest, FingerprintStableAndDistinct) {
+  para::Random rng(0xDEAD);
+  RsaKeyPair other = GenerateKeyPair(512, rng);
+  EXPECT_TRUE(DigestEqual(keys_->public_key.Fingerprint(), keys_->public_key.Fingerprint()));
+  EXPECT_FALSE(DigestEqual(keys_->public_key.Fingerprint(), other.public_key.Fingerprint()));
+}
+
+TEST_F(RsaTest, DeterministicSignatures) {
+  Digest digest = Sha256::HashString("same input");
+  EXPECT_EQ(Sign(keys_->private_key, digest), Sign(keys_->private_key, digest));
+}
+
+TEST(RsaKeygenTest, DistinctSeedsDistinctKeys) {
+  para::Random rng1(1), rng2(2);
+  RsaKeyPair a = GenerateKeyPair(256, rng1);
+  RsaKeyPair b = GenerateKeyPair(256, rng2);
+  EXPECT_NE(a.public_key.modulus, b.public_key.modulus);
+}
+
+TEST(RsaKeygenTest, SmallKeysWork) {
+  // 384 bits is the smallest modulus that fits the padded SHA-256 block.
+  para::Random rng(99);
+  RsaKeyPair keys = GenerateKeyPair(384, rng);
+  Digest digest = Sha256::HashString("x");
+  EXPECT_TRUE(Verify(keys.public_key, digest, Sign(keys.private_key, digest)).ok());
+}
+
+}  // namespace
+}  // namespace para::crypto

@@ -1,0 +1,105 @@
+#include "src/crypto/sha256.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "src/base/hexdump.h"
+
+namespace para::crypto {
+namespace {
+
+std::string HashHex(const std::string& input) {
+  return para::HexEncode(Sha256::HashString(input));
+}
+
+// FIPS 180-4 / NIST CAVS known-answer vectors.
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(HashHex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(HashHex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(HashHex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) {
+    h.Update(std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(chunk.data()),
+                                      chunk.size()));
+  }
+  EXPECT_EQ(para::HexEncode(h.Finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, PaddingBoundaries) {
+  // NIST vector: 64 'a's (exactly one block; padding spills to a second).
+  EXPECT_EQ(HashHex(std::string(64, 'a')),
+            "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb");
+  // 55 and 56 bytes straddle the one-block padding cutoff.
+  EXPECT_NE(HashHex(std::string(55, 'x')), HashHex(std::string(56, 'x')));
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  std::string msg = "the quick brown fox jumps over the lazy dog";
+  for (size_t split = 0; split <= msg.size(); split += 7) {
+    Sha256 h;
+    auto first = std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(msg.data()), split);
+    auto rest = std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(msg.data()) + split,
+                                         msg.size() - split);
+    h.Update(first);
+    h.Update(rest);
+    EXPECT_EQ(h.Finish(), Sha256::HashString(msg)) << "split at " << split;
+  }
+}
+
+TEST(Sha256Test, ReuseAfterFinish) {
+  Sha256 h;
+  h.Update(std::span<const uint8_t>(reinterpret_cast<const uint8_t*>("abc"), 3));
+  Digest first = h.Finish();
+  h.Update(std::span<const uint8_t>(reinterpret_cast<const uint8_t*>("abc"), 3));
+  Digest second = h.Finish();
+  EXPECT_EQ(first, second);
+}
+
+TEST(Sha256Test, DigestEqualConstantTimeSemantics) {
+  Digest a = Sha256::HashString("one");
+  Digest b = a;
+  EXPECT_TRUE(DigestEqual(a, b));
+  b[31] ^= 1;
+  EXPECT_FALSE(DigestEqual(a, b));
+  b[31] ^= 1;
+  b[0] ^= 0x80;
+  EXPECT_FALSE(DigestEqual(a, b));
+}
+
+class Sha256LengthSweep : public ::testing::TestWithParam<size_t> {};
+
+// Property: every input length hashes without error and differs from the
+// hash of a one-byte-flipped sibling (weak collision sanity).
+TEST_P(Sha256LengthSweep, FlipChangesDigest) {
+  size_t len = GetParam();
+  std::string msg(len, 'q');
+  Digest base = Sha256::HashString(msg);
+  if (len == 0) {
+    SUCCEED();
+    return;
+  }
+  msg[len / 2] = 'r';
+  EXPECT_FALSE(DigestEqual(base, Sha256::HashString(msg)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, Sha256LengthSweep,
+                         ::testing::Values(0, 1, 31, 32, 55, 56, 63, 64, 65, 127, 128, 1000));
+
+}  // namespace
+}  // namespace para::crypto

@@ -1,0 +1,283 @@
+// Simulated-hardware tests: interrupt controller, timer, network, console,
+// machine event loop.
+#include "src/hw/machine.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/hw/console.h"
+#include "src/hw/timer.h"
+
+namespace para::hw {
+namespace {
+
+TEST(IrqTest, RaiseDeliversWhenEnabled) {
+  InterruptController irq;
+  std::vector<int> delivered;
+  irq.set_delivery_hook([&](int line) { delivered.push_back(line); });
+  irq.Raise(3);
+  EXPECT_EQ(delivered, (std::vector<int>{3}));
+  EXPECT_EQ(irq.pending(), 0u);
+}
+
+TEST(IrqTest, MaskedLineStaysPending) {
+  InterruptController irq;
+  std::vector<int> delivered;
+  irq.set_delivery_hook([&](int line) { delivered.push_back(line); });
+  irq.Mask(5);
+  irq.Raise(5);
+  EXPECT_TRUE(delivered.empty());
+  EXPECT_TRUE(irq.line_pending(5));
+  irq.Unmask(5);
+  EXPECT_EQ(delivered, (std::vector<int>{5}));
+}
+
+TEST(IrqTest, DisabledInterruptsQueue) {
+  InterruptController irq;
+  std::vector<int> delivered;
+  irq.set_delivery_hook([&](int line) { delivered.push_back(line); });
+  irq.DisableInterrupts();
+  irq.Raise(1);
+  irq.Raise(2);
+  EXPECT_TRUE(delivered.empty());
+  irq.EnableInterrupts();
+  EXPECT_EQ(delivered, (std::vector<int>{1, 2}));
+}
+
+TEST(IrqTest, NoNestedDelivery) {
+  InterruptController irq;
+  std::vector<int> delivered;
+  irq.set_delivery_hook([&](int line) {
+    delivered.push_back(line);
+    if (line == 0) {
+      irq.Raise(1);  // raised from within a handler: delivered after, not nested
+      EXPECT_EQ(delivered.size(), 1u);
+    }
+  });
+  irq.Raise(0);
+  EXPECT_EQ(delivered, (std::vector<int>{0, 1}));
+}
+
+TEST(IrqTest, LowestLineFirst) {
+  InterruptController irq;
+  std::vector<int> delivered;
+  irq.set_delivery_hook([&](int line) { delivered.push_back(line); });
+  irq.DisableInterrupts();
+  irq.Raise(7);
+  irq.Raise(2);
+  irq.Raise(31);
+  irq.EnableInterrupts();
+  EXPECT_EQ(delivered, (std::vector<int>{2, 7, 31}));
+}
+
+TEST(TimerTest, OneShotFires) {
+  Machine machine;
+  auto* timer = machine.AddDevice(std::make_unique<TimerDevice>("timer0", 0));
+  int fired = 0;
+  machine.irq().set_delivery_hook([&](int) { ++fired; });
+  timer->Program(1000, /*periodic=*/false);
+  machine.Advance(999);
+  EXPECT_EQ(fired, 0);
+  machine.Advance(1);
+  EXPECT_EQ(fired, 1);
+  machine.Advance(5000);
+  EXPECT_EQ(fired, 1);  // one-shot
+  EXPECT_EQ(timer->expirations(), 1u);
+}
+
+TEST(TimerTest, PeriodicFiresRepeatedly) {
+  Machine machine;
+  auto* timer = machine.AddDevice(std::make_unique<TimerDevice>("timer0", 0));
+  int fired = 0;
+  machine.irq().set_delivery_hook([&](int) { ++fired; });
+  timer->Program(100, /*periodic=*/true);
+  machine.Advance(1000);
+  EXPECT_EQ(fired, 10);
+  timer->Stop();
+  machine.Advance(1000);
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(TimerTest, CountRegistersTrackExpirations) {
+  Machine machine;
+  auto* timer = machine.AddDevice(std::make_unique<TimerDevice>("timer0", 0));
+  timer->Program(10, true);
+  machine.Advance(55);
+  EXPECT_EQ(timer->ReadReg(TimerDevice::kRegCountLo), 5u);
+}
+
+class NetPairTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    a_ = machine_.AddDevice(std::make_unique<NetworkDevice>("netA", 4, 0xAAAA));
+    b_ = machine_.AddDevice(std::make_unique<NetworkDevice>("netB", 5, 0xBBBB));
+    link_ = machine_.AddLink(NetworkLink::Config{.latency = 100, .loss_rate = 0.0, .seed = 1});
+    link_->Attach(a_, b_);
+    a_->WriteReg(NetworkDevice::kRegCtrl, NetworkDevice::kCtrlEnable);
+    b_->WriteReg(NetworkDevice::kRegCtrl,
+                 NetworkDevice::kCtrlEnable | NetworkDevice::kCtrlRxIrqEnable);
+  }
+
+  void Transmit(NetworkDevice* dev, const std::string& payload) {
+    std::memcpy(dev->device_buffer().data() + NetworkDevice::kTxAreaOffset, payload.data(),
+                payload.size());
+    dev->WriteReg(NetworkDevice::kRegTxLen, static_cast<uint32_t>(payload.size()));
+  }
+
+  std::string ReceiveAt(NetworkDevice* dev) {
+    uint32_t len = dev->ReadReg(NetworkDevice::kRegRxLen);
+    std::string out(len, '\0');
+    std::memcpy(out.data(), dev->device_buffer().data() + NetworkDevice::kRxAreaOffset, len);
+    dev->WriteReg(NetworkDevice::kRegRxLen, 1);  // ack
+    return out;
+  }
+
+  Machine machine_;
+  NetworkDevice* a_;
+  NetworkDevice* b_;
+  NetworkLink* link_;
+};
+
+TEST_F(NetPairTest, FrameTraversesLinkWithLatency) {
+  int rx_irqs = 0;
+  machine_.irq().set_delivery_hook([&](int line) {
+    if (line == 5) {
+      ++rx_irqs;
+    }
+  });
+  Transmit(a_, "hello");
+  EXPECT_EQ(link_->in_flight(), 1u);
+  machine_.Advance(99);
+  EXPECT_EQ(rx_irqs, 0);
+  machine_.Advance(1);
+  EXPECT_EQ(rx_irqs, 1);
+  EXPECT_EQ(ReceiveAt(b_), "hello");
+  EXPECT_EQ(a_->frames_sent(), 1u);
+  EXPECT_EQ(b_->frames_received(), 1u);
+}
+
+TEST_F(NetPairTest, BidirectionalTraffic) {
+  Transmit(a_, "ping");
+  Transmit(b_, "pong");
+  machine_.Advance(200);
+  EXPECT_EQ(ReceiveAt(b_), "ping");
+  EXPECT_EQ(ReceiveAt(a_), "pong");
+}
+
+TEST_F(NetPairTest, RxQueueBuffersBurst) {
+  for (int i = 0; i < 5; ++i) {
+    Transmit(a_, std::string(1, static_cast<char>('0' + i)));
+  }
+  machine_.Advance(200);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(ReceiveAt(b_), std::string(1, static_cast<char>('0' + i)));
+  }
+}
+
+TEST_F(NetPairTest, OverflowDropsFrames) {
+  // RX area (1) + queue depth: flood beyond it without acking.
+  for (size_t i = 0; i < NetworkDevice::kRxQueueDepth + 10; ++i) {
+    Transmit(a_, "x");
+    machine_.Advance(150);
+  }
+  EXPECT_GT(b_->frames_dropped(), 0u);
+}
+
+TEST_F(NetPairTest, DisabledDeviceDropsRx) {
+  b_->WriteReg(NetworkDevice::kRegCtrl, 0);
+  Transmit(a_, "lost");
+  machine_.Advance(200);
+  EXPECT_EQ(b_->frames_received(), 0u);
+  EXPECT_EQ(b_->frames_dropped(), 1u);
+}
+
+TEST(NetLinkTest, LossyLinkDropsDeterministically) {
+  Machine machine;
+  auto* a = machine.AddDevice(std::make_unique<NetworkDevice>("a", 4, 1));
+  auto* b = machine.AddDevice(std::make_unique<NetworkDevice>("b", 5, 2));
+  auto* link =
+      machine.AddLink(NetworkLink::Config{.latency = 10, .loss_rate = 0.5, .seed = 7});
+  link->Attach(a, b);
+  a->WriteReg(NetworkDevice::kRegCtrl, NetworkDevice::kCtrlEnable);
+  b->WriteReg(NetworkDevice::kRegCtrl, NetworkDevice::kCtrlEnable);
+  for (int i = 0; i < 100; ++i) {
+    std::memset(a->device_buffer().data() + NetworkDevice::kTxAreaOffset, 'z', 8);
+    a->WriteReg(NetworkDevice::kRegTxLen, 8);
+    machine.Advance(20);
+    // Drain to avoid overflow drops polluting the loss count.
+    if (b->ReadReg(NetworkDevice::kRegStatus) & NetworkDevice::kStatusRxAvailable) {
+      b->WriteReg(NetworkDevice::kRegRxLen, 1);
+    }
+  }
+  EXPECT_GT(link->frames_lost(), 25u);
+  EXPECT_LT(link->frames_lost(), 75u);
+  EXPECT_EQ(link->frames_lost() + b->frames_received(), 100u);
+}
+
+TEST(ConsoleTest, OutputAccumulates) {
+  Machine machine;
+  auto* console = machine.AddDevice(std::make_unique<ConsoleDevice>("con", 6));
+  console->WriteReg(ConsoleDevice::kRegCtrl, ConsoleDevice::kCtrlEnable);
+  for (char c : std::string("boot ok")) {
+    console->WriteReg(ConsoleDevice::kRegData, static_cast<uint32_t>(c));
+  }
+  EXPECT_EQ(console->output(), "boot ok");
+}
+
+TEST(ConsoleTest, DisabledConsoleSwallowsOutput) {
+  Machine machine;
+  auto* console = machine.AddDevice(std::make_unique<ConsoleDevice>("con", 6));
+  console->WriteReg(ConsoleDevice::kRegData, 'x');
+  EXPECT_TRUE(console->output().empty());
+}
+
+TEST(ConsoleTest, InputRaisesIrqAndDrains) {
+  Machine machine;
+  auto* console = machine.AddDevice(std::make_unique<ConsoleDevice>("con", 6));
+  int irqs = 0;
+  machine.irq().set_delivery_hook([&](int) { ++irqs; });
+  console->WriteReg(ConsoleDevice::kRegCtrl,
+                    ConsoleDevice::kCtrlEnable | ConsoleDevice::kCtrlInputIrqEnable);
+  console->InjectInput("ab");
+  EXPECT_EQ(irqs, 1);
+  EXPECT_EQ(console->ReadReg(ConsoleDevice::kRegStatus), ConsoleDevice::kStatusInputAvailable);
+  EXPECT_EQ(console->ReadReg(ConsoleDevice::kRegData), uint32_t{'a'});
+  EXPECT_EQ(console->ReadReg(ConsoleDevice::kRegData), uint32_t{'b'});
+  EXPECT_EQ(console->ReadReg(ConsoleDevice::kRegStatus), 0u);
+  EXPECT_EQ(console->ReadReg(ConsoleDevice::kRegData), 0u);  // empty
+}
+
+TEST(MachineTest, FindDevice) {
+  Machine machine;
+  machine.AddDevice(std::make_unique<ConsoleDevice>("con", 6));
+  EXPECT_NE(machine.FindDevice("con"), nullptr);
+  EXPECT_EQ(machine.FindDevice("nope"), nullptr);
+}
+
+TEST(MachineTest, NextEventTimeTracksEarliest) {
+  Machine machine;
+  auto* t1 = machine.AddDevice(std::make_unique<TimerDevice>("t1", 0));
+  auto* t2 = machine.AddDevice(std::make_unique<TimerDevice>("t2", 1));
+  EXPECT_FALSE(machine.NextEventTime().has_value());
+  t1->Program(500, false);
+  t2->Program(200, false);
+  ASSERT_TRUE(machine.NextEventTime().has_value());
+  EXPECT_EQ(*machine.NextEventTime(), 200u);
+}
+
+TEST(MachineTest, IdleStepJumpsToNextEvent) {
+  Machine machine;
+  auto* timer = machine.AddDevice(std::make_unique<TimerDevice>("t", 0));
+  int fired = 0;
+  machine.irq().set_delivery_hook([&](int) { ++fired; });
+  timer->Program(1000, false);
+  EXPECT_TRUE(machine.IdleStep());  // jumps to t=1000 and fires
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(machine.clock().now(), 1000u);
+  EXPECT_FALSE(machine.IdleStep());  // nothing left
+}
+
+}  // namespace
+}  // namespace para::hw

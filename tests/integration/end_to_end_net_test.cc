@@ -1,0 +1,225 @@
+// Integration: the §1 motivating scenario end to end — a shared network
+// driver, protocol stacks in different protection domains, an interposing
+// monitor installed by name-space replacement, and the packet-snooping trust
+// demonstration that motivates certification.
+#include <gtest/gtest.h>
+
+#include "src/components/interposer.h"
+#include "src/components/net_driver.h"
+#include "src/components/protocol_stack.h"
+#include "tests/components/test_fixture.h"
+
+namespace para {
+namespace {
+
+using namespace para::components;  // NOLINT
+using para::testing::NucleusFixture;
+
+class EndToEndNetTest : public NucleusFixture {
+ protected:
+  void SetUp() override {
+    auto* kernel = nucleus_->kernel_context();
+    auto a = NetDriver::Create(&nucleus_->vmem(), &nucleus_->events(), net_a_, kernel);
+    auto b = NetDriver::Create(&nucleus_->vmem(), &nucleus_->events(), net_b_, kernel);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    driver_a_ = std::move(*a);
+    driver_b_ = std::move(*b);
+    ASSERT_TRUE(
+        nucleus_->directory().Register("/shared/net0", driver_a_.get(), kernel).ok());
+    ASSERT_TRUE(
+        nucleus_->directory().Register("/shared/net1", driver_b_.get(), kernel).ok());
+  }
+
+  StackComponent::Deps Deps() {
+    return StackComponent::Deps{&nucleus_->vmem(), &nucleus_->events(),
+                                &nucleus_->directory()};
+  }
+
+  Status SendText(StackComponent* stack, net::IpAddr dst, uint16_t port,
+                  const std::string& text) {
+    auto buf = nucleus_->vmem().AllocatePages(stack->home(), 1, nucleus::kProtReadWrite);
+    if (!buf.ok()) {
+      return buf.status();
+    }
+    PARA_RETURN_IF_ERROR(nucleus_->vmem().Write(
+        stack->home(), *buf,
+        std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(text.data()),
+                                 text.size())));
+    auto iface = stack->GetInterface(StackType()->name());
+    if (!iface.ok()) {
+      return iface.status();
+    }
+    uint64_t ports = (uint64_t{7777} << 16) | port;
+    return (*iface)->Invoke(0, dst, ports, *buf, text.size()) == 0
+               ? OkStatus()
+               : Status(ErrorCode::kUnavailable, "send failed");
+  }
+
+  std::string RecvText(StackComponent* stack, uint16_t port) {
+    auto buf = nucleus_->vmem().AllocatePages(stack->home(), 1, nucleus::kProtReadWrite);
+    EXPECT_TRUE(buf.ok());
+    auto iface = stack->GetInterface(StackType()->name());
+    EXPECT_TRUE(iface.ok());
+    uint64_t len = (*iface)->Invoke(2, port, *buf, nucleus::kPageSize);
+    std::string out(len, '\0');
+    EXPECT_TRUE(nucleus_->vmem().Read(
+        stack->home(), *buf,
+        std::span<uint8_t>(reinterpret_cast<uint8_t*>(out.data()), len)).ok());
+    return out;
+  }
+
+  std::unique_ptr<NetDriver> driver_a_;
+  std::unique_ptr<NetDriver> driver_b_;
+};
+
+TEST_F(EndToEndNetTest, MonitoringInterposerOnSharedDriver) {
+  // Build the §2 monitoring tool: wrap /shared/net0 in a CallMonitor and
+  // replace the name-space handle; the stack binds afterwards and cannot
+  // tell the difference.
+  auto monitor = CallMonitor::Wrap(driver_a_.get());
+  CallMonitor* monitor_raw = monitor.get();
+  auto old = nucleus_->directory().Replace("/shared/net0", monitor_raw,
+                                           nucleus_->kernel_context());
+  ASSERT_TRUE(old.ok());
+  EXPECT_EQ(*old, static_cast<obj::Object*>(driver_a_.get()));
+
+  auto tx = StackComponent::Create(Deps(), nucleus_->kernel_context(), "/shared/net0",
+                                   net::StackConfig{0xAAAA, 0x0A000001});
+  auto rx = StackComponent::Create(Deps(), nucleus_->kernel_context(), "/shared/net1",
+                                   net::StackConfig{0xBBBB, 0x0A000002});
+  ASSERT_TRUE(tx.ok());
+  ASSERT_TRUE(rx.ok());
+  (*tx)->stack().AddNeighbor(0x0A000002, 0xBBBB);
+
+  auto riface = (*rx)->GetInterface(StackType()->name());
+  ASSERT_TRUE(riface.ok());
+  EXPECT_EQ((*riface)->Invoke(1, 80), 0u);
+
+  ASSERT_TRUE(SendText(tx->get(), 0x0A000002, 80, "observed traffic").ok());
+  machine_.Advance(500);
+  Settle();
+  EXPECT_EQ(RecvText(rx->get(), 80), "observed traffic");
+
+  // The monitor observed the stack's driver calls (send + the irq_event
+  // lookup at bind time + RX polls...).
+  EXPECT_GT(monitor_raw->total_calls(), 0u);
+  EXPECT_EQ(monitor_raw->calls_for(NetDriverType()->name(), 0), 1u);  // one send
+}
+
+TEST_F(EndToEndNetTest, SnoopingInterposerLeaksPayloads) {
+  // The §1 trust problem: a malicious interposer on the shared driver leaks
+  // every payload while behaving correctly from the client's perspective.
+  auto snoop = PacketSnoop::Wrap(driver_a_.get(), &nucleus_->vmem(),
+                                 nucleus_->kernel_context());
+  ASSERT_TRUE(snoop.ok());
+  PacketSnoop* snoop_raw = snoop->get();
+  ASSERT_TRUE(nucleus_->directory()
+                  .Replace("/shared/net0", snoop_raw, nucleus_->kernel_context())
+                  .ok());
+
+  auto tx = StackComponent::Create(Deps(), nucleus_->kernel_context(), "/shared/net0",
+                                   net::StackConfig{0xAAAA, 0x0A000001});
+  auto rx = StackComponent::Create(Deps(), nucleus_->kernel_context(), "/shared/net1",
+                                   net::StackConfig{0xBBBB, 0x0A000002});
+  ASSERT_TRUE(tx.ok());
+  ASSERT_TRUE(rx.ok());
+  (*tx)->stack().AddNeighbor(0x0A000002, 0xBBBB);
+  auto riface = (*rx)->GetInterface(StackType()->name());
+  ASSERT_TRUE(riface.ok());
+  EXPECT_EQ((*riface)->Invoke(1, 443), 0u);
+
+  ASSERT_TRUE(SendText(tx->get(), 0x0A000002, 443, "my password").ok());
+  machine_.Advance(500);
+  Settle();
+
+  // Delivery worked — the victim saw nothing unusual...
+  EXPECT_EQ(RecvText(rx->get(), 443), "my password");
+  // ...yet the snoop captured the full frame (headers + payload).
+  ASSERT_EQ(snoop_raw->captured().size(), 1u);
+  const auto& frame = snoop_raw->captured()[0];
+  std::string as_text(frame.begin(), frame.end());
+  EXPECT_NE(as_text.find("my password"), std::string::npos);
+}
+
+TEST_F(EndToEndNetTest, PerContextOverrideSelectsPrivateDriver) {
+  // §2 overrides: an application redirects /shared/net0 to its own choice
+  // without affecting anyone else.
+  ASSERT_TRUE(nucleus_->directory()
+                  .Register("/private/netX", driver_b_.get(), nucleus_->kernel_context())
+                  .ok());
+  nucleus::Context* app = nucleus_->CreateUserContext("app");
+  app->AddOverride("/shared/net0", "/private/netX");
+
+  auto bound = nucleus_->directory().Bind("/shared/net0", app);
+  ASSERT_TRUE(bound.ok());
+  auto iface = bound->object->GetInterface(NetDriverType()->name());
+  ASSERT_TRUE(iface.ok());
+  EXPECT_EQ((*iface)->Invoke(2), 0xBBBBu);  // the override's MAC (net_b)
+
+  // The kernel's view is unchanged.
+  auto kernel_bound = nucleus_->directory().Bind("/shared/net0", nucleus_->kernel_context());
+  ASSERT_TRUE(kernel_bound.ok());
+  auto kiface = kernel_bound->object->GetInterface(NetDriverType()->name());
+  ASSERT_TRUE(kiface.ok());
+  EXPECT_EQ((*kiface)->Invoke(2), 0xAAAAu);
+}
+
+TEST_F(EndToEndNetTest, LossyLinkStillDelivers) {
+  // Resilience smoke test: with 30% loss some datagrams vanish but the
+  // machinery survives and delivers the rest.
+  hw::Machine machine;
+  auto* na = machine.AddDevice(std::make_unique<hw::NetworkDevice>("n0", 4, 0xAAAA));
+  auto* nb = machine.AddDevice(std::make_unique<hw::NetworkDevice>("n1", 5, 0xBBBB));
+  auto* link = machine.AddLink(
+      hw::NetworkLink::Config{.latency = 50, .loss_rate = 0.3, .seed = 99});
+  link->Attach(na, nb);
+  nucleus::Nucleus::Config config;
+  config.physical_pages = 256;
+  config.authority_key = AuthorityKeys().public_key;
+  nucleus::Nucleus nucleus(&machine, config);
+  ASSERT_TRUE(nucleus.Boot().ok());
+
+  auto* kernel = nucleus.kernel_context();
+  auto da = NetDriver::Create(&nucleus.vmem(), &nucleus.events(), na, kernel);
+  auto db = NetDriver::Create(&nucleus.vmem(), &nucleus.events(), nb, kernel);
+  ASSERT_TRUE(da.ok());
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE(nucleus.directory().Register("/shared/a", da->get(), kernel).ok());
+  ASSERT_TRUE(nucleus.directory().Register("/shared/b", db->get(), kernel).ok());
+
+  StackComponent::Deps deps{&nucleus.vmem(), &nucleus.events(), &nucleus.directory()};
+  auto tx = StackComponent::Create(deps, kernel, "/shared/a",
+                                   net::StackConfig{0xAAAA, 0x0A000001});
+  auto rx = StackComponent::Create(deps, kernel, "/shared/b",
+                                   net::StackConfig{0xBBBB, 0x0A000002});
+  ASSERT_TRUE(tx.ok());
+  ASSERT_TRUE(rx.ok());
+  (*tx)->stack().AddNeighbor(0x0A000002, 0xBBBB);
+  auto riface = (*rx)->GetInterface(StackType()->name());
+  ASSERT_TRUE(riface.ok());
+  EXPECT_EQ((*riface)->Invoke(1, 9), 0u);
+
+  auto buf = nucleus.vmem().AllocatePages(kernel, 1, nucleus::kProtReadWrite);
+  ASSERT_TRUE(buf.ok());
+  auto siface = (*tx)->GetInterface(StackType()->name());
+  ASSERT_TRUE(siface.ok());
+  const int kSent = 60;
+  for (int i = 0; i < kSent; ++i) {
+    std::string text = "pkt" + std::to_string(i);
+    ASSERT_TRUE(nucleus.vmem().Write(
+        kernel, *buf,
+        std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(text.data()),
+                                 text.size())).ok());
+    (*siface)->Invoke(0, 0x0A000002, (uint64_t{1} << 16) | 9, *buf, text.size());
+    machine.Advance(200);
+    nucleus.scheduler().RunUntilIdle();
+  }
+  uint64_t delivered = (*rx)->stack().stats().datagrams_in;
+  EXPECT_GT(delivered, static_cast<uint64_t>(kSent) / 3);
+  EXPECT_LT(delivered, static_cast<uint64_t>(kSent));
+  EXPECT_GT(link->frames_lost(), 0u);
+}
+
+}  // namespace
+}  // namespace para

@@ -1,0 +1,142 @@
+// Integration: fault isolation via separate MMU contexts (§3: "Objects can
+// be placed in separate MMU contexts. This is useful for isolating faults
+// when debugging or when implementing active message like invocations.")
+//
+// A buggy component that dereferences wild addresses is placed in its own
+// protection domain: its faults are contained — reported as errors to it
+// alone — while components in other domains (and the kernel) keep working.
+#include <gtest/gtest.h>
+
+#include "src/nucleus/active_message.h"
+#include "tests/components/test_fixture.h"
+
+namespace para {
+namespace {
+
+using namespace para::nucleus;  // NOLINT
+using para::testing::NucleusFixture;
+
+// A component that reads/writes through the software MMU; `Poke(wild=1)`
+// makes it touch an unmapped address like a buggy pointer would.
+const obj::TypeInfo* BuggyType() {
+  static const obj::TypeInfo type("test.buggy", 1, {"poke", "get"});
+  return &type;
+}
+
+class BuggyComponent : public obj::Object {
+ public:
+  BuggyComponent(VirtualMemoryService* vmem, Context* home) : vmem_(vmem), home_(home) {
+    auto base = vmem->AllocatePages(home, 1, kProtReadWrite);
+    EXPECT_TRUE(base.ok());
+    data_ = *base;
+    obj::Interface* iface = ExportInterface(BuggyType(), this);
+    iface->SetSlot(0, obj::Thunk<BuggyComponent, &BuggyComponent::Poke>());
+    iface->SetSlot(1, obj::Thunk<BuggyComponent, &BuggyComponent::GetValue>());
+  }
+
+  uint64_t Poke(uint64_t value, uint64_t wild, uint64_t, uint64_t) {
+    VAddr target = wild != 0 ? VAddr{0xBAD00000} : data_;
+    Status status = vmem_->WriteU64(home_, target, value);
+    return status.ok() ? 0 : ~uint64_t{0};
+  }
+
+  uint64_t GetValue(uint64_t, uint64_t, uint64_t, uint64_t) {
+    auto value = vmem_->ReadU64(home_, data_);
+    return value.ok() ? *value : ~uint64_t{0};
+  }
+
+ private:
+  VirtualMemoryService* vmem_;
+  Context* home_;
+  VAddr data_ = 0;
+};
+
+class FaultIsolationTest : public NucleusFixture {};
+
+TEST_F(FaultIsolationTest, WildAccessContainedToFaultingDomain) {
+  Context* sandbox_a = nucleus_->CreateUserContext("victim-a");
+  Context* sandbox_b = nucleus_->CreateUserContext("victim-b");
+  BuggyComponent a(&nucleus_->vmem(), sandbox_a);
+  BuggyComponent b(&nucleus_->vmem(), sandbox_b);
+
+  auto ia = a.GetInterface(BuggyType()->name());
+  auto ib = b.GetInterface(BuggyType()->name());
+  ASSERT_TRUE(ia.ok());
+  ASSERT_TRUE(ib.ok());
+
+  // Both work normally.
+  EXPECT_EQ((*ia)->Invoke(0, 111, 0), 0u);
+  EXPECT_EQ((*ib)->Invoke(0, 222, 0), 0u);
+
+  // A goes wild: its access faults and is reported to it alone.
+  uint64_t faults_before = nucleus_->vmem().stats().faults;
+  EXPECT_EQ((*ia)->Invoke(0, 999, 1), ~uint64_t{0});
+  EXPECT_GT(nucleus_->vmem().stats().faults, faults_before);
+
+  // B and A's own mapped state are untouched.
+  EXPECT_EQ((*ib)->Invoke(1), 222u);
+  EXPECT_EQ((*ia)->Invoke(1), 111u);
+
+  // The kernel keeps functioning: allocate, write, read.
+  auto page = nucleus_->vmem().AllocatePages(nucleus_->kernel_context(), 1, kProtReadWrite);
+  ASSERT_TRUE(page.ok());
+  EXPECT_TRUE(nucleus_->vmem().WriteU64(nucleus_->kernel_context(), *page, 1).ok());
+}
+
+TEST_F(FaultIsolationTest, DebugFaultHandlerObservesComponentFaults) {
+  // The "useful for debugging" half: a per-page fault call-back installed on
+  // the wild address acts as a watchpoint for the buggy component.
+  Context* sandbox = nucleus_->CreateUserContext("debuggee");
+  BuggyComponent buggy(&nucleus_->vmem(), sandbox);
+  int watchpoint_hits = 0;
+  ASSERT_TRUE(nucleus_->vmem()
+                  .SetFaultHandler(sandbox, 0xBAD00000,
+                                   [&](const FaultInfo& info) {
+                                     ++watchpoint_hits;
+                                     EXPECT_TRUE(info.write);
+                                     EXPECT_EQ(info.context, sandbox);
+                                     return Status(ErrorCode::kFault, "watchpoint");
+                                   })
+                  .ok());
+  auto iface = buggy.GetInterface(BuggyType()->name());
+  ASSERT_TRUE(iface.ok());
+  EXPECT_EQ((*iface)->Invoke(0, 5, 1), ~uint64_t{0});
+  EXPECT_EQ(watchpoint_hits, 1);
+}
+
+TEST_F(FaultIsolationTest, ActiveMessagesBetweenIsolatedDomains) {
+  // The "active message like invocations" half: two isolated domains
+  // cooperate only through the AM transport; a fault in one handler does
+  // not poison the other domain's endpoint.
+  ActiveMessageService am(&nucleus_->vmem(), &nucleus_->events());
+  Context* left = nucleus_->CreateUserContext("left");
+  Context* right = nucleus_->CreateUserContext("right");
+  auto lep = am.CreateEndpoint(left);
+  auto rep = am.CreateEndpoint(right);
+  ASSERT_TRUE(lep.ok());
+  ASSERT_TRUE(rep.ok());
+
+  uint64_t right_sum = 0;
+  ASSERT_TRUE(am.RegisterHandler(*rep, 0, [&](uint64_t v, uint64_t, uint64_t, uint64_t) {
+    right_sum += v;
+  }).ok());
+  // Left's handler faults on every message (touches unmapped memory).
+  int left_errors = 0;
+  ASSERT_TRUE(am.RegisterHandler(*lep, 0, [&](uint64_t, uint64_t, uint64_t, uint64_t) {
+    if (!nucleus_->vmem().WriteU64(left, 0xBAD00000, 1).ok()) {
+      ++left_errors;
+    }
+  }).ok());
+
+  ASSERT_TRUE(am.Send(*lep, 0, 1).ok());
+  ASSERT_TRUE(am.Send(*rep, 0, 10).ok());
+  ASSERT_TRUE(am.Send(*lep, 0, 2).ok());
+  ASSERT_TRUE(am.Send(*rep, 0, 20).ok());
+  nucleus_->scheduler().RunUntilIdle();
+
+  EXPECT_EQ(left_errors, 2);   // faults contained, reported per message
+  EXPECT_EQ(right_sum, 30u);   // the healthy domain was never disturbed
+}
+
+}  // namespace
+}  // namespace para

@@ -1,0 +1,151 @@
+// Integration: dynamic reconfiguration (E10) — live component replacement
+// through the name space, repository-driven recomposition, and parallel
+// workloads on pop-up threads (the paper's target domain, §1).
+#include <gtest/gtest.h>
+
+#include "src/components/matrix.h"
+#include "src/components/thread_pkg.h"
+#include "tests/components/test_fixture.h"
+
+namespace para {
+namespace {
+
+using namespace para::components;  // NOLINT
+using para::testing::NucleusFixture;
+
+class ReconfigurationTest : public NucleusFixture {};
+
+TEST_F(ReconfigurationTest, LiveReplacementIsObservedByNewBinds) {
+  auto* kernel = nucleus_->kernel_context();
+  auto v1 = std::make_unique<MatrixComponent>();
+  MatrixComponent* v1_raw = v1.get();
+  ASSERT_TRUE(nucleus_->directory()
+                  .Register("/app/matrix", v1_raw, kernel, std::move(v1))
+                  .ok());
+
+  auto binding = nucleus_->directory().Bind("/app/matrix", kernel);
+  ASSERT_TRUE(binding.ok());
+  auto iface = binding->object->GetInterface(MatrixType()->name());
+  ASSERT_TRUE(iface.ok());
+  uint64_t handle = (*iface)->Invoke(0, 4, 4);
+  EXPECT_NE(handle, 0u);
+
+  // Hot-swap: a fresh instance replaces the handle; the old one is returned
+  // for graceful retirement.
+  auto v2 = std::make_unique<MatrixComponent>();
+  MatrixComponent* v2_raw = v2.get();
+  auto old = nucleus_->directory().Replace("/app/matrix", v2_raw, kernel, std::move(v2));
+  ASSERT_TRUE(old.ok());
+  EXPECT_EQ(*old, static_cast<obj::Object*>(v1_raw));
+
+  auto fresh = nucleus_->directory().Bind("/app/matrix", kernel);
+  ASSERT_TRUE(fresh.ok());
+  auto fresh_iface = fresh->object->GetInterface(MatrixType()->name());
+  ASSERT_TRUE(fresh_iface.ok());
+  // The new instance has no state from the old one: handle ids restart.
+  uint64_t new_handle = (*fresh_iface)->Invoke(0, 2, 2);
+  EXPECT_EQ(new_handle, 1u);
+}
+
+TEST_F(ReconfigurationTest, RepositoryReloadReplacesVersion) {
+  ASSERT_TRUE(nucleus_->repository()
+                  .RegisterFactory("matrix.factory",
+                                   [](nucleus::Context*) {
+                                     return std::make_unique<MatrixComponent>();
+                                   })
+                  .ok());
+  nucleus::ComponentImage v1;
+  v1.name = "matrix";
+  v1.version = 1;
+  v1.factory = "matrix.factory";
+  v1.code = {1};
+  ASSERT_TRUE(nucleus_->repository().Store(v1).ok());
+
+  nucleus::Context* user = nucleus_->CreateUserContext("app");
+  auto first = nucleus_->loader().Load("matrix", user, "/app/matrix");
+  ASSERT_TRUE(first.ok());
+
+  // A new version lands in the repository; recomposition = load + replace.
+  nucleus::ComponentImage v2 = v1;
+  v2.version = 2;
+  v2.code = {2};
+  ASSERT_TRUE(nucleus_->repository().Store(v2).ok());
+  auto fetched = nucleus_->repository().Fetch("matrix");
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(fetched->version, 2u);
+
+  auto factory = nucleus_->repository().FindFactory("matrix.factory");
+  ASSERT_TRUE(factory.ok());
+  auto instance = (*factory)(user);
+  obj::Object* raw = instance.get();
+  auto old = nucleus_->directory().Replace("/app/matrix", raw, user, std::move(instance));
+  ASSERT_TRUE(old.ok());
+
+  auto rebound = nucleus_->directory().Bind("/app/matrix", user);
+  ASSERT_TRUE(rebound.ok());
+  EXPECT_EQ(rebound->object, raw);
+}
+
+TEST_F(ReconfigurationTest, ParallelMatrixWorkloadOnThreads) {
+  // The §1 parallel-programming story: split a matrix sum across threads
+  // through the thread-package component.
+  auto* kernel = nucleus_->kernel_context();
+  auto matrices = std::make_unique<MatrixComponent>();
+  MatrixComponent* m = matrices.get();
+  ASSERT_TRUE(nucleus_->directory()
+                  .Register("/app/matrix", m, kernel, std::move(matrices))
+                  .ok());
+
+  auto binding = nucleus_->directory().Bind("/app/matrix", kernel);
+  ASSERT_TRUE(binding.ok());
+  auto iface = binding->object->GetInterface(MatrixType()->name());
+  ASSERT_TRUE(iface.ok());
+
+  constexpr uint64_t kN = 64;
+  uint64_t handle = (*iface)->Invoke(0, kN, kN);
+  ASSERT_NE(handle, 0u);
+
+  // Fill rows from 8 worker threads.
+  obj::Interface* shared_iface = *iface;
+  for (int worker = 0; worker < 8; ++worker) {
+    nucleus_->scheduler().Spawn("fill", [shared_iface, handle, worker]() {
+      for (uint64_t row = static_cast<uint64_t>(worker); row < kN; row += 8) {
+        for (uint64_t col = 0; col < kN; ++col) {
+          shared_iface->Invoke(2, handle, row * kN + col, DoubleToBits(1.0));
+        }
+      }
+    });
+  }
+  nucleus_->Run();
+  EXPECT_DOUBLE_EQ(BitsToDouble((*iface)->Invoke(5, handle)),
+                   static_cast<double>(kN * kN));
+}
+
+TEST_F(ReconfigurationTest, InterruptDrivenWorkDuringReconfiguration) {
+  // A periodic timer keeps firing pop-up threads while the name space is
+  // reconfigured underneath — reconfiguration must not disturb event flow.
+  int ticks = 0;
+  ASSERT_TRUE(nucleus_->events()
+                  .Register(nucleus::IrqEvent(kTimerIrq), nucleus_->kernel_context(),
+                            [&](nucleus::EventNumber, uint64_t) { ++ticks; })
+                  .ok());
+  timer_->Program(100, /*periodic=*/true);
+
+  auto* kernel = nucleus_->kernel_context();
+  auto comp = std::make_unique<MatrixComponent>();
+  obj::Object* raw = comp.get();
+  ASSERT_TRUE(nucleus_->directory().Register("/app/m", raw, kernel, std::move(comp)).ok());
+
+  for (int i = 0; i < 10; ++i) {
+    machine_.Advance(100);
+    auto replacement = std::make_unique<MatrixComponent>();
+    obj::Object* fresh = replacement.get();
+    ASSERT_TRUE(
+        nucleus_->directory().Replace("/app/m", fresh, kernel, std::move(replacement)).ok());
+  }
+  EXPECT_EQ(ticks, 10);
+  EXPECT_EQ(nucleus_->directory().stats().interpositions, 10u);
+}
+
+}  // namespace
+}  // namespace para

@@ -1,0 +1,164 @@
+// Scale and churn tests: the nucleus under many protection domains, deep
+// name spaces, sustained interrupt load, and component churn — the "highly
+// dynamic kernel" of §1 must stay correct when everything happens at once.
+#include <gtest/gtest.h>
+
+#include "src/components/matrix.h"
+#include "src/nucleus/active_message.h"
+#include "tests/components/test_fixture.h"
+
+namespace para {
+namespace {
+
+using namespace para::nucleus;  // NOLINT
+using para::testing::NucleusFixture;
+
+class StressTest : public NucleusFixture {};
+
+TEST_F(StressTest, ManyContextsWithSharedPages) {
+  // 64 domains all sharing one kernel page; each writes its slot, all
+  // observe everyone's writes.
+  auto kpage = nucleus_->vmem().AllocatePages(nucleus_->kernel_context(), 1, kProtReadWrite);
+  ASSERT_TRUE(kpage.ok());
+  constexpr int kDomains = 64;
+  std::vector<Context*> domains;
+  std::vector<VAddr> views;
+  for (int i = 0; i < kDomains; ++i) {
+    Context* ctx = nucleus_->CreateUserContext("d" + std::to_string(i));
+    auto view = nucleus_->vmem().SharePages(nucleus_->kernel_context(), *kpage, 1, ctx,
+                                            kProtReadWrite);
+    ASSERT_TRUE(view.ok());
+    domains.push_back(ctx);
+    views.push_back(*view);
+  }
+  for (int i = 0; i < kDomains; ++i) {
+    ASSERT_TRUE(nucleus_->vmem()
+                    .WriteU64(domains[i], views[i] + 8 * static_cast<VAddr>(i),
+                              0xA000 + static_cast<uint64_t>(i))
+                    .ok());
+  }
+  // Every domain sees every write.
+  for (int reader = 0; reader < kDomains; reader += 7) {
+    for (int slot = 0; slot < kDomains; slot += 11) {
+      auto value = nucleus_->vmem().ReadU64(domains[reader],
+                                            views[reader] + 8 * static_cast<VAddr>(slot));
+      ASSERT_TRUE(value.ok());
+      EXPECT_EQ(*value, 0xA000 + static_cast<uint64_t>(slot));
+    }
+  }
+  // Teardown: views share the one physical page, so unmapping them returns
+  // nothing to the pool; only the final (kernel) unmap frees the page.
+  size_t free_before_teardown = nucleus_->vmem().free_pages();
+  for (int i = kDomains - 1; i >= 0; --i) {
+    ASSERT_TRUE(nucleus_->vmem().FreePages(domains[i], views[i], 1).ok());
+    EXPECT_EQ(nucleus_->vmem().free_pages(), free_before_teardown);
+  }
+  ASSERT_TRUE(nucleus_->vmem().FreePages(nucleus_->kernel_context(), *kpage, 1).ok());
+  EXPECT_EQ(nucleus_->vmem().free_pages(), free_before_teardown + 1);
+}
+
+TEST_F(StressTest, DeepAndWideNameSpace) {
+  auto* kernel = nucleus_->kernel_context();
+  std::vector<std::unique_ptr<components::MatrixComponent>> owned;
+  // 200 instances over a 3-level hierarchy.
+  for (int i = 0; i < 200; ++i) {
+    owned.push_back(std::make_unique<components::MatrixComponent>());
+    std::string path = "/svc/group" + std::to_string(i % 10) + "/obj" + std::to_string(i);
+    ASSERT_TRUE(nucleus_->directory().Register(path, owned.back().get(), kernel).ok());
+  }
+  auto groups = nucleus_->directory().List("/svc");
+  ASSERT_TRUE(groups.ok());
+  EXPECT_EQ(groups->size(), 10u);
+  for (int i = 0; i < 200; i += 17) {
+    std::string path = "/svc/group" + std::to_string(i % 10) + "/obj" + std::to_string(i);
+    auto bound = nucleus_->directory().Bind(path, kernel);
+    ASSERT_TRUE(bound.ok());
+    EXPECT_EQ(bound->object, owned[static_cast<size_t>(i)].get());
+  }
+  // Unregister everything; directory must be clean.
+  for (int i = 0; i < 200; ++i) {
+    std::string path = "/svc/group" + std::to_string(i % 10) + "/obj" + std::to_string(i);
+    ASSERT_TRUE(nucleus_->directory().Unregister(path).ok());
+    EXPECT_FALSE(nucleus_->directory().Exists(path));
+  }
+}
+
+TEST_F(StressTest, SustainedInterruptsWithBlockingHandlers) {
+  // 500 timer interrupts; every 4th handler blocks (promotion). Counts must
+  // be exact — no lost or duplicated events.
+  int fired = 0;
+  int completed = 0;
+  ASSERT_TRUE(nucleus_->events()
+                  .Register(IrqEvent(kTimerIrq), nucleus_->kernel_context(),
+                            [&](EventNumber, uint64_t) {
+                              int id = fired++;
+                              if (id % 4 == 0) {
+                                nucleus_->scheduler().Sleep(50);  // promote
+                              }
+                              ++completed;
+                            })
+                  .ok());
+  timer_->Program(100, /*periodic=*/true);
+  for (int i = 0; i < 500; ++i) {
+    machine_.Advance(100);
+    nucleus_->scheduler().RunUntilIdle();
+  }
+  timer_->Stop();
+  nucleus_->scheduler().RunUntilIdle();
+  // Promoted handlers may still be sleeping: let them finish.
+  while (nucleus_->scheduler().live_thread_count() > 0) {
+    machine_.Advance(100);
+    nucleus_->scheduler().RunUntilIdle();
+  }
+  EXPECT_EQ(fired, 500);
+  EXPECT_EQ(completed, 500);
+  EXPECT_EQ(nucleus_->scheduler().stats().proto_promotions, 125u);
+}
+
+TEST_F(StressTest, ComponentChurnUnderActiveMessages) {
+  // Replace a component 100 times while an AM ping keeps flowing; both
+  // subsystems share the nucleus and must not disturb each other.
+  ActiveMessageService am(&nucleus_->vmem(), &nucleus_->events());
+  Context* app = nucleus_->CreateUserContext("app");
+  auto ep = am.CreateEndpoint(app);
+  ASSERT_TRUE(ep.ok());
+  uint64_t pings = 0;
+  ASSERT_TRUE(am.RegisterHandler(*ep, 0, [&](uint64_t, uint64_t, uint64_t, uint64_t) {
+    ++pings;
+  }).ok());
+
+  auto* kernel = nucleus_->kernel_context();
+  auto initial = std::make_unique<components::MatrixComponent>();
+  obj::Object* raw = initial.get();
+  ASSERT_TRUE(nucleus_->directory().Register("/churn", raw, kernel, std::move(initial)).ok());
+
+  for (int round = 0; round < 100; ++round) {
+    ASSERT_TRUE(am.Send(*ep, 0, static_cast<uint64_t>(round)).ok());
+    auto replacement = std::make_unique<components::MatrixComponent>();
+    obj::Object* fresh = replacement.get();
+    ASSERT_TRUE(
+        nucleus_->directory().Replace("/churn", fresh, kernel, std::move(replacement)).ok());
+    auto bound = nucleus_->directory().Bind("/churn", kernel);
+    ASSERT_TRUE(bound.ok());
+    EXPECT_EQ(bound->object, fresh);
+  }
+  nucleus_->scheduler().RunUntilIdle();
+  EXPECT_EQ(pings, 100u);
+  EXPECT_EQ(nucleus_->directory().stats().interpositions, 100u);
+}
+
+TEST_F(StressTest, ThousandThreadsComplete) {
+  int done = 0;
+  for (int i = 0; i < 1000; ++i) {
+    nucleus_->scheduler().Spawn("t", [&done, this]() {
+      nucleus_->scheduler().Yield();
+      ++done;
+    }, static_cast<int>(threads::kMinPriority + (done % 8)));
+  }
+  nucleus_->Run();
+  EXPECT_EQ(done, 1000);
+  EXPECT_EQ(nucleus_->scheduler().live_thread_count(), 0u);
+}
+
+}  // namespace
+}  // namespace para

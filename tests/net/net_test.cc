@@ -1,0 +1,268 @@
+// Protocol suite tests: packet buffers, wire headers, and the UDP/IP-lite
+// stack over an in-memory frame pipe.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "src/net/headers.h"
+#include "src/net/pktbuf.h"
+#include "src/net/stack.h"
+
+namespace para::net {
+namespace {
+
+std::span<const uint8_t> Bytes(const std::string& s) {
+  return std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+}
+
+std::string AsString(std::span<const uint8_t> data) {
+  return std::string(data.begin(), data.end());
+}
+
+TEST(PacketBufferTest, AppendConsumeTrim) {
+  PacketBuffer buf(16, 128);
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.headroom(), 16u);
+  buf.Append(Bytes("payload"));
+  EXPECT_EQ(buf.size(), 7u);
+  buf.Consume(3);
+  EXPECT_EQ(AsString(buf.data()), "load");
+  buf.TrimTail(2);
+  EXPECT_EQ(AsString(buf.data()), "lo");
+}
+
+TEST(PacketBufferTest, PrependUsesHeadroom) {
+  PacketBuffer buf(8, 64);
+  buf.Append(Bytes("body"));
+  auto hdr = buf.Prepend(4);
+  std::memcpy(hdr.data(), "HEAD", 4);
+  EXPECT_EQ(AsString(buf.data()), "HEADbody");
+  EXPECT_EQ(buf.headroom(), 4u);
+}
+
+TEST(PacketBufferTest, FromBytes) {
+  PacketBuffer buf = PacketBuffer::FromBytes(Bytes("abc"));
+  EXPECT_EQ(AsString(buf.data()), "abc");
+  EXPECT_EQ(buf.headroom(), 0u);
+}
+
+TEST(EthTest, EncapDecapRoundTrip) {
+  PacketBuffer packet;
+  packet.Append(Bytes("ether payload"));
+  EthEncap(packet, EthHeader{0x0A0B0C0D0E0Full, 0x010203040506ull, kEtherTypeIpLite});
+  auto header = EthDecap(packet);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->dst, 0x0A0B0C0D0E0Full);
+  EXPECT_EQ(header->src, 0x010203040506ull);
+  EXPECT_EQ(header->ether_type, kEtherTypeIpLite);
+  EXPECT_EQ(AsString(packet.data()), "ether payload");
+}
+
+TEST(EthTest, CorruptFcsRejected) {
+  PacketBuffer packet;
+  packet.Append(Bytes("data"));
+  EthEncap(packet, EthHeader{1, 2, kEtherTypeIpLite});
+  packet.data()[15] ^= 0x01;
+  EXPECT_FALSE(EthDecap(packet).ok());
+}
+
+TEST(EthTest, ShortFrameRejected) {
+  PacketBuffer packet = PacketBuffer::FromBytes(Bytes("tiny"));
+  EXPECT_FALSE(EthDecap(packet).ok());
+}
+
+TEST(IpTest, EncapDecapRoundTrip) {
+  PacketBuffer packet;
+  packet.Append(Bytes("ip payload"));
+  IpEncap(packet, IpHeader{32, kIpProtoUdpLite, 0x0A000001, 0x0A000002, 0});
+  auto header = IpDecap(packet);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->ttl, 32);
+  EXPECT_EQ(header->proto, kIpProtoUdpLite);
+  EXPECT_EQ(header->src, 0x0A000001u);
+  EXPECT_EQ(header->dst, 0x0A000002u);
+  EXPECT_EQ(AsString(packet.data()), "ip payload");
+}
+
+TEST(IpTest, ChecksumDetectsCorruption) {
+  PacketBuffer packet;
+  packet.Append(Bytes("x"));
+  IpEncap(packet, IpHeader{64, kIpProtoUdpLite, 1, 2, 0});
+  packet.data()[8] ^= 0x10;  // flip a src-address bit
+  EXPECT_FALSE(IpDecap(packet).ok());
+}
+
+TEST(IpTest, LengthMismatchRejected) {
+  PacketBuffer packet;
+  packet.Append(Bytes("payload"));
+  IpEncap(packet, IpHeader{64, kIpProtoUdpLite, 1, 2, 0});
+  packet.TrimTail(2);  // truncate in flight
+  EXPECT_FALSE(IpDecap(packet).ok());
+}
+
+TEST(IpTest, ZeroTtlRejected) {
+  PacketBuffer packet;
+  packet.Append(Bytes("x"));
+  IpEncap(packet, IpHeader{0, kIpProtoUdpLite, 1, 2, 0});
+  EXPECT_FALSE(IpDecap(packet).ok());
+}
+
+TEST(UdpTest, EncapDecapRoundTrip) {
+  PacketBuffer packet;
+  packet.Append(Bytes("datagram"));
+  UdpEncap(packet, UdpHeader{1234, 80, 0});
+  auto header = UdpDecap(packet);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->src_port, 1234);
+  EXPECT_EQ(header->dst_port, 80);
+  EXPECT_EQ(AsString(packet.data()), "datagram");
+}
+
+TEST(UdpTest, ChecksumCoversPayload) {
+  PacketBuffer packet;
+  packet.Append(Bytes("datagram"));
+  UdpEncap(packet, UdpHeader{1234, 80, 0});
+  packet.data()[UdpHeader::kWireSize + 2] ^= 0x01;  // corrupt payload byte
+  EXPECT_FALSE(UdpDecap(packet).ok());
+}
+
+TEST(ChecksumTest, Rfc1071Properties) {
+  std::vector<uint8_t> data = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  uint16_t sum = InternetChecksum(data);
+  // Appending the checksum makes the total verify to zero.
+  data.push_back(static_cast<uint8_t>(sum >> 8));
+  data.push_back(static_cast<uint8_t>(sum));
+  EXPECT_EQ(InternetChecksum(data), 0);
+}
+
+TEST(ChecksumTest, OddLengthHandled) {
+  std::vector<uint8_t> data = {0xAB};
+  // Must not crash and must be stable.
+  EXPECT_EQ(InternetChecksum(data), InternetChecksum(data));
+}
+
+// Two stacks wired back-to-back through in-memory "wires".
+class StackPairTest : public ::testing::Test {
+ protected:
+  StackPairTest()
+      : alice_({0xAAAA, 0x0A000001},
+               [this](std::span<const uint8_t> f) {
+                 to_bob_.emplace_back(f.begin(), f.end());
+                 return OkStatus();
+               }),
+        bob_({0xBBBB, 0x0A000002}, [this](std::span<const uint8_t> f) {
+          to_alice_.emplace_back(f.begin(), f.end());
+          return OkStatus();
+        }) {
+    alice_.AddNeighbor(0x0A000002, 0xBBBB);
+    bob_.AddNeighbor(0x0A000001, 0xAAAA);
+  }
+
+  void Pump() {
+    while (!to_bob_.empty() || !to_alice_.empty()) {
+      if (!to_bob_.empty()) {
+        bob_.OnFrame(to_bob_.front());
+        to_bob_.pop_front();
+      }
+      if (!to_alice_.empty()) {
+        alice_.OnFrame(to_alice_.front());
+        to_alice_.pop_front();
+      }
+    }
+  }
+
+  std::deque<std::vector<uint8_t>> to_bob_;
+  std::deque<std::vector<uint8_t>> to_alice_;
+  ProtocolStack alice_;
+  ProtocolStack bob_;
+};
+
+TEST_F(StackPairTest, DatagramDelivery) {
+  std::vector<Datagram> received;
+  ASSERT_TRUE(bob_.BindPort(80, [&](const Datagram& d) { received.push_back(d); }).ok());
+  ASSERT_TRUE(alice_.SendDatagram(0x0A000002, 1234, 80, Bytes("hello bob")).ok());
+  Pump();
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(AsString(received[0].payload), "hello bob");
+  EXPECT_EQ(received[0].src, 0x0A000001u);
+  EXPECT_EQ(received[0].src_port, 1234);
+  EXPECT_EQ(bob_.stats().datagrams_in, 1u);
+  EXPECT_EQ(alice_.stats().datagrams_out, 1u);
+}
+
+TEST_F(StackPairTest, RequestResponse) {
+  ASSERT_TRUE(bob_.BindPort(7, [&](const Datagram& d) {
+    (void)bob_.SendDatagram(d.src, 7, d.src_port, d.payload);  // echo
+  }).ok());
+  std::vector<Datagram> replies;
+  ASSERT_TRUE(alice_.BindPort(555, [&](const Datagram& d) { replies.push_back(d); }).ok());
+  ASSERT_TRUE(alice_.SendDatagram(0x0A000002, 555, 7, Bytes("ping")).ok());
+  Pump();
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(AsString(replies[0].payload), "ping");
+}
+
+TEST_F(StackPairTest, NoRouteFails) {
+  auto status = alice_.SendDatagram(0x0A0000FF, 1, 2, Bytes("x"));
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), ErrorCode::kUnavailable);
+}
+
+TEST_F(StackPairTest, UnboundPortDropped) {
+  ASSERT_TRUE(alice_.SendDatagram(0x0A000002, 1, 9999, Bytes("x")).ok());
+  Pump();
+  EXPECT_EQ(bob_.stats().drops_no_socket, 1u);
+}
+
+TEST_F(StackPairTest, WrongMacDropped) {
+  // A frame addressed to another MAC must be ignored.
+  PacketBuffer packet;
+  packet.Append(Bytes("payload"));
+  UdpEncap(packet, UdpHeader{1, 2, 0});
+  IpEncap(packet, IpHeader{64, kIpProtoUdpLite, 0x0A000001, 0x0A000002, 0});
+  EthEncap(packet, EthHeader{0xDDDD, 0xAAAA, kEtherTypeIpLite});
+  bob_.OnFrame(packet.data());
+  EXPECT_EQ(bob_.stats().drops_not_for_us, 1u);
+}
+
+TEST_F(StackPairTest, WrongIpDropped) {
+  PacketBuffer packet;
+  packet.Append(Bytes("payload"));
+  UdpEncap(packet, UdpHeader{1, 2, 0});
+  IpEncap(packet, IpHeader{64, kIpProtoUdpLite, 0x0A000001, 0x0A0000EE, 0});
+  EthEncap(packet, EthHeader{0xBBBB, 0xAAAA, kEtherTypeIpLite});
+  bob_.OnFrame(packet.data());
+  EXPECT_EQ(bob_.stats().drops_not_for_us, 1u);
+}
+
+TEST_F(StackPairTest, GarbageFrameDropped) {
+  std::vector<uint8_t> garbage(64, 0x5A);
+  bob_.OnFrame(garbage);
+  EXPECT_EQ(bob_.stats().drops_bad_frame, 1u);
+}
+
+TEST_F(StackPairTest, PortManagement) {
+  ASSERT_TRUE(bob_.BindPort(80, [](const Datagram&) {}).ok());
+  EXPECT_FALSE(bob_.BindPort(80, [](const Datagram&) {}).ok());
+  EXPECT_TRUE(bob_.UnbindPort(80).ok());
+  EXPECT_FALSE(bob_.UnbindPort(80).ok());
+  EXPECT_TRUE(bob_.BindPort(80, [](const Datagram&) {}).ok());
+}
+
+TEST_F(StackPairTest, ManyDatagramsBothDirections) {
+  int bob_got = 0, alice_got = 0;
+  ASSERT_TRUE(bob_.BindPort(1, [&](const Datagram&) { ++bob_got; }).ok());
+  ASSERT_TRUE(alice_.BindPort(1, [&](const Datagram&) { ++alice_got; }).ok());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(alice_.SendDatagram(0x0A000002, 1, 1, Bytes("a" + std::to_string(i))).ok());
+    ASSERT_TRUE(bob_.SendDatagram(0x0A000001, 1, 1, Bytes("b" + std::to_string(i))).ok());
+  }
+  Pump();
+  EXPECT_EQ(bob_got, 50);
+  EXPECT_EQ(alice_got, 50);
+}
+
+}  // namespace
+}  // namespace para::net

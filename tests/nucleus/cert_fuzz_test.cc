@@ -1,0 +1,157 @@
+// Corruption-robustness tests for the trust machinery: no mutation of a
+// certificate, grant, or component image may crash the parser, and no
+// mutation may slip past validation. The certification service is the
+// kernel's integrity gate (§4) — these properties are its contract.
+#include <gtest/gtest.h>
+
+#include "src/base/random.h"
+#include "src/nucleus/cert.h"
+#include "src/nucleus/repository.h"
+
+namespace para::nucleus {
+namespace {
+
+class CertFuzzTest : public ::testing::TestWithParam<int> {
+ protected:
+  static void SetUpTestSuite() {
+    para::Random rng(0xF422);
+    authority_ = new CertificationAuthority(crypto::GenerateKeyPair(512, rng));
+    signer_keys_ = new crypto::RsaKeyPair(crypto::GenerateKeyPair(512, rng));
+    grant_ = new DelegationGrant(
+        authority_->Grant("signer", signer_keys_->public_key, kCertKernelEligible));
+  }
+  static void TearDownTestSuite() {
+    delete authority_;
+    delete signer_keys_;
+    delete grant_;
+  }
+
+  static Certificate MakeValidCertificate(const std::vector<uint8_t>& code) {
+    Certifier signer("signer", *signer_keys_, *grant_,
+                     [](const std::string&, std::span<const uint8_t>, uint32_t) {
+                       return OkStatus();
+                     });
+    auto cert = signer.Certify("component", 1, code, kCertKernelEligible, 7);
+    EXPECT_TRUE(cert.ok());
+    return *cert;
+  }
+
+  static CertificationAuthority* authority_;
+  static crypto::RsaKeyPair* signer_keys_;
+  static DelegationGrant* grant_;
+};
+
+CertificationAuthority* CertFuzzTest::authority_ = nullptr;
+crypto::RsaKeyPair* CertFuzzTest::signer_keys_ = nullptr;
+DelegationGrant* CertFuzzTest::grant_ = nullptr;
+
+TEST_P(CertFuzzTest, BitFlippedCertificatesNeverValidate) {
+  para::Random rng(static_cast<uint64_t>(GetParam()) * 31 + 3);
+  std::vector<uint8_t> code(512, 0x5C);
+  Certificate cert = MakeValidCertificate(code);
+  CertificationService service(authority_->public_key());
+  ASSERT_TRUE(service.RegisterGrant(*grant_).ok());
+  ASSERT_TRUE(service.Validate(cert, code).ok());
+
+  std::vector<uint8_t> wire = cert.Serialize();
+  for (int round = 0; round < 100; ++round) {
+    std::vector<uint8_t> mutated = wire;
+    size_t bit = rng.NextBelow(mutated.size() * 8);
+    mutated[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+
+    auto parsed = Certificate::Deserialize(mutated);
+    if (!parsed.ok()) {
+      continue;  // structurally rejected: fine
+    }
+    // Structurally intact but semantically corrupt: validation must fail.
+    EXPECT_FALSE(service.Validate(*parsed, code).ok())
+        << "bit " << bit << " flipped and still validated";
+  }
+}
+
+TEST_P(CertFuzzTest, TruncatedCertificatesNeverCrash) {
+  para::Random rng(static_cast<uint64_t>(GetParam()) * 17 + 5);
+  std::vector<uint8_t> code(64, 0x01);
+  std::vector<uint8_t> wire = MakeValidCertificate(code).Serialize();
+  for (size_t len = 0; len < wire.size(); len += 1 + rng.NextBelow(7)) {
+    auto parsed =
+        Certificate::Deserialize(std::span<const uint8_t>(wire.data(), len));
+    EXPECT_FALSE(parsed.ok());  // every strict prefix is malformed
+  }
+}
+
+TEST_P(CertFuzzTest, RandomBytesNeverCrashParser) {
+  para::Random rng(static_cast<uint64_t>(GetParam()) * 101 + 9);
+  for (int round = 0; round < 200; ++round) {
+    std::vector<uint8_t> garbage(rng.NextBelow(256));
+    for (auto& b : garbage) {
+      b = static_cast<uint8_t>(rng.Next());
+    }
+    auto parsed = Certificate::Deserialize(garbage);
+    if (parsed.ok()) {
+      // Vanishingly unlikely to be structurally valid AND verifiable.
+      CertificationService service(authority_->public_key());
+      EXPECT_FALSE(service.Validate(*parsed, garbage).ok());
+    }
+  }
+}
+
+TEST_P(CertFuzzTest, BitFlippedImagesRejectedByCrcOrCert) {
+  para::Random rng(static_cast<uint64_t>(GetParam()) * 41 + 1);
+  ComponentImage image;
+  image.name = "fuzzed";
+  image.version = 3;
+  image.factory = "factory";
+  image.code = std::vector<uint8_t>(256, 0x3C);
+  image.certificate = MakeValidCertificate(image.code).Serialize();
+  std::vector<uint8_t> wire = image.Serialize();
+
+  CertificationService service(authority_->public_key());
+  ASSERT_TRUE(service.RegisterGrant(*grant_).ok());
+
+  for (int round = 0; round < 100; ++round) {
+    std::vector<uint8_t> mutated = wire;
+    size_t bit = rng.NextBelow(mutated.size() * 8);
+    mutated[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+
+    auto parsed = ComponentImage::Deserialize(mutated);
+    if (!parsed.ok()) {
+      continue;  // CRC or structure caught it
+    }
+    // The CRC has 2^-32 collision odds per flip; if parsing succeeded the
+    // certificate layer must still reject any semantic damage.
+    auto cert = Certificate::Deserialize(parsed->certificate);
+    if (!cert.ok()) {
+      continue;
+    }
+    bool cert_ok = service.Validate(*cert, parsed->code).ok() &&
+                   cert->component_name == parsed->name && cert->version == parsed->version;
+    EXPECT_FALSE(cert_ok) << "bit " << bit << ": corrupted image fully validated";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CertFuzzTest, ::testing::Range(0, 4));
+
+TEST(GrantFuzzTest, MutatedGrantsDoNotRegister) {
+  para::Random rng(77);
+  CertificationAuthority authority(crypto::GenerateKeyPair(512, rng));
+  crypto::RsaKeyPair delegate = crypto::GenerateKeyPair(512, rng);
+  DelegationGrant grant = authority.Grant("d", delegate.public_key, kCertKernelEligible);
+
+  // Flipping the flags after signing must invalidate the grant.
+  DelegationGrant tampered = grant;
+  tampered.max_flags |= kCertSharedService;
+  CertificationService service(authority.public_key());
+  EXPECT_FALSE(service.RegisterGrant(tampered).ok());
+
+  // Flipping the name too.
+  tampered = grant;
+  tampered.delegate_name = "evil";
+  EXPECT_FALSE(service.RegisterGrant(tampered).ok());
+
+  // The pristine grant still registers.
+  EXPECT_TRUE(service.RegisterGrant(grant).ok());
+}
+
+}  // namespace
+}  // namespace para::nucleus

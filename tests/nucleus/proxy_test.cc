@@ -1,0 +1,206 @@
+#include "src/nucleus/proxy.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/nucleus/vmem.h"
+
+namespace para::nucleus {
+namespace {
+
+const obj::TypeInfo* ServiceType() {
+  static const obj::TypeInfo type("test.service", 1, {"add", "consume_buf", "fill_buf"});
+  return &type;
+}
+
+// A server object living in its own domain; consume_buf/fill_buf read and
+// write domain memory through vmem, like a real component would.
+class Service : public obj::Object {
+ public:
+  Service(VirtualMemoryService* vmem, Context* home) : vmem_(vmem), home_(home) {
+    obj::Interface* iface = ExportInterface(ServiceType(), this);
+    iface->SetSlot(0, obj::Thunk<Service, &Service::Add>());
+    iface->SetSlot(1, obj::Thunk<Service, &Service::ConsumeBuf>());
+    iface->SetSlot(2, obj::Thunk<Service, &Service::FillBuf>());
+  }
+
+  uint64_t Add(uint64_t a, uint64_t b, uint64_t c, uint64_t d) { return a + b + c + d; }
+
+  uint64_t ConsumeBuf(uint64_t vaddr, uint64_t len, uint64_t, uint64_t) {
+    std::vector<uint8_t> data(len);
+    if (!vmem_->Read(home_, vaddr, data).ok()) {
+      return 0;
+    }
+    uint64_t sum = 0;
+    for (uint8_t b : data) {
+      sum += b;
+    }
+    last_payload_ = std::move(data);
+    return sum;
+  }
+
+  uint64_t FillBuf(uint64_t vaddr, uint64_t capacity, uint64_t seed, uint64_t) {
+    size_t n = std::min<size_t>(capacity, 32);
+    std::vector<uint8_t> data(n);
+    for (size_t i = 0; i < n; ++i) {
+      data[i] = static_cast<uint8_t>(seed + i);
+    }
+    if (!vmem_->Write(home_, vaddr, data).ok()) {
+      return 0;
+    }
+    return n;
+  }
+
+  std::vector<uint8_t> last_payload_;
+
+ private:
+  VirtualMemoryService* vmem_;
+  Context* home_;
+};
+
+class ProxyTest : public ::testing::Test {
+ protected:
+  ProxyTest() : service_(&vmem_, server_) {}
+
+  VirtualMemoryService vmem_{128};
+  ProxyEngine engine_{&vmem_};
+  Context* server_ = vmem_.kernel_context();
+  Context* client_ = vmem_.CreateContext("client", server_);
+  Service service_;
+};
+
+TEST_F(ProxyTest, ScalarCallCrossesDomains) {
+  auto proxy = engine_.CreateProxy(&service_, server_, client_);
+  ASSERT_TRUE(proxy.ok());
+  auto iface = (*proxy)->GetInterface("test.service");
+  ASSERT_TRUE(iface.ok());
+  EXPECT_EQ((*iface)->Invoke(0, 1, 2, 3, 4), 10u);
+  EXPECT_EQ(engine_.stats().calls, 1u);
+  EXPECT_EQ(engine_.stats().faults, 1u);
+  EXPECT_EQ(engine_.stats().context_switches, 2u);  // in and out
+}
+
+TEST_F(ProxyTest, ProxyMirrorsAllInterfaces) {
+  auto proxy = engine_.CreateProxy(&service_, server_, client_);
+  ASSERT_TRUE(proxy.ok());
+  EXPECT_EQ((*proxy)->InterfaceNames(), service_.InterfaceNames());
+  auto iface = (*proxy)->GetInterface("test.service");
+  ASSERT_TRUE(iface.ok());
+  EXPECT_EQ((*iface)->type(), ServiceType());
+}
+
+TEST_F(ProxyTest, SameDomainProxyRejected) {
+  auto proxy = engine_.CreateProxy(&service_, server_, server_);
+  EXPECT_FALSE(proxy.ok());
+}
+
+TEST_F(ProxyTest, InPayloadIsRehomed) {
+  ProxyOptions options;
+  options.payload_slots.insert("test.service#1");
+  auto proxy = engine_.CreateProxy(&service_, server_, client_, options);
+  ASSERT_TRUE(proxy.ok());
+
+  // The client stages a payload in its own domain.
+  auto cbuf = vmem_.AllocatePages(client_, 1, kProtReadWrite);
+  ASSERT_TRUE(cbuf.ok());
+  std::vector<uint8_t> payload = {1, 2, 3, 4, 5};
+  ASSERT_TRUE(vmem_.Write(client_, *cbuf, payload).ok());
+
+  auto iface = (*proxy)->GetInterface("test.service");
+  ASSERT_TRUE(iface.ok());
+  EXPECT_EQ((*iface)->Invoke(1, *cbuf, payload.size()), 15u);
+  EXPECT_EQ(service_.last_payload_, payload);
+  EXPECT_EQ(engine_.stats().payload_bytes, payload.size());
+}
+
+TEST_F(ProxyTest, OutPayloadCopiedBack) {
+  ProxyOptions options;
+  options.out_payload_slots.insert("test.service#2");
+  auto proxy = engine_.CreateProxy(&service_, server_, client_, options);
+  ASSERT_TRUE(proxy.ok());
+
+  auto cbuf = vmem_.AllocatePages(client_, 1, kProtReadWrite);
+  ASSERT_TRUE(cbuf.ok());
+  auto iface = (*proxy)->GetInterface("test.service");
+  ASSERT_TRUE(iface.ok());
+  uint64_t n = (*iface)->Invoke(2, *cbuf, 32, /*seed=*/100);
+  EXPECT_EQ(n, 32u);
+  std::vector<uint8_t> out(32);
+  ASSERT_TRUE(vmem_.Read(client_, *cbuf, out).ok());
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<uint8_t>(100 + i));
+  }
+}
+
+TEST_F(ProxyTest, OversizedPayloadFails) {
+  ProxyOptions options;
+  options.payload_slots.insert("test.service#1");
+  options.payload_capacity_pages = 1;
+  auto proxy = engine_.CreateProxy(&service_, server_, client_, options);
+  ASSERT_TRUE(proxy.ok());
+  auto cbuf = vmem_.AllocatePages(client_, 2, kProtReadWrite);
+  ASSERT_TRUE(cbuf.ok());
+  auto iface = (*proxy)->GetInterface("test.service");
+  ASSERT_TRUE(iface.ok());
+  // 2 pages > 1 page window: the call fails (error sentinel).
+  EXPECT_EQ((*iface)->Invoke(1, *cbuf, 2 * kPageSize), ~uint64_t{0});
+}
+
+TEST_F(ProxyTest, CurrentDomainTrackedDuringCall) {
+  engine_.set_current_domain(client_);
+  static Context* observed = nullptr;
+  // Observe the engine's current domain from inside the server method via a
+  // wrapper object.
+  class Observer : public obj::Object {
+   public:
+    explicit Observer(ProxyEngine* engine) : engine_(engine) {
+      static const obj::TypeInfo type("test.observer", 1, {"look"});
+      obj::Interface* iface = ExportInterface(&type, this);
+      iface->SetSlot(0, obj::Thunk<Observer, &Observer::Look>());
+    }
+    uint64_t Look(uint64_t, uint64_t, uint64_t, uint64_t) {
+      observed = engine_->current_domain();
+      return 0;
+    }
+
+   private:
+    ProxyEngine* engine_;
+  };
+
+  Observer observer(&engine_);
+  auto proxy = engine_.CreateProxy(&observer, server_, client_);
+  ASSERT_TRUE(proxy.ok());
+  auto iface = (*proxy)->GetInterface("test.observer");
+  ASSERT_TRUE(iface.ok());
+  (*iface)->Invoke(0);
+  EXPECT_EQ(observed, server_);            // switched in for the call
+  EXPECT_EQ(engine_.current_domain(), client_);  // restored after
+}
+
+TEST_F(ProxyTest, RepeatedCallsReuseMachinery) {
+  auto proxy = engine_.CreateProxy(&service_, server_, client_);
+  ASSERT_TRUE(proxy.ok());
+  auto iface = (*proxy)->GetInterface("test.service");
+  ASSERT_TRUE(iface.ok());
+  for (uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ((*iface)->Invoke(0, i, i, 0, 0), 2 * i);
+  }
+  EXPECT_EQ(engine_.stats().calls, 100u);
+}
+
+TEST_F(ProxyTest, ProxyTeardownClearsFaultHandlers) {
+  uint64_t handlers_before = 0;
+  {
+    auto proxy = engine_.CreateProxy(&service_, server_, client_);
+    ASSERT_TRUE(proxy.ok());
+    handlers_before = vmem_.stats().fault_handler_runs;
+    auto iface = (*proxy)->GetInterface("test.service");
+    ASSERT_TRUE(iface.ok());
+    (*iface)->Invoke(0, 1, 1, 1, 1);
+  }
+  EXPECT_GT(vmem_.stats().fault_handler_runs, handlers_before);
+}
+
+}  // namespace
+}  // namespace para::nucleus

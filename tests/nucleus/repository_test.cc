@@ -1,0 +1,234 @@
+#include "src/nucleus/repository.h"
+
+#include <gtest/gtest.h>
+
+#include "src/base/random.h"
+#include "src/nucleus/vmem.h"
+
+namespace para::nucleus {
+namespace {
+
+const obj::TypeInfo* WidgetType() {
+  static const obj::TypeInfo type("test.widget", 1, {"poke"});
+  return &type;
+}
+
+class Widget : public obj::Object {
+ public:
+  Widget() {
+    obj::Interface* iface = ExportInterface(WidgetType(), this);
+    iface->SetSlot(0, obj::Thunk<Widget, &Widget::Poke>());
+  }
+  uint64_t Poke(uint64_t, uint64_t, uint64_t, uint64_t) { return 0x1DEA; }
+};
+
+class RepositoryTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    para::Random rng(31337);
+    authority_ = new CertificationAuthority(crypto::GenerateKeyPair(512, rng));
+    signer_keys_ = new crypto::RsaKeyPair(crypto::GenerateKeyPair(512, rng));
+  }
+  static void TearDownTestSuite() {
+    delete authority_;
+    delete signer_keys_;
+  }
+
+  RepositoryTest()
+      : certification_(authority_->public_key()),
+        loader_(&repository_, &certification_, &directory_) {
+    grant_ = authority_->Grant("signer", signer_keys_->public_key,
+                               kCertKernelEligible | kCertDriverClass);
+    EXPECT_TRUE(certification_.RegisterGrant(grant_).ok());
+    EXPECT_TRUE(repository_
+                    .RegisterFactory("widget.factory",
+                                     [](Context*) { return std::make_unique<Widget>(); })
+                    .ok());
+  }
+
+  ComponentImage MakeImage(const std::string& name, uint32_t version, bool certified,
+                           uint32_t flags = kCertKernelEligible) {
+    ComponentImage image;
+    image.name = name;
+    image.version = version;
+    image.factory = "widget.factory";
+    image.code = std::vector<uint8_t>(64, 0x42);
+    if (certified) {
+      Certifier signer("signer", *signer_keys_, grant_,
+                       [](const std::string&, std::span<const uint8_t>, uint32_t) {
+                         return OkStatus();
+                       });
+      auto cert = signer.Certify(name, version, image.code, flags, 99);
+      EXPECT_TRUE(cert.ok());
+      image.certificate = cert->Serialize();
+    }
+    return image;
+  }
+
+  static CertificationAuthority* authority_;
+  static crypto::RsaKeyPair* signer_keys_;
+
+  VirtualMemoryService vmem_{32};
+  ProxyEngine proxies_{&vmem_};
+  DirectoryService directory_{&proxies_};
+  ComponentRepository repository_;
+  CertificationService certification_;
+  ComponentLoader loader_;
+  DelegationGrant grant_;
+};
+
+CertificationAuthority* RepositoryTest::authority_ = nullptr;
+crypto::RsaKeyPair* RepositoryTest::signer_keys_ = nullptr;
+
+TEST_F(RepositoryTest, ImageSerializationRoundTrip) {
+  ComponentImage image = MakeImage("comp", 7, /*certified=*/true);
+  auto wire = image.Serialize();
+  auto parsed = ComponentImage::Deserialize(wire);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->name, "comp");
+  EXPECT_EQ(parsed->version, 7u);
+  EXPECT_EQ(parsed->factory, "widget.factory");
+  EXPECT_EQ(parsed->code, image.code);
+  EXPECT_EQ(parsed->certificate, image.certificate);
+}
+
+TEST_F(RepositoryTest, CorruptImageRejectedByCrc) {
+  auto wire = MakeImage("comp", 1, false).Serialize();
+  wire[10] ^= 0x01;
+  auto parsed = ComponentImage::Deserialize(wire);
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST_F(RepositoryTest, TruncatedImageRejected) {
+  auto wire = MakeImage("comp", 1, false).Serialize();
+  wire.resize(wire.size() / 2);
+  EXPECT_FALSE(ComponentImage::Deserialize(wire).ok());
+}
+
+TEST_F(RepositoryTest, StoreAndFetchVersions) {
+  ASSERT_TRUE(repository_.Store(MakeImage("comp", 1, false)).ok());
+  ASSERT_TRUE(repository_.Store(MakeImage("comp", 3, false)).ok());
+  ASSERT_TRUE(repository_.Store(MakeImage("comp", 2, false)).ok());
+  auto latest = repository_.Fetch("comp");
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(latest->version, 3u);  // latest wins
+  auto specific = repository_.Fetch("comp", 2);
+  ASSERT_TRUE(specific.ok());
+  EXPECT_EQ(specific->version, 2u);
+  EXPECT_FALSE(repository_.Fetch("comp", 9).ok());
+  EXPECT_FALSE(repository_.Fetch("ghost").ok());
+}
+
+TEST_F(RepositoryTest, ListComponents) {
+  ASSERT_TRUE(repository_.Store(MakeImage("a", 1, false)).ok());
+  ASSERT_TRUE(repository_.Store(MakeImage("b", 1, false)).ok());
+  EXPECT_EQ(repository_.ListComponents(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST_F(RepositoryTest, UserLoadNeedsNoCertificate) {
+  ASSERT_TRUE(repository_.Store(MakeImage("comp", 1, /*certified=*/false)).ok());
+  Context* user = vmem_.CreateContext("user", vmem_.kernel_context());
+  auto loaded = loader_.Load("comp", user, "/user/comp");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->home, user);
+  EXPECT_TRUE(directory_.Exists("/user/comp"));
+  // The instance works.
+  auto iface = loaded->object->GetInterface("test.widget");
+  ASSERT_TRUE(iface.ok());
+  EXPECT_EQ((*iface)->Invoke(0), 0x1DEAu);
+}
+
+TEST_F(RepositoryTest, KernelLoadRequiresCertificate) {
+  ASSERT_TRUE(repository_.Store(MakeImage("naked", 1, /*certified=*/false)).ok());
+  auto loaded = loader_.Load("naked", vmem_.kernel_context(), "/kernel/naked");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), ErrorCode::kPermissionDenied);
+  EXPECT_EQ(loader_.stats().rejected, 1u);
+  EXPECT_FALSE(directory_.Exists("/kernel/naked"));
+}
+
+TEST_F(RepositoryTest, KernelLoadWithValidCertificateSucceeds) {
+  ASSERT_TRUE(repository_.Store(MakeImage("blessed", 1, /*certified=*/true)).ok());
+  auto loaded = loader_.Load("blessed", vmem_.kernel_context(), "/kernel/blessed");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loader_.stats().kernel_loads, 1u);
+  EXPECT_TRUE(directory_.Exists("/kernel/blessed"));
+}
+
+TEST_F(RepositoryTest, KernelLoadRejectsNonKernelFlags) {
+  ASSERT_TRUE(repository_
+                  .Store(MakeImage("driverish", 1, /*certified=*/true, kCertDriverClass))
+                  .ok());
+  auto loaded = loader_.Load("driverish", vmem_.kernel_context(), "/kernel/driverish");
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST_F(RepositoryTest, KernelLoadRejectsTamperedCode) {
+  ComponentImage image = MakeImage("tampered", 1, /*certified=*/true);
+  image.code[0] ^= 0xFF;  // modify after certification
+  ASSERT_TRUE(repository_.Store(image).ok());
+  auto loaded = loader_.Load("tampered", vmem_.kernel_context(), "/kernel/tampered");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), ErrorCode::kCertificateInvalid);
+}
+
+TEST_F(RepositoryTest, KernelLoadRejectsCertificateForOtherComponent) {
+  // Take a valid certificate from one component and staple it to another.
+  ComponentImage good = MakeImage("donor", 1, /*certified=*/true);
+  ComponentImage evil = MakeImage("thief", 1, /*certified=*/false);
+  evil.certificate = good.certificate;
+  ASSERT_TRUE(repository_.Store(evil).ok());
+  auto loaded = loader_.Load("thief", vmem_.kernel_context(), "/kernel/thief");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), ErrorCode::kCertificateInvalid);
+}
+
+TEST_F(RepositoryTest, MissingFactoryFails) {
+  ComponentImage image = MakeImage("orphan", 1, false);
+  image.factory = "no.such.factory";
+  ASSERT_TRUE(repository_.Store(image).ok());
+  Context* user = vmem_.CreateContext("user", vmem_.kernel_context());
+  EXPECT_FALSE(loader_.Load("orphan", user, "/u/orphan").ok());
+}
+
+TEST_F(RepositoryTest, BindOrLoadLoadsOnDemand) {
+  // §2: "objects are usually loaded dynamically on demand". First bind
+  // triggers the load; later binds reuse the live instance.
+  ASSERT_TRUE(repository_.Store(MakeImage("lazy", 1, false)).ok());
+  Context* user = vmem_.CreateContext("user", vmem_.kernel_context());
+  EXPECT_FALSE(directory_.Exists("/user/lazy"));
+
+  auto first = loader_.BindOrLoad("/user/lazy", "lazy", user, user);
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(directory_.Exists("/user/lazy"));
+  EXPECT_EQ(loader_.stats().loads, 1u);
+
+  auto second = loader_.BindOrLoad("/user/lazy", "lazy", user, user);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->object, first->object);
+  EXPECT_EQ(loader_.stats().loads, 1u);  // no second load
+
+  // A different client demand-binds the same instance through a proxy.
+  Context* other = vmem_.CreateContext("other", vmem_.kernel_context());
+  auto proxied = loader_.BindOrLoad("/user/lazy", "lazy", user, other);
+  ASSERT_TRUE(proxied.ok());
+  EXPECT_TRUE(proxied->via_proxy);
+  EXPECT_EQ(loader_.stats().loads, 1u);
+}
+
+TEST_F(RepositoryTest, BindOrLoadPropagatesLoadFailure) {
+  Context* user = vmem_.CreateContext("user", vmem_.kernel_context());
+  auto missing = loader_.BindOrLoad("/user/ghost", "ghost", user, user);
+  EXPECT_FALSE(missing.ok());
+  EXPECT_FALSE(directory_.Exists("/user/ghost"));
+}
+
+TEST_F(RepositoryTest, DuplicateFactoryRejected) {
+  EXPECT_FALSE(repository_
+                   .RegisterFactory("widget.factory",
+                                    [](Context*) { return std::make_unique<Widget>(); })
+                   .ok());
+}
+
+}  // namespace
+}  // namespace para::nucleus

@@ -1,0 +1,301 @@
+#include "src/nucleus/vmem.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/hw/machine.h"
+#include "src/hw/timer.h"
+
+namespace para::nucleus {
+namespace {
+
+class VmemTest : public ::testing::Test {
+ protected:
+  VirtualMemoryService vmem_{64};
+  Context* kernel_ = vmem_.kernel_context();
+};
+
+TEST_F(VmemTest, KernelContextIsContextZero) {
+  EXPECT_EQ(kernel_->id(), kKernelContextId);
+  EXPECT_TRUE(kernel_->is_kernel());
+  EXPECT_EQ(kernel_->parent(), nullptr);
+  EXPECT_EQ(vmem_.FindContext(kKernelContextId), kernel_);
+}
+
+TEST_F(VmemTest, CreateAndDestroyContext) {
+  Context* user = vmem_.CreateContext("user", kernel_);
+  EXPECT_FALSE(user->is_kernel());
+  EXPECT_EQ(user->parent(), kernel_);
+  EXPECT_EQ(vmem_.FindContext(user->id()), user);
+  EXPECT_TRUE(vmem_.DestroyContext(user).ok());
+  EXPECT_FALSE(vmem_.DestroyContext(kernel_).ok());
+}
+
+TEST_F(VmemTest, AllocateReadWrite) {
+  auto base = vmem_.AllocatePages(kernel_, 2, kProtReadWrite);
+  ASSERT_TRUE(base.ok());
+  const char msg[] = "hello vmem";
+  ASSERT_TRUE(vmem_.Write(kernel_, *base + 100,
+                          std::span<const uint8_t>(
+                              reinterpret_cast<const uint8_t*>(msg), sizeof(msg)))
+                  .ok());
+  char out[sizeof(msg)] = {};
+  ASSERT_TRUE(vmem_.Read(kernel_, *base + 100,
+                         std::span<uint8_t>(reinterpret_cast<uint8_t*>(out), sizeof(out)))
+                  .ok());
+  EXPECT_STREQ(out, msg);
+}
+
+TEST_F(VmemTest, FreshPagesAreZeroed) {
+  auto base = vmem_.AllocatePages(kernel_, 1, kProtReadWrite);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(vmem_.WriteU64(kernel_, *base, 0xDEADBEEF).ok());
+  ASSERT_TRUE(vmem_.FreePages(kernel_, *base, 1).ok());
+  auto again = vmem_.AllocatePages(kernel_, 1, kProtReadWrite);
+  ASSERT_TRUE(again.ok());
+  auto value = vmem_.ReadU64(kernel_, *again);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, 0u);
+}
+
+TEST_F(VmemTest, CrossPageAccess) {
+  auto base = vmem_.AllocatePages(kernel_, 2, kProtReadWrite);
+  ASSERT_TRUE(base.ok());
+  // Straddle the page boundary.
+  std::vector<uint8_t> data(256, 0x5A);
+  VAddr addr = *base + kPageSize - 128;
+  ASSERT_TRUE(vmem_.Write(kernel_, addr, data).ok());
+  std::vector<uint8_t> out(256, 0);
+  ASSERT_TRUE(vmem_.Read(kernel_, addr, out).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(VmemTest, UnmappedAccessFaults) {
+  auto status = vmem_.ReadU64(kernel_, 0xDEAD0000);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.status().code(), ErrorCode::kFault);
+  EXPECT_EQ(vmem_.stats().faults, 1u);
+}
+
+TEST_F(VmemTest, ProtectionEnforced) {
+  auto base = vmem_.AllocatePages(kernel_, 1, kProtRead);
+  ASSERT_TRUE(base.ok());
+  EXPECT_TRUE(vmem_.ReadU64(kernel_, *base).ok());
+  EXPECT_FALSE(vmem_.WriteU64(kernel_, *base, 1).ok());
+  // Upgrade to read-write.
+  ASSERT_TRUE(vmem_.Protect(kernel_, *base, 1, kProtReadWrite).ok());
+  EXPECT_TRUE(vmem_.WriteU64(kernel_, *base, 1).ok());
+  // Downgrade to none.
+  ASSERT_TRUE(vmem_.Protect(kernel_, *base, 1, kProtNone).ok());
+  EXPECT_FALSE(vmem_.ReadU64(kernel_, *base).ok());
+}
+
+TEST_F(VmemTest, ContextsAreIsolated) {
+  Context* user = vmem_.CreateContext("user", kernel_);
+  auto base = vmem_.AllocatePages(kernel_, 1, kProtReadWrite);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(vmem_.WriteU64(kernel_, *base, 42).ok());
+  // Same virtual address in another context: fault, not data leak.
+  EXPECT_FALSE(vmem_.ReadU64(user, *base).ok());
+}
+
+TEST_F(VmemTest, SharedPagesSeeEachOthersWrites) {
+  Context* user = vmem_.CreateContext("user", kernel_);
+  auto kbase = vmem_.AllocatePages(kernel_, 2, kProtReadWrite);
+  ASSERT_TRUE(kbase.ok());
+  auto ubase = vmem_.SharePages(kernel_, *kbase, 2, user, kProtReadWrite);
+  ASSERT_TRUE(ubase.ok());
+  ASSERT_TRUE(vmem_.WriteU64(kernel_, *kbase + 8, 0xABCD).ok());
+  auto seen = vmem_.ReadU64(user, *ubase + 8);
+  ASSERT_TRUE(seen.ok());
+  EXPECT_EQ(*seen, 0xABCDu);
+  // And the reverse direction.
+  ASSERT_TRUE(vmem_.WriteU64(user, *ubase + 4096, 0x1234).ok());
+  auto back = vmem_.ReadU64(kernel_, *kbase + 4096);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, 0x1234u);
+}
+
+TEST_F(VmemTest, SharedReadOnlyMapping) {
+  Context* user = vmem_.CreateContext("user", kernel_);
+  auto kbase = vmem_.AllocatePages(kernel_, 1, kProtReadWrite);
+  ASSERT_TRUE(kbase.ok());
+  auto ubase = vmem_.SharePages(kernel_, *kbase, 1, user, kProtRead);
+  ASSERT_TRUE(ubase.ok());
+  EXPECT_TRUE(vmem_.ReadU64(user, *ubase).ok());
+  EXPECT_FALSE(vmem_.WriteU64(user, *ubase, 1).ok());
+}
+
+TEST_F(VmemTest, SharedPhysicalPageFreedOnlyAtLastUnmap) {
+  Context* user = vmem_.CreateContext("user", kernel_);
+  size_t before = vmem_.free_pages();
+  auto kbase = vmem_.AllocatePages(kernel_, 1, kProtReadWrite);
+  ASSERT_TRUE(kbase.ok());
+  auto ubase = vmem_.SharePages(kernel_, *kbase, 1, user, kProtReadWrite);
+  ASSERT_TRUE(ubase.ok());
+  EXPECT_EQ(vmem_.free_pages(), before - 1);
+  ASSERT_TRUE(vmem_.FreePages(kernel_, *kbase, 1).ok());
+  EXPECT_EQ(vmem_.free_pages(), before - 1);  // still held by user
+  ASSERT_TRUE(vmem_.FreePages(user, *ubase, 1).ok());
+  EXPECT_EQ(vmem_.free_pages(), before);
+}
+
+TEST_F(VmemTest, ShareUnmappedRangeFails) {
+  Context* user = vmem_.CreateContext("user", kernel_);
+  EXPECT_FALSE(vmem_.SharePages(kernel_, 0x999000, 1, user, kProtRead).ok());
+}
+
+TEST_F(VmemTest, ExhaustionReportsResourceExhausted) {
+  auto big = vmem_.AllocatePages(kernel_, 65, kProtReadWrite);
+  EXPECT_FALSE(big.ok());
+  EXPECT_EQ(big.status().code(), ErrorCode::kResourceExhausted);
+}
+
+TEST_F(VmemTest, FaultHandlerRepairsMapping) {
+  Context* user = vmem_.CreateContext("user", kernel_);
+  VAddr lazy = user->AllocateRegion(1);
+  int handler_runs = 0;
+  ASSERT_TRUE(vmem_.SetFaultHandler(user, lazy, [&](const FaultInfo& info) {
+    ++handler_runs;
+    EXPECT_EQ(info.context, user);
+    // Demand-map a page at the faulting address.
+    auto backing = vmem_.AllocatePages(user, 1, kProtReadWrite);
+    if (!backing.ok()) {
+      return backing.status();
+    }
+    Pte* pte = user->LookupMutable(*backing);
+    Pte copy = *pte;
+    user->Uninstall(*backing);
+    user->Install(lazy, copy);
+    return OkStatus();
+  }).ok());
+
+  // First touch faults, handler maps, access retries and succeeds.
+  EXPECT_TRUE(vmem_.WriteU64(user, lazy, 77).ok());
+  EXPECT_EQ(handler_runs, 1);
+  auto value = vmem_.ReadU64(user, lazy);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, 77u);
+  EXPECT_EQ(vmem_.stats().fault_handler_runs, 1u);
+}
+
+TEST_F(VmemTest, FaultHandlerFailurePropagates) {
+  Context* user = vmem_.CreateContext("user", kernel_);
+  VAddr addr = user->AllocateRegion(1);
+  ASSERT_TRUE(vmem_.SetFaultHandler(user, addr, [](const FaultInfo&) {
+    return Status(ErrorCode::kPermissionDenied, "no");
+  }).ok());
+  auto result = vmem_.ReadU64(user, addr);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kPermissionDenied);
+}
+
+TEST_F(VmemTest, FaultHandlerThatDoesNotRepairFails) {
+  Context* user = vmem_.CreateContext("user", kernel_);
+  VAddr addr = user->AllocateRegion(1);
+  ASSERT_TRUE(
+      vmem_.SetFaultHandler(user, addr, [](const FaultInfo&) { return OkStatus(); }).ok());
+  auto result = vmem_.ReadU64(user, addr);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kFault);
+}
+
+TEST_F(VmemTest, ClearFaultHandler) {
+  Context* user = vmem_.CreateContext("user", kernel_);
+  VAddr addr = user->AllocateRegion(1);
+  ASSERT_TRUE(
+      vmem_.SetFaultHandler(user, addr, [](const FaultInfo&) { return OkStatus(); }).ok());
+  EXPECT_TRUE(vmem_.ClearFaultHandler(user, addr).ok());
+  EXPECT_FALSE(vmem_.ClearFaultHandler(user, addr).ok());
+}
+
+TEST_F(VmemTest, TranslateForKernelBypass) {
+  auto base = vmem_.AllocatePages(kernel_, 1, kProtReadWrite);
+  ASSERT_TRUE(base.ok());
+  auto ptr = vmem_.TranslateForKernel(kernel_, *base + 16, 8, /*write=*/true);
+  ASSERT_TRUE(ptr.ok());
+  std::memset(*ptr, 0xEE, 8);
+  auto value = vmem_.ReadU64(kernel_, *base + 16);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, 0xEEEEEEEEEEEEEEEEull);
+  // Cross-page translation is refused.
+  EXPECT_FALSE(vmem_.TranslateForKernel(kernel_, *base + kPageSize - 4, 8, false).ok());
+}
+
+TEST_F(VmemTest, IoRegisterWindow) {
+  hw::Machine machine;
+  auto* timer = machine.AddDevice(std::make_unique<hw::TimerDevice>("t", 0));
+  auto io = vmem_.MapDeviceRegisters(kernel_, timer);
+  ASSERT_TRUE(io.ok());
+  // Writing CTRL through the window programs the device.
+  ASSERT_TRUE(vmem_.WriteIo32(kernel_, *io + hw::TimerDevice::kRegIntervalLo, 500).ok());
+  ASSERT_TRUE(vmem_.WriteIo32(kernel_, *io + hw::TimerDevice::kRegCtrl,
+                              hw::TimerDevice::kCtrlEnable).ok());
+  ASSERT_TRUE(machine.NextEventTime().has_value());
+  EXPECT_EQ(*machine.NextEventTime(), 500u);
+  auto ctrl = vmem_.ReadIo32(kernel_, *io + hw::TimerDevice::kRegCtrl);
+  ASSERT_TRUE(ctrl.ok());
+  EXPECT_EQ(*ctrl, hw::TimerDevice::kCtrlEnable);
+}
+
+TEST_F(VmemTest, IoRegistersAreExclusive) {
+  hw::Machine machine;
+  auto* timer = machine.AddDevice(std::make_unique<hw::TimerDevice>("t", 0));
+  Context* user = vmem_.CreateContext("user", kernel_);
+  ASSERT_TRUE(vmem_.MapDeviceRegisters(kernel_, timer).ok());
+  auto second = vmem_.MapDeviceRegisters(user, timer);
+  EXPECT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), ErrorCode::kPermissionDenied);
+}
+
+TEST_F(VmemTest, IoUnmapReleasesExclusivity) {
+  hw::Machine machine;
+  auto* timer = machine.AddDevice(std::make_unique<hw::TimerDevice>("t", 0));
+  Context* user = vmem_.CreateContext("user", kernel_);
+  auto first = vmem_.MapDeviceRegisters(kernel_, timer);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(vmem_.UnmapIo(kernel_, *first).ok());
+  EXPECT_TRUE(vmem_.MapDeviceRegisters(user, timer).ok());
+}
+
+TEST_F(VmemTest, IoBufferSharedAcrossContexts) {
+  hw::Machine machine;
+  auto* netdev = machine.AddDevice(std::make_unique<hw::NetworkDevice>("n", 1, 0xA));
+  Context* user = vmem_.CreateContext("user", kernel_);
+  auto kwin = vmem_.MapDeviceBuffer(kernel_, netdev, kProtReadWrite);
+  auto uwin = vmem_.MapDeviceBuffer(user, netdev, kProtReadWrite);
+  ASSERT_TRUE(kwin.ok());
+  ASSERT_TRUE(uwin.ok());
+  ASSERT_TRUE(vmem_.WriteIo32(kernel_, *kwin + 8, 0x11223344).ok());
+  auto seen = vmem_.ReadIo32(user, *uwin + 8);
+  ASSERT_TRUE(seen.ok());
+  EXPECT_EQ(*seen, 0x11223344u);
+}
+
+TEST_F(VmemTest, ByteAccessToIoWindowRejected) {
+  hw::Machine machine;
+  auto* timer = machine.AddDevice(std::make_unique<hw::TimerDevice>("t", 0));
+  auto io = vmem_.MapDeviceRegisters(kernel_, timer);
+  ASSERT_TRUE(io.ok());
+  EXPECT_FALSE(vmem_.ReadU64(kernel_, *io).ok());
+}
+
+class VmemAllocSweep : public ::testing::TestWithParam<size_t> {};
+
+// Property: alloc/free round trips of any size restore the free-page count.
+TEST_P(VmemAllocSweep, AllocFreeRestoresFreePages) {
+  VirtualMemoryService vmem(128);
+  Context* kernel = vmem.kernel_context();
+  size_t before = vmem.free_pages();
+  auto base = vmem.AllocatePages(kernel, GetParam(), kProtReadWrite);
+  ASSERT_TRUE(base.ok());
+  EXPECT_EQ(vmem.free_pages(), before - GetParam());
+  ASSERT_TRUE(vmem.FreePages(kernel, *base, GetParam()).ok());
+  EXPECT_EQ(vmem.free_pages(), before);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, VmemAllocSweep, ::testing::Values(1, 2, 3, 7, 16, 64, 128));
+
+}  // namespace
+}  // namespace para::nucleus

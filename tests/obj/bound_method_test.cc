@@ -1,0 +1,122 @@
+// Inline-cache tests for BoundMethod — §2's "run time inline techniques".
+#include "src/obj/bound_method.h"
+
+#include <gtest/gtest.h>
+
+#include "src/obj/object.h"
+
+namespace para::obj {
+namespace {
+
+const TypeInfo* PairType() {
+  static const TypeInfo type("bm.pair", 1, {"first", "second"});
+  return &type;
+}
+
+// A different type exporting a method of the same name at a different slot.
+const TypeInfo* SwappedType() {
+  static const TypeInfo type("bm.swapped", 1, {"second", "first"});
+  return &type;
+}
+
+class Pair : public Object {
+ public:
+  Pair(uint64_t a, uint64_t b) : a_(a), b_(b) {
+    Interface* iface = ExportInterface(PairType(), this);
+    iface->SetSlot(0, Thunk<Pair, &Pair::First>());
+    iface->SetSlot(1, Thunk<Pair, &Pair::Second>());
+  }
+  uint64_t First(uint64_t, uint64_t, uint64_t, uint64_t) { return a_; }
+  uint64_t Second(uint64_t, uint64_t, uint64_t, uint64_t) { return b_; }
+
+ private:
+  uint64_t a_, b_;
+};
+
+class Swapped : public Object {
+ public:
+  Swapped(uint64_t a, uint64_t b) : a_(a), b_(b) {
+    Interface* iface = ExportInterface(SwappedType(), this);
+    iface->SetSlot(0, Thunk<Swapped, &Swapped::Second>());
+    iface->SetSlot(1, Thunk<Swapped, &Swapped::First>());
+  }
+  uint64_t First(uint64_t, uint64_t, uint64_t, uint64_t) { return a_; }
+  uint64_t Second(uint64_t, uint64_t, uint64_t, uint64_t) { return b_; }
+
+ private:
+  uint64_t a_, b_;
+};
+
+TEST(BoundMethodTest, ResolvesOnceThenHits) {
+  Pair pair(10, 20);
+  Interface* iface = *pair.GetInterface("bm.pair");
+  BoundMethod second("second");
+  for (int i = 0; i < 5; ++i) {
+    auto result = second.Invoke(iface);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(*result, 20u);
+  }
+  EXPECT_EQ(second.cache_misses(), 1u);  // resolved exactly once
+}
+
+TEST(BoundMethodTest, UnknownMethodFails) {
+  Pair pair(1, 2);
+  Interface* iface = *pair.GetInterface("bm.pair");
+  BoundMethod missing("third");
+  auto result = missing.Invoke(iface);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kNotFound);
+  // Still fails (and re-misses) on retry; never caches a bogus slot.
+  EXPECT_FALSE(missing.Invoke(iface).ok());
+  EXPECT_EQ(missing.cache_misses(), 2u);
+}
+
+TEST(BoundMethodTest, InvalidInterfaceRejected) {
+  BoundMethod m("first");
+  Interface empty;
+  EXPECT_FALSE(m.Invoke(nullptr).ok());
+  EXPECT_FALSE(m.Invoke(&empty).ok());
+}
+
+TEST(BoundMethodTest, ReResolvesWhenTypeChanges) {
+  // The same method name lives at a different slot in another type: the
+  // cache must notice the type change, not call the wrong slot.
+  Pair pair(10, 20);
+  Swapped swapped(10, 20);
+  Interface* pair_iface = *pair.GetInterface("bm.pair");
+  Interface* swapped_iface = *swapped.GetInterface("bm.swapped");
+
+  BoundMethod second("second");
+  auto from_pair = second.Invoke(pair_iface);
+  ASSERT_TRUE(from_pair.ok());
+  EXPECT_EQ(*from_pair, 20u);  // slot 1 in PairType
+
+  auto from_swapped = second.Invoke(swapped_iface);
+  ASSERT_TRUE(from_swapped.ok());
+  EXPECT_EQ(*from_swapped, 20u);  // slot 0 in SwappedType — re-resolved
+
+  EXPECT_EQ(second.cache_misses(), 2u);
+  // Going back re-misses again (monomorphic cache by design).
+  ASSERT_TRUE(second.Invoke(pair_iface).ok());
+  EXPECT_EQ(second.cache_misses(), 3u);
+}
+
+TEST(BoundMethodTest, ArgumentsPassThrough) {
+  static const TypeInfo type("bm.sum", 1, {"sum"});
+  class Summer : public Object {
+   public:
+    Summer() {
+      Interface* iface = ExportInterface(&type, this);
+      iface->SetSlot(0, Thunk<Summer, &Summer::Sum>());
+    }
+    uint64_t Sum(uint64_t a, uint64_t b, uint64_t c, uint64_t d) { return a + b + c + d; }
+  };
+  Summer summer;
+  BoundMethod sum("sum");
+  auto result = sum.Invoke(*summer.GetInterface("bm.sum"), 1, 2, 3, 4);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 10u);
+}
+
+}  // namespace
+}  // namespace para::obj

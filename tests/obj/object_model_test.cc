@@ -1,0 +1,254 @@
+// Object architecture tests: interfaces, objects, delegation, composition.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/obj/composition.h"
+#include "src/obj/interface.h"
+#include "src/obj/object.h"
+
+namespace para::obj {
+namespace {
+
+const TypeInfo* CounterType() {
+  static const TypeInfo type("test.counter", 1, {"increment", "get", "add"});
+  return &type;
+}
+
+class Counter : public Object {
+ public:
+  Counter() {
+    Interface* iface = ExportInterface(CounterType(), this);
+    iface->SetSlot(0, Thunk<Counter, &Counter::Increment>());
+    iface->SetSlot(1, Thunk<Counter, &Counter::GetValue>());
+    iface->SetSlot(2, Thunk<Counter, &Counter::AddValue>());
+  }
+
+  uint64_t Increment(uint64_t, uint64_t, uint64_t, uint64_t) { return ++value_; }
+  uint64_t GetValue(uint64_t, uint64_t, uint64_t, uint64_t) { return value_; }
+  uint64_t AddValue(uint64_t amount, uint64_t, uint64_t, uint64_t) {
+    value_ += amount;
+    return value_;
+  }
+
+  uint64_t value_ = 0;
+};
+
+TEST(TypeInfoTest, MethodLookup) {
+  EXPECT_EQ(CounterType()->method_count(), 3u);
+  auto idx = CounterType()->MethodIndex("get");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 1u);
+  EXPECT_FALSE(CounterType()->MethodIndex("nope").ok());
+  EXPECT_EQ(CounterType()->method_name(2), "add");
+  EXPECT_EQ(CounterType()->version(), 1u);
+}
+
+TEST(InterfaceTest, InvokeBySlot) {
+  Counter counter;
+  auto iface = counter.GetInterface("test.counter");
+  ASSERT_TRUE(iface.ok());
+  EXPECT_EQ((*iface)->Invoke(0), 1u);
+  EXPECT_EQ((*iface)->Invoke(0), 2u);
+  EXPECT_EQ((*iface)->Invoke(1), 2u);
+  EXPECT_EQ((*iface)->Invoke(2, 10), 12u);
+}
+
+TEST(InterfaceTest, InvokeByName) {
+  Counter counter;
+  auto iface = counter.GetInterface("test.counter");
+  ASSERT_TRUE(iface.ok());
+  auto result = (*iface)->InvokeByName("add", 5);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 5u);
+  EXPECT_FALSE((*iface)->InvokeByName("missing").ok());
+}
+
+TEST(InterfaceTest, InvalidInterface) {
+  Interface iface;
+  EXPECT_FALSE(iface.valid());
+  EXPECT_FALSE(iface.InvokeByName("x").ok());
+}
+
+TEST(ObjectTest, UnknownInterfaceIsNotFound) {
+  Counter counter;
+  auto missing = counter.GetInterface("test.unknown");
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(counter.FindInterface("test.unknown"), nullptr);
+  EXPECT_FALSE(counter.Exports("test.unknown"));
+  EXPECT_TRUE(counter.Exports("test.counter"));
+}
+
+TEST(ObjectTest, InterfaceNamesInExportOrder) {
+  Counter counter;
+  static const TypeInfo extra("test.extra", 1, {"noop"});
+  counter.ExportInterface(&extra, &counter);
+  auto names = counter.InterfaceNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "test.counter");
+  EXPECT_EQ(names[1], "test.extra");
+}
+
+TEST(ObjectTest, InterfacePointersStableAcrossExports) {
+  Counter counter;
+  auto first = counter.GetInterface("test.counter");
+  ASSERT_TRUE(first.ok());
+  Interface* before = *first;
+  static const TypeInfo extra("test.extra2", 1, {"noop"});
+  counter.ExportInterface(&extra, &counter);
+  auto second = counter.GetInterface("test.counter");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(before, *second);
+}
+
+TEST(ObjectTest, ReExportReplaces) {
+  Counter counter;
+  Interface replacement(CounterType(), &counter);
+  replacement.SetSlot(0, [](void*, uint64_t, uint64_t, uint64_t, uint64_t) -> uint64_t {
+    return 999;
+  });
+  counter.ExportInterface("test.counter", std::move(replacement));
+  auto iface = counter.GetInterface("test.counter");
+  ASSERT_TRUE(iface.ok());
+  EXPECT_EQ((*iface)->Invoke(0), 999u);
+  EXPECT_EQ(counter.InterfaceNames().size(), 1u);  // replaced, not added
+}
+
+// The paper's interface-evolution scenario: adding a measurement interface
+// does not disturb existing users of the original interface.
+TEST(ObjectTest, InterfaceEvolutionDoesNotBreakClients) {
+  Counter counter;
+  auto iface = counter.GetInterface("test.counter");
+  ASSERT_TRUE(iface.ok());
+  Interface* client_view = *iface;
+  client_view->Invoke(0);
+
+  static const TypeInfo measurement("test.measurement", 1, {"count"});
+  counter.ExportInterface(&measurement, &counter);
+
+  // Old handle still works, same identity, same behavior.
+  EXPECT_EQ(client_view->Invoke(1), 1u);
+  EXPECT_EQ(counter.InterfaceNames().size(), 2u);
+}
+
+TEST(DelegationTest, SlotDelegationSharesImplementation) {
+  Counter real;
+  Counter facade;
+  auto real_iface = real.GetInterface("test.counter");
+  ASSERT_TRUE(real_iface.ok());
+  auto facade_iface = facade.GetInterface("test.counter");
+  ASSERT_TRUE(facade_iface.ok());
+
+  // Delegate "increment" so the facade's slot updates the real object.
+  (*facade_iface)->DelegateSlot(0, **real_iface);
+  (*facade_iface)->Invoke(0);
+  (*facade_iface)->Invoke(0);
+  EXPECT_EQ(real.value_, 2u);
+  EXPECT_EQ(facade.value_, 0u);
+  // Non-delegated slot still hits the facade.
+  (*facade_iface)->Invoke(2, 7);
+  EXPECT_EQ(facade.value_, 7u);
+}
+
+TEST(DelegationTest, RebindStateRetargetsAllSlots) {
+  Counter a, b;
+  auto iface = a.GetInterface("test.counter");
+  ASSERT_TRUE(iface.ok());
+  Interface copy = **iface;
+  copy.RebindState(&b);
+  copy.Invoke(0);
+  EXPECT_EQ(a.value_, 0u);
+  EXPECT_EQ(b.value_, 1u);
+}
+
+TEST(CompositionTest, AddAndLookupChildren) {
+  Composition comp;
+  ASSERT_TRUE(comp.AddChild("c1", std::make_unique<Counter>()).ok());
+  ASSERT_TRUE(comp.AddChild("c2", std::make_unique<Counter>()).ok());
+  EXPECT_EQ(comp.child_count(), 2u);
+  EXPECT_TRUE(comp.Child("c1").ok());
+  EXPECT_FALSE(comp.Child("c3").ok());
+  EXPECT_EQ(comp.ChildNames(), (std::vector<std::string>{"c1", "c2"}));
+}
+
+TEST(CompositionTest, DuplicateAndNullChildrenRejected) {
+  Composition comp;
+  ASSERT_TRUE(comp.AddChild("c", std::make_unique<Counter>()).ok());
+  EXPECT_EQ(comp.AddChild("c", std::make_unique<Counter>()).code(),
+            ErrorCode::kAlreadyExists);
+  EXPECT_EQ(comp.AddChild("d", nullptr).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(CompositionTest, NonOwnedChildren) {
+  Composition comp;
+  Counter external;
+  ASSERT_TRUE(comp.AddChildRef("ext", &external).ok());
+  auto child = comp.Child("ext");
+  ASSERT_TRUE(child.ok());
+  EXPECT_EQ(*child, &external);
+}
+
+TEST(CompositionTest, ReExportChildInterface) {
+  Composition comp;
+  ASSERT_TRUE(comp.AddChild("counter", std::make_unique<Counter>()).ok());
+  ASSERT_TRUE(comp.ReExport("counter", "test.counter").ok());
+  // Invoking through the composition hits the child directly.
+  auto iface = comp.GetInterface("test.counter");
+  ASSERT_TRUE(iface.ok());
+  EXPECT_EQ((*iface)->Invoke(0), 1u);
+  auto child = comp.Child("counter");
+  ASSERT_TRUE(child.ok());
+  EXPECT_EQ(static_cast<Counter*>(*child)->value_, 1u);
+}
+
+TEST(CompositionTest, ReExportErrors) {
+  Composition comp;
+  ASSERT_TRUE(comp.AddChild("counter", std::make_unique<Counter>()).ok());
+  EXPECT_EQ(comp.ReExport("nope", "test.counter").code(), ErrorCode::kNotFound);
+  EXPECT_EQ(comp.ReExport("counter", "test.unknown").code(), ErrorCode::kNotFound);
+}
+
+TEST(CompositionTest, ReplaceChildDynamically) {
+  Composition comp;
+  ASSERT_TRUE(comp.AddChild("c", std::make_unique<Counter>()).ok());
+  auto first = comp.Child("c");
+  ASSERT_TRUE(first.ok());
+  static_cast<Counter*>(*first)->value_ = 42;
+
+  auto old = comp.ReplaceChild("c", std::make_unique<Counter>());
+  ASSERT_TRUE(old.ok());
+  ASSERT_NE(old->get(), nullptr);
+  EXPECT_EQ(static_cast<Counter*>(old->get())->value_, 42u);  // old instance returned
+
+  auto fresh = comp.Child("c");
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(static_cast<Counter*>(*fresh)->value_, 0u);
+}
+
+TEST(CompositionTest, RemoveChild) {
+  Composition comp;
+  ASSERT_TRUE(comp.AddChild("c", std::make_unique<Counter>()).ok());
+  ASSERT_TRUE(comp.RemoveChild("c").ok());
+  EXPECT_EQ(comp.child_count(), 0u);
+  EXPECT_EQ(comp.RemoveChild("c").code(), ErrorCode::kNotFound);
+}
+
+// Composition applied recursively (§2): a composition inside a composition.
+TEST(CompositionTest, RecursiveComposition) {
+  auto inner = std::make_unique<Composition>();
+  ASSERT_TRUE(inner->AddChild("leaf", std::make_unique<Counter>()).ok());
+  ASSERT_TRUE(inner->ReExport("leaf", "test.counter").ok());
+
+  Composition outer;
+  ASSERT_TRUE(outer.AddChild("inner", std::move(inner)).ok());
+  ASSERT_TRUE(outer.ReExport("inner", "test.counter").ok());
+
+  auto iface = outer.GetInterface("test.counter");
+  ASSERT_TRUE(iface.ok());
+  EXPECT_EQ((*iface)->Invoke(0), 1u);
+  EXPECT_EQ((*iface)->Invoke(1), 1u);
+}
+
+}  // namespace
+}  // namespace para::obj

@@ -1,0 +1,174 @@
+// Proto-thread / pop-up thread tests — the §3 fast-interrupt mechanism.
+#include "src/threads/popup.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/threads/sync.h"
+
+namespace para::threads {
+namespace {
+
+class PopupTest : public ::testing::Test {
+ protected:
+  VirtualClock clock_;
+  Scheduler sched_{&clock_};
+  PopupEngine popups_{&sched_, 2};
+};
+
+TEST_F(PopupTest, RawCallbackRunsInline) {
+  bool ran = false;
+  popups_.Dispatch([&ran]() { ran = true; }, DispatchMode::kRawCallback);
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(popups_.stats().dispatches, 1u);
+  EXPECT_EQ(popups_.stats().promotions, 0u);
+}
+
+TEST_F(PopupTest, ProtoCompletesInlineWithoutBlocking) {
+  bool ran = false;
+  popups_.Dispatch([&ran]() { ran = true; }, DispatchMode::kProtoThread);
+  EXPECT_TRUE(ran);  // handler completed synchronously
+  EXPECT_EQ(popups_.stats().completed_inline, 1u);
+  EXPECT_EQ(popups_.stats().promotions, 0u);
+  EXPECT_EQ(sched_.stats().proto_promotions, 0u);
+  EXPECT_EQ(sched_.live_thread_count(), 0u);  // no thread was ever created
+}
+
+TEST_F(PopupTest, ProtoSlotIsReused) {
+  for (int i = 0; i < 10; ++i) {
+    popups_.Dispatch([]() {}, DispatchMode::kProtoThread);
+  }
+  EXPECT_EQ(popups_.stats().completed_inline, 10u);
+}
+
+TEST_F(PopupTest, ProtoPromotedOnSleep) {
+  bool finished = false;
+  popups_.Dispatch([&]() {
+    sched_.Sleep(100);  // blocks -> promotion
+    finished = true;
+  }, DispatchMode::kProtoThread);
+  // Dispatch returned at the promotion point; the handler is not done yet.
+  EXPECT_FALSE(finished);
+  EXPECT_EQ(popups_.stats().promotions, 1u);
+  EXPECT_EQ(sched_.stats().proto_promotions, 1u);
+  EXPECT_EQ(sched_.live_thread_count(), 1u);
+  sched_.Run();  // the promoted thread completes under normal scheduling
+  EXPECT_TRUE(finished);
+  EXPECT_EQ(sched_.live_thread_count(), 0u);
+}
+
+TEST_F(PopupTest, ProtoPromotedOnYield) {
+  bool finished = false;
+  popups_.Dispatch([&]() {
+    sched_.Yield();
+    finished = true;
+  }, DispatchMode::kProtoThread);
+  EXPECT_FALSE(finished);
+  EXPECT_EQ(popups_.stats().promotions, 1u);
+  sched_.Run();
+  EXPECT_TRUE(finished);
+}
+
+TEST_F(PopupTest, ProtoPromotedOnMutexContention) {
+  Mutex mutex(&sched_);
+  std::vector<int> order;
+  sched_.Spawn("holder", [&]() {
+    mutex.Lock();
+    // Interrupt arrives while the lock is held.
+    popups_.Dispatch([&]() {
+      mutex.Lock();  // contended -> promotion
+      order.push_back(2);
+      mutex.Unlock();
+    }, DispatchMode::kProtoThread);
+    order.push_back(1);
+    mutex.Unlock();
+  });
+  sched_.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(popups_.stats().promotions, 1u);
+}
+
+TEST_F(PopupTest, UncontendedMutexStillPromotes) {
+  // Taking ownership requires identity, so even an uncontended Lock from a
+  // proto-thread promotes (see sync.h).
+  popups_.Dispatch([&]() {
+    Mutex mutex(&sched_);
+    mutex.Lock();
+    mutex.Unlock();
+  }, DispatchMode::kProtoThread);
+  EXPECT_EQ(sched_.stats().proto_promotions, 1u);
+  sched_.Run();
+}
+
+TEST_F(PopupTest, FullThreadModeDefersExecution) {
+  bool ran = false;
+  popups_.Dispatch([&ran]() { ran = true; }, DispatchMode::kFullThread);
+  EXPECT_FALSE(ran);  // queued, not executed
+  EXPECT_EQ(popups_.stats().full_threads, 1u);
+  sched_.Run();
+  EXPECT_TRUE(ran);
+}
+
+TEST_F(PopupTest, PoolGrowsUnderNestedPromotion) {
+  // Promote more handlers than the pool has slots; the engine must grow.
+  int completed = 0;
+  for (int i = 0; i < 5; ++i) {
+    popups_.Dispatch([&]() {
+      sched_.Sleep(10 * (5 - completed));
+      ++completed;
+    }, DispatchMode::kProtoThread);
+  }
+  EXPECT_EQ(popups_.stats().promotions, 5u);
+  sched_.Run();
+  EXPECT_EQ(completed, 5);
+}
+
+TEST_F(PopupTest, DispatchFromRunningThread) {
+  // An event raised synchronously while a thread runs: the proto borrows the
+  // CPU and the thread resumes afterwards.
+  std::vector<int> order;
+  sched_.Spawn("main", [&]() {
+    order.push_back(1);
+    popups_.Dispatch([&]() { order.push_back(2); }, DispatchMode::kProtoThread);
+    order.push_back(3);
+  });
+  sched_.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST_F(PopupTest, PromotedThreadPreservesSchedulerCurrent) {
+  // Regression guard: promotion during a dispatch from a running thread must
+  // not corrupt the scheduler's notion of the interrupted thread.
+  std::vector<std::string> log;
+  sched_.Spawn("main", [&]() {
+    popups_.Dispatch([&]() {
+      sched_.Sleep(50);
+      log.push_back("popup");
+    }, DispatchMode::kProtoThread);
+    log.push_back("main-after-dispatch");
+    EXPECT_EQ(sched_.current()->name(), "main");
+    sched_.Sleep(100);
+    log.push_back("main-end");
+  });
+  sched_.Run();
+  EXPECT_EQ(log, (std::vector<std::string>{"main-after-dispatch", "popup", "main-end"}));
+}
+
+TEST_F(PopupTest, PromotedPopupRunsAtInterruptPriority) {
+  std::vector<std::string> order;
+  sched_.Spawn("background", [&]() {
+    popups_.Dispatch([&]() {
+      sched_.Yield();  // promote; re-queued at interrupt priority
+      order.push_back("popup");
+    }, DispatchMode::kProtoThread);
+    sched_.Yield();
+    order.push_back("background");
+  }, 2);
+  sched_.Run();
+  // The popup (priority 6) must beat the background thread (priority 2).
+  EXPECT_EQ(order, (std::vector<std::string>{"popup", "background"}));
+}
+
+}  // namespace
+}  // namespace para::threads

@@ -1,0 +1,181 @@
+#include "src/threads/sync.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace para::threads {
+namespace {
+
+class SyncTest : public ::testing::Test {
+ protected:
+  VirtualClock clock_;
+  Scheduler sched_{&clock_};
+};
+
+TEST_F(SyncTest, MutexProvidesExclusion) {
+  Mutex mutex(&sched_);
+  int inside = 0;
+  int max_inside = 0;
+  for (int i = 0; i < 4; ++i) {
+    sched_.Spawn("t", [&]() {
+      MutexGuard guard(&mutex);
+      ++inside;
+      max_inside = std::max(max_inside, inside);
+      sched_.Yield();  // try to let others overlap — they must not
+      --inside;
+    });
+  }
+  sched_.Run();
+  EXPECT_EQ(max_inside, 1);
+}
+
+TEST_F(SyncTest, MutexTryLock) {
+  Mutex mutex(&sched_);
+  sched_.Spawn("t", [&]() {
+    EXPECT_TRUE(mutex.TryLock());
+    EXPECT_FALSE(mutex.TryLock());
+    mutex.Unlock();
+    EXPECT_TRUE(mutex.TryLock());
+    mutex.Unlock();
+  });
+  sched_.Run();
+}
+
+TEST_F(SyncTest, MutexFifoHandoff) {
+  Mutex mutex(&sched_);
+  std::vector<int> order;
+  sched_.Spawn("holder", [&]() {
+    mutex.Lock();
+    sched_.Yield();  // let contenders queue up
+    sched_.Yield();
+    mutex.Unlock();
+  });
+  for (int i = 0; i < 3; ++i) {
+    sched_.Spawn("c", [&, i]() {
+      mutex.Lock();
+      order.push_back(i);
+      mutex.Unlock();
+    });
+  }
+  sched_.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST_F(SyncTest, CondVarSignalWakesOne) {
+  Mutex mutex(&sched_);
+  CondVar cv(&sched_);
+  int ready = 0;
+  int observed = 0;
+  for (int i = 0; i < 2; ++i) {
+    sched_.Spawn("waiter", [&]() {
+      MutexGuard guard(&mutex);
+      while (ready == 0) {
+        cv.Wait(&mutex);
+      }
+      --ready;
+      ++observed;
+    });
+  }
+  sched_.Spawn("producer", [&]() {
+    {
+      MutexGuard guard(&mutex);
+      ready = 1;
+    }
+    cv.Signal();
+    sched_.Yield();
+    {
+      MutexGuard guard(&mutex);
+      ready += 1;
+    }
+    cv.Signal();
+  }, 1);
+  sched_.Run();
+  EXPECT_EQ(observed, 2);
+}
+
+TEST_F(SyncTest, CondVarBroadcastWakesAll) {
+  Mutex mutex(&sched_);
+  CondVar cv(&sched_);
+  bool go = false;
+  int woke = 0;
+  for (int i = 0; i < 5; ++i) {
+    sched_.Spawn("waiter", [&]() {
+      MutexGuard guard(&mutex);
+      while (!go) {
+        cv.Wait(&mutex);
+      }
+      ++woke;
+    });
+  }
+  sched_.Spawn("broadcaster", [&]() {
+    MutexGuard guard(&mutex);
+    go = true;
+    cv.Broadcast();
+  }, 1);
+  sched_.Run();
+  EXPECT_EQ(woke, 5);
+}
+
+TEST_F(SyncTest, SemaphoreCountsPermits) {
+  Semaphore sem(&sched_, 2);
+  int concurrent = 0;
+  int max_concurrent = 0;
+  for (int i = 0; i < 5; ++i) {
+    sched_.Spawn("t", [&]() {
+      sem.Down();
+      ++concurrent;
+      max_concurrent = std::max(max_concurrent, concurrent);
+      sched_.Yield();
+      --concurrent;
+      sem.Up();
+    });
+  }
+  sched_.Run();
+  EXPECT_EQ(max_concurrent, 2);
+  EXPECT_EQ(sem.count(), 2);
+}
+
+TEST_F(SyncTest, SemaphoreTryDown) {
+  Semaphore sem(&sched_, 1);
+  sched_.Spawn("t", [&]() {
+    EXPECT_TRUE(sem.TryDown());
+    EXPECT_FALSE(sem.TryDown());
+    sem.Up();
+    EXPECT_TRUE(sem.TryDown());
+    sem.Up();
+  });
+  sched_.Run();
+}
+
+TEST_F(SyncTest, SemaphoreAsProducerConsumerQueue) {
+  Semaphore items(&sched_, 0);
+  std::vector<int> queue;
+  std::vector<int> consumed;
+  Mutex mutex(&sched_);
+  sched_.Spawn("producer", [&]() {
+    for (int i = 0; i < 10; ++i) {
+      {
+        MutexGuard guard(&mutex);
+        queue.push_back(i);
+      }
+      items.Up();
+      if (i % 3 == 0) {
+        sched_.Yield();
+      }
+    }
+  });
+  sched_.Spawn("consumer", [&]() {
+    for (int i = 0; i < 10; ++i) {
+      items.Down();
+      MutexGuard guard(&mutex);
+      consumed.push_back(queue.front());
+      queue.erase(queue.begin());
+    }
+  });
+  sched_.Run();
+  EXPECT_EQ(consumed, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+}
+
+}  // namespace
+}  // namespace para::threads
