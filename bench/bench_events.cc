@@ -115,6 +115,7 @@ void BM_ContextSwitchThroughput(benchmark::State& state) {
   constexpr int kYields = 100;
   for (auto _ : state) {
     state.PauseTiming();
+    fx.sched.ReleaseFinished();  // two threads per iteration: don't accumulate shells
     for (int t = 0; t < 2; ++t) {
       fx.sched.Spawn("ping", [&]() {
         for (int i = 0; i < kYields; ++i) {

@@ -115,6 +115,8 @@ void RunRpcBench(benchmark::State& state, bool user_placed) {
       }
     });
     bed.nucleus->Run();
+    // One client thread per iteration: don't accumulate finished-thread shells.
+    bed.nucleus->scheduler().ReleaseFinished();
   }
   state.counters["ok_calls"] = static_cast<double>(ok_calls);
   state.counters["via_proxy"] = bed.client_stack->bound_via_proxy() ? 1 : 0;

@@ -1,0 +1,31 @@
+# Third-party dependency resolution. Everything is optional-by-degradation:
+# GoogleTest is resolved system package -> Debian source tree -> FetchContent
+# (network), and Google Benchmark is skipped with a warning when absent so a
+# minimal container can still build the libraries and examples.
+if(PARA_BUILD_TESTS)
+  find_package(GTest QUIET)
+  if(NOT GTest_FOUND)
+    if(EXISTS /usr/src/googletest/CMakeLists.txt)
+      set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+      add_subdirectory(/usr/src/googletest ${CMAKE_BINARY_DIR}/_deps/googletest-build EXCLUDE_FROM_ALL)
+      if(NOT TARGET GTest::gtest)
+        add_library(GTest::gtest ALIAS gtest)
+        add_library(GTest::gtest_main ALIAS gtest_main)
+      endif()
+    else()
+      include(FetchContent)
+      FetchContent_Declare(googletest
+        URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz)
+      set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+      FetchContent_MakeAvailable(googletest)
+    endif()
+  endif()
+  include(GoogleTest)
+endif()
+
+if(PARA_BUILD_BENCH)
+  find_package(benchmark QUIET)
+  if(NOT benchmark_FOUND)
+    message(WARNING "Google Benchmark not found; bench/ targets will be skipped")
+  endif()
+endif()

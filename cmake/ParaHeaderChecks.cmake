@@ -1,0 +1,22 @@
+# Header self-containment guard: every public header must compile as the
+# first (and only) include of a translation unit. One TU is generated per
+# header and built into an object library that nothing links; a header that
+# silently relies on its includer's context breaks the build here instead of
+# in some future caller.
+function(para_add_header_checks target)
+  cmake_parse_arguments(ARG "" "" "HEADERS" ${ARGN})
+  set(gen_dir ${CMAKE_BINARY_DIR}/header_checks)
+  set(sources "")
+  foreach(header IN LISTS ARG_HEADERS)
+    string(REPLACE "/" "_" stem ${header})
+    string(REPLACE ".h" ".cc" stem ${stem})
+    set(tu ${gen_dir}/${stem})
+    if(NOT EXISTS ${tu})
+      file(WRITE ${tu} "#include \"${header}\"\n")
+    endif()
+    list(APPEND sources ${tu})
+  endforeach()
+  add_library(${target} OBJECT ${sources})
+  target_include_directories(${target} PRIVATE ${PROJECT_SOURCE_DIR})
+  target_link_libraries(${target} PRIVATE para_warnings)
+endfunction()

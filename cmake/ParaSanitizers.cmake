@@ -1,0 +1,11 @@
+# ASan + UBSan build flavor (-DPARA_SANITIZE=ON). Applied globally rather
+# than per-target: sanitizer runtimes must be linked into every binary, and
+# mixing instrumented and uninstrumented static libraries produces false
+# negatives.
+if(PARA_SANITIZE)
+  add_compile_options(
+    -fsanitize=address,undefined
+    -fno-omit-frame-pointer
+    -fno-sanitize-recover=all)
+  add_link_options(-fsanitize=address,undefined)
+endif()

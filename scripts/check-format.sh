@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Verifies that src/ tests/ bench/ examples/ conform to .clang-format.
+# Usage: scripts/check-format.sh [clang-format-binary]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT="${1:-clang-format}"
+"${CLANG_FORMAT}" --version
+
+mapfile -t files < <(find src tests bench examples \
+  -name '*.cc' -o -name '*.h' -o -name '*.cpp')
+
+"${CLANG_FORMAT}" --dry-run --Werror "${files[@]}"
+echo "format OK: ${#files[@]} files"

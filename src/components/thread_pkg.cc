@@ -36,8 +36,10 @@ uint64_t ThreadPackage::Spawn(uint64_t fn, uint64_t arg, uint64_t priority, uint
   auto entry = reinterpret_cast<void (*)(uint64_t)>(fn);
   int prio = priority > threads::kMaxPriority ? threads::kDefaultPriority
                                               : static_cast<int>(priority);
+  // Detached: clients address component threads by id, never by Thread*, so
+  // no joinable shell needs to outlive the thread.
   threads::Thread* thread =
-      scheduler_->Spawn("component-thread", [entry, arg]() { entry(arg); }, prio);
+      scheduler_->SpawnDetached("component-thread", [entry, arg]() { entry(arg); }, prio);
   return thread->id();
 }
 

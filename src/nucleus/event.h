@@ -34,7 +34,9 @@ inline constexpr EventNumber kTrapIllegal = kEventTrapBase + 3;
 inline constexpr EventNumber kTrapActiveMessage = kEventTrapBase + 4;
 inline constexpr EventNumber kEventCount = kEventTrapBase + 5;
 
-inline constexpr EventNumber IrqEvent(int line) { return kEventIrqBase + static_cast<EventNumber>(line); }
+inline constexpr EventNumber IrqEvent(int line) {
+  return kEventIrqBase + static_cast<EventNumber>(line);
+}
 
 // Call-back payload: the event number plus one word of event-specific detail
 // (faulting address, syscall number, ...).

@@ -54,8 +54,8 @@ void PopupEngine::Dispatch(std::function<void()> handler, DispatchMode mode, int
 
     case DispatchMode::kFullThread: {
       ++stats_.full_threads;
-      scheduler_->Spawn("popup-full-" + std::to_string(popup_counter_++), std::move(handler),
-                        priority);
+      scheduler_->SpawnDetached("popup-full-" + std::to_string(popup_counter_++),
+                                std::move(handler), priority);
       return;
     }
 

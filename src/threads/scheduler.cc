@@ -1,7 +1,5 @@
 #include "src/threads/scheduler.h"
 
-#include <algorithm>
-
 #include "src/base/log.h"
 #include "src/threads/popup.h"
 
@@ -21,10 +19,20 @@ Scheduler::~Scheduler() {
 }
 
 Thread* Scheduler::Spawn(std::string name, Thread::Entry entry, int priority) {
+  return SpawnImpl(std::move(name), std::move(entry), priority, /*detached=*/false);
+}
+
+Thread* Scheduler::SpawnDetached(std::string name, Thread::Entry entry, int priority) {
+  return SpawnImpl(std::move(name), std::move(entry), priority, /*detached=*/true);
+}
+
+Thread* Scheduler::SpawnImpl(std::string name, Thread::Entry entry, int priority,
+                             bool detached) {
   PARA_CHECK(priority >= kMinPriority && priority <= kMaxPriority);
   auto thread = std::unique_ptr<Thread>(
       new Thread(this, std::move(name), std::move(entry), priority, next_thread_id_++));
   Thread* raw = thread.get();
+  raw->detached_ = detached;
   threads_.push_back(std::move(thread));
   ++live_threads_;
   ++stats_.threads_spawned;
@@ -61,6 +69,7 @@ Thread* Scheduler::PromoteCurrentProto() {
   ++next_thread_id_;
   Thread* raw = thread.get();
   raw->state_ = ThreadState::kRunning;
+  raw->detached_ = true;  // promotion is internal; no caller ever sees this Thread*
   slot->promoted_thread = raw;
   threads_.push_back(std::move(thread));
   ++live_threads_;
@@ -173,9 +182,22 @@ void Scheduler::Exit() {
 
 void Scheduler::Join(Thread* thread) {
   PARA_CHECK(thread != current_);
+  // Detached threads and already-consumed shells may be destroyed at any
+  // reap; blocking on one would wake up holding a dangling pointer.
+  PARA_CHECK(!thread->detached_ && !thread->joined_);
   while (thread->state_ != ThreadState::kDone) {
     Block(&thread->joiners_);
   }
+  // The join consumes the handle: the shell is destroyed at the next reap.
+  thread->joined_ = true;
+  shells_dirty_ = true;
+}
+
+void Scheduler::ReleaseFinished() {
+  ReapFinished();  // release resources of anything still pending
+  std::erase_if(threads_, [](const std::unique_ptr<Thread>& t) {
+    return t->state_ == ThreadState::kDone;
+  });
 }
 
 bool Scheduler::WakeDueSleepers() {
@@ -193,13 +215,35 @@ bool Scheduler::WakeDueSleepers() {
 }
 
 void Scheduler::ReapFinished() {
+  if (finished_.empty() && !shells_dirty_) {
+    return;
+  }
+  // Spawn()ed threads are reduced to resource-free "zombie" shells rather
+  // than destroyed: callers may still hold the Thread* and Join() it long
+  // after completion (even after the reap), so the object must stay valid
+  // until the join consumes it. What gets released immediately is everything
+  // expensive — the 256 KiB fiber stack (whose entry closure owns whatever
+  // the spawner captured) and the adopted proto slot. Detached threads
+  // (internal spawns, promotions) have no outstanding handles and are
+  // destroyed outright, as are shells consumed by Join() since the last reap.
+  bool any_erasable = shells_dirty_;
   for (Thread* done : finished_) {
-    auto it = std::find_if(threads_.begin(), threads_.end(),
-                           [done](const std::unique_ptr<Thread>& t) { return t.get() == done; });
-    PARA_CHECK(it != threads_.end());
-    threads_.erase(it);
+    PARA_CHECK(done->state_ == ThreadState::kDone);
+    done->fiber_ = nullptr;
+    done->owned_fiber_.reset();
+    done->proto_slot_.reset();
+    any_erasable = any_erasable || done->detached_;
   }
   finished_.clear();
+  // Skip the threads_ walk when every finished thread left a joinable shell:
+  // shells accumulate by design, and rescanning them per reap would make
+  // spawn-heavy Run() loops quadratic.
+  if (any_erasable) {
+    std::erase_if(threads_, [](const std::unique_ptr<Thread>& t) {
+      return t->state_ == ThreadState::kDone && (t->detached_ || t->joined_);
+    });
+  }
+  shells_dirty_ = false;
 }
 
 void Scheduler::RunUntilIdle() {

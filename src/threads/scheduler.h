@@ -32,9 +32,17 @@ class Scheduler {
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
 
-  // Creates a ready thread. The returned pointer stays valid until the thread
-  // finishes AND has been joined or reaped by Run().
+  // Creates a ready thread. Once the thread finishes and is reaped, the
+  // object is reduced to a stack-free shell, so the returned pointer can
+  // still be queried and Join()ed; the shell itself is destroyed when Join()
+  // consumes it (join at most once) or when ReleaseFinished() is called.
   Thread* Spawn(std::string name, Thread::Entry entry, int priority = kDefaultPriority);
+
+  // Like Spawn, but the thread is destroyed outright at reap: nothing may
+  // hold the returned pointer past the thread's completion, and it must not
+  // be Join()ed. For fire-and-forget spawns (pop-up dispatch, component
+  // threads addressed by id).
+  Thread* SpawnDetached(std::string name, Thread::Entry entry, int priority = kDefaultPriority);
 
   // The running thread; nullptr while the scheduler main loop (or a
   // proto-thread, which has no identity yet) is executing.
@@ -64,8 +72,19 @@ class Scheduler {
   // Terminates the current thread. Must be on a thread (or promoted proto).
   [[noreturn]] void Exit();
 
-  // Blocks until `thread` has finished. The thread is reaped on return.
+  // Blocks until `thread` has finished. Returns immediately (without
+  // rescheduling) when it already has, including after it was reaped. Joining
+  // consumes the handle: the shell is destroyed at the next reap, so a thread
+  // may be joined at most once.
   void Join(Thread* thread);
+
+  // Destroys the shells of every finished thread, reclaiming their memory.
+  // Detached (internal) and joined threads are already destroyed
+  // automatically; this is for spawn-heavy loops that hold handles they never
+  // join. The trade-off is that outstanding Thread* handles to finished
+  // threads become dangling, so only call it when no such handle will be
+  // used again.
+  void ReleaseFinished();
 
   // Runs ready threads until none are ready (does not advance virtual time).
   void RunUntilIdle();
@@ -95,6 +114,8 @@ class Scheduler {
  private:
   friend class PopupEngine;
 
+  Thread* SpawnImpl(std::string name, Thread::Entry entry, int priority, bool detached);
+
   // Converts the running proto-thread into a full Thread that adopts the
   // proto's fiber; the new thread becomes `current_` and its first
   // switch-out will resume the dispatcher that launched the proto.
@@ -116,9 +137,10 @@ class Scheduler {
 
   Thread::QueueList run_queue_;      // sorted by priority, FIFO within
   Thread::QueueList sleep_queue_;    // sorted by wake_time_
-  std::vector<std::unique_ptr<Thread>> threads_;  // all live threads
-  std::vector<Thread*> finished_;    // done, pending reap
+  std::vector<std::unique_ptr<Thread>> threads_;  // every spawn; done ones are shells
+  std::vector<Thread*> finished_;    // done, pending resource release
   size_t live_threads_ = 0;
+  bool shells_dirty_ = false;        // a Join consumed a shell since last reap
   uint64_t next_thread_id_ = 1;
   std::function<bool()> idle_handler_;
   SchedulerStats stats_;

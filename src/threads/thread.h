@@ -50,12 +50,17 @@ class Thread {
 
   Scheduler* scheduler_;
   std::string name_;
-  Entry entry_;
   int priority_;
   uint64_t id_;
   ThreadState state_ = ThreadState::kReady;
   VTime wake_time_ = 0;  // valid while kSleeping
   bool promoted_ = false;
+  // Lifecycle after completion (see Scheduler::ReapFinished): detached
+  // threads (internal spawns whose Thread* is never handed out) are destroyed
+  // at reap; joinable ones persist as shells until consumed by Join() or
+  // ReleaseFinished().
+  bool detached_ = false;
+  bool joined_ = false;
 
   std::unique_ptr<Fiber> owned_fiber_;     // normal threads
   std::unique_ptr<ProtoSlot> proto_slot_;  // promoted threads, once adopted

@@ -67,7 +67,9 @@ TEST_P(VmemPropertyTest, RandomOpSequencePreservesInvariants) {
         if (live.empty()) {
           break;
         }
-        const Mapping& src = live[rng.NextBelow(live.size())];
+        // By value: the push_back below may reallocate `live` and would
+        // invalidate a reference into it.
+        const Mapping src = live[rng.NextBelow(live.size())];
         Context* dst = contexts[rng.NextBelow(contexts.size())];
         if (dst == src.context) {
           break;
