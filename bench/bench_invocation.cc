@@ -11,6 +11,10 @@
 // few ns and vanishes as grain grows.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
+#include "src/nucleus/proxy.h"
+#include "src/nucleus/vmem.h"
 #include "src/obj/bound_method.h"
 #include "src/obj/object.h"
 
@@ -129,6 +133,38 @@ void BM_BoundMethodCached(benchmark::State& state) {
   state.counters["cache_misses"] = static_cast<double>(work.cache_misses());
 }
 
+void BM_CrossDomainNullCall(benchmark::State& state) {
+  // The invocation pipeline's worst case and the system's hot path: a null
+  // (no-payload) method call that crosses protection domains through the
+  // fault-driven proxy — argument-frame marshalling, the simulated page
+  // fault, the per-page fault handler, and two context switches. This is the
+  // row the zero-allocation fast path is judged on; compare against
+  // BM_InterfaceSlotCall/0 for the cross-domain tax.
+  using namespace para::nucleus;  // NOLINT
+  VirtualMemoryService vmem(64);
+  ProxyEngine engine(&vmem);
+  Context* server = vmem.kernel_context();
+  Context* client = vmem.CreateContext("client", server);
+  Worker worker;
+  auto proxy = engine.CreateProxy(&worker, server, client);
+  if (!proxy.ok()) {
+    state.SkipWithError("proxy construction failed");
+    return;
+  }
+  Interface* iface = *(*proxy)->GetInterface("bench.work");
+  uint64_t acc = 1;
+  for (auto _ : state) {
+    acc = iface->Invoke(0, acc, /*grain=*/0);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.counters["faults_per_call"] =
+      static_cast<double>(engine.stats().faults) /
+      static_cast<double>(std::max<uint64_t>(engine.stats().calls, 1));
+  state.counters["switches_per_call"] =
+      static_cast<double>(engine.stats().context_switches) /
+      static_cast<double>(std::max<uint64_t>(engine.stats().calls, 1));
+}
+
 void GrainArgs(benchmark::internal::Benchmark* bench) {
   for (long grain : {0L, 16L, 256L, 4096L}) {
     bench->Arg(grain);
@@ -141,6 +177,7 @@ BENCHMARK(BM_DelegatedSlotCall)->Apply(GrainArgs);
 BENCHMARK(BM_VirtualCall)->Apply(GrainArgs);
 BENCHMARK(BM_InvokeByName)->Apply(GrainArgs);
 BENCHMARK(BM_BoundMethodCached)->Apply(GrainArgs);
+BENCHMARK(BM_CrossDomainNullCall);
 
 }  // namespace
 

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Runs every bench_* target with JSON output so the perf trajectory of the
+# repo accumulates as machine-readable artifacts. One BENCH_<name>.json per
+# bench lands in the output directory; CI uploads them per run.
+#
+# Usage: scripts/run-benches.sh <build-dir> [out-dir] [extra benchmark args...]
+#   scripts/run-benches.sh build-rel                 # full run, JSON into CWD
+#   scripts/run-benches.sh build-rel bench-out --benchmark_min_time=0.01
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-.}"
+shift $(( $# > 2 ? 2 : $# ))
+
+mkdir -p "${OUT_DIR}"
+
+targets=()
+for src in bench/bench_*.cc; do
+  name="$(basename "${src}" .cc)"
+  targets+=("${name}")
+done
+cmake --build "${BUILD_DIR}" -j "$(nproc)" --target "${targets[@]}"
+
+for name in "${targets[@]}"; do
+  out="${OUT_DIR}/BENCH_${name#bench_}.json"
+  echo "== ${name} -> ${out}"
+  "${BUILD_DIR}/bench/${name}" \
+    --benchmark_format=json \
+    --benchmark_out="${out}" \
+    --benchmark_out_format=json \
+    "$@" >/dev/null
+done
+echo "bench run OK (${#targets[@]} targets, JSON in ${OUT_DIR})"

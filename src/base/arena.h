@@ -1,0 +1,56 @@
+// A reusable bump arena for per-call scratch buffers on hot paths.
+//
+// The invocation pipeline (proxy payload marshalling, RPC request assembly)
+// needs short-lived byte buffers whose size varies per call. Allocating a
+// fresh std::vector per call puts malloc/free on the fast path; an Arena
+// instead keeps one backing buffer alive across calls and hands out spans by
+// bumping an offset. Reset() rewinds the offset without releasing capacity,
+// so steady-state operation performs zero heap allocations.
+//
+// Contract: spans returned by Allocate() are valid until the next Reset() OR
+// until a later Allocate() has to grow the backing buffer — callers must
+// finish one burst of allocations before growing demands can arise (in
+// practice: Reset(), allocate everything the call needs, use, return).
+#ifndef PARAMECIUM_SRC_BASE_ARENA_H_
+#define PARAMECIUM_SRC_BASE_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace para {
+
+class Arena {
+ public:
+  explicit Arena(size_t initial_capacity = 0) { buffer_.resize(initial_capacity); }
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Returns a span of `n` zero-initialized-on-first-use bytes. Grows the
+  // backing buffer when needed (amortized; steady state never grows).
+  std::span<uint8_t> Allocate(size_t n) {
+    if (used_ + n > buffer_.size()) {
+      size_t grown = buffer_.size() * 2;
+      buffer_.resize(grown > used_ + n ? grown : used_ + n);
+    }
+    std::span<uint8_t> out(buffer_.data() + used_, n);
+    used_ += n;
+    return out;
+  }
+
+  // Rewinds to empty, keeping capacity for reuse.
+  void Reset() { used_ = 0; }
+
+  size_t used() const { return used_; }
+  size_t capacity() const { return buffer_.size(); }
+
+ private:
+  std::vector<uint8_t> buffer_;
+  size_t used_ = 0;
+};
+
+}  // namespace para
+
+#endif  // PARAMECIUM_SRC_BASE_ARENA_H_

@@ -1,0 +1,166 @@
+// A small-buffer function wrapper for dispatch fast paths.
+//
+// std::function's inline buffer is implementation-defined and small (16
+// bytes on libstdc++), so the capture lists that event call-backs and pop-up
+// work items actually carry routinely spill to the heap — on every dispatch.
+// InlineFunction makes the buffer size a template parameter: callables up to
+// InlineBytes live inline (construction, copy, and move are allocation-free)
+// and only oversized callables fall back to the heap. Registration-time
+// storage and per-dispatch copies of typical call-backs therefore never
+// allocate.
+//
+// Semantics mirror std::function: owning, copyable, nullable, const-callable
+// (the target is invoked non-const, as with std::function).
+#ifndef PARAMECIUM_SRC_BASE_INLINE_FUNCTION_H_
+#define PARAMECIUM_SRC_BASE_INLINE_FUNCTION_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace para {
+
+template <typename Signature, size_t InlineBytes = 48>
+class InlineFunction;  // undefined; see the R(Args...) partial specialization
+
+template <typename R, typename... Args, size_t InlineBytes>
+class InlineFunction<R(Args...), InlineBytes> {
+ public:
+  InlineFunction() = default;
+  InlineFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (kFitsInline<Fn>) {
+      new (storage_) Fn(std::forward<F>(f));
+    } else {
+      new (storage_) Fn*(new Fn(std::forward<F>(f)));
+    }
+    ops_ = OpsFor<Fn>();
+  }
+
+  InlineFunction(const InlineFunction& other) : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->copy(storage_, other.storage_);
+    }
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  InlineFunction& operator=(const InlineFunction& other) {
+    if (this != &other) {
+      InlineFunction copy(other);
+      *this = std::move(copy);
+    }
+    return *this;
+  }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      Clear();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(storage_, other.storage_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineFunction& operator=(std::nullptr_t) {
+    Clear();
+    return *this;
+  }
+
+  ~InlineFunction() { Clear(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+  friend bool operator==(const InlineFunction& f, std::nullptr_t) { return f.ops_ == nullptr; }
+  friend bool operator!=(const InlineFunction& f, std::nullptr_t) { return f.ops_ != nullptr; }
+
+  R operator()(Args... args) const {
+    return ops_->invoke(const_cast<unsigned char*>(storage_), std::forward<Args>(args)...);
+  }
+
+  // True when the current target (if any) lives in the inline buffer.
+  bool is_inline() const { return ops_ == nullptr || !ops_->heap; }
+
+ private:
+  template <typename Fn>
+  static constexpr bool kFitsInline =
+      sizeof(Fn) <= InlineBytes && alignof(Fn) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<Fn>;
+
+  struct Ops {
+    R (*invoke)(void* storage, Args&&... args);
+    void (*copy)(void* dst, const void* src);   // copy-construct dst from src
+    void (*relocate)(void* dst, void* src);     // move-construct dst, destroy src
+    void (*destroy)(void* storage);
+    bool heap;
+  };
+
+  template <typename Fn>
+  static const Ops* OpsFor() {
+    if constexpr (kFitsInline<Fn>) {
+      static constexpr Ops ops = {
+          [](void* s, Args&&... args) -> R {
+            return (*std::launder(reinterpret_cast<Fn*>(s)))(std::forward<Args>(args)...);
+          },
+          [](void* dst, const void* src) {
+            new (dst) Fn(*std::launder(reinterpret_cast<const Fn*>(src)));
+          },
+          [](void* dst, void* src) {
+            Fn* from = std::launder(reinterpret_cast<Fn*>(src));
+            new (dst) Fn(std::move(*from));
+            from->~Fn();
+          },
+          [](void* s) { std::launder(reinterpret_cast<Fn*>(s))->~Fn(); },
+          /*heap=*/false,
+      };
+      return &ops;
+    } else {
+      static constexpr Ops ops = {
+          [](void* s, Args&&... args) -> R {
+            return (**std::launder(reinterpret_cast<Fn**>(s)))(std::forward<Args>(args)...);
+          },
+          [](void* dst, const void* src) {
+            new (dst) Fn*(new Fn(**std::launder(reinterpret_cast<Fn* const*>(src))));
+          },
+          [](void* dst, void* src) {
+            Fn** from = std::launder(reinterpret_cast<Fn**>(src));
+            new (dst) Fn*(*from);  // steal the heap pointer
+            *from = nullptr;
+          },
+          [](void* s) { delete *std::launder(reinterpret_cast<Fn**>(s)); },
+          /*heap=*/true,
+      };
+      return &ops;
+    }
+  }
+
+  void Clear() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[InlineBytes < sizeof(void*)
+                                                       ? sizeof(void*)
+                                                       : InlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace para
+
+#endif  // PARAMECIUM_SRC_BASE_INLINE_FUNCTION_H_

@@ -66,7 +66,8 @@ Status RpcComponent::RegisterProcedure(uint32_t proc, RpcProcedure procedure) {
 
 Status RpcComponent::SendMessage(net::IpAddr ip, net::Port port, uint32_t xid, uint32_t proc,
                                  uint32_t flags, std::span<const uint8_t> payload) {
-  std::vector<uint8_t> message(kHeaderBytes + payload.size());
+  tx_arena_.Reset();
+  std::span<uint8_t> message = tx_arena_.Allocate(kHeaderBytes + payload.size());
   PutU32(message.data(), xid);
   PutU32(message.data() + 4, proc);
   PutU32(message.data() + 8, flags);
@@ -164,7 +165,8 @@ Result<std::vector<uint8_t>> RpcComponent::Call(uint32_t proc,
 
 uint64_t RpcComponent::CallSlot(uint64_t proc, uint64_t payload_vaddr, uint64_t len,
                                 uint64_t capacity) {
-  std::vector<uint8_t> request(len);
+  request_arena_.Reset();
+  std::span<uint8_t> request = request_arena_.Allocate(len);
   if (!vmem_->Read(stack_->home(), payload_vaddr, request).ok()) {
     return ~uint64_t{0};
   }

@@ -21,6 +21,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/base/arena.h"
 #include "src/base/status.h"
 #include "src/components/interfaces.h"
 #include "src/components/protocol_stack.h"
@@ -108,6 +109,14 @@ class RpcComponent : public obj::Object {
   std::map<uint32_t, RpcProcedure> procedures_;
   std::map<uint32_t, std::unique_ptr<PendingCall>> pending_;
   uint32_t next_xid_ = 1;
+  // Per-client scratch, reused across calls so the steady-state request
+  // path performs no heap allocation: `tx_arena_` assembles the wire
+  // message (header + payload), `request_arena_` stages the request bytes
+  // read out of the caller's domain in CallSlot. Both are reset at the top
+  // of each use; SendDatagram copies synchronously, so the spans never
+  // escape a call.
+  Arena tx_arena_;
+  Arena request_arena_;
   RpcStats stats_;
 };
 

@@ -7,7 +7,9 @@
 #define PARAMECIUM_SRC_NUCLEUS_CONTEXT_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 
 #include "src/base/status.h"
@@ -31,13 +33,23 @@ enum PageProt : uint8_t {
   kProtReadWrite = kProtRead | kProtWrite,
 };
 
+// Sentinel: no fault call-back installed on this page. Handler slots live in
+// a flat pool owned by VirtualMemoryService; the PTE stores the slot index,
+// which makes the handler lookup a table walk the page-table hit already
+// paid for (and keys handlers by the full virtual page — the old packed
+// (ctx id << 32 | vpage) key silently collided for vpages >= 2^32).
+inline constexpr uint32_t kNoFaultHandler = 0xFFFF'FFFF;
+
 // A software page-table entry.
 struct Pte {
   PhysPage phys = 0;
   uint8_t prot = kProtNone;
   bool shared = false;       // mapped into more than one context
   bool io = false;           // I/O-space window (see vmem.h), phys is an io handle
-  bool has_fault_handler = false;
+  bool backed = false;       // owns/refs a physical page (false: fault-only or io PTE)
+  uint32_t handler = kNoFaultHandler;  // fault-handler slot index (vmem's pool)
+
+  bool has_fault_handler() const { return handler != kNoFaultHandler; }
 };
 
 class Context {
@@ -63,9 +75,50 @@ class Context {
     auto it = pages_.find(vaddr >> kPageShift);
     return it == pages_.end() ? nullptr : &it->second;
   }
-  void Install(VAddr vaddr, Pte pte) { pages_[vaddr >> kPageShift] = pte; }
-  bool Uninstall(VAddr vaddr) { return pages_.erase(vaddr >> kPageShift) > 0; }
+  void Install(VAddr vaddr, Pte pte) {
+    TlbInvalidate(vaddr);
+    pages_[vaddr >> kPageShift] = pte;
+  }
+  bool Uninstall(VAddr vaddr) {
+    TlbInvalidate(vaddr);
+    return pages_.erase(vaddr >> kPageShift) > 0;
+  }
   size_t mapped_pages() const { return pages_.size(); }
+  const std::unordered_map<uint64_t, Pte>& page_table() const { return pages_; }
+
+  // --- translation cache ---
+  // A small direct-mapped software TLB over this domain's page table: the
+  // resolved host pointer and protection of recently used pages. Accesses
+  // that hit skip the hash-map walk and all fault machinery (a cached page
+  // is by construction mapped, non-I/O, and fault-free for the cached
+  // protection). Filled by the virtual-memory service after a successful
+  // ResolvePage; invalidated on Install/Uninstall and protection changes.
+
+  uint8_t* TlbLookup(VAddr vaddr, uint8_t required_prot) const {
+    const TlbEntry& entry = tlb_[(vaddr >> kPageShift) & kTlbMask];
+    if (entry.vpage == (vaddr >> kPageShift) &&
+        (entry.prot & required_prot) == required_prot) {
+      return entry.host;
+    }
+    return nullptr;
+  }
+  void TlbFill(VAddr vaddr, uint8_t* host, uint8_t prot) {
+    TlbEntry& entry = tlb_[(vaddr >> kPageShift) & kTlbMask];
+    entry.vpage = vaddr >> kPageShift;
+    entry.host = host;
+    entry.prot = prot;
+  }
+  void TlbInvalidate(VAddr vaddr) {
+    TlbEntry& entry = tlb_[(vaddr >> kPageShift) & kTlbMask];
+    if (entry.vpage == (vaddr >> kPageShift)) {
+      entry = TlbEntry{};
+    }
+  }
+  void TlbFlush() {
+    for (TlbEntry& entry : tlb_) {
+      entry = TlbEntry{};
+    }
+  }
 
   // Bump allocator for virtual addresses; regions are never reused, which
   // keeps dangling-mapping bugs loud (any access after unmap faults).
@@ -78,24 +131,40 @@ class Context {
   // --- name-space overrides (§2) ---
   // Maps an instance path to another path ("control the child objects it
   // will import"). Consulted by the directory service before the shared
-  // name space; inherited through parent_.
+  // name space; inherited through parent_. Lookup is heterogeneous
+  // (string_view) so the directory's per-lookup resolution allocates
+  // nothing.
   void AddOverride(const std::string& path, const std::string& replacement) {
     overrides_[path] = replacement;
   }
   void RemoveOverride(const std::string& path) { overrides_.erase(path); }
-  const std::string* FindOverride(const std::string& path) const {
+  const std::string* FindOverride(std::string_view path) const {
     auto it = overrides_.find(path);
     return it == overrides_.end() ? nullptr : &it->second;
   }
   size_t override_count() const { return overrides_.size(); }
 
  private:
+  struct TlbEntry {
+    uint64_t vpage = ~uint64_t{0};
+    uint8_t* host = nullptr;
+    uint8_t prot = kProtNone;
+  };
+  static constexpr size_t kTlbEntries = 16;  // power of two
+  static constexpr uint64_t kTlbMask = kTlbEntries - 1;
+
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const { return std::hash<std::string_view>{}(s); }
+  };
+
   ContextId id_;
   std::string name_;
   Context* parent_;
   std::unordered_map<uint64_t, Pte> pages_;  // vpage -> pte
+  TlbEntry tlb_[kTlbEntries];
   VAddr next_vaddr_ = 0x0000'1000'0000;      // leave low range unmapped
-  std::unordered_map<std::string, std::string> overrides_;
+  std::unordered_map<std::string, std::string, StringHash, std::equal_to<>> overrides_;
 };
 
 }  // namespace para::nucleus

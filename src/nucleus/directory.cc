@@ -4,11 +4,11 @@
 
 namespace para::nucleus {
 
-Result<std::vector<std::string>> DirectoryService::SplitPath(std::string_view path) {
+Result<DirectoryService::Node*> DirectoryService::Walk(std::string_view path, bool create) {
   if (path.empty() || path[0] != '/') {
     return Status(ErrorCode::kInvalidArgument, "paths are absolute");
   }
-  std::vector<std::string> parts;
+  Node* node = root_.get();
   size_t start = 1;
   while (start <= path.size()) {
     size_t end = path.find('/', start);
@@ -21,30 +21,24 @@ Result<std::vector<std::string>> DirectoryService::SplitPath(std::string_view pa
       }
       return Status(ErrorCode::kInvalidArgument, "empty path component");
     }
-    parts.emplace_back(path.substr(start, end - start));
-    start = end + 1;
-  }
-  return parts;
-}
-
-Result<DirectoryService::Node*> DirectoryService::Walk(std::string_view path, bool create) {
-  PARA_ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitPath(path));
-  Node* node = root_.get();
-  for (const std::string& part : parts) {
+    std::string_view part = path.substr(start, end - start);
     auto it = node->children.find(part);
     if (it == node->children.end()) {
       if (!create) {
         return Status(ErrorCode::kNotFound, "no such name");
       }
-      it = node->children.emplace(part, std::make_unique<Node>()).first;
+      // Register path: intern the component. Lookups never reach here.
+      it = node->children.emplace(std::string(part), std::make_unique<Node>()).first;
     }
     node = it->second.get();
+    start = end + 1;
   }
   return node;
 }
 
-std::string DirectoryService::ResolveOverrides(std::string_view path, Context* client) {
-  std::string current(path);
+std::string_view DirectoryService::ResolveOverrides(std::string_view path, Context* client,
+                                                    std::string& storage) {
+  std::string_view current = path;
   // Bounded: override chains must not loop forever.
   for (int depth = 0; depth < 8; ++depth) {
     const std::string* replacement = nullptr;
@@ -58,9 +52,11 @@ std::string DirectoryService::ResolveOverrides(std::string_view path, Context* c
       return current;
     }
     ++stats_.override_hits;
-    current = *replacement;
+    storage = *replacement;
+    current = storage;
   }
-  PARA_WARN("override chain too deep for %s", current.c_str());
+  PARA_WARN("override chain too deep for %.*s", static_cast<int>(current.size()),
+            current.data());
   return current;
 }
 
@@ -93,7 +89,8 @@ Status DirectoryService::Unregister(std::string_view path) {
 
 Result<obj::Object*> DirectoryService::Lookup(std::string_view path, Context* client) {
   ++stats_.lookups;
-  std::string resolved = client ? ResolveOverrides(path, client) : std::string(path);
+  std::string storage;
+  std::string_view resolved = client ? ResolveOverrides(path, client, storage) : path;
   PARA_ASSIGN_OR_RETURN(Node * node, Walk(resolved, /*create=*/false));
   if (node->object == nullptr) {
     return Status(ErrorCode::kNotFound, "name is a directory");
@@ -107,7 +104,8 @@ Result<Binding> DirectoryService::Bind(std::string_view path, Context* client,
     return Status(ErrorCode::kInvalidArgument, "bind needs a client context");
   }
   ++stats_.binds;
-  std::string resolved = ResolveOverrides(path, client);
+  std::string storage;
+  std::string_view resolved = ResolveOverrides(path, client, storage);
   PARA_ASSIGN_OR_RETURN(Node * node, Walk(resolved, /*create=*/false));
   if (node->object == nullptr) {
     return Status(ErrorCode::kNotFound, "name is a directory");

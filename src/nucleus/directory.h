@@ -83,7 +83,10 @@ class DirectoryService : public obj::Object {
 
  private:
   struct Node {
-    std::map<std::string, std::unique_ptr<Node>> children;
+    // Path components are interned here at register time; the transparent
+    // comparator lets Walk probe with string_views carved straight out of
+    // the query path, so lookups allocate nothing.
+    std::map<std::string, std::unique_ptr<Node>, std::less<>> children;
     obj::Object* object = nullptr;
     Context* owner = nullptr;
     std::unique_ptr<obj::Object> owned;
@@ -91,10 +94,14 @@ class DirectoryService : public obj::Object {
     std::map<ContextId, std::unique_ptr<obj::Object>> proxies;
   };
 
-  static Result<std::vector<std::string>> SplitPath(std::string_view path);
+  // Parses `path` component-by-component in place (no split vector) and
+  // walks the tree. `create` interns missing components (register path).
   Result<Node*> Walk(std::string_view path, bool create);
   // Applies the override chain of `client` to `path` (bounded depth).
-  std::string ResolveOverrides(std::string_view path, Context* client);
+  // Allocation-free when no override matches (the common case); `storage`
+  // backs the returned view only when a replacement was followed.
+  std::string_view ResolveOverrides(std::string_view path, Context* client,
+                                    std::string& storage);
 
   ProxyEngine* proxies_;
   std::unique_ptr<Node> root_;

@@ -9,11 +9,12 @@
 #ifndef PARAMECIUM_SRC_NUCLEUS_EVENT_H_
 #define PARAMECIUM_SRC_NUCLEUS_EVENT_H_
 
+#include <array>
 #include <cstdint>
-#include <functional>
 #include <string>
 #include <vector>
 
+#include "src/base/inline_function.h"
 #include "src/base/status.h"
 #include "src/hw/machine.h"
 #include "src/nucleus/context.h"
@@ -39,8 +40,10 @@ inline constexpr EventNumber IrqEvent(int line) {
 }
 
 // Call-back payload: the event number plus one word of event-specific detail
-// (faulting address, syscall number, ...).
-using EventCallback = std::function<void(EventNumber event, uint64_t detail)>;
+// (faulting address, syscall number, ...). Small-buffer storage: typical
+// capture lists live inline, so registering and (crucially) dispatching a
+// call-back performs no heap allocation.
+using EventCallback = InlineFunction<void(EventNumber event, uint64_t detail), 48>;
 
 struct EventRegistration {
   Context* context = nullptr;
@@ -61,8 +64,17 @@ class EventService : public obj::Object {
   // pop-up/proto-thread machinery.
   EventService(hw::Machine* machine, threads::PopupEngine* popup);
 
+  // Hard bound on call-backs per event. Registrations live in a fixed-size
+  // per-event array, so raising an event walks a flat table — no snapshot
+  // copy, no allocation — and the bound turns runaway registration into a
+  // loud kResourceExhausted instead of silent slowdown.
+  static constexpr size_t kMaxRegistrationsPerEvent = 16;
+
   // Registers a call-back for `event`. Multiple registrations per event are
-  // allowed (delivered in registration order). Returns a registration id.
+  // allowed, delivered in registration order — with one corner: when the
+  // table is at capacity and a call-back unregisters + re-registers during
+  // a dispatch, the replacement inherits the freed slot's position instead
+  // of going last. Returns a registration id.
   Result<uint64_t> Register(EventNumber event, Context* context, EventCallback callback,
                             threads::DispatchMode mode = threads::DispatchMode::kProtoThread,
                             std::string name = {});
@@ -76,16 +88,29 @@ class EventService : public obj::Object {
 
  private:
   struct Entry {
-    uint64_t id;
+    uint64_t id = 0;  // 0: slot free / tombstoned
     EventRegistration registration;
   };
 
+  // The live registrations for one event: a bounded array plus the length
+  // of its occupied prefix. Entries unregistered during an active dispatch
+  // are tombstoned (id = 0) and compacted once dispatch unwinds, so the
+  // walk never shifts under a running iteration.
+  struct EventSlots {
+    std::array<Entry, kMaxRegistrationsPerEvent> entries;
+    size_t count = 0;
+    size_t live = 0;  // count minus tombstones
+  };
+
   void Dispatch(EventNumber event, uint64_t detail);
+  static void Compact(EventSlots& slots);
 
   hw::Machine* machine_;
   threads::PopupEngine* popup_;
-  std::vector<std::vector<Entry>> table_;  // indexed by event number
+  std::vector<EventSlots> table_;  // indexed by event number
   uint64_t next_id_ = 1;
+  int dispatch_depth_ = 0;
+  bool pending_compaction_ = false;
   EventStats stats_;
 };
 

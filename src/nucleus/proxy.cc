@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "src/base/arena.h"
 #include "src/base/log.h"
 
 namespace para::nucleus {
@@ -20,6 +21,10 @@ struct ArgFrame {
 // Per-slot payload marshalling flags.
 constexpr uint8_t kPayloadIn = 1 << 0;
 constexpr uint8_t kPayloadOut = 1 << 1;
+
+bool Overlaps(std::span<const uint8_t> a, std::span<const uint8_t> b) {
+  return a.data() < b.data() + b.size() && b.data() < a.data() + a.size();
+}
 
 }  // namespace
 
@@ -40,6 +45,20 @@ class ProxyObject : public obj::Object {
     PARA_ASSIGN_OR_RETURN(
         server_payload_,
         vmem->AllocatePages(server_, options_.payload_capacity_pages, kProtReadWrite));
+
+    // Bind-time translation: the proxy owns these windows, so their host
+    // addresses are resolved exactly once and every per-call copy below is
+    // a plain memcpy instead of a word-granular software-MMU walk.
+    PARA_ASSIGN_OR_RETURN(client_args_host_, vmem->TranslateSpan(client_, client_args_,
+                                                                 sizeof(ArgFrame),
+                                                                 /*write=*/true));
+    PARA_ASSIGN_OR_RETURN(server_args_host_, vmem->TranslateSpan(server_, server_args_,
+                                                                 sizeof(ArgFrame),
+                                                                 /*write=*/true));
+    PARA_ASSIGN_OR_RETURN(
+        server_payload_host_,
+        vmem->TranslateSpan(server_, server_payload_,
+                            options_.payload_capacity_pages * kPageSize, /*write=*/true));
 
     // Mirror every interface of the target. Each interface gets one fault
     // page whose entries are 8 bytes apart, and ONE per-page fault handler
@@ -115,11 +134,19 @@ class ProxyObject : public obj::Object {
     VirtualMemoryService* vmem = engine->vmem_;
     ++engine->stats_.calls;
 
+    // Client-side marshalling goes through the software MMU so the client's
+    // mapping state is honored: a bad mapping fails the call (error
+    // sentinel), it does not abort the process. The per-domain translation
+    // cache makes the steady-state cost a single memcpy.
     ArgFrame frame{{a0, a1, a2, a3}, slot, 0};
     Status status = vmem->Write(
         client_, client_args_,
         std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(&frame), sizeof(frame)));
-    PARA_CHECK(status.ok());
+    if (!status.ok()) {
+      PARA_ERROR("cross-domain call: argument marshalling failed: %s",
+                 status.message().data());
+      return ~uint64_t{0};
+    }
 
     // Reference the interface entry: this is the page fault that transfers
     // control to the per-page fault handler.
@@ -133,21 +160,85 @@ class ProxyObject : public obj::Object {
 
     // Return value marshalled back into the client frame by the handler.
     auto result = vmem->ReadU64(client_, client_args_ + offsetof(ArgFrame, result));
-    PARA_CHECK(result.ok());
+    if (!result.ok()) {
+      PARA_ERROR("cross-domain call: result readback failed: %s",
+                 result.status().message().data());
+      return ~uint64_t{0};
+    }
     return *result;
   }
 
-  // Kernel-side fault handler: map in arguments, switch context, invoke.
-  Status HandleFault(const IfaceRecord& record, const FaultInfo& info) {
+  // Copies `len` payload bytes client -> server window ("map in arguments").
+  // Fast path: the client buffer translates to one host span disjoint from
+  // the window, so the copy is a single memcpy. Otherwise (non-contiguous
+  // client buffer, or one that aliases the window through shared pages) the
+  // bytes bounce through the proxy's scratch arena — reused across calls,
+  // so even the slow path stops allocating after warm-up.
+  Status CopyPayloadIn(uint64_t client_buffer, size_t len) {
     VirtualMemoryService* vmem = engine_->vmem_;
+    auto client_span = vmem->TranslateSpan(client_, client_buffer, len, /*write=*/false);
+    if (client_span.ok()) {
+      if (!Overlaps(*client_span, server_payload_host_)) {
+        std::memcpy(server_payload_host_.data(), client_span->data(), len);
+        return OkStatus();
+      }
+      scratch_.Reset();
+      std::span<uint8_t> bounce = scratch_.Allocate(len);
+      std::memcpy(bounce.data(), client_span->data(), len);
+      std::memcpy(server_payload_host_.data(), bounce.data(), len);
+      return OkStatus();
+    }
+    if (!client_span.status().is(ErrorCode::kFailedPrecondition)) {
+      return client_span.status();  // unmapped / protection failure
+    }
+    // Physically fragmented client buffer: page-walk it through the arena.
+    // The bounce is mandatory here — a fragmented buffer may still alias
+    // the window through shared pages, and without one host span there is
+    // no cheap overlap check.
+    scratch_.Reset();
+    std::span<uint8_t> bounce = scratch_.Allocate(len);
+    PARA_RETURN_IF_ERROR(vmem->Read(client_, client_buffer, bounce));
+    std::memcpy(server_payload_host_.data(), bounce.data(), len);
+    return OkStatus();
+  }
+
+  // Copies `n` result bytes server window -> client buffer ("return values
+  // are handled similarly"). Mirror image of CopyPayloadIn.
+  Status CopyPayloadOut(uint64_t client_buffer, size_t n) {
+    VirtualMemoryService* vmem = engine_->vmem_;
+    auto client_span = vmem->TranslateSpan(client_, client_buffer, n, /*write=*/true);
+    if (client_span.ok()) {
+      if (!Overlaps(*client_span, server_payload_host_)) {
+        std::memcpy(client_span->data(), server_payload_host_.data(), n);
+        return OkStatus();
+      }
+      scratch_.Reset();
+      std::span<uint8_t> bounce = scratch_.Allocate(n);
+      std::memcpy(bounce.data(), server_payload_host_.data(), n);
+      std::memcpy(client_span->data(), bounce.data(), n);
+      return OkStatus();
+    }
+    if (!client_span.status().is(ErrorCode::kFailedPrecondition)) {
+      return client_span.status();
+    }
+    // Fragmented client buffer: bounce for the same aliasing reason as in
+    // CopyPayloadIn.
+    scratch_.Reset();
+    std::span<uint8_t> bounce = scratch_.Allocate(n);
+    std::memcpy(bounce.data(), server_payload_host_.data(), n);
+    return vmem->Write(client_, client_buffer, bounce);
+  }
+
+  // Kernel-side fault handler: map in arguments, switch context, invoke.
+  // Runs entirely on bind-time translations — zero heap allocations and no
+  // string or hash-map lookups per call.
+  Status HandleFault(const IfaceRecord& record, const FaultInfo& info) {
     (void)info;
 
-    // Copy the argument frame client -> server ("map in arguments into the
-    // object's protection domain").
+    // The argument frame was marshalled into the client argument page; the
+    // kernel-side handler reads it through the bind-time translation.
     ArgFrame frame;
-    PARA_RETURN_IF_ERROR(vmem->Read(
-        client_, client_args_,
-        std::span<uint8_t>(reinterpret_cast<uint8_t*>(&frame), sizeof(frame))));
+    std::memcpy(&frame, client_args_host_.data(), sizeof(frame));
     if (frame.slot >= record.payload_flags.size()) {
       return Status(ErrorCode::kInvalidArgument, "bad slot in argument frame");
     }
@@ -158,22 +249,19 @@ class ProxyObject : public obj::Object {
       // a0 = client buffer vaddr, a1 = length/capacity: re-home a0 to the
       // server's payload area, copying the contents in for input payloads.
       size_t len = static_cast<size_t>(frame.args[1]);
-      size_t cap = options_.payload_capacity_pages * kPageSize;
-      if (len > cap) {
+      if (len > server_payload_host_.size()) {
         return Status(ErrorCode::kOutOfRange, "payload exceeds proxy window");
       }
-      if ((flags & kPayloadIn) != 0) {
-        std::vector<uint8_t> bounce(len);
-        PARA_RETURN_IF_ERROR(vmem->Read(client_, client_buffer, bounce));
-        PARA_RETURN_IF_ERROR(vmem->Write(server_, server_payload_, bounce));
+      if ((flags & kPayloadIn) != 0 && len > 0) {
+        PARA_RETURN_IF_ERROR(CopyPayloadIn(client_buffer, len));
         engine_->stats_.payload_bytes += len;
       }
       frame.args[0] = server_payload_;
     }
 
-    PARA_RETURN_IF_ERROR(vmem->Write(
-        server_, server_args_,
-        std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(&frame), sizeof(frame))));
+    // Frame client -> server ("map in arguments into the object's
+    // protection domain"): one memcpy between the resolved windows.
+    std::memcpy(server_args_host_.data(), &frame, sizeof(frame));
 
     // Context switch into the server domain, invoke, switch back.
     Context* previous = engine_->current_domain_;
@@ -189,17 +277,17 @@ class ProxyObject : public obj::Object {
       // them back into the caller's buffer.
       size_t n = std::min<size_t>(result, frame.args[1]);
       if (n > 0) {
-        std::vector<uint8_t> bounce(n);
-        PARA_RETURN_IF_ERROR(vmem->Read(server_, server_payload_, bounce));
-        PARA_RETURN_IF_ERROR(vmem->Write(client_, client_buffer, bounce));
+        PARA_RETURN_IF_ERROR(CopyPayloadOut(client_buffer, n));
         engine_->stats_.payload_bytes += n;
       }
     }
 
-    // Marshal the return value back ("return values are handled similarly").
-    PARA_RETURN_IF_ERROR(
-        vmem->WriteU64(server_, server_args_ + offsetof(ArgFrame, result), result));
-    return vmem->WriteU64(client_, client_args_ + offsetof(ArgFrame, result), result);
+    // Marshal the return value into both frames.
+    std::memcpy(server_args_host_.data() + offsetof(ArgFrame, result), &result,
+                sizeof(result));
+    std::memcpy(client_args_host_.data() + offsetof(ArgFrame, result), &result,
+                sizeof(result));
+    return OkStatus();
   }
 
   ProxyEngine* engine_;
@@ -210,6 +298,11 @@ class ProxyObject : public obj::Object {
   VAddr client_args_ = 0;
   VAddr server_args_ = 0;
   VAddr server_payload_ = 0;
+  // Bind-time host translations of the windows above (see Setup).
+  std::span<uint8_t> client_args_host_;
+  std::span<uint8_t> server_args_host_;
+  std::span<uint8_t> server_payload_host_;
+  Arena scratch_;  // reusable bounce for aliasing payload buffers
   std::vector<std::unique_ptr<IfaceRecord>> records_;
   std::vector<std::unique_ptr<SlotStub>> stubs_;
 };

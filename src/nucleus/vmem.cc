@@ -6,14 +6,6 @@
 
 namespace para::nucleus {
 
-namespace {
-
-uint64_t HandlerKey(ContextId id, VAddr vaddr) {
-  return (static_cast<uint64_t>(id) << 32) | (vaddr >> kPageShift);
-}
-
-}  // namespace
-
 VirtualMemoryService::VirtualMemoryService(size_t physical_pages)
     : memory_(physical_pages * kPageSize, 0),
       page_bitmap_(physical_pages),
@@ -34,6 +26,31 @@ Status VirtualMemoryService::DestroyContext(Context* context) {
   }
   for (auto it = contexts_.begin(); it != contexts_.end(); ++it) {
     if (it->get() == context) {
+      // Tear down the page table: fault-handler slots go back to the pool
+      // (the PTE indices die with the table), backed pages drop their
+      // reference — shared mappings held by other contexts keep the
+      // physical page alive, everything else returns to the allocator —
+      // and exclusively-held register windows are retired so the device
+      // can be mapped again.
+      for (const auto& [vpage, pte] : context->page_table()) {
+        if (pte.handler != kNoFaultHandler) {
+          ReleaseHandlerSlot(pte.handler);
+        }
+        if (pte.backed) {
+          PARA_CHECK(page_refcount_[pte.phys] > 0);
+          if (--page_refcount_[pte.phys] == 0) {
+            page_bitmap_.Clear(pte.phys);
+            ++stats_.pages_freed;
+          }
+        }
+        if (pte.io) {
+          IoWindow& window = io_windows_[pte.phys];
+          if (window.registers && window.exclusive_owner == context) {
+            window.exclusive_owner = nullptr;
+            window.device = nullptr;  // window retired
+          }
+        }
+      }
       contexts_.erase(it);
       return OkStatus();
     }
@@ -63,6 +80,7 @@ Result<VAddr> VirtualMemoryService::AllocatePages(Context* context, size_t count
     Pte pte;
     pte.phys = page;
     pte.prot = prot;
+    pte.backed = true;
     context->Install(base + i * kPageSize, pte);
   }
   stats_.pages_allocated += count;
@@ -90,6 +108,7 @@ Result<VAddr> VirtualMemoryService::SharePages(Context* from, VAddr vaddr, size_
     pte.phys = src->phys;
     pte.prot = prot;
     pte.shared = true;
+    pte.backed = true;
     to->Install(base + i * kPageSize, pte);
   }
   stats_.shared_mappings += count;
@@ -106,14 +125,16 @@ Status VirtualMemoryService::FreePages(Context* context, VAddr vaddr, size_t cou
     if (pte == nullptr) {
       return Status(ErrorCode::kNotFound, "page not mapped");
     }
-    if (!pte->io) {
+    if (pte->backed) {
       PARA_CHECK(page_refcount_[pte->phys] > 0);
       if (--page_refcount_[pte->phys] == 0) {
         page_bitmap_.Clear(pte->phys);
         ++stats_.pages_freed;
       }
     }
-    fault_handlers_.erase(HandlerKey(context->id(), addr));
+    if (pte->handler != kNoFaultHandler) {
+      ReleaseHandlerSlot(pte->handler);
+    }
     context->Uninstall(addr);
   }
   return OkStatus();
@@ -126,8 +147,25 @@ Status VirtualMemoryService::Protect(Context* context, VAddr vaddr, size_t count
       return Status(ErrorCode::kNotFound, "page not mapped");
     }
     pte->prot = prot;
+    context->TlbInvalidate(vaddr + i * kPageSize);
   }
   return OkStatus();
+}
+
+uint32_t VirtualMemoryService::AllocHandlerSlot(FaultHandler handler) {
+  if (!handler_free_.empty()) {
+    uint32_t index = handler_free_.back();
+    handler_free_.pop_back();
+    handler_pool_[index] = std::move(handler);
+    return index;
+  }
+  handler_pool_.push_back(std::move(handler));
+  return static_cast<uint32_t>(handler_pool_.size() - 1);
+}
+
+void VirtualMemoryService::ReleaseHandlerSlot(uint32_t index) {
+  handler_pool_[index] = nullptr;
+  handler_free_.push_back(index);
 }
 
 Status VirtualMemoryService::SetFaultHandler(Context* context, VAddr vaddr,
@@ -140,35 +178,38 @@ Status VirtualMemoryService::SetFaultHandler(Context* context, VAddr vaddr,
     // Fault-only PTE: no backing page, every touch runs the handler.
     Pte fresh;
     fresh.prot = kProtNone;
-    fresh.has_fault_handler = true;
+    fresh.handler = AllocHandlerSlot(std::move(handler));
     context->Install(vaddr, fresh);
+  } else if (pte->has_fault_handler()) {
+    handler_pool_[pte->handler] = std::move(handler);  // replace in place
   } else {
-    pte->has_fault_handler = true;
+    pte->handler = AllocHandlerSlot(std::move(handler));
   }
-  fault_handlers_[HandlerKey(context->id(), vaddr)] = std::move(handler);
   return OkStatus();
 }
 
 Status VirtualMemoryService::ClearFaultHandler(Context* context, VAddr vaddr) {
   Pte* pte = context->LookupMutable(vaddr);
-  if (pte != nullptr) {
-    pte->has_fault_handler = false;
+  if (pte == nullptr || pte->handler == kNoFaultHandler) {
+    return Status(ErrorCode::kNotFound, "no handler installed");
   }
-  return fault_handlers_.erase(HandlerKey(context->id(), vaddr)) > 0
-             ? OkStatus()
-             : Status(ErrorCode::kNotFound, "no handler installed");
+  ReleaseHandlerSlot(pte->handler);
+  pte->handler = kNoFaultHandler;
+  return OkStatus();
 }
 
 Status VirtualMemoryService::RaiseFault(Context* context, VAddr vaddr, FaultKind kind,
                                         bool write) {
   ++stats_.faults;
-  auto it = fault_handlers_.find(HandlerKey(context->id(), vaddr));
-  if (it == fault_handlers_.end()) {
+  Pte* pte = context->LookupMutable(vaddr);
+  if (pte == nullptr || pte->handler == kNoFaultHandler) {
     return Status(ErrorCode::kFault, "unhandled page fault");
   }
   ++stats_.fault_handler_runs;
   FaultInfo info{context, vaddr, kind, write};
-  return it->second(info);
+  // The deque keeps slots address-stable, so the handler may install
+  // further handlers (growing the pool) while it runs.
+  return handler_pool_[pte->handler](info);
 }
 
 Result<Pte*> VirtualMemoryService::ResolvePage(Context* context, VAddr vaddr, bool write) {
@@ -177,12 +218,15 @@ Result<Pte*> VirtualMemoryService::ResolvePage(Context* context, VAddr vaddr, bo
     FaultKind kind;
     if (pte == nullptr) {
       kind = FaultKind::kNotPresent;
-    } else if (pte->has_fault_handler && pte->prot == kProtNone) {
+    } else if (pte->has_fault_handler() && pte->prot == kProtNone) {
       kind = FaultKind::kFaultHandler;  // fault-only page (proxy entry)
     } else if ((write && (pte->prot & kProtWrite) == 0) ||
                (!write && (pte->prot & kProtRead) == 0)) {
       kind = FaultKind::kProtection;
     } else {
+      if (!pte->io) {
+        context->TlbFill(vaddr, PagePtr(pte->phys), pte->prot);
+      }
       return pte;  // access permitted
     }
     PARA_RETURN_IF_ERROR(RaiseFault(context, vaddr, kind, write));
@@ -197,6 +241,11 @@ Status VirtualMemoryService::Read(Context* context, VAddr vaddr, std::span<uint8
     VAddr addr = vaddr + done;
     size_t in_page = kPageSize - (addr % kPageSize);
     size_t chunk = std::min(in_page, out.size() - done);
+    if (uint8_t* host = context->TlbLookup(addr, kProtRead)) {
+      std::memcpy(out.data() + done, host + (addr % kPageSize), chunk);
+      done += chunk;
+      continue;
+    }
     PARA_ASSIGN_OR_RETURN(Pte * pte, ResolvePage(context, addr, /*write=*/false));
     if (pte->io) {
       return Status(ErrorCode::kInvalidArgument, "byte access to I/O window");
@@ -214,6 +263,11 @@ Status VirtualMemoryService::Write(Context* context, VAddr vaddr,
     VAddr addr = vaddr + done;
     size_t in_page = kPageSize - (addr % kPageSize);
     size_t chunk = std::min(in_page, data.size() - done);
+    if (uint8_t* host = context->TlbLookup(addr, kProtWrite)) {
+      std::memcpy(host + (addr % kPageSize), data.data() + done, chunk);
+      done += chunk;
+      continue;
+    }
     PARA_ASSIGN_OR_RETURN(Pte * pte, ResolvePage(context, addr, /*write=*/true));
     if (pte->io) {
       return Status(ErrorCode::kInvalidArgument, "byte access to I/O window");
@@ -246,6 +300,30 @@ Result<uint8_t*> VirtualMemoryService::TranslateForKernel(Context* context, VAdd
     return Status(ErrorCode::kInvalidArgument, "cannot translate I/O window");
   }
   return PagePtr(pte->phys) + (vaddr % kPageSize);
+}
+
+Result<std::span<uint8_t>> VirtualMemoryService::TranslateSpan(Context* context, VAddr vaddr,
+                                                               size_t len, bool write) {
+  if (context == nullptr || len == 0) {
+    return Status(ErrorCode::kInvalidArgument, "bad span translation request");
+  }
+  VAddr first_page = vaddr & ~(kPageSize - 1);
+  size_t offset = vaddr % kPageSize;
+  size_t pages = (offset + len + kPageSize - 1) / kPageSize;
+  PhysPage first_phys = 0;
+  for (size_t i = 0; i < pages; ++i) {
+    PARA_ASSIGN_OR_RETURN(Pte * pte,
+                          ResolvePage(context, first_page + i * kPageSize, write));
+    if (pte->io) {
+      return Status(ErrorCode::kInvalidArgument, "cannot translate I/O window");
+    }
+    if (i == 0) {
+      first_phys = pte->phys;
+    } else if (pte->phys != first_phys + i) {
+      return Status(ErrorCode::kFailedPrecondition, "range not physically contiguous");
+    }
+  }
+  return std::span<uint8_t>(PagePtr(first_phys) + offset, len);
 }
 
 Result<VAddr> VirtualMemoryService::MapDeviceRegisters(Context* context, hw::Device* device) {

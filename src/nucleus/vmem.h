@@ -11,10 +11,10 @@
 #define PARAMECIUM_SRC_NUCLEUS_VMEM_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "src/base/bitmap.h"
@@ -100,6 +100,16 @@ class VirtualMemoryService : public obj::Object {
   // has already been certified; bypasses per-access checks).
   Result<uint8_t*> TranslateForKernel(Context* context, VAddr vaddr, size_t len, bool write);
 
+  // Translates a multi-page range to a host span, provided the backing
+  // physical pages are contiguous (true for any AllocatePages region). This
+  // is the bind-time half of the invocation fast path: proxies resolve
+  // their argument and payload windows once and the per-call copies become
+  // single memcpys. The span stays valid as long as the mapping does —
+  // callers own the pages they translate and must not free or reprotect
+  // them while holding the span.
+  Result<std::span<uint8_t>> TranslateSpan(Context* context, VAddr vaddr, size_t len,
+                                           bool write);
+
   // --- I/O space (§3: exclusive register windows, shared device buffers) ---
 
   // Maps a device register block into `context`. Exclusive: only one context
@@ -124,9 +134,16 @@ class VirtualMemoryService : public obj::Object {
     size_t buffer_page_offset = 0;  // byte offset of this window's page in the device buffer
   };
 
-  // Resolves one page access; runs fault handlers and retries once.
+  // Resolves one page access; runs fault handlers and retries once. On
+  // success, fills the context's translation cache for plain memory pages.
   Result<Pte*> ResolvePage(Context* context, VAddr vaddr, bool write);
   Status RaiseFault(Context* context, VAddr vaddr, FaultKind kind, bool write);
+
+  // Flat fault-handler pool. PTEs store slot indices; a deque keeps the
+  // slots address-stable so a running handler may register further handlers
+  // (demand-mapping chains) without invalidating itself.
+  uint32_t AllocHandlerSlot(FaultHandler handler);
+  void ReleaseHandlerSlot(uint32_t index);
 
   uint8_t* PagePtr(PhysPage page) { return memory_.data() + static_cast<size_t>(page) * kPageSize; }
 
@@ -134,7 +151,8 @@ class VirtualMemoryService : public obj::Object {
   Bitmap page_bitmap_;                     // physical allocator
   std::vector<uint16_t> page_refcount_;    // sharing refcounts
   std::vector<std::unique_ptr<Context>> contexts_;
-  std::unordered_map<uint64_t, FaultHandler> fault_handlers_;  // (ctx id << 32 | vpage)
+  std::deque<FaultHandler> handler_pool_;  // indexed by Pte::handler
+  std::vector<uint32_t> handler_free_;     // recycled pool slots
   std::vector<IoWindow> io_windows_;       // indexed by Pte::phys for io PTEs
   ContextId next_context_id_ = 0;
   VmemStats stats_;

@@ -45,7 +45,7 @@ void PopupEngine::ProtoLoop(ProtoSlot* slot) {
   }
 }
 
-void PopupEngine::Dispatch(std::function<void()> handler, DispatchMode mode, int priority) {
+void PopupEngine::Dispatch(PopupWork handler, DispatchMode mode, int priority) {
   ++stats_.dispatches;
   switch (mode) {
     case DispatchMode::kRawCallback:

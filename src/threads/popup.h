@@ -14,13 +14,18 @@
 #ifndef PARAMECIUM_SRC_THREADS_POPUP_H_
 #define PARAMECIUM_SRC_THREADS_POPUP_H_
 
-#include <functional>
 #include <memory>
 #include <vector>
 
+#include "src/base/inline_function.h"
 #include "src/threads/scheduler.h"
 
 namespace para::threads {
+
+// Work item carried by a dispatch. The inline buffer is sized so an event
+// call-back copy plus its (event, detail) arguments fit without touching
+// the heap — interrupt dispatch allocates nothing.
+using PopupWork = InlineFunction<void(), 96>;
 
 // A pooled proto-thread execution slot.
 struct ProtoSlot {
@@ -28,7 +33,7 @@ struct ProtoSlot {
 
   PopupEngine* engine;
   std::unique_ptr<Fiber> fiber;
-  std::function<void()> work;
+  PopupWork work;
   Fiber* return_to = nullptr;     // dispatcher context to resume on finish/promote
   bool promoted = false;
   bool finished = false;
@@ -57,7 +62,7 @@ class PopupEngine {
   // returns when the handler either finished or was promoted; for
   // kFullThread it returns after enqueueing the new thread; for kRawCallback
   // after the handler returns.
-  void Dispatch(std::function<void()> handler, DispatchMode mode = DispatchMode::kProtoThread,
+  void Dispatch(PopupWork handler, DispatchMode mode = DispatchMode::kProtoThread,
                 int priority = kInterruptPriority);
 
   const PopupStats& stats() const { return stats_; }

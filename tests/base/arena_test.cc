@@ -1,0 +1,68 @@
+#include "src/base/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+
+namespace para {
+namespace {
+
+TEST(ArenaTest, AllocateReturnsDistinctRegions) {
+  Arena arena(64);  // pre-sized: no growth, so spans stay contiguous
+  auto a = arena.Allocate(16);
+  auto b = arena.Allocate(32);
+  ASSERT_EQ(a.size(), 16u);
+  ASSERT_EQ(b.size(), 32u);
+  EXPECT_EQ(a.data() + 16, b.data());  // bump allocation is contiguous
+  EXPECT_EQ(arena.used(), 48u);
+}
+
+TEST(ArenaTest, ResetKeepsCapacity) {
+  Arena arena;
+  (void)arena.Allocate(1024);
+  size_t cap = arena.capacity();
+  EXPECT_GE(cap, 1024u);
+  arena.Reset();
+  EXPECT_EQ(arena.used(), 0u);
+  EXPECT_EQ(arena.capacity(), cap);
+  // Steady state: the same burst fits without growing.
+  (void)arena.Allocate(1024);
+  EXPECT_EQ(arena.capacity(), cap);
+}
+
+TEST(ArenaTest, DataSurvivesWithinBurst) {
+  Arena arena(64);
+  auto span = arena.Allocate(8);
+  std::memset(span.data(), 0xAB, span.size());
+  auto again = arena.Allocate(8);  // fits pre-reserved capacity: no growth
+  (void)again;
+  for (uint8_t byte : span) {
+    EXPECT_EQ(byte, 0xAB);
+  }
+}
+
+TEST(ArenaTest, ZeroByteAllocation) {
+  Arena arena;
+  auto span = arena.Allocate(0);
+  EXPECT_TRUE(span.empty());
+  EXPECT_EQ(arena.used(), 0u);
+}
+
+TEST(ArenaTest, ReusedBurstsDoNotAllocate) {
+  Arena arena;
+  (void)arena.Allocate(4096);
+  arena.Reset();
+  size_t cap = arena.capacity();
+  for (int i = 0; i < 100; ++i) {
+    arena.Reset();
+    auto a = arena.Allocate(1000);
+    auto b = arena.Allocate(3000);
+    std::iota(a.begin(), a.end(), uint8_t{0});
+    std::iota(b.begin(), b.end(), uint8_t{7});
+    EXPECT_EQ(arena.capacity(), cap);
+  }
+}
+
+}  // namespace
+}  // namespace para

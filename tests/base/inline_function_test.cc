@@ -1,0 +1,110 @@
+#include "src/base/inline_function.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <string>
+
+namespace para {
+namespace {
+
+TEST(InlineFunctionTest, DefaultIsEmpty) {
+  InlineFunction<int(int)> f;
+  EXPECT_FALSE(static_cast<bool>(f));
+  EXPECT_TRUE(f == nullptr);
+}
+
+TEST(InlineFunctionTest, InvokesSmallLambdaInline) {
+  int base = 40;
+  InlineFunction<int(int)> f = [base](int x) { return base + x; };
+  ASSERT_TRUE(static_cast<bool>(f));
+  EXPECT_TRUE(f.is_inline());
+  EXPECT_EQ(f(2), 42);
+}
+
+TEST(InlineFunctionTest, MutableStateAcrossCalls) {
+  InlineFunction<int()> counter = [n = 0]() mutable { return ++n; };
+  EXPECT_EQ(counter(), 1);
+  EXPECT_EQ(counter(), 2);
+  EXPECT_EQ(counter(), 3);
+}
+
+TEST(InlineFunctionTest, CopyIsIndependent) {
+  InlineFunction<int()> counter = [n = 0]() mutable { return ++n; };
+  EXPECT_EQ(counter(), 1);
+  InlineFunction<int()> copy = counter;
+  EXPECT_EQ(counter(), 2);
+  EXPECT_EQ(copy(), 2);  // copied at state n=1
+}
+
+TEST(InlineFunctionTest, MoveEmptiesSource) {
+  InlineFunction<int()> f = []() { return 7; };
+  InlineFunction<int()> g = std::move(f);
+  EXPECT_TRUE(f == nullptr);  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(g(), 7);
+}
+
+TEST(InlineFunctionTest, NullptrAssignmentClears) {
+  // The callable owns a shared_ptr; clearing the function must release it.
+  auto token = std::make_shared<int>(1);
+  InlineFunction<void()> f = [token]() {};
+  EXPECT_EQ(token.use_count(), 2);
+  f = nullptr;
+  EXPECT_EQ(token.use_count(), 1);
+  EXPECT_TRUE(f == nullptr);
+}
+
+TEST(InlineFunctionTest, LargeCallableFallsBackToHeap) {
+  std::array<uint64_t, 32> big{};  // 256 bytes: exceeds any inline buffer here
+  big[0] = 5;
+  big[31] = 6;
+  InlineFunction<uint64_t(), 48> f = [big]() { return big[0] + big[31]; };
+  EXPECT_FALSE(f.is_inline());
+  EXPECT_EQ(f(), 11u);
+  // Copy of a heap-backed callable still works (deep copy).
+  InlineFunction<uint64_t(), 48> g = f;
+  EXPECT_EQ(g(), 11u);
+  // Move steals the heap pointer; source becomes empty.
+  InlineFunction<uint64_t(), 48> h = std::move(g);
+  EXPECT_TRUE(g == nullptr);  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(h(), 11u);
+}
+
+TEST(InlineFunctionTest, DestructionReleasesHeapCallable) {
+  auto token = std::make_shared<int>(1);
+  {
+    std::array<uint64_t, 32> pad{};
+    InlineFunction<void(), 48> f = [token, pad]() { (void)pad; };
+    EXPECT_FALSE(f.is_inline());
+    EXPECT_EQ(token.use_count(), 2);
+  }
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(InlineFunctionTest, ReassignmentDestroysPrevious) {
+  auto a = std::make_shared<int>(1);
+  auto b = std::make_shared<int>(2);
+  InlineFunction<int()> f = [a]() { return *a; };
+  EXPECT_EQ(a.use_count(), 2);
+  f = [b]() { return *b; };
+  EXPECT_EQ(a.use_count(), 1);
+  EXPECT_EQ(b.use_count(), 2);
+  EXPECT_EQ(f(), 2);
+}
+
+TEST(InlineFunctionTest, WorksWithFunctionPointer) {
+  InlineFunction<int(int, int)> f = +[](int a, int b) { return a * b; };
+  EXPECT_EQ(f(6, 7), 42);
+  EXPECT_TRUE(f.is_inline());
+}
+
+TEST(InlineFunctionTest, ReferenceArgumentsPassThrough) {
+  InlineFunction<void(std::string&)> f = [](std::string& s) { s += "!"; };
+  std::string s = "hi";
+  f(s);
+  EXPECT_EQ(s, "hi!");
+}
+
+}  // namespace
+}  // namespace para

@@ -118,6 +118,96 @@ TEST_F(EventTest, CallbackMayUnregisterItself) {
   EXPECT_EQ(events_.stats().unhandled, 1u);
 }
 
+TEST_F(EventTest, RegistrationTableBounded) {
+  // The flat per-event table holds kMaxRegistrationsPerEvent call-backs;
+  // the next one is refused loudly rather than degrading dispatch.
+  std::vector<uint64_t> ids;
+  for (size_t i = 0; i < EventService::kMaxRegistrationsPerEvent; ++i) {
+    auto id = events_.Register(IrqEvent(8), kernel_, [](EventNumber, uint64_t) {});
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  auto overflow = events_.Register(IrqEvent(8), kernel_, [](EventNumber, uint64_t) {});
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_EQ(overflow.status().code(), ErrorCode::kResourceExhausted);
+  // Unregistering compacts and frees a slot.
+  ASSERT_TRUE(events_.Unregister(ids[3]).ok());
+  EXPECT_EQ(events_.registration_count(IrqEvent(8)),
+            EventService::kMaxRegistrationsPerEvent - 1);
+  EXPECT_TRUE(events_.Register(IrqEvent(8), kernel_, [](EventNumber, uint64_t) {}).ok());
+}
+
+TEST_F(EventTest, UnregisterOtherCallbackDuringDispatch) {
+  // A call-back that unregisters a *later* registration mid-dispatch: the
+  // later one must not run (tombstoned in place, compacted afterwards).
+  uint64_t second_id = 0;
+  int first_runs = 0;
+  int second_runs = 0;
+  auto first = events_.Register(IrqEvent(7), kernel_, [&](EventNumber, uint64_t) {
+    if (++first_runs == 1) {
+      ASSERT_TRUE(events_.Unregister(second_id).ok());
+    }
+  });
+  ASSERT_TRUE(first.ok());
+  auto second = events_.Register(IrqEvent(7), kernel_,
+                                 [&](EventNumber, uint64_t) { ++second_runs; });
+  ASSERT_TRUE(second.ok());
+  second_id = *second;
+  machine_.irq().Raise(7);
+  EXPECT_EQ(first_runs, 1);
+  EXPECT_EQ(second_runs, 0);
+  EXPECT_EQ(events_.registration_count(IrqEvent(7)), 1u);
+  machine_.irq().Raise(7);
+  EXPECT_EQ(first_runs, 2);
+}
+
+TEST_F(EventTest, ReArmInFullTableDuringDispatch) {
+  // A full table whose callback unregisters itself and registers a
+  // replacement mid-dispatch (the re-arm pattern): the freed logical slot
+  // must be reusable immediately, and the replacement must not fire in the
+  // raise that created it.
+  uint64_t self_id = 0;
+  int original_runs = 0;
+  int replacement_runs = 0;
+  auto self = events_.Register(IrqEvent(9), kernel_, [&](EventNumber, uint64_t) {
+    ++original_runs;
+    ASSERT_TRUE(events_.Unregister(self_id).ok());
+    ASSERT_TRUE(events_.Register(IrqEvent(9), kernel_, [&](EventNumber, uint64_t) {
+      ++replacement_runs;
+    }).ok());
+  });
+  ASSERT_TRUE(self.ok());
+  self_id = *self;
+  // Fill the remaining slots so the occupied prefix is at capacity.
+  for (size_t i = 1; i < EventService::kMaxRegistrationsPerEvent; ++i) {
+    ASSERT_TRUE(events_.Register(IrqEvent(9), kernel_, [](EventNumber, uint64_t) {}).ok());
+  }
+  machine_.irq().Raise(9);
+  EXPECT_EQ(original_runs, 1);
+  EXPECT_EQ(replacement_runs, 0);  // not delivered in its birth raise
+  EXPECT_EQ(events_.registration_count(IrqEvent(9)),
+            EventService::kMaxRegistrationsPerEvent);
+  machine_.irq().Raise(9);
+  EXPECT_EQ(original_runs, 1);
+  EXPECT_EQ(replacement_runs, 1);
+}
+
+TEST_F(EventTest, RegistrationDuringDispatchDeliversNextRaise) {
+  int late_runs = 0;
+  bool registered = false;
+  ASSERT_TRUE(events_.Register(IrqEvent(6), kernel_, [&](EventNumber, uint64_t) {
+    if (!registered) {
+      registered = true;
+      ASSERT_TRUE(events_.Register(IrqEvent(6), kernel_,
+                                   [&](EventNumber, uint64_t) { ++late_runs; }).ok());
+    }
+  }).ok());
+  machine_.irq().Raise(6);
+  EXPECT_EQ(late_runs, 0);  // not delivered in the raise it was born in
+  machine_.irq().Raise(6);
+  EXPECT_EQ(late_runs, 1);
+}
+
 TEST_F(EventTest, TimerIrqEndToEnd) {
   auto* timer = machine_.AddDevice(std::make_unique<hw::TimerDevice>("t", 7));
   int ticks = 0;

@@ -189,6 +189,204 @@ TEST_F(ProxyTest, RepeatedCallsReuseMachinery) {
   EXPECT_EQ(engine_.stats().calls, 100u);
 }
 
+TEST_F(ProxyTest, ZeroLengthPayloadIsValid) {
+  ProxyOptions options;
+  options.payload_slots.insert("test.service#1");
+  auto proxy = engine_.CreateProxy(&service_, server_, client_, options);
+  ASSERT_TRUE(proxy.ok());
+  auto cbuf = vmem_.AllocatePages(client_, 1, kProtReadWrite);
+  ASSERT_TRUE(cbuf.ok());
+  auto iface = (*proxy)->GetInterface("test.service");
+  ASSERT_TRUE(iface.ok());
+  // len == 0: no bytes cross, the call itself still succeeds (sum of zero
+  // bytes is zero) and counts no payload traffic.
+  EXPECT_EQ((*iface)->Invoke(1, *cbuf, 0), 0u);
+  EXPECT_EQ(engine_.stats().payload_bytes, 0u);
+  EXPECT_EQ(engine_.stats().calls, 1u);
+}
+
+TEST_F(ProxyTest, PayloadAtExactWindowCapacity) {
+  ProxyOptions options;
+  options.payload_slots.insert("test.service#1");
+  options.payload_capacity_pages = 1;
+  auto proxy = engine_.CreateProxy(&service_, server_, client_, options);
+  ASSERT_TRUE(proxy.ok());
+  auto cbuf = vmem_.AllocatePages(client_, 1, kProtReadWrite);
+  ASSERT_TRUE(cbuf.ok());
+  std::vector<uint8_t> payload(kPageSize, 1);
+  ASSERT_TRUE(vmem_.Write(client_, *cbuf, payload).ok());
+  auto iface = (*proxy)->GetInterface("test.service");
+  ASSERT_TRUE(iface.ok());
+  // len == capacity is the inclusive boundary: it must succeed...
+  EXPECT_EQ((*iface)->Invoke(1, *cbuf, kPageSize), kPageSize);
+  EXPECT_EQ(engine_.stats().payload_bytes, kPageSize);
+  // ...and one byte more must not.
+  auto big = vmem_.AllocatePages(client_, 2, kProtReadWrite);
+  ASSERT_TRUE(big.ok());
+  EXPECT_EQ((*iface)->Invoke(1, *big, kPageSize + 1), ~uint64_t{0});
+}
+
+TEST_F(ProxyTest, OutPayloadLargerThanWindowFails) {
+  ProxyOptions options;
+  options.out_payload_slots.insert("test.service#2");
+  options.payload_capacity_pages = 1;
+  auto proxy = engine_.CreateProxy(&service_, server_, client_, options);
+  ASSERT_TRUE(proxy.ok());
+  auto cbuf = vmem_.AllocatePages(client_, 2, kProtReadWrite);
+  ASSERT_TRUE(cbuf.ok());
+  auto iface = (*proxy)->GetInterface("test.service");
+  ASSERT_TRUE(iface.ok());
+  // The declared capacity (a1) exceeds the proxy window: rejected before the
+  // callee ever runs.
+  EXPECT_EQ((*iface)->Invoke(2, *cbuf, kPageSize + 1, /*seed=*/5), ~uint64_t{0});
+  EXPECT_EQ(engine_.stats().payload_bytes, 0u);
+}
+
+TEST_F(ProxyTest, BadClientMappingFailsCallWithoutAborting) {
+  // Learn where the proxy's client-side argument page will land (the bump
+  // allocator is deterministic; a zero-page probe peeks without advancing).
+  VAddr client_args = client_->AllocateRegion(0);
+  auto proxy = engine_.CreateProxy(&service_, server_, client_);
+  ASSERT_TRUE(proxy.ok());
+  auto iface = (*proxy)->GetInterface("test.service");
+  ASSERT_TRUE(iface.ok());
+  EXPECT_EQ((*iface)->Invoke(0, 1, 2, 3, 4), 10u);  // sanity: fast path works
+
+  // Break the client's view of its own argument window. The call must fail
+  // with the error sentinel — not abort the process (the old code
+  // PARA_CHECKed this write).
+  ASSERT_TRUE(vmem_.Protect(client_, client_args, 1, kProtNone).ok());
+  EXPECT_EQ((*iface)->Invoke(0, 1, 2, 3, 4), ~uint64_t{0});
+
+  // Repair and confirm the proxy recovers.
+  ASSERT_TRUE(vmem_.Protect(client_, client_args, 1, kProtReadWrite).ok());
+  EXPECT_EQ((*iface)->Invoke(0, 4, 3, 2, 1), 10u);
+}
+
+TEST_F(ProxyTest, AliasedPayloadBufferBouncesSafely) {
+  // A client that shares the server's payload window into its own space and
+  // passes that mapping as the payload buffer: source and destination are
+  // the same physical bytes, which the proxy must detect and bounce through
+  // its scratch arena instead of memcpying a buffer onto itself.
+  VAddr server_args = server_->AllocateRegion(0);
+  ProxyOptions options;
+  options.payload_slots.insert("test.service#1");
+  auto proxy = engine_.CreateProxy(&service_, server_, client_, options);
+  ASSERT_TRUE(proxy.ok());
+  VAddr server_payload = server_args + kPageSize;  // Setup allocates args, then payload
+
+  auto alias = vmem_.SharePages(server_, server_payload, 1, client_, kProtReadWrite);
+  ASSERT_TRUE(alias.ok());
+  std::vector<uint8_t> payload = {9, 8, 7};
+  ASSERT_TRUE(vmem_.Write(client_, *alias, payload).ok());
+
+  auto iface = (*proxy)->GetInterface("test.service");
+  ASSERT_TRUE(iface.ok());
+  EXPECT_EQ((*iface)->Invoke(1, *alias, payload.size()), 24u);
+  EXPECT_EQ(service_.last_payload_, payload);
+}
+
+TEST_F(ProxyTest, FragmentedPayloadBufferStillCopies) {
+  // A client buffer whose pages are physically discontiguous (two shared
+  // single-page mappings installed in reverse) cannot be translated to one
+  // host span; the proxy falls back to the paged copy and must still
+  // deliver every byte.
+  ProxyOptions options;
+  options.payload_slots.insert("test.service#1");
+  auto proxy = engine_.CreateProxy(&service_, server_, client_, options);
+  ASSERT_TRUE(proxy.ok());
+
+  auto p1 = vmem_.AllocatePages(server_, 1, kProtReadWrite);
+  auto hole = vmem_.AllocatePages(server_, 1, kProtReadWrite);
+  auto p2 = vmem_.AllocatePages(server_, 1, kProtReadWrite);
+  ASSERT_TRUE(p1.ok() && hole.ok() && p2.ok());
+  auto a = vmem_.SharePages(server_, *p2, 1, client_, kProtReadWrite);
+  ASSERT_TRUE(a.ok());
+  auto b = vmem_.SharePages(server_, *p1, 1, client_, kProtReadWrite);
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(*b, *a + kPageSize);  // virtually adjacent, physically reversed
+
+  std::vector<uint8_t> payload(2 * kPageSize);
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<uint8_t>(i * 31 + 7);
+  }
+  ASSERT_TRUE(vmem_.Write(client_, *a, payload).ok());
+
+  uint64_t expected = 0;
+  for (uint8_t byte : payload) {
+    expected += byte;
+  }
+  auto iface = (*proxy)->GetInterface("test.service");
+  ASSERT_TRUE(iface.ok());
+  EXPECT_EQ((*iface)->Invoke(1, *a, payload.size()), expected);
+  EXPECT_EQ(service_.last_payload_, payload);
+}
+
+TEST_F(ProxyTest, FragmentedAliasingPayloadBouncesSafely) {
+  // The compound worst case: a client buffer whose first page aliases the
+  // server payload window (shared mapping) and whose second page is a
+  // physically unrelated share — no single host span exists AND a direct
+  // copy would overlap the window. The fallback must bounce and deliver
+  // exact bytes.
+  VAddr server_args = server_->AllocateRegion(0);
+  ProxyOptions options;
+  options.payload_slots.insert("test.service#1");
+  auto proxy = engine_.CreateProxy(&service_, server_, client_, options);
+  ASSERT_TRUE(proxy.ok());
+  VAddr server_payload = server_args + kPageSize;
+
+  auto alias = vmem_.SharePages(server_, server_payload, 1, client_, kProtReadWrite);
+  ASSERT_TRUE(alias.ok());
+  auto extra = vmem_.AllocatePages(server_, 1, kProtReadWrite);
+  ASSERT_TRUE(extra.ok());
+  auto tail = vmem_.SharePages(server_, *extra, 1, client_, kProtReadWrite);
+  ASSERT_TRUE(tail.ok());
+  ASSERT_EQ(*tail, *alias + kPageSize);  // virtually adjacent, physically not
+
+  std::vector<uint8_t> payload(2 * kPageSize);
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<uint8_t>(i * 13 + 5);
+  }
+  ASSERT_TRUE(vmem_.Write(client_, *alias, payload).ok());
+
+  uint64_t expected = 0;
+  for (uint8_t byte : payload) {
+    expected += byte;
+  }
+  auto iface = (*proxy)->GetInterface("test.service");
+  ASSERT_TRUE(iface.ok());
+  EXPECT_EQ((*iface)->Invoke(1, *alias, payload.size()), expected);
+  EXPECT_EQ(service_.last_payload_, payload);
+}
+
+TEST_F(ProxyTest, StatsCountersPerCallInvariant) {
+  // The fast path must preserve the paper-visible bookkeeping exactly: one
+  // fault, one handler run, and two context switches per call, whether or
+  // not a payload rides along.
+  ProxyOptions options;
+  options.payload_slots.insert("test.service#1");
+  auto proxy = engine_.CreateProxy(&service_, server_, client_, options);
+  ASSERT_TRUE(proxy.ok());
+  auto cbuf = vmem_.AllocatePages(client_, 1, kProtReadWrite);
+  ASSERT_TRUE(cbuf.ok());
+  std::vector<uint8_t> payload(64, 3);
+  ASSERT_TRUE(vmem_.Write(client_, *cbuf, payload).ok());
+  auto iface = (*proxy)->GetInterface("test.service");
+  ASSERT_TRUE(iface.ok());
+
+  uint64_t handler_runs_before = vmem_.stats().fault_handler_runs;
+  constexpr uint64_t kCalls = 50;
+  for (uint64_t i = 0; i < kCalls; ++i) {
+    ASSERT_EQ((*iface)->Invoke(0, i, 1, 0, 0), i + 1);       // scalar slot
+    ASSERT_EQ((*iface)->Invoke(1, *cbuf, payload.size()), 64u * 3);  // payload slot
+  }
+  EXPECT_EQ(engine_.stats().calls, 2 * kCalls);
+  EXPECT_EQ(engine_.stats().faults, 2 * kCalls);
+  EXPECT_EQ(engine_.stats().context_switches, 2 * 2 * kCalls);
+  EXPECT_EQ(engine_.stats().payload_bytes, kCalls * payload.size());
+  EXPECT_EQ(vmem_.stats().fault_handler_runs - handler_runs_before, 2 * kCalls);
+}
+
 TEST_F(ProxyTest, ProxyTeardownClearsFaultHandlers) {
   uint64_t handlers_before = 0;
   {
