@@ -1,0 +1,221 @@
+// Packet-filter benchmarks — the paper's safe-migration claim measured on
+// the canonical kernel extension (ISSUE 3 / experiment E7 on a real
+// workload):
+//   * the same compiled rule set executed kSandboxed (SFI run-time checks)
+//     vs kTrusted (certified, no checks) vs a host-native matcher, across
+//     rule-set sizes — worst case: the packet matches only the last rule;
+//   * the stateful fast path: flow-table hit vs full rule evaluation, and
+//     behaviour under flow-table pressure (uniform flow churn with
+//     working sets below and above capacity);
+//   * hot rule-set reload cost (compile + verify + certify + validate).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/log.h"
+#include "src/base/random.h"
+#include "src/filter/compiler.h"
+#include "src/filter/filter.h"
+#include "src/filter/rule.h"
+#include "src/nucleus/cert.h"
+#include "src/sfi/vm.h"
+
+namespace {
+
+using namespace para;           // NOLINT
+using namespace para::filter;   // NOLINT
+
+// Shared crypto state (keygen excluded from timing).
+struct CryptoFixture {
+  CryptoFixture() {
+    para::Random rng(0xF117E2);
+    authority = std::make_unique<nucleus::CertificationAuthority>(
+        crypto::GenerateKeyPair(1024, rng));
+    signer_keys = crypto::GenerateKeyPair(1024, rng);
+    grant = authority->Grant("filter-compiler", signer_keys.public_key,
+                             nucleus::kCertKernelEligible);
+    signer = std::make_unique<nucleus::Certifier>(
+        "filter-compiler", signer_keys, grant,
+        [](const std::string&, std::span<const uint8_t>, uint32_t) { return OkStatus(); });
+    service = std::make_unique<nucleus::CertificationService>(authority->public_key());
+    PARA_CHECK(service->RegisterGrant(grant).ok());
+  }
+
+  static CryptoFixture& Get() {
+    static CryptoFixture fixture;
+    return fixture;
+  }
+
+  std::unique_ptr<nucleus::CertificationAuthority> authority;
+  crypto::RsaKeyPair signer_keys;
+  nucleus::DelegationGrant grant;
+  std::unique_ptr<nucleus::Certifier> signer;
+  std::unique_ptr<nucleus::CertificationService> service;
+};
+
+// `n` rules none of which match the benchmark packet, then one pass rule
+// that does — every evaluation walks the whole set (the worst case) and
+// each rule tests proto + dst prefix + port range + one payload byte.
+RuleSet WorstCaseRules(size_t n) {
+  RuleSet set;
+  for (size_t i = 0; i < n; ++i) {
+    Rule rule;
+    rule.verdict = net::FilterVerdict::kDrop;
+    rule.proto = net::kIpProtoUdpLite;
+    rule.dst_ip = 0xC0A80000u | static_cast<uint32_t>(i);  // never the packet's
+    rule.dst_prefix = 32;
+    rule.dport_lo = 1000;
+    rule.dport_hi = 2000;
+    rule.payload.push_back({0, 0x7F, 0xFF});
+    set.rules.push_back(std::move(rule));
+  }
+  Rule match;
+  match.verdict = net::FilterVerdict::kPass;
+  match.dst_ip = 0x0A010002;
+  match.dst_prefix = 32;
+  set.rules.push_back(std::move(match));
+  set.default_verdict = net::FilterVerdict::kDrop;
+  return set;
+}
+
+net::PacketView BenchPacket(const std::vector<uint8_t>& payload) {
+  net::PacketView view;
+  view.src_ip = 0x0A000001;
+  view.dst_ip = 0x0A010002;
+  view.src_port = 4321;
+  view.dst_port = 1500;
+  view.proto = net::kIpProtoUdpLite;
+  view.payload = payload;
+  return view;
+}
+
+// --- the E7 matrix: sandboxed vs trusted vs native, by rule-set size --------
+
+template <sfi::ExecMode kMode>
+void BM_FilterVm(benchmark::State& state) {
+  RuleSet set = WorstCaseRules(static_cast<size_t>(state.range(0)));
+  auto compiled = CompileRules(set);
+  PARA_CHECK(compiled.ok());
+  sfi::Vm vm(&compiled->program, kMode);
+  std::vector<uint8_t> payload(64, 0x42);
+  net::PacketView view = BenchPacket(payload);
+  for (auto _ : state) {
+    WritePacketDescriptor(view, vm.memory(), compiled->payload_bytes_needed);
+    auto verdict = vm.Run(0);
+    benchmark::DoNotOptimize(verdict);
+  }
+  state.counters["rules"] = static_cast<double>(state.range(0));
+  if (kMode == sfi::ExecMode::kSandboxed) {
+    state.counters["bounds_checks_per_pkt"] =
+        static_cast<double>(vm.stats().bounds_checks) /
+        static_cast<double>(state.iterations());
+  }
+}
+
+void BM_FilterSandboxed(benchmark::State& state) {
+  BM_FilterVm<sfi::ExecMode::kSandboxed>(state);
+}
+
+void BM_FilterTrusted(benchmark::State& state) { BM_FilterVm<sfi::ExecMode::kTrusted>(state); }
+
+void BM_FilterNative(benchmark::State& state) {
+  RuleSet set = WorstCaseRules(static_cast<size_t>(state.range(0)));
+  std::vector<uint8_t> payload(64, 0x42);
+  net::PacketView view = BenchPacket(payload);
+  for (auto _ : state) {
+    uint64_t verdict = NativeMatch(set, view);
+    benchmark::DoNotOptimize(verdict);
+  }
+  state.counters["rules"] = static_cast<double>(state.range(0));
+}
+
+// --- the full engine: flow-table fast path and pressure ---------------------
+
+void BM_FilterEngineFlowHit(benchmark::State& state) {
+  // One established flow: after the first packet every evaluation is a
+  // flow-table hit — rule-set size does not matter on this path.
+  FilterConfig config;
+  auto filter = PacketFilter::Create(config);
+  PARA_CHECK(filter.ok());
+  PARA_CHECK((*filter)->Load(WorstCaseRules(static_cast<size_t>(state.range(0)))).ok());
+  std::vector<uint8_t> payload(64, 0x42);
+  net::PacketView view = BenchPacket(payload);
+  for (auto _ : state) {
+    auto decision = (*filter)->Evaluate(view, net::FilterDirection::kIngress);
+    benchmark::DoNotOptimize(decision);
+  }
+  state.counters["rules"] = static_cast<double>(state.range(0));
+}
+
+void BM_FilterEngineFlowPressure(benchmark::State& state) {
+  // `range(0)` distinct flows round-robin through a 1024-entry table. Below
+  // capacity every packet (after warmup) is a hit; above capacity the LRU
+  // churns and evaluations fall back to the classifier.
+  FilterConfig config;
+  config.flow_capacity = 1024;
+  auto filter = PacketFilter::Create(config);
+  PARA_CHECK(filter.ok());
+  PARA_CHECK((*filter)->Load(WorstCaseRules(16)).ok());
+  std::vector<uint8_t> payload(64, 0x42);
+  net::PacketView view = BenchPacket(payload);
+  uint64_t flows = static_cast<uint64_t>(state.range(0));
+  uint64_t i = 0;
+  for (auto _ : state) {
+    view.src_port = static_cast<net::Port>(i % flows);
+    ++i;
+    auto decision = (*filter)->Evaluate(view, net::FilterDirection::kIngress);
+    benchmark::DoNotOptimize(decision);
+  }
+  const auto& flow_stats = (*filter)->flows().stats();
+  state.counters["distinct_flows"] = static_cast<double>(flows);
+  state.counters["hit_rate"] =
+      static_cast<double>(flow_stats.hits) /
+      static_cast<double>(flow_stats.hits + flow_stats.misses);
+  state.counters["evictions"] = static_cast<double>(flow_stats.evictions);
+}
+
+// --- hot reload cost ---------------------------------------------------------
+
+void BM_FilterReloadSandboxed(benchmark::State& state) {
+  auto filter = PacketFilter::Create({});
+  PARA_CHECK(filter.ok());
+  RuleSet set = WorstCaseRules(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    PARA_CHECK((*filter)->Load(set).ok());
+  }
+  state.counters["rules"] = static_cast<double>(state.range(0));
+}
+
+void BM_FilterReloadCertified(benchmark::State& state) {
+  // Compile + verify + sign + kernel validation: the one-time cost trusted
+  // execution amortizes (cf. BM_CertificationCrossover in
+  // bench_certification.cc).
+  auto& fx = CryptoFixture::Get();
+  auto filter = PacketFilter::Create({});
+  PARA_CHECK(filter.ok());
+  RuleSet set = WorstCaseRules(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    PARA_CHECK((*filter)->LoadCertified(set, *fx.signer, *fx.service).ok());
+  }
+  state.counters["rules"] = static_cast<double>(state.range(0));
+}
+
+void RuleSetSizes(benchmark::internal::Benchmark* bench) {
+  for (long rules : {4L, 16L, 64L, 256L}) {
+    bench->Arg(rules);
+  }
+}
+
+BENCHMARK(BM_FilterSandboxed)->Apply(RuleSetSizes);
+BENCHMARK(BM_FilterTrusted)->Apply(RuleSetSizes);
+BENCHMARK(BM_FilterNative)->Apply(RuleSetSizes);
+BENCHMARK(BM_FilterEngineFlowHit)->Arg(16)->Arg(256);
+BENCHMARK(BM_FilterEngineFlowPressure)->Arg(16)->Arg(512)->Arg(4096);
+BENCHMARK(BM_FilterReloadSandboxed)->Arg(16)->Arg(256);
+BENCHMARK(BM_FilterReloadCertified)->Arg(16)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# Bench smoke: every bench_* target must build, and the invocation-pipeline
-# benches (bench_invocation, bench_proxy, bench_events — the hot paths the
-# fast-path refactor guards) must run end to end. A single iteration per
+# Bench smoke: every bench_* target must build, and the hot-path benches
+# (bench_invocation, bench_proxy, bench_events — the invocation pipeline —
+# plus bench_filter, the per-packet filter path) must run end to end. A single iteration per
 # benchmark keeps this fast enough for CI while proving the perf harness
 # stays executable.
 # Usage: scripts/smoke-bench.sh <build-dir>
@@ -19,7 +19,7 @@ cmake --build "${BUILD_DIR}" -j "$(nproc)" --target "${targets[@]}"
 
 # --benchmark_min_time=1x (one iteration) needs benchmark >= 1.8; fall back
 # to a minimal wall-clock budget on older releases.
-for bench in bench_invocation bench_proxy bench_events; do
+for bench in bench_invocation bench_proxy bench_events bench_filter; do
   if ! "${BUILD_DIR}/bench/${bench}" --benchmark_min_time=1x; then
     "${BUILD_DIR}/bench/${bench}" --benchmark_min_time=0.001
   fi

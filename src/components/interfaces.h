@@ -19,7 +19,8 @@ namespace para::components {
 //   2 get_mac()                           -> mac
 //   3 irq_event()                         -> event number for RX interrupts
 //   4 set_rx_irq(enable)                  -> 0
-//   5 stats(index)                        -> counter (0 tx, 1 rx, 2 dropped)
+//   5 stats(index)                        -> counter (0 tx, 1 rx, 2 dropped,
+//                                            3 filtered by the frame hook)
 const obj::TypeInfo* NetDriverType();
 
 // Memory allocator.

@@ -92,7 +92,11 @@ void NetDriver::OnRxInterrupt() {
       size_t n = std::min<size_t>(4, len - off);
       std::memcpy(frame.data() + off, &v, n);
     }
-    rx_frames_.push_back(std::move(frame));
+    if (frame_filter_ != nullptr && !frame_filter_(frame)) {
+      ++frames_filtered_;
+    } else {
+      rx_frames_.push_back(std::move(frame));
+    }
     // Ack: write RX_LEN, which pumps the next queued frame (possibly raising
     // the next interrupt).
     (void)vmem_->WriteIo32(home_, regs_ + hw::NetworkDevice::kRegRxLen, 1);
@@ -110,6 +114,10 @@ uint64_t NetDriver::Send(uint64_t payload_vaddr, uint64_t len, uint64_t, uint64_
   Status read = vmem_->Read(home_, payload_vaddr, payload);
   if (!read.ok()) {
     return ~uint64_t{0};
+  }
+  if (frame_filter_ != nullptr && !frame_filter_(payload)) {
+    ++frames_filtered_;
+    return 0;  // silently dropped, as a NIC filter would
   }
   for (size_t off = 0; off < len; off += 4) {
     uint32_t word = 0;
@@ -171,6 +179,7 @@ uint64_t NetDriver::Stats(uint64_t index, uint64_t, uint64_t, uint64_t) {
     case 0: return device_->frames_sent();
     case 1: return device_->frames_received();
     case 2: return device_->frames_dropped();
+    case 3: return frames_filtered_;
     default: return 0;
   }
 }

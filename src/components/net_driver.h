@@ -12,6 +12,7 @@
 
 #include "src/components/interfaces.h"
 #include "src/hw/netdev.h"
+#include "src/net/filter_hook.h"
 #include "src/nucleus/event.h"
 #include "src/nucleus/vmem.h"
 #include "src/obj/object.h"
@@ -31,6 +32,12 @@ class NetDriver : public obj::Object {
 
   nucleus::Context* home() const { return home_; }
   uint64_t rx_frames_buffered() const { return rx_frames_.size(); }
+  uint64_t frames_filtered() const { return frames_filtered_; }
+
+  // Driver-level frame filter, applied on TX before the frame is staged and
+  // on RX before a frame enters the driver queue. Filtered frames are
+  // silently dropped (and counted), like a NIC-offloaded filter would.
+  void SetFrameFilter(net::RawFrameHook hook) { frame_filter_ = std::move(hook); }
 
   // Method implementations (uniform convention; see interfaces.h).
   uint64_t Send(uint64_t payload_vaddr, uint64_t len, uint64_t, uint64_t);
@@ -57,6 +64,8 @@ class NetDriver : public obj::Object {
   nucleus::VAddr buffer_ = 0;
   uint64_t event_registration_ = 0;
   std::deque<std::vector<uint8_t>> rx_frames_;  // driver-side RX queue
+  net::RawFrameHook frame_filter_;
+  uint64_t frames_filtered_ = 0;
   uint64_t invocations_ = 0;
 };
 

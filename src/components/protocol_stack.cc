@@ -143,6 +143,11 @@ uint64_t StackComponent::Stats(uint64_t index, uint64_t, uint64_t, uint64_t) {
     case 4: return s.drops_bad_frame;
     case 5: return s.drops_not_for_us;
     case 6: return s.drops_no_socket;
+    case 7: return s.drops_filtered;
+    case 8: return s.filter_pass;
+    case 9: return s.filter_drop;
+    case 10: return s.filter_reject;
+    case 11: return s.filter_count;
     default: return 0;
   }
 }

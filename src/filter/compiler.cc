@@ -1,0 +1,191 @@
+#include "src/filter/compiler.h"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+
+#include "src/sfi/assembler.h"
+
+namespace para::filter {
+
+namespace {
+
+using sfi::Op;
+
+// Emits "push the field at `offset`" followed by the caller's comparison.
+void EmitLoadField(sfi::Assembler& as, size_t offset, Op load_op) {
+  as.EmitPush(offset);
+  as.Emit(load_op);
+}
+
+// Emits "if field != value, jump to `next`" (consumes nothing on fallthrough).
+void EmitRequireEq(sfi::Assembler& as, uint64_t value, const std::string& next) {
+  as.EmitPush(value);
+  as.Emit(Op::kEq);
+  as.EmitJump(Op::kJz, next);
+}
+
+}  // namespace
+
+Result<CompiledFilter> CompileRules(const RuleSet& rules) {
+  if (rules.rules.size() > kMaxRules) {
+    return Status(ErrorCode::kResourceExhausted, "rule set too large");
+  }
+  CompiledFilter out;
+  out.rule_count = rules.rules.size();
+
+  sfi::Assembler as;
+  as.EntryPoint();
+
+  for (size_t i = 0; i < rules.rules.size(); ++i) {
+    const Rule& rule = rules.rules[i];
+    const std::string next = "r" + std::to_string(i + 1);
+    as.Label("r" + std::to_string(i));
+
+    // Cheapest predicates first: proto (one byte), then addresses, then
+    // ports, then payload bytes — fail-fast ordering keeps the common
+    // non-matching rule a couple of instructions.
+    if (rule.proto >= 0) {
+      EmitLoadField(as, kOffProto, Op::kLoad8);
+      EmitRequireEq(as, static_cast<uint64_t>(rule.proto), next);
+    }
+    if (rule.src_prefix != 0) {
+      EmitLoadField(as, kOffSrcIp, Op::kLoad32);
+      uint32_t mask = PrefixMask(rule.src_prefix);
+      if (rule.src_prefix != 32) {
+        as.EmitPush(mask);
+        as.Emit(Op::kAnd);
+      }
+      EmitRequireEq(as, rule.src_ip & mask, next);
+    }
+    if (rule.dst_prefix != 0) {
+      EmitLoadField(as, kOffDstIp, Op::kLoad32);
+      uint32_t mask = PrefixMask(rule.dst_prefix);
+      if (rule.dst_prefix != 32) {
+        as.EmitPush(mask);
+        as.Emit(Op::kAnd);
+      }
+      EmitRequireEq(as, rule.dst_ip & mask, next);
+    }
+    // Port ranges: exact match compiles to one eq; a real range to one or
+    // two unsigned comparisons (port >= lo  <=>  port > lo-1).
+    struct PortCheck {
+      size_t offset;
+      net::Port lo, hi;
+    };
+    for (const PortCheck& check : {PortCheck{kOffSrcPort, rule.sport_lo, rule.sport_hi},
+                                   PortCheck{kOffDstPort, rule.dport_lo, rule.dport_hi}}) {
+      if (check.lo == 0 && check.hi == 0xFFFF) {
+        continue;  // any
+      }
+      if (check.lo == check.hi) {
+        EmitLoadField(as, check.offset, Op::kLoad16);
+        EmitRequireEq(as, check.lo, next);
+        continue;
+      }
+      if (check.lo > 0) {
+        EmitLoadField(as, check.offset, Op::kLoad16);
+        as.EmitPush(static_cast<uint64_t>(check.lo) - 1);
+        as.Emit(Op::kGtU);
+        as.EmitJump(Op::kJz, next);
+      }
+      if (check.hi < 0xFFFF) {
+        EmitLoadField(as, check.offset, Op::kLoad16);
+        as.EmitPush(static_cast<uint64_t>(check.hi) + 1);
+        as.Emit(Op::kLtU);
+        as.EmitJump(Op::kJz, next);
+      }
+    }
+    for (const PayloadMatch& match : rule.payload) {
+      if (match.offset >= kMaxPayloadCapture) {
+        return Status(ErrorCode::kOutOfRange, "payload offset beyond capture window");
+      }
+      out.payload_bytes_needed =
+          std::max<size_t>(out.payload_bytes_needed, match.offset + 1u);
+      // The byte must exist: payload_len > offset.
+      EmitLoadField(as, kOffPayloadLen, Op::kLoad64);
+      as.EmitPush(match.offset);
+      as.Emit(Op::kGtU);
+      as.EmitJump(Op::kJz, next);
+      EmitLoadField(as, kOffPayload + match.offset, Op::kLoad8);
+      if (match.mask != 0xFF) {
+        as.EmitPush(match.mask);
+        as.Emit(Op::kAnd);
+      }
+      EmitRequireEq(as, static_cast<uint64_t>(match.value & match.mask), next);
+    }
+
+    // Every predicate held: return this rule's encoded verdict.
+    as.EmitPush(EncodeVerdict(rule.verdict, static_cast<uint32_t>(i)));
+    as.Emit(Op::kRetV);
+  }
+
+  as.Label("r" + std::to_string(rules.rules.size()));
+  as.EmitPush(EncodeVerdict(rules.default_verdict, net::kDefaultRuleIndex));
+  as.Emit(Op::kRetV);
+
+  PARA_ASSIGN_OR_RETURN(out.program, as.Finish(/*memory_bytes=*/kDescriptorBytes));
+  return out;
+}
+
+bool WritePacketDescriptor(const net::PacketView& view, std::span<uint8_t> memory,
+                           size_t payload_bytes) {
+  if (memory.size() < kDescriptorBytes) {
+    return false;
+  }
+  uint8_t* base = memory.data();
+  uint32_t src = view.src_ip;
+  uint32_t dst = view.dst_ip;
+  uint16_t sport = view.src_port;
+  uint16_t dport = view.dst_port;
+  std::memcpy(base + kOffSrcIp, &src, 4);
+  std::memcpy(base + kOffDstIp, &dst, 4);
+  std::memcpy(base + kOffSrcPort, &sport, 2);
+  std::memcpy(base + kOffDstPort, &dport, 2);
+  base[kOffProto] = view.proto;
+  uint64_t len = view.payload.size();
+  std::memcpy(base + kOffPayloadLen, &len, 8);
+  size_t copy = std::min({payload_bytes, view.payload.size(), kMaxPayloadCapture});
+  if (copy > 0) {
+    std::memcpy(base + kOffPayload, view.payload.data(), copy);
+  }
+  return true;
+}
+
+uint64_t NativeMatch(const RuleSet& rules, const net::PacketView& view) {
+  for (size_t i = 0; i < rules.rules.size(); ++i) {
+    const Rule& rule = rules.rules[i];
+    if (rule.proto >= 0 && view.proto != rule.proto) {
+      continue;
+    }
+    uint32_t src_mask = PrefixMask(rule.src_prefix);
+    if (rule.src_prefix != 0 && (view.src_ip & src_mask) != (rule.src_ip & src_mask)) {
+      continue;
+    }
+    uint32_t dst_mask = PrefixMask(rule.dst_prefix);
+    if (rule.dst_prefix != 0 && (view.dst_ip & dst_mask) != (rule.dst_ip & dst_mask)) {
+      continue;
+    }
+    if (view.src_port < rule.sport_lo || view.src_port > rule.sport_hi) {
+      continue;
+    }
+    if (view.dst_port < rule.dport_lo || view.dst_port > rule.dport_hi) {
+      continue;
+    }
+    bool payload_ok = true;
+    for (const PayloadMatch& match : rule.payload) {
+      if (match.offset >= view.payload.size() ||
+          (view.payload[match.offset] & match.mask) != (match.value & match.mask)) {
+        payload_ok = false;
+        break;
+      }
+    }
+    if (!payload_ok) {
+      continue;
+    }
+    return EncodeVerdict(rule.verdict, static_cast<uint32_t>(i));
+  }
+  return EncodeVerdict(rules.default_verdict, net::kDefaultRuleIndex);
+}
+
+}  // namespace para::filter

@@ -1,0 +1,79 @@
+// Compiles a RuleSet into sfi::Program bytecode — the paper's safe-migration
+// story applied to the canonical kernel extension. The compiled classifier
+// reads a fixed packet descriptor the host marshals into VM memory, tests
+// each rule's predicates with fail-fast jumps, and returns an encoded
+// verdict. The same program runs kSandboxed (per-access bounds checks — the
+// SFI safety net for untrusted rules) or kTrusted (no checks, after the
+// program is certified), which is exactly the E7 claim on a live workload.
+//
+// The host-side NativeMatch() evaluates the same semantics directly; it is
+// the oracle for differential tests and the "native matcher" bench baseline.
+#ifndef PARAMECIUM_SRC_FILTER_COMPILER_H_
+#define PARAMECIUM_SRC_FILTER_COMPILER_H_
+
+#include <cstdint>
+
+#include "src/base/status.h"
+#include "src/filter/rule.h"
+#include "src/net/filter_hook.h"
+#include "src/sfi/isa.h"
+
+namespace para::filter {
+
+// Packet descriptor layout in VM memory. All fields little-endian (the VM's
+// load/store ops are memcpy on the host).
+inline constexpr size_t kOffSrcIp = 0;        // u32
+inline constexpr size_t kOffDstIp = 4;        // u32
+inline constexpr size_t kOffSrcPort = 8;      // u16
+inline constexpr size_t kOffDstPort = 10;     // u16
+inline constexpr size_t kOffProto = 12;       // u8
+inline constexpr size_t kOffPayloadLen = 16;  // u64
+inline constexpr size_t kOffPayload = 24;
+// Payload capture window: rules may test bytes [0, kMaxPayloadCapture).
+inline constexpr size_t kMaxPayloadCapture = 192;
+inline constexpr size_t kDescriptorBytes = kOffPayload + kMaxPayloadCapture;
+
+// Hard bound on rule-set size; keeps compiled programs well under the
+// verifier's program-size cap.
+inline constexpr size_t kMaxRules = 4096;
+
+// Verdict encoding produced by the classifier (and NativeMatch):
+//   bits 0..7   verdict (net::FilterVerdict)
+//   bits 8..39  matched rule index (net::kDefaultRuleIndex for the default)
+constexpr uint64_t EncodeVerdict(net::FilterVerdict verdict, uint32_t rule) {
+  return static_cast<uint64_t>(verdict) | (static_cast<uint64_t>(rule) << 8);
+}
+
+constexpr net::FilterDecision DecodeVerdict(uint64_t encoded) {
+  return {static_cast<net::FilterVerdict>(encoded & 0xFF),
+          static_cast<uint32_t>(encoded >> 8)};
+}
+
+struct CompiledFilter {
+  sfi::Program program;
+  size_t rule_count = 0;
+  // One past the highest payload byte any rule inspects: the host only needs
+  // to marshal this much payload into the descriptor.
+  size_t payload_bytes_needed = 0;
+};
+
+// Compiles `rules` into a single-entry-point classifier program. Fails on
+// payload offsets beyond the capture window or oversized rule sets. The
+// caller still must run the result through sfi::Verify before execution —
+// PacketFilter does, unconditionally.
+Result<CompiledFilter> CompileRules(const RuleSet& rules);
+
+// Marshals `view` into the descriptor region of `memory` (the VM's data
+// memory). `payload_bytes` bounds how much payload is copied (pass
+// CompiledFilter::payload_bytes_needed). Returns false if `memory` is too
+// small to hold the descriptor.
+bool WritePacketDescriptor(const net::PacketView& view, std::span<uint8_t> memory,
+                           size_t payload_bytes = kMaxPayloadCapture);
+
+// Host-native evaluation of the same rule semantics (first match wins),
+// returning the same encoding as the compiled classifier.
+uint64_t NativeMatch(const RuleSet& rules, const net::PacketView& view);
+
+}  // namespace para::filter
+
+#endif  // PARAMECIUM_SRC_FILTER_COMPILER_H_

@@ -1,0 +1,175 @@
+#include "src/filter/filter.h"
+
+#include "src/base/log.h"
+#include "src/sfi/verifier.h"
+
+namespace para::filter {
+
+using net::FilterDecision;
+using net::FilterDirection;
+using net::FilterVerdict;
+
+const obj::TypeInfo* FilterType() {
+  static const obj::TypeInfo type("paramecium.net.filter", 1,
+                                  {"stats", "rule_count", "mode", "flow_count"});
+  return &type;
+}
+
+PacketFilter::PacketFilter(FilterConfig config)
+    : config_(std::move(config)), flows_(config_.flow_capacity) {}
+
+Result<std::unique_ptr<PacketFilter>> PacketFilter::Create(FilterConfig config) {
+  if (config.flow_capacity == 0) {
+    return Status(ErrorCode::kInvalidArgument, "flow table needs capacity");
+  }
+  auto f = std::unique_ptr<PacketFilter>(new PacketFilter(std::move(config)));
+  PARA_RETURN_IF_ERROR(f->Load(RuleSet{}));  // empty set, default pass
+  f->stats_.reloads = 0;                     // the bootstrap load is not a reload
+  f->epoch_ = 0;
+
+  obj::Interface iface(FilterType(), f.get());
+  iface.SetSlot(0, obj::Thunk<PacketFilter, &PacketFilter::StatsSlot>());
+  iface.SetSlot(1, obj::Thunk<PacketFilter, &PacketFilter::RuleCountSlot>());
+  iface.SetSlot(2, obj::Thunk<PacketFilter, &PacketFilter::ModeSlot>());
+  iface.SetSlot(3, obj::Thunk<PacketFilter, &PacketFilter::FlowCountSlot>());
+  f->ExportInterface(FilterType()->name(), std::move(iface));
+  return f;
+}
+
+Status PacketFilter::Install(CompiledFilter compiled, sfi::ExecMode mode) {
+  auto loaded = std::make_unique<LoadedProgram>(std::move(compiled.program), mode);
+  loaded->rule_count = compiled.rule_count;
+  loaded->payload_bytes_needed = compiled.payload_bytes_needed;
+  loaded_ = std::move(loaded);
+  ++epoch_;
+  ++stats_.reloads;
+  return OkStatus();
+}
+
+Status PacketFilter::Load(const RuleSet& rules) {
+  PARA_ASSIGN_OR_RETURN(CompiledFilter compiled, CompileRules(rules));
+  // The filter never executes an unverified program: the sandbox assumes
+  // structural sanity, so even the untrusted path verifies at load time.
+  PARA_RETURN_IF_ERROR(sfi::Verify(compiled.program).status());
+  return Install(std::move(compiled), sfi::ExecMode::kSandboxed);
+}
+
+Status PacketFilter::LoadCertified(const RuleSet& rules, nucleus::Certifier& certifier,
+                                   const nucleus::CertificationService& service) {
+  PARA_ASSIGN_OR_RETURN(CompiledFilter compiled, CompileRules(rules));
+  // Verify before certification: the certifier signs only structurally sane
+  // programs, and nothing unverified is ever installed.
+  PARA_RETURN_IF_ERROR(sfi::Verify(compiled.program).status());
+  PARA_ASSIGN_OR_RETURN(
+      nucleus::Certificate cert,
+      certifier.Certify(config_.name, epoch_ + 1, compiled.program.identity(),
+                        nucleus::kCertKernelEligible, /*now=*/epoch_ + 1));
+  // Load-time validation by the kernel: digest binding, delegation chain,
+  // kernel-eligibility. Only a validated program may run without checks.
+  PARA_RETURN_IF_ERROR(service.ValidateForKernel(cert, compiled.program.identity()));
+  return Install(std::move(compiled), sfi::ExecMode::kTrusted);
+}
+
+void PacketFilter::NotifyVerdict(const FilterDecision& decision, FilterDirection dir) {
+  if (config_.events != nullptr &&
+      config_.events->registration_count(nucleus::kTrapFilterVerdict) > 0) {
+    ++stats_.events_raised;
+    config_.events->RaiseTrap(nucleus::kTrapFilterVerdict,
+                              EncodeVerdictEvent(decision.verdict, dir, decision.rule));
+  }
+}
+
+FilterDecision PacketFilter::Evaluate(const net::PacketView& view, FilterDirection dir) {
+  ++stats_.evaluated;
+
+  FlowKey key{view.src_ip, view.dst_ip, view.src_port, view.dst_port, view.proto};
+  if (config_.track_flows) {
+    if (FlowEntry* flow = flows_.Find(key)) {
+      ++flow->packets;
+      flow->bytes += view.payload.size();
+      ++stats_.flow_hits;
+      FilterDecision decision = DecodeVerdict(flow->verdict);
+      if (decision.verdict == FilterVerdict::kCount) {
+        ++stats_.count;
+        NotifyVerdict(decision, dir);
+      } else {
+        ++stats_.pass;
+      }
+      return decision;
+    }
+  }
+
+  WritePacketDescriptor(view, loaded_->vm.memory(), loaded_->payload_bytes_needed);
+  uint64_t encoded;
+  Result<uint64_t> run = loaded_->vm.Run(0);
+  if (run.ok()) {
+    encoded = *run;
+  } else {
+    // A compiled program cannot fault, but an SFI violation in a sandboxed
+    // one must fail closed: the packet is dropped, not let through.
+    ++stats_.vm_faults;
+    encoded = EncodeVerdict(FilterVerdict::kDrop, net::kDefaultRuleIndex);
+  }
+  FilterDecision decision = DecodeVerdict(encoded);
+
+  switch (decision.verdict) {
+    case FilterVerdict::kPass:
+      ++stats_.pass;
+      break;
+    case FilterVerdict::kCount:
+      ++stats_.count;
+      NotifyVerdict(decision, dir);
+      break;
+    case FilterVerdict::kDrop:
+      ++stats_.drop;
+      break;
+    case FilterVerdict::kReject:
+      ++stats_.reject;
+      NotifyVerdict(decision, dir);
+      break;
+  }
+
+  // Only passing verdicts establish a flow: drops and rejects re-evaluate
+  // every time, so tightening the rules takes effect for them immediately.
+  if (config_.track_flows && VerdictPasses(decision.verdict)) {
+    FlowEntry* flow = flows_.Insert(key, encoded, epoch_);
+    flow->packets = 1;
+    flow->bytes = view.payload.size();
+  }
+  return decision;
+}
+
+net::FilterHook PacketFilter::Hook() {
+  return [this](const net::PacketView& view, FilterDirection dir) {
+    return Evaluate(view, dir);
+  };
+}
+
+uint64_t PacketFilter::StatsSlot(uint64_t index, uint64_t, uint64_t, uint64_t) {
+  switch (index) {
+    case 0: return stats_.evaluated;
+    case 1: return stats_.pass;
+    case 2: return stats_.drop;
+    case 3: return stats_.reject;
+    case 4: return stats_.count;
+    case 5: return stats_.flow_hits;
+    case 6: return stats_.reloads;
+    case 7: return stats_.events_raised;
+    case 8: return stats_.vm_faults;
+    default: return 0;
+  }
+}
+
+uint64_t PacketFilter::RuleCountSlot(uint64_t, uint64_t, uint64_t, uint64_t) {
+  return loaded_->rule_count;
+}
+
+uint64_t PacketFilter::ModeSlot(uint64_t, uint64_t, uint64_t, uint64_t) {
+  return loaded_->vm.mode() == sfi::ExecMode::kTrusted ? 1 : 0;
+}
+
+uint64_t PacketFilter::FlowCountSlot(uint64_t, uint64_t, uint64_t, uint64_t) {
+  return flows_.size();
+}
+
+}  // namespace para::filter

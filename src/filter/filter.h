@@ -1,0 +1,145 @@
+// The in-nucleus SFI packet filter: a user-definable firewall that is itself
+// a migratable kernel extension, the paper's central claim made concrete.
+// Rules compile to sfi::Program bytecode (compiler.h), every program passes
+// sfi::Verify before it can execute, and the execution mode reproduces the
+// two sides of experiment E7:
+//   * kSandboxed — untrusted rule sets run with per-access bounds checks and
+//     instruction metering (the SFI safety net);
+//   * kTrusted  — after the compiled program is certified (nucleus/cert.h)
+//     the same bytecode runs with no run-time checks.
+// A bounded flow table (flow_table.h) adds stateful firewalling: passed
+// flows are cached and skip rule evaluation, so established connections
+// survive hot rule-set reloads. count/reject verdicts raise
+// nucleus::kTrapFilterVerdict events so monitors can subscribe.
+//
+// PacketFilter is an obj::Object exporting FilterType(), so filter chains
+// are named instances in the directory like any other component.
+#ifndef PARAMECIUM_SRC_FILTER_FILTER_H_
+#define PARAMECIUM_SRC_FILTER_FILTER_H_
+
+#include <memory>
+#include <string>
+
+#include "src/base/status.h"
+#include "src/filter/compiler.h"
+#include "src/filter/flow_table.h"
+#include "src/filter/rule.h"
+#include "src/net/filter_hook.h"
+#include "src/nucleus/cert.h"
+#include "src/nucleus/event.h"
+#include "src/obj/object.h"
+#include "src/sfi/vm.h"
+
+namespace para::filter {
+
+// Filter chain interface exported through the directory.
+//   0 stats(index)  -> counter (see FilterStats order)
+//   1 rule_count()  -> rules in the installed set
+//   2 mode()        -> 0 sandboxed, 1 trusted
+//   3 flow_count()  -> live flow-table entries
+const obj::TypeInfo* FilterType();
+
+// Detail word of a kTrapFilterVerdict event:
+//   bits 0..7   verdict (net::FilterVerdict)
+//   bits 8..15  direction (net::FilterDirection)
+//   bits 32..63 matched rule index
+constexpr uint64_t EncodeVerdictEvent(net::FilterVerdict verdict, net::FilterDirection dir,
+                                      uint32_t rule) {
+  return static_cast<uint64_t>(verdict) | (static_cast<uint64_t>(dir) << 8) |
+         (static_cast<uint64_t>(rule) << 32);
+}
+constexpr net::FilterVerdict VerdictEventVerdict(uint64_t detail) {
+  return static_cast<net::FilterVerdict>(detail & 0xFF);
+}
+constexpr net::FilterDirection VerdictEventDirection(uint64_t detail) {
+  return static_cast<net::FilterDirection>((detail >> 8) & 0xFF);
+}
+constexpr uint32_t VerdictEventRule(uint64_t detail) {
+  return static_cast<uint32_t>(detail >> 32);
+}
+
+struct FilterConfig {
+  std::string name = "filter";
+  size_t flow_capacity = 1024;
+  bool track_flows = true;
+  // Optional: verdict notifications for count/reject are raised here.
+  nucleus::EventService* events = nullptr;
+};
+
+struct FilterStats {
+  uint64_t evaluated = 0;
+  uint64_t pass = 0;
+  uint64_t drop = 0;
+  uint64_t reject = 0;
+  uint64_t count = 0;
+  uint64_t flow_hits = 0;   // verdicts served from the flow table
+  uint64_t reloads = 0;     // successful Load/LoadCertified calls
+  uint64_t events_raised = 0;
+  uint64_t vm_faults = 0;   // sandboxed program faulted; packet fail-closed
+};
+
+class PacketFilter : public obj::Object {
+ public:
+  // Starts with an empty sandboxed rule set (default verdict: pass).
+  static Result<std::unique_ptr<PacketFilter>> Create(FilterConfig config);
+
+  // Compiles, verifies, and installs `rules` for sandboxed execution — the
+  // path for untrusted rule sets. An unverified program is never installed.
+  Status Load(const RuleSet& rules);
+
+  // The certified path: compiles and verifies as above, then has `certifier`
+  // sign the compiled program and the kernel's certification service
+  // validate it for kernel residence. Only then does the program run
+  // kTrusted, with no run-time checks. Both loads are hot: the flow table
+  // survives, so established flows keep their cached verdicts.
+  Status LoadCertified(const RuleSet& rules, nucleus::Certifier& certifier,
+                       const nucleus::CertificationService& service);
+
+  // Evaluates one packet: flow-table fast path first, then the compiled
+  // classifier. A sandboxed program fault fails closed (drop).
+  net::FilterDecision Evaluate(const net::PacketView& view, net::FilterDirection dir);
+
+  // Adapter for ProtocolStack::SetIngressFilter/SetEgressFilter.
+  net::FilterHook Hook();
+
+  sfi::ExecMode mode() const { return loaded_->vm.mode(); }
+  size_t rule_count() const { return loaded_->rule_count; }
+  uint32_t epoch() const { return epoch_; }
+  const std::string& name() const { return config_.name; }
+  const FilterStats& stats() const { return stats_; }
+  const sfi::VmStats& vm_stats() const { return loaded_->vm.stats(); }
+  FlowTable& flows() { return flows_; }
+
+  // FilterType() slot implementations (uniform u64 convention).
+  uint64_t StatsSlot(uint64_t index, uint64_t, uint64_t, uint64_t);
+  uint64_t RuleCountSlot(uint64_t, uint64_t, uint64_t, uint64_t);
+  uint64_t ModeSlot(uint64_t, uint64_t, uint64_t, uint64_t);
+  uint64_t FlowCountSlot(uint64_t, uint64_t, uint64_t, uint64_t);
+
+ private:
+  // A compiled program and the VM bound to it; boxed so the Vm's program
+  // pointer stays stable and a hot reload is one pointer swap.
+  struct LoadedProgram {
+    LoadedProgram(sfi::Program p, sfi::ExecMode mode)
+        : program(std::move(p)), vm(&program, mode) {}
+    sfi::Program program;
+    sfi::Vm vm;
+    size_t rule_count = 0;
+    size_t payload_bytes_needed = 0;
+  };
+
+  explicit PacketFilter(FilterConfig config);
+
+  Status Install(CompiledFilter compiled, sfi::ExecMode mode);
+  void NotifyVerdict(const net::FilterDecision& decision, net::FilterDirection dir);
+
+  FilterConfig config_;
+  std::unique_ptr<LoadedProgram> loaded_;
+  FlowTable flows_;
+  uint32_t epoch_ = 0;
+  FilterStats stats_;
+};
+
+}  // namespace para::filter
+
+#endif  // PARAMECIUM_SRC_FILTER_FILTER_H_

@@ -1,0 +1,57 @@
+#include "src/filter/flow_table.h"
+
+#include "src/base/log.h"
+
+namespace para::filter {
+
+FlowTable::FlowTable(size_t capacity) : capacity_(capacity) {
+  PARA_CHECK(capacity > 0);
+  map_.reserve(capacity);
+}
+
+FlowEntry* FlowTable::Find(const FlowKey& key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return &*it->second;
+}
+
+FlowEntry* FlowTable::Insert(const FlowKey& key, uint64_t verdict, uint32_t epoch) {
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    it->second->verdict = verdict;
+    it->second->epoch = epoch;
+    return &*it->second;
+  }
+  if (map_.size() >= capacity_) {
+    ++stats_.evictions;
+    map_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+  ++stats_.inserts;
+  lru_.push_front(FlowEntry{key, verdict, 0, 0, epoch});
+  map_.emplace(key, lru_.begin());
+  return &lru_.front();
+}
+
+bool FlowTable::Erase(const FlowKey& key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    return false;
+  }
+  lru_.erase(it->second);
+  map_.erase(it);
+  return true;
+}
+
+void FlowTable::Clear() {
+  lru_.clear();
+  map_.clear();
+}
+
+}  // namespace para::filter

@@ -1,0 +1,88 @@
+// Stateful connection tracking for the packet filter: a bounded flow table
+// keyed on the (src, dst, sport, dport, proto) 5-tuple with LRU eviction and
+// per-flow counters. A flow is recorded when a packet passes the rule set;
+// subsequent packets of the flow hit the table and skip rule evaluation
+// entirely — which is also what lets established flows survive a hot
+// rule-set reload (the new rules only see flows the table has never passed).
+#ifndef PARAMECIUM_SRC_FILTER_FLOW_TABLE_H_
+#define PARAMECIUM_SRC_FILTER_FLOW_TABLE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "src/net/filter_hook.h"
+
+namespace para::filter {
+
+struct FlowKey {
+  net::IpAddr src_ip = 0;
+  net::IpAddr dst_ip = 0;
+  net::Port src_port = 0;
+  net::Port dst_port = 0;
+  uint8_t proto = 0;
+
+  bool operator==(const FlowKey& other) const = default;
+};
+
+struct FlowKeyHash {
+  size_t operator()(const FlowKey& key) const {
+    // FNV-1a over the packed tuple.
+    uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](uint64_t v) {
+      h ^= v;
+      h *= 0x100000001b3ull;
+    };
+    mix(static_cast<uint64_t>(key.src_ip) << 32 | key.dst_ip);
+    mix(static_cast<uint64_t>(key.src_port) << 24 | static_cast<uint64_t>(key.dst_port) << 8 |
+        key.proto);
+    return static_cast<size_t>(h);
+  }
+};
+
+struct FlowEntry {
+  FlowKey key;
+  uint64_t verdict = 0;  // encoded verdict cached from rule evaluation
+  uint64_t packets = 0;
+  uint64_t bytes = 0;
+  uint32_t epoch = 0;  // rule-set generation that admitted the flow
+};
+
+struct FlowTableStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t inserts = 0;
+  uint64_t evictions = 0;
+};
+
+class FlowTable {
+ public:
+  explicit FlowTable(size_t capacity);
+
+  // Looks up a flow and, on hit, promotes it to most-recently-used. The
+  // returned pointer is valid until the next Insert/Erase/Clear.
+  FlowEntry* Find(const FlowKey& key);
+
+  // Inserts (or replaces) a flow, evicting the least-recently-used entry
+  // when at capacity. Returns the new entry.
+  FlowEntry* Insert(const FlowKey& key, uint64_t verdict, uint32_t epoch);
+
+  bool Erase(const FlowKey& key);
+  void Clear();
+
+  size_t size() const { return map_.size(); }
+  size_t capacity() const { return capacity_; }
+  const FlowTableStats& stats() const { return stats_; }
+
+ private:
+  using LruList = std::list<FlowEntry>;
+
+  size_t capacity_;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<FlowKey, LruList::iterator, FlowKeyHash> map_;
+  FlowTableStats stats_;
+};
+
+}  // namespace para::filter
+
+#endif  // PARAMECIUM_SRC_FILTER_FLOW_TABLE_H_

@@ -1,0 +1,71 @@
+// Packet-filter hook types shared by the protocol stack, the network driver,
+// and the in-nucleus filter subsystem (src/filter). They live in the net
+// layer so the stack can expose ingress/egress hook points without depending
+// on any particular filter implementation — the filter plugs in from above,
+// the same late-binding shape as FrameSender.
+#ifndef PARAMECIUM_SRC_NET_FILTER_HOOK_H_
+#define PARAMECIUM_SRC_NET_FILTER_HOOK_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "src/net/headers.h"
+
+namespace para::net {
+
+// What a filter decides about one packet. kCount passes the packet but asks
+// for it to be counted/notified; kReject drops it loudly (the filter raises a
+// verdict event in lieu of an ICMP error — the lite suite has none).
+enum class FilterVerdict : uint8_t {
+  kPass = 0,
+  kDrop = 1,
+  kReject = 2,
+  kCount = 3,
+};
+
+constexpr bool VerdictPasses(FilterVerdict verdict) {
+  return verdict == FilterVerdict::kPass || verdict == FilterVerdict::kCount;
+}
+
+constexpr const char* VerdictName(FilterVerdict verdict) {
+  switch (verdict) {
+    case FilterVerdict::kPass: return "pass";
+    case FilterVerdict::kDrop: return "drop";
+    case FilterVerdict::kReject: return "reject";
+    case FilterVerdict::kCount: return "count";
+  }
+  return "?";
+}
+
+enum class FilterDirection : uint8_t { kIngress = 0, kEgress = 1 };
+
+// Zero-copy view of one datagram at the filter hook point: parsed header
+// fields plus a span aliasing the packet buffer. The view (and its payload
+// span) is only valid for the duration of the hook call.
+struct PacketView {
+  IpAddr src_ip = 0;
+  IpAddr dst_ip = 0;
+  Port src_port = 0;
+  Port dst_port = 0;
+  uint8_t proto = 0;
+  std::span<const uint8_t> payload;
+};
+
+// Rule index reported for the rule-set's default verdict.
+inline constexpr uint32_t kDefaultRuleIndex = 0xFFFF'FFFFu;
+
+struct FilterDecision {
+  FilterVerdict verdict = FilterVerdict::kPass;
+  uint32_t rule = kDefaultRuleIndex;  // matched rule, or kDefaultRuleIndex
+};
+
+// Datagram-level hook installed on the stack's ingress/egress paths.
+using FilterHook = std::function<FilterDecision(const PacketView&, FilterDirection)>;
+
+// Raw frame-level hook for drivers: return false to drop the frame.
+using RawFrameHook = std::function<bool(std::span<const uint8_t> frame)>;
+
+}  // namespace para::net
+
+#endif  // PARAMECIUM_SRC_NET_FILTER_HOOK_H_

@@ -27,11 +27,38 @@ Status ProtocolStack::UnbindPort(Port port) {
                                   : Status(ErrorCode::kNotFound, "port not bound");
 }
 
+bool ProtocolStack::ApplyFilter(const FilterHook& hook, const PacketView& view,
+                                FilterDirection dir) {
+  FilterDecision decision = hook(view, dir);
+  switch (decision.verdict) {
+    case FilterVerdict::kPass:
+      ++stats_.filter_pass;
+      return true;
+    case FilterVerdict::kCount:
+      ++stats_.filter_count;
+      return true;
+    case FilterVerdict::kDrop:
+      ++stats_.filter_drop;
+      break;
+    case FilterVerdict::kReject:
+      ++stats_.filter_reject;
+      break;
+  }
+  ++stats_.drops_filtered;
+  return false;
+}
+
 Status ProtocolStack::SendDatagram(IpAddr dst, Port src_port, Port dst_port,
                                    std::span<const uint8_t> payload) {
   auto neighbor = neighbors_.find(dst);
   if (neighbor == neighbors_.end()) {
     return Status(ErrorCode::kUnavailable, "no route to host");
+  }
+  if (egress_filter_ != nullptr) {
+    PacketView view{config_.ip, dst, src_port, dst_port, kIpProtoUdpLite, payload};
+    if (!ApplyFilter(egress_filter_, view, FilterDirection::kEgress)) {
+      return Status(ErrorCode::kPermissionDenied, "blocked by egress filter");
+    }
   }
   PacketBuffer packet;
   packet.Append(payload);
@@ -79,6 +106,16 @@ void ProtocolStack::OnFrame(std::span<const uint8_t> frame) {
   if (!udp.ok()) {
     ++stats_.drops_bad_frame;
     return;
+  }
+
+  // Ingress filter verdict on a zero-copy view of the decapsulated packet:
+  // a dropped or rejected datagram costs no allocation.
+  if (ingress_filter_ != nullptr) {
+    PacketView view{ip->src, ip->dst, udp->src_port, udp->dst_port, ip->proto,
+                    packet.data()};
+    if (!ApplyFilter(ingress_filter_, view, FilterDirection::kIngress)) {
+      return;
+    }
   }
 
   auto socket = sockets_.find(udp->dst_port);

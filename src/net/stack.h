@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/base/status.h"
+#include "src/net/filter_hook.h"
 #include "src/net/headers.h"
 #include "src/net/pktbuf.h"
 
@@ -42,6 +43,12 @@ struct StackStats {
   uint64_t drops_bad_frame = 0;
   uint64_t drops_not_for_us = 0;
   uint64_t drops_no_socket = 0;
+  uint64_t drops_filtered = 0;  // ingress + egress drop/reject verdicts
+  // Per-verdict filter counters, both directions combined.
+  uint64_t filter_pass = 0;
+  uint64_t filter_drop = 0;
+  uint64_t filter_reject = 0;
+  uint64_t filter_count = 0;
 };
 
 class ProtocolStack {
@@ -55,21 +62,35 @@ class ProtocolStack {
   Status BindPort(Port port, DatagramHandler handler);
   Status UnbindPort(Port port);
 
-  // Sends a UDP-lite datagram.
+  // Sends a UDP-lite datagram. Blocked by the egress filter =>
+  // kPermissionDenied.
   Status SendDatagram(IpAddr dst, Port src_port, Port dst_port,
                       std::span<const uint8_t> payload);
 
   // Driver-facing input: a raw frame arrived on the wire.
   void OnFrame(std::span<const uint8_t> frame);
 
+  // Filter hook points. The ingress hook runs after UDP decap with a
+  // zero-copy PacketView aliasing the frame — a dropped packet never
+  // materializes a Datagram, so the verdict costs no allocation. The egress
+  // hook runs before encapsulation. Pass nullptr to remove a hook.
+  void SetIngressFilter(FilterHook hook) { ingress_filter_ = std::move(hook); }
+  void SetEgressFilter(FilterHook hook) { egress_filter_ = std::move(hook); }
+
   const StackStats& stats() const { return stats_; }
   const StackConfig& config() const { return config_; }
 
  private:
+  // Applies a filter hook to `view`; returns true when the packet may
+  // proceed, updating the per-verdict counters either way.
+  bool ApplyFilter(const FilterHook& hook, const PacketView& view, FilterDirection dir);
+
   StackConfig config_;
   FrameSender sender_;
   std::map<IpAddr, MacAddr> neighbors_;
   std::map<Port, DatagramHandler> sockets_;
+  FilterHook ingress_filter_;
+  FilterHook egress_filter_;
   StackStats stats_;
 };
 

@@ -33,7 +33,10 @@ inline constexpr EventNumber kTrapSystemCall = kEventTrapBase + 1;
 inline constexpr EventNumber kTrapDivideByZero = kEventTrapBase + 2;
 inline constexpr EventNumber kTrapIllegal = kEventTrapBase + 3;
 inline constexpr EventNumber kTrapActiveMessage = kEventTrapBase + 4;
-inline constexpr EventNumber kEventCount = kEventTrapBase + 5;
+// Raised by the packet filter (src/filter) for count/reject verdicts so
+// monitors can subscribe; detail encoding in src/filter/filter.h.
+inline constexpr EventNumber kTrapFilterVerdict = kEventTrapBase + 5;
+inline constexpr EventNumber kEventCount = kEventTrapBase + 6;
 
 inline constexpr EventNumber IrqEvent(int line) {
   return kEventIrqBase + static_cast<EventNumber>(line);

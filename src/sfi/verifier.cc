@@ -10,6 +10,9 @@ Result<VerifyReport> Verify(const Program& program) {
   if (code.empty()) {
     return Status(ErrorCode::kInvalidArgument, "empty program");
   }
+  if (code.size() > kMaxProgramBytes) {
+    return Status(ErrorCode::kResourceExhausted, "program exceeds size cap");
+  }
 
   // Pass 1: decode linearly, collecting instruction boundaries.
   VerifyReport report;

@@ -13,6 +13,11 @@
 
 namespace para::sfi {
 
+// Hard bound on verifiable program size. Loaders (SfiComponent, the packet
+// filter) accept nothing the verifier has not seen, so this is also the
+// system-wide cap on loadable bytecode.
+inline constexpr size_t kMaxProgramBytes = 1u << 20;
+
 struct VerifyReport {
   size_t instructions = 0;
   size_t jumps = 0;

@@ -1,0 +1,535 @@
+// Unit tests for the packet-filter subsystem: the rule language, the
+// rule-to-bytecode compiler (differential against the native matcher), the
+// sandboxed/trusted execution modes, the certification gate on trusted
+// loads, and the verifier rejection paths the filter relies on to never run
+// an unverified program.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/base/random.h"
+#include "src/filter/compiler.h"
+#include "src/filter/filter.h"
+#include "src/filter/rule.h"
+#include "src/nucleus/cert.h"
+#include "src/sfi/verifier.h"
+#include "src/sfi/vm.h"
+
+namespace para::filter {
+namespace {
+
+using net::FilterDecision;
+using net::FilterDirection;
+using net::FilterVerdict;
+using net::PacketView;
+using nucleus::CertificationAuthority;
+
+std::span<const uint8_t> Bytes(const std::string& s) {
+  return std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+}
+
+// --- rule language ----------------------------------------------------------
+
+TEST(RuleParserTest, ParsesFullGrammar) {
+  auto set = ParseRules(R"(
+    ; management net may talk to the resolver
+    pass from 10.0.0.0/8 to 10.1.0.2 dport 53 proto udp
+    count to any dport 8000-8080      # tap the web tier
+    reject payload 0=0x7F payload 3=0x45/0xF0
+    drop sport 6000-7000
+    default drop
+  )");
+  ASSERT_TRUE(set.ok()) << set.status().message();
+  ASSERT_EQ(set->rules.size(), 4u);
+  EXPECT_EQ(set->default_verdict, FilterVerdict::kDrop);
+
+  const Rule& r0 = set->rules[0];
+  EXPECT_EQ(r0.verdict, FilterVerdict::kPass);
+  EXPECT_EQ(r0.src_ip, 0x0A000000u);
+  EXPECT_EQ(r0.src_prefix, 8);
+  EXPECT_EQ(r0.dst_ip, 0x0A010002u);
+  EXPECT_EQ(r0.dst_prefix, 32);
+  EXPECT_EQ(r0.dport_lo, 53);
+  EXPECT_EQ(r0.dport_hi, 53);
+  EXPECT_EQ(r0.proto, net::kIpProtoUdpLite);
+
+  const Rule& r1 = set->rules[1];
+  EXPECT_EQ(r1.verdict, FilterVerdict::kCount);
+  EXPECT_EQ(r1.dst_prefix, 0);  // "any"
+  EXPECT_EQ(r1.dport_lo, 8000);
+  EXPECT_EQ(r1.dport_hi, 8080);
+
+  const Rule& r2 = set->rules[2];
+  ASSERT_EQ(r2.payload.size(), 2u);
+  EXPECT_EQ(r2.payload[0].offset, 0);
+  EXPECT_EQ(r2.payload[0].value, 0x7F);
+  EXPECT_EQ(r2.payload[0].mask, 0xFF);
+  EXPECT_EQ(r2.payload[1].offset, 3);
+  EXPECT_EQ(r2.payload[1].mask, 0xF0);
+}
+
+TEST(RuleParserTest, RejectsMalformedRules) {
+  EXPECT_FALSE(ParseRules("frobnicate from 1.2.3.4").ok());
+  EXPECT_FALSE(ParseRules("pass from 1.2.3").ok());
+  EXPECT_FALSE(ParseRules("pass from 1.2.3.4.5").ok());
+  EXPECT_FALSE(ParseRules("pass from 1.2.3.4/33").ok());
+  EXPECT_FALSE(ParseRules("pass dport 70000").ok());
+  EXPECT_FALSE(ParseRules("pass dport 90-80").ok());
+  EXPECT_FALSE(ParseRules("pass proto bogus").ok());
+  EXPECT_FALSE(ParseRules("pass payload 4").ok());
+  EXPECT_FALSE(ParseRules("pass payload 4=999").ok());
+  EXPECT_FALSE(ParseRules("pass from").ok());
+  EXPECT_FALSE(ParseRules("default").ok());
+}
+
+TEST(RuleParserTest, FormatRoundTrips) {
+  auto set = ParseRules(
+      "reject from 192.168.1.0/24 to 10.0.0.1 sport 1000-2000 dport 53 proto 17 "
+      "payload 2=0x41/0x7F\n");
+  ASSERT_TRUE(set.ok());
+  std::string text = FormatRule(set->rules[0]);
+  auto reparsed = ParseRules(text);
+  ASSERT_TRUE(reparsed.ok()) << text;
+  const Rule& a = set->rules[0];
+  const Rule& b = reparsed->rules[0];
+  EXPECT_EQ(a.verdict, b.verdict);
+  EXPECT_EQ(a.src_ip, b.src_ip);
+  EXPECT_EQ(a.src_prefix, b.src_prefix);
+  EXPECT_EQ(a.dst_ip, b.dst_ip);
+  EXPECT_EQ(a.sport_lo, b.sport_lo);
+  EXPECT_EQ(a.sport_hi, b.sport_hi);
+  EXPECT_EQ(a.dport_lo, b.dport_lo);
+  EXPECT_EQ(a.proto, b.proto);
+  ASSERT_EQ(b.payload.size(), 1u);
+  EXPECT_EQ(a.payload[0].value, b.payload[0].value);
+  EXPECT_EQ(a.payload[0].mask, b.payload[0].mask);
+}
+
+// --- compiler ---------------------------------------------------------------
+
+// Runs the compiled classifier for one packet view, the way PacketFilter
+// does: marshal descriptor, run entry 0.
+uint64_t RunCompiled(const CompiledFilter& compiled, sfi::Vm& vm, const PacketView& view) {
+  EXPECT_TRUE(WritePacketDescriptor(view, vm.memory(), compiled.payload_bytes_needed));
+  auto result = vm.Run(0);
+  EXPECT_TRUE(result.ok()) << result.status().message();
+  return result.ok() ? *result : ~uint64_t{0};
+}
+
+TEST(CompilerTest, CompiledProgramVerifies) {
+  auto set = ParseRules(
+      "pass from 10.0.0.0/8 dport 53 proto udp\n"
+      "reject payload 0=0x7F\n"
+      "default drop\n");
+  ASSERT_TRUE(set.ok());
+  auto compiled = CompileRules(*set);
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_EQ(compiled->rule_count, 2u);
+  EXPECT_EQ(compiled->payload_bytes_needed, 1u);
+  auto report = sfi::Verify(compiled->program);
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  EXPECT_GT(report->jumps, 0u);
+  EXPECT_GT(report->memory_ops, 0u);
+}
+
+TEST(CompilerTest, FirstMatchWinsAndDefaultApplies) {
+  auto set = ParseRules(
+      "count dport 80\n"
+      "drop dport 80\n"   // shadowed by the count rule
+      "pass dport 443\n"
+      "default reject\n");
+  ASSERT_TRUE(set.ok());
+  auto compiled = CompileRules(*set);
+  ASSERT_TRUE(compiled.ok());
+  sfi::Vm vm(&compiled->program, sfi::ExecMode::kSandboxed);
+
+  PacketView http{1, 2, 1234, 80, net::kIpProtoUdpLite, {}};
+  FilterDecision d = DecodeVerdict(RunCompiled(*compiled, vm, http));
+  EXPECT_EQ(d.verdict, FilterVerdict::kCount);
+  EXPECT_EQ(d.rule, 0u);
+
+  PacketView https{1, 2, 1234, 443, net::kIpProtoUdpLite, {}};
+  d = DecodeVerdict(RunCompiled(*compiled, vm, https));
+  EXPECT_EQ(d.verdict, FilterVerdict::kPass);
+  EXPECT_EQ(d.rule, 2u);
+
+  PacketView other{1, 2, 1234, 7777, net::kIpProtoUdpLite, {}};
+  d = DecodeVerdict(RunCompiled(*compiled, vm, other));
+  EXPECT_EQ(d.verdict, FilterVerdict::kReject);
+  EXPECT_EQ(d.rule, net::kDefaultRuleIndex);
+}
+
+TEST(CompilerTest, PayloadMatchRespectsLengthAndMask) {
+  auto set = ParseRules("drop payload 4=0x40/0xC0\ndefault pass\n");
+  ASSERT_TRUE(set.ok());
+  auto compiled = CompileRules(*set);
+  ASSERT_TRUE(compiled.ok());
+  sfi::Vm vm(&compiled->program, sfi::ExecMode::kSandboxed);
+
+  std::string long_match = "xxxx\x7Fzz";   // byte 4 = 0x7F, & 0xC0 == 0x40
+  std::string long_miss = "xxxx\xC1zz";    // byte 4 & 0xC0 == 0xC0
+  std::string short_pkt = "xxxx";          // byte 4 absent => rule cannot match
+  PacketView view{1, 2, 3, 4, net::kIpProtoUdpLite, Bytes(long_match)};
+  EXPECT_EQ(DecodeVerdict(RunCompiled(*compiled, vm, view)).verdict, FilterVerdict::kDrop);
+  view.payload = Bytes(long_miss);
+  EXPECT_EQ(DecodeVerdict(RunCompiled(*compiled, vm, view)).verdict, FilterVerdict::kPass);
+  view.payload = Bytes(short_pkt);
+  EXPECT_EQ(DecodeVerdict(RunCompiled(*compiled, vm, view)).verdict, FilterVerdict::kPass);
+}
+
+TEST(CompilerTest, RejectsPayloadOffsetBeyondCaptureWindow) {
+  RuleSet set;
+  Rule rule;
+  rule.payload.push_back({static_cast<uint16_t>(kMaxPayloadCapture), 0x41, 0xFF});
+  set.rules.push_back(rule);
+  EXPECT_FALSE(CompileRules(set).ok());
+}
+
+TEST(CompilerTest, RejectsOversizedRuleSets) {
+  RuleSet set;
+  set.rules.resize(kMaxRules + 1);
+  EXPECT_FALSE(CompileRules(set).ok());
+}
+
+// Differential: random rule sets x random packets, compiled (in both modes)
+// vs the native matcher. Any divergence is a compiler bug.
+TEST(CompilerTest, DifferentialAgainstNativeMatcher) {
+  para::Random rng(0xF17E12);
+  for (int round = 0; round < 40; ++round) {
+    RuleSet set;
+    set.default_verdict = static_cast<FilterVerdict>(rng.NextBelow(4));
+    size_t rule_count = 1 + rng.NextBelow(8);
+    for (size_t i = 0; i < rule_count; ++i) {
+      Rule rule;
+      rule.verdict = static_cast<FilterVerdict>(rng.NextBelow(4));
+      if (rng.NextBool(0.5)) {
+        rule.src_ip = rng.Next32();
+        rule.src_prefix = static_cast<uint8_t>(1 + rng.NextBelow(32));
+      }
+      if (rng.NextBool(0.5)) {
+        rule.dst_ip = rng.Next32();
+        rule.dst_prefix = static_cast<uint8_t>(1 + rng.NextBelow(32));
+      }
+      if (rng.NextBool(0.5)) {
+        rule.sport_lo = static_cast<net::Port>(rng.NextBelow(8));
+        rule.sport_hi = static_cast<net::Port>(rule.sport_lo + rng.NextBelow(8));
+      }
+      if (rng.NextBool(0.5)) {
+        rule.dport_lo = static_cast<net::Port>(rng.NextBelow(8));
+        rule.dport_hi = static_cast<net::Port>(rule.dport_lo + rng.NextBelow(8));
+      }
+      if (rng.NextBool(0.4)) {
+        rule.proto = static_cast<int16_t>(rng.NextBelow(3));
+      }
+      size_t payload_tests = rng.NextBelow(3);
+      for (size_t p = 0; p < payload_tests; ++p) {
+        PayloadMatch match;
+        match.offset = static_cast<uint16_t>(rng.NextBelow(6));
+        match.value = static_cast<uint8_t>(rng.NextBelow(4));
+        match.mask = rng.NextBool(0.5) ? 0xFF : 0x03;
+        rule.payload.push_back(match);
+      }
+      set.rules.push_back(std::move(rule));
+    }
+
+    auto compiled = CompileRules(set);
+    ASSERT_TRUE(compiled.ok());
+    ASSERT_TRUE(sfi::Verify(compiled->program).ok());
+    sfi::Vm sandboxed(&compiled->program, sfi::ExecMode::kSandboxed);
+    sfi::Vm trusted(&compiled->program, sfi::ExecMode::kTrusted);
+
+    for (int pkt = 0; pkt < 50; ++pkt) {
+      std::vector<uint8_t> payload(rng.NextBelow(8));
+      for (auto& byte : payload) {
+        byte = static_cast<uint8_t>(rng.NextBelow(4));
+      }
+      PacketView view;
+      // Small field domains so rules and packets actually collide.
+      view.src_ip = static_cast<net::IpAddr>(rng.Next32());
+      view.dst_ip = static_cast<net::IpAddr>(rng.Next32());
+      if (!set.rules.empty() && rng.NextBool(0.5)) {
+        const Rule& target = set.rules[rng.NextBelow(set.rules.size())];
+        view.src_ip = target.src_ip;
+        view.dst_ip = target.dst_ip;
+      }
+      view.src_port = static_cast<net::Port>(rng.NextBelow(16));
+      view.dst_port = static_cast<net::Port>(rng.NextBelow(16));
+      view.proto = static_cast<uint8_t>(rng.NextBelow(3));
+      view.payload = payload;
+
+      uint64_t expected = NativeMatch(set, view);
+      EXPECT_EQ(RunCompiled(*compiled, sandboxed, view), expected)
+          << "sandboxed divergence, round " << round << " pkt " << pkt;
+      EXPECT_EQ(RunCompiled(*compiled, trusted, view), expected)
+          << "trusted divergence, round " << round << " pkt " << pkt;
+    }
+  }
+}
+
+// --- verifier rejection paths (the filter must never load unverified code) --
+
+TEST(VerifierGateTest, RejectsJumpOutOfBounds) {
+  auto set = ParseRules("pass dport 80\n");
+  ASSERT_TRUE(set.ok());
+  auto compiled = CompileRules(*set);
+  ASSERT_TRUE(compiled.ok());
+  // Corrupt the first jz rel32 to point far outside the program.
+  auto& code = compiled->program.code;
+  size_t pos = 0;
+  bool patched = false;
+  while (pos < code.size()) {
+    auto op = static_cast<sfi::Op>(code[pos]);
+    if (op == sfi::Op::kJz) {
+      int32_t rel = 0x7FFFFFF;
+      std::memcpy(code.data() + pos + 1, &rel, 4);
+      patched = true;
+      break;
+    }
+    pos += sfi::InstructionLength(op);
+  }
+  ASSERT_TRUE(patched);
+  EXPECT_FALSE(sfi::Verify(compiled->program).ok());
+}
+
+TEST(VerifierGateTest, RejectsJumpIntoInstructionMiddle) {
+  auto set = ParseRules("pass dport 80\n");
+  ASSERT_TRUE(set.ok());
+  auto compiled = CompileRules(*set);
+  ASSERT_TRUE(compiled.ok());
+  auto& code = compiled->program.code;
+  size_t pos = 0;
+  bool patched = false;
+  while (pos < code.size()) {
+    auto op = static_cast<sfi::Op>(code[pos]);
+    if (op == sfi::Op::kJz) {
+      // Target the byte after the next instruction's opcode: a valid code
+      // offset but not an instruction start (the next op is a push imm64).
+      size_t next = pos + sfi::InstructionLength(op);
+      ASSERT_EQ(static_cast<sfi::Op>(code[next]), sfi::Op::kPush);
+      int32_t rel = static_cast<int32_t>(next + 1) - static_cast<int32_t>(pos + 5);
+      std::memcpy(code.data() + pos + 1, &rel, 4);
+      patched = true;
+      break;
+    }
+    pos += sfi::InstructionLength(op);
+  }
+  ASSERT_TRUE(patched);
+  EXPECT_FALSE(sfi::Verify(compiled->program).ok());
+}
+
+TEST(VerifierGateTest, RejectsTruncatedFinalInstruction) {
+  auto set = ParseRules("pass dport 80\n");
+  ASSERT_TRUE(set.ok());
+  auto compiled = CompileRules(*set);
+  ASSERT_TRUE(compiled.ok());
+  // The program ends with push imm64 + retv; chop the retv and half the
+  // immediate so the final instruction is truncated.
+  auto& code = compiled->program.code;
+  code.resize(code.size() - 6);
+  EXPECT_FALSE(sfi::Verify(compiled->program).ok());
+}
+
+TEST(VerifierGateTest, RejectsOversizedPrograms) {
+  sfi::Program program;
+  program.code.assign(sfi::kMaxProgramBytes + 1, static_cast<uint8_t>(sfi::Op::kHalt));
+  program.entry_points.push_back(0);
+  auto report = sfi::Verify(program);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), ErrorCode::kResourceExhausted);
+  // One byte under the cap is fine.
+  program.code.resize(sfi::kMaxProgramBytes);
+  EXPECT_TRUE(sfi::Verify(program).ok());
+}
+
+// --- PacketFilter -----------------------------------------------------------
+
+TEST(PacketFilterTest, EmptyFilterPassesEverything) {
+  auto filter = PacketFilter::Create({});
+  ASSERT_TRUE(filter.ok());
+  EXPECT_EQ((*filter)->mode(), sfi::ExecMode::kSandboxed);
+  EXPECT_EQ((*filter)->rule_count(), 0u);
+  PacketView view{1, 2, 3, 4, net::kIpProtoUdpLite, {}};
+  FilterDecision d = (*filter)->Evaluate(view, FilterDirection::kIngress);
+  EXPECT_EQ(d.verdict, FilterVerdict::kPass);
+  EXPECT_EQ((*filter)->stats().pass, 1u);
+}
+
+TEST(PacketFilterTest, SandboxedAndTrustedAgree) {
+  auto rules = ParseRules(
+      "pass from 10.0.0.0/8 dport 53\n"
+      "count dport 8080\n"
+      "default drop\n");
+  ASSERT_TRUE(rules.ok());
+
+  FilterConfig config;
+  config.track_flows = false;
+  auto sandboxed = PacketFilter::Create(config);
+  ASSERT_TRUE(sandboxed.ok());
+  ASSERT_TRUE((*sandboxed)->Load(*rules).ok());
+  EXPECT_EQ((*sandboxed)->mode(), sfi::ExecMode::kSandboxed);
+
+  para::Random rng(0xDEAD);
+  CertificationAuthority authority =
+      nucleus::CertificationAuthority(crypto::GenerateKeyPair(512, rng));
+  auto signer_keys = crypto::GenerateKeyPair(512, rng);
+  auto grant = authority.Grant("filter-compiler", signer_keys.public_key,
+                               nucleus::kCertKernelEligible);
+  nucleus::Certifier signer(
+      "filter-compiler", signer_keys, grant,
+      [](const std::string&, std::span<const uint8_t>, uint32_t) { return OkStatus(); });
+  nucleus::CertificationService service(authority.public_key());
+  ASSERT_TRUE(service.RegisterGrant(grant).ok());
+
+  auto trusted = PacketFilter::Create(config);
+  ASSERT_TRUE(trusted.ok());
+  ASSERT_TRUE((*trusted)->LoadCertified(*rules, signer, service).ok());
+  EXPECT_EQ((*trusted)->mode(), sfi::ExecMode::kTrusted);
+
+  for (uint32_t i = 0; i < 64; ++i) {
+    PacketView view;
+    view.src_ip = (i % 2) ? 0x0A000005u : 0xC0A80005u;
+    view.dst_ip = 0x0A010002;
+    view.src_port = static_cast<net::Port>(1000 + i);
+    view.dst_port = (i % 3 == 0) ? 53 : (i % 3 == 1) ? 8080 : 9999;
+    view.proto = net::kIpProtoUdpLite;
+    FilterDecision a = (*sandboxed)->Evaluate(view, FilterDirection::kIngress);
+    FilterDecision b = (*trusted)->Evaluate(view, FilterDirection::kIngress);
+    EXPECT_EQ(a.verdict, b.verdict) << i;
+    EXPECT_EQ(a.rule, b.rule) << i;
+  }
+  // The sandbox paid bounds checks for every access; trusted paid none.
+  EXPECT_GT((*sandboxed)->vm_stats().bounds_checks, 0u);
+  EXPECT_EQ((*trusted)->vm_stats().bounds_checks, 0u);
+}
+
+TEST(PacketFilterTest, TrustedLoadRequiresValidCertificationChain) {
+  auto rules = ParseRules("drop dport 23\n");
+  ASSERT_TRUE(rules.ok());
+  para::Random rng(0xBEEF);
+  CertificationAuthority authority(crypto::GenerateKeyPair(512, rng));
+  auto signer_keys = crypto::GenerateKeyPair(512, rng);
+
+  // Grant restricted to non-kernel flags: certification succeeds but the
+  // kernel validation refuses kernel residence.
+  auto weak_grant =
+      authority.Grant("weak", signer_keys.public_key, nucleus::kCertSharedService);
+  nucleus::Certifier weak(
+      "weak", signer_keys, weak_grant,
+      [](const std::string&, std::span<const uint8_t>, uint32_t) { return OkStatus(); });
+  nucleus::CertificationService service(authority.public_key());
+  ASSERT_TRUE(service.RegisterGrant(weak_grant).ok());
+
+  auto filter = PacketFilter::Create({});
+  ASSERT_TRUE(filter.ok());
+  EXPECT_FALSE((*filter)->LoadCertified(*rules, weak, service).ok());
+  // The failed trusted load must not have replaced the installed program.
+  EXPECT_EQ((*filter)->mode(), sfi::ExecMode::kSandboxed);
+
+  // A certifier whose policy refuses also blocks the load.
+  auto strict_keys = crypto::GenerateKeyPair(512, rng);
+  auto strict_grant =
+      authority.Grant("strict", strict_keys.public_key, nucleus::kCertKernelEligible);
+  nucleus::Certifier strict("strict", strict_keys, strict_grant,
+                            [](const std::string&, std::span<const uint8_t>, uint32_t) {
+                              return Status(ErrorCode::kPermissionDenied, "policy says no");
+                            });
+  ASSERT_TRUE(service.RegisterGrant(strict_grant).ok());
+  EXPECT_FALSE((*filter)->LoadCertified(*rules, strict, service).ok());
+
+  // An unregistered signer fails kernel-side validation.
+  auto rogue_keys = crypto::GenerateKeyPair(512, rng);
+  auto rogue_grant =
+      authority.Grant("rogue", rogue_keys.public_key, nucleus::kCertKernelEligible);
+  nucleus::Certifier rogue(
+      "rogue", rogue_keys, rogue_grant,
+      [](const std::string&, std::span<const uint8_t>, uint32_t) { return OkStatus(); });
+  EXPECT_FALSE((*filter)->LoadCertified(*rules, rogue, service).ok());
+}
+
+TEST(PacketFilterTest, FlowFastPathAndCounters) {
+  auto rules = ParseRules("pass dport 80\ndefault drop\n");
+  ASSERT_TRUE(rules.ok());
+  FilterConfig config;
+  config.flow_capacity = 16;
+  auto filter = PacketFilter::Create(config);
+  ASSERT_TRUE(filter.ok());
+  ASSERT_TRUE((*filter)->Load(*rules).ok());
+
+  std::string body = "hello";
+  PacketView view{0x0A000001, 0x0A000002, 4000, 80, net::kIpProtoUdpLite, Bytes(body)};
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ((*filter)->Evaluate(view, FilterDirection::kIngress).verdict,
+              FilterVerdict::kPass);
+  }
+  const FilterStats& stats = (*filter)->stats();
+  EXPECT_EQ(stats.evaluated, 5u);
+  EXPECT_EQ(stats.pass, 5u);
+  EXPECT_EQ(stats.flow_hits, 4u);  // first packet ran the VM, the rest hit the table
+
+  FlowKey key{view.src_ip, view.dst_ip, view.src_port, view.dst_port, view.proto};
+  FlowEntry* flow = (*filter)->flows().Find(key);
+  ASSERT_NE(flow, nullptr);
+  EXPECT_EQ(flow->packets, 5u);
+  EXPECT_EQ(flow->bytes, 5u * body.size());
+
+  // Dropped packets do not establish flows.
+  PacketView blocked{0x0A000001, 0x0A000002, 4000, 9999, net::kIpProtoUdpLite, {}};
+  EXPECT_EQ((*filter)->Evaluate(blocked, FilterDirection::kIngress).verdict,
+            FilterVerdict::kDrop);
+  EXPECT_EQ((*filter)->flows().size(), 1u);
+}
+
+TEST(PacketFilterTest, HotReloadPreservesEstablishedFlows) {
+  auto permissive = ParseRules("pass dport 80\ndefault drop\n");
+  auto lockdown = ParseRules("default drop\n");
+  ASSERT_TRUE(permissive.ok() && lockdown.ok());
+
+  auto filter = PacketFilter::Create({});
+  ASSERT_TRUE(filter.ok());
+  ASSERT_TRUE((*filter)->Load(*permissive).ok());
+
+  PacketView established{0x0A000001, 0x0A000002, 4000, 80, net::kIpProtoUdpLite, {}};
+  EXPECT_EQ((*filter)->Evaluate(established, FilterDirection::kIngress).verdict,
+            FilterVerdict::kPass);
+  uint32_t first_epoch = (*filter)->epoch();
+
+  // Hot reload to a rule set that would drop the flow.
+  ASSERT_TRUE((*filter)->Load(*lockdown).ok());
+  EXPECT_GT((*filter)->epoch(), first_epoch);
+
+  // The established flow still passes (served from the flow table)...
+  EXPECT_EQ((*filter)->Evaluate(established, FilterDirection::kIngress).verdict,
+            FilterVerdict::kPass);
+  // ...while a new flow is evaluated against the new rules and dropped.
+  PacketView fresh{0x0A000001, 0x0A000002, 4001, 80, net::kIpProtoUdpLite, {}};
+  EXPECT_EQ((*filter)->Evaluate(fresh, FilterDirection::kIngress).verdict,
+            FilterVerdict::kDrop);
+}
+
+TEST(PacketFilterTest, ExportsFilterInterface) {
+  auto rules = ParseRules("drop dport 23\ncount dport 80\ndefault pass\n");
+  ASSERT_TRUE(rules.ok());
+  auto filter = PacketFilter::Create({});
+  ASSERT_TRUE(filter.ok());
+  ASSERT_TRUE((*filter)->Load(*rules).ok());
+
+  auto iface = (*filter)->GetInterface(FilterType()->name());
+  ASSERT_TRUE(iface.ok());
+  EXPECT_EQ((*iface)->Invoke(1), 2u);  // rule_count
+  EXPECT_EQ((*iface)->Invoke(2), 0u);  // mode: sandboxed
+  EXPECT_EQ((*iface)->Invoke(3), 0u);  // flow_count
+
+  PacketView telnet{1, 2, 3, 23, net::kIpProtoUdpLite, {}};
+  PacketView web{1, 2, 3, 80, net::kIpProtoUdpLite, {}};
+  (void)(*filter)->Evaluate(telnet, FilterDirection::kIngress);
+  (void)(*filter)->Evaluate(web, FilterDirection::kIngress);
+  EXPECT_EQ((*iface)->Invoke(0, 0), 2u);  // evaluated
+  EXPECT_EQ((*iface)->Invoke(0, 2), 1u);  // drop
+  EXPECT_EQ((*iface)->Invoke(0, 4), 1u);  // count
+  EXPECT_EQ((*iface)->Invoke(3), 1u);     // the count flow is established
+}
+
+}  // namespace
+}  // namespace para::filter

@@ -1,0 +1,104 @@
+// Flow-table unit tests: lookup/insert semantics, LRU eviction under
+// pressure, and the per-flow counters the stateful filter relies on.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/filter/flow_table.h"
+
+namespace para::filter {
+namespace {
+
+FlowKey Key(uint32_t n) {
+  return FlowKey{0x0A000000u | n, 0x0A010002, static_cast<net::Port>(1000 + n), 80, 17};
+}
+
+TEST(FlowTableTest, FindMissThenInsertThenHit) {
+  FlowTable table(4);
+  EXPECT_EQ(table.Find(Key(1)), nullptr);
+  EXPECT_EQ(table.stats().misses, 1u);
+
+  FlowEntry* entry = table.Insert(Key(1), 0x42, /*epoch=*/1);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->verdict, 0x42u);
+  EXPECT_EQ(entry->epoch, 1u);
+  EXPECT_EQ(table.size(), 1u);
+
+  FlowEntry* found = table.Find(Key(1));
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->verdict, 0x42u);
+  EXPECT_EQ(table.stats().hits, 1u);
+}
+
+TEST(FlowTableTest, ReinsertUpdatesVerdictWithoutGrowth) {
+  FlowTable table(4);
+  table.Insert(Key(1), 1, 1);
+  table.Insert(Key(1), 2, 3);
+  EXPECT_EQ(table.size(), 1u);
+  FlowEntry* entry = table.Find(Key(1));
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->verdict, 2u);
+  EXPECT_EQ(entry->epoch, 3u);
+}
+
+TEST(FlowTableTest, EvictsLeastRecentlyUsedUnderPressure) {
+  FlowTable table(3);
+  table.Insert(Key(1), 1, 1);
+  table.Insert(Key(2), 2, 1);
+  table.Insert(Key(3), 3, 1);
+  // Touch 1 so 2 becomes the LRU victim.
+  ASSERT_NE(table.Find(Key(1)), nullptr);
+
+  table.Insert(Key(4), 4, 1);
+  EXPECT_EQ(table.size(), 3u);
+  EXPECT_EQ(table.stats().evictions, 1u);
+  EXPECT_EQ(table.Find(Key(2)), nullptr);  // evicted
+  EXPECT_NE(table.Find(Key(1)), nullptr);
+  EXPECT_NE(table.Find(Key(3)), nullptr);
+  EXPECT_NE(table.Find(Key(4)), nullptr);
+}
+
+TEST(FlowTableTest, SustainedPressureStaysBounded) {
+  constexpr size_t kCapacity = 64;
+  FlowTable table(kCapacity);
+  for (uint32_t i = 0; i < 10 * kCapacity; ++i) {
+    table.Insert(Key(i), i, 1);
+    EXPECT_LE(table.size(), kCapacity);
+  }
+  EXPECT_EQ(table.size(), kCapacity);
+  EXPECT_EQ(table.stats().evictions, 9 * kCapacity);
+  // The survivors are exactly the most recent kCapacity keys.
+  for (uint32_t i = 10 * kCapacity - kCapacity; i < 10 * kCapacity; ++i) {
+    EXPECT_NE(table.Find(Key(i)), nullptr) << i;
+  }
+}
+
+TEST(FlowTableTest, EraseAndClear) {
+  FlowTable table(4);
+  table.Insert(Key(1), 1, 1);
+  table.Insert(Key(2), 2, 1);
+  EXPECT_TRUE(table.Erase(Key(1)));
+  EXPECT_FALSE(table.Erase(Key(1)));
+  EXPECT_EQ(table.size(), 1u);
+  table.Clear();
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(table.Find(Key(2)), nullptr);
+}
+
+TEST(FlowTableTest, CountersAccumulatePerFlow) {
+  FlowTable table(4);
+  FlowEntry* entry = table.Insert(Key(7), 0, 1);
+  entry->packets = 1;
+  entry->bytes = 100;
+  for (int i = 0; i < 3; ++i) {
+    FlowEntry* hit = table.Find(Key(7));
+    ASSERT_NE(hit, nullptr);
+    ++hit->packets;
+    hit->bytes += 100;
+  }
+  EXPECT_EQ(table.Find(Key(7))->packets, 4u);
+  EXPECT_EQ(table.Find(Key(7))->bytes, 400u);
+}
+
+}  // namespace
+}  // namespace para::filter

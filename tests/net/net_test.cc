@@ -143,6 +143,50 @@ TEST(ChecksumTest, OddLengthHandled) {
   EXPECT_EQ(InternetChecksum(data), InternetChecksum(data));
 }
 
+TEST(ChecksumTest, OddLengthPadsWithZero) {
+  // RFC 1071: an odd trailing byte is summed as the high half of a word
+  // whose low half is zero — so an explicit zero pad must not change it.
+  std::vector<uint8_t> odd = {0x12, 0x34, 0x56};
+  std::vector<uint8_t> padded = {0x12, 0x34, 0x56, 0x00};
+  EXPECT_EQ(InternetChecksum(odd), InternetChecksum(padded));
+  // Exact value: words 0x1234 + 0x5600 = 0x6834, complemented.
+  EXPECT_EQ(InternetChecksum(odd), static_cast<uint16_t>(~0x6834));
+}
+
+TEST(ChecksumTest, CarryFoldsBackIntoLowBits) {
+  // 0xFFFF + 0x0001 = 0x10000: the carry must fold end-around to 0x0001.
+  std::vector<uint8_t> carry = {0xFF, 0xFF, 0x00, 0x01};
+  EXPECT_EQ(InternetChecksum(carry), static_cast<uint16_t>(~0x0001));
+  // Odd length with carry: 0xFFFF + 0xFF00 = 0x1FEFF -> 0xFF00.
+  std::vector<uint8_t> odd_carry = {0xFF, 0xFF, 0xFF};
+  EXPECT_EQ(InternetChecksum(odd_carry), static_cast<uint16_t>(~0xFF00));
+}
+
+TEST(ChecksumTest, AllOnesFoldsToAllOnesSum) {
+  // Every word 0xFFFF: the ones-complement sum saturates at 0xFFFF no
+  // matter how many carries fold, so the checksum is 0.
+  for (size_t words : {1u, 2u, 32u, 512u}) {
+    std::vector<uint8_t> data(words * 2, 0xFF);
+    EXPECT_EQ(InternetChecksum(data), 0) << words;
+  }
+}
+
+TEST(PacketBufferDeathTest, PrependPastHeadroomPanics) {
+  PacketBuffer buf;  // kDefaultHeadroom of reserved header space
+  buf.Append(Bytes("payload"));
+  // Exhausting the headroom exactly is legal...
+  auto hdr = buf.Prepend(PacketBuffer::kDefaultHeadroom);
+  EXPECT_EQ(hdr.size(), PacketBuffer::kDefaultHeadroom);
+  EXPECT_EQ(buf.headroom(), 0u);
+  // ...one byte more is a programming error and must trip the guard.
+  EXPECT_DEATH(buf.Prepend(1), "check failed");
+}
+
+TEST(PacketBufferDeathTest, OversizedPrependPanicsUpFront) {
+  PacketBuffer buf;
+  EXPECT_DEATH(buf.Prepend(PacketBuffer::kDefaultHeadroom + 1), "check failed");
+}
+
 // Two stacks wired back-to-back through in-memory "wires".
 class StackPairTest : public ::testing::Test {
  protected:
