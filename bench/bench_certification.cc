@@ -19,6 +19,7 @@
 #include "src/base/random.h"
 #include "src/nucleus/cert.h"
 #include "src/sfi/assembler.h"
+#include "src/sfi/verifier.h"
 #include "src/sfi/vm.h"
 
 namespace {
@@ -109,8 +110,9 @@ void BM_ValidateCertificate(benchmark::State& state) {
 }
 
 void BM_RunTrusted(benchmark::State& state) {
-  sfi::Program program = ChecksumProgram();
-  sfi::Vm vm(&program, sfi::ExecMode::kTrusted);
+  auto program = sfi::Verify(ChecksumProgram());
+  PARA_CHECK(program.ok());
+  sfi::Vm vm(&*program, sfi::ExecMode::kTrusted);
   uint64_t words = static_cast<uint64_t>(state.range(0));
   for (auto _ : state) {
     benchmark::DoNotOptimize(vm.Run(0, words));
@@ -120,8 +122,9 @@ void BM_RunTrusted(benchmark::State& state) {
 }
 
 void BM_RunSandboxed(benchmark::State& state) {
-  sfi::Program program = ChecksumProgram();
-  sfi::Vm vm(&program, sfi::ExecMode::kSandboxed);
+  auto program = sfi::Verify(ChecksumProgram());
+  PARA_CHECK(program.ok());
+  sfi::Vm vm(&*program, sfi::ExecMode::kSandboxed);
   uint64_t words = static_cast<uint64_t>(state.range(0));
   for (auto _ : state) {
     benchmark::DoNotOptimize(vm.Run(0, words));
@@ -135,8 +138,9 @@ void BM_CertificationCrossover(benchmark::State& state) {
   // Reported counter: the N at which the two strategies cost the same
   // (estimated from per-run deltas measured inline).
   auto& fx = CryptoFixture::Get();
-  sfi::Program program = ChecksumProgram();
-  std::vector<uint8_t>& code = program.code;
+  auto verified = sfi::Verify(ChecksumProgram());
+  PARA_CHECK(verified.ok());
+  const std::vector<uint8_t>& code = verified->identity();
   auto cert = fx.signer->Certify("bench", 1, code, kCertKernelEligible, 0);
 
   uint64_t words = 64;
@@ -144,7 +148,7 @@ void BM_CertificationCrossover(benchmark::State& state) {
     // One load-time validation...
     benchmark::DoNotOptimize(fx.service->Validate(*cert, code));
     // ...then the component runs checked-free.
-    sfi::Vm vm(&program, sfi::ExecMode::kTrusted);
+    sfi::Vm vm(&*verified, sfi::ExecMode::kTrusted);
     for (int i = 0; i < 100; ++i) {
       benchmark::DoNotOptimize(vm.Run(0, words));
     }
@@ -156,8 +160,8 @@ void BM_CertificationCrossover(benchmark::State& state) {
                std::chrono::steady_clock::now().time_since_epoch())
         .count();
   };
-  sfi::Vm trusted(&program, sfi::ExecMode::kTrusted);
-  sfi::Vm sandboxed(&program, sfi::ExecMode::kSandboxed);
+  sfi::Vm trusted(&*verified, sfi::ExecMode::kTrusted);
+  sfi::Vm sandboxed(&*verified, sfi::ExecMode::kSandboxed);
   constexpr int kProbes = 2000;
   double t0 = now();
   for (int i = 0; i < kProbes; ++i) {

@@ -20,6 +20,7 @@
 #include "src/filter/filter.h"
 #include "src/filter/rule.h"
 #include "src/nucleus/cert.h"
+#include "src/sfi/verifier.h"
 #include "src/sfi/vm.h"
 
 namespace {
@@ -94,11 +95,13 @@ net::PacketView BenchPacket(const std::vector<uint8_t>& payload) {
 // --- the E7 matrix: sandboxed vs trusted vs native, by rule-set size --------
 
 template <sfi::ExecMode kMode>
-void BM_FilterVm(benchmark::State& state) {
+void BM_FilterVm(benchmark::State& state, CompileBackend backend) {
   RuleSet set = WorstCaseRules(static_cast<size_t>(state.range(0)));
-  auto compiled = CompileRules(set);
+  auto compiled = CompileRules(set, {backend});
   PARA_CHECK(compiled.ok());
-  sfi::Vm vm(&compiled->program, kMode);
+  auto verified = sfi::Verify(compiled->program);
+  PARA_CHECK(verified.ok());
+  sfi::Vm vm(&*verified, kMode);
   std::vector<uint8_t> payload(64, 0x42);
   net::PacketView view = BenchPacket(payload);
   for (auto _ : state) {
@@ -115,10 +118,22 @@ void BM_FilterVm(benchmark::State& state) {
 }
 
 void BM_FilterSandboxed(benchmark::State& state) {
-  BM_FilterVm<sfi::ExecMode::kSandboxed>(state);
+  BM_FilterVm<sfi::ExecMode::kSandboxed>(state, CompileBackend::kDecisionTree);
 }
 
-void BM_FilterTrusted(benchmark::State& state) { BM_FilterVm<sfi::ExecMode::kTrusted>(state); }
+void BM_FilterTrusted(benchmark::State& state) {
+  BM_FilterVm<sfi::ExecMode::kTrusted>(state, CompileBackend::kDecisionTree);
+}
+
+// The PR-3-era backends, kept measurable: the linear chain isolates what the
+// decision tree buys at each rule-set size.
+void BM_FilterSandboxedLinear(benchmark::State& state) {
+  BM_FilterVm<sfi::ExecMode::kSandboxed>(state, CompileBackend::kLinear);
+}
+
+void BM_FilterTrustedLinear(benchmark::State& state) {
+  BM_FilterVm<sfi::ExecMode::kTrusted>(state, CompileBackend::kLinear);
+}
 
 void BM_FilterNative(benchmark::State& state) {
   RuleSet set = WorstCaseRules(static_cast<size_t>(state.range(0)));
@@ -210,6 +225,8 @@ void RuleSetSizes(benchmark::internal::Benchmark* bench) {
 
 BENCHMARK(BM_FilterSandboxed)->Apply(RuleSetSizes);
 BENCHMARK(BM_FilterTrusted)->Apply(RuleSetSizes);
+BENCHMARK(BM_FilterSandboxedLinear)->Apply(RuleSetSizes);
+BENCHMARK(BM_FilterTrustedLinear)->Apply(RuleSetSizes);
 BENCHMARK(BM_FilterNative)->Apply(RuleSetSizes);
 BENCHMARK(BM_FilterEngineFlowHit)->Arg(16)->Arg(256);
 BENCHMARK(BM_FilterEngineFlowPressure)->Arg(16)->Arg(512)->Arg(4096);

@@ -1,0 +1,206 @@
+// SFI engine microbenchmarks: what one dispatched instruction costs, in both
+// execution modes, across workload shapes (straight-line arithmetic, memory
+// traffic, tight branches, call/ret) plus the load-time Verify cost by
+// program size. These isolate the interpreter itself from the packet-filter
+// workload (bench_filter) so engine changes are measurable on their own.
+//
+// BM_SfiNullTrusted is the smoke-bench regression gate: a one-instruction
+// program measures pure dispatch entry cost; scripts/smoke-bench.sh compares
+// it (normalized by BM_SfiCalibrate, a fixed native integer loop that tracks
+// machine speed) against the checked-in bench-baseline JSON.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "src/base/log.h"
+#include "src/sfi/assembler.h"
+#include "src/sfi/verifier.h"
+#include "src/sfi/vm.h"
+
+namespace {
+
+using namespace para;  // NOLINT
+
+sfi::Program MustAssemble(const std::string& source) {
+  auto program = sfi::Assembler::Assemble(source);
+  PARA_CHECK(program.ok());
+  return std::move(*program);
+}
+
+// The measured workloads ------------------------------------------------------
+
+// One instruction: measures Run() setup + a single dispatch.
+const char* kNullSource = "halt";
+
+// Straight-line arithmetic, no memory: pure dispatch + stack cost.
+const char* kArithSource = R"(
+  ldarg 0
+  push 3
+  mul
+  ldarg 1
+  add
+  push 7
+  xor
+  push 13
+  and
+  retv
+)";
+
+// The checksum loop from bench_certification: memory-access heavy, so the
+// sandbox bounds-check tax is visible. a0 = words to sum.
+const char* kChecksumSource = R"(
+  push 0
+  ldarg 0
+loop:
+  dup
+  jz done
+  dup
+  push 8
+  mul
+  load64
+  push 0
+  load64
+  add
+  push 0
+  swap
+  store64
+  push 1
+  sub
+  jmp loop
+done:
+  drop
+  push 0
+  load64
+  retv
+)";
+
+// Branch-heavy: a countdown where every iteration takes two conditional
+// branches — the shape of compiled filter-rule chains.
+const char* kBranchySource = R"(
+  ldarg 0
+loop:
+  dup
+  jz done
+  dup
+  push 1
+  and
+  jnz odd
+  push 1
+  sub
+  jmp loop
+odd:
+  push 1
+  sub
+  jmp loop
+done:
+  retv
+)";
+
+// Call/ret pairs: a0 nested-ish calls through one helper.
+const char* kCallSource = R"(
+  ldarg 0
+loop:
+  dup
+  jz done
+  call dec
+  jmp loop
+done:
+  retv
+dec:
+  push 1
+  sub
+  ret
+)";
+
+template <sfi::ExecMode kMode>
+void RunBench(benchmark::State& state, const char* source, uint64_t a0) {
+  auto verified = sfi::Verify(MustAssemble(source));
+  PARA_CHECK(verified.ok());
+  sfi::Vm vm(&*verified, kMode);
+  for (auto _ : state) {
+    auto result = vm.Run(0, a0);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["instructions_per_call"] =
+      static_cast<double>(vm.stats().instructions) / static_cast<double>(state.iterations());
+}
+
+void BM_SfiNullTrusted(benchmark::State& state) {
+  RunBench<sfi::ExecMode::kTrusted>(state, kNullSource, 0);
+}
+void BM_SfiNullSandboxed(benchmark::State& state) {
+  RunBench<sfi::ExecMode::kSandboxed>(state, kNullSource, 0);
+}
+void BM_SfiArithTrusted(benchmark::State& state) {
+  RunBench<sfi::ExecMode::kTrusted>(state, kArithSource, 42);
+}
+void BM_SfiArithSandboxed(benchmark::State& state) {
+  RunBench<sfi::ExecMode::kSandboxed>(state, kArithSource, 42);
+}
+void BM_SfiChecksumTrusted(benchmark::State& state) {
+  RunBench<sfi::ExecMode::kTrusted>(state, kChecksumSource,
+                                    static_cast<uint64_t>(state.range(0)));
+}
+void BM_SfiChecksumSandboxed(benchmark::State& state) {
+  RunBench<sfi::ExecMode::kSandboxed>(state, kChecksumSource,
+                                      static_cast<uint64_t>(state.range(0)));
+}
+void BM_SfiBranchyTrusted(benchmark::State& state) {
+  RunBench<sfi::ExecMode::kTrusted>(state, kBranchySource,
+                                    static_cast<uint64_t>(state.range(0)));
+}
+void BM_SfiBranchySandboxed(benchmark::State& state) {
+  RunBench<sfi::ExecMode::kSandboxed>(state, kBranchySource,
+                                      static_cast<uint64_t>(state.range(0)));
+}
+void BM_SfiCallRetTrusted(benchmark::State& state) {
+  RunBench<sfi::ExecMode::kTrusted>(state, kCallSource,
+                                    static_cast<uint64_t>(state.range(0)));
+}
+
+// Load-time cost: Verify (and, post-refactor, pre-decode) by program size.
+void BM_SfiVerify(benchmark::State& state) {
+  // Repeat the arithmetic body to reach the requested instruction count.
+  std::string source;
+  long body_reps = state.range(0);
+  for (long i = 0; i < body_reps; ++i) {
+    source += "ldarg 0\npush 3\nmul\ndrop\n";
+  }
+  source += "halt\n";
+  sfi::Program program = MustAssemble(source);
+  for (auto _ : state) {
+    auto verified = sfi::Verify(program);
+    benchmark::DoNotOptimize(verified);
+  }
+  state.counters["code_bytes"] = static_cast<double>(program.code.size());
+}
+
+// Machine-speed probe: a fixed chain of dependent integer ops in native
+// code. smoke-bench.sh uses the ratio of this across runs to normalize the
+// null-dispatch gate across machines.
+void BM_SfiCalibrate(benchmark::State& state) {
+  for (auto _ : state) {
+    uint64_t x = 0x9E3779B97F4A7C15ull;
+    for (int i = 0; i < 1000; ++i) {
+      x = x * 6364136223846793005ull + 1442695040888963407ull;
+      x ^= x >> 29;
+    }
+    benchmark::DoNotOptimize(x);
+  }
+}
+
+BENCHMARK(BM_SfiNullTrusted);
+BENCHMARK(BM_SfiNullSandboxed);
+BENCHMARK(BM_SfiArithTrusted);
+BENCHMARK(BM_SfiArithSandboxed);
+BENCHMARK(BM_SfiChecksumTrusted)->Arg(64)->Arg(256);
+BENCHMARK(BM_SfiChecksumSandboxed)->Arg(64)->Arg(256);
+BENCHMARK(BM_SfiBranchyTrusted)->Arg(64)->Arg(256);
+BENCHMARK(BM_SfiBranchySandboxed)->Arg(64)->Arg(256);
+BENCHMARK(BM_SfiCallRetTrusted)->Arg(64);
+BENCHMARK(BM_SfiVerify)->Arg(16)->Arg(256)->Arg(4096);
+BENCHMARK(BM_SfiCalibrate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

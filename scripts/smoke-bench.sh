@@ -1,9 +1,15 @@
 #!/usr/bin/env bash
 # Bench smoke: every bench_* target must build, and the hot-path benches
 # (bench_invocation, bench_proxy, bench_events — the invocation pipeline —
-# plus bench_filter, the per-packet filter path) must run end to end. A single iteration per
-# benchmark keeps this fast enough for CI while proving the perf harness
-# stays executable.
+# plus bench_filter and bench_sfi, the per-packet filter path and the SFI
+# engine itself) must run end to end. A single iteration per benchmark keeps
+# this fast enough for CI while proving the perf harness stays executable.
+#
+# The SFI engine additionally gets a REGRESSION GATE: trusted null-program
+# dispatch (BM_SfiNullTrusted — pure threaded-dispatch entry cost) must stay
+# within 25% of the checked-in bench-baseline JSON, after normalizing by
+# BM_SfiCalibrate (a fixed native integer loop) so the gate compares engine
+# quality, not machine speed.
 # Usage: scripts/smoke-bench.sh <build-dir>
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -19,9 +25,52 @@ cmake --build "${BUILD_DIR}" -j "$(nproc)" --target "${targets[@]}"
 
 # --benchmark_min_time=1x (one iteration) needs benchmark >= 1.8; fall back
 # to a minimal wall-clock budget on older releases.
-for bench in bench_invocation bench_proxy bench_events bench_filter; do
+for bench in bench_invocation bench_proxy bench_events bench_filter bench_sfi; do
   if ! "${BUILD_DIR}/bench/${bench}" --benchmark_min_time=1x; then
     "${BUILD_DIR}/bench/${bench}" --benchmark_min_time=0.001
   fi
 done
+
+# --- trusted null-dispatch regression gate ----------------------------------
+SFI_BASELINE="bench-baseline/BENCH_sfi_after.json"
+if [[ -f "${SFI_BASELINE}" ]] && command -v python3 >/dev/null 2>&1; then
+  SMOKE_JSON="$(mktemp /tmp/smoke_sfi.XXXXXX.json)"
+  trap 'rm -f "${SMOKE_JSON}"' EXIT
+  "${BUILD_DIR}/bench/bench_sfi" \
+    --benchmark_filter='^(BM_SfiNullTrusted|BM_SfiCalibrate)$' \
+    --benchmark_repetitions=5 \
+    --benchmark_out="${SMOKE_JSON}" --benchmark_out_format=json >/dev/null
+  python3 - "${SFI_BASELINE}" "${SMOKE_JSON}" <<'PY'
+import json
+import sys
+
+LIMIT = 1.25  # fail on >25% regression
+
+def best(path, name):
+    doc = json.load(open(path))
+    times = [b["real_time"] for b in doc["benchmarks"]
+             if b["name"] == name and b.get("run_type", "iteration") != "aggregate"]
+    if not times:
+        raise SystemExit(f"smoke-bench: {name} missing from {path}")
+    return min(times)  # min over repetitions: least-noise estimate
+
+base_null = best(sys.argv[1], "BM_SfiNullTrusted")
+base_cal = best(sys.argv[1], "BM_SfiCalibrate")
+cur_null = best(sys.argv[2], "BM_SfiNullTrusted")
+cur_cal = best(sys.argv[2], "BM_SfiCalibrate")
+
+scale = cur_cal / base_cal  # how much slower/faster this machine is
+allowed = base_null * scale * LIMIT
+verdict = "OK" if cur_null <= allowed else "REGRESSION"
+print(f"smoke-bench sfi gate: null-trusted {cur_null:.2f}ns "
+      f"(baseline {base_null:.2f}ns x machine-scale {scale:.2f} x {LIMIT} "
+      f"= allowed {allowed:.2f}ns) -> {verdict}")
+if cur_null > allowed:
+    raise SystemExit("smoke-bench: trusted null-program dispatch regressed >25% "
+                     "vs bench-baseline/BENCH_sfi_after.json")
+PY
+else
+  echo "smoke-bench: sfi gate skipped (no baseline or no python3)"
+fi
+
 echo "bench smoke OK (${#targets[@]} targets built)"

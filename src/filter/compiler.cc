@@ -1,8 +1,11 @@
 #include "src/filter/compiler.h"
 
 #include <algorithm>
+#include <map>
+#include <memory>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "src/sfi/assembler.h"
 
@@ -11,6 +14,8 @@ namespace para::filter {
 namespace {
 
 using sfi::Op;
+
+// --- shared predicate emission ----------------------------------------------
 
 // Emits "push the field at `offset`" followed by the caller's comparison.
 void EmitLoadField(sfi::Assembler& as, size_t offset, Op load_op) {
@@ -25,102 +30,342 @@ void EmitRequireEq(sfi::Assembler& as, uint64_t value, const std::string& next) 
   as.EmitJump(Op::kJz, next);
 }
 
+// Emits the full predicate chain for one rule: every predicate that fails
+// jumps to `next`; if all hold, the encoded verdict is returned. Cheapest
+// predicates first: proto (one byte), then addresses, then ports, then
+// payload bytes — fail-fast ordering keeps a non-matching rule a couple of
+// instructions.
+void EmitRuleTests(sfi::Assembler& as, const Rule& rule, uint32_t index,
+                   const std::string& next) {
+  if (rule.proto >= 0) {
+    EmitLoadField(as, kOffProto, Op::kLoad8);
+    EmitRequireEq(as, static_cast<uint64_t>(rule.proto), next);
+  }
+  if (rule.src_prefix != 0) {
+    EmitLoadField(as, kOffSrcIp, Op::kLoad32);
+    uint32_t mask = PrefixMask(rule.src_prefix);
+    if (rule.src_prefix != 32) {
+      as.EmitPush(mask);
+      as.Emit(Op::kAnd);
+    }
+    EmitRequireEq(as, rule.src_ip & mask, next);
+  }
+  if (rule.dst_prefix != 0) {
+    EmitLoadField(as, kOffDstIp, Op::kLoad32);
+    uint32_t mask = PrefixMask(rule.dst_prefix);
+    if (rule.dst_prefix != 32) {
+      as.EmitPush(mask);
+      as.Emit(Op::kAnd);
+    }
+    EmitRequireEq(as, rule.dst_ip & mask, next);
+  }
+  // Port ranges: exact match compiles to one eq; a real range to one or
+  // two unsigned comparisons (port >= lo  <=>  port > lo-1).
+  struct PortCheck {
+    size_t offset;
+    net::Port lo, hi;
+  };
+  for (const PortCheck& check : {PortCheck{kOffSrcPort, rule.sport_lo, rule.sport_hi},
+                                 PortCheck{kOffDstPort, rule.dport_lo, rule.dport_hi}}) {
+    if (check.lo == 0 && check.hi == 0xFFFF) {
+      continue;  // any
+    }
+    if (check.lo == check.hi) {
+      EmitLoadField(as, check.offset, Op::kLoad16);
+      EmitRequireEq(as, check.lo, next);
+      continue;
+    }
+    if (check.lo > 0) {
+      EmitLoadField(as, check.offset, Op::kLoad16);
+      as.EmitPush(static_cast<uint64_t>(check.lo) - 1);
+      as.Emit(Op::kGtU);
+      as.EmitJump(Op::kJz, next);
+    }
+    if (check.hi < 0xFFFF) {
+      EmitLoadField(as, check.offset, Op::kLoad16);
+      as.EmitPush(static_cast<uint64_t>(check.hi) + 1);
+      as.Emit(Op::kLtU);
+      as.EmitJump(Op::kJz, next);
+    }
+  }
+  for (const PayloadMatch& match : rule.payload) {
+    // The byte must exist: payload_len > offset.
+    EmitLoadField(as, kOffPayloadLen, Op::kLoad64);
+    as.EmitPush(match.offset);
+    as.Emit(Op::kGtU);
+    as.EmitJump(Op::kJz, next);
+    EmitLoadField(as, kOffPayload + match.offset, Op::kLoad8);
+    if (match.mask != 0xFF) {
+      as.EmitPush(match.mask);
+      as.Emit(Op::kAnd);
+    }
+    EmitRequireEq(as, static_cast<uint64_t>(match.value & match.mask), next);
+  }
+
+  // Every predicate held: return this rule's encoded verdict.
+  as.EmitPush(EncodeVerdict(rule.verdict, index));
+  as.Emit(Op::kRetV);
+}
+
+// --- decision-tree construction ---------------------------------------------
+
+// The fields the tree may dispatch on, in preference order (cheapest loads
+// and most-commonly-discriminating first). Only *exact* constraints
+// participate: a range or a non-/32 prefix keeps the rule a wildcard for
+// that field, so it rides along into every bucket and stays correct.
+enum DispatchField : int {
+  kFieldProto = 0,
+  kFieldDstPort,
+  kFieldSrcPort,
+  kFieldDstIp,
+  kFieldSrcIp,
+  kFieldCount,
+};
+
+struct FieldSpec {
+  size_t offset;
+  Op load;
+};
+
+FieldSpec SpecOf(int field) {
+  switch (field) {
+    case kFieldProto: return {kOffProto, Op::kLoad8};
+    case kFieldDstPort: return {kOffDstPort, Op::kLoad16};
+    case kFieldSrcPort: return {kOffSrcPort, Op::kLoad16};
+    case kFieldDstIp: return {kOffDstIp, Op::kLoad32};
+    default: return {kOffSrcIp, Op::kLoad32};
+  }
+}
+
+// True if `rule` pins `field` to exactly one value (written to *value).
+bool ExactValue(const Rule& rule, int field, uint64_t* value) {
+  switch (field) {
+    case kFieldProto:
+      if (rule.proto < 0) return false;
+      *value = static_cast<uint64_t>(rule.proto);
+      return true;
+    case kFieldDstPort:
+      if (rule.dport_lo != rule.dport_hi) return false;
+      *value = rule.dport_lo;
+      return true;
+    case kFieldSrcPort:
+      if (rule.sport_lo != rule.sport_hi) return false;
+      *value = rule.sport_lo;
+      return true;
+    case kFieldDstIp:
+      if (rule.dst_prefix != 32) return false;
+      *value = rule.dst_ip;
+      return true;
+    default:
+      if (rule.src_prefix != 32) return false;
+      *value = rule.src_ip;
+      return true;
+  }
+}
+
+struct RuleRef {
+  uint32_t index;  // original rule-set position (reported on match)
+  const Rule* rule;
+};
+
+struct TreeNode {
+  int field = -1;  // -1: leaf
+  std::vector<uint64_t> values;                     // sorted distinct
+  std::vector<std::unique_ptr<TreeNode>> buckets;   // parallel to values
+  std::unique_ptr<TreeNode> wild;                   // field matches no value
+  std::vector<RuleRef> rules;                       // leaf candidates, in order
+};
+
+constexpr size_t kLeafMax = 3;   // don't split sets a short chain beats
+constexpr int kMaxTreeDepth = 4;
+
+std::unique_ptr<TreeNode> BuildTree(std::vector<RuleRef> rules, int depth,
+                                    size_t* rule_instances, size_t* dispatch_nodes) {
+  auto node = std::make_unique<TreeNode>();
+  if (rules.size() > kLeafMax && depth < kMaxTreeDepth) {
+    // Pick the most discriminating field: most distinct exact values, with a
+    // duplication bound (wildcards are copied into every bucket, so a field
+    // that splits little but duplicates much is worse than no split).
+    int best_field = -1;
+    size_t best_distinct = 0;
+    for (int field = 0; field < kFieldCount; ++field) {
+      std::map<uint64_t, size_t> counts;
+      size_t wild = 0;
+      for (const RuleRef& ref : rules) {
+        uint64_t value;
+        if (ExactValue(*ref.rule, field, &value)) {
+          ++counts[value];
+        } else {
+          ++wild;
+        }
+      }
+      size_t distinct = counts.size();
+      if (distinct < 2) {
+        continue;
+      }
+      if (wild * (distinct - 1) > rules.size()) {
+        continue;  // duplication would dominate the split
+      }
+      if (distinct > best_distinct) {
+        best_distinct = distinct;
+        best_field = field;
+      }
+    }
+    if (best_field >= 0) {
+      std::map<uint64_t, std::vector<RuleRef>> partitions;
+      std::vector<RuleRef> wilds;
+      for (const RuleRef& ref : rules) {
+        uint64_t value;
+        if (ExactValue(*ref.rule, best_field, &value)) {
+          partitions[value].push_back(ref);
+        } else {
+          wilds.push_back(ref);
+        }
+      }
+      node->field = best_field;
+      ++*dispatch_nodes;
+      for (auto& [value, bucket] : partitions) {
+        // Merge the field-wildcard rules back in, preserving original
+        // priority order — they can match packets in any bucket.
+        std::vector<RuleRef> merged;
+        merged.reserve(bucket.size() + wilds.size());
+        std::merge(bucket.begin(), bucket.end(), wilds.begin(), wilds.end(),
+                   std::back_inserter(merged),
+                   [](const RuleRef& a, const RuleRef& b) { return a.index < b.index; });
+        node->values.push_back(value);
+        node->buckets.push_back(
+            BuildTree(std::move(merged), depth + 1, rule_instances, dispatch_nodes));
+      }
+      node->wild = BuildTree(std::move(wilds), depth + 1, rule_instances, dispatch_nodes);
+      return node;
+    }
+  }
+  *rule_instances += rules.size();
+  node->rules = std::move(rules);
+  return node;
+}
+
+// --- bytecode emission ------------------------------------------------------
+
+class TreeEmitter {
+ public:
+  explicit TreeEmitter(sfi::Assembler& as) : as_(as) {}
+
+  void Emit(const TreeNode& node, const std::string& default_label) {
+    if (node.field < 0) {
+      for (const RuleRef& ref : node.rules) {
+        std::string fail = NewLabel();
+        EmitRuleTests(as_, *ref.rule, ref.index, fail);
+        as_.Label(fail);
+      }
+      as_.EmitJump(Op::kJmp, default_label);
+      return;
+    }
+    std::vector<std::string> bucket_labels;
+    bucket_labels.reserve(node.values.size());
+    for (size_t i = 0; i < node.values.size(); ++i) {
+      bucket_labels.push_back(NewLabel());
+    }
+    std::string wild_label = NewLabel();
+    EmitSearch(node, 0, node.values.size(), bucket_labels, wild_label);
+    for (size_t i = 0; i < node.buckets.size(); ++i) {
+      as_.Label(bucket_labels[i]);
+      Emit(*node.buckets[i], default_label);
+    }
+    as_.Label(wild_label);
+    Emit(*node.wild, default_label);
+  }
+
+ private:
+  // Binary search over the node's sorted values: each probe re-loads the
+  // packet field (two instructions) and branches — log2(distinct) probes to
+  // land in a bucket, a short eq-chain at the bottom.
+  void EmitSearch(const TreeNode& node, size_t lo, size_t hi,
+                  const std::vector<std::string>& bucket_labels,
+                  const std::string& wild_label) {
+    FieldSpec spec = SpecOf(node.field);
+    if (hi - lo <= 3) {
+      for (size_t i = lo; i < hi; ++i) {
+        EmitLoadField(as_, spec.offset, spec.load);
+        as_.EmitPush(node.values[i]);
+        as_.Emit(Op::kEq);
+        as_.EmitJump(Op::kJnz, bucket_labels[i]);
+      }
+      as_.EmitJump(Op::kJmp, wild_label);
+      return;
+    }
+    size_t mid = lo + (hi - lo) / 2;
+    std::string right = NewLabel();
+    EmitLoadField(as_, spec.offset, spec.load);
+    as_.EmitPush(node.values[mid]);
+    as_.Emit(Op::kLtU);
+    as_.EmitJump(Op::kJz, right);  // field >= values[mid]: upper half
+    EmitSearch(node, lo, mid, bucket_labels, wild_label);
+    as_.Label(right);
+    EmitSearch(node, mid, hi, bucket_labels, wild_label);
+  }
+
+  std::string NewLabel() { return "L" + std::to_string(counter_++); }
+
+  sfi::Assembler& as_;
+  size_t counter_ = 0;
+};
+
 }  // namespace
 
-Result<CompiledFilter> CompileRules(const RuleSet& rules) {
+Result<CompiledFilter> CompileRules(const RuleSet& rules, CompileOptions options) {
   if (rules.rules.size() > kMaxRules) {
     return Status(ErrorCode::kResourceExhausted, "rule set too large");
   }
   CompiledFilter out;
   out.rule_count = rules.rules.size();
 
-  sfi::Assembler as;
-  as.EntryPoint();
-
-  for (size_t i = 0; i < rules.rules.size(); ++i) {
-    const Rule& rule = rules.rules[i];
-    const std::string next = "r" + std::to_string(i + 1);
-    as.Label("r" + std::to_string(i));
-
-    // Cheapest predicates first: proto (one byte), then addresses, then
-    // ports, then payload bytes — fail-fast ordering keeps the common
-    // non-matching rule a couple of instructions.
-    if (rule.proto >= 0) {
-      EmitLoadField(as, kOffProto, Op::kLoad8);
-      EmitRequireEq(as, static_cast<uint64_t>(rule.proto), next);
-    }
-    if (rule.src_prefix != 0) {
-      EmitLoadField(as, kOffSrcIp, Op::kLoad32);
-      uint32_t mask = PrefixMask(rule.src_prefix);
-      if (rule.src_prefix != 32) {
-        as.EmitPush(mask);
-        as.Emit(Op::kAnd);
-      }
-      EmitRequireEq(as, rule.src_ip & mask, next);
-    }
-    if (rule.dst_prefix != 0) {
-      EmitLoadField(as, kOffDstIp, Op::kLoad32);
-      uint32_t mask = PrefixMask(rule.dst_prefix);
-      if (rule.dst_prefix != 32) {
-        as.EmitPush(mask);
-        as.Emit(Op::kAnd);
-      }
-      EmitRequireEq(as, rule.dst_ip & mask, next);
-    }
-    // Port ranges: exact match compiles to one eq; a real range to one or
-    // two unsigned comparisons (port >= lo  <=>  port > lo-1).
-    struct PortCheck {
-      size_t offset;
-      net::Port lo, hi;
-    };
-    for (const PortCheck& check : {PortCheck{kOffSrcPort, rule.sport_lo, rule.sport_hi},
-                                   PortCheck{kOffDstPort, rule.dport_lo, rule.dport_hi}}) {
-      if (check.lo == 0 && check.hi == 0xFFFF) {
-        continue;  // any
-      }
-      if (check.lo == check.hi) {
-        EmitLoadField(as, check.offset, Op::kLoad16);
-        EmitRequireEq(as, check.lo, next);
-        continue;
-      }
-      if (check.lo > 0) {
-        EmitLoadField(as, check.offset, Op::kLoad16);
-        as.EmitPush(static_cast<uint64_t>(check.lo) - 1);
-        as.Emit(Op::kGtU);
-        as.EmitJump(Op::kJz, next);
-      }
-      if (check.hi < 0xFFFF) {
-        EmitLoadField(as, check.offset, Op::kLoad16);
-        as.EmitPush(static_cast<uint64_t>(check.hi) + 1);
-        as.Emit(Op::kLtU);
-        as.EmitJump(Op::kJz, next);
-      }
-    }
+  // Validate payload predicates and size the capture window up front — the
+  // tree backend may emit a rule several times, but the contract (and the
+  // error) is per-rule.
+  for (const Rule& rule : rules.rules) {
     for (const PayloadMatch& match : rule.payload) {
       if (match.offset >= kMaxPayloadCapture) {
         return Status(ErrorCode::kOutOfRange, "payload offset beyond capture window");
       }
       out.payload_bytes_needed =
           std::max<size_t>(out.payload_bytes_needed, match.offset + 1u);
-      // The byte must exist: payload_len > offset.
-      EmitLoadField(as, kOffPayloadLen, Op::kLoad64);
-      as.EmitPush(match.offset);
-      as.Emit(Op::kGtU);
-      as.EmitJump(Op::kJz, next);
-      EmitLoadField(as, kOffPayload + match.offset, Op::kLoad8);
-      if (match.mask != 0xFF) {
-        as.EmitPush(match.mask);
-        as.Emit(Op::kAnd);
-      }
-      EmitRequireEq(as, static_cast<uint64_t>(match.value & match.mask), next);
     }
-
-    // Every predicate held: return this rule's encoded verdict.
-    as.EmitPush(EncodeVerdict(rule.verdict, static_cast<uint32_t>(i)));
-    as.Emit(Op::kRetV);
   }
 
-  as.Label("r" + std::to_string(rules.rules.size()));
+  std::vector<RuleRef> refs;
+  refs.reserve(rules.rules.size());
+  for (size_t i = 0; i < rules.rules.size(); ++i) {
+    refs.push_back({static_cast<uint32_t>(i), &rules.rules[i]});
+  }
+
+  std::unique_ptr<TreeNode> root;
+  size_t instances = 0, nodes = 0;
+  if (options.backend == CompileBackend::kDecisionTree) {
+    root = BuildTree(refs, 0, &instances, &nodes);
+    // Safety valve: if wildcard duplication still outgrew the source rule
+    // set by too much, the tree buys speed the verifier's size cap (and the
+    // icache) would pay for — fall back to the linear chain.
+    if (instances > 3 * refs.size() + 16) {
+      root = nullptr;
+    }
+  }
+  if (root == nullptr) {
+    instances = refs.size();
+    nodes = 0;
+    root = std::make_unique<TreeNode>();
+    root->rules = std::move(refs);
+  }
+  out.backend = nodes > 0 ? CompileBackend::kDecisionTree : CompileBackend::kLinear;
+  out.dispatch_nodes = nodes;
+  out.emitted_rule_instances = instances;
+
+  sfi::Assembler as;
+  as.EntryPoint();
+  const std::string default_label = "default";
+  TreeEmitter emitter(as);
+  emitter.Emit(*root, default_label);
+  as.Label(default_label);
   as.EmitPush(EncodeVerdict(rules.default_verdict, net::kDefaultRuleIndex));
   as.Emit(Op::kRetV);
 

@@ -1,10 +1,23 @@
 // Compiles a RuleSet into sfi::Program bytecode — the paper's safe-migration
 // story applied to the canonical kernel extension. The compiled classifier
-// reads a fixed packet descriptor the host marshals into VM memory, tests
-// each rule's predicates with fail-fast jumps, and returns an encoded
-// verdict. The same program runs kSandboxed (per-access bounds checks — the
-// SFI safety net for untrusted rules) or kTrusted (no checks, after the
-// program is certified), which is exactly the E7 claim on a live workload.
+// reads a fixed packet descriptor the host marshals into VM memory and
+// returns an encoded verdict; the same program runs kSandboxed (per-access
+// bounds checks — the SFI safety net for untrusted rules) or kTrusted (no
+// checks, after the program is certified), which is exactly the E7 claim on
+// a live workload.
+//
+// Two code-generation backends, selectable per compile:
+//  * kLinear — the classic first-match walk: each rule's predicates tested
+//    in order with fail-fast jumps. O(rules) per packet.
+//  * kDecisionTree (default) — rules are partitioned by their most
+//    discriminating exactly-constrained field (proto, then ports, then /32
+//    addresses), the packet field is binary-searched over the distinct
+//    values, and only the rules that could still match (the bucket plus
+//    field-wildcard rules, in priority order) are tested linearly.
+//    O(log distinct + bucket) per packet; first-match semantics preserved
+//    because bucketing never reorders and never drops a candidate.
+// Both backends emit the same ISA and go through the same sfi::Verify, so a
+// decision-tree program is exactly as certifiable as a linear one.
 //
 // The host-side NativeMatch() evaluates the same semantics directly; it is
 // the oracle for differential tests and the "native matcher" bench baseline.
@@ -49,19 +62,30 @@ constexpr net::FilterDecision DecodeVerdict(uint64_t encoded) {
           static_cast<uint32_t>(encoded >> 8)};
 }
 
+enum class CompileBackend : uint8_t { kLinear, kDecisionTree };
+
+struct CompileOptions {
+  CompileBackend backend = CompileBackend::kDecisionTree;
+};
+
 struct CompiledFilter {
   sfi::Program program;
   size_t rule_count = 0;
   // One past the highest payload byte any rule inspects: the host only needs
   // to marshal this much payload into the descriptor.
   size_t payload_bytes_needed = 0;
+  // What actually got emitted (the tree backend falls back to linear when no
+  // field discriminates or duplication would bloat the program).
+  CompileBackend backend = CompileBackend::kLinear;
+  size_t dispatch_nodes = 0;          // decision-tree dispatch points emitted
+  size_t emitted_rule_instances = 0;  // leaf rule tests (>= rule_count if split)
 };
 
 // Compiles `rules` into a single-entry-point classifier program. Fails on
 // payload offsets beyond the capture window or oversized rule sets. The
 // caller still must run the result through sfi::Verify before execution —
 // PacketFilter does, unconditionally.
-Result<CompiledFilter> CompileRules(const RuleSet& rules);
+Result<CompiledFilter> CompileRules(const RuleSet& rules, CompileOptions options = {});
 
 // Marshals `view` into the descriptor region of `memory` (the VM's data
 // memory). `payload_bytes` bounds how much payload is copied (pass

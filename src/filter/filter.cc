@@ -16,7 +16,8 @@ const obj::TypeInfo* FilterType() {
 }
 
 PacketFilter::PacketFilter(FilterConfig config)
-    : config_(std::move(config)), flows_(config_.flow_capacity) {}
+    : config_(std::move(config)),
+      flows_(config_.flow_capacity, config_.clock, config_.flow_ttl) {}
 
 Result<std::unique_ptr<PacketFilter>> PacketFilter::Create(FilterConfig config) {
   if (config.flow_capacity == 0) {
@@ -36,10 +37,27 @@ Result<std::unique_ptr<PacketFilter>> PacketFilter::Create(FilterConfig config) 
   return f;
 }
 
-Status PacketFilter::Install(CompiledFilter compiled, sfi::ExecMode mode) {
-  auto loaded = std::make_unique<LoadedProgram>(std::move(compiled.program), mode);
+// The filter never executes an unverified program: verification produces the
+// executable artifact, so there is nothing else TO install. With a cache
+// configured, a previously seen compile output (hot reload of the same
+// rules) is a lookup instead of a decode.
+Result<std::shared_ptr<const sfi::VerifiedProgram>> PacketFilter::VerifyCompiled(
+    const CompiledFilter& compiled) {
+  if (config_.program_cache != nullptr) {
+    return config_.program_cache->GetOrVerify(compiled.program);
+  }
+  PARA_ASSIGN_OR_RETURN(sfi::VerifiedProgram verified, sfi::Verify(compiled.program));
+  return std::shared_ptr<const sfi::VerifiedProgram>(
+      std::make_shared<sfi::VerifiedProgram>(std::move(verified)));
+}
+
+Status PacketFilter::Install(const CompiledFilter& compiled,
+                             std::shared_ptr<const sfi::VerifiedProgram> program,
+                             sfi::ExecMode mode) {
+  auto loaded = std::make_unique<LoadedProgram>(std::move(program), mode);
   loaded->rule_count = compiled.rule_count;
   loaded->payload_bytes_needed = compiled.payload_bytes_needed;
+  loaded->backend = compiled.backend;
   loaded_ = std::move(loaded);
   ++epoch_;
   ++stats_.reloads;
@@ -47,27 +65,28 @@ Status PacketFilter::Install(CompiledFilter compiled, sfi::ExecMode mode) {
 }
 
 Status PacketFilter::Load(const RuleSet& rules) {
-  PARA_ASSIGN_OR_RETURN(CompiledFilter compiled, CompileRules(rules));
-  // The filter never executes an unverified program: the sandbox assumes
-  // structural sanity, so even the untrusted path verifies at load time.
-  PARA_RETURN_IF_ERROR(sfi::Verify(compiled.program).status());
-  return Install(std::move(compiled), sfi::ExecMode::kSandboxed);
+  PARA_ASSIGN_OR_RETURN(CompiledFilter compiled, CompileRules(rules, config_.compile));
+  PARA_ASSIGN_OR_RETURN(std::shared_ptr<const sfi::VerifiedProgram> verified,
+                        VerifyCompiled(compiled));
+  return Install(compiled, std::move(verified), sfi::ExecMode::kSandboxed);
 }
 
 Status PacketFilter::LoadCertified(const RuleSet& rules, nucleus::Certifier& certifier,
                                    const nucleus::CertificationService& service) {
-  PARA_ASSIGN_OR_RETURN(CompiledFilter compiled, CompileRules(rules));
+  PARA_ASSIGN_OR_RETURN(CompiledFilter compiled, CompileRules(rules, config_.compile));
   // Verify before certification: the certifier signs only structurally sane
-  // programs, and nothing unverified is ever installed.
-  PARA_RETURN_IF_ERROR(sfi::Verify(compiled.program).status());
+  // programs, and nothing unverified is ever installed. The certificate
+  // binds the byte-exact identity; the decoded stream is derived state.
+  PARA_ASSIGN_OR_RETURN(std::shared_ptr<const sfi::VerifiedProgram> verified,
+                        VerifyCompiled(compiled));
   PARA_ASSIGN_OR_RETURN(
       nucleus::Certificate cert,
-      certifier.Certify(config_.name, epoch_ + 1, compiled.program.identity(),
+      certifier.Certify(config_.name, epoch_ + 1, verified->identity(),
                         nucleus::kCertKernelEligible, /*now=*/epoch_ + 1));
   // Load-time validation by the kernel: digest binding, delegation chain,
   // kernel-eligibility. Only a validated program may run without checks.
-  PARA_RETURN_IF_ERROR(service.ValidateForKernel(cert, compiled.program.identity()));
-  return Install(std::move(compiled), sfi::ExecMode::kTrusted);
+  PARA_RETURN_IF_ERROR(service.ValidateForKernel(cert, verified->identity()));
+  return Install(compiled, std::move(verified), sfi::ExecMode::kTrusted);
 }
 
 void PacketFilter::NotifyVerdict(const FilterDecision& decision, FilterDirection dir) {
@@ -84,9 +103,17 @@ FilterDecision PacketFilter::Evaluate(const net::PacketView& view, FilterDirecti
 
   FlowKey key{view.src_ip, view.dst_ip, view.src_port, view.dst_port, view.proto};
   if (config_.track_flows) {
-    if (FlowEntry* flow = flows_.Find(key)) {
-      ++flow->packets;
-      flow->bytes += view.payload.size();
+    FlowTable::Direction flow_dir;
+    if (FlowEntry* flow = flows_.Find(key, &flow_dir)) {
+      if (flow_dir == FlowTable::Direction::kForward) {
+        ++flow->packets;
+        flow->bytes += view.payload.size();
+      } else {
+        // Reply traffic: shares the established entry, counted per direction.
+        ++flow->reverse_packets;
+        flow->reverse_bytes += view.payload.size();
+        ++stats_.flow_hits_reverse;
+      }
       ++stats_.flow_hits;
       FilterDecision decision = DecodeVerdict(flow->verdict);
       if (decision.verdict == FilterVerdict::kCount) {
@@ -156,6 +183,7 @@ uint64_t PacketFilter::StatsSlot(uint64_t index, uint64_t, uint64_t, uint64_t) {
     case 6: return stats_.reloads;
     case 7: return stats_.events_raised;
     case 8: return stats_.vm_faults;
+    case 9: return stats_.flow_hits_reverse;
     default: return 0;
   }
 }

@@ -1,16 +1,20 @@
 // The in-nucleus SFI packet filter: a user-definable firewall that is itself
 // a migratable kernel extension, the paper's central claim made concrete.
-// Rules compile to sfi::Program bytecode (compiler.h), every program passes
-// sfi::Verify before it can execute, and the execution mode reproduces the
-// two sides of experiment E7:
+// Rules compile to sfi::Program bytecode (compiler.h — decision-tree
+// dispatch by default), every program passes sfi::Verify before it can
+// execute — which now *produces* the pre-decoded VerifiedProgram the VM
+// dispatches — and the execution mode reproduces the two sides of
+// experiment E7:
 //   * kSandboxed — untrusted rule sets run with per-access bounds checks and
 //     instruction metering (the SFI safety net);
 //   * kTrusted  — after the compiled program is certified (nucleus/cert.h)
 //     the same bytecode runs with no run-time checks.
 // A bounded flow table (flow_table.h) adds stateful firewalling: passed
-// flows are cached and skip rule evaluation, so established connections
-// survive hot rule-set reloads. count/reject verdicts raise
-// nucleus::kTrapFilterVerdict events so monitors can subscribe.
+// flows are cached — reply traffic shares the entry via reverse-tuple
+// matching — and skip rule evaluation, so established connections survive
+// hot rule-set reloads; with a virtual clock configured, idle flows expire.
+// count/reject verdicts raise nucleus::kTrapFilterVerdict events so
+// monitors can subscribe.
 //
 // PacketFilter is an obj::Object exporting FilterType(), so filter chains
 // are named instances in the directory like any other component.
@@ -21,6 +25,7 @@
 #include <string>
 
 #include "src/base/status.h"
+#include "src/base/vclock.h"
 #include "src/filter/compiler.h"
 #include "src/filter/flow_table.h"
 #include "src/filter/rule.h"
@@ -28,6 +33,7 @@
 #include "src/nucleus/cert.h"
 #include "src/nucleus/event.h"
 #include "src/obj/object.h"
+#include "src/sfi/program_cache.h"
 #include "src/sfi/vm.h"
 
 namespace para::filter {
@@ -64,6 +70,15 @@ struct FilterConfig {
   bool track_flows = true;
   // Optional: verdict notifications for count/reject are raised here.
   nucleus::EventService* events = nullptr;
+  // Optional: shared artifact cache — hot reloads of previously seen rule
+  // sets skip compile-output re-verification and re-decode entirely.
+  sfi::VerifiedProgramCache* program_cache = nullptr;
+  // Optional: with a clock, flows idle for `flow_ttl` virtual nanoseconds
+  // expire (0 disables expiry).
+  const VirtualClock* clock = nullptr;
+  VTime flow_ttl = 0;
+  // Code-generation backend for compiled rule sets.
+  CompileOptions compile;
 };
 
 struct FilterStats {
@@ -72,10 +87,11 @@ struct FilterStats {
   uint64_t drop = 0;
   uint64_t reject = 0;
   uint64_t count = 0;
-  uint64_t flow_hits = 0;   // verdicts served from the flow table
-  uint64_t reloads = 0;     // successful Load/LoadCertified calls
+  uint64_t flow_hits = 0;          // verdicts served from the flow table
+  uint64_t flow_hits_reverse = 0;  // of which: reply-direction (reverse tuple)
+  uint64_t reloads = 0;            // successful Load/LoadCertified calls
   uint64_t events_raised = 0;
-  uint64_t vm_faults = 0;   // sandboxed program faulted; packet fail-closed
+  uint64_t vm_faults = 0;  // sandboxed program faulted; packet fail-closed
 };
 
 class PacketFilter : public obj::Object {
@@ -84,7 +100,8 @@ class PacketFilter : public obj::Object {
   static Result<std::unique_ptr<PacketFilter>> Create(FilterConfig config);
 
   // Compiles, verifies, and installs `rules` for sandboxed execution — the
-  // path for untrusted rule sets. An unverified program is never installed.
+  // path for untrusted rule sets. An unverified program is never installed:
+  // installation consumes the VerifiedProgram verification produced.
   Status Load(const RuleSet& rules);
 
   // The certified path: compiles and verifies as above, then has `certifier`
@@ -95,8 +112,9 @@ class PacketFilter : public obj::Object {
   Status LoadCertified(const RuleSet& rules, nucleus::Certifier& certifier,
                        const nucleus::CertificationService& service);
 
-  // Evaluates one packet: flow-table fast path first, then the compiled
-  // classifier. A sandboxed program fault fails closed (drop).
+  // Evaluates one packet: flow-table fast path first (either direction),
+  // then the compiled classifier. A sandboxed program fault fails closed
+  // (drop).
   net::FilterDecision Evaluate(const net::PacketView& view, net::FilterDirection dir);
 
   // Adapter for ProtocolStack::SetIngressFilter/SetEgressFilter.
@@ -104,10 +122,12 @@ class PacketFilter : public obj::Object {
 
   sfi::ExecMode mode() const { return loaded_->vm.mode(); }
   size_t rule_count() const { return loaded_->rule_count; }
+  CompileBackend backend() const { return loaded_->backend; }
   uint32_t epoch() const { return epoch_; }
   const std::string& name() const { return config_.name; }
   const FilterStats& stats() const { return stats_; }
   const sfi::VmStats& vm_stats() const { return loaded_->vm.stats(); }
+  const sfi::VerifiedProgram& verified_program() const { return *loaded_->program; }
   FlowTable& flows() { return flows_; }
 
   // FilterType() slot implementations (uniform u64 convention).
@@ -117,20 +137,25 @@ class PacketFilter : public obj::Object {
   uint64_t FlowCountSlot(uint64_t, uint64_t, uint64_t, uint64_t);
 
  private:
-  // A compiled program and the VM bound to it; boxed so the Vm's program
-  // pointer stays stable and a hot reload is one pointer swap.
+  // The verified artifact and the VM bound to it; the artifact is shared
+  // (cache, in-flight readers), so a hot reload is one pointer swap and the
+  // old program stays alive for anyone still holding it.
   struct LoadedProgram {
-    LoadedProgram(sfi::Program p, sfi::ExecMode mode)
-        : program(std::move(p)), vm(&program, mode) {}
-    sfi::Program program;
+    LoadedProgram(std::shared_ptr<const sfi::VerifiedProgram> p, sfi::ExecMode mode)
+        : program(std::move(p)), vm(program.get(), mode) {}
+    std::shared_ptr<const sfi::VerifiedProgram> program;
     sfi::Vm vm;
     size_t rule_count = 0;
     size_t payload_bytes_needed = 0;
+    CompileBackend backend = CompileBackend::kLinear;
   };
 
   explicit PacketFilter(FilterConfig config);
 
-  Status Install(CompiledFilter compiled, sfi::ExecMode mode);
+  Result<std::shared_ptr<const sfi::VerifiedProgram>> VerifyCompiled(
+      const CompiledFilter& compiled);
+  Status Install(const CompiledFilter& compiled,
+                 std::shared_ptr<const sfi::VerifiedProgram> program, sfi::ExecMode mode);
   void NotifyVerdict(const net::FilterDecision& decision, net::FilterDirection dir);
 
   FilterConfig config_;

@@ -4,37 +4,85 @@
 
 namespace para::filter {
 
-FlowTable::FlowTable(size_t capacity) : capacity_(capacity) {
+FlowTable::FlowTable(size_t capacity, const VirtualClock* clock, VTime ttl)
+    : capacity_(capacity), clock_(clock), ttl_(clock == nullptr ? 0 : ttl) {
   PARA_CHECK(capacity > 0);
   map_.reserve(capacity);
 }
 
-FlowEntry* FlowTable::Find(const FlowKey& key) {
-  auto it = map_.find(key);
+bool FlowTable::Expired(const FlowEntry& entry) const {
+  return ttl_ != 0 && clock_->now() >= entry.last_seen + ttl_;
+}
+
+FlowEntry* FlowTable::Touch(LruList::iterator it) {
+  lru_.splice(lru_.begin(), lru_, it);
+  if (clock_ != nullptr) {
+    it->last_seen = clock_->now();
+  }
+  return &*it;
+}
+
+FlowEntry* FlowTable::Find(const FlowKey& key, Direction* direction) {
+  auto lookup = [this](const FlowKey& k) {
+    auto it = map_.find(k);
+    if (it != map_.end() && Expired(*it->second)) {
+      // Idle past the TTL: the flow is gone; reclaim lazily.
+      ++stats_.expirations;
+      lru_.erase(it->second);
+      map_.erase(it);
+      return map_.end();
+    }
+    return it;
+  };
+
+  auto it = lookup(key);
+  Direction dir = Direction::kForward;
+  if (it == map_.end()) {
+    // Reply traffic carries the reversed tuple; it shares the established
+    // entry rather than establishing (and re-evaluating) its own flow.
+    it = lookup(key.Reversed());
+    dir = Direction::kReverse;
+  }
   if (it == map_.end()) {
     ++stats_.misses;
     return nullptr;
   }
   ++stats_.hits;
-  lru_.splice(lru_.begin(), lru_, it->second);
-  return &*it->second;
+  if (dir == Direction::kReverse) {
+    ++stats_.reverse_hits;
+  }
+  if (direction != nullptr) {
+    *direction = dir;
+  }
+  return Touch(it->second);
 }
 
 FlowEntry* FlowTable::Insert(const FlowKey& key, uint64_t verdict, uint32_t epoch) {
   auto it = map_.find(key);
   if (it != map_.end()) {
-    lru_.splice(lru_.begin(), lru_, it->second);
-    it->second->verdict = verdict;
-    it->second->epoch = epoch;
-    return &*it->second;
+    FlowEntry* entry = Touch(it->second);
+    entry->verdict = verdict;
+    entry->epoch = epoch;
+    return entry;
   }
   if (map_.size() >= capacity_) {
-    ++stats_.evictions;
+    // Prefer reclaiming an expired victim over evicting a live flow; the LRU
+    // tail is the oldest-idle entry, so if anything has expired, it has.
+    if (Expired(lru_.back())) {
+      ++stats_.expirations;
+    } else {
+      ++stats_.evictions;
+    }
     map_.erase(lru_.back().key);
     lru_.pop_back();
   }
   ++stats_.inserts;
-  lru_.push_front(FlowEntry{key, verdict, 0, 0, epoch});
+  FlowEntry entry;
+  entry.key = key;
+  entry.verdict = verdict;
+  entry.epoch = epoch;
+  entry.last_seen = clock_ != nullptr ? clock_->now() : 0;
+  lru_.push_front(entry);
   map_.emplace(key, lru_.begin());
   return &lru_.front();
 }

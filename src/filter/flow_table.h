@@ -1,9 +1,14 @@
 // Stateful connection tracking for the packet filter: a bounded flow table
-// keyed on the (src, dst, sport, dport, proto) 5-tuple with LRU eviction and
-// per-flow counters. A flow is recorded when a packet passes the rule set;
-// subsequent packets of the flow hit the table and skip rule evaluation
-// entirely — which is also what lets established flows survive a hot
-// rule-set reload (the new rules only see flows the table has never passed).
+// keyed on the (src, dst, sport, dport, proto) 5-tuple with LRU eviction,
+// per-flow counters, reverse-tuple matching, and optional idle expiry on the
+// virtual clock. A flow is recorded when a packet passes the rule set;
+// subsequent packets of the flow — in EITHER direction: reply traffic
+// matches the reversed tuple and shares the established entry — hit the
+// table and skip rule evaluation entirely. That is also what lets
+// established flows survive a hot rule-set reload (the new rules only see
+// flows the table has never passed). With a clock and TTL configured,
+// entries idle longer than the TTL expire lazily on the next touch (and
+// expired LRU victims are reclaimed before live ones under pressure).
 #ifndef PARAMECIUM_SRC_FILTER_FLOW_TABLE_H_
 #define PARAMECIUM_SRC_FILTER_FLOW_TABLE_H_
 
@@ -11,6 +16,7 @@
 #include <list>
 #include <unordered_map>
 
+#include "src/base/vclock.h"
 #include "src/net/filter_hook.h"
 
 namespace para::filter {
@@ -23,6 +29,9 @@ struct FlowKey {
   uint8_t proto = 0;
 
   bool operator==(const FlowKey& other) const = default;
+
+  // The 5-tuple of the reply direction: what a response packet carries.
+  FlowKey Reversed() const { return FlowKey{dst_ip, src_ip, dst_port, src_port, proto}; }
 };
 
 struct FlowKeyHash {
@@ -41,30 +50,43 @@ struct FlowKeyHash {
 };
 
 struct FlowEntry {
-  FlowKey key;
+  FlowKey key;           // the initiating (forward) direction
   uint64_t verdict = 0;  // encoded verdict cached from rule evaluation
-  uint64_t packets = 0;
+  uint64_t packets = 0;  // forward-direction packets
   uint64_t bytes = 0;
-  uint32_t epoch = 0;  // rule-set generation that admitted the flow
+  uint64_t reverse_packets = 0;  // reply-direction packets sharing this entry
+  uint64_t reverse_bytes = 0;
+  uint32_t epoch = 0;      // rule-set generation that admitted the flow
+  VTime last_seen = 0;     // virtual time of the last touch (0 if no clock)
 };
 
 struct FlowTableStats {
-  uint64_t hits = 0;
+  uint64_t hits = 0;          // forward + reverse
+  uint64_t reverse_hits = 0;  // of which: matched via the reversed tuple
   uint64_t misses = 0;
   uint64_t inserts = 0;
   uint64_t evictions = 0;
+  uint64_t expirations = 0;   // TTL reclamations (lazy or under pressure)
 };
 
 class FlowTable {
  public:
-  explicit FlowTable(size_t capacity);
+  // `clock` + `ttl` enable idle expiry: an entry untouched for `ttl` virtual
+  // nanoseconds is dead. ttl == 0 (or a null clock) disables expiry.
+  explicit FlowTable(size_t capacity, const VirtualClock* clock = nullptr, VTime ttl = 0);
 
-  // Looks up a flow and, on hit, promotes it to most-recently-used. The
+  // Direction of the match Find() returns.
+  enum class Direction : uint8_t { kForward, kReverse };
+
+  // Looks up a flow by exact 5-tuple first, then by the reversed tuple (the
+  // reply direction), and on hit promotes it to most-recently-used and
+  // refreshes its idle timer. `direction`, if non-null, reports which way
+  // matched. Expired entries are reclaimed here and report as misses. The
   // returned pointer is valid until the next Insert/Erase/Clear.
-  FlowEntry* Find(const FlowKey& key);
+  FlowEntry* Find(const FlowKey& key, Direction* direction = nullptr);
 
-  // Inserts (or replaces) a flow, evicting the least-recently-used entry
-  // when at capacity. Returns the new entry.
+  // Inserts (or replaces) a flow, reclaiming an expired LRU victim — or
+  // evicting the live LRU entry — when at capacity. Returns the new entry.
   FlowEntry* Insert(const FlowKey& key, uint64_t verdict, uint32_t epoch);
 
   bool Erase(const FlowKey& key);
@@ -72,12 +94,18 @@ class FlowTable {
 
   size_t size() const { return map_.size(); }
   size_t capacity() const { return capacity_; }
+  VTime ttl() const { return ttl_; }
   const FlowTableStats& stats() const { return stats_; }
 
  private:
   using LruList = std::list<FlowEntry>;
 
+  bool Expired(const FlowEntry& entry) const;
+  FlowEntry* Touch(LruList::iterator it);
+
   size_t capacity_;
+  const VirtualClock* clock_;
+  VTime ttl_;
   LruList lru_;  // front = most recently used
   std::unordered_map<FlowKey, LruList::iterator, FlowKeyHash> map_;
   FlowTableStats stats_;

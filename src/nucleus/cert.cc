@@ -220,12 +220,29 @@ Status CertificationService::Validate(const Certificate& certificate,
                                       std::span<const uint8_t> code) const {
   ++stats_.validations;
   // 1. Digest binding: the component must be byte-identical to what was
-  //    certified.
+  //    certified. This is recomputed on every load — the tamper check is
+  //    never cached away.
   crypto::Digest actual =
       ComponentDigest(certificate.component_name, certificate.version, code);
   if (!crypto::DigestEqual(actual, certificate.code_digest)) {
     ++stats_.rejected_digest;
     return Status(ErrorCode::kCertificateInvalid, "component modified after certification");
+  }
+  // Validation cache, keyed by program identity plus the *entire*
+  // certificate wire form: a hit means this byte-exact certificate has
+  // already been validated against these byte-exact component bytes — the
+  // delegation-chain walk and RSA verify are pure functions of that pair,
+  // so repeated loads of the same certified image (repository
+  // re-instantiation, filter hot reloads) skip the expensive half of
+  // validation. Hashing the full serialization (not just the signature)
+  // matters: a corrupted-but-parseable certificate must never alias a
+  // previously accepted one.
+  crypto::Digest cert_digest = crypto::Sha256::Hash(certificate.Serialize());
+  std::string cache_key = para::HexEncode(actual) + para::HexEncode(cert_digest);
+  if (validated_.contains(cache_key)) {
+    ++stats_.cache_hits;
+    ++stats_.accepted;
+    return OkStatus();
   }
   // 2. The signer must hold a grant from the authority.
   auto it = grants_.find(para::HexEncode(certificate.signer));
@@ -247,6 +264,10 @@ Status CertificationService::Validate(const Certificate& certificate,
     return sig;
   }
   ++stats_.accepted;
+  if (validated_.size() >= kValidationCacheEntries) {
+    validated_.clear();  // bounded; a full flush just re-validates once
+  }
+  validated_.insert(std::move(cache_key));
   return OkStatus();
 }
 

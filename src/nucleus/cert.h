@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -140,6 +141,7 @@ struct CertValidationStats {
   uint64_t rejected_signer = 0;
   uint64_t rejected_signature = 0;
   uint64_t rejected_flags = 0;
+  uint64_t cache_hits = 0;  // accepted via the validation cache (digest still checked)
 };
 
 // The kernel-resident validation service (§3's fourth nucleus service).
@@ -162,9 +164,18 @@ class CertificationService : public obj::Object {
   const CertValidationStats& stats() const { return stats_; }
 
  private:
+  // Bound on remembered (digest, signature) acceptances; overflowing resets
+  // the cache, which only costs one re-validation per entry.
+  static constexpr size_t kValidationCacheEntries = 256;
+
   crypto::RsaPublicKey authority_key_;
   std::map<std::string, DelegationGrant> grants_;  // by hex fingerprint of delegate key
   mutable CertValidationStats stats_;
+  // Accepted validations keyed by program identity: hex(component digest)
+  // followed by the certificate signature bytes. The digest binding (step 1)
+  // is re-checked on every call; only the delegation/signature work is
+  // elided on a hit.
+  mutable std::set<std::string> validated_;
 };
 
 // Digest over a component's code identity (code || name || version).

@@ -5,8 +5,8 @@
 
 namespace para::sfi {
 
-SfiComponent::SfiComponent(Program program, ExecMode mode)
-    : program_(std::move(program)), vm_(&program_, mode) {}
+SfiComponent::SfiComponent(std::shared_ptr<const VerifiedProgram> program, ExecMode mode)
+    : program_(std::move(program)), vm_(program_.get(), mode) {}
 
 uint64_t SfiComponent::Trampoline(void* state, uint64_t a0, uint64_t a1, uint64_t a2,
                                   uint64_t a3) {
@@ -21,16 +21,23 @@ uint64_t SfiComponent::Trampoline(void* state, uint64_t a0, uint64_t a1, uint64_
 
 Result<std::unique_ptr<SfiComponent>> SfiComponent::Create(Program program,
                                                            const obj::TypeInfo* type,
-                                                           ExecMode mode) {
+                                                           ExecMode mode,
+                                                           VerifiedProgramCache* cache) {
   if (type == nullptr) {
     return Status(ErrorCode::kInvalidArgument, "component needs a type");
   }
-  PARA_ASSIGN_OR_RETURN(VerifyReport report, Verify(program));
-  (void)report;
-  if (program.entry_points.size() != type->method_count()) {
+  std::shared_ptr<const VerifiedProgram> verified;
+  if (cache != nullptr) {
+    PARA_ASSIGN_OR_RETURN(verified, cache->GetOrVerify(program));
+  } else {
+    PARA_ASSIGN_OR_RETURN(VerifiedProgram owned, Verify(std::move(program)));
+    verified = std::make_shared<const VerifiedProgram>(std::move(owned));
+  }
+  if (verified->entry_points.size() != type->method_count()) {
     return Status(ErrorCode::kInvalidArgument, "entry points do not match interface");
   }
-  auto component = std::unique_ptr<SfiComponent>(new SfiComponent(std::move(program), mode));
+  auto component =
+      std::unique_ptr<SfiComponent>(new SfiComponent(std::move(verified), mode));
   obj::Interface iface(type, nullptr);
   for (size_t slot = 0; slot < type->method_count(); ++slot) {
     auto record = std::make_unique<SlotRecord>(SlotRecord{component.get(), slot});

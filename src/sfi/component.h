@@ -2,7 +2,10 @@
 // ordinary Paramecium object whose interface slots execute bytecode entry
 // points. The same program can be instantiated sandboxed (user-supplied,
 // unverified) or trusted (after certification) — the two sides of
-// experiment E7.
+// experiment E7. Creation always goes through sfi::Verify: the component
+// executes the VerifiedProgram artifact, optionally shared through a
+// VerifiedProgramCache so repeated instantiations of the same image skip
+// the decode.
 #ifndef PARAMECIUM_SRC_SFI_COMPONENT_H_
 #define PARAMECIUM_SRC_SFI_COMPONENT_H_
 
@@ -11,6 +14,7 @@
 
 #include "src/base/status.h"
 #include "src/obj/object.h"
+#include "src/sfi/program_cache.h"
 #include "src/sfi/vm.h"
 
 namespace para::sfi {
@@ -18,12 +22,16 @@ namespace para::sfi {
 class SfiComponent : public obj::Object {
  public:
   // The program must verify; its entry-point count must match the type's
-  // method count.
+  // method count. With `cache` set, the verified artifact is fetched from /
+  // inserted into the cache (repository factories share one so re-loading a
+  // component image re-uses the decoded program).
   static Result<std::unique_ptr<SfiComponent>> Create(Program program,
-                                                      const obj::TypeInfo* type, ExecMode mode);
+                                                      const obj::TypeInfo* type, ExecMode mode,
+                                                      VerifiedProgramCache* cache = nullptr);
 
   Vm& vm() { return vm_; }
-  const Program& program() const { return program_; }
+  const VerifiedProgram& verified_program() const { return *program_; }
+  const Program& program() const { return program_->program; }
 
  private:
   struct SlotRecord {
@@ -31,11 +39,11 @@ class SfiComponent : public obj::Object {
     size_t slot;
   };
 
-  SfiComponent(Program program, ExecMode mode);
+  SfiComponent(std::shared_ptr<const VerifiedProgram> program, ExecMode mode);
 
   static uint64_t Trampoline(void* state, uint64_t a0, uint64_t a1, uint64_t a2, uint64_t a3);
 
-  Program program_;
+  std::shared_ptr<const VerifiedProgram> program_;
   Vm vm_;
   std::vector<std::unique_ptr<SlotRecord>> records_;
 };

@@ -60,4 +60,69 @@ size_t InstructionLength(Op op) {
   }
 }
 
+StackEffect StackEffectOf(Op op) {
+  switch (op) {
+    case Op::kPush:
+    case Op::kLdArg:
+      return {0, 1};
+    case Op::kDrop:
+    case Op::kJz:
+    case Op::kJnz:
+    case Op::kRetV:
+      return {1, 0};
+    case Op::kDup:
+      return {1, 2};
+    case Op::kSwap:
+      return {2, 2};
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMul:
+    case Op::kDivU:
+    case Op::kRemU:
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kXor:
+    case Op::kShl:
+    case Op::kShr:
+    case Op::kEq:
+    case Op::kNe:
+    case Op::kLtU:
+    case Op::kGtU:
+      return {2, 1};
+    case Op::kNot:
+    case Op::kLoad8:
+    case Op::kLoad16:
+    case Op::kLoad32:
+    case Op::kLoad64:
+      return {1, 1};
+    case Op::kStore8:
+    case Op::kStore16:
+    case Op::kStore32:
+    case Op::kStore64:
+      return {2, 0};
+    case Op::kHalt:
+    case Op::kJmp:
+    case Op::kCall:
+    case Op::kRet:
+    case Op::kOpCount:
+      return {0, 0};
+  }
+  return {0, 0};
+}
+
+bool IsBlockTerminator(Op op) {
+  switch (op) {
+    case Op::kJmp:
+    case Op::kJz:
+    case Op::kJnz:
+    case Op::kCall:
+    case Op::kRet:
+    case Op::kRetV:
+    case Op::kHalt:
+      return true;
+    default:
+      return false;
+  }
+}
+
 }  // namespace para::sfi

@@ -59,6 +59,21 @@ const char* OpName(Op op);
 // Byte length of the instruction at `op` (opcode + operands).
 size_t InstructionLength(Op op);
 
+// Static operand-stack effect of one instruction: how many slots it consumes
+// before producing. The verifier folds these into per-basic-block stack
+// envelopes so the VM checks the stack once per block instead of once per
+// push/pop.
+struct StackEffect {
+  uint8_t pops;
+  uint8_t pushes;
+};
+StackEffect StackEffectOf(Op op);
+
+// True for instructions that end a basic block: control never falls through
+// an entire block past one of these (jumps/calls transfer, halt/ret/retv
+// leave the frame), which is what makes the per-block stack envelope exact.
+bool IsBlockTerminator(Op op);
+
 }  // namespace para::sfi
 
 #endif  // PARAMECIUM_SRC_SFI_ISA_H_

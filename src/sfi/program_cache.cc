@@ -1,0 +1,85 @@
+#include "src/sfi/program_cache.h"
+
+#include <cstring>
+
+#include "src/base/log.h"
+#include "src/sfi/verifier.h"
+
+namespace para::sfi {
+
+VerifiedProgramCache::VerifiedProgramCache(size_t capacity) : capacity_(capacity) {
+  PARA_CHECK(capacity > 0);
+  entries_.reserve(capacity);
+}
+
+std::string VerifiedProgramCache::KeyOf(const Program& program) {
+  // Every variable-length field is length-prefixed so the key is injective:
+  // without the prefixes, code bytes could masquerade as entry points (or
+  // vice versa) and alias a different program's cache slot.
+  std::string key;
+  key.reserve(program.code.size() + program.entry_points.size() * 4 + 24);
+  auto append_u64 = [&key](uint64_t v) {
+    char bytes[8];
+    std::memcpy(bytes, &v, 8);
+    key.append(bytes, 8);
+  };
+  append_u64(program.code.size());
+  key.append(reinterpret_cast<const char*>(program.code.data()), program.code.size());
+  append_u64(program.entry_points.size());
+  for (uint32_t entry : program.entry_points) {
+    char bytes[4];
+    std::memcpy(bytes, &entry, 4);
+    key.append(bytes, 4);
+  }
+  append_u64(program.memory_bytes);
+  return key;
+}
+
+Result<std::shared_ptr<const VerifiedProgram>> VerifiedProgramCache::GetOrVerify(
+    const Program& program) {
+  std::string key = KeyOf(program);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->verified;
+  }
+
+  auto verified = Verify(program);  // copies: the caller keeps its Program
+  if (!verified.ok()) {
+    ++stats_.failures;
+    return verified.status();
+  }
+  ++stats_.misses;
+  if (entries_.size() >= capacity_) {
+    ++stats_.evictions;
+    entries_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+  auto shared = std::make_shared<const VerifiedProgram>(std::move(*verified));
+  lru_.push_front(Entry{std::move(key), shared});
+  entries_.emplace(lru_.front().key, lru_.begin());
+  return shared;
+}
+
+bool VerifiedProgramCache::Invalidate(const std::vector<uint8_t>& identity) {
+  bool dropped = false;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->verified->identity() == identity) {
+      entries_.erase(it->key);
+      it = lru_.erase(it);
+      ++stats_.invalidations;
+      dropped = true;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+void VerifiedProgramCache::Clear() {
+  lru_.clear();
+  entries_.clear();
+}
+
+}  // namespace para::sfi

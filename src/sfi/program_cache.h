@@ -1,0 +1,71 @@
+// Shared cache of verified programs, keyed by program identity. Verification
+// now *builds* the executable (decode + patch-resolve + block analysis), so
+// loaders that see the same bytecode repeatedly — the packet filter on hot
+// rule reloads, the component repository re-instantiating a certified image —
+// pay that cost once and share the immutable artifact through shared_ptr:
+// a reload is a pointer swap, and an in-flight Vm keeps its program alive
+// even after the cache entry is invalidated.
+#ifndef PARAMECIUM_SRC_SFI_PROGRAM_CACHE_H_
+#define PARAMECIUM_SRC_SFI_PROGRAM_CACHE_H_
+
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "src/base/status.h"
+#include "src/sfi/verified_program.h"
+
+namespace para::sfi {
+
+struct ProgramCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;        // verified fresh and inserted
+  uint64_t failures = 0;      // verification failed (never cached)
+  uint64_t invalidations = 0;
+  uint64_t evictions = 0;
+};
+
+class VerifiedProgramCache {
+ public:
+  // `capacity` bounds live entries; least-recently-used entries are evicted
+  // (their VerifiedPrograms survive as long as someone holds the shared_ptr).
+  explicit VerifiedProgramCache(size_t capacity = 64);
+
+  // Returns the cached artifact for `program`, verifying (and caching) it on
+  // miss. Failures are returned, never cached: a rejected program re-runs the
+  // verifier on every attempt, so error paths stay observable.
+  Result<std::shared_ptr<const VerifiedProgram>> GetOrVerify(const Program& program);
+
+  // Drops the entry whose *identity* (code bytes) matches. Used on reload:
+  // when a loader replaces a program it can retire the stale artifact so the
+  // next load of those bytes re-verifies. Returns true if an entry existed.
+  bool Invalidate(const std::vector<uint8_t>& identity);
+
+  void Clear();
+
+  size_t size() const { return entries_.size(); }
+  size_t capacity() const { return capacity_; }
+  const ProgramCacheStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const VerifiedProgram> verified;
+  };
+  using LruList = std::list<Entry>;
+
+  // Certification digests only the code bytes (Program::identity()), but two
+  // programs with identical code can still differ in entry points or memory
+  // size, so the cache key covers the full structural tuple.
+  static std::string KeyOf(const Program& program);
+
+  size_t capacity_;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<std::string, LruList::iterator> entries_;
+  ProgramCacheStats stats_;
+};
+
+}  // namespace para::sfi
+
+#endif  // PARAMECIUM_SRC_SFI_PROGRAM_CACHE_H_

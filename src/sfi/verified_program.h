@@ -1,0 +1,86 @@
+// The executable artifact verification produces (the point of this layer's
+// design): `sfi::Verify` no longer answers a yes/no question about a byte
+// stream — it returns a `VerifiedProgram`, a pre-decoded, patch-resolved
+// instruction stream the VM can execute by threaded dispatch without ever
+// touching the bytecode again. Decode once, validate once, dispatch forever:
+// the load-time work the paper says certification is supposed to buy
+// (§4 "all run time checks can then be omitted").
+//
+// What the decoded form carries that the byte form cannot:
+//  * fixed-width instructions — no per-instruction length decode, no
+//    operand memcpy, and pc arithmetic is an index increment;
+//  * jump/call targets rewritten from byte-relative rel32 to absolute
+//    decoded-stream indices — nothing to bounds-check at run time because
+//    the verifier proved every target lands on an instruction start;
+//  * per-basic-block stack envelopes, materialized as synthetic kCheckStack
+//    instructions at block entry — one stack check per block instead of one
+//    per push/pop (a block is straight-line code, so its cumulative stack
+//    motion is static);
+//  * a kEndOfCode sentinel, so "pc ran off the end" is an ordinary opcode
+//    dispatch instead of a per-instruction bounds branch.
+//
+// The byte-exact `Program` rides along untouched: it is the certified,
+// signed identity (`identity()` digests it), never re-consulted during
+// execution.
+#ifndef PARAMECIUM_SRC_SFI_VERIFIED_PROGRAM_H_
+#define PARAMECIUM_SRC_SFI_VERIFIED_PROGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sfi/isa.h"
+
+namespace para::sfi {
+
+// Synthetic decoded opcodes. kCheckStack reuses the kOpCount slot (which the
+// verifier guarantees never appears as a real instruction); kEndOfCode sits
+// one past it. The VM's dispatch table covers all kDecodedOpCount values.
+inline constexpr uint8_t kOpCheckStack = static_cast<uint8_t>(Op::kOpCount);
+inline constexpr uint8_t kOpEndOfCode = kOpCheckStack + 1;
+inline constexpr size_t kDecodedOpCount = kOpEndOfCode + 1;
+
+// One pre-decoded instruction. 16 bytes, fixed width.
+struct DecodedInsn {
+  uint64_t imm = 0;     // kPush immediate; kCheckStack packs need | grow<<32
+  uint32_t target = 0;  // decoded-stream index for kJmp/kJz/kJnz/kCall
+  uint8_t op = 0;       // Op value, or a synthetic opcode above
+  uint8_t arg = 0;      // kLdArg argument index (pre-masked)
+  uint16_t unused = 0;
+};
+static_assert(sizeof(DecodedInsn) == 16, "decoded instructions are 16-byte fixed width");
+
+// kCheckStack immediate: the block needs `need` operands on entry and may
+// grow the stack by up to `grow` slots before its terminator.
+constexpr uint64_t PackStackCheck(uint32_t need, uint32_t grow) {
+  return static_cast<uint64_t>(need) | (static_cast<uint64_t>(grow) << 32);
+}
+constexpr uint32_t StackCheckNeed(uint64_t imm) { return static_cast<uint32_t>(imm); }
+constexpr uint32_t StackCheckGrow(uint64_t imm) { return static_cast<uint32_t>(imm >> 32); }
+
+// Verification summary (over the *byte* program: synthetic instructions are
+// not counted).
+struct VerifyReport {
+  size_t instructions = 0;
+  size_t jumps = 0;
+  size_t memory_ops = 0;
+  size_t basic_blocks = 0;
+  size_t stack_checks = 0;  // kCheckStack instructions materialized
+};
+
+// A verified, executable program. Immutable after Verify() builds it — Vm
+// instances and caches share `const VerifiedProgram*` freely.
+struct VerifiedProgram {
+  Program program;  // the byte-exact certified/signed identity
+
+  std::vector<DecodedInsn> code;      // decoded stream + synthetics + sentinel
+  std::vector<uint32_t> entry_points; // decoded-stream indices, per method slot
+  VerifyReport report;
+
+  // Code identity for certification: digests the byte form, exactly as
+  // before — the decoded stream is derived, never signed.
+  const std::vector<uint8_t>& identity() const { return program.identity(); }
+};
+
+}  // namespace para::sfi
+
+#endif  // PARAMECIUM_SRC_SFI_VERIFIED_PROGRAM_H_

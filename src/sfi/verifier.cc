@@ -1,11 +1,18 @@
 #include "src/sfi/verifier.h"
 
+#include <algorithm>
 #include <cstring>
-#include <set>
+#include <limits>
 
 namespace para::sfi {
 
-Result<VerifyReport> Verify(const Program& program) {
+namespace {
+
+constexpr uint32_t kNoInsn = std::numeric_limits<uint32_t>::max();
+
+}  // namespace
+
+Result<VerifiedProgram> Verify(Program program) {
   const auto& code = program.code;
   if (code.empty()) {
     return Status(ErrorCode::kInvalidArgument, "empty program");
@@ -16,11 +23,16 @@ Result<VerifyReport> Verify(const Program& program) {
 
   // Pass 1: decode linearly, collecting instruction boundaries.
   VerifyReport report;
-  std::set<size_t> starts;
-  std::vector<std::pair<size_t, int32_t>> jumps;  // (operand offset, rel)
+  struct RawInsn {
+    uint32_t offset;
+    Op op;
+  };
+  std::vector<RawInsn> insns;
+  std::vector<uint32_t> index_at(code.size(), kNoInsn);  // byte offset -> insn index
+  std::vector<std::pair<uint32_t, uint32_t>> jumps;      // (insn index, target insn index)
+  std::vector<std::pair<uint32_t, int32_t>> raw_jumps;   // (operand offset, rel)
   size_t pc = 0;
   while (pc < code.size()) {
-    starts.insert(pc);
     uint8_t raw = code[pc];
     if (raw >= static_cast<uint8_t>(Op::kOpCount)) {
       return Status(ErrorCode::kInvalidArgument, "invalid opcode");
@@ -30,6 +42,8 @@ Result<VerifyReport> Verify(const Program& program) {
     if (pc + len > code.size()) {
       return Status(ErrorCode::kInvalidArgument, "truncated instruction");
     }
+    index_at[pc] = static_cast<uint32_t>(insns.size());
+    insns.push_back({static_cast<uint32_t>(pc), op});
     ++report.instructions;
     switch (op) {
       case Op::kJmp:
@@ -38,7 +52,7 @@ Result<VerifyReport> Verify(const Program& program) {
       case Op::kCall: {
         int32_t rel;
         std::memcpy(&rel, code.data() + pc + 1, 4);
-        jumps.emplace_back(pc + 1, rel);
+        raw_jumps.emplace_back(static_cast<uint32_t>(pc + 1), rel);
         ++report.jumps;
         break;
       }
@@ -63,25 +77,126 @@ Result<VerifyReport> Verify(const Program& program) {
     pc += len;
   }
 
-  // Pass 2: every jump target must be an instruction start.
-  for (const auto& [operand_offset, rel] : jumps) {
+  // Pass 2: every jump target and entry point must be an instruction start.
+  // Surviving this pass is what lets the decoded stream drop run-time pc
+  // checks entirely: a rewritten target is an index into the stream, proven
+  // in bounds and on a boundary here.
+  for (const auto& [operand_offset, rel] : raw_jumps) {
     int64_t target = static_cast<int64_t>(operand_offset + 4) + rel;
     if (target < 0 || static_cast<size_t>(target) >= code.size() ||
-        !starts.contains(static_cast<size_t>(target))) {
+        index_at[static_cast<size_t>(target)] == kNoInsn) {
       return Status(ErrorCode::kInvalidArgument, "jump to non-instruction");
     }
-  }
-
-  // Entry points must be instruction starts.
-  for (uint32_t entry : program.entry_points) {
-    if (!starts.contains(entry)) {
-      return Status(ErrorCode::kInvalidArgument, "entry point is not an instruction");
-    }
+    // operand_offset - 1 is the jump instruction's own offset.
+    jumps.emplace_back(index_at[operand_offset - 1], index_at[static_cast<size_t>(target)]);
   }
   if (program.entry_points.empty()) {
     return Status(ErrorCode::kInvalidArgument, "program has no entry points");
   }
-  return report;
+  for (uint32_t entry : program.entry_points) {
+    if (entry >= code.size() || index_at[entry] == kNoInsn) {
+      return Status(ErrorCode::kInvalidArgument, "entry point is not an instruction");
+    }
+  }
+
+  // Pass 3: basic-block leaders — instruction 0, entry points, jump targets,
+  // and fall-through successors of block terminators.
+  std::vector<uint8_t> leader(insns.size(), 0);
+  leader[0] = 1;
+  for (uint32_t entry : program.entry_points) {
+    leader[index_at[entry]] = 1;
+  }
+  for (const auto& [from, to] : jumps) {
+    leader[to] = 1;
+  }
+  for (size_t i = 0; i + 1 < insns.size(); ++i) {
+    if (IsBlockTerminator(insns[i].op)) {
+      leader[i + 1] = 1;
+    }
+  }
+
+  // Pass 4: per-block stack envelope. A block is straight-line code, so its
+  // cumulative stack motion is static: `need` operands must be present at
+  // entry (deepest transient deficit) and up to `grow` slots of headroom are
+  // consumed (highest transient watermark). One check at block entry then
+  // covers every push/pop in the block.
+  std::vector<uint32_t> need_of(insns.size(), 0);
+  std::vector<uint32_t> grow_of(insns.size(), 0);
+  {
+    size_t block_leader = 0;
+    int64_t cur = 0, low = 0, high = 0;
+    auto flush = [&](size_t lead) {
+      need_of[lead] = static_cast<uint32_t>(-low);
+      grow_of[lead] = static_cast<uint32_t>(high);
+    };
+    for (size_t i = 0; i < insns.size(); ++i) {
+      if (leader[i]) {
+        if (i != 0) {
+          flush(block_leader);
+        }
+        block_leader = i;
+        cur = low = high = 0;
+        ++report.basic_blocks;
+      }
+      StackEffect effect = StackEffectOf(insns[i].op);
+      cur -= effect.pops;
+      low = std::min(low, cur);
+      cur += effect.pushes;
+      high = std::max(high, cur);
+    }
+    flush(block_leader);
+  }
+
+  // Pass 5: emit the decoded stream. A block whose envelope is non-trivial
+  // gets a synthetic kCheckStack ahead of its first instruction; jump
+  // targets and entry points are rewritten to point at the check (so every
+  // entry into the block — branch or fall-through — runs it). A kEndOfCode
+  // sentinel terminates the stream so running off the end is an ordinary
+  // dispatch, not undefined behaviour.
+  VerifiedProgram out;
+  out.code.reserve(insns.size() + report.basic_blocks + 1);
+  std::vector<uint32_t> decoded_pos(insns.size());    // insn -> its decoded slot
+  std::vector<uint32_t> decoded_entry(insns.size());  // insn -> check slot if present
+  for (size_t i = 0; i < insns.size(); ++i) {
+    if (leader[i] && (need_of[i] != 0 || grow_of[i] != 0)) {
+      DecodedInsn check;
+      check.op = kOpCheckStack;
+      check.imm = PackStackCheck(need_of[i], grow_of[i]);
+      decoded_entry[i] = static_cast<uint32_t>(out.code.size());
+      out.code.push_back(check);
+      ++report.stack_checks;
+    } else {
+      decoded_entry[i] = static_cast<uint32_t>(out.code.size());
+    }
+    decoded_pos[i] = static_cast<uint32_t>(out.code.size());
+    DecodedInsn decoded;
+    decoded.op = static_cast<uint8_t>(insns[i].op);
+    switch (insns[i].op) {
+      case Op::kPush:
+        std::memcpy(&decoded.imm, code.data() + insns[i].offset + 1, 8);
+        break;
+      case Op::kLdArg:
+        decoded.arg = static_cast<uint8_t>(code[insns[i].offset + 1] & 3);
+        break;
+      default:
+        break;
+    }
+    out.code.push_back(decoded);
+  }
+  for (const auto& [from, to] : jumps) {
+    out.code[decoded_pos[from]].target = decoded_entry[to];
+  }
+  DecodedInsn sentinel;
+  sentinel.op = kOpEndOfCode;
+  out.code.push_back(sentinel);
+
+  out.entry_points.reserve(program.entry_points.size());
+  for (uint32_t entry : program.entry_points) {
+    out.entry_points.push_back(decoded_entry[index_at[entry]]);
+  }
+  out.report = report;
+  out.program = std::move(program);
+  return out;
 }
 
 }  // namespace para::sfi

@@ -1,15 +1,18 @@
-// Static verifier for SFI programs. Run once at load time in *both* modes:
-// it guarantees structural sanity (valid opcodes, in-bounds instruction
-// boundaries, jump targets landing on instruction starts, sane entry
-// points). What it deliberately cannot guarantee — memory accesses staying in
-// bounds, termination — is exactly what the sandbox pays per-access and
-// per-instruction run-time checks for, and what certification lets trusted
-// code skip.
+// Static verifier for SFI programs — run once at load time in *both* modes.
+// It guarantees structural sanity (valid opcodes, in-bounds instruction
+// boundaries, jump targets landing on instruction starts, sane entry points)
+// and, since the threaded-engine refactor, *produces the executable*: a
+// VerifiedProgram whose pre-decoded instruction stream is the only thing the
+// VM ever dispatches. What verification deliberately cannot guarantee —
+// memory accesses staying in bounds, termination — is exactly what the
+// sandbox pays per-access and per-instruction run-time checks for, and what
+// certification lets trusted code skip.
 #ifndef PARAMECIUM_SRC_SFI_VERIFIER_H_
 #define PARAMECIUM_SRC_SFI_VERIFIER_H_
 
 #include "src/base/status.h"
 #include "src/sfi/isa.h"
+#include "src/sfi/verified_program.h"
 
 namespace para::sfi {
 
@@ -18,13 +21,12 @@ namespace para::sfi {
 // system-wide cap on loadable bytecode.
 inline constexpr size_t kMaxProgramBytes = 1u << 20;
 
-struct VerifyReport {
-  size_t instructions = 0;
-  size_t jumps = 0;
-  size_t memory_ops = 0;
-};
-
-Result<VerifyReport> Verify(const Program& program);
+// Verifies `program` and, on success, returns the executable artifact. The
+// byte program moves into the result as its certified identity; the decoded
+// stream, rewritten jump targets, and per-block stack envelopes are built
+// here so the VM never re-decodes. Taking the program by value: callers that
+// keep their own copy pass one explicitly.
+Result<VerifiedProgram> Verify(Program program);
 
 }  // namespace para::sfi
 

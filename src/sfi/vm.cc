@@ -1,12 +1,24 @@
 #include "src/sfi/vm.h"
 
 #include <cstring>
+#include <utility>
 
 #include "src/base/log.h"
+
+// Threaded-code dispatch needs GNU labels-as-values; every supported
+// toolchain (gcc, clang) has them. Anything else falls back to a switch
+// loop over the same pre-decoded stream — identical semantics, one extra
+// indirect branch per instruction.
+#if defined(__GNUC__) || defined(__clang__)
+#define PARA_SFI_THREADED 1
+#else
+#define PARA_SFI_THREADED 0
+#endif
 
 namespace para::sfi {
 
 namespace {
+
 size_t RoundUpPow2(size_t v) {
   size_t p = 1;
   while (p < v) {
@@ -14,13 +26,19 @@ size_t RoundUpPow2(size_t v) {
   }
   return p;
 }
+
+[[maybe_unused]] constexpr uint8_t OpIndex(Op op) { return static_cast<uint8_t>(op); }
+[[maybe_unused]] constexpr uint8_t OpIndex(uint8_t raw) { return raw; }
+
 }  // namespace
 
-Vm::Vm(const Program* program, ExecMode mode)
+Vm::Vm(const VerifiedProgram* program, ExecMode mode)
     // Power-of-two size so trusted mode can mask addresses; +8 bytes of slack
     // so a masked address near the top can still take a full-width access
     // without a range branch on the hot path.
-    : program_(program), mode_(mode), memory_(RoundUpPow2(program->memory_bytes) + 8, 0) {
+    : program_(program),
+      mode_(mode),
+      memory_(RoundUpPow2(program->program.memory_bytes) + 8, 0) {
   PARA_CHECK(program != nullptr);
 }
 
@@ -39,19 +57,17 @@ Result<uint64_t> Vm::Run(size_t method, uint64_t a0, uint64_t a1, uint64_t a2, u
 template <bool kSandboxed>
 Result<uint64_t> Vm::RunImpl(size_t method, uint64_t a0, uint64_t a1, uint64_t a2,
                              uint64_t a3) {
-  const uint8_t* code = program_->code.data();
-  const size_t code_size = program_->code.size();
+  const DecodedInsn* const code = program_->code.data();
   constexpr bool sandboxed = kSandboxed;
   const size_t mem_size = memory_.size() - 8;  // power of two; 8 bytes of slack beyond
-  uint8_t* mem = memory_.data();
-  (void)code_size;
+  uint8_t* const mem = memory_.data();
   (void)mem_size;
 
   uint64_t stack[kStackSlots];
   size_t sp = 0;  // next free slot
   size_t call_stack[kCallDepth];
   size_t csp = 0;
-  uint64_t args[4] = {a0, a1, a2, a3};
+  const uint64_t args[4] = {a0, a1, a2, a3};
   size_t pc = program_->entry_points[method];
   uint64_t fuel = fuel_;
 
@@ -70,234 +86,256 @@ Result<uint64_t> Vm::RunImpl(size_t method, uint64_t a0, uint64_t a1, uint64_t a
     }
   } counters(&stats_);
 
-  auto push = [&](uint64_t v) -> bool {
-    if (sp >= kStackSlots) {
-      return false;
-    }
-    stack[sp++] = v;
-    return true;
-  };
-  auto pop = [&](uint64_t* v) -> bool {
-    if (sp == 0) {
-      return false;
-    }
-    *v = stack[--sp];
-    return true;
-  };
+  const DecodedInsn* insn;
 
-#define VM_PUSH(v)                                                      \
-  do {                                                                  \
-    if (!push(v)) return Status(ErrorCode::kResourceExhausted, "stack overflow"); \
-  } while (0)
-#define VM_POP(v)                                                        \
-  do {                                                                   \
-    if (!pop(v)) return Status(ErrorCode::kFailedPrecondition, "stack underflow"); \
+// Per-instruction prologue for *real* instructions. Fuel is metered before
+// the retire count, matching the byte-interpreter's order exactly, so
+// VmStats.instructions and fuel exhaustion points are bit-identical to the
+// pre-decoded engine's predecessor. Synthetic instructions (kCheckStack,
+// kEndOfCode) are free: they exist only in the decoded stream.
+#define VM_METER()                                                    \
+  do {                                                                \
+    if constexpr (sandboxed) {                                        \
+      if (fuel-- == 0) {                                              \
+        return Status(ErrorCode::kResourceExhausted, "out of fuel");  \
+      }                                                               \
+    }                                                                 \
+    ++counters.instructions;                                          \
   } while (0)
 
-  for (;;) {
-    if constexpr (sandboxed) {
-      // The sandbox runs *unverified* code, so every dynamic invariant is a
-      // run-time check: pc in bounds, instruction metering (anti-runaway).
-      // Trusted code was statically verified and certified; it skips all of
-      // this (§4: "all run time checks can then be omitted").
-      if (pc >= code_size) {
-        return Status(ErrorCode::kOutOfRange, "pc out of code");
-      }
-      if (fuel-- == 0) {
-        return Status(ErrorCode::kResourceExhausted, "out of fuel");
-      }
+#if PARA_SFI_THREADED
+  static const void* const kLabels[kDecodedOpCount] = {
+      &&lbl_halt,   &&lbl_push,   &&lbl_drop,   &&lbl_dup,    &&lbl_swap,  &&lbl_add,
+      &&lbl_sub,    &&lbl_mul,    &&lbl_divu,   &&lbl_remu,   &&lbl_and_,  &&lbl_or_,
+      &&lbl_xor_,   &&lbl_shl,    &&lbl_shr,    &&lbl_eq,     &&lbl_ne,    &&lbl_ltu,
+      &&lbl_gtu,    &&lbl_not_,    &&lbl_load8,  &&lbl_load16, &&lbl_load32, &&lbl_load64,
+      &&lbl_store8, &&lbl_store16, &&lbl_store32, &&lbl_store64, &&lbl_jmp, &&lbl_jz,
+      &&lbl_jnz,    &&lbl_call,   &&lbl_ret,    &&lbl_ldarg,  &&lbl_retv,  &&lbl_check,
+      &&lbl_end,
+  };
+#define VM_OP(name, value) lbl_##name:
+#define VM_NEXT()                 \
+  do {                            \
+    insn = code + pc;             \
+    goto* kLabels[insn->op];      \
+  } while (0)
+#define VM_DISPATCH_BEGIN() VM_NEXT();
+#define VM_DISPATCH_END()
+#else
+#define VM_OP(name, value) case OpIndex(value):
+#define VM_NEXT() continue
+#define VM_DISPATCH_BEGIN() \
+  for (;;) {                \
+    insn = code + pc;       \
+    switch (insn->op) {
+#define VM_DISPATCH_END()                                          \
+  default:                                                         \
+    return Status(ErrorCode::kInternal, "bad decoded opcode");     \
+    }                                                              \
     }
-    ++counters.instructions;
-    Op op = static_cast<Op>(code[pc]);
-    switch (op) {
-      case Op::kHalt:
-        return uint64_t{0};
-      case Op::kPush: {
-        uint64_t imm;
-        std::memcpy(&imm, code + pc + 1, 8);
-        VM_PUSH(imm);
-        pc += 9;
-        continue;
-      }
-      case Op::kDrop: {
-        uint64_t v;
-        VM_POP(&v);
-        ++pc;
-        continue;
-      }
-      case Op::kDup: {
-        uint64_t v;
-        VM_POP(&v);
-        VM_PUSH(v);
-        VM_PUSH(v);
-        ++pc;
-        continue;
-      }
-      case Op::kSwap: {
-        uint64_t a, b;
-        VM_POP(&a);
-        VM_POP(&b);
-        VM_PUSH(a);
-        VM_PUSH(b);
-        ++pc;
-        continue;
-      }
-#define VM_BINOP(name, expr)          \
-  case Op::name: {                    \
-    uint64_t rhs, lhs;                \
-    VM_POP(&rhs);                     \
-    VM_POP(&lhs);                     \
-    VM_PUSH(expr);                    \
-    ++pc;                             \
-    continue;                         \
+#endif
+
+#define VM_BINOP(name, value, expr)  \
+  VM_OP(name, value) {               \
+    VM_METER();                      \
+    uint64_t rhs = stack[--sp];      \
+    uint64_t lhs = stack[sp - 1];    \
+    stack[sp - 1] = (expr);          \
+    ++pc;                            \
+    VM_NEXT();                       \
   }
-      VM_BINOP(kAdd, lhs + rhs)
-      VM_BINOP(kSub, lhs - rhs)
-      VM_BINOP(kMul, lhs * rhs)
-      VM_BINOP(kAnd, lhs & rhs)
-      VM_BINOP(kOr, lhs | rhs)
-      VM_BINOP(kXor, lhs ^ rhs)
-      VM_BINOP(kShl, rhs >= 64 ? 0 : lhs << rhs)
-      VM_BINOP(kShr, rhs >= 64 ? 0 : lhs >> rhs)
-      VM_BINOP(kEq, lhs == rhs ? 1 : 0)
-      VM_BINOP(kNe, lhs != rhs ? 1 : 0)
-      VM_BINOP(kLtU, lhs < rhs ? 1 : 0)
-      VM_BINOP(kGtU, lhs > rhs ? 1 : 0)
+
+#define VM_LOAD(name, value, width)                                  \
+  VM_OP(name, value) {                                               \
+    VM_METER();                                                      \
+    uint64_t addr = stack[sp - 1];                                   \
+    if constexpr (sandboxed) {                                       \
+      ++counters.checks;                                             \
+      /* overflow-proof: addr + width can wrap for addr near 2^64 */ \
+      if (addr > mem_size || mem_size - addr < (width)) {            \
+        return Status(ErrorCode::kOutOfRange, "load out of bounds"); \
+      }                                                              \
+    }                                                                \
+    /* trusted: raw access — certified code IS trusted with this memory */ \
+    uint64_t loaded = 0;                                             \
+    std::memcpy(&loaded, mem + addr, (width));                       \
+    stack[sp - 1] = loaded;                                          \
+    ++pc;                                                            \
+    VM_NEXT();                                                       \
+  }
+
+#define VM_STORE(name, value, width)                                  \
+  VM_OP(name, value) {                                                \
+    VM_METER();                                                       \
+    uint64_t stored = stack[--sp];                                    \
+    uint64_t addr = stack[--sp];                                      \
+    if constexpr (sandboxed) {                                        \
+      ++counters.checks;                                              \
+      /* overflow-proof: addr + width can wrap for addr near 2^64 */  \
+      if (addr > mem_size || mem_size - addr < (width)) {             \
+        return Status(ErrorCode::kOutOfRange, "store out of bounds"); \
+      }                                                               \
+    }                                                                 \
+    std::memcpy(mem + addr, &stored, (width));                        \
+    ++pc;                                                             \
+    VM_NEXT();                                                        \
+  }
+
+  VM_DISPATCH_BEGIN()
+
+  VM_OP(halt, Op::kHalt) {
+    VM_METER();
+    return uint64_t{0};
+  }
+  VM_OP(push, Op::kPush) {
+    VM_METER();
+    stack[sp++] = insn->imm;
+    ++pc;
+    VM_NEXT();
+  }
+  VM_OP(drop, Op::kDrop) {
+    VM_METER();
+    --sp;
+    ++pc;
+    VM_NEXT();
+  }
+  VM_OP(dup, Op::kDup) {
+    VM_METER();
+    stack[sp] = stack[sp - 1];
+    ++sp;
+    ++pc;
+    VM_NEXT();
+  }
+  VM_OP(swap, Op::kSwap) {
+    VM_METER();
+    std::swap(stack[sp - 1], stack[sp - 2]);
+    ++pc;
+    VM_NEXT();
+  }
+
+  VM_BINOP(add, Op::kAdd, lhs + rhs)
+  VM_BINOP(sub, Op::kSub, lhs - rhs)
+  VM_BINOP(mul, Op::kMul, lhs * rhs)
+  VM_BINOP(and_, Op::kAnd, lhs & rhs)
+  VM_BINOP(or_, Op::kOr, lhs | rhs)
+  VM_BINOP(xor_, Op::kXor, lhs ^ rhs)
+  VM_BINOP(shl, Op::kShl, rhs >= 64 ? 0 : lhs << rhs)
+  VM_BINOP(shr, Op::kShr, rhs >= 64 ? 0 : lhs >> rhs)
+  VM_BINOP(eq, Op::kEq, lhs == rhs ? 1 : 0)
+  VM_BINOP(ne, Op::kNe, lhs != rhs ? 1 : 0)
+  VM_BINOP(ltu, Op::kLtU, lhs < rhs ? 1 : 0)
+  VM_BINOP(gtu, Op::kGtU, lhs > rhs ? 1 : 0)
+
+  VM_OP(divu, Op::kDivU) {
+    VM_METER();
+    uint64_t rhs = stack[--sp];
+    if (rhs == 0) {
+      return Status(ErrorCode::kInvalidArgument, "divide by zero");
+    }
+    stack[sp - 1] /= rhs;
+    ++pc;
+    VM_NEXT();
+  }
+  VM_OP(remu, Op::kRemU) {
+    VM_METER();
+    uint64_t rhs = stack[--sp];
+    if (rhs == 0) {
+      return Status(ErrorCode::kInvalidArgument, "divide by zero");
+    }
+    stack[sp - 1] %= rhs;
+    ++pc;
+    VM_NEXT();
+  }
+  VM_OP(not_, Op::kNot) {
+    VM_METER();
+    stack[sp - 1] = stack[sp - 1] == 0 ? 1 : 0;
+    ++pc;
+    VM_NEXT();
+  }
+
+  VM_LOAD(load8, Op::kLoad8, 1)
+  VM_LOAD(load16, Op::kLoad16, 2)
+  VM_LOAD(load32, Op::kLoad32, 4)
+  VM_LOAD(load64, Op::kLoad64, 8)
+  VM_STORE(store8, Op::kStore8, 1)
+  VM_STORE(store16, Op::kStore16, 2)
+  VM_STORE(store32, Op::kStore32, 4)
+  VM_STORE(store64, Op::kStore64, 8)
+
+  VM_OP(jmp, Op::kJmp) {
+    VM_METER();
+    pc = insn->target;  // verified: always an instruction start, in bounds
+    VM_NEXT();
+  }
+  VM_OP(jz, Op::kJz) {
+    VM_METER();
+    pc = (stack[--sp] == 0) ? insn->target : pc + 1;
+    VM_NEXT();
+  }
+  VM_OP(jnz, Op::kJnz) {
+    VM_METER();
+    pc = (stack[--sp] != 0) ? insn->target : pc + 1;
+    VM_NEXT();
+  }
+  VM_OP(call, Op::kCall) {
+    VM_METER();
+    if (csp >= kCallDepth) {
+      return Status(ErrorCode::kResourceExhausted, "call depth exceeded");
+    }
+    ++counters.calls;
+    call_stack[csp++] = pc + 1;  // fixed-width stream: return pc is one slot on
+    pc = insn->target;
+    VM_NEXT();
+  }
+  VM_OP(ret, Op::kRet) {
+    VM_METER();
+    if (csp == 0) {
+      return uint64_t{0};  // return from outermost frame = halt
+    }
+    pc = call_stack[--csp];
+    VM_NEXT();
+  }
+  VM_OP(ldarg, Op::kLdArg) {
+    VM_METER();
+    stack[sp++] = args[insn->arg];
+    ++pc;
+    VM_NEXT();
+  }
+  VM_OP(retv, Op::kRetV) {
+    VM_METER();
+    return stack[--sp];
+  }
+
+  // Synthetic: the per-block stack envelope the verifier hoisted out of the
+  // block body. Runs in BOTH modes (it guards the host-side stack array),
+  // but is not metered — instruction counts and fuel refer to the byte
+  // program. One check here licenses every raw stack[sp] access until the
+  // block's terminator.
+  VM_OP(check, kOpCheckStack) {
+    if (sp < StackCheckNeed(insn->imm)) {
+      return Status(ErrorCode::kFailedPrecondition, "stack underflow");
+    }
+    if (sp + StackCheckGrow(insn->imm) > kStackSlots) {
+      return Status(ErrorCode::kResourceExhausted, "stack overflow");
+    }
+    ++pc;
+    VM_NEXT();
+  }
+  // Synthetic: execution fell off the end of the program.
+  VM_OP(end, kOpEndOfCode) {
+    return Status(ErrorCode::kOutOfRange, "pc out of code");
+  }
+
+  VM_DISPATCH_END()
+
+#undef VM_METER
+#undef VM_OP
+#undef VM_NEXT
+#undef VM_DISPATCH_BEGIN
+#undef VM_DISPATCH_END
 #undef VM_BINOP
-      case Op::kDivU: {
-        uint64_t rhs, lhs;
-        VM_POP(&rhs);
-        VM_POP(&lhs);
-        if (rhs == 0) {
-          return Status(ErrorCode::kInvalidArgument, "divide by zero");
-        }
-        VM_PUSH(lhs / rhs);
-        ++pc;
-        continue;
-      }
-      case Op::kRemU: {
-        uint64_t rhs, lhs;
-        VM_POP(&rhs);
-        VM_POP(&lhs);
-        if (rhs == 0) {
-          return Status(ErrorCode::kInvalidArgument, "divide by zero");
-        }
-        VM_PUSH(lhs % rhs);
-        ++pc;
-        continue;
-      }
-      case Op::kNot: {
-        uint64_t v;
-        VM_POP(&v);
-        VM_PUSH(v == 0 ? 1 : 0);
-        ++pc;
-        continue;
-      }
-#define VM_LOAD(name, width)                                                     \
-  case Op::name: {                                                               \
-    uint64_t addr;                                                               \
-    VM_POP(&addr);                                                               \
-    if constexpr (sandboxed) {                                                   \
-      ++counters.checks;                                                    \
-      if (addr + (width) > mem_size) {                                           \
-        return Status(ErrorCode::kOutOfRange, "load out of bounds");             \
-      }                                                                          \
-    }                                                                            \
-    /* trusted mode: raw access — certified code IS trusted with this memory */  \
-    uint64_t value = 0;                                                          \
-    std::memcpy(&value, mem + addr, (width));                                    \
-    VM_PUSH(value);                                                              \
-    ++pc;                                                                        \
-    continue;                                                                    \
-  }
-      VM_LOAD(kLoad8, 1)
-      VM_LOAD(kLoad16, 2)
-      VM_LOAD(kLoad32, 4)
-      VM_LOAD(kLoad64, 8)
 #undef VM_LOAD
-#define VM_STORE(name, width)                                                    \
-  case Op::name: {                                                               \
-    uint64_t value, addr;                                                        \
-    VM_POP(&value);                                                              \
-    VM_POP(&addr);                                                               \
-    if constexpr (sandboxed) {                                                   \
-      ++counters.checks;                                                    \
-      if (addr + (width) > mem_size) {                                           \
-        return Status(ErrorCode::kOutOfRange, "store out of bounds");            \
-      }                                                                          \
-    }                                                                            \
-    std::memcpy(mem + addr, &value, (width));                                    \
-    pc += 1;                                                                     \
-    continue;                                                                    \
-  }
-      VM_STORE(kStore8, 1)
-      VM_STORE(kStore16, 2)
-      VM_STORE(kStore32, 4)
-      VM_STORE(kStore64, 8)
 #undef VM_STORE
-      case Op::kJmp: {
-        int32_t rel;
-        std::memcpy(&rel, code + pc + 1, 4);
-        pc = static_cast<size_t>(static_cast<int64_t>(pc + 5) + rel);
-        if constexpr (sandboxed) {
-          if (pc >= code_size) {
-            return Status(ErrorCode::kOutOfRange, "jump out of code");
-          }
-        }
-        continue;
-      }
-      case Op::kJz: {
-        uint64_t v;
-        VM_POP(&v);
-        int32_t rel;
-        std::memcpy(&rel, code + pc + 1, 4);
-        pc = (v == 0) ? static_cast<size_t>(static_cast<int64_t>(pc + 5) + rel) : pc + 5;
-        continue;
-      }
-      case Op::kJnz: {
-        uint64_t v;
-        VM_POP(&v);
-        int32_t rel;
-        std::memcpy(&rel, code + pc + 1, 4);
-        pc = (v != 0) ? static_cast<size_t>(static_cast<int64_t>(pc + 5) + rel) : pc + 5;
-        continue;
-      }
-      case Op::kCall: {
-        if (csp >= kCallDepth) {
-          return Status(ErrorCode::kResourceExhausted, "call depth exceeded");
-        }
-        ++counters.calls;
-        int32_t rel;
-        std::memcpy(&rel, code + pc + 1, 4);
-        call_stack[csp++] = pc + 5;
-        pc = static_cast<size_t>(static_cast<int64_t>(pc + 5) + rel);
-        continue;
-      }
-      case Op::kRet: {
-        if (csp == 0) {
-          return uint64_t{0};  // return from outermost frame = halt
-        }
-        pc = call_stack[--csp];
-        continue;
-      }
-      case Op::kLdArg: {
-        uint8_t index = code[pc + 1];
-        VM_PUSH(args[index & 3]);
-        pc += 2;
-        continue;
-      }
-      case Op::kRetV: {
-        uint64_t v;
-        VM_POP(&v);
-        return v;
-      }
-      case Op::kOpCount:
-        break;
-    }
-    return Status(ErrorCode::kInvalidArgument, "invalid opcode at runtime");
-  }
-#undef VM_PUSH
-#undef VM_POP
 }
 
 }  // namespace para::sfi

@@ -1,7 +1,15 @@
-// The SFI interpreter. Two execution modes (see isa.h):
+// The SFI execution engine. Two execution modes (see isa.h):
 //  * kSandboxed — per-access bounds checks + instruction metering: the
 //    run-time cost the Exo-kernel/SPIN-style approach pays forever;
 //  * kTrusted  — no checks: what load-time certification buys (§4).
+//
+// Since the threaded-engine refactor the VM executes a VerifiedProgram's
+// pre-decoded instruction stream (verified_program.h) by computed-goto
+// threaded dispatch — there is no bytecode decode, no pc bounds branch, and
+// no per-push stack check on the hot path. A Vm cannot be constructed from a
+// raw Program at all: the only way to execute is to verify first, which is
+// the paper's load-time-verification contract made unskippable by the type
+// system.
 #ifndef PARAMECIUM_SRC_SFI_VM_H_
 #define PARAMECIUM_SRC_SFI_VM_H_
 
@@ -9,14 +17,14 @@
 #include <vector>
 
 #include "src/base/status.h"
-#include "src/sfi/isa.h"
+#include "src/sfi/verified_program.h"
 
 namespace para::sfi {
 
 enum class ExecMode : uint8_t { kSandboxed, kTrusted };
 
 struct VmStats {
-  uint64_t instructions = 0;
+  uint64_t instructions = 0;  // real instructions retired (synthetics excluded)
   uint64_t bounds_checks = 0;
   uint64_t calls = 0;
 };
@@ -27,32 +35,38 @@ class Vm {
   static constexpr size_t kCallDepth = 256;
   static constexpr uint64_t kDefaultFuel = 100'000'000;
 
-  Vm(const Program* program, ExecMode mode);
+  // The program must outlive the Vm. Callers typically hold it through a
+  // shared_ptr from VerifiedProgramCache or by value next to the Vm.
+  Vm(const VerifiedProgram* program, ExecMode mode);
 
   // Runs entry point `method` with up to four arguments. Returns the value
-  // produced by retv/halt. Sandboxed mode pays every dynamic check (pc
-  // bounds, fuel metering, memory bounds, jump-target validation) and
-  // returns kOutOfRange / kResourceExhausted on violations. Trusted mode
-  // runs with NO run-time checks at all: out-of-bounds access by a trusted
-  // program is undefined behaviour, exactly as it is for certified native
-  // code in the paper's model — which is why only *verified and certified*
-  // programs may be instantiated trusted (SfiComponent enforces the
-  // verifier; the loader enforces the certificate).
+  // produced by retv/halt. Sandboxed mode pays every dynamic check (fuel
+  // metering, memory bounds) and returns kOutOfRange / kResourceExhausted on
+  // violations; stack discipline is enforced in both modes, but hoisted to
+  // one envelope check per basic block (the verifier computed the
+  // envelopes). Trusted mode otherwise runs with NO run-time checks at all:
+  // out-of-bounds access by a trusted program is undefined behaviour,
+  // exactly as it is for certified native code in the paper's model — which
+  // is why only *verified and certified* programs may be instantiated
+  // trusted (SfiComponent enforces the verifier; the loader enforces the
+  // certificate).
   Result<uint64_t> Run(size_t method, uint64_t a0 = 0, uint64_t a1 = 0, uint64_t a2 = 0,
                        uint64_t a3 = 0);
 
   std::vector<uint8_t>& memory() { return memory_; }
   const VmStats& stats() const { return stats_; }
   ExecMode mode() const { return mode_; }
+  const VerifiedProgram& program() const { return *program_; }
   void set_fuel(uint64_t fuel) { fuel_ = fuel; }
 
  private:
-  // The interpreter loop, specialized per mode at compile time so trusted
-  // execution carries no residue of the sandbox checks.
+  // The dispatch loop, specialized per mode at compile time so trusted
+  // execution carries no residue of the sandbox checks. Computed-goto
+  // threaded code under GCC/Clang, a switch loop elsewhere.
   template <bool kSandboxed>
   Result<uint64_t> RunImpl(size_t method, uint64_t a0, uint64_t a1, uint64_t a2, uint64_t a3);
 
-  const Program* program_;
+  const VerifiedProgram* program_;
   ExecMode mode_;
   std::vector<uint8_t> memory_;
   uint64_t fuel_ = kDefaultFuel;

@@ -243,8 +243,12 @@ TEST_F(FilterIntegrationTest, FlowEvictionUnderPressureForcesReevaluation) {
 }
 
 TEST_F(FilterIntegrationTest, FilterChainsAreNamedDirectoryObjects) {
-  auto ingress = PacketFilter::Create({.name = "ingress"});
-  auto egress = PacketFilter::Create({.name = "egress"});
+  FilterConfig ingress_config;
+  ingress_config.name = "ingress";
+  FilterConfig egress_config;
+  egress_config.name = "egress";
+  auto ingress = PacketFilter::Create(ingress_config);
+  auto egress = PacketFilter::Create(egress_config);
   ASSERT_TRUE(ingress.ok() && egress.ok());
   auto rules = ParseRules("count dport 80\ndefault pass\n");
   ASSERT_TRUE(rules.ok());

@@ -128,10 +128,10 @@ TEST(CompilerTest, CompiledProgramVerifies) {
   ASSERT_TRUE(compiled.ok());
   EXPECT_EQ(compiled->rule_count, 2u);
   EXPECT_EQ(compiled->payload_bytes_needed, 1u);
-  auto report = sfi::Verify(compiled->program);
-  ASSERT_TRUE(report.ok()) << report.status().message();
-  EXPECT_GT(report->jumps, 0u);
-  EXPECT_GT(report->memory_ops, 0u);
+  auto verified = sfi::Verify(compiled->program);
+  ASSERT_TRUE(verified.ok()) << verified.status().message();
+  EXPECT_GT(verified->report.jumps, 0u);
+  EXPECT_GT(verified->report.memory_ops, 0u);
 }
 
 TEST(CompilerTest, FirstMatchWinsAndDefaultApplies) {
@@ -143,7 +143,9 @@ TEST(CompilerTest, FirstMatchWinsAndDefaultApplies) {
   ASSERT_TRUE(set.ok());
   auto compiled = CompileRules(*set);
   ASSERT_TRUE(compiled.ok());
-  sfi::Vm vm(&compiled->program, sfi::ExecMode::kSandboxed);
+  auto verified = sfi::Verify(compiled->program);
+  ASSERT_TRUE(verified.ok());
+  sfi::Vm vm(&*verified, sfi::ExecMode::kSandboxed);
 
   PacketView http{1, 2, 1234, 80, net::kIpProtoUdpLite, {}};
   FilterDecision d = DecodeVerdict(RunCompiled(*compiled, vm, http));
@@ -166,7 +168,9 @@ TEST(CompilerTest, PayloadMatchRespectsLengthAndMask) {
   ASSERT_TRUE(set.ok());
   auto compiled = CompileRules(*set);
   ASSERT_TRUE(compiled.ok());
-  sfi::Vm vm(&compiled->program, sfi::ExecMode::kSandboxed);
+  auto verified = sfi::Verify(compiled->program);
+  ASSERT_TRUE(verified.ok());
+  sfi::Vm vm(&*verified, sfi::ExecMode::kSandboxed);
 
   std::string long_match = "xxxx\x7Fzz";   // byte 4 = 0x7F, & 0xC0 == 0x40
   std::string long_miss = "xxxx\xC1zz";    // byte 4 & 0xC0 == 0xC0
@@ -234,11 +238,19 @@ TEST(CompilerTest, DifferentialAgainstNativeMatcher) {
       set.rules.push_back(std::move(rule));
     }
 
-    auto compiled = CompileRules(set);
-    ASSERT_TRUE(compiled.ok());
-    ASSERT_TRUE(sfi::Verify(compiled->program).ok());
-    sfi::Vm sandboxed(&compiled->program, sfi::ExecMode::kSandboxed);
-    sfi::Vm trusted(&compiled->program, sfi::ExecMode::kTrusted);
+    auto linear = CompileRules(set, {CompileBackend::kLinear});
+    auto tree = CompileRules(set, {CompileBackend::kDecisionTree});
+    ASSERT_TRUE(linear.ok());
+    ASSERT_TRUE(tree.ok());
+    EXPECT_EQ(linear->backend, CompileBackend::kLinear);
+    auto linear_verified = sfi::Verify(linear->program);
+    auto tree_verified = sfi::Verify(tree->program);
+    ASSERT_TRUE(linear_verified.ok());
+    ASSERT_TRUE(tree_verified.ok());
+    sfi::Vm sandboxed(&*linear_verified, sfi::ExecMode::kSandboxed);
+    sfi::Vm trusted(&*linear_verified, sfi::ExecMode::kTrusted);
+    sfi::Vm tree_sandboxed(&*tree_verified, sfi::ExecMode::kSandboxed);
+    sfi::Vm tree_trusted(&*tree_verified, sfi::ExecMode::kTrusted);
 
     for (int pkt = 0; pkt < 50; ++pkt) {
       std::vector<uint8_t> payload(rng.NextBelow(8));
@@ -260,12 +272,101 @@ TEST(CompilerTest, DifferentialAgainstNativeMatcher) {
       view.payload = payload;
 
       uint64_t expected = NativeMatch(set, view);
-      EXPECT_EQ(RunCompiled(*compiled, sandboxed, view), expected)
+      EXPECT_EQ(RunCompiled(*linear, sandboxed, view), expected)
           << "sandboxed divergence, round " << round << " pkt " << pkt;
-      EXPECT_EQ(RunCompiled(*compiled, trusted, view), expected)
+      EXPECT_EQ(RunCompiled(*linear, trusted, view), expected)
           << "trusted divergence, round " << round << " pkt " << pkt;
+      EXPECT_EQ(RunCompiled(*tree, tree_sandboxed, view), expected)
+          << "tree sandboxed divergence, round " << round << " pkt " << pkt;
+      EXPECT_EQ(RunCompiled(*tree, tree_trusted, view), expected)
+          << "tree trusted divergence, round " << round << " pkt " << pkt;
     }
   }
+}
+
+// --- decision-tree backend --------------------------------------------------
+
+TEST(DecisionTreeTest, SplitsOnDiscriminatingField) {
+  // 64 rules pinning distinct /32 destinations: the tree must dispatch
+  // instead of chaining, and a packet for the last rule must execute far
+  // fewer instructions than the linear walk.
+  RuleSet set;
+  for (uint32_t i = 0; i < 64; ++i) {
+    Rule rule;
+    rule.verdict = FilterVerdict::kDrop;
+    rule.dst_ip = 0x0A000000u + i;
+    rule.dst_prefix = 32;
+    set.rules.push_back(rule);
+  }
+  set.default_verdict = FilterVerdict::kPass;
+
+  auto tree = CompileRules(set, {CompileBackend::kDecisionTree});
+  auto linear = CompileRules(set, {CompileBackend::kLinear});
+  ASSERT_TRUE(tree.ok());
+  ASSERT_TRUE(linear.ok());
+  EXPECT_EQ(tree->backend, CompileBackend::kDecisionTree);
+  EXPECT_GT(tree->dispatch_nodes, 0u);
+  EXPECT_EQ(tree->emitted_rule_instances, 64u);  // no wildcards, no duplication
+
+  auto tree_verified = sfi::Verify(tree->program);
+  auto linear_verified = sfi::Verify(linear->program);
+  ASSERT_TRUE(tree_verified.ok());
+  ASSERT_TRUE(linear_verified.ok());
+  sfi::Vm tree_vm(&*tree_verified, sfi::ExecMode::kSandboxed);
+  sfi::Vm linear_vm(&*linear_verified, sfi::ExecMode::kSandboxed);
+
+  PacketView view{1, 0x0A000000u + 63, 1, 2, 0, {}};
+  uint64_t expected = NativeMatch(set, view);
+  EXPECT_EQ(RunCompiled(*tree, tree_vm, view), expected);
+  EXPECT_EQ(RunCompiled(*linear, linear_vm, view), expected);
+  // The point of the exercise: logarithmic dispatch, not a 63-rule walk.
+  EXPECT_LT(tree_vm.stats().instructions, linear_vm.stats().instructions / 4);
+}
+
+TEST(DecisionTreeTest, FirstMatchSemanticsSurviveBucketing) {
+  // A shadowing wildcard rule between exact rules: bucketing must keep it in
+  // every bucket at its original priority.
+  auto set = ParseRules(
+      "drop dport 10\n"
+      "count proto 1\n"        // wildcard on dport: rides into every bucket
+      "pass dport 10\n"        // shadowed by rule 0 for dport 10
+      "reject dport 20\n"
+      "drop dport 30\n"
+      "pass dport 40\n"
+      "default pass\n");
+  ASSERT_TRUE(set.ok());
+  auto tree = CompileRules(*set, {CompileBackend::kDecisionTree});
+  ASSERT_TRUE(tree.ok());
+  auto verified = sfi::Verify(tree->program);
+  ASSERT_TRUE(verified.ok());
+  sfi::Vm vm(&*verified, sfi::ExecMode::kSandboxed);
+
+  struct Case {
+    net::Port dport;
+    uint8_t proto;
+  };
+  for (const Case& c : {Case{10, 0}, Case{10, 1}, Case{20, 1}, Case{20, 0}, Case{30, 0},
+                        Case{40, 1}, Case{77, 0}, Case{77, 1}}) {
+    PacketView view{1, 2, 3, c.dport, c.proto, {}};
+    EXPECT_EQ(RunCompiled(*tree, vm, view), NativeMatch(*set, view))
+        << "dport=" << c.dport << " proto=" << static_cast<int>(c.proto);
+  }
+}
+
+TEST(DecisionTreeTest, FallsBackToLinearWhenNothingDiscriminates) {
+  // Port ranges and short prefixes are wildcards to the dispatcher: with no
+  // exactly-constrained field, the tree degenerates to the linear chain.
+  auto set = ParseRules(
+      "drop sport 1000-2000\n"
+      "pass from 10.0.0.0/8\n"
+      "count dport 5000-6000\n"
+      "reject from 192.168.0.0/16\n"
+      "default drop\n");
+  ASSERT_TRUE(set.ok());
+  auto compiled = CompileRules(*set, {CompileBackend::kDecisionTree});
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_EQ(compiled->backend, CompileBackend::kLinear);
+  EXPECT_EQ(compiled->dispatch_nodes, 0u);
 }
 
 // --- verifier rejection paths (the filter must never load unverified code) --
@@ -506,6 +607,101 @@ TEST(PacketFilterTest, HotReloadPreservesEstablishedFlows) {
   PacketView fresh{0x0A000001, 0x0A000002, 4001, 80, net::kIpProtoUdpLite, {}};
   EXPECT_EQ((*filter)->Evaluate(fresh, FilterDirection::kIngress).verdict,
             FilterVerdict::kDrop);
+}
+
+TEST(PacketFilterTest, ReplyTrafficSharesEstablishedFlow) {
+  // Rules pass only dport 80 — the reply (sport 80) would be dropped if it
+  // were evaluated, so the reverse-tuple fast path is what lets it through,
+  // exactly like a stateful firewall admitting return traffic.
+  auto rules = ParseRules("pass dport 80\ndefault drop\n");
+  ASSERT_TRUE(rules.ok());
+  auto filter = PacketFilter::Create({});
+  ASSERT_TRUE(filter.ok());
+  ASSERT_TRUE((*filter)->Load(*rules).ok());
+
+  std::string req = "GET /";
+  std::string resp = "200 OK!!";
+  PacketView request{0x0A000001, 0x0A000002, 4000, 80, net::kIpProtoUdpLite, Bytes(req)};
+  PacketView reply{0x0A000002, 0x0A000001, 80, 4000, net::kIpProtoUdpLite, Bytes(resp)};
+
+  EXPECT_EQ((*filter)->Evaluate(request, FilterDirection::kEgress).verdict,
+            FilterVerdict::kPass);
+  EXPECT_EQ((*filter)->Evaluate(reply, FilterDirection::kIngress).verdict,
+            FilterVerdict::kPass);
+  EXPECT_EQ((*filter)->flows().size(), 1u);  // one shared entry, not two
+  EXPECT_EQ((*filter)->stats().flow_hits, 1u);
+  EXPECT_EQ((*filter)->stats().flow_hits_reverse, 1u);
+
+  FlowKey key{request.src_ip, request.dst_ip, request.src_port, request.dst_port,
+              request.proto};
+  FlowEntry* flow = (*filter)->flows().Find(key);
+  ASSERT_NE(flow, nullptr);
+  EXPECT_EQ(flow->packets, 1u);
+  EXPECT_EQ(flow->bytes, req.size());
+  EXPECT_EQ(flow->reverse_packets, 1u);
+  EXPECT_EQ(flow->reverse_bytes, resp.size());
+}
+
+TEST(PacketFilterTest, FlowTtlExpiresOnVirtualClock) {
+  auto rules = ParseRules("pass dport 80\ndefault drop\n");
+  ASSERT_TRUE(rules.ok());
+  VirtualClock clock;
+  FilterConfig config;
+  config.clock = &clock;
+  config.flow_ttl = 1000;
+  auto filter = PacketFilter::Create(config);
+  ASSERT_TRUE(filter.ok());
+  ASSERT_TRUE((*filter)->Load(*rules).ok());
+
+  PacketView view{0x0A000001, 0x0A000002, 4000, 80, net::kIpProtoUdpLite, {}};
+  EXPECT_EQ((*filter)->Evaluate(view, FilterDirection::kIngress).verdict,
+            FilterVerdict::kPass);
+  clock.Advance(500);
+  (void)(*filter)->Evaluate(view, FilterDirection::kIngress);
+  EXPECT_EQ((*filter)->stats().flow_hits, 1u);  // inside the TTL: cached
+
+  // Idle past the TTL: the flow is gone; the next packet re-evaluates (and
+  // re-establishes).
+  clock.Advance(1000);
+  (void)(*filter)->Evaluate(view, FilterDirection::kIngress);
+  EXPECT_EQ((*filter)->stats().flow_hits, 1u);
+  EXPECT_EQ((*filter)->flows().stats().expirations, 1u);
+  EXPECT_EQ((*filter)->flows().size(), 1u);
+}
+
+TEST(PacketFilterTest, SharedProgramCacheMakesReloadsHits) {
+  auto rules_a = ParseRules("pass dport 80\ndefault drop\n");
+  auto rules_b = ParseRules("pass dport 443\ndefault drop\n");
+  ASSERT_TRUE(rules_a.ok() && rules_b.ok());
+
+  sfi::VerifiedProgramCache cache(8);
+  FilterConfig config;
+  config.program_cache = &cache;
+  auto filter = PacketFilter::Create(config);
+  ASSERT_TRUE(filter.ok());
+
+  // Bootstrap (empty set) + first load: misses.
+  ASSERT_TRUE((*filter)->Load(*rules_a).ok());
+  uint64_t misses_after_first = cache.stats().misses;
+  EXPECT_EQ(cache.stats().hits, 0u);
+
+  // Flipping between two known rule sets re-decodes nothing.
+  ASSERT_TRUE((*filter)->Load(*rules_b).ok());
+  ASSERT_TRUE((*filter)->Load(*rules_a).ok());
+  ASSERT_TRUE((*filter)->Load(*rules_b).ok());
+  EXPECT_EQ(cache.stats().misses, misses_after_first + 1);  // only rules_b was new
+  EXPECT_EQ(cache.stats().hits, 2u);
+
+  // Invalidation-on-reload: retiring the installed program's identity from
+  // the cache forces the next load of those rules through the verifier,
+  // while the filter (still holding the shared artifact) keeps evaluating.
+  ASSERT_TRUE(cache.Invalidate((*filter)->verified_program().identity()));
+  PacketView view{1, 2, 3, 443, net::kIpProtoUdpLite, {}};
+  EXPECT_EQ((*filter)->Evaluate(view, FilterDirection::kIngress).verdict,
+            FilterVerdict::kPass);
+  uint64_t misses_before = cache.stats().misses;
+  ASSERT_TRUE((*filter)->Load(*rules_b).ok());
+  EXPECT_EQ(cache.stats().misses, misses_before + 1);  // re-verified
 }
 
 TEST(PacketFilterTest, ExportsFilterInterface) {

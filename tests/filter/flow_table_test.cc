@@ -85,6 +85,101 @@ TEST(FlowTableTest, EraseAndClear) {
   EXPECT_EQ(table.Find(Key(2)), nullptr);
 }
 
+TEST(FlowTableTest, ReverseTupleSharesEstablishedEntry) {
+  FlowTable table(4);
+  FlowEntry* entry = table.Insert(Key(1), 0x42, 1);
+  ASSERT_NE(entry, nullptr);
+
+  // The reply direction: src/dst and ports swapped.
+  FlowTable::Direction dir = FlowTable::Direction::kForward;
+  FlowEntry* reply = table.Find(Key(1).Reversed(), &dir);
+  ASSERT_NE(reply, nullptr);
+  EXPECT_EQ(reply, table.Find(Key(1)));  // same entry, not a second flow
+  EXPECT_EQ(dir, FlowTable::Direction::kReverse);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.stats().reverse_hits, 1u);
+
+  // Forward lookups report forward.
+  dir = FlowTable::Direction::kReverse;
+  ASSERT_NE(table.Find(Key(1), &dir), nullptr);
+  EXPECT_EQ(dir, FlowTable::Direction::kForward);
+  EXPECT_EQ(table.stats().reverse_hits, 1u);
+
+  // An unrelated reversed tuple is still a miss.
+  EXPECT_EQ(table.Find(Key(2).Reversed()), nullptr);
+}
+
+TEST(FlowTableTest, ReverseHitRefreshesLruPosition) {
+  FlowTable table(2);
+  table.Insert(Key(1), 1, 1);
+  table.Insert(Key(2), 2, 1);
+  // Touch flow 1 via its reply direction; flow 2 becomes the LRU victim.
+  ASSERT_NE(table.Find(Key(1).Reversed()), nullptr);
+  table.Insert(Key(3), 3, 1);
+  EXPECT_NE(table.Find(Key(1)), nullptr);
+  EXPECT_EQ(table.Find(Key(2)), nullptr);
+}
+
+TEST(FlowTableTest, TtlExpiresIdleFlows) {
+  VirtualClock clock;
+  FlowTable table(8, &clock, /*ttl=*/100);
+  table.Insert(Key(1), 1, 1);
+
+  clock.Advance(99);
+  ASSERT_NE(table.Find(Key(1)), nullptr);  // touched: idle timer restarts
+
+  clock.Advance(99);
+  ASSERT_NE(table.Find(Key(1)), nullptr);  // still inside the refreshed window
+
+  clock.Advance(100);
+  EXPECT_EQ(table.Find(Key(1)), nullptr);  // idle a full TTL: expired
+  EXPECT_EQ(table.stats().expirations, 1u);
+  EXPECT_EQ(table.size(), 0u);
+
+  // Reverse lookups expire idle entries too.
+  table.Insert(Key(2), 2, 1);
+  clock.Advance(100);
+  EXPECT_EQ(table.Find(Key(2).Reversed()), nullptr);
+  EXPECT_EQ(table.stats().expirations, 2u);
+}
+
+TEST(FlowTableTest, TtlUnderLruPressurePrefersExpiredVictims) {
+  VirtualClock clock;
+  constexpr size_t kCapacity = 8;
+  FlowTable table(kCapacity, &clock, /*ttl=*/50);
+
+  // Fill to capacity, then let everything go idle past the TTL.
+  for (uint32_t i = 0; i < kCapacity; ++i) {
+    table.Insert(Key(i), i, 1);
+  }
+  clock.Advance(60);
+
+  // Sustained churn at capacity: every insert reclaims an expired entry, so
+  // the table reports expirations, not LRU evictions of live flows.
+  for (uint32_t i = 100; i < 100 + kCapacity; ++i) {
+    table.Insert(Key(i), i, 1);
+    EXPECT_LE(table.size(), kCapacity);
+  }
+  EXPECT_EQ(table.stats().expirations, kCapacity);
+  EXPECT_EQ(table.stats().evictions, 0u);
+
+  // Fresh entries are all live; further pressure now evicts live LRU flows.
+  for (uint32_t i = 200; i < 200 + kCapacity; ++i) {
+    table.Insert(Key(i), i, 1);
+  }
+  EXPECT_EQ(table.stats().evictions, kCapacity);
+  EXPECT_EQ(table.size(), kCapacity);
+}
+
+TEST(FlowTableTest, ZeroTtlNeverExpires) {
+  VirtualClock clock;
+  FlowTable table(4, &clock, /*ttl=*/0);
+  table.Insert(Key(1), 1, 1);
+  clock.Advance(1u << 30);
+  EXPECT_NE(table.Find(Key(1)), nullptr);
+  EXPECT_EQ(table.stats().expirations, 0u);
+}
+
 TEST(FlowTableTest, CountersAccumulatePerFlow) {
   FlowTable table(4);
   FlowEntry* entry = table.Insert(Key(7), 0, 1);

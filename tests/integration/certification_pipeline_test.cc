@@ -6,6 +6,7 @@
 
 #include "src/sfi/assembler.h"
 #include "src/sfi/component.h"
+#include "src/sfi/program_cache.h"
 #include "tests/components/test_fixture.h"
 
 namespace para {
@@ -61,11 +62,15 @@ class CertPipelineTest : public NucleusFixture {
     EXPECT_TRUE(program.ok());
     program_ = std::move(*program);
 
+    // The factory shares one VerifiedProgramCache: re-instantiating the
+    // same component image re-uses the decoded artifact instead of
+    // re-verifying the bytecode.
     EXPECT_TRUE(nucleus_->repository()
                     .RegisterFactory("pktfilter.trusted",
                                      [this](Context*) {
                                        auto c = sfi::SfiComponent::Create(
-                                           program_, FilterType(), sfi::ExecMode::kTrusted);
+                                           program_, FilterType(), sfi::ExecMode::kTrusted,
+                                           &program_cache_);
                                        return c.ok() ? std::move(*c) : nullptr;
                                      })
                     .ok());
@@ -91,6 +96,7 @@ class CertPipelineTest : public NucleusFixture {
   std::unique_ptr<Certifier> admin_;
   CertifierChain chain_;
   sfi::Program program_;
+  sfi::VerifiedProgramCache program_cache_;
 };
 
 TEST_F(CertPipelineTest, SimpleComponentCertifiedByProver) {
@@ -138,6 +144,35 @@ TEST_F(CertPipelineTest, LoadedComponentActuallyRuns) {
   ASSERT_TRUE(iface.ok());
   EXPECT_EQ((*iface)->Invoke(0, 512), 1u);    // small frame: accept
   EXPECT_EQ((*iface)->Invoke(0, 9000), 0u);   // jumbo: reject
+}
+
+TEST_F(CertPipelineTest, RepeatedKernelLoadsHitBothCaches) {
+  // The load-and-cache contract on the nucleus path: the first kernel load
+  // pays full certificate validation and bytecode verification; loading the
+  // same certified image again skips the RSA work (validation cache keyed by
+  // program identity) and the decode (VerifiedProgramCache in the factory).
+  auto image = MakeImage("simple-filter", true);
+  ASSERT_TRUE(nucleus_->repository().Store(image).ok());
+
+  ASSERT_TRUE(nucleus_->loader()
+                  .Load("simple-filter", nucleus_->kernel_context(), "/kernel/filter-a")
+                  .ok());
+  EXPECT_EQ(nucleus_->certification().stats().cache_hits, 0u);
+  EXPECT_EQ(program_cache_.stats().misses, 1u);
+  EXPECT_EQ(program_cache_.stats().hits, 0u);
+
+  ASSERT_TRUE(nucleus_->loader()
+                  .Load("simple-filter", nucleus_->kernel_context(), "/kernel/filter-b")
+                  .ok());
+  EXPECT_EQ(nucleus_->certification().stats().cache_hits, 1u);
+  EXPECT_EQ(program_cache_.stats().hits, 1u);
+
+  // Both instances are live, distinct objects sharing one artifact.
+  auto a = nucleus_->directory().Bind("/kernel/filter-a", nucleus_->kernel_context());
+  auto b = nucleus_->directory().Bind("/kernel/filter-b", nucleus_->kernel_context());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a->object, b->object);
 }
 
 TEST_F(CertPipelineTest, TamperedImageRejectedAtLoad) {

@@ -1,0 +1,151 @@
+// VerifiedProgramCache: hit/miss accounting, LRU bounding, shared-artifact
+// lifetime (an in-flight Vm outlives invalidation), and the reload contract —
+// invalidating an identity forces the next load of those bytes through the
+// verifier again.
+#include <gtest/gtest.h>
+
+#include "src/sfi/assembler.h"
+#include "src/sfi/program_cache.h"
+#include "src/sfi/vm.h"
+
+namespace para::sfi {
+namespace {
+
+Program MakeProgram(uint64_t salt) {
+  Assembler as;
+  as.EmitPush(salt);
+  as.EmitLdArg(0);
+  as.Emit(Op::kAdd);
+  as.Emit(Op::kRetV);
+  auto program = as.Finish();
+  EXPECT_TRUE(program.ok());
+  return std::move(*program);
+}
+
+TEST(ProgramCacheTest, HitsShareOneArtifact) {
+  VerifiedProgramCache cache(8);
+  Program program = MakeProgram(7);
+
+  auto first = cache.GetOrVerify(program);
+  ASSERT_TRUE(first.ok());
+  auto second = cache.GetOrVerify(program);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->get(), second->get());  // same artifact, not a copy
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+
+  Vm vm(first->get(), ExecMode::kTrusted);
+  auto result = vm.Run(0, 35);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42u);
+}
+
+TEST(ProgramCacheTest, StructurallyDifferentProgramsDoNotCollide) {
+  // Identical code bytes, different memory size: must be distinct entries
+  // (certification digests only the code; the cache must not conflate).
+  VerifiedProgramCache cache(8);
+  Program a = MakeProgram(1);
+  Program b = a;
+  b.memory_bytes = a.memory_bytes * 2;
+
+  auto va = cache.GetOrVerify(a);
+  auto vb = cache.GetOrVerify(b);
+  ASSERT_TRUE(va.ok());
+  ASSERT_TRUE(vb.ok());
+  EXPECT_NE(va->get(), vb->get());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(ProgramCacheTest, KeyIsInjectiveAcrossFieldBoundaries) {
+  // Without length prefixes in the key, program B {code=C||le32(e1),
+  // entries=[e2]} would alias program A {code=C, entries=[e1,e2]} and be
+  // handed A's artifact without ever being verified itself.
+  Program a = MakeProgram(3);
+  a.entry_points = {0, 0};  // two entries at the same (valid) offset
+
+  Program b = a;
+  b.entry_points = {0};
+  uint32_t moved = 0;
+  for (int i = 0; i < 4; ++i) {
+    b.code.push_back(static_cast<uint8_t>(moved >> (8 * i)));
+  }
+
+  VerifiedProgramCache cache(8);
+  auto va = cache.GetOrVerify(a);
+  ASSERT_TRUE(va.ok());
+  // If the lookup aliased A, this would be a cache hit handing back A's
+  // artifact; with an injective key it is a miss that verifies B itself.
+  auto vb = cache.GetOrVerify(b);
+  ASSERT_TRUE(vb.ok());
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_NE(va->get(), vb->get());
+  EXPECT_NE((*va)->program.code.size(), (*vb)->program.code.size());
+  EXPECT_EQ((*va)->entry_points.size(), 2u);
+  EXPECT_EQ((*vb)->entry_points.size(), 1u);
+}
+
+TEST(ProgramCacheTest, VerificationFailuresAreNotCached) {
+  VerifiedProgramCache cache(8);
+  Program bad;
+  bad.code = {0xEE};
+  bad.entry_points = {0};
+  EXPECT_FALSE(cache.GetOrVerify(bad).ok());
+  EXPECT_FALSE(cache.GetOrVerify(bad).ok());
+  EXPECT_EQ(cache.stats().failures, 2u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ProgramCacheTest, LruEvictionStaysBounded) {
+  VerifiedProgramCache cache(4);
+  for (uint64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(cache.GetOrVerify(MakeProgram(i)).ok());
+    EXPECT_LE(cache.size(), 4u);
+  }
+  EXPECT_EQ(cache.stats().evictions, 6u);
+  // The most recent 4 are still hits...
+  for (uint64_t i = 6; i < 10; ++i) {
+    ASSERT_TRUE(cache.GetOrVerify(MakeProgram(i)).ok());
+  }
+  EXPECT_EQ(cache.stats().hits, 4u);
+  // ...and an evicted one re-verifies.
+  uint64_t misses = cache.stats().misses;
+  ASSERT_TRUE(cache.GetOrVerify(MakeProgram(0)).ok());
+  EXPECT_EQ(cache.stats().misses, misses + 1);
+}
+
+TEST(ProgramCacheTest, InvalidationForcesReverifyButSparesLiveUsers) {
+  // The reload contract: a loader replacing its program invalidates the old
+  // identity; the next load of those bytes is a verifier round trip, while a
+  // Vm still holding the old artifact keeps executing it safely.
+  VerifiedProgramCache cache(8);
+  Program program = MakeProgram(5);
+
+  auto verified = cache.GetOrVerify(program);
+  ASSERT_TRUE(verified.ok());
+  std::shared_ptr<const VerifiedProgram> live = *verified;
+  Vm vm(live.get(), ExecMode::kSandboxed);
+
+  EXPECT_TRUE(cache.Invalidate(program.identity()));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+  EXPECT_FALSE(cache.Invalidate(program.identity()));  // already gone
+
+  // The live artifact is unaffected by invalidation.
+  auto result = vm.Run(0, 1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 6u);
+
+  // Reload of the same bytes is a miss (re-verify), producing a distinct
+  // artifact.
+  uint64_t misses = cache.stats().misses;
+  auto reloaded = cache.GetOrVerify(program);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(cache.stats().misses, misses + 1);
+  EXPECT_NE(reloaded->get(), live.get());
+}
+
+}  // namespace
+}  // namespace para::sfi

@@ -110,11 +110,12 @@ TEST_P(SfiDifferentialTest, ModesAgreeOnRandomPrograms) {
   para::Random rng(static_cast<uint64_t>(GetParam()) * 0x9E37 + 5);
   for (int round = 0; round < 40; ++round) {
     Program program = GenerateProgram(rng, 60);
-    ASSERT_TRUE(Verify(program).ok());
+    auto verified = Verify(program);
+    ASSERT_TRUE(verified.ok());
 
     uint64_t a0 = rng.Next(), a1 = rng.Next(), a2 = rng.Next(), a3 = rng.Next();
-    Vm trusted(&program, ExecMode::kTrusted);
-    Vm sandboxed(&program, ExecMode::kSandboxed);
+    Vm trusted(&*verified, ExecMode::kTrusted);
+    Vm sandboxed(&*verified, ExecMode::kSandboxed);
     auto t = trusted.Run(0, a0, a1, a2, a3);
     auto s = sandboxed.Run(0, a0, a1, a2, a3);
     ASSERT_TRUE(t.ok()) << "trusted failed: " << t.status().message();
@@ -125,6 +126,8 @@ TEST_P(SfiDifferentialTest, ModesAgreeOnRandomPrograms) {
     // And the sandbox must actually have exercised its checks.
     EXPECT_GE(sandboxed.stats().bounds_checks, 0u);
     EXPECT_EQ(trusted.stats().bounds_checks, 0u);
+    // Metering is mode-independent: both engines retire the same stream.
+    EXPECT_EQ(trusted.stats().instructions, sandboxed.stats().instructions);
   }
 }
 
@@ -140,7 +143,9 @@ TEST(SfiDifferentialTest, SandboxCatchesWhatTrustedWouldCorrupt) {
     retv
   )");
   ASSERT_TRUE(program.ok());
-  Vm sandboxed(&*program, ExecMode::kSandboxed);
+  auto verified = Verify(*program);
+  ASSERT_TRUE(verified.ok());
+  Vm sandboxed(&*verified, ExecMode::kSandboxed);
   auto result = sandboxed.Run(0);
   EXPECT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), para::ErrorCode::kOutOfRange);

@@ -22,7 +22,7 @@ Result<uint64_t> RunSource(const std::string& source, ExecMode mode, uint64_t a0
   if (!verified.ok()) {
     return verified.status();
   }
-  Vm vm(&*program, mode);
+  Vm vm(&*verified, mode);
   return vm.Run(0, a0, a1);
 }
 
@@ -35,7 +35,9 @@ TEST(AssemblerTest, BasicProgram) {
   )");
   ASSERT_TRUE(program.ok());
   EXPECT_EQ(program->entry_points.size(), 1u);
-  Vm vm(&*program, ExecMode::kSandboxed);
+  auto verified = Verify(*program);
+  ASSERT_TRUE(verified.ok());
+  Vm vm(&*verified, ExecMode::kSandboxed);
   auto result = vm.Run(0);
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(*result, 5u);
@@ -99,7 +101,9 @@ TEST(AssemblerTest, MultipleEntryPoints) {
   )");
   ASSERT_TRUE(program.ok());
   ASSERT_EQ(program->entry_points.size(), 2u);
-  Vm vm(&*program, ExecMode::kTrusted);
+  auto verified = Verify(*program);
+  ASSERT_TRUE(verified.ok());
+  Vm vm(&*verified, ExecMode::kTrusted);
   EXPECT_EQ(*vm.Run(0), 1u);
   EXPECT_EQ(*vm.Run(1), 2u);
   EXPECT_FALSE(vm.Run(2).ok());
@@ -108,9 +112,13 @@ TEST(AssemblerTest, MultipleEntryPoints) {
 TEST(VerifierTest, AcceptsValidProgram) {
   auto program = Assembler::Assemble("push 1\nretv");
   ASSERT_TRUE(program.ok());
-  auto report = Verify(*program);
-  ASSERT_TRUE(report.ok());
-  EXPECT_EQ(report->instructions, 2u);
+  auto verified = Verify(*program);
+  ASSERT_TRUE(verified.ok());
+  EXPECT_EQ(verified->report.instructions, 2u);
+  // The decoded stream is the executable artifact: entry block check +
+  // 2 real instructions + end sentinel.
+  EXPECT_EQ(verified->entry_points.size(), 1u);
+  EXPECT_GE(verified->code.size(), 3u);
 }
 
 TEST(VerifierTest, RejectsBadOpcode) {
@@ -140,6 +148,63 @@ TEST(VerifierTest, RejectsJumpOutOfCode) {
   program.code = {static_cast<uint8_t>(Op::kJmp), 100, 0, 0, 0};
   program.entry_points = {0};
   EXPECT_FALSE(Verify(program).ok());
+}
+
+TEST(VerifierTest, RejectsJumpOnePastEnd) {
+  // Target == code.size() is one past the last instruction: a byte offset
+  // that is never an instruction start, so it must not survive into the
+  // decoded stream (where it would alias the end sentinel).
+  Program program;
+  program.code = {static_cast<uint8_t>(Op::kJmp), 0, 0, 0, 0};
+  program.entry_points = {0};
+  // rel 0 -> target = pc + 5 = code.size().
+  EXPECT_FALSE(Verify(program).ok());
+}
+
+TEST(VerifierTest, RejectsCallIntoImmediate) {
+  // call targeting the middle of a push immediate: a valid byte offset but
+  // not a decodable instruction — the decoded-index rewrite must refuse it.
+  Program program;
+  program.code = {static_cast<uint8_t>(Op::kCall), 0, 0, 0, 0,
+                  static_cast<uint8_t>(Op::kPush), 1, 2, 3, 4, 5, 6, 7, 8,
+                  static_cast<uint8_t>(Op::kHalt)};
+  int32_t rel = 2;  // call target = 5 + 2 = byte 7, inside the immediate
+  std::memcpy(program.code.data() + 1, &rel, 4);
+  program.entry_points = {0};
+  EXPECT_FALSE(Verify(program).ok());
+}
+
+TEST(VerifierTest, RejectsNegativeJumpTarget) {
+  Program program;
+  program.code = {static_cast<uint8_t>(Op::kJmp), 0, 0, 0, 0};
+  int32_t rel = -100;
+  std::memcpy(program.code.data() + 1, &rel, 4);
+  program.entry_points = {0};
+  EXPECT_FALSE(Verify(program).ok());
+}
+
+TEST(VerifierTest, RewritesJumpTargetsToDecodedIndices) {
+  // A forward jump over a push: in byte space the target is offset 14; in
+  // the decoded stream it must land exactly on the halt's decoded slot.
+  auto program = Assembler::Assemble(R"(
+    jmp over
+    push 1
+    drop
+  over:
+    halt
+  )");
+  ASSERT_TRUE(program.ok());
+  auto verified = Verify(*program);
+  ASSERT_TRUE(verified.ok()) << verified.status().message();
+  // Entry block: jmp (no stack motion, so no check precedes it).
+  uint32_t entry = verified->entry_points[0];
+  const DecodedInsn& jmp = verified->code[entry];
+  ASSERT_EQ(jmp.op, static_cast<uint8_t>(Op::kJmp));
+  EXPECT_EQ(verified->code[jmp.target].op, static_cast<uint8_t>(Op::kHalt));
+  // Executing it must skip the push/drop.
+  Vm vm(&*verified, ExecMode::kSandboxed);
+  ASSERT_TRUE(vm.Run(0).ok());
+  EXPECT_EQ(vm.stats().instructions, 2u);  // jmp + halt
 }
 
 TEST(VerifierTest, RejectsBadEntryPoint) {
@@ -256,6 +321,22 @@ TEST(VmTest, SandboxBoundsCheckCatchesWildStore) {
   EXPECT_EQ(result.status().code(), para::ErrorCode::kOutOfRange);
 }
 
+TEST(VmTest, SandboxBoundsCheckIsOverflowProof) {
+  // addr + width would wrap for addresses near 2^64 and sneak past a naive
+  // "addr + width > mem_size" test, turning into a host out-of-bounds
+  // access. The sandbox must reject these outright.
+  for (const char* addr : {"0xFFFFFFFFFFFFFFFF", "0xFFFFFFFFFFFFFFF8", "0x8000000000000000"}) {
+    auto store = RunSource(std::string("push ") + addr + "\npush 1\nstore64\nhalt",
+                           ExecMode::kSandboxed);
+    ASSERT_FALSE(store.ok()) << addr;
+    EXPECT_EQ(store.status().code(), para::ErrorCode::kOutOfRange) << addr;
+    auto load = RunSource(std::string("push ") + addr + "\nload8\nretv",
+                          ExecMode::kSandboxed);
+    ASSERT_FALSE(load.ok()) << addr;
+    EXPECT_EQ(load.status().code(), para::ErrorCode::kOutOfRange) << addr;
+  }
+}
+
 TEST(VmTest, TrustedModeMatchesSandboxOnCorrectPrograms) {
   // Trusted mode runs with no checks; on *correct* (in-bounds, terminating)
   // programs the two modes must be semantically identical — that equivalence
@@ -291,10 +372,12 @@ TEST(VmTest, SandboxCountsBoundsChecks) {
     halt
   )");
   ASSERT_TRUE(program.ok());
-  Vm sandboxed(&*program, ExecMode::kSandboxed);
+  auto verified = Verify(*program);
+  ASSERT_TRUE(verified.ok());
+  Vm sandboxed(&*verified, ExecMode::kSandboxed);
   ASSERT_TRUE(sandboxed.Run(0).ok());
   EXPECT_EQ(sandboxed.stats().bounds_checks, 2u);
-  Vm trusted(&*program, ExecMode::kTrusted);
+  Vm trusted(&*verified, ExecMode::kTrusted);
   ASSERT_TRUE(trusted.Run(0).ok());
   EXPECT_EQ(trusted.stats().bounds_checks, 0u);
 }
@@ -302,7 +385,9 @@ TEST(VmTest, SandboxCountsBoundsChecks) {
 TEST(VmTest, FuelStopsRunawayLoops) {
   auto program = Assembler::Assemble("loop: jmp loop");
   ASSERT_TRUE(program.ok());
-  Vm vm(&*program, ExecMode::kSandboxed);
+  auto verified = Verify(*program);
+  ASSERT_TRUE(verified.ok());
+  Vm vm(&*verified, ExecMode::kSandboxed);
   vm.set_fuel(1000);
   auto result = vm.Run(0);
   EXPECT_FALSE(result.ok());
@@ -316,7 +401,9 @@ TEST(VmTest, StackOverflowDetected) {
     jmp loop
   )");
   ASSERT_TRUE(program.ok());
-  Vm vm(&*program, ExecMode::kSandboxed);
+  auto verified = Verify(*program);
+  ASSERT_TRUE(verified.ok());
+  Vm vm(&*verified, ExecMode::kSandboxed);
   auto result = vm.Run(0);
   EXPECT_FALSE(result.ok());
 }
@@ -329,7 +416,9 @@ TEST(VmTest, StackUnderflowDetected) {
 TEST(VmTest, CallDepthLimited) {
   auto program = Assembler::Assemble("recurse: call recurse\nret");
   ASSERT_TRUE(program.ok());
-  Vm vm(&*program, ExecMode::kSandboxed);
+  auto verified = Verify(*program);
+  ASSERT_TRUE(verified.ok());
+  Vm vm(&*verified, ExecMode::kSandboxed);
   EXPECT_FALSE(vm.Run(0).ok());
 }
 
