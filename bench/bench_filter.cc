@@ -81,6 +81,35 @@ RuleSet WorstCaseRules(size_t n) {
   return set;
 }
 
+// `n` rules dominated by non-/32 prefixes and real port ranges — the shapes
+// production rule sets are made of, and the ones the PR-4 tree treated as
+// wildcards (so this case degenerated to the linear walk). None match the
+// bench packet; the one rule that does comes last.
+RuleSet PrefixRangeRules(size_t n) {
+  RuleSet set;
+  for (size_t i = 0; i < n; ++i) {
+    Rule rule;
+    rule.verdict = net::FilterVerdict::kDrop;
+    rule.proto = net::kIpProtoUdpLite;
+    // Distinct /16 networks, none of them the packet's 10.1/16.
+    rule.dst_ip = 0xC0000000u | (static_cast<uint32_t>(i) << 16);
+    rule.dst_prefix = 16;
+    // Disjoint 8-port ranges, none containing the packet's dport 1500.
+    rule.dport_lo = static_cast<net::Port>(2000 + 8 * i);
+    rule.dport_hi = static_cast<net::Port>(2000 + 8 * i + 7);
+    set.rules.push_back(std::move(rule));
+  }
+  Rule match;
+  match.verdict = net::FilterVerdict::kPass;
+  match.dst_ip = 0x0A010000;
+  match.dst_prefix = 16;
+  match.dport_lo = 1024;  // overlaps the low drop ranges: real interval work
+  match.dport_hi = 2047;
+  set.rules.push_back(std::move(match));
+  set.default_verdict = net::FilterVerdict::kDrop;
+  return set;
+}
+
 net::PacketView BenchPacket(const std::vector<uint8_t>& payload) {
   net::PacketView view;
   view.src_ip = 0x0A000001;
@@ -95,8 +124,9 @@ net::PacketView BenchPacket(const std::vector<uint8_t>& payload) {
 // --- the E7 matrix: sandboxed vs trusted vs native, by rule-set size --------
 
 template <sfi::ExecMode kMode>
-void BM_FilterVm(benchmark::State& state, CompileBackend backend) {
-  RuleSet set = WorstCaseRules(static_cast<size_t>(state.range(0)));
+void BM_FilterVm(benchmark::State& state, CompileBackend backend,
+                 RuleSet (*make_rules)(size_t) = WorstCaseRules) {
+  RuleSet set = make_rules(static_cast<size_t>(state.range(0)));
   auto compiled = CompileRules(set, {backend});
   PARA_CHECK(compiled.ok());
   auto verified = sfi::Verify(compiled->program);
@@ -144,6 +174,50 @@ void BM_FilterNative(benchmark::State& state) {
     benchmark::DoNotOptimize(verdict);
   }
   state.counters["rules"] = static_cast<double>(state.range(0));
+}
+
+// --- the prefix/range worst case: LPM + interval dispatch -------------------
+// Before range-aware dispatch these tied with the Linear rows (every prefix
+// and range bucketed as a wildcard); smoke-bench gates the trusted 256-rule
+// row against the checked-in baseline.
+
+void BM_FilterTrustedRange(benchmark::State& state) {
+  BM_FilterVm<sfi::ExecMode::kTrusted>(state, CompileBackend::kDecisionTree,
+                                       PrefixRangeRules);
+}
+
+void BM_FilterSandboxedRange(benchmark::State& state) {
+  BM_FilterVm<sfi::ExecMode::kSandboxed>(state, CompileBackend::kDecisionTree,
+                                         PrefixRangeRules);
+}
+
+void BM_FilterTrustedRangeLinear(benchmark::State& state) {
+  BM_FilterVm<sfi::ExecMode::kTrusted>(state, CompileBackend::kLinear, PrefixRangeRules);
+}
+
+void BM_FilterNativeRange(benchmark::State& state) {
+  RuleSet set = PrefixRangeRules(static_cast<size_t>(state.range(0)));
+  std::vector<uint8_t> payload(64, 0x42);
+  net::PacketView view = BenchPacket(payload);
+  for (auto _ : state) {
+    uint64_t verdict = NativeMatch(set, view);
+    benchmark::DoNotOptimize(verdict);
+  }
+  state.counters["rules"] = static_cast<double>(state.range(0));
+}
+
+// Machine-speed probe (same fixed integer loop as BM_SfiCalibrate):
+// smoke-bench normalizes the prefix/range gate by the ratio of this across
+// runs so the gate compares compiler quality, not machine speed.
+void BM_FilterCalibrate(benchmark::State& state) {
+  for (auto _ : state) {
+    uint64_t x = 0x9E3779B97F4A7C15ull;
+    for (int i = 0; i < 1000; ++i) {
+      x = x * 6364136223846793005ull + 1442695040888963407ull;
+      x ^= x >> 29;
+    }
+    benchmark::DoNotOptimize(x);
+  }
 }
 
 // --- the full engine: flow-table fast path and pressure ---------------------
@@ -228,6 +302,11 @@ BENCHMARK(BM_FilterTrusted)->Apply(RuleSetSizes);
 BENCHMARK(BM_FilterSandboxedLinear)->Apply(RuleSetSizes);
 BENCHMARK(BM_FilterTrustedLinear)->Apply(RuleSetSizes);
 BENCHMARK(BM_FilterNative)->Apply(RuleSetSizes);
+BENCHMARK(BM_FilterTrustedRange)->Apply(RuleSetSizes);
+BENCHMARK(BM_FilterSandboxedRange)->Apply(RuleSetSizes);
+BENCHMARK(BM_FilterTrustedRangeLinear)->Apply(RuleSetSizes);
+BENCHMARK(BM_FilterNativeRange)->Apply(RuleSetSizes);
+BENCHMARK(BM_FilterCalibrate);
 BENCHMARK(BM_FilterEngineFlowHit)->Arg(16)->Arg(256);
 BENCHMARK(BM_FilterEngineFlowPressure)->Arg(16)->Arg(512)->Arg(4096);
 BENCHMARK(BM_FilterReloadSandboxed)->Arg(16)->Arg(256);

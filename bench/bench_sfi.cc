@@ -112,9 +112,44 @@ dec:
   ret
 )";
 
+// The compiled-filter shape: fixed-offset field loads compared against
+// constants with two-way branches — dominated by the push+load and
+// compare+branch pairs the superinstruction pass fuses, so the Fused vs
+// Unfused rows isolate what fusion shaves off the per-op dispatch overhead.
+const char* kFieldCheckSource = R"(
+  ldarg 0
+loop:
+  dup
+  jz done
+  push 0
+  load64
+  push 7
+  eq
+  jz a
+a:
+  push 8
+  load32
+  push 100
+  ltu
+  jnz b
+b:
+  push 16
+  load16
+  push 3
+  gtu
+  jz c
+c:
+  push 1
+  sub
+  jmp loop
+done:
+  retv
+)";
+
 template <sfi::ExecMode kMode>
-void RunBench(benchmark::State& state, const char* source, uint64_t a0) {
-  auto verified = sfi::Verify(MustAssemble(source));
+void RunBench(benchmark::State& state, const char* source, uint64_t a0,
+              sfi::VerifyOptions options = {}) {
+  auto verified = sfi::Verify(MustAssemble(source), options);
   PARA_CHECK(verified.ok());
   sfi::Vm vm(&*verified, kMode);
   for (auto _ : state) {
@@ -157,6 +192,24 @@ void BM_SfiCallRetTrusted(benchmark::State& state) {
   RunBench<sfi::ExecMode::kTrusted>(state, kCallSource,
                                     static_cast<uint64_t>(state.range(0)));
 }
+void BM_SfiFieldCheckTrusted(benchmark::State& state) {
+  RunBench<sfi::ExecMode::kTrusted>(state, kFieldCheckSource,
+                                    static_cast<uint64_t>(state.range(0)));
+}
+void BM_SfiFieldCheckTrustedUnfused(benchmark::State& state) {
+  RunBench<sfi::ExecMode::kTrusted>(state, kFieldCheckSource,
+                                    static_cast<uint64_t>(state.range(0)),
+                                    {.fuse_superinstructions = false});
+}
+void BM_SfiFieldCheckSandboxed(benchmark::State& state) {
+  RunBench<sfi::ExecMode::kSandboxed>(state, kFieldCheckSource,
+                                      static_cast<uint64_t>(state.range(0)));
+}
+void BM_SfiFieldCheckSandboxedUnfused(benchmark::State& state) {
+  RunBench<sfi::ExecMode::kSandboxed>(state, kFieldCheckSource,
+                                      static_cast<uint64_t>(state.range(0)),
+                                      {.fuse_superinstructions = false});
+}
 
 // Load-time cost: Verify (and, post-refactor, pre-decode) by program size.
 void BM_SfiVerify(benchmark::State& state) {
@@ -198,6 +251,10 @@ BENCHMARK(BM_SfiChecksumSandboxed)->Arg(64)->Arg(256);
 BENCHMARK(BM_SfiBranchyTrusted)->Arg(64)->Arg(256);
 BENCHMARK(BM_SfiBranchySandboxed)->Arg(64)->Arg(256);
 BENCHMARK(BM_SfiCallRetTrusted)->Arg(64);
+BENCHMARK(BM_SfiFieldCheckTrusted)->Arg(64)->Arg(256);
+BENCHMARK(BM_SfiFieldCheckTrustedUnfused)->Arg(64)->Arg(256);
+BENCHMARK(BM_SfiFieldCheckSandboxed)->Arg(64)->Arg(256);
+BENCHMARK(BM_SfiFieldCheckSandboxedUnfused)->Arg(64)->Arg(256);
 BENCHMARK(BM_SfiVerify)->Arg(16)->Arg(256)->Arg(4096);
 BENCHMARK(BM_SfiCalibrate);
 

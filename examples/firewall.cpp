@@ -131,6 +131,10 @@ int main() {
   filter::FilterConfig fw_config;
   fw_config.name = "fw0";
   fw_config.events = &bed.nucleus->events();
+  // Act 3 shows the stateful keep-alive story: established flows outlive the
+  // lockdown reload. That is opt-in now — by default a reload re-evaluates
+  // established flows against the new rules (fail closed).
+  fw_config.flow_keepalive_across_reloads = true;
   auto firewall = filter::PacketFilter::Create(fw_config);
   PARA_CHECK(firewall.ok());
   PARA_CHECK(bed.nucleus->directory()

@@ -5,16 +5,51 @@
 # engine itself) must run end to end. A single iteration per benchmark keeps
 # this fast enough for CI while proving the perf harness stays executable.
 #
-# The SFI engine additionally gets a REGRESSION GATE: trusted null-program
-# dispatch (BM_SfiNullTrusted — pure threaded-dispatch entry cost) must stay
-# within 25% of the checked-in bench-baseline JSON, after normalizing by
-# BM_SfiCalibrate (a fixed native integer loop) so the gate compares engine
-# quality, not machine speed.
+# Two hot paths additionally get REGRESSION GATES, both normalized by a
+# fixed native integer calibration loop so they compare code quality, not
+# machine speed, against the checked-in bench-baseline JSON:
+#  * BM_SfiNullTrusted — pure threaded-dispatch entry cost (>25% fails);
+#  * BM_FilterTrustedRange/256 — the prefix/range-heavy 256-rule worst case
+#    (>50% fails: looser because the trusted loop is layout-sensitive), so
+#    the decision-tree backend cannot silently regress to the linear walk
+#    (which is ~45x this number).
 # Usage: scripts/smoke-bench.sh <build-dir>
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build}"
+
+# compare_gate <baseline.json> <current.json> <gated-benchmark> <calibrate-benchmark> <limit>
+compare_gate() {
+  python3 - "$1" "$2" "$3" "$4" "$5" <<'PY'
+import json
+import sys
+
+def best(path, name):
+    doc = json.load(open(path))
+    times = [b["real_time"] for b in doc["benchmarks"]
+             if b["name"] == name and b.get("run_type", "iteration") != "aggregate"]
+    if not times:
+        raise SystemExit(f"smoke-bench: {name} missing from {path}")
+    return min(times)  # min over repetitions: least-noise estimate
+
+baseline, current, gated, calibrate = sys.argv[1:5]
+limit = float(sys.argv[5])
+base_gated = best(baseline, gated)
+base_cal = best(baseline, calibrate)
+cur_gated = best(current, gated)
+cur_cal = best(current, calibrate)
+
+scale = cur_cal / base_cal  # how much slower/faster this machine is
+allowed = base_gated * scale * limit
+verdict = "OK" if cur_gated <= allowed else "REGRESSION"
+print(f"smoke-bench gate: {gated} {cur_gated:.2f}ns "
+      f"(baseline {base_gated:.2f}ns x machine-scale {scale:.2f} x {limit} "
+      f"= allowed {allowed:.2f}ns) -> {verdict}")
+if cur_gated > allowed:
+    raise SystemExit(f"smoke-bench: {gated} regressed past {limit}x vs {baseline}")
+PY
+}
 
 targets=()
 for src in bench/bench_*.cc; do
@@ -33,44 +68,35 @@ done
 
 # --- trusted null-dispatch regression gate ----------------------------------
 SFI_BASELINE="bench-baseline/BENCH_sfi_after.json"
+SMOKE_SFI_JSON="$(mktemp /tmp/smoke_sfi.XXXXXX.json)"
+SMOKE_FILTER_JSON="$(mktemp /tmp/smoke_filter.XXXXXX.json)"
+trap 'rm -f "${SMOKE_SFI_JSON}" "${SMOKE_FILTER_JSON}"' EXIT
 if [[ -f "${SFI_BASELINE}" ]] && command -v python3 >/dev/null 2>&1; then
-  SMOKE_JSON="$(mktemp /tmp/smoke_sfi.XXXXXX.json)"
-  trap 'rm -f "${SMOKE_JSON}"' EXIT
   "${BUILD_DIR}/bench/bench_sfi" \
     --benchmark_filter='^(BM_SfiNullTrusted|BM_SfiCalibrate)$' \
     --benchmark_repetitions=5 \
-    --benchmark_out="${SMOKE_JSON}" --benchmark_out_format=json >/dev/null
-  python3 - "${SFI_BASELINE}" "${SMOKE_JSON}" <<'PY'
-import json
-import sys
-
-LIMIT = 1.25  # fail on >25% regression
-
-def best(path, name):
-    doc = json.load(open(path))
-    times = [b["real_time"] for b in doc["benchmarks"]
-             if b["name"] == name and b.get("run_type", "iteration") != "aggregate"]
-    if not times:
-        raise SystemExit(f"smoke-bench: {name} missing from {path}")
-    return min(times)  # min over repetitions: least-noise estimate
-
-base_null = best(sys.argv[1], "BM_SfiNullTrusted")
-base_cal = best(sys.argv[1], "BM_SfiCalibrate")
-cur_null = best(sys.argv[2], "BM_SfiNullTrusted")
-cur_cal = best(sys.argv[2], "BM_SfiCalibrate")
-
-scale = cur_cal / base_cal  # how much slower/faster this machine is
-allowed = base_null * scale * LIMIT
-verdict = "OK" if cur_null <= allowed else "REGRESSION"
-print(f"smoke-bench sfi gate: null-trusted {cur_null:.2f}ns "
-      f"(baseline {base_null:.2f}ns x machine-scale {scale:.2f} x {LIMIT} "
-      f"= allowed {allowed:.2f}ns) -> {verdict}")
-if cur_null > allowed:
-    raise SystemExit("smoke-bench: trusted null-program dispatch regressed >25% "
-                     "vs bench-baseline/BENCH_sfi_after.json")
-PY
+    --benchmark_out="${SMOKE_SFI_JSON}" --benchmark_out_format=json >/dev/null
+  compare_gate "${SFI_BASELINE}" "${SMOKE_SFI_JSON}" BM_SfiNullTrusted BM_SfiCalibrate 1.25
 else
   echo "smoke-bench: sfi gate skipped (no baseline or no python3)"
+fi
+
+# --- prefix/range decision-tree regression gate ------------------------------
+FILTER_BASELINE="bench-baseline/BENCH_filter_after.json"
+if [[ -f "${FILTER_BASELINE}" ]] && command -v python3 >/dev/null 2>&1 &&
+   grep -q BM_FilterTrustedRange "${FILTER_BASELINE}"; then
+  "${BUILD_DIR}/bench/bench_filter" \
+    --benchmark_filter='^(BM_FilterTrustedRange/256|BM_FilterCalibrate)$' \
+    --benchmark_repetitions=5 \
+    --benchmark_out="${SMOKE_FILTER_JSON}" --benchmark_out_format=json >/dev/null
+  # 1.5x: the trusted threaded loop is code-layout-sensitive (an unrelated
+  # relink moves it by ~25% either way on an ~85 ns measurement); the
+  # regression this gate exists to catch — the tree silently degenerating to
+  # the linear walk — is ~45x, far above any layout wobble.
+  compare_gate "${FILTER_BASELINE}" "${SMOKE_FILTER_JSON}" \
+    "BM_FilterTrustedRange/256" BM_FilterCalibrate 1.50
+else
+  echo "smoke-bench: filter range gate skipped (no baseline or no python3)"
 fi
 
 echo "bench smoke OK (${#targets[@]} targets built)"

@@ -1,9 +1,11 @@
 #include "src/filter/compiler.h"
 
 #include <algorithm>
+#include <cstring>
 #include <map>
 #include <memory>
-#include <cstring>
+#include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -110,9 +112,19 @@ void EmitRuleTests(sfi::Assembler& as, const Rule& rule, uint32_t index,
 // --- decision-tree construction ---------------------------------------------
 
 // The fields the tree may dispatch on, in preference order (cheapest loads
-// and most-commonly-discriminating first). Only *exact* constraints
-// participate: a range or a non-/32 prefix keeps the rule a wildcard for
-// that field, so it rides along into every bucket and stays correct.
+// and most-commonly-discriminating first). Three dispatch shapes:
+//  * exact    — the field is pinned to one value (proto);
+//  * LPM      — address prefixes bucket by their leading bits with a
+//               variable stride (the shortest prefix length that still
+//               yields >= 2 buckets); longer prefixes split again deeper, so
+//               nested prefixes form a multi-bit longest-prefix-match trie;
+//  * interval — port ranges partition the reachable port domain into the
+//               elementary segments between the sorted distinct endpoints;
+//               the packet port binary-searches into its segment.
+// A rule that does not constrain the node's field (or whose constraint is
+// already proven by the path from the root) rides along into every bucket at
+// its original priority, so first-match semantics are exact; leaves still
+// test every predicate, so dispatch only has to be sound, never complete.
 enum DispatchField : int {
   kFieldProto = 0,
   kFieldDstPort,
@@ -121,6 +133,8 @@ enum DispatchField : int {
   kFieldSrcIp,
   kFieldCount,
 };
+
+enum class DispatchKind : uint8_t { kExact, kLpm, kInterval };
 
 struct FieldSpec {
   size_t offset;
@@ -137,31 +151,23 @@ FieldSpec SpecOf(int field) {
   }
 }
 
-// True if `rule` pins `field` to exactly one value (written to *value).
-bool ExactValue(const Rule& rule, int field, uint64_t* value) {
-  switch (field) {
-    case kFieldProto:
-      if (rule.proto < 0) return false;
-      *value = static_cast<uint64_t>(rule.proto);
-      return true;
-    case kFieldDstPort:
-      if (rule.dport_lo != rule.dport_hi) return false;
-      *value = rule.dport_lo;
-      return true;
-    case kFieldSrcPort:
-      if (rule.sport_lo != rule.sport_hi) return false;
-      *value = rule.sport_lo;
-      return true;
-    case kFieldDstIp:
-      if (rule.dst_prefix != 32) return false;
-      *value = rule.dst_ip;
-      return true;
-    default:
-      if (rule.src_prefix != 32) return false;
-      *value = rule.src_ip;
-      return true;
-  }
-}
+// What the path from the root has already proven about any packet reaching a
+// node: address bits consumed by ancestor LPM nodes and the port segment
+// narrowed by ancestor interval nodes. This is what makes re-splitting the
+// same field deeper both sound (a /24 under a /16 bucket splits on the
+// remaining bits) and non-degenerate (a range covering the whole reachable
+// segment stops discriminating instead of re-splitting forever).
+struct PortDomain {
+  uint16_t lo = 0;
+  uint16_t hi = 0xFFFF;
+};
+
+struct SplitContext {
+  uint8_t src_consumed = 0;  // leading src-ip bits matched by ancestors
+  uint8_t dst_consumed = 0;
+  PortDomain sport;
+  PortDomain dport;
+};
 
 struct RuleRef {
   uint32_t index;  // original rule-set position (reported on match)
@@ -170,77 +176,315 @@ struct RuleRef {
 
 struct TreeNode {
   int field = -1;  // -1: leaf
-  std::vector<uint64_t> values;                     // sorted distinct
-  std::vector<std::unique_ptr<TreeNode>> buckets;   // parallel to values
-  std::unique_ptr<TreeNode> wild;                   // field matches no value
-  std::vector<RuleRef> rules;                       // leaf candidates, in order
+  DispatchKind kind = DispatchKind::kExact;
+  uint8_t shift = 0;  // LPM: dispatch key = field >> shift (top 32-shift bits)
+  std::vector<uint64_t> values;  // exact/LPM: sorted keys; interval: boundaries
+  std::vector<std::unique_ptr<TreeNode>> buckets;  // exact/LPM: per key;
+                                                   // interval: values.size()+1 segments
+  std::unique_ptr<TreeNode> wild;  // exact/LPM: key matched nothing
+  std::vector<RuleRef> rules;      // leaf candidates, in order
 };
 
 constexpr size_t kLeafMax = 3;   // don't split sets a short chain beats
-constexpr int kMaxTreeDepth = 4;
+constexpr int kMaxTreeDepth = 6;
+// Per-node cap on rule duplication a split may cause (copies across all
+// children vs. the rules being split).
+constexpr size_t kSplitInstanceFactor = 3;
 
-std::unique_ptr<TreeNode> BuildTree(std::vector<RuleRef> rules, int depth,
-                                    size_t* rule_instances, size_t* dispatch_nodes) {
+// A candidate split of one node's rules on one field. Field selection first
+// builds count-only candidates (children/instances filled, buckets empty)
+// for every field, then materializes just the winner's buckets.
+struct Partition {
+  DispatchKind kind = DispatchKind::kExact;
+  uint8_t shift = 0;
+  std::vector<uint64_t> values;
+  std::vector<std::vector<RuleRef>> buckets;  // merged, priority order
+  std::vector<RuleRef> wilds;                 // exact/LPM wild child (unused for interval)
+  size_t children = 0;   // buckets plus the wild child if present
+  size_t instances = 0;  // total rule copies across all children
+};
+
+// Exact split on proto: classic distinct-value buckets with wildcards merged
+// into each. With `materialize` false only the scoring fields (kind,
+// children, instances) are filled — field selection scores every candidate
+// cheaply and materializes just the winner.
+std::optional<Partition> ProtoPartition(const std::vector<RuleRef>& rules, bool materialize) {
+  std::map<uint64_t, std::vector<RuleRef>> by_value;
+  std::vector<RuleRef> wilds;
+  size_t wild_count = 0;
+  for (const RuleRef& ref : rules) {
+    if (ref.rule->proto >= 0) {
+      auto& bucket = by_value[static_cast<uint64_t>(ref.rule->proto)];
+      if (materialize) {
+        bucket.push_back(ref);
+      }
+    } else {
+      ++wild_count;
+      if (materialize) {
+        wilds.push_back(ref);
+      }
+    }
+  }
+  if (by_value.size() < 2) {
+    return std::nullopt;
+  }
+  Partition part;
+  part.kind = DispatchKind::kExact;
+  part.children = by_value.size() + 1;
+  // Each constrained rule lands in one bucket; wildcards copy everywhere.
+  part.instances = rules.size() + wild_count * by_value.size();
+  if (!materialize) {
+    return part;
+  }
+  for (auto& [value, bucket] : by_value) {
+    std::vector<RuleRef> merged;
+    merged.reserve(bucket.size() + wilds.size());
+    std::merge(bucket.begin(), bucket.end(), wilds.begin(), wilds.end(),
+               std::back_inserter(merged),
+               [](const RuleRef& a, const RuleRef& b) { return a.index < b.index; });
+    part.values.push_back(value);
+    part.buckets.push_back(std::move(merged));
+  }
+  part.wilds = std::move(wilds);
+  return part;
+}
+
+// LPM split on an address field. Stride selection: the shortest prefix
+// length (beyond the bits the path already consumed) whose leading-bit keys
+// still split the rules into >= 2 buckets — one covering /8 does not block
+// the /16s nested inside it; it just rides along as a wildcard of this node.
+std::optional<Partition> LpmPartition(int field, const std::vector<RuleRef>& rules,
+                                      const SplitContext& ctx, bool materialize) {
+  const bool dst = field == kFieldDstIp;
+  const uint8_t consumed = dst ? ctx.dst_consumed : ctx.src_consumed;
+  auto prefix_of = [dst](const Rule& rule) { return dst ? rule.dst_prefix : rule.src_prefix; };
+  auto ip_of = [dst](const Rule& rule) { return dst ? rule.dst_ip : rule.src_ip; };
+
+  // Candidate strides: the distinct prefix lengths still unconsumed.
+  std::set<uint8_t> lengths;
+  for (const RuleRef& ref : rules) {
+    if (prefix_of(*ref.rule) > consumed) {
+      lengths.insert(prefix_of(*ref.rule));
+    }
+  }
+  for (uint8_t stride : lengths) {
+    std::set<uint64_t> keys;
+    for (const RuleRef& ref : rules) {
+      uint8_t prefix = prefix_of(*ref.rule);
+      if (prefix >= stride) {
+        keys.insert((ip_of(*ref.rule) & PrefixMask(prefix)) >> (32 - stride));
+      }
+    }
+    if (keys.size() < 2) {
+      continue;  // coarser than the rule set; try the next longer stride
+    }
+    Partition part;
+    part.kind = DispatchKind::kLpm;
+    part.shift = static_cast<uint8_t>(32 - stride);
+    part.values.assign(keys.begin(), keys.end());
+    if (materialize) {
+      part.buckets.resize(part.values.size());
+    }
+    // One pass in priority order so every bucket stays first-match-sorted.
+    for (const RuleRef& ref : rules) {
+      uint8_t prefix = prefix_of(*ref.rule);
+      if (prefix >= stride) {
+        // All stride bits are significant: exactly one bucket.
+        uint64_t key = (ip_of(*ref.rule) & PrefixMask(prefix)) >> (32 - stride);
+        if (materialize) {
+          size_t slot = static_cast<size_t>(
+              std::lower_bound(part.values.begin(), part.values.end(), key) -
+              part.values.begin());
+          part.buckets[slot].push_back(ref);
+        }
+        ++part.instances;
+      } else if (prefix > consumed) {
+        // Shorter than the stride but not yet proven: the rule's network can
+        // contain packets of any bucket whose key starts with its bits — and
+        // packets no bucket claims.
+        uint64_t net = (ip_of(*ref.rule) & PrefixMask(prefix)) >> (32 - prefix);
+        for (size_t i = 0; i < part.values.size(); ++i) {
+          if ((part.values[i] >> (stride - prefix)) == net) {
+            if (materialize) {
+              part.buckets[i].push_back(ref);
+            }
+            ++part.instances;
+          }
+        }
+        if (materialize) {
+          part.wilds.push_back(ref);
+        }
+        ++part.instances;
+      } else {
+        // Unconstrained here: candidate everywhere.
+        if (materialize) {
+          for (auto& bucket : part.buckets) {
+            bucket.push_back(ref);
+          }
+          part.wilds.push_back(ref);
+        }
+        part.instances += part.values.size() + 1;
+      }
+    }
+    part.children = part.values.size() + 1;
+    return part;
+  }
+  return std::nullopt;
+}
+
+// Interval split on a port field: elementary segments between the sorted
+// distinct endpoints of the ranges, clipped to the domain the path proves.
+// Every segment is covered wholly or not at all by each range, so bucket
+// membership is a contiguous run of segments per rule.
+std::optional<Partition> IntervalPartition(int field, const std::vector<RuleRef>& rules,
+                                           const SplitContext& ctx, bool materialize) {
+  const bool dstp = field == kFieldDstPort;
+  const PortDomain dom = dstp ? ctx.dport : ctx.sport;
+  auto range_of = [dstp, &dom](const Rule& rule, uint32_t* lo, uint32_t* hi) {
+    *lo = std::max<uint32_t>(dstp ? rule.dport_lo : rule.sport_lo, dom.lo);
+    *hi = std::min<uint32_t>(dstp ? rule.dport_hi : rule.sport_hi, dom.hi);
+  };
+
+  std::set<uint32_t> points;  // segment boundaries strictly inside the domain
+  for (const RuleRef& ref : rules) {
+    uint32_t lo, hi;
+    range_of(*ref.rule, &lo, &hi);
+    if (lo > hi) {
+      continue;  // cannot match any packet reaching this node (pruned below)
+    }
+    if (lo > dom.lo) {
+      points.insert(lo);
+    }
+    if (hi < dom.hi) {
+      points.insert(hi + 1);
+    }
+  }
+  if (points.empty()) {
+    return std::nullopt;  // every live range covers the whole domain
+  }
+  Partition part;
+  part.kind = DispatchKind::kInterval;
+  part.values.assign(points.begin(), points.end());
+  const size_t segments = part.values.size() + 1;
+  if (materialize) {
+    part.buckets.resize(segments);
+  }
+  // Segment s spans [values[s-1], values[s]) within [dom.lo, dom.hi]; a
+  // clipped range's endpoints are boundaries, so it covers segments
+  // [first, last] exactly.
+  for (const RuleRef& ref : rules) {
+    uint32_t lo, hi;
+    range_of(*ref.rule, &lo, &hi);
+    if (lo > hi) {
+      continue;  // dead on this path: drop the rule (sound — it cannot match)
+    }
+    size_t first =
+        lo == dom.lo
+            ? 0
+            : static_cast<size_t>(
+                  std::lower_bound(part.values.begin(), part.values.end(), lo) -
+                  part.values.begin()) +
+                  1;
+    size_t last =
+        hi == dom.hi
+            ? segments - 1
+            : static_cast<size_t>(
+                  std::lower_bound(part.values.begin(), part.values.end(), hi + 1) -
+                  part.values.begin());
+    if (materialize) {
+      for (size_t s = first; s <= last; ++s) {
+        part.buckets[s].push_back(ref);
+      }
+    }
+    part.instances += last - first + 1;
+  }
+  part.children = segments;
+  return part;
+}
+
+std::optional<Partition> BuildPartition(int field, const std::vector<RuleRef>& rules,
+                                        const SplitContext& ctx, bool materialize) {
+  switch (field) {
+    case kFieldProto:
+      return ProtoPartition(rules, materialize);
+    case kFieldDstPort:
+    case kFieldSrcPort:
+      return IntervalPartition(field, rules, ctx, materialize);
+    default:
+      return LpmPartition(field, rules, ctx, materialize);
+  }
+}
+
+struct TreeStats {
+  size_t rule_instances = 0;
+  size_t dispatch_nodes = 0;
+  size_t lpm_nodes = 0;
+  size_t interval_nodes = 0;
+};
+
+std::unique_ptr<TreeNode> BuildTree(std::vector<RuleRef> rules, int depth, SplitContext ctx,
+                                    TreeStats* stats) {
   auto node = std::make_unique<TreeNode>();
   if (rules.size() > kLeafMax && depth < kMaxTreeDepth) {
-    // Pick the most discriminating field: most distinct exact values, with a
-    // duplication bound (wildcards are copied into every bucket, so a field
-    // that splits little but duplicates much is worse than no split).
+    // Pick the most discriminating field: most children, with a duplication
+    // bound (a field that splits little but copies rules into many buckets
+    // is worse than no split). Strictly-greater comparison: earlier
+    // (cheaper-to-load) fields win ties. Scoring is count-only; only the
+    // winning field's partition is materialized.
     int best_field = -1;
-    size_t best_distinct = 0;
+    size_t best_children = 0;
     for (int field = 0; field < kFieldCount; ++field) {
-      std::map<uint64_t, size_t> counts;
-      size_t wild = 0;
-      for (const RuleRef& ref : rules) {
-        uint64_t value;
-        if (ExactValue(*ref.rule, field, &value)) {
-          ++counts[value];
-        } else {
-          ++wild;
-        }
-      }
-      size_t distinct = counts.size();
-      if (distinct < 2) {
+      std::optional<Partition> score = BuildPartition(field, rules, ctx, /*materialize=*/false);
+      if (!score || score->instances > kSplitInstanceFactor * rules.size()) {
         continue;
       }
-      if (wild * (distinct - 1) > rules.size()) {
-        continue;  // duplication would dominate the split
-      }
-      if (distinct > best_distinct) {
-        best_distinct = distinct;
+      if (best_field < 0 || score->children > best_children) {
+        best_children = score->children;
         best_field = field;
       }
     }
     if (best_field >= 0) {
-      std::map<uint64_t, std::vector<RuleRef>> partitions;
-      std::vector<RuleRef> wilds;
-      for (const RuleRef& ref : rules) {
-        uint64_t value;
-        if (ExactValue(*ref.rule, best_field, &value)) {
-          partitions[value].push_back(ref);
-        } else {
-          wilds.push_back(ref);
-        }
-      }
+      Partition best =
+          *BuildPartition(best_field, rules, ctx, /*materialize=*/true);
       node->field = best_field;
-      ++*dispatch_nodes;
-      for (auto& [value, bucket] : partitions) {
-        // Merge the field-wildcard rules back in, preserving original
-        // priority order — they can match packets in any bucket.
-        std::vector<RuleRef> merged;
-        merged.reserve(bucket.size() + wilds.size());
-        std::merge(bucket.begin(), bucket.end(), wilds.begin(), wilds.end(),
-                   std::back_inserter(merged),
-                   [](const RuleRef& a, const RuleRef& b) { return a.index < b.index; });
-        node->values.push_back(value);
-        node->buckets.push_back(
-            BuildTree(std::move(merged), depth + 1, rule_instances, dispatch_nodes));
+      node->kind = best.kind;
+      node->shift = best.shift;
+      node->values = std::move(best.values);
+      ++stats->dispatch_nodes;
+      if (best.kind == DispatchKind::kLpm) {
+        ++stats->lpm_nodes;
+      } else if (best.kind == DispatchKind::kInterval) {
+        ++stats->interval_nodes;
       }
-      node->wild = BuildTree(std::move(wilds), depth + 1, rule_instances, dispatch_nodes);
+      for (size_t i = 0; i < best.buckets.size(); ++i) {
+        SplitContext child = ctx;
+        switch (best.kind) {
+          case DispatchKind::kExact:
+            break;  // re-splits die on distinct < 2
+          case DispatchKind::kLpm:
+            (best_field == kFieldDstIp ? child.dst_consumed : child.src_consumed) =
+                static_cast<uint8_t>(32 - best.shift);
+            break;
+          case DispatchKind::kInterval: {
+            PortDomain& dom = best_field == kFieldDstPort ? child.dport : child.sport;
+            if (i > 0) {
+              dom.lo = static_cast<uint16_t>(node->values[i - 1]);
+            }
+            if (i + 1 < best.buckets.size()) {
+              dom.hi = static_cast<uint16_t>(node->values[i] - 1);
+            }
+            break;
+          }
+        }
+        node->buckets.push_back(BuildTree(std::move(best.buckets[i]), depth + 1, child, stats));
+      }
+      if (best.kind != DispatchKind::kInterval) {
+        node->wild = BuildTree(std::move(best.wilds), depth + 1, ctx, stats);
+      }
       return node;
     }
   }
-  *rule_instances += rules.size();
+  stats->rule_instances += rules.size();
   node->rules = std::move(rules);
   return node;
 }
@@ -262,31 +506,50 @@ class TreeEmitter {
       return;
     }
     std::vector<std::string> bucket_labels;
-    bucket_labels.reserve(node.values.size());
-    for (size_t i = 0; i < node.values.size(); ++i) {
+    bucket_labels.reserve(node.buckets.size());
+    for (size_t i = 0; i < node.buckets.size(); ++i) {
       bucket_labels.push_back(NewLabel());
     }
-    std::string wild_label = NewLabel();
-    EmitSearch(node, 0, node.values.size(), bucket_labels, wild_label);
+    std::string wild_label;
+    if (node.kind == DispatchKind::kInterval) {
+      // Every port value lands in exactly one elementary segment: no wild.
+      EmitIntervalSearch(node, 0, node.buckets.size() - 1, bucket_labels);
+    } else {
+      wild_label = NewLabel();
+      EmitSearch(node, 0, node.values.size(), bucket_labels, wild_label);
+    }
     for (size_t i = 0; i < node.buckets.size(); ++i) {
       as_.Label(bucket_labels[i]);
       Emit(*node.buckets[i], default_label);
     }
-    as_.Label(wild_label);
-    Emit(*node.wild, default_label);
+    if (node.wild != nullptr) {
+      as_.Label(wild_label);
+      Emit(*node.wild, default_label);
+    }
   }
 
  private:
-  // Binary search over the node's sorted values: each probe re-loads the
-  // packet field (two instructions) and branches — log2(distinct) probes to
+  // Pushes the node's dispatch key for the current packet: the raw field, or
+  // its leading bits for an LPM node (shift 0 — all-/32 rules — costs
+  // nothing extra).
+  void EmitKey(const TreeNode& node) {
+    FieldSpec spec = SpecOf(node.field);
+    EmitLoadField(as_, spec.offset, spec.load);
+    if (node.kind == DispatchKind::kLpm && node.shift != 0) {
+      as_.EmitPush(node.shift);
+      as_.Emit(Op::kShr);
+    }
+  }
+
+  // Binary search over the node's sorted keys: each probe re-derives the key
+  // (stack-balanced across branches) and compares — log2(distinct) probes to
   // land in a bucket, a short eq-chain at the bottom.
   void EmitSearch(const TreeNode& node, size_t lo, size_t hi,
                   const std::vector<std::string>& bucket_labels,
                   const std::string& wild_label) {
-    FieldSpec spec = SpecOf(node.field);
     if (hi - lo <= 3) {
       for (size_t i = lo; i < hi; ++i) {
-        EmitLoadField(as_, spec.offset, spec.load);
+        EmitKey(node);
         as_.EmitPush(node.values[i]);
         as_.Emit(Op::kEq);
         as_.EmitJump(Op::kJnz, bucket_labels[i]);
@@ -296,13 +559,34 @@ class TreeEmitter {
     }
     size_t mid = lo + (hi - lo) / 2;
     std::string right = NewLabel();
-    EmitLoadField(as_, spec.offset, spec.load);
+    EmitKey(node);
     as_.EmitPush(node.values[mid]);
     as_.Emit(Op::kLtU);
-    as_.EmitJump(Op::kJz, right);  // field >= values[mid]: upper half
+    as_.EmitJump(Op::kJz, right);  // key >= values[mid]: upper half
     EmitSearch(node, lo, mid, bucket_labels, wild_label);
     as_.Label(right);
     EmitSearch(node, mid, hi, bucket_labels, wild_label);
+  }
+
+  // Binary search for the packet port's elementary segment: `lo..hi` are
+  // segment indices; segment s starts at boundary values[s-1]. Probes are
+  // ltu+jnz pairs the superinstruction pass fuses.
+  void EmitIntervalSearch(const TreeNode& node, size_t lo, size_t hi,
+                          const std::vector<std::string>& bucket_labels) {
+    if (lo == hi) {
+      as_.EmitJump(Op::kJmp, bucket_labels[lo]);
+      return;
+    }
+    size_t mid = (lo + hi + 1) / 2;  // first segment of the upper half
+    FieldSpec spec = SpecOf(node.field);
+    std::string lower = NewLabel();
+    EmitLoadField(as_, spec.offset, spec.load);
+    as_.EmitPush(node.values[mid - 1]);
+    as_.Emit(Op::kLtU);
+    as_.EmitJump(Op::kJnz, lower);  // port < boundary: lower half
+    EmitIntervalSearch(node, mid, hi, bucket_labels);
+    as_.Label(lower);
+    EmitIntervalSearch(node, lo, mid - 1, bucket_labels);
   }
 
   std::string NewLabel() { return "L" + std::to_string(counter_++); }
@@ -340,25 +624,28 @@ Result<CompiledFilter> CompileRules(const RuleSet& rules, CompileOptions options
   }
 
   std::unique_ptr<TreeNode> root;
-  size_t instances = 0, nodes = 0;
+  TreeStats tree_stats;
   if (options.backend == CompileBackend::kDecisionTree) {
-    root = BuildTree(refs, 0, &instances, &nodes);
+    root = BuildTree(refs, 0, SplitContext{}, &tree_stats);
     // Safety valve: if wildcard duplication still outgrew the source rule
     // set by too much, the tree buys speed the verifier's size cap (and the
     // icache) would pay for — fall back to the linear chain.
-    if (instances > 3 * refs.size() + 16) {
+    if (tree_stats.rule_instances > 3 * refs.size() + 16) {
       root = nullptr;
     }
   }
   if (root == nullptr) {
-    instances = refs.size();
-    nodes = 0;
+    tree_stats = TreeStats{};
+    tree_stats.rule_instances = refs.size();
     root = std::make_unique<TreeNode>();
     root->rules = std::move(refs);
   }
-  out.backend = nodes > 0 ? CompileBackend::kDecisionTree : CompileBackend::kLinear;
-  out.dispatch_nodes = nodes;
-  out.emitted_rule_instances = instances;
+  out.backend =
+      tree_stats.dispatch_nodes > 0 ? CompileBackend::kDecisionTree : CompileBackend::kLinear;
+  out.dispatch_nodes = tree_stats.dispatch_nodes;
+  out.lpm_nodes = tree_stats.lpm_nodes;
+  out.interval_nodes = tree_stats.interval_nodes;
+  out.emitted_rule_instances = tree_stats.rule_instances;
 
   sfi::Assembler as;
   as.EntryPoint();

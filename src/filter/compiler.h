@@ -10,9 +10,11 @@
 //  * kLinear — the classic first-match walk: each rule's predicates tested
 //    in order with fail-fast jumps. O(rules) per packet.
 //  * kDecisionTree (default) — rules are partitioned by their most
-//    discriminating exactly-constrained field (proto, then ports, then /32
-//    addresses), the packet field is binary-searched over the distinct
-//    values, and only the rules that could still match (the bucket plus
+//    discriminating constrained field: exact proto values, address prefixes
+//    through longest-prefix-match trie nodes (bucketed by leading bits,
+//    variable stride, nested prefixes split again deeper), and port ranges
+//    through interval nodes (binary search over the sorted distinct range
+//    endpoints). Only the rules that could still match (the bucket plus
 //    field-wildcard rules, in priority order) are tested linearly.
 //    O(log distinct + bucket) per packet; first-match semantics preserved
 //    because bucketing never reorders and never drops a candidate.
@@ -78,6 +80,8 @@ struct CompiledFilter {
   // field discriminates or duplication would bloat the program).
   CompileBackend backend = CompileBackend::kLinear;
   size_t dispatch_nodes = 0;          // decision-tree dispatch points emitted
+  size_t lpm_nodes = 0;               // of which: longest-prefix-match trie nodes
+  size_t interval_nodes = 0;          // of which: port-range interval nodes
   size_t emitted_rule_instances = 0;  // leaf rule tests (>= rule_count if split)
 };
 

@@ -98,47 +98,27 @@ void PacketFilter::NotifyVerdict(const FilterDecision& decision, FilterDirection
   }
 }
 
-FilterDecision PacketFilter::Evaluate(const net::PacketView& view, FilterDirection dir) {
-  ++stats_.evaluated;
-
-  FlowKey key{view.src_ip, view.dst_ip, view.src_port, view.dst_port, view.proto};
-  if (config_.track_flows) {
-    FlowTable::Direction flow_dir;
-    if (FlowEntry* flow = flows_.Find(key, &flow_dir)) {
-      if (flow_dir == FlowTable::Direction::kForward) {
-        ++flow->packets;
-        flow->bytes += view.payload.size();
-      } else {
-        // Reply traffic: shares the established entry, counted per direction.
-        ++flow->reverse_packets;
-        flow->reverse_bytes += view.payload.size();
-        ++stats_.flow_hits_reverse;
-      }
-      ++stats_.flow_hits;
-      FilterDecision decision = DecodeVerdict(flow->verdict);
-      if (decision.verdict == FilterVerdict::kCount) {
-        ++stats_.count;
-        NotifyVerdict(decision, dir);
-      } else {
-        ++stats_.pass;
-      }
-      return decision;
-    }
+// Runs the installed classifier over `view`, failing closed on marshalling
+// or VM faults. Pure classification: verdict counters are the caller's job.
+uint64_t PacketFilter::Classify(const net::PacketView& view) {
+  if (!WritePacketDescriptor(view, loaded_->vm.memory(), loaded_->payload_bytes_needed)) {
+    // The VM memory cannot hold the descriptor. Running anyway would
+    // classify whatever descriptor is still in memory — the *previous*
+    // packet. Fail closed instead.
+    ++stats_.descriptor_faults;
+    return EncodeVerdict(FilterVerdict::kDrop, net::kDefaultRuleIndex);
   }
-
-  WritePacketDescriptor(view, loaded_->vm.memory(), loaded_->payload_bytes_needed);
-  uint64_t encoded;
   Result<uint64_t> run = loaded_->vm.Run(0);
-  if (run.ok()) {
-    encoded = *run;
-  } else {
+  if (!run.ok()) {
     // A compiled program cannot fault, but an SFI violation in a sandboxed
     // one must fail closed: the packet is dropped, not let through.
     ++stats_.vm_faults;
-    encoded = EncodeVerdict(FilterVerdict::kDrop, net::kDefaultRuleIndex);
+    return EncodeVerdict(FilterVerdict::kDrop, net::kDefaultRuleIndex);
   }
-  FilterDecision decision = DecodeVerdict(encoded);
+  return *run;
+}
 
+void PacketFilter::CountVerdict(const FilterDecision& decision, FilterDirection dir) {
   switch (decision.verdict) {
     case FilterVerdict::kPass:
       ++stats_.pass;
@@ -155,6 +135,76 @@ FilterDecision PacketFilter::Evaluate(const net::PacketView& view, FilterDirecti
       NotifyVerdict(decision, dir);
       break;
   }
+}
+
+FilterDecision PacketFilter::Evaluate(const net::PacketView& view, FilterDirection dir) {
+  ++stats_.evaluated;
+
+  FlowKey key{view.src_ip, view.dst_ip, view.src_port, view.dst_port, view.proto};
+  if (config_.track_flows) {
+    FlowTable::Direction flow_dir;
+    if (FlowEntry* flow = flows_.Find(key, &flow_dir)) {
+      if (flow->epoch == epoch_ || config_.flow_keepalive_across_reloads) {
+        if (flow_dir == FlowTable::Direction::kForward) {
+          ++flow->packets;
+          flow->bytes += view.payload.size();
+        } else {
+          // Reply traffic: shares the established entry, counted per direction.
+          ++flow->reverse_packets;
+          flow->reverse_bytes += view.payload.size();
+          ++stats_.flow_hits_reverse;
+        }
+        ++stats_.flow_hits;
+        FilterDecision decision = DecodeVerdict(flow->verdict);
+        if (decision.verdict == FilterVerdict::kCount) {
+          ++stats_.count;
+          NotifyVerdict(decision, dir);
+        } else {
+          ++stats_.pass;
+        }
+        return decision;
+      }
+      // The flow was admitted by a rule set that is no longer installed: its
+      // cached verdict (and the rule index count events would report) belong
+      // to a dead generation. Fail closed — drop the stale entry and
+      // re-decide against the installed rules; a passing verdict
+      // re-establishes.
+      ++stats_.flow_reevaluations;
+      FlowKey forward = flow->key;
+      flows_.Erase(forward);
+      if (flow_dir == FlowTable::Direction::kReverse) {
+        // The rules describe the forward direction — that is what admitted
+        // the flow, and what would re-admit it (the reply tuple never
+        // matched them; judging it would wedge every server-speaks-next
+        // conversation on any reload). Re-decide on a synthetic
+        // forward-orientation view. It carries no payload, so rules with
+        // payload predicates fail closed here.
+        net::PacketView fwd;
+        fwd.src_ip = forward.src_ip;
+        fwd.dst_ip = forward.dst_ip;
+        fwd.src_port = forward.src_port;
+        fwd.dst_port = forward.dst_port;
+        fwd.proto = forward.proto;
+        uint64_t encoded = Classify(fwd);
+        FilterDecision decision = DecodeVerdict(encoded);
+        CountVerdict(decision, dir);
+        if (VerdictPasses(decision.verdict)) {
+          // Re-established in its original orientation; this packet is its
+          // first reply-direction traffic.
+          FlowEntry* fresh = flows_.Insert(forward, encoded, epoch_);
+          fresh->reverse_packets = 1;
+          fresh->reverse_bytes = view.payload.size();
+        }
+        return decision;
+      }
+      // Forward-direction packet: it is its own re-admission case — fall
+      // through to the ordinary classifier path.
+    }
+  }
+
+  uint64_t encoded = Classify(view);
+  FilterDecision decision = DecodeVerdict(encoded);
+  CountVerdict(decision, dir);
 
   // Only passing verdicts establish a flow: drops and rejects re-evaluate
   // every time, so tightening the rules takes effect for them immediately.
@@ -184,6 +234,8 @@ uint64_t PacketFilter::StatsSlot(uint64_t index, uint64_t, uint64_t, uint64_t) {
     case 7: return stats_.events_raised;
     case 8: return stats_.vm_faults;
     case 9: return stats_.flow_hits_reverse;
+    case 10: return stats_.descriptor_faults;
+    case 11: return stats_.flow_reevaluations;
     default: return 0;
   }
 }

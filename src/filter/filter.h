@@ -11,8 +11,11 @@
 //     the same bytecode runs with no run-time checks.
 // A bounded flow table (flow_table.h) adds stateful firewalling: passed
 // flows are cached — reply traffic shares the entry via reverse-tuple
-// matching — and skip rule evaluation, so established connections survive
-// hot rule-set reloads; with a virtual clock configured, idle flows expire.
+// matching — and skip rule evaluation. A hot rule-set reload bumps the
+// epoch; flows admitted under an older epoch re-evaluate on their next
+// packet (fail closed) unless FilterConfig::flow_keepalive_across_reloads
+// opts into the old keep-alive semantics. With a virtual clock configured,
+// idle flows expire.
 // count/reject verdicts raise nucleus::kTrapFilterVerdict events so
 // monitors can subscribe.
 //
@@ -68,6 +71,17 @@ struct FilterConfig {
   std::string name = "filter";
   size_t flow_capacity = 1024;
   bool track_flows = true;
+  // Reload semantics for established flows. By default a flow-table hit
+  // whose entry was admitted under an older rule-set generation is
+  // re-evaluated against the installed rules (fail closed: tightening the
+  // rules takes effect for established conversations too). Re-evaluation
+  // always judges the conversation's *forward* orientation — a reply-
+  // direction packet re-decides via a synthetic forward view (no payload,
+  // so payload-predicate rules fail closed), since the reply tuple never
+  // matched the rules in the first place. Set to keep serving cached
+  // verdicts across hot reloads — the stateful-firewall keep-alive
+  // behaviour, now opt-in.
+  bool flow_keepalive_across_reloads = false;
   // Optional: verdict notifications for count/reject are raised here.
   nucleus::EventService* events = nullptr;
   // Optional: shared artifact cache — hot reloads of previously seen rule
@@ -92,6 +106,8 @@ struct FilterStats {
   uint64_t reloads = 0;            // successful Load/LoadCertified calls
   uint64_t events_raised = 0;
   uint64_t vm_faults = 0;  // sandboxed program faulted; packet fail-closed
+  uint64_t descriptor_faults = 0;     // descriptor marshalling failed; fail-closed
+  uint64_t flow_reevaluations = 0;    // stale-epoch flow hits sent back to the rules
 };
 
 class PacketFilter : public obj::Object {
@@ -108,7 +124,8 @@ class PacketFilter : public obj::Object {
   // sign the compiled program and the kernel's certification service
   // validate it for kernel residence. Only then does the program run
   // kTrusted, with no run-time checks. Both loads are hot: the flow table
-  // survives, so established flows keep their cached verdicts.
+  // survives, but the epoch bump sends established flows back through the
+  // new rules on their next packet unless keep-alive is configured.
   Status LoadCertified(const RuleSet& rules, nucleus::Certifier& certifier,
                        const nucleus::CertificationService& service);
 
@@ -127,6 +144,9 @@ class PacketFilter : public obj::Object {
   const std::string& name() const { return config_.name; }
   const FilterStats& stats() const { return stats_; }
   const sfi::VmStats& vm_stats() const { return loaded_->vm.stats(); }
+  // The VM bound to the installed program (diagnostics and fault-injection
+  // tests; Evaluate owns its descriptor memory between packets).
+  sfi::Vm& vm() { return loaded_->vm; }
   const sfi::VerifiedProgram& verified_program() const { return *loaded_->program; }
   FlowTable& flows() { return flows_; }
 
@@ -157,6 +177,8 @@ class PacketFilter : public obj::Object {
   Status Install(const CompiledFilter& compiled,
                  std::shared_ptr<const sfi::VerifiedProgram> program, sfi::ExecMode mode);
   void NotifyVerdict(const net::FilterDecision& decision, net::FilterDirection dir);
+  uint64_t Classify(const net::PacketView& view);
+  void CountVerdict(const net::FilterDecision& decision, net::FilterDirection dir);
 
   FilterConfig config_;
   std::unique_ptr<LoadedProgram> loaded_;

@@ -60,10 +60,32 @@ FlowEntry* FlowTable::Find(const FlowKey& key, Direction* direction) {
 FlowEntry* FlowTable::Insert(const FlowKey& key, uint64_t verdict, uint32_t epoch) {
   auto it = map_.find(key);
   if (it != map_.end()) {
+    // Re-establishment of a known flow: fresh verdict, fresh counters — the
+    // previous generation's traffic (notably the reverse-direction counters,
+    // which the old code leaked) must not be attributed to the new one.
     FlowEntry* entry = Touch(it->second);
     entry->verdict = verdict;
     entry->epoch = epoch;
+    entry->packets = 0;
+    entry->bytes = 0;
+    entry->reverse_packets = 0;
+    entry->reverse_bytes = 0;
     return entry;
+  }
+  // One entry per conversation: if the reply orientation is already present
+  // (reply-first establishment, or a forward entry that expired and the
+  // conversation is being re-admitted from the other side), replace it. Two
+  // coexisting entries would split the conversation's counters and invert
+  // the directional ones whenever the other entry got the reverse hit.
+  auto reversed = map_.find(key.Reversed());
+  if (reversed != map_.end()) {
+    if (Expired(*reversed->second)) {
+      ++stats_.expirations;
+    } else {
+      ++stats_.reorientations;
+    }
+    lru_.erase(reversed->second);
+    map_.erase(reversed);
   }
   if (map_.size() >= capacity_) {
     // Prefer reclaiming an expired victim over evicting a live flow; the LRU

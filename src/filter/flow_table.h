@@ -4,11 +4,13 @@
 // virtual clock. A flow is recorded when a packet passes the rule set;
 // subsequent packets of the flow — in EITHER direction: reply traffic
 // matches the reversed tuple and shares the established entry — hit the
-// table and skip rule evaluation entirely. That is also what lets
-// established flows survive a hot rule-set reload (the new rules only see
-// flows the table has never passed). With a clock and TTL configured,
-// entries idle longer than the TTL expire lazily on the next touch (and
-// expired LRU victims are reclaimed before live ones under pressure).
+// table and skip rule evaluation entirely. Each entry records the rule-set
+// epoch that admitted it, so the filter can tell a fresh verdict from one
+// cached under rules that have since been reloaded (PacketFilter
+// re-evaluates stale-epoch hits unless keep-alive is configured). With a
+// clock and TTL configured, entries idle longer than the TTL expire lazily
+// on the next touch (and expired LRU victims are reclaimed before live ones
+// under pressure).
 #ifndef PARAMECIUM_SRC_FILTER_FLOW_TABLE_H_
 #define PARAMECIUM_SRC_FILTER_FLOW_TABLE_H_
 
@@ -66,7 +68,8 @@ struct FlowTableStats {
   uint64_t misses = 0;
   uint64_t inserts = 0;
   uint64_t evictions = 0;
-  uint64_t expirations = 0;   // TTL reclamations (lazy or under pressure)
+  uint64_t expirations = 0;    // TTL reclamations (lazy or under pressure)
+  uint64_t reorientations = 0; // live reversed entry replaced by a re-establishment
 };
 
 class FlowTable {
@@ -86,7 +89,11 @@ class FlowTable {
   FlowEntry* Find(const FlowKey& key, Direction* direction = nullptr);
 
   // Inserts (or replaces) a flow, reclaiming an expired LRU victim — or
-  // evicting the live LRU entry — when at capacity. Returns the new entry.
+  // evicting the live LRU entry — when at capacity. Returns the new entry
+  // with all traffic counters reset: establishment starts a fresh
+  // generation. At most one entry per conversation: inserting a key whose
+  // *reversed* tuple is present replaces that entry (the new establishment
+  // defines the forward direction) instead of growing an inverted twin.
   FlowEntry* Insert(const FlowKey& key, uint64_t verdict, uint32_t epoch);
 
   bool Erase(const FlowKey& key);

@@ -12,7 +12,7 @@ VerifiedProgramCache::VerifiedProgramCache(size_t capacity) : capacity_(capacity
   entries_.reserve(capacity);
 }
 
-std::string VerifiedProgramCache::KeyOf(const Program& program) {
+std::string VerifiedProgramCache::KeyOf(const Program& program, VerifyOptions options) {
   // Every variable-length field is length-prefixed so the key is injective:
   // without the prefixes, code bytes could masquerade as entry points (or
   // vice versa) and alias a different program's cache slot.
@@ -32,12 +32,15 @@ std::string VerifiedProgramCache::KeyOf(const Program& program) {
     key.append(bytes, 4);
   }
   append_u64(program.memory_bytes);
+  // Options shape the decoded artifact: a fused and an unfused build of the
+  // same bytes must occupy distinct slots.
+  key.push_back(options.fuse_superinstructions ? '\1' : '\0');
   return key;
 }
 
 Result<std::shared_ptr<const VerifiedProgram>> VerifiedProgramCache::GetOrVerify(
-    const Program& program) {
-  std::string key = KeyOf(program);
+    const Program& program, VerifyOptions options) {
+  std::string key = KeyOf(program, options);
   auto it = entries_.find(key);
   if (it != entries_.end()) {
     ++stats_.hits;
@@ -45,7 +48,7 @@ Result<std::shared_ptr<const VerifiedProgram>> VerifiedProgramCache::GetOrVerify
     return it->second->verified;
   }
 
-  auto verified = Verify(program);  // copies: the caller keeps its Program
+  auto verified = Verify(program, options);  // copies: the caller keeps its Program
   if (!verified.ok()) {
     ++stats_.failures;
     return verified.status();

@@ -15,6 +15,7 @@
 
 #include "src/base/status.h"
 #include "src/sfi/verified_program.h"
+#include "src/sfi/verifier.h"
 
 namespace para::sfi {
 
@@ -32,10 +33,14 @@ class VerifiedProgramCache {
   // (their VerifiedPrograms survive as long as someone holds the shared_ptr).
   explicit VerifiedProgramCache(size_t capacity = 64);
 
-  // Returns the cached artifact for `program`, verifying (and caching) it on
-  // miss. Failures are returned, never cached: a rejected program re-runs the
+  // Returns the cached artifact for `program` verified under `options`,
+  // verifying (and caching) it on miss. Artifacts built with different
+  // VerifyOptions are distinct cache entries — a fusion-enabled decoded
+  // stream must never be handed to a caller that asked for the plain one.
+  // Failures are returned, never cached: a rejected program re-runs the
   // verifier on every attempt, so error paths stay observable.
-  Result<std::shared_ptr<const VerifiedProgram>> GetOrVerify(const Program& program);
+  Result<std::shared_ptr<const VerifiedProgram>> GetOrVerify(const Program& program,
+                                                             VerifyOptions options = {});
 
   // Drops the entry whose *identity* (code bytes) matches. Used on reload:
   // when a loader replaces a program it can retire the stale artifact so the
@@ -57,8 +62,10 @@ class VerifiedProgramCache {
 
   // Certification digests only the code bytes (Program::identity()), but two
   // programs with identical code can still differ in entry points or memory
-  // size, so the cache key covers the full structural tuple.
-  static std::string KeyOf(const Program& program);
+  // size — and identical programs verified under different options yield
+  // different artifacts — so the cache key covers the full structural tuple
+  // plus the options.
+  static std::string KeyOf(const Program& program, VerifyOptions options);
 
   size_t capacity_;
   LruList lru_;  // front = most recently used

@@ -37,7 +37,27 @@ namespace para::sfi {
 // one past it. The VM's dispatch table covers all kDecodedOpCount values.
 inline constexpr uint8_t kOpCheckStack = static_cast<uint8_t>(Op::kOpCount);
 inline constexpr uint8_t kOpEndOfCode = kOpCheckStack + 1;
-inline constexpr size_t kDecodedOpCount = kOpEndOfCode + 1;
+
+// Superinstructions: the hot decoded pairs compiled classifiers emit, fused
+// by the verifier into a single dispatch (threaded dispatch costs ~2 ns per
+// op, so a fused pair halves the loop overhead of that pair). A pair is only
+// fused when the second instruction is not a basic-block leader — nothing
+// can ever jump into the middle of a fused op. Each fused op meters as TWO
+// instructions (two fuel decrements, two retire counts, in order), so fuel
+// boundaries and VmStats stay bit-identical to the unfused stream.
+inline constexpr uint8_t kOpFusedPushLoad8 = kOpEndOfCode + 1;  // push imm; loadN
+inline constexpr uint8_t kOpFusedPushLoad16 = kOpEndOfCode + 2;
+inline constexpr uint8_t kOpFusedPushLoad32 = kOpEndOfCode + 3;
+inline constexpr uint8_t kOpFusedPushLoad64 = kOpEndOfCode + 4;
+inline constexpr uint8_t kOpFusedEqJz = kOpEndOfCode + 5;  // cmp; jz/jnz
+inline constexpr uint8_t kOpFusedEqJnz = kOpEndOfCode + 6;
+inline constexpr uint8_t kOpFusedNeJz = kOpEndOfCode + 7;
+inline constexpr uint8_t kOpFusedNeJnz = kOpEndOfCode + 8;
+inline constexpr uint8_t kOpFusedLtUJz = kOpEndOfCode + 9;
+inline constexpr uint8_t kOpFusedLtUJnz = kOpEndOfCode + 10;
+inline constexpr uint8_t kOpFusedGtUJz = kOpEndOfCode + 11;
+inline constexpr uint8_t kOpFusedGtUJnz = kOpEndOfCode + 12;
+inline constexpr size_t kDecodedOpCount = kOpFusedGtUJnz + 1;
 
 // One pre-decoded instruction. 16 bytes, fixed width.
 struct DecodedInsn {
@@ -65,6 +85,7 @@ struct VerifyReport {
   size_t memory_ops = 0;
   size_t basic_blocks = 0;
   size_t stack_checks = 0;  // kCheckStack instructions materialized
+  size_t fused_pairs = 0;   // superinstructions emitted (two byte insns each)
 };
 
 // A verified, executable program. Immutable after Verify() builds it — Vm
@@ -75,6 +96,7 @@ struct VerifiedProgram {
   std::vector<DecodedInsn> code;      // decoded stream + synthetics + sentinel
   std::vector<uint32_t> entry_points; // decoded-stream indices, per method slot
   VerifyReport report;
+  bool fused = false;  // whether the superinstruction pass ran (VerifyOptions)
 
   // Code identity for certification: digests the byte form, exactly as
   // before — the decoded stream is derived, never signed.

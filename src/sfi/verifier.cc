@@ -10,9 +10,37 @@ namespace {
 
 constexpr uint32_t kNoInsn = std::numeric_limits<uint32_t>::max();
 
+// The superinstruction table: returns the fused decoded opcode for the pair
+// (a, b), or 0 if the pair is not fusable. Only pairs whose first
+// instruction is pure stack traffic are fused, so a fault between the two
+// halves (fuel exhaustion, bounds violation) leaves nothing externally
+// visible half-done.
+uint8_t FusedOp(Op a, Op b) {
+  if (a == Op::kPush) {
+    switch (b) {
+      case Op::kLoad8: return kOpFusedPushLoad8;
+      case Op::kLoad16: return kOpFusedPushLoad16;
+      case Op::kLoad32: return kOpFusedPushLoad32;
+      case Op::kLoad64: return kOpFusedPushLoad64;
+      default: return 0;
+    }
+  }
+  if (b != Op::kJz && b != Op::kJnz) {
+    return 0;
+  }
+  const bool jnz = b == Op::kJnz;
+  switch (a) {
+    case Op::kEq: return jnz ? kOpFusedEqJnz : kOpFusedEqJz;
+    case Op::kNe: return jnz ? kOpFusedNeJnz : kOpFusedNeJz;
+    case Op::kLtU: return jnz ? kOpFusedLtUJnz : kOpFusedLtUJz;
+    case Op::kGtU: return jnz ? kOpFusedGtUJnz : kOpFusedGtUJz;
+    default: return 0;
+  }
+}
+
 }  // namespace
 
-Result<VerifiedProgram> Verify(Program program) {
+Result<VerifiedProgram> Verify(Program program, VerifyOptions options) {
   const auto& code = program.code;
   if (code.empty()) {
     return Status(ErrorCode::kInvalidArgument, "empty program");
@@ -150,7 +178,11 @@ Result<VerifiedProgram> Verify(Program program) {
   // Pass 5: emit the decoded stream. A block whose envelope is non-trivial
   // gets a synthetic kCheckStack ahead of its first instruction; jump
   // targets and entry points are rewritten to point at the check (so every
-  // entry into the block — branch or fall-through — runs it). A kEndOfCode
+  // entry into the block — branch or fall-through — runs it). With fusion
+  // enabled, a fusable pair whose second instruction is not a leader (no
+  // branch can land between the halves) collapses into one superinstruction
+  // slot; the second instruction's decoded position aliases that slot so the
+  // pair's own jump target is patched into the fused op below. A kEndOfCode
   // sentinel terminates the stream so running off the end is an ordinary
   // dispatch, not undefined behaviour.
   VerifiedProgram out;
@@ -170,6 +202,25 @@ Result<VerifiedProgram> Verify(Program program) {
     }
     decoded_pos[i] = static_cast<uint32_t>(out.code.size());
     DecodedInsn decoded;
+    uint8_t fused = 0;
+    if (options.fuse_superinstructions && i + 1 < insns.size() && !leader[i + 1]) {
+      fused = FusedOp(insns[i].op, insns[i + 1].op);
+    }
+    if (fused != 0) {
+      decoded.op = fused;
+      if (insns[i].op == Op::kPush) {
+        std::memcpy(&decoded.imm, code.data() + insns[i].offset + 1, 8);
+      }
+      // The absorbed instruction shares the fused slot: jump fixups recorded
+      // against it (the jz/jnz half) land in the superinstruction. It can
+      // never be a jump target itself — that is the !leader condition.
+      decoded_pos[i + 1] = decoded_pos[i];
+      decoded_entry[i + 1] = decoded_pos[i];
+      out.code.push_back(decoded);
+      ++report.fused_pairs;
+      ++i;
+      continue;
+    }
     decoded.op = static_cast<uint8_t>(insns[i].op);
     switch (insns[i].op) {
       case Op::kPush:
@@ -195,6 +246,7 @@ Result<VerifiedProgram> Verify(Program program) {
     out.entry_points.push_back(decoded_entry[index_at[entry]]);
   }
   out.report = report;
+  out.fused = options.fuse_superinstructions;
   out.program = std::move(program);
   return out;
 }

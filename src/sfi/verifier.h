@@ -21,12 +21,24 @@ namespace para::sfi {
 // system-wide cap on loadable bytecode.
 inline constexpr size_t kMaxProgramBytes = 1u << 20;
 
+// Knobs for the executable artifact verification builds. The *byte* program
+// accepted or rejected is unaffected — options only shape the derived
+// decoded stream.
+struct VerifyOptions {
+  // Fuse hot decoded pairs (push+load, compare+branch) into single-dispatch
+  // superinstructions. Metering is bit-identical either way (a fused pair
+  // meters as two instructions); the differential suite proves it. Off is
+  // mainly for A/B measurement and for oracles that want the plain stream.
+  bool fuse_superinstructions = true;
+};
+
 // Verifies `program` and, on success, returns the executable artifact. The
 // byte program moves into the result as its certified identity; the decoded
-// stream, rewritten jump targets, and per-block stack envelopes are built
-// here so the VM never re-decodes. Taking the program by value: callers that
-// keep their own copy pass one explicitly.
-Result<VerifiedProgram> Verify(Program program);
+// stream, rewritten jump targets, per-block stack envelopes, and (by
+// default) fused superinstructions are built here so the VM never
+// re-decodes. Taking the program by value: callers that keep their own copy
+// pass one explicitly.
+Result<VerifiedProgram> Verify(Program program, VerifyOptions options = {});
 
 }  // namespace para::sfi
 

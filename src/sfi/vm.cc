@@ -59,7 +59,10 @@ Result<uint64_t> Vm::RunImpl(size_t method, uint64_t a0, uint64_t a1, uint64_t a
                              uint64_t a3) {
   const DecodedInsn* const code = program_->code.data();
   constexpr bool sandboxed = kSandboxed;
-  const size_t mem_size = memory_.size() - 8;  // power of two; 8 bytes of slack beyond
+  // Power of two with 8 bytes of slack beyond — but memory() is a mutable
+  // accessor, so saturate rather than wrap if a caller shrank it below the
+  // slack (a wrapped mem_size would disable every sandbox bounds check).
+  const size_t mem_size = memory_.size() < 8 ? 0 : memory_.size() - 8;
   uint8_t* const mem = memory_.data();
   (void)mem_size;
 
@@ -111,7 +114,9 @@ Result<uint64_t> Vm::RunImpl(size_t method, uint64_t a0, uint64_t a1, uint64_t a
       &&lbl_gtu,    &&lbl_not_,    &&lbl_load8,  &&lbl_load16, &&lbl_load32, &&lbl_load64,
       &&lbl_store8, &&lbl_store16, &&lbl_store32, &&lbl_store64, &&lbl_jmp, &&lbl_jz,
       &&lbl_jnz,    &&lbl_call,   &&lbl_ret,    &&lbl_ldarg,  &&lbl_retv,  &&lbl_check,
-      &&lbl_end,
+      &&lbl_end,    &&lbl_pushload8, &&lbl_pushload16, &&lbl_pushload32, &&lbl_pushload64,
+      &&lbl_eqjz,   &&lbl_eqjnz,  &&lbl_nejz,   &&lbl_nejnz,  &&lbl_ltujz, &&lbl_ltujnz,
+      &&lbl_gtujz,  &&lbl_gtujnz,
   };
 #define VM_OP(name, value) lbl_##name:
 #define VM_NEXT()                 \
@@ -162,6 +167,43 @@ Result<uint64_t> Vm::RunImpl(size_t method, uint64_t a0, uint64_t a1, uint64_t a
     stack[sp - 1] = loaded;                                          \
     ++pc;                                                            \
     VM_NEXT();                                                       \
+  }
+
+// Superinstructions. Each one meters TWICE, in the same order the unfused
+// pair would (fuel check precedes each retire), so instruction counts and
+// fuel-exhaustion boundaries are bit-identical to the plain stream. The
+// first half of every fused pair is pure stack traffic, so a fault on the
+// second half leaves no externally visible partial effect.
+
+// push imm; loadN — the address is an immediate, so no stack round trip.
+#define VM_FUSED_PUSH_LOAD(name, value, width)                       \
+  VM_OP(name, value) {                                               \
+    VM_METER(); /* the push */                                       \
+    VM_METER(); /* the load */                                       \
+    uint64_t addr = insn->imm;                                       \
+    if constexpr (sandboxed) {                                       \
+      ++counters.checks;                                             \
+      if (addr > mem_size || mem_size - addr < (width)) {            \
+        return Status(ErrorCode::kOutOfRange, "load out of bounds"); \
+      }                                                              \
+    }                                                                \
+    uint64_t loaded = 0;                                             \
+    std::memcpy(&loaded, mem + addr, (width));                       \
+    stack[sp++] = loaded;                                            \
+    ++pc;                                                            \
+    VM_NEXT();                                                       \
+  }
+
+// cmp; jz/jnz — `taken` is the branch condition with the comparison folded
+// in (e.g. eq+jz takes the branch when lhs != rhs).
+#define VM_FUSED_CMP_JUMP(name, value, taken) \
+  VM_OP(name, value) {                        \
+    VM_METER(); /* the compare */             \
+    VM_METER(); /* the branch */              \
+    uint64_t rhs = stack[--sp];               \
+    uint64_t lhs = stack[--sp];               \
+    pc = (taken) ? insn->target : pc + 1;     \
+    VM_NEXT();                                \
   }
 
 #define VM_STORE(name, value, width)                                  \
@@ -326,6 +368,19 @@ Result<uint64_t> Vm::RunImpl(size_t method, uint64_t a0, uint64_t a1, uint64_t a
     return Status(ErrorCode::kOutOfRange, "pc out of code");
   }
 
+  VM_FUSED_PUSH_LOAD(pushload8, kOpFusedPushLoad8, 1)
+  VM_FUSED_PUSH_LOAD(pushload16, kOpFusedPushLoad16, 2)
+  VM_FUSED_PUSH_LOAD(pushload32, kOpFusedPushLoad32, 4)
+  VM_FUSED_PUSH_LOAD(pushload64, kOpFusedPushLoad64, 8)
+  VM_FUSED_CMP_JUMP(eqjz, kOpFusedEqJz, lhs != rhs)
+  VM_FUSED_CMP_JUMP(eqjnz, kOpFusedEqJnz, lhs == rhs)
+  VM_FUSED_CMP_JUMP(nejz, kOpFusedNeJz, lhs == rhs)
+  VM_FUSED_CMP_JUMP(nejnz, kOpFusedNeJnz, lhs != rhs)
+  VM_FUSED_CMP_JUMP(ltujz, kOpFusedLtUJz, lhs >= rhs)
+  VM_FUSED_CMP_JUMP(ltujnz, kOpFusedLtUJnz, lhs < rhs)
+  VM_FUSED_CMP_JUMP(gtujz, kOpFusedGtUJz, lhs <= rhs)
+  VM_FUSED_CMP_JUMP(gtujnz, kOpFusedGtUJnz, lhs > rhs)
+
   VM_DISPATCH_END()
 
 #undef VM_METER
@@ -336,6 +391,8 @@ Result<uint64_t> Vm::RunImpl(size_t method, uint64_t a0, uint64_t a1, uint64_t a
 #undef VM_BINOP
 #undef VM_LOAD
 #undef VM_STORE
+#undef VM_FUSED_PUSH_LOAD
+#undef VM_FUSED_CMP_JUMP
 }
 
 }  // namespace para::sfi

@@ -2,8 +2,8 @@
 // over the simulated link, the filter installed at the stack's ingress /
 // egress hook points and at the driver's frame hook, verdict events observed
 // by a monitor, filter chains named in the directory, and hot rule-set
-// reloads (including the sandboxed -> certified-trusted upgrade) that keep
-// established flows alive.
+// reloads (including the sandboxed -> certified-trusted upgrade) with the
+// opt-in keep-alive semantics that let established flows survive them.
 #include <gtest/gtest.h>
 
 #include <string>
@@ -170,6 +170,9 @@ TEST_F(FilterIntegrationTest, EgressFilterBlocksAtTheSource) {
 TEST_F(FilterIntegrationTest, HotReloadKeepsEstablishedFlowsAcrossModes) {
   FilterConfig config;
   config.name = "ingress";
+  // This test exercises the opt-in keep-alive semantics; the default
+  // re-evaluates established flows after a reload (covered in filter_test).
+  config.flow_keepalive_across_reloads = true;
   auto filter = PacketFilter::Create(config);
   ASSERT_TRUE(filter.ok());
   auto permissive = ParseRules("pass dport 80\ndefault drop\n");
@@ -207,6 +210,7 @@ TEST_F(FilterIntegrationTest, HotReloadKeepsEstablishedFlowsAcrossModes) {
 TEST_F(FilterIntegrationTest, FlowEvictionUnderPressureForcesReevaluation) {
   FilterConfig config;
   config.flow_capacity = 4;
+  config.flow_keepalive_across_reloads = true;  // isolate LRU-eviction effects
   auto filter = PacketFilter::Create(config);
   ASSERT_TRUE(filter.ok());
   auto permissive = ParseRules("pass dport 80\ndefault drop\n");

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -198,31 +199,39 @@ TEST(CompilerTest, RejectsOversizedRuleSets) {
 }
 
 // Differential: random rule sets x random packets, compiled (in both modes)
-// vs the native matcher. Any divergence is a compiler bug.
+// vs the native matcher. Any divergence is a compiler bug. The generator is
+// deliberately range/prefix-heavy (nested networks from a small pool of
+// bases, overlapping port ranges) so the LPM-trie and interval dispatch
+// paths — not just exact buckets — carry real load.
 TEST(CompilerTest, DifferentialAgainstNativeMatcher) {
   para::Random rng(0xF17E12);
+  // A small pool of network bases so random prefixes nest and collide.
+  const uint32_t kBases[] = {0x0A000000u, 0x0A010000u, 0x0A010200u, 0xC0A80000u, 0xAC100000u};
+  const uint8_t kPrefixes[] = {4, 8, 12, 16, 20, 24, 28, 32};
+  auto random_network = [&](uint32_t* ip, uint8_t* prefix) {
+    *ip = kBases[rng.NextBelow(std::size(kBases))] | (rng.Next32() & 0xFFFF);
+    *prefix = kPrefixes[rng.NextBelow(std::size(kPrefixes))];
+  };
   for (int round = 0; round < 40; ++round) {
     RuleSet set;
     set.default_verdict = static_cast<FilterVerdict>(rng.NextBelow(4));
-    size_t rule_count = 1 + rng.NextBelow(8);
+    size_t rule_count = 1 + rng.NextBelow(24);
     for (size_t i = 0; i < rule_count; ++i) {
       Rule rule;
       rule.verdict = static_cast<FilterVerdict>(rng.NextBelow(4));
       if (rng.NextBool(0.5)) {
-        rule.src_ip = rng.Next32();
-        rule.src_prefix = static_cast<uint8_t>(1 + rng.NextBelow(32));
+        random_network(&rule.src_ip, &rule.src_prefix);
       }
       if (rng.NextBool(0.5)) {
-        rule.dst_ip = rng.Next32();
-        rule.dst_prefix = static_cast<uint8_t>(1 + rng.NextBelow(32));
+        random_network(&rule.dst_ip, &rule.dst_prefix);
       }
       if (rng.NextBool(0.5)) {
-        rule.sport_lo = static_cast<net::Port>(rng.NextBelow(8));
-        rule.sport_hi = static_cast<net::Port>(rule.sport_lo + rng.NextBelow(8));
+        rule.sport_lo = static_cast<net::Port>(rng.NextBelow(12));
+        rule.sport_hi = static_cast<net::Port>(rule.sport_lo + rng.NextBelow(12));
       }
       if (rng.NextBool(0.5)) {
-        rule.dport_lo = static_cast<net::Port>(rng.NextBelow(8));
-        rule.dport_hi = static_cast<net::Port>(rule.dport_lo + rng.NextBelow(8));
+        rule.dport_lo = static_cast<net::Port>(rng.NextBelow(12));
+        rule.dport_hi = static_cast<net::Port>(rule.dport_lo + rng.NextBelow(12));
       }
       if (rng.NextBool(0.4)) {
         rule.proto = static_cast<int16_t>(rng.NextBelow(3));
@@ -258,16 +267,20 @@ TEST(CompilerTest, DifferentialAgainstNativeMatcher) {
         byte = static_cast<uint8_t>(rng.NextBelow(4));
       }
       PacketView view;
-      // Small field domains so rules and packets actually collide.
+      // Small field domains so rules and packets actually collide; half the
+      // packets land inside a random rule's networks (with random host bits,
+      // so non-/32 prefixes are hit away from their base address too).
       view.src_ip = static_cast<net::IpAddr>(rng.Next32());
       view.dst_ip = static_cast<net::IpAddr>(rng.Next32());
       if (!set.rules.empty() && rng.NextBool(0.5)) {
         const Rule& target = set.rules[rng.NextBelow(set.rules.size())];
-        view.src_ip = target.src_ip;
-        view.dst_ip = target.dst_ip;
+        uint32_t src_mask = PrefixMask(target.src_prefix);
+        uint32_t dst_mask = PrefixMask(target.dst_prefix);
+        view.src_ip = (target.src_ip & src_mask) | (rng.Next32() & ~src_mask & 0xFFFF);
+        view.dst_ip = (target.dst_ip & dst_mask) | (rng.Next32() & ~dst_mask & 0xFFFF);
       }
-      view.src_port = static_cast<net::Port>(rng.NextBelow(16));
-      view.dst_port = static_cast<net::Port>(rng.NextBelow(16));
+      view.src_port = static_cast<net::Port>(rng.NextBelow(24));
+      view.dst_port = static_cast<net::Port>(rng.NextBelow(24));
       view.proto = static_cast<uint8_t>(rng.NextBelow(3));
       view.payload = payload;
 
@@ -353,9 +366,10 @@ TEST(DecisionTreeTest, FirstMatchSemanticsSurviveBucketing) {
   }
 }
 
-TEST(DecisionTreeTest, FallsBackToLinearWhenNothingDiscriminates) {
-  // Port ranges and short prefixes are wildcards to the dispatcher: with no
-  // exactly-constrained field, the tree degenerates to the linear chain.
+TEST(DecisionTreeTest, PrefixesAndRangesNowDispatch) {
+  // Port ranges and short prefixes used to be wildcards to the dispatcher
+  // (this exact rule set degenerated to the linear chain); they are now
+  // first-class dispatch shapes — and the semantics must not move.
   auto set = ParseRules(
       "drop sport 1000-2000\n"
       "pass from 10.0.0.0/8\n"
@@ -365,8 +379,198 @@ TEST(DecisionTreeTest, FallsBackToLinearWhenNothingDiscriminates) {
   ASSERT_TRUE(set.ok());
   auto compiled = CompileRules(*set, {CompileBackend::kDecisionTree});
   ASSERT_TRUE(compiled.ok());
+  EXPECT_EQ(compiled->backend, CompileBackend::kDecisionTree);
+  EXPECT_GT(compiled->dispatch_nodes, 0u);
+
+  auto verified = sfi::Verify(compiled->program);
+  ASSERT_TRUE(verified.ok());
+  sfi::Vm vm(&*verified, sfi::ExecMode::kSandboxed);
+  for (net::Port sport : {999, 1000, 1500, 2000, 2001}) {
+    for (net::Port dport : {4999, 5000, 6000, 6001}) {
+      for (net::IpAddr src : {0x0A000001u, 0x0AFFFFFFu, 0xC0A80001u, 0xC0A90001u, 0x7F000001u}) {
+        PacketView view{src, 2, sport, dport, net::kIpProtoUdpLite, {}};
+        EXPECT_EQ(RunCompiled(*compiled, vm, view), NativeMatch(*set, view))
+            << "src=" << src << " sport=" << sport << " dport=" << dport;
+      }
+    }
+  }
+}
+
+TEST(DecisionTreeTest, FallsBackToLinearWhenNothingDiscriminates) {
+  // Payload-only rules give the dispatcher no packet field to split on: the
+  // tree degenerates to the linear chain.
+  auto set = ParseRules(
+      "drop payload 0=0x7F\n"
+      "pass payload 1=0x45/0xF0\n"
+      "count payload 2=0x01\n"
+      "reject payload 3=0x02\n"
+      "default drop\n");
+  ASSERT_TRUE(set.ok());
+  auto compiled = CompileRules(*set, {CompileBackend::kDecisionTree});
+  ASSERT_TRUE(compiled.ok());
   EXPECT_EQ(compiled->backend, CompileBackend::kLinear);
   EXPECT_EQ(compiled->dispatch_nodes, 0u);
+}
+
+TEST(DecisionTreeTest, LpmTrieDispatchesPrefixHeavySets) {
+  // 64 distinct /16 networks: the old tree treated every one as a wildcard
+  // and walked the chain; the LPM node must bucket by the leading 16 bits.
+  RuleSet set;
+  for (uint32_t i = 0; i < 64; ++i) {
+    Rule rule;
+    rule.verdict = FilterVerdict::kDrop;
+    rule.dst_ip = (0xC0u << 24) | (i << 16);
+    rule.dst_prefix = 16;
+    set.rules.push_back(rule);
+  }
+  set.default_verdict = FilterVerdict::kPass;
+
+  auto tree = CompileRules(set, {CompileBackend::kDecisionTree});
+  auto linear = CompileRules(set, {CompileBackend::kLinear});
+  ASSERT_TRUE(tree.ok());
+  ASSERT_TRUE(linear.ok());
+  EXPECT_EQ(tree->backend, CompileBackend::kDecisionTree);
+  EXPECT_GT(tree->lpm_nodes, 0u);
+  EXPECT_EQ(tree->emitted_rule_instances, 64u);  // one bucket each, no duplication
+
+  auto tree_verified = sfi::Verify(tree->program);
+  auto linear_verified = sfi::Verify(linear->program);
+  ASSERT_TRUE(tree_verified.ok());
+  ASSERT_TRUE(linear_verified.ok());
+  sfi::Vm tree_vm(&*tree_verified, sfi::ExecMode::kSandboxed);
+  sfi::Vm linear_vm(&*linear_verified, sfi::ExecMode::kSandboxed);
+
+  // Any address inside the last network (not just its base) must match it.
+  PacketView view{1, (0xC0u << 24) | (63u << 16) | 0x1234u, 1, 2, 0, {}};
+  uint64_t expected = NativeMatch(set, view);
+  EXPECT_EQ(DecodeVerdict(expected).rule, 63u);
+  EXPECT_EQ(RunCompiled(*tree, tree_vm, view), expected);
+  EXPECT_EQ(RunCompiled(*linear, linear_vm, view), expected);
+  // Logarithmic dispatch, not a 63-rule walk.
+  EXPECT_LT(tree_vm.stats().instructions, linear_vm.stats().instructions / 4);
+}
+
+TEST(DecisionTreeTest, LpmTrieSplitsNestedPrefixesDeeper) {
+  // A covering /8 plus /16s nested inside it plus /24s inside one of those:
+  // stride selection must not stall on the /8 (it rides as this node's
+  // wildcard) and deeper nodes must consume further bits.
+  auto set = ParseRules(
+      "count from 10.0.0.0/8\n"
+      "drop from 10.1.0.0/16\n"
+      "pass from 10.2.0.0/16\n"
+      "reject from 10.2.3.0/24\n"
+      "drop from 10.2.4.0/24\n"
+      "pass from 11.0.0.0/8\n"
+      "default drop\n");
+  ASSERT_TRUE(set.ok());
+  auto tree = CompileRules(*set, {CompileBackend::kDecisionTree});
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->backend, CompileBackend::kDecisionTree);
+  EXPECT_GT(tree->lpm_nodes, 0u);
+
+  auto verified = sfi::Verify(tree->program);
+  ASSERT_TRUE(verified.ok());
+  sfi::Vm vm(&*verified, sfi::ExecMode::kSandboxed);
+  for (net::IpAddr src :
+       {0x0A000001u,  // 10.0.x: only the /8 (count, rule 0 — first match)
+        0x0A010001u,  // 10.1.x: rule 0 still wins (priority over the /16)
+        0x0A020301u,  // 10.2.3.x: rule 0 wins over the nested /24 too
+        0x0B000001u,  // 11.x: rule 5
+        0x0C000001u}) {
+    PacketView view{src, 2, 3, 4, 0, {}};
+    EXPECT_EQ(RunCompiled(*tree, vm, view), NativeMatch(*set, view)) << "src=" << src;
+  }
+
+  // Priority inverted: nested-longest first, so the /24s and /16s actually
+  // decide — the trie must preserve that ordering as well.
+  auto inverted = ParseRules(
+      "reject from 10.2.3.0/24\n"
+      "drop from 10.2.4.0/24\n"
+      "drop from 10.1.0.0/16\n"
+      "pass from 10.2.0.0/16\n"
+      "count from 10.0.0.0/8\n"
+      "default drop\n");
+  ASSERT_TRUE(inverted.ok());
+  auto inv_tree = CompileRules(*inverted, {CompileBackend::kDecisionTree});
+  ASSERT_TRUE(inv_tree.ok());
+  auto inv_verified = sfi::Verify(inv_tree->program);
+  ASSERT_TRUE(inv_verified.ok());
+  sfi::Vm inv_vm(&*inv_verified, sfi::ExecMode::kSandboxed);
+  for (net::IpAddr src : {0x0A020301u, 0x0A020401u, 0x0A020501u, 0x0A010001u, 0x0A000001u,
+                          0x0B000001u}) {
+    PacketView view{src, 2, 3, 4, 0, {}};
+    EXPECT_EQ(RunCompiled(*inv_tree, inv_vm, view), NativeMatch(*inverted, view))
+        << "src=" << src;
+  }
+}
+
+TEST(DecisionTreeTest, IntervalDispatchesRangeHeavySets) {
+  // 64 disjoint port ranges: interval binary search over the endpoints, not
+  // a 64-rule walk.
+  RuleSet set;
+  for (uint32_t i = 0; i < 64; ++i) {
+    Rule rule;
+    rule.verdict = FilterVerdict::kDrop;
+    rule.dport_lo = static_cast<net::Port>(1000 + 10 * i);
+    rule.dport_hi = static_cast<net::Port>(1000 + 10 * i + 9);
+    set.rules.push_back(rule);
+  }
+  set.default_verdict = FilterVerdict::kPass;
+
+  auto tree = CompileRules(set, {CompileBackend::kDecisionTree});
+  auto linear = CompileRules(set, {CompileBackend::kLinear});
+  ASSERT_TRUE(tree.ok());
+  ASSERT_TRUE(linear.ok());
+  EXPECT_EQ(tree->backend, CompileBackend::kDecisionTree);
+  EXPECT_GT(tree->interval_nodes, 0u);
+
+  auto tree_verified = sfi::Verify(tree->program);
+  auto linear_verified = sfi::Verify(linear->program);
+  ASSERT_TRUE(tree_verified.ok());
+  ASSERT_TRUE(linear_verified.ok());
+  sfi::Vm tree_vm(&*tree_verified, sfi::ExecMode::kSandboxed);
+  sfi::Vm linear_vm(&*linear_verified, sfi::ExecMode::kSandboxed);
+
+  // Range interior, boundaries, gaps outside every range.
+  for (net::Port dport : {999, 1000, 1004, 1009, 1635, 1639, 1999, 2000}) {
+    PacketView view{1, 2, 3, dport, 0, {}};
+    uint64_t expected = NativeMatch(set, view);
+    EXPECT_EQ(RunCompiled(*tree, tree_vm, view), expected) << dport;
+    EXPECT_EQ(RunCompiled(*linear, linear_vm, view), expected) << dport;
+  }
+  // Fresh VMs for a clean per-packet instruction comparison: a packet deep
+  // in the rule set must binary-search, not walk.
+  sfi::Vm tree_probe(&*tree_verified, sfi::ExecMode::kSandboxed);
+  sfi::Vm linear_probe(&*linear_verified, sfi::ExecMode::kSandboxed);
+  PacketView last{1, 2, 3, 1635, 0, {}};
+  EXPECT_EQ(RunCompiled(*tree, tree_probe, last), RunCompiled(*linear, linear_probe, last));
+  EXPECT_LT(tree_probe.stats().instructions, linear_probe.stats().instructions / 4);
+}
+
+TEST(DecisionTreeTest, OverlappingRangesKeepFirstMatchOrder) {
+  // Nested and overlapping ranges with interleaved priorities: every
+  // elementary segment must test its covering rules in original order.
+  auto set = ParseRules(
+      "count dport 100-200\n"
+      "drop dport 150-160\n"    // shadowed by the count rule
+      "pass dport 190-300\n"    // decides only 201-300
+      "reject dport 250-260\n"  // shadowed by the pass rule
+      "drop sport 1-10\n"       // different field: rides across segments
+      "default drop\n");
+  ASSERT_TRUE(set.ok());
+  auto tree = CompileRules(*set, {CompileBackend::kDecisionTree});
+  ASSERT_TRUE(tree.ok());
+  auto verified = sfi::Verify(tree->program);
+  ASSERT_TRUE(verified.ok());
+  sfi::Vm vm(&*verified, sfi::ExecMode::kSandboxed);
+
+  for (net::Port sport : {0, 5, 11}) {
+    for (net::Port dport : {99, 100, 149, 155, 189, 195, 201, 255, 300, 301}) {
+      PacketView view{1, 2, sport, dport, 0, {}};
+      EXPECT_EQ(RunCompiled(*tree, vm, view), NativeMatch(*set, view))
+          << "sport=" << sport << " dport=" << dport;
+    }
+  }
 }
 
 // --- verifier rejection paths (the filter must never load unverified code) --
@@ -582,12 +786,101 @@ TEST(PacketFilterTest, FlowFastPathAndCounters) {
   EXPECT_EQ((*filter)->flows().size(), 1u);
 }
 
-TEST(PacketFilterTest, HotReloadPreservesEstablishedFlows) {
+TEST(PacketFilterTest, HotReloadReevaluatesEstablishedFlowsByDefault) {
+  // Tightening the rules must take effect for established conversations too:
+  // a flow admitted under epoch N that hits the table under epoch N+1 is
+  // sent back through the installed classifier (and, failing it, dropped) —
+  // the cached verdict of a dead rule-set generation is never served.
   auto permissive = ParseRules("pass dport 80\ndefault drop\n");
   auto lockdown = ParseRules("default drop\n");
   ASSERT_TRUE(permissive.ok() && lockdown.ok());
 
   auto filter = PacketFilter::Create({});
+  ASSERT_TRUE(filter.ok());
+  ASSERT_TRUE((*filter)->Load(*permissive).ok());
+
+  PacketView established{0x0A000001, 0x0A000002, 4000, 80, net::kIpProtoUdpLite, {}};
+  EXPECT_EQ((*filter)->Evaluate(established, FilterDirection::kIngress).verdict,
+            FilterVerdict::kPass);
+  EXPECT_EQ((*filter)->Evaluate(established, FilterDirection::kIngress).verdict,
+            FilterVerdict::kPass);
+  EXPECT_EQ((*filter)->stats().flow_hits, 1u);
+
+  ASSERT_TRUE((*filter)->Load(*lockdown).ok());
+
+  // The established flow re-evaluates against the lockdown rules and drops;
+  // its stale entry is gone (drops do not re-establish).
+  EXPECT_EQ((*filter)->Evaluate(established, FilterDirection::kIngress).verdict,
+            FilterVerdict::kDrop);
+  EXPECT_EQ((*filter)->stats().flow_reevaluations, 1u);
+  EXPECT_EQ((*filter)->stats().flow_hits, 1u);  // the stale hit was not served
+  EXPECT_EQ((*filter)->flows().size(), 0u);
+
+  // Loosening works the same way: a reload back to permissive rules
+  // re-admits the flow on its next packet.
+  ASSERT_TRUE((*filter)->Load(*permissive).ok());
+  EXPECT_EQ((*filter)->Evaluate(established, FilterDirection::kIngress).verdict,
+            FilterVerdict::kPass);
+  EXPECT_EQ((*filter)->flows().size(), 1u);
+}
+
+TEST(PacketFilterTest, ReloadReevaluatesReplyTrafficInForwardOrientation) {
+  // Rules pass only dport 80, so the reply tuple (sport 80) never matched
+  // them — only the reverse-tuple fast path lets replies through. After a
+  // reload (even of the identical rule set: every reload bumps the epoch),
+  // the stale-epoch re-evaluation must therefore judge the conversation's
+  // FORWARD orientation; judging the reply tuple would wedge every
+  // server-speaks-next conversation the rules still admit.
+  auto rules = ParseRules("pass dport 80\ndefault drop\n");
+  auto lockdown = ParseRules("default drop\n");
+  ASSERT_TRUE(rules.ok() && lockdown.ok());
+  auto filter = PacketFilter::Create({});
+  ASSERT_TRUE(filter.ok());
+  ASSERT_TRUE((*filter)->Load(*rules).ok());
+
+  std::string body = "pong";
+  PacketView request{0x0A000001, 0x0A000002, 4000, 80, net::kIpProtoUdpLite, {}};
+  PacketView reply{0x0A000002, 0x0A000001, 80, 4000, net::kIpProtoUdpLite, Bytes(body)};
+  EXPECT_EQ((*filter)->Evaluate(request, FilterDirection::kEgress).verdict,
+            FilterVerdict::kPass);
+
+  // Reload the same rules; the server speaks next. The flow re-admits in
+  // its original orientation and the reply passes.
+  ASSERT_TRUE((*filter)->Load(*rules).ok());
+  EXPECT_EQ((*filter)->Evaluate(reply, FilterDirection::kIngress).verdict,
+            FilterVerdict::kPass);
+  EXPECT_EQ((*filter)->stats().flow_reevaluations, 1u);
+  EXPECT_EQ((*filter)->flows().size(), 1u);
+
+  FlowKey key{request.src_ip, request.dst_ip, request.src_port, request.dst_port,
+              request.proto};
+  FlowEntry* flow = (*filter)->flows().Find(key);
+  ASSERT_NE(flow, nullptr);
+  EXPECT_EQ(flow->reverse_packets, 1u);  // the reply that re-admitted it
+  EXPECT_EQ(flow->reverse_bytes, body.size());
+  EXPECT_EQ(flow->packets, 0u);          // orientation preserved
+
+  // Forward traffic now hits the re-established entry in its own direction.
+  EXPECT_EQ((*filter)->Evaluate(request, FilterDirection::kEgress).verdict,
+            FilterVerdict::kPass);
+  EXPECT_EQ((*filter)->stats().flow_hits, 1u);
+
+  // A genuinely tightened rule set still drops the reply — fail closed.
+  ASSERT_TRUE((*filter)->Load(*lockdown).ok());
+  EXPECT_EQ((*filter)->Evaluate(reply, FilterDirection::kIngress).verdict,
+            FilterVerdict::kDrop);
+  EXPECT_EQ((*filter)->stats().flow_reevaluations, 2u);
+  EXPECT_EQ((*filter)->flows().size(), 0u);
+}
+
+TEST(PacketFilterTest, HotReloadKeepAliveIsOptIn) {
+  auto permissive = ParseRules("pass dport 80\ndefault drop\n");
+  auto lockdown = ParseRules("default drop\n");
+  ASSERT_TRUE(permissive.ok() && lockdown.ok());
+
+  FilterConfig config;
+  config.flow_keepalive_across_reloads = true;
+  auto filter = PacketFilter::Create(config);
   ASSERT_TRUE(filter.ok());
   ASSERT_TRUE((*filter)->Load(*permissive).ok());
 
@@ -600,13 +893,43 @@ TEST(PacketFilterTest, HotReloadPreservesEstablishedFlows) {
   ASSERT_TRUE((*filter)->Load(*lockdown).ok());
   EXPECT_GT((*filter)->epoch(), first_epoch);
 
-  // The established flow still passes (served from the flow table)...
+  // With keep-alive configured the established flow still passes (served
+  // from the flow table)...
   EXPECT_EQ((*filter)->Evaluate(established, FilterDirection::kIngress).verdict,
             FilterVerdict::kPass);
+  EXPECT_EQ((*filter)->stats().flow_reevaluations, 0u);
   // ...while a new flow is evaluated against the new rules and dropped.
   PacketView fresh{0x0A000001, 0x0A000002, 4001, 80, net::kIpProtoUdpLite, {}};
   EXPECT_EQ((*filter)->Evaluate(fresh, FilterDirection::kIngress).verdict,
             FilterVerdict::kDrop);
+}
+
+TEST(PacketFilterTest, DescriptorMarshallingFailureFailsClosed) {
+  // If the VM memory cannot hold the packet descriptor, running the
+  // classifier would score whatever bytes are still there — the previous
+  // packet. The filter must drop instead.
+  auto rules = ParseRules("drop dport 23\ndefault pass\n");
+  ASSERT_TRUE(rules.ok());
+  auto filter = PacketFilter::Create({});
+  ASSERT_TRUE(filter.ok());
+  ASSERT_TRUE((*filter)->Load(*rules).ok());
+
+  PacketView view{1, 2, 3, 80, net::kIpProtoUdpLite, {}};
+  EXPECT_EQ((*filter)->Evaluate(view, FilterDirection::kIngress).verdict,
+            FilterVerdict::kPass);
+
+  // Fault injection: shrink the VM memory below the descriptor size. A new
+  // 5-tuple forces the classifier path (the first flow stays established).
+  (*filter)->vm().memory().resize(8);
+  view.src_port = 4;
+  FilterDecision d = (*filter)->Evaluate(view, FilterDirection::kIngress);
+  EXPECT_EQ(d.verdict, FilterVerdict::kDrop);
+  EXPECT_EQ(d.rule, net::kDefaultRuleIndex);
+  EXPECT_EQ((*filter)->stats().descriptor_faults, 1u);
+  EXPECT_EQ((*filter)->stats().drop, 1u);
+  // A dropped-for-safety packet must not have established a flow either
+  // (the first packet's pass did).
+  EXPECT_EQ((*filter)->flows().size(), 1u);
 }
 
 TEST(PacketFilterTest, ReplyTrafficSharesEstablishedFlow) {

@@ -41,6 +41,85 @@ TEST(FlowTableTest, ReinsertUpdatesVerdictWithoutGrowth) {
   EXPECT_EQ(entry->epoch, 3u);
 }
 
+TEST(FlowTableTest, ReinsertResetsAllDirectionalCounters) {
+  // A re-established flow starts a new counter generation. The old code
+  // reset nothing; the filter patched packets/bytes back to 1 after insert
+  // but the reverse counters leaked through — a flow that re-established
+  // after carrying reply traffic reported phantom reverse packets.
+  FlowTable table(4);
+  FlowEntry* entry = table.Insert(Key(1), 1, 1);
+  entry->packets = 3;
+  entry->bytes = 300;
+  FlowEntry* reply = table.Find(Key(1).Reversed());
+  ASSERT_NE(reply, nullptr);
+  reply->reverse_packets = 2;
+  reply->reverse_bytes = 200;
+
+  FlowEntry* fresh = table.Insert(Key(1), 2, 2);
+  EXPECT_EQ(fresh->packets, 0u);
+  EXPECT_EQ(fresh->bytes, 0u);
+  EXPECT_EQ(fresh->reverse_packets, 0u);
+  EXPECT_EQ(fresh->reverse_bytes, 0u);
+  EXPECT_EQ(fresh->verdict, 2u);
+  EXPECT_EQ(fresh->epoch, 2u);
+}
+
+TEST(FlowTableTest, InsertReversedTupleReplacesTheConversationEntry) {
+  // Reply-first-style establishment: inserting the reversed orientation of a
+  // live entry must not create a second entry for the same conversation —
+  // two coexisting entries would split the conversation's counters and
+  // invert the directional ones. The new establishment defines "forward".
+  FlowTable table(4);
+  table.Insert(Key(1), 1, 1);
+  FlowEntry* reestablished = table.Insert(Key(1).Reversed(), 2, 2);
+  ASSERT_NE(reestablished, nullptr);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.stats().reorientations, 1u);
+  EXPECT_EQ(reestablished->key, Key(1).Reversed());
+  EXPECT_EQ(reestablished->verdict, 2u);
+
+  // Both directions now resolve to the one entry, with the establishing
+  // packet's orientation as forward.
+  FlowTable::Direction dir = FlowTable::Direction::kReverse;
+  EXPECT_EQ(table.Find(Key(1).Reversed(), &dir), reestablished);
+  EXPECT_EQ(dir, FlowTable::Direction::kForward);
+  EXPECT_EQ(table.Find(Key(1), &dir), reestablished);
+  EXPECT_EQ(dir, FlowTable::Direction::kReverse);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(FlowTableTest, ExpireThenReplyKeepsOneConversationEntry) {
+  // The forward entry idles past the TTL; the conversation is then
+  // re-admitted from the reply side. The expired husk must be reclaimed (as
+  // an expiration, not a live reorientation) and exactly one entry remain.
+  VirtualClock clock;
+  FlowTable table(4, &clock, /*ttl=*/100);
+  table.Insert(Key(1), 1, 1);
+  clock.Advance(150);
+
+  // The reply misses (expired)...
+  EXPECT_EQ(table.Find(Key(1).Reversed()), nullptr);
+  EXPECT_EQ(table.stats().expirations, 1u);
+  // ...and its re-establishment creates the single fresh entry.
+  FlowEntry* entry = table.Insert(Key(1).Reversed(), 2, 2);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(entry->key, Key(1).Reversed());
+  EXPECT_EQ(table.stats().reorientations, 0u);
+
+  // Insert-side reclamation too: a reversed insert while the husk is still
+  // in the table (no Find in between) counts as an expiration, not a
+  // reorientation of a live flow.
+  table.Clear();
+  table.Insert(Key(2), 1, 1);
+  clock.Advance(150);
+  FlowEntry* after = table.Insert(Key(2).Reversed(), 2, 2);
+  ASSERT_NE(after, nullptr);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.stats().expirations, 2u);
+  EXPECT_EQ(table.stats().reorientations, 0u);
+}
+
 TEST(FlowTableTest, EvictsLeastRecentlyUsedUnderPressure) {
   FlowTable table(3);
   table.Insert(Key(1), 1, 1);

@@ -87,6 +87,40 @@ TEST(ProgramCacheTest, KeyIsInjectiveAcrossFieldBoundaries) {
   EXPECT_EQ((*vb)->entry_points.size(), 1u);
 }
 
+TEST(ProgramCacheTest, VerifyOptionsKeyDistinctArtifacts) {
+  // The same bytes verified with and without superinstruction fusion are
+  // different executables; conflating them would hand a fusion-free caller a
+  // fused stream (or vice versa).
+  VerifiedProgramCache cache(8);
+  Assembler as;
+  as.EmitPush(0);
+  as.Emit(Op::kLoad64);  // push+load: fusable
+  as.Emit(Op::kRetV);
+  auto program = as.Finish();
+  ASSERT_TRUE(program.ok());
+
+  auto fused = cache.GetOrVerify(*program);
+  auto plain = cache.GetOrVerify(*program, {.fuse_superinstructions = false});
+  ASSERT_TRUE(fused.ok());
+  ASSERT_TRUE(plain.ok());
+  EXPECT_NE(fused->get(), plain->get());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_GT((*fused)->report.fused_pairs, 0u);
+  EXPECT_EQ((*plain)->report.fused_pairs, 0u);
+
+  // Repeat lookups hit their own slots.
+  EXPECT_EQ(cache.GetOrVerify(*program)->get(), fused->get());
+  EXPECT_EQ(cache.GetOrVerify(*program, {.fuse_superinstructions = false})->get(),
+            plain->get());
+  EXPECT_EQ(cache.stats().hits, 2u);
+
+  // Invalidation is by identity: it retires both artifacts of those bytes.
+  EXPECT_TRUE(cache.Invalidate(program->identity()));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
 TEST(ProgramCacheTest, VerificationFailuresAreNotCached) {
   VerifiedProgramCache cache(8);
   Program bad;

@@ -310,6 +310,44 @@ const char* kFixtures[] = {
       sub
       ret
     )",
+    // compiled-classifier shape: fixed-offset field loads compared against
+    // constants with two-way branches — every superinstruction pattern
+    // (push+load at all widths, eq/ne/ltu/gtu against jz/jnz) fires here.
+    R"(
+      ldarg 0
+    loop:
+      dup
+      jz done
+      push 0
+      load64
+      push 7
+      eq
+      jz a
+    a:
+      push 8
+      load32
+      push 100
+      ltu
+      jnz b
+    b:
+      push 16
+      load16
+      push 3
+      gtu
+      jz c
+    c:
+      push 24
+      load8
+      push 1
+      ne
+      jnz d
+    d:
+      push 1
+      sub
+      jmp loop
+    done:
+      retv
+    )",
 };
 
 class MeteringExactnessTest : public ::testing::TestWithParam<size_t> {};
@@ -375,6 +413,127 @@ TEST(MeteringExactnessTest, FuelBoundaryIsExact) {
   trusted.set_fuel(0);
   EXPECT_TRUE(trusted.Run(0, 16).ok());
   EXPECT_EQ(trusted.stats().instructions, n);
+}
+
+TEST(MeteringExactnessTest, FusedAndUnfusedStreamsAgreeExactly) {
+  // The superinstruction pass is a pure dispatch optimization: values,
+  // instruction counts, bounds-check counts, and call counts of the fused
+  // stream must equal the unfused stream (and both the reference
+  // interpreter) in both modes, for every fixture shape.
+  for (size_t f = 0; f < std::size(kFixtures); ++f) {
+    auto program = Assembler::Assemble(kFixtures[f]);
+    ASSERT_TRUE(program.ok());
+    auto fused = Verify(*program, {.fuse_superinstructions = true});
+    auto plain = Verify(*program, {.fuse_superinstructions = false});
+    ASSERT_TRUE(fused.ok());
+    ASSERT_TRUE(plain.ok());
+    EXPECT_EQ(plain->report.fused_pairs, 0u);
+    EXPECT_TRUE(fused->fused);
+    EXPECT_FALSE(plain->fused);
+    if (f == 4) {
+      // The classifier-shaped fixture exists to exercise every pattern.
+      EXPECT_GE(fused->report.fused_pairs, 8u);
+    }
+    for (uint64_t a0 : {0ull, 1ull, 13ull, 64ull}) {
+      ReferenceResult ref = ReferenceRun(*program, /*sandboxed=*/true, Vm::kDefaultFuel, 0, a0);
+      ASSERT_TRUE(ref.ok);
+      for (ExecMode mode : {ExecMode::kSandboxed, ExecMode::kTrusted}) {
+        Vm fused_vm(&*fused, mode);
+        Vm plain_vm(&*plain, mode);
+        auto fused_result = fused_vm.Run(0, a0);
+        auto plain_result = plain_vm.Run(0, a0);
+        ASSERT_TRUE(fused_result.ok());
+        ASSERT_TRUE(plain_result.ok());
+        EXPECT_EQ(*fused_result, ref.value) << "fixture " << f << " a0=" << a0;
+        EXPECT_EQ(*plain_result, ref.value) << "fixture " << f << " a0=" << a0;
+        EXPECT_EQ(fused_vm.stats().instructions, ref.instructions) << f;
+        EXPECT_EQ(plain_vm.stats().instructions, ref.instructions) << f;
+        EXPECT_EQ(fused_vm.stats().calls, ref.calls) << f;
+        if (mode == ExecMode::kSandboxed) {
+          EXPECT_EQ(fused_vm.stats().bounds_checks, ref.bounds_checks) << f;
+          EXPECT_EQ(plain_vm.stats().bounds_checks, ref.bounds_checks) << f;
+        }
+      }
+    }
+  }
+}
+
+TEST(MeteringExactnessTest, FuelBoundaryInsideFusedPairIsExact) {
+  // A fused pair is one dispatch but two instructions: with fuel for only
+  // the first half, execution must die on the second half having retired
+  // exactly one instruction and paid no bounds check — the same boundary the
+  // byte interpreter had.
+  auto program = Assembler::Assemble("push 0\nload64\nretv");
+  ASSERT_TRUE(program.ok());
+  auto verified = Verify(*program);
+  ASSERT_TRUE(verified.ok());
+  ASSERT_EQ(verified->report.fused_pairs, 1u);
+
+  ReferenceResult ref = ReferenceRun(*program, /*sandboxed=*/true, /*fuel=*/1, 0);
+  ASSERT_FALSE(ref.ok);
+  ASSERT_EQ(ref.error, ErrorCode::kResourceExhausted);
+  ASSERT_EQ(ref.instructions, 1u);
+  ASSERT_EQ(ref.bounds_checks, 0u);
+
+  Vm starved(&*verified, ExecMode::kSandboxed);
+  starved.set_fuel(1);
+  auto result = starved.Run(0);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kResourceExhausted);
+  EXPECT_EQ(starved.stats().instructions, 1u);
+  EXPECT_EQ(starved.stats().bounds_checks, 0u);
+
+  Vm exact(&*verified, ExecMode::kSandboxed);
+  exact.set_fuel(3);
+  ASSERT_TRUE(exact.Run(0).ok());
+  EXPECT_EQ(exact.stats().instructions, 3u);
+  EXPECT_EQ(exact.stats().bounds_checks, 1u);
+}
+
+TEST(MeteringExactnessTest, JumpTargetSuppressesFusion) {
+  // A branch lands exactly on the jz half of a would-be eq+jz pair: fusing
+  // would let that entry skip the compare. The verifier must keep the pair
+  // split, and both entry paths must behave.
+  auto program = Assembler::Assemble(R"(
+    ldarg 0
+    jnz alt
+    push 5
+    push 5
+    eq
+  target:
+    jz no
+    push 1
+    retv
+  alt:
+    push 0
+    jmp target
+  no:
+    push 0
+    retv
+  )");
+  ASSERT_TRUE(program.ok());
+  auto verified = Verify(*program);
+  ASSERT_TRUE(verified.ok());
+  EXPECT_EQ(verified->report.fused_pairs, 0u);
+
+  for (uint64_t a0 : {0ull, 1ull}) {
+    ReferenceResult ref = ReferenceRun(*program, /*sandboxed=*/true, Vm::kDefaultFuel, 0, a0);
+    ASSERT_TRUE(ref.ok);
+    Vm vm(&*verified, ExecMode::kSandboxed);
+    auto result = vm.Run(0, a0);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(*result, ref.value) << a0;
+    EXPECT_EQ(vm.stats().instructions, ref.instructions) << a0;
+  }
+  // a0=0 takes the fall-through path through the live compare: returns 1.
+  Vm vm(&*verified, ExecMode::kTrusted);
+  auto through = vm.Run(0, 0);
+  ASSERT_TRUE(through.ok());
+  EXPECT_EQ(*through, 1u);
+  // a0=1 jumps into `target` with a 0 on the stack: returns 0.
+  auto jumped = vm.Run(0, 1);
+  ASSERT_TRUE(jumped.ok());
+  EXPECT_EQ(*jumped, 0u);
 }
 
 TEST(MeteringExactnessTest, RandomProgramsMatchReference) {
