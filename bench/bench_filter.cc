@@ -265,6 +265,66 @@ void BM_FilterEngineFlowPressure(benchmark::State& state) {
   state.counters["evictions"] = static_cast<double>(flow_stats.evictions);
 }
 
+// --- rule procedures: chain cost on the flow-hit fast path -------------------
+// A rule's attached procedures run on every packet of an established flow,
+// so their cost lands on the hottest path the engine has. The no-chain row
+// is the baseline the smoke gate holds the plain kPass path to; the
+// ratelimit rows price one token-bucket procedure; the chain rows price a
+// three-procedure chain (ratelimit + normalize + sampled log), sandboxed vs
+// certified-trusted. The bucket refills exactly as fast as it drains (one
+// token per evaluation tick through the no-clock fallback), so every packet
+// takes the admit path — the expensive one.
+
+void BM_FilterProcEngine(benchmark::State& state, const char* rule_text, bool certified) {
+  auto rules = ParseRules(rule_text);
+  PARA_CHECK(rules.ok());
+  auto filter = PacketFilter::Create({});
+  PARA_CHECK(filter.ok());
+  if (certified) {
+    auto& fx = CryptoFixture::Get();
+    PARA_CHECK((*filter)->LoadCertified(*rules, *fx.signer, *fx.service).ok());
+  } else {
+    PARA_CHECK((*filter)->Load(*rules).ok());
+  }
+  std::vector<uint8_t> payload(64, 0x42);
+  net::PacketView view = BenchPacket(payload);
+  for (auto _ : state) {
+    auto decision = (*filter)->Evaluate(view, net::FilterDirection::kIngress);
+    benchmark::DoNotOptimize(decision);
+  }
+  const FilterStats& stats = (*filter)->stats();
+  state.counters["procs_per_pkt"] = static_cast<double>(stats.proc_invocations) /
+                                    static_cast<double>(state.iterations());
+  state.counters["proc_blocks"] = static_cast<double>(stats.proc_blocks);
+}
+
+constexpr const char* kNoChainRules = "pass dport 1500\ndefault drop\n";
+constexpr const char* kRateLimitRules =
+    "pass dport 1500 proc ratelimit(rate=1000000000,burst=16)\ndefault drop\n";
+constexpr const char* kProcChainRules =
+    "pass dport 1500 proc ratelimit(rate=1000000000,burst=16) "
+    "proc normalize(ttl=64) proc log(every=64)\ndefault drop\n";
+
+void BM_FilterProcNone(benchmark::State& state) {
+  BM_FilterProcEngine(state, kNoChainRules, /*certified=*/false);
+}
+
+void BM_FilterRateLimitSandboxed(benchmark::State& state) {
+  BM_FilterProcEngine(state, kRateLimitRules, /*certified=*/false);
+}
+
+void BM_FilterRateLimitTrusted(benchmark::State& state) {
+  BM_FilterProcEngine(state, kRateLimitRules, /*certified=*/true);
+}
+
+void BM_FilterProcChainSandboxed(benchmark::State& state) {
+  BM_FilterProcEngine(state, kProcChainRules, /*certified=*/false);
+}
+
+void BM_FilterProcChainTrusted(benchmark::State& state) {
+  BM_FilterProcEngine(state, kProcChainRules, /*certified=*/true);
+}
+
 // --- hot reload cost ---------------------------------------------------------
 
 void BM_FilterReloadSandboxed(benchmark::State& state) {
@@ -309,6 +369,11 @@ BENCHMARK(BM_FilterNativeRange)->Apply(RuleSetSizes);
 BENCHMARK(BM_FilterCalibrate);
 BENCHMARK(BM_FilterEngineFlowHit)->Arg(16)->Arg(256);
 BENCHMARK(BM_FilterEngineFlowPressure)->Arg(16)->Arg(512)->Arg(4096);
+BENCHMARK(BM_FilterProcNone);
+BENCHMARK(BM_FilterRateLimitSandboxed);
+BENCHMARK(BM_FilterRateLimitTrusted);
+BENCHMARK(BM_FilterProcChainSandboxed);
+BENCHMARK(BM_FilterProcChainTrusted);
 BENCHMARK(BM_FilterReloadSandboxed)->Arg(16)->Arg(256);
 BENCHMARK(BM_FilterReloadCertified)->Arg(16)->Arg(256);
 

@@ -9,6 +9,10 @@
 //   3. A lockdown rule set is hot-loaded: the established flow still
 //      survives (stateful firewalling), while new flows are refused; a
 //      monitor subscribed to verdict events watches rejects live.
+//   4. Rule procedures (PAPER.md's extensible in-kernel services, NPF's
+//      rprocs): a web rule gains `proc ratelimit(...) proc log(...)` — a
+//      token bucket and a sampled logger, each its own certified SFI
+//      program — and the monitor watches the logger's events arrive.
 //
 //   $ ./firewall
 #include <cstdio>
@@ -142,14 +146,20 @@ int main() {
                  .ok());
   bed.server->stack().SetIngressFilter((*firewall)->Hook());
 
-  // A monitor subscribes to verdict events.
+  // A monitor subscribes to verdict events. The detail word carries the
+  // verdict, the direction, the raising procedure's id (0 = the dispatch
+  // program itself), and the rule index.
   uint64_t rejects_seen = 0;
+  uint64_t proc_events_seen = 0;
   PARA_CHECK(bed.nucleus->events()
                  .Register(kTrapFilterVerdict, kernel,
-                           [&rejects_seen](EventNumber, uint64_t detail) {
-                             if (filter::VerdictEventVerdict(detail) ==
+                           [&rejects_seen, &proc_events_seen](EventNumber, uint64_t detail) {
+                             if (filter::FilterEventVerdict(detail) ==
                                  net::FilterVerdict::kReject) {
                                ++rejects_seen;
+                             }
+                             if (filter::FilterEventProc(detail) != 0) {
+                               ++proc_events_seen;
                              }
                            },
                            threads::DispatchMode::kRawCallback, "fw-monitor")
@@ -194,17 +204,43 @@ int main() {
               delivered.size(),
               static_cast<unsigned long long>(bed.server->stack().stats().drops_filtered));
 
+  // --- Act 4: rule procedures — rate-limited, logged web traffic ------------
+  // The web rule gains two `proc` clauses: a token bucket that admits a
+  // two-packet burst, then a logger that raises a verdict event for every
+  // packet the bucket admits. Each procedure compiles to its own SFI
+  // program and rides the same certify -> kernel-validate path as the
+  // dispatch program, so the whole chain runs trusted.
+  auto limited = filter::ParseRules(R"(
+    pass from 10.0.0.0/8 dport 80 proto udp proc ratelimit(rate=1,burst=2) proc log(every=1)
+    default drop
+  )");
+  PARA_CHECK(limited.ok());
+  PARA_CHECK(
+      (*firewall)->LoadCertified(*limited, certifier, bed.nucleus->certification()).ok());
+  for (int i = 0; i < 4; ++i) {
+    (void)SendFrom(bed, 4002, 80, "burst " + std::to_string(i));
+  }
+  std::printf("rate limit: 4 packets sent, delivered=%zu (bucket admitted 2), "
+              "proc blocks=%llu, log events=%llu\n",
+              delivered.size(),
+              static_cast<unsigned long long>((*firewall)->stats().proc_blocks),
+              static_cast<unsigned long long>(proc_events_seen));
+
   const filter::FilterStats& stats = (*firewall)->stats();
   std::printf("\nfirewall stats: evaluated=%llu pass=%llu drop=%llu reject=%llu "
-              "flow_hits=%llu reloads=%llu\n",
+              "flow_hits=%llu reloads=%llu proc_invocations=%llu proc_blocks=%llu\n",
               static_cast<unsigned long long>(stats.evaluated),
               static_cast<unsigned long long>(stats.pass),
               static_cast<unsigned long long>(stats.drop),
               static_cast<unsigned long long>(stats.reject),
               static_cast<unsigned long long>(stats.flow_hits),
-              static_cast<unsigned long long>(stats.reloads));
-  PARA_CHECK(delivered.size() == 3);
+              static_cast<unsigned long long>(stats.reloads),
+              static_cast<unsigned long long>(stats.proc_invocations),
+              static_cast<unsigned long long>(stats.proc_blocks));
+  PARA_CHECK(delivered.size() == 5);
   PARA_CHECK(rejects_seen == 1);
+  PARA_CHECK(proc_events_seen == 2);
+  PARA_CHECK(stats.proc_blocks == 2);
   std::printf("firewall demo OK\n");
   return 0;
 }

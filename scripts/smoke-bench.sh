@@ -86,7 +86,7 @@ FILTER_BASELINE="bench-baseline/BENCH_filter_after.json"
 if [[ -f "${FILTER_BASELINE}" ]] && command -v python3 >/dev/null 2>&1 &&
    grep -q BM_FilterTrustedRange "${FILTER_BASELINE}"; then
   "${BUILD_DIR}/bench/bench_filter" \
-    --benchmark_filter='^(BM_FilterTrustedRange/256|BM_FilterCalibrate)$' \
+    --benchmark_filter='^(BM_FilterTrustedRange/256|BM_FilterEngineFlowHit/16|BM_FilterCalibrate)$' \
     --benchmark_repetitions=5 \
     --benchmark_out="${SMOKE_FILTER_JSON}" --benchmark_out_format=json >/dev/null
   # 1.5x: the trusted threaded loop is code-layout-sensitive (an unrelated
@@ -95,6 +95,15 @@ if [[ -f "${FILTER_BASELINE}" ]] && command -v python3 >/dev/null 2>&1 &&
   # the linear walk — is ~45x, far above any layout wobble.
   compare_gate "${FILTER_BASELINE}" "${SMOKE_FILTER_JSON}" \
     "BM_FilterTrustedRange/256" BM_FilterCalibrate 1.50
+  # 1.1x: the flow-hit kPass path with no procedure chain attached — the
+  # engine's hottest path. Rule procedures (PR 6) bolt a chain dispatch onto
+  # it; this gate keeps that dispatch from taxing chain-less rules.
+  if grep -q BM_FilterEngineFlowHit "${FILTER_BASELINE}"; then
+    compare_gate "${FILTER_BASELINE}" "${SMOKE_FILTER_JSON}" \
+      "BM_FilterEngineFlowHit/16" BM_FilterCalibrate 1.10
+  else
+    echo "smoke-bench: no-chain kPass gate skipped (row missing from baseline)"
+  fi
 else
   echo "smoke-bench: filter range gate skipped (no baseline or no python3)"
 fi

@@ -147,7 +147,11 @@ uint64_t StackComponent::Stats(uint64_t index, uint64_t, uint64_t, uint64_t) {
     case 8: return s.filter_pass;
     case 9: return s.filter_drop;
     case 10: return s.filter_reject;
-    case 11: return s.filter_count;
+    // Slot 11 reported the retired per-stack count-verdict tally; counting
+    // is a filter procedure now (FilterType slot 0, index 4). The slot stays
+    // reserved so callers indexing past it keep their numbering.
+    case 11: return 0;
+    case 12: return s.filter_ttl_rewrites;
     default: return 0;
   }
 }

@@ -37,7 +37,7 @@ void EmitRequireEq(sfi::Assembler& as, uint64_t value, const std::string& next) 
 // predicates first: proto (one byte), then addresses, then ports, then
 // payload bytes — fail-fast ordering keeps a non-matching rule a couple of
 // instructions.
-void EmitRuleTests(sfi::Assembler& as, const Rule& rule, uint32_t index,
+void EmitRuleTests(sfi::Assembler& as, const Rule& rule, uint32_t index, uint16_t chain,
                    const std::string& next) {
   if (rule.proto >= 0) {
     EmitLoadField(as, kOffProto, Op::kLoad8);
@@ -104,8 +104,9 @@ void EmitRuleTests(sfi::Assembler& as, const Rule& rule, uint32_t index,
     EmitRequireEq(as, static_cast<uint64_t>(match.value & match.mask), next);
   }
 
-  // Every predicate held: return this rule's encoded verdict.
-  as.EmitPush(EncodeVerdict(rule.verdict, index));
+  // Every predicate held: return this rule's encoded verdict (the chain id
+  // rides along so the host knows which procedures to run post-match).
+  as.EmitPush(EncodeVerdict(rule.verdict, chain, index));
   as.Emit(Op::kRetV);
 }
 
@@ -493,13 +494,17 @@ std::unique_ptr<TreeNode> BuildTree(std::vector<RuleRef> rules, int depth, Split
 
 class TreeEmitter {
  public:
-  explicit TreeEmitter(sfi::Assembler& as) : as_(as) {}
+  // `chain_of` maps a rule index to its procedure-chain id (0 = none); the
+  // tree may emit a rule several times, and every instance must report the
+  // same chain.
+  TreeEmitter(sfi::Assembler& as, const std::vector<uint16_t>& chain_of)
+      : as_(as), chain_of_(chain_of) {}
 
   void Emit(const TreeNode& node, const std::string& default_label) {
     if (node.field < 0) {
       for (const RuleRef& ref : node.rules) {
         std::string fail = NewLabel();
-        EmitRuleTests(as_, *ref.rule, ref.index, fail);
+        EmitRuleTests(as_, *ref.rule, ref.index, chain_of_[ref.index], fail);
         as_.Label(fail);
       }
       as_.EmitJump(Op::kJmp, default_label);
@@ -592,6 +597,7 @@ class TreeEmitter {
   std::string NewLabel() { return "L" + std::to_string(counter_++); }
 
   sfi::Assembler& as_;
+  const std::vector<uint16_t>& chain_of_;
   size_t counter_ = 0;
 };
 
@@ -615,6 +621,21 @@ Result<CompiledFilter> CompileRules(const RuleSet& rules, CompileOptions options
       out.payload_bytes_needed =
           std::max<size_t>(out.payload_bytes_needed, match.offset + 1u);
     }
+  }
+
+  // Assign procedure-chain ids: one per proc-attaching rule, in rule order,
+  // so NativeMatch (which recomputes the same assignment) and every emitted
+  // instance of a rule agree on the id.
+  std::vector<uint16_t> chain_of(rules.rules.size(), 0);
+  for (size_t i = 0; i < rules.rules.size(); ++i) {
+    if (rules.rules[i].procs.empty()) {
+      continue;
+    }
+    if (out.chains.size() >= kMaxChains) {
+      return Status(ErrorCode::kResourceExhausted, "too many procedure chains");
+    }
+    out.chains.push_back(rules.rules[i].procs);
+    chain_of[i] = static_cast<uint16_t>(out.chains.size());
   }
 
   std::vector<RuleRef> refs;
@@ -650,10 +671,10 @@ Result<CompiledFilter> CompileRules(const RuleSet& rules, CompileOptions options
   sfi::Assembler as;
   as.EntryPoint();
   const std::string default_label = "default";
-  TreeEmitter emitter(as);
+  TreeEmitter emitter(as, chain_of);
   emitter.Emit(*root, default_label);
   as.Label(default_label);
-  as.EmitPush(EncodeVerdict(rules.default_verdict, net::kDefaultRuleIndex));
+  as.EmitPush(EncodeVerdict(rules.default_verdict, 0, net::kDefaultRuleIndex));
   as.Emit(Op::kRetV);
 
   PARA_ASSIGN_OR_RETURN(out.program, as.Finish(/*memory_bytes=*/kDescriptorBytes));
@@ -675,6 +696,7 @@ bool WritePacketDescriptor(const net::PacketView& view, std::span<uint8_t> memor
   std::memcpy(base + kOffSrcPort, &sport, 2);
   std::memcpy(base + kOffDstPort, &dport, 2);
   base[kOffProto] = view.proto;
+  base[kOffTtl] = view.ttl;
   uint64_t len = view.payload.size();
   std::memcpy(base + kOffPayloadLen, &len, 8);
   size_t copy = std::min({payload_bytes, view.payload.size(), kMaxPayloadCapture});
@@ -685,8 +707,12 @@ bool WritePacketDescriptor(const net::PacketView& view, std::span<uint8_t> memor
 }
 
 uint64_t NativeMatch(const RuleSet& rules, const net::PacketView& view) {
+  uint16_t chains_assigned = 0;
   for (size_t i = 0; i < rules.rules.size(); ++i) {
     const Rule& rule = rules.rules[i];
+    // Mirror CompileRules' chain-id assignment (rule order, 1-based) so the
+    // differential tests can compare encodings bit for bit.
+    const uint16_t chain = rule.procs.empty() ? 0 : ++chains_assigned;
     if (rule.proto >= 0 && view.proto != rule.proto) {
       continue;
     }
@@ -715,9 +741,9 @@ uint64_t NativeMatch(const RuleSet& rules, const net::PacketView& view) {
     if (!payload_ok) {
       continue;
     }
-    return EncodeVerdict(rule.verdict, static_cast<uint32_t>(i));
+    return EncodeVerdict(rule.verdict, chain, static_cast<uint32_t>(i));
   }
-  return EncodeVerdict(rules.default_verdict, net::kDefaultRuleIndex);
+  return EncodeVerdict(rules.default_verdict, 0, net::kDefaultRuleIndex);
 }
 
 }  // namespace para::filter

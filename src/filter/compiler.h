@@ -42,6 +42,7 @@ inline constexpr size_t kOffDstIp = 4;        // u32
 inline constexpr size_t kOffSrcPort = 8;      // u16
 inline constexpr size_t kOffDstPort = 10;     // u16
 inline constexpr size_t kOffProto = 12;       // u8
+inline constexpr size_t kOffTtl = 13;         // u8
 inline constexpr size_t kOffPayloadLen = 16;  // u64
 inline constexpr size_t kOffPayload = 24;
 // Payload capture window: rules may test bytes [0, kMaxPayloadCapture).
@@ -52,16 +53,23 @@ inline constexpr size_t kDescriptorBytes = kOffPayload + kMaxPayloadCapture;
 // verifier's program-size cap.
 inline constexpr size_t kMaxRules = 4096;
 
+// Chain ids are 1-based and 12 bits wide in the encoded verdict, so a rule
+// set may attach procedures to at most this many rules.
+inline constexpr size_t kMaxChains = 4095;
+
 // Verdict encoding produced by the classifier (and NativeMatch):
-//   bits 0..7   verdict (net::FilterVerdict)
-//   bits 8..39  matched rule index (net::kDefaultRuleIndex for the default)
-constexpr uint64_t EncodeVerdict(net::FilterVerdict verdict, uint32_t rule) {
-  return static_cast<uint64_t>(verdict) | (static_cast<uint64_t>(rule) << 8);
+//   bits 0..3   verdict (net::FilterVerdict)
+//   bits 4..15  procedure-chain id (1-based; 0 = the rule attaches none)
+//   bits 16..47 matched rule index (net::kDefaultRuleIndex for the default)
+constexpr uint64_t EncodeVerdict(net::FilterVerdict verdict, uint16_t chain, uint32_t rule) {
+  return static_cast<uint64_t>(verdict) | (static_cast<uint64_t>(chain) << 4) |
+         (static_cast<uint64_t>(rule) << 16);
 }
 
 constexpr net::FilterDecision DecodeVerdict(uint64_t encoded) {
-  return {static_cast<net::FilterVerdict>(encoded & 0xFF),
-          static_cast<uint32_t>(encoded >> 8)};
+  return {.verdict = static_cast<net::FilterVerdict>(encoded & 0xF),
+          .chain = static_cast<uint16_t>((encoded >> 4) & 0xFFF),
+          .rule = static_cast<uint32_t>(encoded >> 16)};
 }
 
 enum class CompileBackend : uint8_t { kLinear, kDecisionTree };
@@ -73,6 +81,11 @@ struct CompileOptions {
 struct CompiledFilter {
   sfi::Program program;
   size_t rule_count = 0;
+  // Procedure chains referenced by the emitted verdicts: chains[i] holds the
+  // specs for chain id i+1, assigned to proc-attaching rules in rule order.
+  // The filter instantiates (generates + verifies + optionally certifies)
+  // one program per spec at install time.
+  std::vector<std::vector<RuleProcSpec>> chains;
   // One past the highest payload byte any rule inspects: the host only needs
   // to marshal this much payload into the descriptor.
   size_t payload_bytes_needed = 0;

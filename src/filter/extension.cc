@@ -1,0 +1,241 @@
+#include "src/filter/extension.h"
+
+#include <utility>
+
+#include "src/sfi/assembler.h"
+
+namespace para::filter {
+
+namespace {
+
+using sfi::Assembler;
+using sfi::Op;
+
+// Data memory every generated procedure asks for: the descriptor the filter
+// marshals each run plus the persistent state window.
+constexpr size_t kProcMemoryBytes = kProcStateBase + kProcStateBytes;
+
+// Nano-tokens per token. Keeping the bucket in nano-tokens makes the refill
+// integer-exact: `rate` tokens/second is exactly `rate` nano-tokens per
+// virtual nanosecond.
+constexpr uint64_t kTokenScale = 1'000'000'000;
+
+// Emits `state[offset] += 1` for a u64 state slot (stack-neutral).
+void EmitCounterBump(Assembler& as, uint64_t offset) {
+  as.EmitPush(offset);
+  as.EmitPush(offset);
+  as.Emit(Op::kLoad64);
+  as.EmitPush(1);
+  as.Emit(Op::kAdd);
+  as.Emit(Op::kStore64);
+}
+
+// Emits `retv <imm>`.
+void EmitReturn(Assembler& as, uint64_t value) {
+  as.EmitPush(value);
+  as.Emit(Op::kRetV);
+}
+
+// count: bump a persistent counter, raise a verdict event. The PR-5-era
+// kCount verdict re-expressed as the first procedure: pass + count.
+Result<sfi::Program> GenCount(const RuleProcSpec&) {
+  Assembler as;
+  as.EntryPoint();
+  EmitCounterBump(as, kProcStateBase);
+  EmitReturn(as, kProcResultEvent);
+  return as.Finish(kProcMemoryBytes);
+}
+
+// ratelimit(rate=R, burst=B): classic token bucket. State:
+//   +0  tokens (nano-tokens)
+//   +8  last refill time (virtual ns)
+//   +16 initialized flag
+// The bucket starts full; each packet costs one token (kTokenScale
+// nano-tokens); refill is (now - last) * R nano-tokens, clamped to
+// B * kTokenScale. Without enough tokens the packet blocks — and the chain
+// aborts, so a sampled-log procedure behind the limiter only sees admitted
+// packets.
+Result<sfi::Program> GenRateLimit(const RuleProcSpec& spec) {
+  const uint64_t rate = spec.Arg("rate", 100);
+  const uint64_t burst = spec.Arg("burst", 16);
+  if (burst == 0 || burst > kTokenScale) {
+    return Status(ErrorCode::kInvalidArgument, "ratelimit burst out of range");
+  }
+  if (rate > kTokenScale) {
+    return Status(ErrorCode::kInvalidArgument, "ratelimit rate out of range");
+  }
+  const uint64_t kTokens = kProcStateBase;
+  const uint64_t kLast = kProcStateBase + 8;
+  const uint64_t kInit = kProcStateBase + 16;
+  const uint64_t max_tokens = burst * kTokenScale;
+
+  Assembler as;
+  as.EntryPoint();
+  as.EmitPush(0);
+  as.EmitHostCall(kProcHelperNow);  // [now]
+  as.EmitPush(kInit);
+  as.Emit(Op::kLoad64);
+  as.EmitJump(Op::kJnz, "refill");
+  // First packet: seed a full bucket and fall through to stamping `last`.
+  as.EmitPush(kInit);
+  as.EmitPush(1);
+  as.Emit(Op::kStore64);
+  as.EmitPush(kTokens);
+  as.EmitPush(max_tokens);
+  as.Emit(Op::kStore64);
+  as.EmitJump(Op::kJmp, "stamp");
+  as.Label("refill");
+  as.Emit(Op::kDup);  // [now, now]
+  as.EmitPush(kLast);
+  as.Emit(Op::kLoad64);
+  as.Emit(Op::kSub);  // [now, delta]
+  as.EmitPush(rate);
+  as.Emit(Op::kMul);  // [now, refill]
+  as.EmitPush(kTokens);
+  as.Emit(Op::kLoad64);
+  as.Emit(Op::kAdd);  // [now, tokens']
+  as.Emit(Op::kDup);
+  as.EmitPush(max_tokens);
+  as.Emit(Op::kGtU);
+  as.EmitJump(Op::kJz, "stash");
+  as.Emit(Op::kDrop);
+  as.EmitPush(max_tokens);  // clamp to a full bucket
+  as.Label("stash");
+  as.EmitPush(kTokens);
+  as.Emit(Op::kSwap);
+  as.Emit(Op::kStore64);  // [now]
+  as.Label("stamp");
+  as.EmitPush(kLast);
+  as.Emit(Op::kSwap);
+  as.Emit(Op::kStore64);  // []
+  // Spend: tokens >= kTokenScale  <=>  tokens > kTokenScale - 1.
+  as.EmitPush(kTokens);
+  as.Emit(Op::kLoad64);
+  as.EmitPush(kTokenScale - 1);
+  as.Emit(Op::kGtU);
+  as.EmitJump(Op::kJnz, "grant");
+  EmitReturn(as, kProcResultBlock);
+  as.Label("grant");
+  as.EmitPush(kTokens);
+  as.EmitPush(kTokens);
+  as.Emit(Op::kLoad64);
+  as.EmitPush(kTokenScale);
+  as.Emit(Op::kSub);
+  as.Emit(Op::kStore64);
+  EmitReturn(as, 0);
+  return as.Finish(kProcMemoryBytes);
+}
+
+// log(every=N): raise a verdict event for every Nth packet the rule
+// decides (1 = every packet). State: one u64 counter.
+Result<sfi::Program> GenLog(const RuleProcSpec& spec) {
+  const uint64_t every = spec.Arg("every", 1);
+  if (every == 0) {
+    // remu by zero would fault sandboxed and be UB trusted; refuse the
+    // program instead of generating one that can fault.
+    return Status(ErrorCode::kInvalidArgument, "log every must be >= 1");
+  }
+  Assembler as;
+  as.EntryPoint();
+  EmitCounterBump(as, kProcStateBase);
+  as.EmitPush(kProcStateBase);
+  as.Emit(Op::kLoad64);
+  as.EmitPush(every);
+  as.Emit(Op::kRemU);
+  as.EmitJump(Op::kJnz, "quiet");
+  EmitReturn(as, kProcResultEvent);
+  as.Label("quiet");
+  EmitReturn(as, 0);
+  return as.Finish(kProcMemoryBytes);
+}
+
+// rndblock(percent=P): drop P% of the rule's packets, by host randomness.
+// The random helper is deterministic per filter seed and identical across
+// execution modes, so sandboxed and trusted runs make the same decisions.
+Result<sfi::Program> GenRndBlock(const RuleProcSpec& spec) {
+  const uint64_t percent = spec.Arg("percent", 50);
+  if (percent > 100) {
+    return Status(ErrorCode::kInvalidArgument, "rndblock percent out of range");
+  }
+  Assembler as;
+  as.EntryPoint();
+  as.EmitPush(100);
+  as.EmitHostCall(kProcHelperRandom);  // [r], r in [0, 100)
+  as.EmitPush(percent);
+  as.Emit(Op::kLtU);
+  as.EmitJump(Op::kJnz, "block");
+  EmitReturn(as, 0);
+  as.Label("block");
+  EmitReturn(as, kProcResultBlock);
+  return as.Finish(kProcMemoryBytes);
+}
+
+// normalize(ttl=N): TTL normalization — ask the egress path to send the
+// packet with a fixed TTL (fingerprint scrubbing). Reads the descriptor's
+// TTL byte and only requests a rewrite when it differs.
+Result<sfi::Program> GenNormalize(const RuleProcSpec& spec) {
+  const uint64_t ttl = spec.Arg("ttl", 64);
+  if (ttl == 0 || ttl > 255) {
+    // 0 means "no override" in the result word, so it cannot be a target.
+    return Status(ErrorCode::kInvalidArgument, "normalize ttl out of range");
+  }
+  Assembler as;
+  as.EntryPoint();
+  as.EmitPush(kOffTtl);
+  as.Emit(Op::kLoad8);
+  as.EmitPush(ttl);
+  as.Emit(Op::kEq);
+  as.EmitJump(Op::kJnz, "done");
+  EmitReturn(as, ProcResultWithTtl(static_cast<uint8_t>(ttl)));
+  as.Label("done");
+  EmitReturn(as, 0);
+  return as.Finish(kProcMemoryBytes);
+}
+
+}  // namespace
+
+Status RuleProcRegistry::Register(const std::string& name, RuleProcGenerator generator) {
+  if (name.empty() || generator == nullptr) {
+    return Status(ErrorCode::kInvalidArgument, "procedure needs a name and a generator");
+  }
+  if (!generators_.emplace(name, generator).second) {
+    return Status(ErrorCode::kAlreadyExists, "procedure name already registered");
+  }
+  return OkStatus();
+}
+
+bool RuleProcRegistry::Contains(std::string_view name) const {
+  return generators_.find(name) != generators_.end();
+}
+
+Result<sfi::Program> RuleProcRegistry::Generate(const RuleProcSpec& spec) const {
+  auto it = generators_.find(spec.name);
+  if (it == generators_.end()) {
+    return Status(ErrorCode::kNotFound, "unknown rule procedure");
+  }
+  return it->second(spec);
+}
+
+std::vector<std::string> RuleProcRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(generators_.size());
+  for (const auto& [name, generator] : generators_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+const RuleProcRegistry& BuiltIns() {
+  static const RuleProcRegistry* registry = [] {
+    auto* r = new RuleProcRegistry();
+    (void)r->Register("count", &GenCount);
+    (void)r->Register("ratelimit", &GenRateLimit);
+    (void)r->Register("log", &GenLog);
+    (void)r->Register("rndblock", &GenRndBlock);
+    (void)r->Register("normalize", &GenNormalize);
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace para::filter

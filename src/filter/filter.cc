@@ -17,7 +17,32 @@ const obj::TypeInfo* FilterType() {
 
 PacketFilter::PacketFilter(FilterConfig config)
     : config_(std::move(config)),
-      flows_(config_.flow_capacity, config_.clock, config_.flow_ttl) {}
+      flows_(config_.flow_capacity, config_.clock, config_.flow_ttl),
+      // xorshift64* needs a non-zero state; fold a fixed odd constant in for
+      // callers that zero the seed.
+      rng_state_(config_.proc_seed != 0 ? config_.proc_seed : 0x2545F4914F6CDD1Dull) {}
+
+uint64_t PacketFilter::NowHelper(void* ctx, uint64_t) {
+  auto* self = static_cast<PacketFilter*>(ctx);
+  if (self->config_.clock != nullptr) {
+    return self->config_.clock->now();
+  }
+  // No clock configured: fall back to the evaluation counter, which at least
+  // is deterministic and monotonic (a ratelimit procedure then only ever
+  // grants its initial burst — real rates need a real clock).
+  return self->stats_.evaluated;
+}
+
+uint64_t PacketFilter::RandomHelper(void* ctx, uint64_t modulus) {
+  auto* self = static_cast<PacketFilter*>(ctx);
+  uint64_t x = self->rng_state_;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  self->rng_state_ = x;
+  uint64_t value = x * 0x2545F4914F6CDD1Dull;
+  return modulus == 0 ? 0 : value % modulus;
+}
 
 Result<std::unique_ptr<PacketFilter>> PacketFilter::Create(FilterConfig config) {
   if (config.flow_capacity == 0) {
@@ -41,23 +66,65 @@ Result<std::unique_ptr<PacketFilter>> PacketFilter::Create(FilterConfig config) 
 // executable artifact, so there is nothing else TO install. With a cache
 // configured, a previously seen compile output (hot reload of the same
 // rules) is a lookup instead of a decode.
-Result<std::shared_ptr<const sfi::VerifiedProgram>> PacketFilter::VerifyCompiled(
-    const CompiledFilter& compiled) {
+Result<std::shared_ptr<const sfi::VerifiedProgram>> PacketFilter::VerifyProgram(
+    const sfi::Program& program) {
   if (config_.program_cache != nullptr) {
-    return config_.program_cache->GetOrVerify(compiled.program);
+    return config_.program_cache->GetOrVerify(program);
   }
-  PARA_ASSIGN_OR_RETURN(sfi::VerifiedProgram verified, sfi::Verify(compiled.program));
+  PARA_ASSIGN_OR_RETURN(sfi::VerifiedProgram verified, sfi::Verify(program));
   return std::shared_ptr<const sfi::VerifiedProgram>(
       std::make_shared<sfi::VerifiedProgram>(std::move(verified)));
 }
 
+Result<std::vector<PacketFilter::ProcChain>> PacketFilter::InstantiateChains(
+    const CompiledFilter& compiled, sfi::ExecMode mode, nucleus::Certifier* certifier,
+    const nucleus::CertificationService* service) {
+  const RuleProcRegistry& registry = config_.procs != nullptr ? *config_.procs : BuiltIns();
+  std::vector<ProcChain> chains;
+  chains.reserve(compiled.chains.size());
+  uint16_t ordinal = 0;
+  for (const std::vector<RuleProcSpec>& specs : compiled.chains) {
+    ProcChain chain;
+    chain.reserve(specs.size());
+    for (const RuleProcSpec& spec : specs) {
+      if (ordinal >= 0x7FF) {
+        // The event encoding carries the procedure id in 11 bits.
+        return Status(ErrorCode::kResourceExhausted, "too many procedure instances");
+      }
+      PARA_ASSIGN_OR_RETURN(sfi::Program program, registry.Generate(spec));
+      PARA_ASSIGN_OR_RETURN(std::shared_ptr<const sfi::VerifiedProgram> verified,
+                            VerifyProgram(program));
+      if (mode == sfi::ExecMode::kTrusted) {
+        // Every procedure is certified in its own right — a chain is only as
+        // trusted as its least-trusted link, so there is no blanket grant.
+        PARA_ASSIGN_OR_RETURN(
+            nucleus::Certificate cert,
+            certifier->Certify(config_.name + "/" + spec.name, epoch_ + 1,
+                               verified->identity(), nucleus::kCertKernelEligible,
+                               /*now=*/epoch_ + 1));
+        PARA_RETURN_IF_ERROR(service->ValidateForKernel(cert, verified->identity()));
+      }
+      auto inst = std::make_unique<ProcInstance>(spec, ++ordinal, std::move(verified), mode);
+      // One fuel budget per invocation: Run() works on a copy, so setting it
+      // once here bounds every packet's procedure run.
+      inst->vm.set_fuel(config_.proc_fuel);
+      inst->vm.SetHostHelper(kProcHelperNow, &PacketFilter::NowHelper, this);
+      inst->vm.SetHostHelper(kProcHelperRandom, &PacketFilter::RandomHelper, this);
+      chain.push_back(std::move(inst));
+    }
+    chains.push_back(std::move(chain));
+  }
+  return chains;
+}
+
 Status PacketFilter::Install(const CompiledFilter& compiled,
                              std::shared_ptr<const sfi::VerifiedProgram> program,
-                             sfi::ExecMode mode) {
+                             std::vector<ProcChain> chains, sfi::ExecMode mode) {
   auto loaded = std::make_unique<LoadedProgram>(std::move(program), mode);
   loaded->rule_count = compiled.rule_count;
   loaded->payload_bytes_needed = compiled.payload_bytes_needed;
   loaded->backend = compiled.backend;
+  loaded->chains = std::move(chains);
   loaded_ = std::move(loaded);
   ++epoch_;
   ++stats_.reloads;
@@ -67,8 +134,11 @@ Status PacketFilter::Install(const CompiledFilter& compiled,
 Status PacketFilter::Load(const RuleSet& rules) {
   PARA_ASSIGN_OR_RETURN(CompiledFilter compiled, CompileRules(rules, config_.compile));
   PARA_ASSIGN_OR_RETURN(std::shared_ptr<const sfi::VerifiedProgram> verified,
-                        VerifyCompiled(compiled));
-  return Install(compiled, std::move(verified), sfi::ExecMode::kSandboxed);
+                        VerifyProgram(compiled.program));
+  PARA_ASSIGN_OR_RETURN(
+      std::vector<ProcChain> chains,
+      InstantiateChains(compiled, sfi::ExecMode::kSandboxed, nullptr, nullptr));
+  return Install(compiled, std::move(verified), std::move(chains), sfi::ExecMode::kSandboxed);
 }
 
 Status PacketFilter::LoadCertified(const RuleSet& rules, nucleus::Certifier& certifier,
@@ -78,7 +148,7 @@ Status PacketFilter::LoadCertified(const RuleSet& rules, nucleus::Certifier& cer
   // programs, and nothing unverified is ever installed. The certificate
   // binds the byte-exact identity; the decoded stream is derived state.
   PARA_ASSIGN_OR_RETURN(std::shared_ptr<const sfi::VerifiedProgram> verified,
-                        VerifyCompiled(compiled));
+                        VerifyProgram(compiled.program));
   PARA_ASSIGN_OR_RETURN(
       nucleus::Certificate cert,
       certifier.Certify(config_.name, epoch_ + 1, verified->identity(),
@@ -86,16 +156,22 @@ Status PacketFilter::LoadCertified(const RuleSet& rules, nucleus::Certifier& cer
   // Load-time validation by the kernel: digest binding, delegation chain,
   // kernel-eligibility. Only a validated program may run without checks.
   PARA_RETURN_IF_ERROR(service.ValidateForKernel(cert, verified->identity()));
-  return Install(compiled, std::move(verified), sfi::ExecMode::kTrusted);
+  PARA_ASSIGN_OR_RETURN(
+      std::vector<ProcChain> chains,
+      InstantiateChains(compiled, sfi::ExecMode::kTrusted, &certifier, &service));
+  return Install(compiled, std::move(verified), std::move(chains), sfi::ExecMode::kTrusted);
 }
 
-void PacketFilter::NotifyVerdict(const FilterDecision& decision, FilterDirection dir) {
+void PacketFilter::RaiseEvent(uint64_t detail) {
   if (config_.events != nullptr &&
       config_.events->registration_count(nucleus::kTrapFilterVerdict) > 0) {
     ++stats_.events_raised;
-    config_.events->RaiseTrap(nucleus::kTrapFilterVerdict,
-                              EncodeVerdictEvent(decision.verdict, dir, decision.rule));
+    config_.events->RaiseTrap(nucleus::kTrapFilterVerdict, detail);
   }
+}
+
+void PacketFilter::NotifyVerdict(const FilterDecision& decision, FilterDirection dir) {
+  RaiseEvent(EncodeFilterEvent(decision.verdict, dir, /*proc=*/0, decision.rule));
 }
 
 // Runs the installed classifier over `view`, failing closed on marshalling
@@ -106,14 +182,14 @@ uint64_t PacketFilter::Classify(const net::PacketView& view) {
     // classify whatever descriptor is still in memory — the *previous*
     // packet. Fail closed instead.
     ++stats_.descriptor_faults;
-    return EncodeVerdict(FilterVerdict::kDrop, net::kDefaultRuleIndex);
+    return EncodeVerdict(FilterVerdict::kDrop, 0, net::kDefaultRuleIndex);
   }
   Result<uint64_t> run = loaded_->vm.Run(0);
   if (!run.ok()) {
     // A compiled program cannot fault, but an SFI violation in a sandboxed
     // one must fail closed: the packet is dropped, not let through.
     ++stats_.vm_faults;
-    return EncodeVerdict(FilterVerdict::kDrop, net::kDefaultRuleIndex);
+    return EncodeVerdict(FilterVerdict::kDrop, 0, net::kDefaultRuleIndex);
   }
   return *run;
 }
@@ -123,10 +199,6 @@ void PacketFilter::CountVerdict(const FilterDecision& decision, FilterDirection 
     case FilterVerdict::kPass:
       ++stats_.pass;
       break;
-    case FilterVerdict::kCount:
-      ++stats_.count;
-      NotifyVerdict(decision, dir);
-      break;
     case FilterVerdict::kDrop:
       ++stats_.drop;
       break;
@@ -134,6 +206,52 @@ void PacketFilter::CountVerdict(const FilterDecision& decision, FilterDirection 
       ++stats_.reject;
       NotifyVerdict(decision, dir);
       break;
+  }
+}
+
+void PacketFilter::RunChain(FilterDecision* decision, const net::PacketView& view,
+                            FilterDirection dir) {
+  if (decision->chain == 0 || decision->chain > loaded_->chains.size()) {
+    return;
+  }
+  for (const std::unique_ptr<ProcInstance>& proc : loaded_->chains[decision->chain - 1]) {
+    // Re-marshal the descriptor each run (header fields only — procedures do
+    // not see payload). Everything past kProcStateBase is the procedure's
+    // persistent state and survives untouched.
+    if (!WritePacketDescriptor(view, proc->vm.memory(), /*payload_bytes=*/0)) {
+      ++stats_.proc_faults;
+      ++proc->faults;
+      decision->verdict = FilterVerdict::kDrop;
+      return;
+    }
+    Result<uint64_t> run = proc->vm.Run(0, static_cast<uint64_t>(dir));
+    if (!run.ok()) {
+      // SFI violation or fuel exhaustion mid-chain: the packet is dropped,
+      // the filter (and the rest of the rule set) lives on.
+      ++stats_.proc_faults;
+      ++proc->faults;
+      decision->verdict = FilterVerdict::kDrop;
+      return;
+    }
+    ++stats_.proc_invocations;
+    ++proc->invocations;
+    const uint64_t result = *run;
+    if (result & kProcResultBlock) {
+      ++stats_.proc_blocks;
+      ++proc->blocks;
+      if (VerdictPasses(decision->verdict)) {
+        decision->verdict = FilterVerdict::kDrop;
+      }
+    }
+    if (uint8_t ttl = ProcResultTtl(result); ttl != 0) {
+      decision->ttl = ttl;
+    }
+    if (result & kProcResultEvent) {
+      RaiseEvent(EncodeFilterEvent(decision->verdict, dir, proc->ordinal, decision->rule));
+    }
+    if (result & kProcResultBlock) {
+      return;  // a blocked packet sees no further procedures
+    }
   }
 }
 
@@ -155,13 +273,21 @@ FilterDecision PacketFilter::Evaluate(const net::PacketView& view, FilterDirecti
           ++stats_.flow_hits_reverse;
         }
         ++stats_.flow_hits;
-        FilterDecision decision = DecodeVerdict(flow->verdict);
-        if (decision.verdict == FilterVerdict::kCount) {
-          ++stats_.count;
-          NotifyVerdict(decision, dir);
-        } else {
+        const uint64_t cached = flow->verdict;
+        if (((cached >> 4) & 0xFFF) == 0) {
+          // Chain-less fast path: only passing dispatch verdicts establish
+          // flows, so the cached verdict is a plain pass — count it and go.
+          // (Decoding into a fresh rvalue keeps the return value in
+          // registers; the chain path below takes the decision's address.)
           ++stats_.pass;
+          return DecodeVerdict(cached);
         }
+        // Established flows still pay their rule's procedures: a rate
+        // limiter keeps limiting, a logger keeps sampling. A block drops
+        // this packet, not the flow.
+        FilterDecision decision = DecodeVerdict(cached);
+        RunChain(&decision, view, dir);
+        CountVerdict(decision, dir);
         return decision;
       }
       // The flow was admitted by a rule set that is no longer installed: its
@@ -187,8 +313,12 @@ FilterDecision PacketFilter::Evaluate(const net::PacketView& view, FilterDirecti
         fwd.proto = forward.proto;
         uint64_t encoded = Classify(fwd);
         FilterDecision decision = DecodeVerdict(encoded);
+        // The dispatch verdict re-admits (or not) on the synthetic forward
+        // view; the procedures judge the packet actually in hand.
+        const bool admitted = VerdictPasses(decision.verdict);
+        RunChain(&decision, view, dir);
         CountVerdict(decision, dir);
-        if (VerdictPasses(decision.verdict)) {
+        if (admitted) {
           // Re-established in its original orientation; this packet is its
           // first reply-direction traffic.
           FlowEntry* fresh = flows_.Insert(forward, encoded, epoch_);
@@ -204,11 +334,15 @@ FilterDecision PacketFilter::Evaluate(const net::PacketView& view, FilterDirecti
 
   uint64_t encoded = Classify(view);
   FilterDecision decision = DecodeVerdict(encoded);
+  const bool admitted = VerdictPasses(decision.verdict);
+  RunChain(&decision, view, dir);
   CountVerdict(decision, dir);
 
-  // Only passing verdicts establish a flow: drops and rejects re-evaluate
-  // every time, so tightening the rules takes effect for them immediately.
-  if (config_.track_flows && VerdictPasses(decision.verdict)) {
+  // Only passing *dispatch* verdicts establish a flow: drops and rejects
+  // re-evaluate every time, so tightening the rules takes effect for them
+  // immediately. A procedure block drops this packet but still establishes —
+  // the cached word carries the chain id, and every hit re-runs the chain.
+  if (config_.track_flows && admitted) {
     FlowEntry* flow = flows_.Insert(key, encoded, epoch_);
     flow->packets = 1;
     flow->bytes = view.payload.size();
@@ -228,7 +362,7 @@ uint64_t PacketFilter::StatsSlot(uint64_t index, uint64_t, uint64_t, uint64_t) {
     case 1: return stats_.pass;
     case 2: return stats_.drop;
     case 3: return stats_.reject;
-    case 4: return stats_.count;
+    case 4: return stats_.proc_invocations;
     case 5: return stats_.flow_hits;
     case 6: return stats_.reloads;
     case 7: return stats_.events_raised;
@@ -236,6 +370,8 @@ uint64_t PacketFilter::StatsSlot(uint64_t index, uint64_t, uint64_t, uint64_t) {
     case 9: return stats_.flow_hits_reverse;
     case 10: return stats_.descriptor_faults;
     case 11: return stats_.flow_reevaluations;
+    case 12: return stats_.proc_blocks;
+    case 13: return stats_.proc_faults;
     default: return 0;
   }
 }

@@ -16,8 +16,17 @@
 // packet (fail closed) unless FilterConfig::flow_keepalive_across_reloads
 // opts into the old keep-alive semantics. With a virtual clock configured,
 // idle flows expire.
-// count/reject verdicts raise nucleus::kTrapFilterVerdict events so
-// monitors can subscribe.
+//
+// Rules may attach procedure chains (extension.h): each named procedure is
+// its own SFI program, instantiated per rule at load time — sandboxed under
+// Load, individually certified and trusted under LoadCertified — and run
+// post-match on every packet the rule decides, including flow-table hits
+// (a rate limiter keeps limiting an established flow). A blocking procedure
+// turns the decision into a drop and aborts the rest of its chain; a
+// faulting or fuel-exhausted procedure drops the packet (fail closed)
+// without taking the filter down. reject verdicts and event-raising
+// procedures raise nucleus::kTrapFilterVerdict events so monitors can
+// subscribe.
 //
 // PacketFilter is an obj::Object exporting FilterType(), so filter chains
 // are named instances in the directory like any other component.
@@ -30,6 +39,7 @@
 #include "src/base/status.h"
 #include "src/base/vclock.h"
 #include "src/filter/compiler.h"
+#include "src/filter/extension.h"
 #include "src/filter/flow_table.h"
 #include "src/filter/rule.h"
 #include "src/net/filter_hook.h"
@@ -49,9 +59,34 @@ namespace para::filter {
 const obj::TypeInfo* FilterType();
 
 // Detail word of a kTrapFilterVerdict event:
-//   bits 0..7   verdict (net::FilterVerdict)
-//   bits 8..15  direction (net::FilterDirection)
+//   bits 0..3   verdict (net::FilterVerdict) as the event was raised
+//   bit  4      direction (net::FilterDirection)
+//   bits 5..15  raising procedure id (1-based flat ordinal across the
+//               installed program's chains, in chain order; 0 = the event
+//               came from the dispatch verdict itself, e.g. a reject)
 //   bits 32..63 matched rule index
+constexpr uint64_t EncodeFilterEvent(net::FilterVerdict verdict, net::FilterDirection dir,
+                                     uint16_t proc, uint32_t rule) {
+  return static_cast<uint64_t>(verdict) | (static_cast<uint64_t>(dir) << 4) |
+         (static_cast<uint64_t>(proc) << 5) | (static_cast<uint64_t>(rule) << 32);
+}
+constexpr net::FilterVerdict FilterEventVerdict(uint64_t detail) {
+  return static_cast<net::FilterVerdict>(detail & 0xF);
+}
+constexpr net::FilterDirection FilterEventDirection(uint64_t detail) {
+  return static_cast<net::FilterDirection>((detail >> 4) & 0x1);
+}
+constexpr uint16_t FilterEventProc(uint64_t detail) {
+  return static_cast<uint16_t>((detail >> 5) & 0x7FF);
+}
+constexpr uint32_t FilterEventRule(uint64_t detail) {
+  return static_cast<uint32_t>(detail >> 32);
+}
+
+// Deprecated: the PR-5-era event encoding (verdict u8 | direction u8 |
+// rule << 32), kept only so out-of-tree monitors keep compiling. The filter
+// no longer raises this layout — migrate to EncodeFilterEvent and the
+// FilterEvent* decode helpers, which also carry the procedure id.
 constexpr uint64_t EncodeVerdictEvent(net::FilterVerdict verdict, net::FilterDirection dir,
                                       uint32_t rule) {
   return static_cast<uint64_t>(verdict) | (static_cast<uint64_t>(dir) << 8) |
@@ -88,11 +123,23 @@ struct FilterConfig {
   // sets skip compile-output re-verification and re-decode entirely.
   sfi::VerifiedProgramCache* program_cache = nullptr;
   // Optional: with a clock, flows idle for `flow_ttl` virtual nanoseconds
-  // expire (0 disables expiry).
+  // expire (0 disables expiry). The same clock feeds the procedures' `now`
+  // host helper (ratelimit needs it for meaningful rates; without a clock
+  // the helper falls back to the evaluation counter).
   const VirtualClock* clock = nullptr;
   VTime flow_ttl = 0;
   // Code-generation backend for compiled rule sets.
   CompileOptions compile;
+  // Rule-procedure registry consulted at load time (null = BuiltIns()).
+  const RuleProcRegistry* procs = nullptr;
+  // Per-invocation instruction budget for sandboxed procedures. Exhaustion
+  // mid-chain drops the packet (fail closed), never the filter.
+  uint64_t proc_fuel = 100'000;
+  // Seed for the procedures' deterministic random host helper. The helper is
+  // identical across execution modes, so two filters with the same seed and
+  // packet sequence make the same rndblock decisions whether sandboxed or
+  // certified-trusted.
+  uint64_t proc_seed = 0x9E3779B97F4A7C15ull;
 };
 
 struct FilterStats {
@@ -100,7 +147,7 @@ struct FilterStats {
   uint64_t pass = 0;
   uint64_t drop = 0;
   uint64_t reject = 0;
-  uint64_t count = 0;
+  uint64_t proc_invocations = 0;   // procedure runs that completed
   uint64_t flow_hits = 0;          // verdicts served from the flow table
   uint64_t flow_hits_reverse = 0;  // of which: reply-direction (reverse tuple)
   uint64_t reloads = 0;            // successful Load/LoadCertified calls
@@ -108,6 +155,8 @@ struct FilterStats {
   uint64_t vm_faults = 0;  // sandboxed program faulted; packet fail-closed
   uint64_t descriptor_faults = 0;     // descriptor marshalling failed; fail-closed
   uint64_t flow_reevaluations = 0;    // stale-epoch flow hits sent back to the rules
+  uint64_t proc_blocks = 0;           // packets a procedure blocked
+  uint64_t proc_faults = 0;           // procedure faulted/ran dry; packet dropped
 };
 
 class PacketFilter : public obj::Object {
@@ -137,6 +186,24 @@ class PacketFilter : public obj::Object {
   // Adapter for ProtocolStack::SetIngressFilter/SetEgressFilter.
   net::FilterHook Hook();
 
+  // One instantiated procedure: its spec, its own verified program (and, on
+  // the certified path, its own validated certificate) and its own VM —
+  // procedure state is per rule, never shared.
+  struct ProcInstance {
+    ProcInstance(RuleProcSpec s, uint16_t ordinal_id,
+                 std::shared_ptr<const sfi::VerifiedProgram> p, sfi::ExecMode mode)
+        : spec(std::move(s)), ordinal(ordinal_id), program(std::move(p)),
+          vm(program.get(), mode) {}
+    RuleProcSpec spec;
+    uint16_t ordinal;  // 1-based flat id across all chains (event detail)
+    std::shared_ptr<const sfi::VerifiedProgram> program;
+    sfi::Vm vm;
+    uint64_t invocations = 0;
+    uint64_t blocks = 0;
+    uint64_t faults = 0;
+  };
+  using ProcChain = std::vector<std::unique_ptr<ProcInstance>>;
+
   sfi::ExecMode mode() const { return loaded_->vm.mode(); }
   size_t rule_count() const { return loaded_->rule_count; }
   CompileBackend backend() const { return loaded_->backend; }
@@ -149,6 +216,8 @@ class PacketFilter : public obj::Object {
   sfi::Vm& vm() { return loaded_->vm; }
   const sfi::VerifiedProgram& verified_program() const { return *loaded_->program; }
   FlowTable& flows() { return flows_; }
+  // The installed procedure chains (chains()[i] backs chain id i+1).
+  const std::vector<ProcChain>& chains() const { return loaded_->chains; }
 
   // FilterType() slot implementations (uniform u64 convention).
   uint64_t StatsSlot(uint64_t index, uint64_t, uint64_t, uint64_t);
@@ -168,23 +237,41 @@ class PacketFilter : public obj::Object {
     size_t rule_count = 0;
     size_t payload_bytes_needed = 0;
     CompileBackend backend = CompileBackend::kLinear;
+    std::vector<ProcChain> chains;  // chains[i] backs chain id i+1
   };
 
   explicit PacketFilter(FilterConfig config);
 
-  Result<std::shared_ptr<const sfi::VerifiedProgram>> VerifyCompiled(
-      const CompiledFilter& compiled);
+  Result<std::shared_ptr<const sfi::VerifiedProgram>> VerifyProgram(const sfi::Program& program);
+  // Generates, verifies and (for kTrusted) certifies one VM per procedure
+  // spec in `compiled.chains`. Any failure fails the whole load — nothing
+  // partial is ever installed.
+  Result<std::vector<ProcChain>> InstantiateChains(const CompiledFilter& compiled,
+                                                   sfi::ExecMode mode,
+                                                   nucleus::Certifier* certifier,
+                                                   const nucleus::CertificationService* service);
   Status Install(const CompiledFilter& compiled,
-                 std::shared_ptr<const sfi::VerifiedProgram> program, sfi::ExecMode mode);
+                 std::shared_ptr<const sfi::VerifiedProgram> program,
+                 std::vector<ProcChain> chains, sfi::ExecMode mode);
+  void RaiseEvent(uint64_t detail);
   void NotifyVerdict(const net::FilterDecision& decision, net::FilterDirection dir);
   uint64_t Classify(const net::PacketView& view);
   void CountVerdict(const net::FilterDecision& decision, net::FilterDirection dir);
+  // Runs `decision`'s procedure chain (if any) over `view`, applying block /
+  // event / TTL results to the decision in place.
+  void RunChain(net::FilterDecision* decision, const net::PacketView& view,
+                net::FilterDirection dir);
+
+  // Host helpers bound on every procedure VM (ctx = the PacketFilter).
+  static uint64_t NowHelper(void* ctx, uint64_t arg);
+  static uint64_t RandomHelper(void* ctx, uint64_t modulus);
 
   FilterConfig config_;
   std::unique_ptr<LoadedProgram> loaded_;
   FlowTable flows_;
   uint32_t epoch_ = 0;
   FilterStats stats_;
+  uint64_t rng_state_ = 0;  // xorshift64* state behind RandomHelper
 };
 
 }  // namespace para::filter

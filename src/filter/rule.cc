@@ -1,5 +1,6 @@
 #include "src/filter/rule.h"
 
+#include <algorithm>
 #include <charconv>
 #include <cstdio>
 
@@ -31,7 +32,20 @@ bool ParseU32(std::string_view token, uint32_t* out, int base = 10) {
   return ec == std::errc{} && ptr == token.data() + token.size();
 }
 
-bool ParseVerdict(std::string_view token, FilterVerdict* out) {
+bool ParseU64(std::string_view token, uint64_t* out) {
+  int base = 10;
+  if (token.starts_with("0x") || token.starts_with("0X")) {
+    token.remove_prefix(2);
+    base = 16;
+  }
+  auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), *out, base);
+  return ec == std::errc{} && ptr == token.data() + token.size();
+}
+
+// `legacy_count`: the PR-5-era `count` verdict, accepted with deprecation
+// semantics — it desugars to pass plus the built-in count procedure.
+bool ParseVerdict(std::string_view token, FilterVerdict* out, bool* legacy_count) {
+  *legacy_count = false;
   if (token == "pass") {
     *out = FilterVerdict::kPass;
   } else if (token == "drop" || token == "block") {
@@ -39,11 +53,58 @@ bool ParseVerdict(std::string_view token, FilterVerdict* out) {
   } else if (token == "reject") {
     *out = FilterVerdict::kReject;
   } else if (token == "count") {
-    *out = FilterVerdict::kCount;
+    // Deprecated: counting is a rule procedure now. Old rule text loads as
+    // `pass ... proc count`.
+    *out = FilterVerdict::kPass;
+    *legacy_count = true;
   } else {
     return false;
   }
   return true;
+}
+
+bool IsProcNameChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+         c == '_' || c == '-';
+}
+
+// "name" or "name(key=value,key=value)", one token. Values are decimal or
+// 0x-hex u64.
+Status ParseProcSpec(std::string_view token, RuleProcSpec* out) {
+  size_t paren = token.find('(');
+  std::string_view name = token.substr(0, paren);
+  if (name.empty() ||
+      !std::all_of(name.begin(), name.end(), IsProcNameChar)) {
+    return Status(ErrorCode::kInvalidArgument, "bad procedure name");
+  }
+  out->name = std::string(name);
+  out->args.clear();
+  if (paren == std::string_view::npos) {
+    return OkStatus();
+  }
+  if (token.back() != ')') {
+    return Status(ErrorCode::kInvalidArgument, "unterminated procedure arguments");
+  }
+  std::string_view args = token.substr(paren + 1, token.size() - paren - 2);
+  while (!args.empty()) {
+    size_t comma = args.find(',');
+    std::string_view pair = args.substr(0, comma);
+    args = comma == std::string_view::npos ? std::string_view{} : args.substr(comma + 1);
+    size_t eq = pair.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      return Status(ErrorCode::kInvalidArgument, "procedure argument needs key=value");
+    }
+    std::string_view key = pair.substr(0, eq);
+    if (!std::all_of(key.begin(), key.end(), IsProcNameChar)) {
+      return Status(ErrorCode::kInvalidArgument, "bad procedure argument key");
+    }
+    uint64_t value;
+    if (!ParseU64(pair.substr(eq + 1), &value)) {
+      return Status(ErrorCode::kInvalidArgument, "bad procedure argument value");
+    }
+    out->args.emplace_back(std::string(key), value);
+  }
+  return OkStatus();
 }
 
 // "<ip>[/prefix]" or "any". A bare address means /32.
@@ -167,15 +228,18 @@ Result<RuleSet> ParseRules(std::string_view text) {
     }
 
     FilterVerdict verdict;
+    bool legacy_count;
     if (head == "default") {
       std::string_view v = NextToken(line);
-      if (!ParseVerdict(v, &verdict)) {
+      if (!ParseVerdict(v, &verdict, &legacy_count)) {
         return Status(ErrorCode::kInvalidArgument, "default needs a verdict");
       }
+      // `default count` desugars to pass: the default carries no rule to
+      // attach the count procedure to, so only the pass half survives.
       set.default_verdict = verdict;
       continue;
     }
-    if (!ParseVerdict(head, &verdict)) {
+    if (!ParseVerdict(head, &verdict, &legacy_count)) {
       return Status(ErrorCode::kInvalidArgument, "rule must start with a verdict");
     }
 
@@ -186,7 +250,11 @@ Result<RuleSet> ParseRules(std::string_view text) {
       if (arg.empty()) {
         return Status(ErrorCode::kInvalidArgument, "rule keyword missing its argument");
       }
-      if (key == "from") {
+      if (key == "proc") {
+        RuleProcSpec spec;
+        PARA_RETURN_IF_ERROR(ParseProcSpec(arg, &spec));
+        rule.procs.push_back(std::move(spec));
+      } else if (key == "from") {
         PARA_RETURN_IF_ERROR(ParseAddress(arg, &rule.src_ip, &rule.src_prefix));
       } else if (key == "to") {
         PARA_RETURN_IF_ERROR(ParseAddress(arg, &rule.dst_ip, &rule.dst_prefix));
@@ -203,6 +271,11 @@ Result<RuleSet> ParseRules(std::string_view text) {
       } else {
         return Status(ErrorCode::kInvalidArgument, "unknown rule keyword");
       }
+    }
+    if (legacy_count) {
+      // The deprecated count verdict becomes a trailing count procedure (the
+      // attached procedures, if any, keep their written order).
+      rule.procs.push_back(RuleProcSpec{"count", {}});
     }
     set.rules.push_back(std::move(rule));
   }
@@ -249,6 +322,21 @@ std::string FormatRule(const Rule& rule) {
     std::snprintf(buf, sizeof(buf), " payload %u=0x%02X/0x%02X", match.offset, match.value,
                   match.mask);
     out += buf;
+  }
+  for (const RuleProcSpec& proc : rule.procs) {
+    out += " proc " + proc.name;
+    if (!proc.args.empty()) {
+      out += '(';
+      for (size_t i = 0; i < proc.args.size(); ++i) {
+        if (i > 0) {
+          out += ',';
+        }
+        out += proc.args[i].first;
+        out += '=';
+        out += std::to_string(proc.args[i].second);
+      }
+      out += ')';
+    }
   }
   return out;
 }

@@ -2,15 +2,22 @@
 // is an ordered list of match rules with a default verdict; the first rule
 // whose predicates all hold decides the packet. Rules match on source /
 // destination address prefixes, port ranges, the IP-lite protocol number,
-// and individual payload bytes (masked), and carry one of four verdicts:
-// pass, drop, reject, count.
+// and individual payload bytes (masked), and carry one of three dispatch
+// verdicts: pass, drop, reject. A rule may additionally attach named,
+// parameterized rule procedures (NPF's rproc shape) that the filter runs
+// post-match on every packet the rule decides — see filter/extension.h for
+// the registry and the built-ins (count, ratelimit, log, rndblock,
+// normalize).
 //
 // Text form, one rule per line (';' or '#' starts a comment):
 //     pass from 10.0.0.0/8 to any dport 53 proto udp
-//     count to 10.1.0.2 dport 8000-8080
+//     pass to 10.1.0.2 dport 8000-8080 proc count
+//     pass dport 80 proc ratelimit(rate=100,burst=16) proc log(every=50)
 //     reject payload 0=0x7F payload 1=0x45/0xF0
 //     drop sport 1000-2000
 //     default drop
+// Deprecated: a leading `count` verdict (PR-5-era rule text) still parses,
+// as sugar for `pass ... proc count`.
 #ifndef PARAMECIUM_SRC_FILTER_RULE_H_
 #define PARAMECIUM_SRC_FILTER_RULE_H_
 
@@ -31,6 +38,26 @@ struct PayloadMatch {
   uint8_t mask = 0xFF;
 };
 
+// One attached rule procedure: a registry name plus ordered key=value
+// parameters (all values u64). Text form: `proc name` or
+// `proc name(key=value,key=value)` — one whitespace-free token.
+struct RuleProcSpec {
+  std::string name;
+  std::vector<std::pair<std::string, uint64_t>> args;
+
+  bool operator==(const RuleProcSpec& other) const = default;
+
+  // First value bound to `key`, or `fallback` when absent.
+  uint64_t Arg(std::string_view key, uint64_t fallback) const {
+    for (const auto& [name_, value] : args) {
+      if (name_ == key) {
+        return value;
+      }
+    }
+    return fallback;
+  }
+};
+
 struct Rule {
   net::FilterVerdict verdict = net::FilterVerdict::kPass;
   net::IpAddr src_ip = 0;
@@ -43,6 +70,10 @@ struct Rule {
   net::Port dport_hi = 0xFFFF;
   int16_t proto = -1;  // -1 = any, else the IP-lite protocol number
   std::vector<PayloadMatch> payload;
+  // Procedures the rule attaches, run in order post-match. Each rule with a
+  // non-empty list gets its own chain id, assigned in rule order (the first
+  // such rule is chain 1) — procedure state is per rule, never shared.
+  std::vector<RuleProcSpec> procs;
 };
 
 struct RuleSet {

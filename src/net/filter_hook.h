@@ -14,18 +14,21 @@
 
 namespace para::net {
 
-// What a filter decides about one packet. kCount passes the packet but asks
-// for it to be counted/notified; kReject drops it loudly (the filter raises a
-// verdict event in lieu of an ICMP error — the lite suite has none).
+// What the dispatch step decides about one packet: pure pass/block outcomes.
+// kReject drops it loudly (the filter raises a verdict event in lieu of an
+// ICMP error — the lite suite has none). Everything a verdict used to smuggle
+// in besides pass/block — counting, logging, rate limiting, normalization —
+// is a rule *procedure* now: a named, separately compiled program attached to
+// the matched rule and referenced by FilterDecision::chain (the old kCount
+// verdict survives as the first built-in procedure; see filter/extension.h).
 enum class FilterVerdict : uint8_t {
   kPass = 0,
   kDrop = 1,
   kReject = 2,
-  kCount = 3,
 };
 
 constexpr bool VerdictPasses(FilterVerdict verdict) {
-  return verdict == FilterVerdict::kPass || verdict == FilterVerdict::kCount;
+  return verdict == FilterVerdict::kPass;
 }
 
 constexpr const char* VerdictName(FilterVerdict verdict) {
@@ -33,7 +36,6 @@ constexpr const char* VerdictName(FilterVerdict verdict) {
     case FilterVerdict::kPass: return "pass";
     case FilterVerdict::kDrop: return "drop";
     case FilterVerdict::kReject: return "reject";
-    case FilterVerdict::kCount: return "count";
   }
   return "?";
 }
@@ -49,16 +51,28 @@ struct PacketView {
   Port src_port = 0;
   Port dst_port = 0;
   uint8_t proto = 0;
+  uint8_t ttl = 64;  // IP TTL (ingress: from the header; egress: as will be sent)
   std::span<const uint8_t> payload;
 };
 
 // Rule index reported for the rule-set's default verdict.
 inline constexpr uint32_t kDefaultRuleIndex = 0xFFFF'FFFFu;
 
+// Field order packs the struct into 8 bytes so hot paths return it in a
+// single register.
 struct FilterDecision {
   FilterVerdict verdict = FilterVerdict::kPass;
+  // TTL override requested by a normalize procedure (0 = leave the packet's
+  // TTL alone). The egress path applies it at encapsulation.
+  uint8_t ttl = 0;
+  // Procedure chain the matched rule attaches (1-based id into the installed
+  // program's chain table; 0 = none). The filter has already run the chain by
+  // the time a hook sees the decision — a blocking procedure reports as
+  // kDrop here — so hooks only need the verdict and, optionally, `ttl`.
+  uint16_t chain = 0;
   uint32_t rule = kDefaultRuleIndex;  // matched rule, or kDefaultRuleIndex
 };
+static_assert(sizeof(FilterDecision) == 8, "FilterDecision must stay register-sized");
 
 // Datagram-level hook installed on the stack's ingress/egress paths.
 using FilterHook = std::function<FilterDecision(const PacketView&, FilterDirection)>;

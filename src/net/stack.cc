@@ -28,14 +28,15 @@ Status ProtocolStack::UnbindPort(Port port) {
 }
 
 bool ProtocolStack::ApplyFilter(const FilterHook& hook, const PacketView& view,
-                                FilterDirection dir) {
+                                FilterDirection dir, uint8_t* ttl_override) {
   FilterDecision decision = hook(view, dir);
   switch (decision.verdict) {
     case FilterVerdict::kPass:
       ++stats_.filter_pass;
-      return true;
-    case FilterVerdict::kCount:
-      ++stats_.filter_count;
+      if (ttl_override != nullptr && decision.ttl != 0) {
+        *ttl_override = decision.ttl;
+        ++stats_.filter_ttl_rewrites;
+      }
       return true;
     case FilterVerdict::kDrop:
       ++stats_.filter_drop;
@@ -54,16 +55,24 @@ Status ProtocolStack::SendDatagram(IpAddr dst, Port src_port, Port dst_port,
   if (neighbor == neighbors_.end()) {
     return Status(ErrorCode::kUnavailable, "no route to host");
   }
+  uint8_t ttl = 64;  // what IpEncap will stamp; a normalize proc may rewrite it
   if (egress_filter_ != nullptr) {
-    PacketView view{config_.ip, dst, src_port, dst_port, kIpProtoUdpLite, payload};
-    if (!ApplyFilter(egress_filter_, view, FilterDirection::kEgress)) {
+    PacketView view;
+    view.src_ip = config_.ip;
+    view.dst_ip = dst;
+    view.src_port = src_port;
+    view.dst_port = dst_port;
+    view.proto = kIpProtoUdpLite;
+    view.ttl = ttl;
+    view.payload = payload;
+    if (!ApplyFilter(egress_filter_, view, FilterDirection::kEgress, &ttl)) {
       return Status(ErrorCode::kPermissionDenied, "blocked by egress filter");
     }
   }
   PacketBuffer packet;
   packet.Append(payload);
   UdpEncap(packet, UdpHeader{src_port, dst_port, 0});
-  IpEncap(packet, IpHeader{64, kIpProtoUdpLite, config_.ip, dst, 0});
+  IpEncap(packet, IpHeader{ttl, kIpProtoUdpLite, config_.ip, dst, 0});
   EthEncap(packet, EthHeader{neighbor->second, config_.mac, kEtherTypeIpLite});
   ++stats_.datagrams_out;
   ++stats_.frames_out;
@@ -111,8 +120,14 @@ void ProtocolStack::OnFrame(std::span<const uint8_t> frame) {
   // Ingress filter verdict on a zero-copy view of the decapsulated packet:
   // a dropped or rejected datagram costs no allocation.
   if (ingress_filter_ != nullptr) {
-    PacketView view{ip->src, ip->dst, udp->src_port, udp->dst_port, ip->proto,
-                    packet.data()};
+    PacketView view;
+    view.src_ip = ip->src;
+    view.dst_ip = ip->dst;
+    view.src_port = udp->src_port;
+    view.dst_port = udp->dst_port;
+    view.proto = ip->proto;
+    view.ttl = ip->ttl;
+    view.payload = packet.data();
     if (!ApplyFilter(ingress_filter_, view, FilterDirection::kIngress)) {
       return;
     }

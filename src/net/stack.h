@@ -44,11 +44,13 @@ struct StackStats {
   uint64_t drops_not_for_us = 0;
   uint64_t drops_no_socket = 0;
   uint64_t drops_filtered = 0;  // ingress + egress drop/reject verdicts
-  // Per-verdict filter counters, both directions combined.
+  // Per-verdict filter counters, both directions combined. (Counting is a
+  // rule *procedure* now, tallied by the filter itself — the retired
+  // per-stack filter_count moved to FilterStats::proc_invocations.)
   uint64_t filter_pass = 0;
   uint64_t filter_drop = 0;
   uint64_t filter_reject = 0;
-  uint64_t filter_count = 0;
+  uint64_t filter_ttl_rewrites = 0;  // egress TTL overrides applied (normalize proc)
 };
 
 class ProtocolStack {
@@ -82,8 +84,11 @@ class ProtocolStack {
 
  private:
   // Applies a filter hook to `view`; returns true when the packet may
-  // proceed, updating the per-verdict counters either way.
-  bool ApplyFilter(const FilterHook& hook, const PacketView& view, FilterDirection dir);
+  // proceed, updating the per-verdict counters either way. A non-null
+  // `ttl_override` receives the decision's TTL rewrite, if any (egress only
+  // — ingress has no header left to rewrite).
+  bool ApplyFilter(const FilterHook& hook, const PacketView& view, FilterDirection dir,
+                   uint8_t* ttl_override = nullptr);
 
   StackConfig config_;
   FrameSender sender_;

@@ -66,6 +66,11 @@ void Assembler::EmitLdArg(uint8_t index) {
   code_.push_back(index);
 }
 
+void Assembler::EmitHostCall(uint8_t helper) {
+  Emit(Op::kHostCall);
+  code_.push_back(helper);
+}
+
 void Assembler::EmitJump(Op op, const std::string& label) {
   Emit(op);
   fixups_.push_back(Fixup{code_.size(), label});
@@ -155,6 +160,18 @@ Result<Program> Assembler::Assemble(std::string_view source, size_t memory_bytes
           return Status(ErrorCode::kInvalidArgument, "ldarg index 0..3");
         }
         assembler.EmitLdArg(static_cast<uint8_t>(index));
+        break;
+      }
+      case Op::kHostCall: {
+        std::string operand;
+        if (!(tokens >> operand)) {
+          return Status(ErrorCode::kInvalidArgument, "hostcall needs an operand");
+        }
+        PARA_ASSIGN_OR_RETURN(uint64_t helper, ParseNumber(operand));
+        if (helper >= kMaxHostHelpers) {
+          return Status(ErrorCode::kInvalidArgument, "hostcall helper out of range");
+        }
+        assembler.EmitHostCall(static_cast<uint8_t>(helper));
         break;
       }
       case Op::kJmp:

@@ -31,6 +31,7 @@ class Assembler {
   void Emit(Op op);
   void EmitPush(uint64_t value);
   void EmitLdArg(uint8_t index);
+  void EmitHostCall(uint8_t helper);
   void EmitJump(Op op, const std::string& label);  // kJmp/kJz/kJnz/kCall
   void Label(const std::string& name);
   void EntryPoint();  // next instruction starts a method

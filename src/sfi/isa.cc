@@ -39,6 +39,7 @@ const char* OpName(Op op) {
     case Op::kRet: return "ret";
     case Op::kLdArg: return "ldarg";
     case Op::kRetV: return "retv";
+    case Op::kHostCall: return "hostcall";
     case Op::kOpCount: return "?";
   }
   return "?";
@@ -54,6 +55,7 @@ size_t InstructionLength(Op op) {
     case Op::kCall:
       return 1 + 4;
     case Op::kLdArg:
+    case Op::kHostCall:
       return 1 + 1;
     default:
       return 1;
@@ -94,6 +96,7 @@ StackEffect StackEffectOf(Op op) {
     case Op::kLoad16:
     case Op::kLoad32:
     case Op::kLoad64:
+    case Op::kHostCall:
       return {1, 1};
     case Op::kStore8:
     case Op::kStore16:

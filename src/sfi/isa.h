@@ -41,8 +41,16 @@ enum class Op : uint8_t {
   kRet,        // return from call
   kLdArg,      // push argument u8 (0..3)
   kRetV,       // pop top of stack, halt with it as the result
+  kHostCall,   // pop arg, call host helper u8, push its result
   kOpCount,
 };
+
+// Host-helper table size: kHostCall's u8 operand must be below this. Helpers
+// are the narrow waist for the few things bytecode cannot compute inside its
+// own memory (a clock, a random source) — bound per Vm, identical in both
+// execution modes so a certified program behaves bit-for-bit like its
+// sandboxed self.
+inline constexpr size_t kMaxHostHelpers = 8;
 
 struct Program {
   std::vector<uint8_t> code;

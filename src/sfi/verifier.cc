@@ -89,6 +89,11 @@ Result<VerifiedProgram> Verify(Program program, VerifyOptions options) {
           return Status(ErrorCode::kInvalidArgument, "ldarg index out of range");
         }
         break;
+      case Op::kHostCall:
+        if (code[pc + 1] >= kMaxHostHelpers) {
+          return Status(ErrorCode::kInvalidArgument, "hostcall helper out of range");
+        }
+        break;
       case Op::kLoad8:
       case Op::kLoad16:
       case Op::kLoad32:
@@ -228,6 +233,11 @@ Result<VerifiedProgram> Verify(Program program, VerifyOptions options) {
         break;
       case Op::kLdArg:
         decoded.arg = static_cast<uint8_t>(code[insns[i].offset + 1] & 3);
+        break;
+      case Op::kHostCall:
+        // Verified < kMaxHostHelpers in pass 1: the VM indexes its helper
+        // table with no further check.
+        decoded.arg = code[insns[i].offset + 1];
         break;
       default:
         break;

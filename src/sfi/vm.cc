@@ -42,6 +42,23 @@ Vm::Vm(const VerifiedProgram* program, ExecMode mode)
   PARA_CHECK(program != nullptr);
 }
 
+void Vm::SetHostHelper(size_t index, HostHelper helper, void* ctx) {
+  PARA_CHECK(index < kMaxHostHelpers);
+  host_helpers_[index] = helper;
+  host_ctx_[index] = ctx;
+}
+
+bool Vm::CallHostHelper(uint32_t slot, uint64_t* top) {
+  // Both modes take the null-slot branch: helper behaviour must be mode-
+  // invariant for certified code to match its sandboxed differential.
+  HostHelper helper = host_helpers_[slot];
+  if (helper == nullptr) {
+    return false;
+  }
+  *top = helper(host_ctx_[slot], *top);
+  return true;
+}
+
 Result<uint64_t> Vm::Run(size_t method, uint64_t a0, uint64_t a1, uint64_t a2, uint64_t a3) {
   if (method >= program_->entry_points.size()) {
     return Status(ErrorCode::kNotFound, "no such entry point");
@@ -80,12 +97,14 @@ Result<uint64_t> Vm::RunImpl(size_t method, uint64_t a0, uint64_t a1, uint64_t a
     uint64_t instructions = 0;
     uint64_t checks = 0;
     uint64_t calls = 0;
+    uint64_t host_calls = 0;
     VmStats* stats;
     explicit CounterFlush(VmStats* s) : stats(s) {}
     ~CounterFlush() {
       stats->instructions += instructions;
       stats->bounds_checks += checks;
       stats->calls += calls;
+      stats->host_calls += host_calls;
     }
   } counters(&stats_);
 
@@ -113,7 +132,8 @@ Result<uint64_t> Vm::RunImpl(size_t method, uint64_t a0, uint64_t a1, uint64_t a
       &&lbl_xor_,   &&lbl_shl,    &&lbl_shr,    &&lbl_eq,     &&lbl_ne,    &&lbl_ltu,
       &&lbl_gtu,    &&lbl_not_,    &&lbl_load8,  &&lbl_load16, &&lbl_load32, &&lbl_load64,
       &&lbl_store8, &&lbl_store16, &&lbl_store32, &&lbl_store64, &&lbl_jmp, &&lbl_jz,
-      &&lbl_jnz,    &&lbl_call,   &&lbl_ret,    &&lbl_ldarg,  &&lbl_retv,  &&lbl_check,
+      &&lbl_jnz,    &&lbl_call,   &&lbl_ret,    &&lbl_ldarg,  &&lbl_retv,  &&lbl_hostcall,
+      &&lbl_check,
       &&lbl_end,    &&lbl_pushload8, &&lbl_pushload16, &&lbl_pushload32, &&lbl_pushload64,
       &&lbl_eqjz,   &&lbl_eqjnz,  &&lbl_nejz,   &&lbl_nejnz,  &&lbl_ltujz, &&lbl_ltujnz,
       &&lbl_gtujz,  &&lbl_gtujnz,
@@ -346,6 +366,15 @@ Result<uint64_t> Vm::RunImpl(size_t method, uint64_t a0, uint64_t a1, uint64_t a
   VM_OP(retv, Op::kRetV) {
     VM_METER();
     return stack[--sp];
+  }
+  VM_OP(hostcall, Op::kHostCall) {
+    VM_METER();
+    if (!CallHostHelper(insn->arg, &stack[sp - 1])) {
+      return Status(ErrorCode::kFailedPrecondition, "unbound host helper");
+    }
+    ++counters.host_calls;
+    ++pc;
+    VM_NEXT();
   }
 
   // Synthetic: the per-block stack envelope the verifier hoisted out of the

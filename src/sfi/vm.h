@@ -27,7 +27,15 @@ struct VmStats {
   uint64_t instructions = 0;  // real instructions retired (synthetics excluded)
   uint64_t bounds_checks = 0;
   uint64_t calls = 0;
+  uint64_t host_calls = 0;  // kHostCall helper invocations
 };
+
+// One bound host helper: called with its registration context and the value
+// kHostCall popped; the return value is pushed. Helpers run in BOTH execution
+// modes — they are the program's only window on host state (a clock, a
+// random source), so keeping them identical across modes is what lets a
+// certified program behave bit-for-bit like its sandboxed self.
+using HostHelper = uint64_t (*)(void* ctx, uint64_t arg);
 
 class Vm {
  public:
@@ -59,6 +67,11 @@ class Vm {
   const VerifiedProgram& program() const { return *program_; }
   void set_fuel(uint64_t fuel) { fuel_ = fuel; }
 
+  // Binds host helper `index` (< kMaxHostHelpers). A kHostCall to an unbound
+  // slot faults in both modes (kFailedPrecondition) — the verifier proves the
+  // index range, the binding is a run-time contract with the embedder.
+  void SetHostHelper(size_t index, HostHelper helper, void* ctx);
+
  private:
   // The dispatch loop, specialized per mode at compile time so trusted
   // execution carries no residue of the sandbox checks. Computed-goto
@@ -66,11 +79,20 @@ class Vm {
   template <bool kSandboxed>
   Result<uint64_t> RunImpl(size_t method, uint64_t a0, uint64_t a1, uint64_t a2, uint64_t a3);
 
+  // Out-of-line body of kHostCall (slot lookup, null check, indirect call).
+  // Keeping the indirect call outside RunImpl keeps the threaded dispatch
+  // loop compact — an inline call site there perturbs register allocation
+  // and code layout for every op, not just hostcall. Returns false when the
+  // slot is unbound (the caller faults, mode-invariantly).
+  [[gnu::noinline]] bool CallHostHelper(uint32_t slot, uint64_t* top);
+
   const VerifiedProgram* program_;
   ExecMode mode_;
   std::vector<uint8_t> memory_;
   uint64_t fuel_ = kDefaultFuel;
   VmStats stats_;
+  HostHelper host_helpers_[kMaxHostHelpers] = {};
+  void* host_ctx_[kMaxHostHelpers] = {};
 };
 
 }  // namespace para::sfi

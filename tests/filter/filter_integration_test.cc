@@ -129,20 +129,26 @@ TEST_F(FilterIntegrationTest, IngressVerdictsAndEventNotifications) {
   EXPECT_EQ(delivered_[1], (std::pair<net::Port, std::string>{81, "counted"}));
 
   const net::StackStats& stats = rx_->stack().stats();
-  EXPECT_EQ(stats.filter_pass, 1u);
-  EXPECT_EQ(stats.filter_count, 1u);
+  // The counted packet passes (counting is a procedure now, not a verdict);
+  // the filter tallies the procedure run.
+  EXPECT_EQ(stats.filter_pass, 2u);
   EXPECT_EQ(stats.filter_reject, 1u);
   EXPECT_EQ(stats.filter_drop, 1u);
   EXPECT_EQ(stats.drops_filtered, 2u);
   EXPECT_EQ(stats.datagrams_in, 2u);
+  EXPECT_EQ((*filter)->stats().proc_invocations, 1u);
 
-  // The monitor saw the count and the reject, with decodable details.
+  // The monitor saw the count procedure's event and the reject, with
+  // decodable details: the count event carries its procedure id (ordinal 1),
+  // the reject comes from the dispatch verdict itself (proc 0).
   ASSERT_EQ(details.size(), 2u);
-  EXPECT_EQ(VerdictEventVerdict(details[0]), FilterVerdict::kCount);
-  EXPECT_EQ(VerdictEventRule(details[0]), 1u);
-  EXPECT_EQ(VerdictEventVerdict(details[1]), FilterVerdict::kReject);
-  EXPECT_EQ(VerdictEventRule(details[1]), 2u);
-  EXPECT_EQ(VerdictEventDirection(details[1]), FilterDirection::kIngress);
+  EXPECT_EQ(FilterEventVerdict(details[0]), FilterVerdict::kPass);
+  EXPECT_EQ(FilterEventProc(details[0]), 1u);
+  EXPECT_EQ(FilterEventRule(details[0]), 1u);
+  EXPECT_EQ(FilterEventVerdict(details[1]), FilterVerdict::kReject);
+  EXPECT_EQ(FilterEventProc(details[1]), 0u);
+  EXPECT_EQ(FilterEventRule(details[1]), 2u);
+  EXPECT_EQ(FilterEventDirection(details[1]), FilterDirection::kIngress);
   EXPECT_EQ((*filter)->stats().events_raised, 2u);
 
   ASSERT_TRUE(nucleus_->events().Unregister(*registration).ok());

@@ -57,7 +57,10 @@ TEST(RuleParserTest, ParsesFullGrammar) {
   EXPECT_EQ(r0.proto, net::kIpProtoUdpLite);
 
   const Rule& r1 = set->rules[1];
-  EXPECT_EQ(r1.verdict, FilterVerdict::kCount);
+  // Deprecated count verdict: parses as pass + an attached count procedure.
+  EXPECT_EQ(r1.verdict, FilterVerdict::kPass);
+  ASSERT_EQ(r1.procs.size(), 1u);
+  EXPECT_EQ(r1.procs[0].name, "count");
   EXPECT_EQ(r1.dst_prefix, 0);  // "any"
   EXPECT_EQ(r1.dport_lo, 8000);
   EXPECT_EQ(r1.dport_hi, 8080);
@@ -137,28 +140,32 @@ TEST(CompilerTest, CompiledProgramVerifies) {
 
 TEST(CompilerTest, FirstMatchWinsAndDefaultApplies) {
   auto set = ParseRules(
-      "count dport 80\n"
+      "count dport 80\n"  // sugar for: pass dport 80 proc count
       "drop dport 80\n"   // shadowed by the count rule
       "pass dport 443\n"
       "default reject\n");
   ASSERT_TRUE(set.ok());
   auto compiled = CompileRules(*set);
   ASSERT_TRUE(compiled.ok());
+  ASSERT_EQ(compiled->chains.size(), 1u);
+  EXPECT_EQ(compiled->chains[0][0].name, "count");
   auto verified = sfi::Verify(compiled->program);
   ASSERT_TRUE(verified.ok());
   sfi::Vm vm(&*verified, sfi::ExecMode::kSandboxed);
 
-  PacketView http{1, 2, 1234, 80, net::kIpProtoUdpLite, {}};
+  PacketView http{1, 2, 1234, 80, net::kIpProtoUdpLite, 64, {}};
   FilterDecision d = DecodeVerdict(RunCompiled(*compiled, vm, http));
-  EXPECT_EQ(d.verdict, FilterVerdict::kCount);
+  EXPECT_EQ(d.verdict, FilterVerdict::kPass);
   EXPECT_EQ(d.rule, 0u);
+  EXPECT_EQ(d.chain, 1u);  // the count rule's procedure chain
 
-  PacketView https{1, 2, 1234, 443, net::kIpProtoUdpLite, {}};
+  PacketView https{1, 2, 1234, 443, net::kIpProtoUdpLite, 64, {}};
   d = DecodeVerdict(RunCompiled(*compiled, vm, https));
   EXPECT_EQ(d.verdict, FilterVerdict::kPass);
   EXPECT_EQ(d.rule, 2u);
+  EXPECT_EQ(d.chain, 0u);
 
-  PacketView other{1, 2, 1234, 7777, net::kIpProtoUdpLite, {}};
+  PacketView other{1, 2, 1234, 7777, net::kIpProtoUdpLite, 64, {}};
   d = DecodeVerdict(RunCompiled(*compiled, vm, other));
   EXPECT_EQ(d.verdict, FilterVerdict::kReject);
   EXPECT_EQ(d.rule, net::kDefaultRuleIndex);
@@ -176,7 +183,7 @@ TEST(CompilerTest, PayloadMatchRespectsLengthAndMask) {
   std::string long_match = "xxxx\x7Fzz";   // byte 4 = 0x7F, & 0xC0 == 0x40
   std::string long_miss = "xxxx\xC1zz";    // byte 4 & 0xC0 == 0xC0
   std::string short_pkt = "xxxx";          // byte 4 absent => rule cannot match
-  PacketView view{1, 2, 3, 4, net::kIpProtoUdpLite, Bytes(long_match)};
+  PacketView view{1, 2, 3, 4, net::kIpProtoUdpLite, 64, Bytes(long_match)};
   EXPECT_EQ(DecodeVerdict(RunCompiled(*compiled, vm, view)).verdict, FilterVerdict::kDrop);
   view.payload = Bytes(long_miss);
   EXPECT_EQ(DecodeVerdict(RunCompiled(*compiled, vm, view)).verdict, FilterVerdict::kPass);
@@ -328,7 +335,7 @@ TEST(DecisionTreeTest, SplitsOnDiscriminatingField) {
   sfi::Vm tree_vm(&*tree_verified, sfi::ExecMode::kSandboxed);
   sfi::Vm linear_vm(&*linear_verified, sfi::ExecMode::kSandboxed);
 
-  PacketView view{1, 0x0A000000u + 63, 1, 2, 0, {}};
+  PacketView view{1, 0x0A000000u + 63, 1, 2, 0, 64, {}};
   uint64_t expected = NativeMatch(set, view);
   EXPECT_EQ(RunCompiled(*tree, tree_vm, view), expected);
   EXPECT_EQ(RunCompiled(*linear, linear_vm, view), expected);
@@ -360,7 +367,7 @@ TEST(DecisionTreeTest, FirstMatchSemanticsSurviveBucketing) {
   };
   for (const Case& c : {Case{10, 0}, Case{10, 1}, Case{20, 1}, Case{20, 0}, Case{30, 0},
                         Case{40, 1}, Case{77, 0}, Case{77, 1}}) {
-    PacketView view{1, 2, 3, c.dport, c.proto, {}};
+    PacketView view{1, 2, 3, c.dport, c.proto, 64, {}};
     EXPECT_EQ(RunCompiled(*tree, vm, view), NativeMatch(*set, view))
         << "dport=" << c.dport << " proto=" << static_cast<int>(c.proto);
   }
@@ -388,7 +395,7 @@ TEST(DecisionTreeTest, PrefixesAndRangesNowDispatch) {
   for (net::Port sport : {999, 1000, 1500, 2000, 2001}) {
     for (net::Port dport : {4999, 5000, 6000, 6001}) {
       for (net::IpAddr src : {0x0A000001u, 0x0AFFFFFFu, 0xC0A80001u, 0xC0A90001u, 0x7F000001u}) {
-        PacketView view{src, 2, sport, dport, net::kIpProtoUdpLite, {}};
+        PacketView view{src, 2, sport, dport, net::kIpProtoUdpLite, 64, {}};
         EXPECT_EQ(RunCompiled(*compiled, vm, view), NativeMatch(*set, view))
             << "src=" << src << " sport=" << sport << " dport=" << dport;
       }
@@ -441,7 +448,7 @@ TEST(DecisionTreeTest, LpmTrieDispatchesPrefixHeavySets) {
   sfi::Vm linear_vm(&*linear_verified, sfi::ExecMode::kSandboxed);
 
   // Any address inside the last network (not just its base) must match it.
-  PacketView view{1, (0xC0u << 24) | (63u << 16) | 0x1234u, 1, 2, 0, {}};
+  PacketView view{1, (0xC0u << 24) | (63u << 16) | 0x1234u, 1, 2, 0, 64, {}};
   uint64_t expected = NativeMatch(set, view);
   EXPECT_EQ(DecodeVerdict(expected).rule, 63u);
   EXPECT_EQ(RunCompiled(*tree, tree_vm, view), expected);
@@ -477,7 +484,7 @@ TEST(DecisionTreeTest, LpmTrieSplitsNestedPrefixesDeeper) {
         0x0A020301u,  // 10.2.3.x: rule 0 wins over the nested /24 too
         0x0B000001u,  // 11.x: rule 5
         0x0C000001u}) {
-    PacketView view{src, 2, 3, 4, 0, {}};
+    PacketView view{src, 2, 3, 4, 0, 64, {}};
     EXPECT_EQ(RunCompiled(*tree, vm, view), NativeMatch(*set, view)) << "src=" << src;
   }
 
@@ -498,7 +505,7 @@ TEST(DecisionTreeTest, LpmTrieSplitsNestedPrefixesDeeper) {
   sfi::Vm inv_vm(&*inv_verified, sfi::ExecMode::kSandboxed);
   for (net::IpAddr src : {0x0A020301u, 0x0A020401u, 0x0A020501u, 0x0A010001u, 0x0A000001u,
                           0x0B000001u}) {
-    PacketView view{src, 2, 3, 4, 0, {}};
+    PacketView view{src, 2, 3, 4, 0, 64, {}};
     EXPECT_EQ(RunCompiled(*inv_tree, inv_vm, view), NativeMatch(*inverted, view))
         << "src=" << src;
   }
@@ -533,7 +540,7 @@ TEST(DecisionTreeTest, IntervalDispatchesRangeHeavySets) {
 
   // Range interior, boundaries, gaps outside every range.
   for (net::Port dport : {999, 1000, 1004, 1009, 1635, 1639, 1999, 2000}) {
-    PacketView view{1, 2, 3, dport, 0, {}};
+    PacketView view{1, 2, 3, dport, 0, 64, {}};
     uint64_t expected = NativeMatch(set, view);
     EXPECT_EQ(RunCompiled(*tree, tree_vm, view), expected) << dport;
     EXPECT_EQ(RunCompiled(*linear, linear_vm, view), expected) << dport;
@@ -542,7 +549,7 @@ TEST(DecisionTreeTest, IntervalDispatchesRangeHeavySets) {
   // in the rule set must binary-search, not walk.
   sfi::Vm tree_probe(&*tree_verified, sfi::ExecMode::kSandboxed);
   sfi::Vm linear_probe(&*linear_verified, sfi::ExecMode::kSandboxed);
-  PacketView last{1, 2, 3, 1635, 0, {}};
+  PacketView last{1, 2, 3, 1635, 0, 64, {}};
   EXPECT_EQ(RunCompiled(*tree, tree_probe, last), RunCompiled(*linear, linear_probe, last));
   EXPECT_LT(tree_probe.stats().instructions, linear_probe.stats().instructions / 4);
 }
@@ -566,7 +573,7 @@ TEST(DecisionTreeTest, OverlappingRangesKeepFirstMatchOrder) {
 
   for (net::Port sport : {0, 5, 11}) {
     for (net::Port dport : {99, 100, 149, 155, 189, 195, 201, 255, 300, 301}) {
-      PacketView view{1, 2, sport, dport, 0, {}};
+      PacketView view{1, 2, sport, dport, 0, 64, {}};
       EXPECT_EQ(RunCompiled(*tree, vm, view), NativeMatch(*set, view))
           << "sport=" << sport << " dport=" << dport;
     }
@@ -655,7 +662,7 @@ TEST(PacketFilterTest, EmptyFilterPassesEverything) {
   ASSERT_TRUE(filter.ok());
   EXPECT_EQ((*filter)->mode(), sfi::ExecMode::kSandboxed);
   EXPECT_EQ((*filter)->rule_count(), 0u);
-  PacketView view{1, 2, 3, 4, net::kIpProtoUdpLite, {}};
+  PacketView view{1, 2, 3, 4, net::kIpProtoUdpLite, 64, {}};
   FilterDecision d = (*filter)->Evaluate(view, FilterDirection::kIngress);
   EXPECT_EQ(d.verdict, FilterVerdict::kPass);
   EXPECT_EQ((*filter)->stats().pass, 1u);
@@ -763,7 +770,7 @@ TEST(PacketFilterTest, FlowFastPathAndCounters) {
   ASSERT_TRUE((*filter)->Load(*rules).ok());
 
   std::string body = "hello";
-  PacketView view{0x0A000001, 0x0A000002, 4000, 80, net::kIpProtoUdpLite, Bytes(body)};
+  PacketView view{0x0A000001, 0x0A000002, 4000, 80, net::kIpProtoUdpLite, 64, Bytes(body)};
   for (int i = 0; i < 5; ++i) {
     EXPECT_EQ((*filter)->Evaluate(view, FilterDirection::kIngress).verdict,
               FilterVerdict::kPass);
@@ -780,7 +787,7 @@ TEST(PacketFilterTest, FlowFastPathAndCounters) {
   EXPECT_EQ(flow->bytes, 5u * body.size());
 
   // Dropped packets do not establish flows.
-  PacketView blocked{0x0A000001, 0x0A000002, 4000, 9999, net::kIpProtoUdpLite, {}};
+  PacketView blocked{0x0A000001, 0x0A000002, 4000, 9999, net::kIpProtoUdpLite, 64, {}};
   EXPECT_EQ((*filter)->Evaluate(blocked, FilterDirection::kIngress).verdict,
             FilterVerdict::kDrop);
   EXPECT_EQ((*filter)->flows().size(), 1u);
@@ -799,7 +806,7 @@ TEST(PacketFilterTest, HotReloadReevaluatesEstablishedFlowsByDefault) {
   ASSERT_TRUE(filter.ok());
   ASSERT_TRUE((*filter)->Load(*permissive).ok());
 
-  PacketView established{0x0A000001, 0x0A000002, 4000, 80, net::kIpProtoUdpLite, {}};
+  PacketView established{0x0A000001, 0x0A000002, 4000, 80, net::kIpProtoUdpLite, 64, {}};
   EXPECT_EQ((*filter)->Evaluate(established, FilterDirection::kIngress).verdict,
             FilterVerdict::kPass);
   EXPECT_EQ((*filter)->Evaluate(established, FilterDirection::kIngress).verdict,
@@ -839,8 +846,8 @@ TEST(PacketFilterTest, ReloadReevaluatesReplyTrafficInForwardOrientation) {
   ASSERT_TRUE((*filter)->Load(*rules).ok());
 
   std::string body = "pong";
-  PacketView request{0x0A000001, 0x0A000002, 4000, 80, net::kIpProtoUdpLite, {}};
-  PacketView reply{0x0A000002, 0x0A000001, 80, 4000, net::kIpProtoUdpLite, Bytes(body)};
+  PacketView request{0x0A000001, 0x0A000002, 4000, 80, net::kIpProtoUdpLite, 64, {}};
+  PacketView reply{0x0A000002, 0x0A000001, 80, 4000, net::kIpProtoUdpLite, 64, Bytes(body)};
   EXPECT_EQ((*filter)->Evaluate(request, FilterDirection::kEgress).verdict,
             FilterVerdict::kPass);
 
@@ -884,7 +891,7 @@ TEST(PacketFilterTest, HotReloadKeepAliveIsOptIn) {
   ASSERT_TRUE(filter.ok());
   ASSERT_TRUE((*filter)->Load(*permissive).ok());
 
-  PacketView established{0x0A000001, 0x0A000002, 4000, 80, net::kIpProtoUdpLite, {}};
+  PacketView established{0x0A000001, 0x0A000002, 4000, 80, net::kIpProtoUdpLite, 64, {}};
   EXPECT_EQ((*filter)->Evaluate(established, FilterDirection::kIngress).verdict,
             FilterVerdict::kPass);
   uint32_t first_epoch = (*filter)->epoch();
@@ -899,7 +906,7 @@ TEST(PacketFilterTest, HotReloadKeepAliveIsOptIn) {
             FilterVerdict::kPass);
   EXPECT_EQ((*filter)->stats().flow_reevaluations, 0u);
   // ...while a new flow is evaluated against the new rules and dropped.
-  PacketView fresh{0x0A000001, 0x0A000002, 4001, 80, net::kIpProtoUdpLite, {}};
+  PacketView fresh{0x0A000001, 0x0A000002, 4001, 80, net::kIpProtoUdpLite, 64, {}};
   EXPECT_EQ((*filter)->Evaluate(fresh, FilterDirection::kIngress).verdict,
             FilterVerdict::kDrop);
 }
@@ -914,7 +921,7 @@ TEST(PacketFilterTest, DescriptorMarshallingFailureFailsClosed) {
   ASSERT_TRUE(filter.ok());
   ASSERT_TRUE((*filter)->Load(*rules).ok());
 
-  PacketView view{1, 2, 3, 80, net::kIpProtoUdpLite, {}};
+  PacketView view{1, 2, 3, 80, net::kIpProtoUdpLite, 64, {}};
   EXPECT_EQ((*filter)->Evaluate(view, FilterDirection::kIngress).verdict,
             FilterVerdict::kPass);
 
@@ -944,8 +951,8 @@ TEST(PacketFilterTest, ReplyTrafficSharesEstablishedFlow) {
 
   std::string req = "GET /";
   std::string resp = "200 OK!!";
-  PacketView request{0x0A000001, 0x0A000002, 4000, 80, net::kIpProtoUdpLite, Bytes(req)};
-  PacketView reply{0x0A000002, 0x0A000001, 80, 4000, net::kIpProtoUdpLite, Bytes(resp)};
+  PacketView request{0x0A000001, 0x0A000002, 4000, 80, net::kIpProtoUdpLite, 64, Bytes(req)};
+  PacketView reply{0x0A000002, 0x0A000001, 80, 4000, net::kIpProtoUdpLite, 64, Bytes(resp)};
 
   EXPECT_EQ((*filter)->Evaluate(request, FilterDirection::kEgress).verdict,
             FilterVerdict::kPass);
@@ -976,7 +983,7 @@ TEST(PacketFilterTest, FlowTtlExpiresOnVirtualClock) {
   ASSERT_TRUE(filter.ok());
   ASSERT_TRUE((*filter)->Load(*rules).ok());
 
-  PacketView view{0x0A000001, 0x0A000002, 4000, 80, net::kIpProtoUdpLite, {}};
+  PacketView view{0x0A000001, 0x0A000002, 4000, 80, net::kIpProtoUdpLite, 64, {}};
   EXPECT_EQ((*filter)->Evaluate(view, FilterDirection::kIngress).verdict,
             FilterVerdict::kPass);
   clock.Advance(500);
@@ -1019,7 +1026,7 @@ TEST(PacketFilterTest, SharedProgramCacheMakesReloadsHits) {
   // the cache forces the next load of those rules through the verifier,
   // while the filter (still holding the shared artifact) keeps evaluating.
   ASSERT_TRUE(cache.Invalidate((*filter)->verified_program().identity()));
-  PacketView view{1, 2, 3, 443, net::kIpProtoUdpLite, {}};
+  PacketView view{1, 2, 3, 443, net::kIpProtoUdpLite, 64, {}};
   EXPECT_EQ((*filter)->Evaluate(view, FilterDirection::kIngress).verdict,
             FilterVerdict::kPass);
   uint64_t misses_before = cache.stats().misses;
@@ -1040,8 +1047,8 @@ TEST(PacketFilterTest, ExportsFilterInterface) {
   EXPECT_EQ((*iface)->Invoke(2), 0u);  // mode: sandboxed
   EXPECT_EQ((*iface)->Invoke(3), 0u);  // flow_count
 
-  PacketView telnet{1, 2, 3, 23, net::kIpProtoUdpLite, {}};
-  PacketView web{1, 2, 3, 80, net::kIpProtoUdpLite, {}};
+  PacketView telnet{1, 2, 3, 23, net::kIpProtoUdpLite, 64, {}};
+  PacketView web{1, 2, 3, 80, net::kIpProtoUdpLite, 64, {}};
   (void)(*filter)->Evaluate(telnet, FilterDirection::kIngress);
   (void)(*filter)->Evaluate(web, FilterDirection::kIngress);
   EXPECT_EQ((*iface)->Invoke(0, 0), 2u);  // evaluated

@@ -16,7 +16,7 @@ using net::FilterVerdict;
 
 Rule RandomRule(para::Random& rng) {
   Rule rule;
-  rule.verdict = static_cast<FilterVerdict>(rng.NextBelow(4));
+  rule.verdict = static_cast<FilterVerdict>(rng.NextBelow(3));
   if (rng.NextBool(0.6)) {
     rule.src_ip = rng.Next32();
     rule.src_prefix = static_cast<uint8_t>(1 + rng.NextBelow(32));
@@ -47,6 +47,23 @@ Rule RandomRule(para::Random& rng) {
     match.mask = static_cast<uint8_t>(rng.NextBelow(256));
     rule.payload.push_back(match);
   }
+  // Attached procedure clauses: names from the built-in vocabulary (the
+  // parser does not resolve them — any well-formed name round-trips), with
+  // zero to two u64 parameters each.
+  static constexpr const char* kProcNames[] = {"count", "ratelimit", "log", "rndblock",
+                                               "normalize", "custom-proc_7"};
+  static constexpr const char* kProcKeys[] = {"rate", "burst", "every", "percent", "ttl"};
+  size_t procs = rng.NextBelow(3);
+  for (size_t i = 0; i < procs; ++i) {
+    RuleProcSpec spec;
+    spec.name = kProcNames[rng.NextBelow(6)];
+    size_t nargs = rng.NextBelow(3);
+    for (size_t a = 0; a < nargs; ++a) {
+      uint64_t value = (uint64_t{rng.Next32()} << 32) | rng.Next32();
+      spec.args.emplace_back(kProcKeys[rng.NextBelow(5)], value);
+    }
+    rule.procs.push_back(std::move(spec));
+  }
   return rule;
 }
 
@@ -76,6 +93,7 @@ TEST(RulePropertyTest, FormatParseRoundTripsRandomizedRules) {
       EXPECT_EQ(back.payload[i].value, rule.payload[i].value) << text;
       EXPECT_EQ(back.payload[i].mask, rule.payload[i].mask) << text;
     }
+    EXPECT_EQ(back.procs, rule.procs) << text;
 
     // The canonical form is a fixed point: formatting the reparsed rule
     // reproduces the text byte-for-byte.
@@ -84,8 +102,8 @@ TEST(RulePropertyTest, FormatParseRoundTripsRandomizedRules) {
 }
 
 TEST(RulePropertyTest, RoundTripCoversEveryVerdictAndDefault) {
-  for (FilterVerdict verdict : {FilterVerdict::kPass, FilterVerdict::kDrop,
-                                FilterVerdict::kReject, FilterVerdict::kCount}) {
+  for (FilterVerdict verdict :
+       {FilterVerdict::kPass, FilterVerdict::kDrop, FilterVerdict::kReject}) {
     Rule rule;
     rule.verdict = verdict;
     rule.dport_lo = rule.dport_hi = 443;
@@ -99,6 +117,28 @@ TEST(RulePropertyTest, RoundTripCoversEveryVerdictAndDefault) {
     ASSERT_TRUE(with_default.ok());
     EXPECT_EQ(with_default->default_verdict, verdict);
   }
+
+  // The deprecated count verdict still loads — as pass + a count procedure —
+  // and `default count` degrades to the pass half it can keep.
+  auto legacy = ParseRules("count dport 443\ndefault count\n");
+  ASSERT_TRUE(legacy.ok());
+  EXPECT_EQ(legacy->rules[0].verdict, FilterVerdict::kPass);
+  ASSERT_EQ(legacy->rules[0].procs.size(), 1u);
+  EXPECT_EQ(legacy->rules[0].procs[0].name, "count");
+  EXPECT_EQ(legacy->default_verdict, FilterVerdict::kPass);
+}
+
+TEST(RulePropertyTest, RejectsMalformedProcClauses) {
+  EXPECT_FALSE(ParseRules("pass proc\n").ok());
+  EXPECT_FALSE(ParseRules("pass proc ()\n").ok());
+  EXPECT_FALSE(ParseRules("pass proc rate(limit\n").ok());
+  EXPECT_FALSE(ParseRules("pass proc ratelimit(rate)\n").ok());
+  EXPECT_FALSE(ParseRules("pass proc ratelimit(rate=)\n").ok());
+  EXPECT_FALSE(ParseRules("pass proc ratelimit(=5)\n").ok());
+  EXPECT_FALSE(ParseRules("pass proc ratelimit(rate=x)\n").ok());
+  EXPECT_FALSE(ParseRules("pass proc rate!limit\n").ok());
+  EXPECT_TRUE(ParseRules("pass proc log\n").ok());
+  EXPECT_TRUE(ParseRules("pass proc ratelimit(rate=100,burst=16)\n").ok());
 }
 
 TEST(RulePropertyTest, RejectsMalformedPrefixes) {
