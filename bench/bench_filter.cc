@@ -125,13 +125,14 @@ net::PacketView BenchPacket(const std::vector<uint8_t>& payload) {
 
 template <sfi::ExecMode kMode>
 void BM_FilterVm(benchmark::State& state, CompileBackend backend,
-                 RuleSet (*make_rules)(size_t) = WorstCaseRules) {
+                 RuleSet (*make_rules)(size_t) = WorstCaseRules,
+                 sfi::VmBackend vm_backend = sfi::VmBackend::kAuto) {
   RuleSet set = make_rules(static_cast<size_t>(state.range(0)));
   auto compiled = CompileRules(set, {backend});
   PARA_CHECK(compiled.ok());
   auto verified = sfi::Verify(compiled->program);
   PARA_CHECK(verified.ok());
-  sfi::Vm vm(&*verified, kMode);
+  sfi::Vm vm(&*verified, kMode, vm_backend);
   std::vector<uint8_t> payload(64, 0x42);
   net::PacketView view = BenchPacket(payload);
   for (auto _ : state) {
@@ -140,6 +141,9 @@ void BM_FilterVm(benchmark::State& state, CompileBackend backend,
     benchmark::DoNotOptimize(verdict);
   }
   state.counters["rules"] = static_cast<double>(state.range(0));
+  // Which engine actually served the row — smoke-bench refuses to gate a
+  // "JIT" number that silently fell back to the threaded loop.
+  state.counters["jit"] = vm.backend() == sfi::VmBackend::kJit ? 1.0 : 0.0;
   if (kMode == sfi::ExecMode::kSandboxed) {
     state.counters["bounds_checks_per_pkt"] =
         static_cast<double>(vm.stats().bounds_checks) /
@@ -193,6 +197,18 @@ void BM_FilterSandboxedRange(benchmark::State& state) {
 
 void BM_FilterTrustedRangeLinear(benchmark::State& state) {
   BM_FilterVm<sfi::ExecMode::kTrusted>(state, CompileBackend::kLinear, PrefixRangeRules);
+}
+
+// Threaded-interpreter comparison rows: the same programs with the JIT
+// forced off, so the JIT's contribution to the E7 gap reads off one run.
+void BM_FilterTrustedThreaded(benchmark::State& state) {
+  BM_FilterVm<sfi::ExecMode::kTrusted>(state, CompileBackend::kDecisionTree, WorstCaseRules,
+                                       sfi::VmBackend::kThreaded);
+}
+
+void BM_FilterTrustedRangeThreaded(benchmark::State& state) {
+  BM_FilterVm<sfi::ExecMode::kTrusted>(state, CompileBackend::kDecisionTree,
+                                       PrefixRangeRules, sfi::VmBackend::kThreaded);
 }
 
 void BM_FilterNativeRange(benchmark::State& state) {
@@ -365,6 +381,8 @@ BENCHMARK(BM_FilterNative)->Apply(RuleSetSizes);
 BENCHMARK(BM_FilterTrustedRange)->Apply(RuleSetSizes);
 BENCHMARK(BM_FilterSandboxedRange)->Apply(RuleSetSizes);
 BENCHMARK(BM_FilterTrustedRangeLinear)->Apply(RuleSetSizes);
+BENCHMARK(BM_FilterTrustedThreaded)->Apply(RuleSetSizes);
+BENCHMARK(BM_FilterTrustedRangeThreaded)->Apply(RuleSetSizes);
 BENCHMARK(BM_FilterNativeRange)->Apply(RuleSetSizes);
 BENCHMARK(BM_FilterCalibrate);
 BENCHMARK(BM_FilterEngineFlowHit)->Arg(16)->Arg(256);

@@ -14,6 +14,7 @@
 
 #include "src/base/log.h"
 #include "src/sfi/assembler.h"
+#include "src/sfi/jit.h"
 #include "src/sfi/verifier.h"
 #include "src/sfi/vm.h"
 
@@ -148,16 +149,20 @@ done:
 
 template <sfi::ExecMode kMode>
 void RunBench(benchmark::State& state, const char* source, uint64_t a0,
-              sfi::VerifyOptions options = {}) {
+              sfi::VerifyOptions options = {},
+              sfi::VmBackend backend = sfi::VmBackend::kAuto) {
   auto verified = sfi::Verify(MustAssemble(source), options);
   PARA_CHECK(verified.ok());
-  sfi::Vm vm(&*verified, kMode);
+  sfi::Vm vm(&*verified, kMode, backend);
   for (auto _ : state) {
     auto result = vm.Run(0, a0);
     benchmark::DoNotOptimize(result);
   }
   state.counters["instructions_per_call"] =
       static_cast<double>(vm.stats().instructions) / static_cast<double>(state.iterations());
+  // Every row declares the backend that actually served it, so a silent
+  // fallback can't pass for a JIT number when runs are compared.
+  state.counters["jit"] = vm.backend() == sfi::VmBackend::kJit ? 1.0 : 0.0;
 }
 
 void BM_SfiNullTrusted(benchmark::State& state) {
@@ -211,6 +216,52 @@ void BM_SfiFieldCheckSandboxedUnfused(benchmark::State& state) {
                                       {.fuse_superinstructions = false});
 }
 
+// Threaded-loop comparison rows: the same workloads with the JIT forced off.
+// The unsuffixed rows above run whatever kAuto resolves to (the JIT on
+// x86-64), so Jit-vs-Threaded deltas read directly off one bench run.
+void BM_SfiNullTrustedThreaded(benchmark::State& state) {
+  RunBench<sfi::ExecMode::kTrusted>(state, kNullSource, 0, {}, sfi::VmBackend::kThreaded);
+}
+void BM_SfiNullSandboxedThreaded(benchmark::State& state) {
+  RunBench<sfi::ExecMode::kSandboxed>(state, kNullSource, 0, {}, sfi::VmBackend::kThreaded);
+}
+void BM_SfiArithTrustedThreaded(benchmark::State& state) {
+  RunBench<sfi::ExecMode::kTrusted>(state, kArithSource, 42, {}, sfi::VmBackend::kThreaded);
+}
+void BM_SfiArithSandboxedThreaded(benchmark::State& state) {
+  RunBench<sfi::ExecMode::kSandboxed>(state, kArithSource, 42, {}, sfi::VmBackend::kThreaded);
+}
+void BM_SfiChecksumTrustedThreaded(benchmark::State& state) {
+  RunBench<sfi::ExecMode::kTrusted>(state, kChecksumSource,
+                                    static_cast<uint64_t>(state.range(0)), {},
+                                    sfi::VmBackend::kThreaded);
+}
+void BM_SfiChecksumSandboxedThreaded(benchmark::State& state) {
+  RunBench<sfi::ExecMode::kSandboxed>(state, kChecksumSource,
+                                      static_cast<uint64_t>(state.range(0)), {},
+                                      sfi::VmBackend::kThreaded);
+}
+void BM_SfiBranchyTrustedThreaded(benchmark::State& state) {
+  RunBench<sfi::ExecMode::kTrusted>(state, kBranchySource,
+                                    static_cast<uint64_t>(state.range(0)), {},
+                                    sfi::VmBackend::kThreaded);
+}
+void BM_SfiBranchySandboxedThreaded(benchmark::State& state) {
+  RunBench<sfi::ExecMode::kSandboxed>(state, kBranchySource,
+                                      static_cast<uint64_t>(state.range(0)), {},
+                                      sfi::VmBackend::kThreaded);
+}
+void BM_SfiFieldCheckTrustedThreaded(benchmark::State& state) {
+  RunBench<sfi::ExecMode::kTrusted>(state, kFieldCheckSource,
+                                    static_cast<uint64_t>(state.range(0)), {},
+                                    sfi::VmBackend::kThreaded);
+}
+void BM_SfiFieldCheckSandboxedThreaded(benchmark::State& state) {
+  RunBench<sfi::ExecMode::kSandboxed>(state, kFieldCheckSource,
+                                      static_cast<uint64_t>(state.range(0)), {},
+                                      sfi::VmBackend::kThreaded);
+}
+
 // Load-time cost: Verify (and, post-refactor, pre-decode) by program size.
 void BM_SfiVerify(benchmark::State& state) {
   // Repeat the arithmetic body to reach the requested instruction count.
@@ -255,6 +306,16 @@ BENCHMARK(BM_SfiFieldCheckTrusted)->Arg(64)->Arg(256);
 BENCHMARK(BM_SfiFieldCheckTrustedUnfused)->Arg(64)->Arg(256);
 BENCHMARK(BM_SfiFieldCheckSandboxed)->Arg(64)->Arg(256);
 BENCHMARK(BM_SfiFieldCheckSandboxedUnfused)->Arg(64)->Arg(256);
+BENCHMARK(BM_SfiNullTrustedThreaded);
+BENCHMARK(BM_SfiNullSandboxedThreaded);
+BENCHMARK(BM_SfiArithTrustedThreaded);
+BENCHMARK(BM_SfiArithSandboxedThreaded);
+BENCHMARK(BM_SfiChecksumTrustedThreaded)->Arg(64)->Arg(256);
+BENCHMARK(BM_SfiChecksumSandboxedThreaded)->Arg(64)->Arg(256);
+BENCHMARK(BM_SfiBranchyTrustedThreaded)->Arg(64)->Arg(256);
+BENCHMARK(BM_SfiBranchySandboxedThreaded)->Arg(64)->Arg(256);
+BENCHMARK(BM_SfiFieldCheckTrustedThreaded)->Arg(64)->Arg(256);
+BENCHMARK(BM_SfiFieldCheckSandboxedThreaded)->Arg(64)->Arg(256);
 BENCHMARK(BM_SfiVerify)->Arg(16)->Arg(256)->Arg(4096);
 BENCHMARK(BM_SfiCalibrate);
 

@@ -26,6 +26,7 @@
 #include "src/filter/rule.h"
 #include "src/hw/netdev.h"
 #include "src/nucleus/nucleus.h"
+#include "src/sfi/jit.h"
 
 using namespace para;           // NOLINT
 using namespace para::nucleus;  // NOLINT
@@ -173,8 +174,15 @@ int main() {
   )");
   PARA_CHECK(rules.ok());
   PARA_CHECK((*firewall)->Load(*rules).ok());
-  std::printf("loaded %zu rules, mode=sandboxed (SFI run-time checks)\n",
-              (*firewall)->rule_count());
+  // The backend actually executing the classifier is part of the filter's
+  // observable state: on x86-64 hosts (without PARA_SFI_NO_JIT) that must be
+  // the native JIT, and a silent fallback to the threaded loop would be a
+  // bug, not a footnote.
+  const bool expect_jit = sfi::JitAvailable();
+  PARA_CHECK((*firewall)->exec_backend() ==
+             (expect_jit ? sfi::VmBackend::kJit : sfi::VmBackend::kThreaded));
+  std::printf("loaded %zu rules, mode=sandboxed (SFI run-time checks), backend=%s\n",
+              (*firewall)->rule_count(), expect_jit ? "jit" : "threaded");
 
   PARA_CHECK(SendFrom(bed, 4000, 80, "GET /index").ok());
   (void)SendFrom(bed, 4000, 23, "telnet?");
@@ -225,6 +233,14 @@ int main() {
               delivered.size(),
               static_cast<unsigned long long>((*firewall)->stats().proc_blocks),
               static_cast<unsigned long long>(proc_events_seen));
+
+  // Every classification across all four acts ran on the resolved backend;
+  // vm_stats().jit_runs counts the runs native code actually served, so a
+  // fallback mid-demo cannot masquerade as a JIT'd run.
+  PARA_CHECK((*firewall)->exec_backend() ==
+             (expect_jit ? sfi::VmBackend::kJit : sfi::VmBackend::kThreaded));
+  PARA_CHECK(expect_jit ? (*firewall)->vm_stats().jit_runs > 0
+                        : (*firewall)->vm_stats().jit_runs == 0);
 
   const filter::FilterStats& stats = (*firewall)->stats();
   std::printf("\nfirewall stats: evaluated=%llu pass=%llu drop=%llu reject=%llu "

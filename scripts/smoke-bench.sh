@@ -8,11 +8,16 @@
 # Two hot paths additionally get REGRESSION GATES, both normalized by a
 # fixed native integer calibration loop so they compare code quality, not
 # machine speed, against the checked-in bench-baseline JSON:
-#  * BM_SfiNullTrusted — pure threaded-dispatch entry cost (>25% fails);
+#  * BM_SfiNullTrusted — engine entry cost on the default backend (the
+#    x86-64 JIT where available) (>25% fails);
 #  * BM_FilterTrustedRange/256 — the prefix/range-heavy 256-rule worst case
-#    (>50% fails: looser because the trusted loop is layout-sensitive), so
-#    the decision-tree backend cannot silently regress to the linear walk
-#    (which is ~45x this number).
+#    on the default backend (>50% fails: looser because the measurement is
+#    layout-sensitive), so neither the decision-tree backend nor the JIT can
+#    silently regress (the linear-walk degeneration is ~45x this number).
+# When the checked-in baseline row was recorded on the JIT (its "jit"
+# counter is 1), the gate also REQUIRES the current row to have run on the
+# JIT: a silent fallback to the threaded loop fails the gate rather than
+# being papered over by machine-scale normalization.
 # Usage: scripts/smoke-bench.sh <build-dir>
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -25,16 +30,31 @@ compare_gate() {
 import json
 import sys
 
-def best(path, name):
+def rows(path, name):
     doc = json.load(open(path))
-    times = [b["real_time"] for b in doc["benchmarks"]
-             if b["name"] == name and b.get("run_type", "iteration") != "aggregate"]
+    return [b for b in doc["benchmarks"]
+            if b["name"] == name and b.get("run_type", "iteration") != "aggregate"]
+
+def best(path, name):
+    times = [b["real_time"] for b in rows(path, name)]
     if not times:
         raise SystemExit(f"smoke-bench: {name} missing from {path}")
     return min(times)  # min over repetitions: least-noise estimate
 
+def jitted(path, name):
+    # The bench rows publish which engine served them as a "jit" counter
+    # (absent on rows that predate the JIT backend).
+    flags = [b.get("jit") for b in rows(path, name)]
+    return None if not flags or flags[0] is None else flags[0] >= 1.0
+
 baseline, current, gated, calibrate = sys.argv[1:5]
 limit = float(sys.argv[5])
+
+# Backend parity first: a baseline recorded on the JIT must be compared
+# against a JIT run, not a silent threaded fallback.
+if jitted(baseline, gated) and jitted(current, gated) is False:
+    raise SystemExit(f"smoke-bench: {gated} fell back to the threaded loop "
+                     f"(baseline row was JIT-compiled)")
 base_gated = best(baseline, gated)
 base_cal = best(baseline, calibrate)
 cur_gated = best(current, gated)

@@ -32,58 +32,109 @@ void EmitRequireEq(sfi::Assembler& as, uint64_t value, const std::string& next) 
   as.EmitJump(Op::kJz, next);
 }
 
-// Emits the full predicate chain for one rule: every predicate that fails
-// jumps to `next`; if all hold, the encoded verdict is returned. Cheapest
+// What the path from the root has already proven about any packet reaching a
+// node: an exact proto pinned by an ancestor dispatch, address bits consumed
+// by ancestor LPM nodes, and the port segment narrowed by ancestor interval
+// nodes. Declared here (ahead of the tree machinery that builds it) because
+// the leaf emitter consumes it: predicates the dispatch path proved are
+// skipped at the leaves.
+struct PortDomain {
+  uint16_t lo = 0;
+  uint16_t hi = 0xFFFF;
+};
+
+struct SplitContext {
+  int16_t proto = -1;        // exact proto an ancestor dispatch pinned (-1: none)
+  uint8_t src_consumed = 0;  // leading src-ip bits matched by ancestors
+  uint8_t dst_consumed = 0;
+  PortDomain sport;
+  PortDomain dport;
+};
+
+// Emits the predicate chain for one rule: every predicate that fails jumps
+// to `next`; if all hold, the encoded verdict is returned. Cheapest
 // predicates first: proto (one byte), then addresses, then ports, then
 // payload bytes — fail-fast ordering keeps a non-matching rule a couple of
-// instructions.
-void EmitRuleTests(sfi::Assembler& as, const Rule& rule, uint32_t index, uint16_t chain,
-                   const std::string& next) {
+// instructions. Predicates `ctx` proves are elided entirely:
+//  * proto, when an exact ancestor dispatch pinned it to the rule's value
+//    (a proto-constrained rule only ever lands in its own bucket);
+//  * an address prefix of p bits, when ancestor LPM nodes consumed >= p bits
+//    (a rule is only placed in buckets whose key agrees with its network, so
+//    membership plus the consumed bits imply the prefix test — inductively
+//    down the trie);
+//  * a port bound, when the proven segment already sits inside it (interval
+//    buckets only hold rules whose clipped range covers the whole segment).
+// Returns the number of predicate loads elided (for compile stats).
+size_t EmitRuleTests(sfi::Assembler& as, const Rule& rule, uint32_t index, uint16_t chain,
+                     const std::string& next, const SplitContext& ctx) {
+  size_t elided = 0;
   if (rule.proto >= 0) {
-    EmitLoadField(as, kOffProto, Op::kLoad8);
-    EmitRequireEq(as, static_cast<uint64_t>(rule.proto), next);
+    if (ctx.proto == rule.proto) {
+      ++elided;
+    } else {
+      EmitLoadField(as, kOffProto, Op::kLoad8);
+      EmitRequireEq(as, static_cast<uint64_t>(rule.proto), next);
+    }
   }
   if (rule.src_prefix != 0) {
-    EmitLoadField(as, kOffSrcIp, Op::kLoad32);
-    uint32_t mask = PrefixMask(rule.src_prefix);
-    if (rule.src_prefix != 32) {
-      as.EmitPush(mask);
-      as.Emit(Op::kAnd);
+    if (rule.src_prefix <= ctx.src_consumed) {
+      ++elided;
+    } else {
+      EmitLoadField(as, kOffSrcIp, Op::kLoad32);
+      uint32_t mask = PrefixMask(rule.src_prefix);
+      if (rule.src_prefix != 32) {
+        as.EmitPush(mask);
+        as.Emit(Op::kAnd);
+      }
+      EmitRequireEq(as, rule.src_ip & mask, next);
     }
-    EmitRequireEq(as, rule.src_ip & mask, next);
   }
   if (rule.dst_prefix != 0) {
-    EmitLoadField(as, kOffDstIp, Op::kLoad32);
-    uint32_t mask = PrefixMask(rule.dst_prefix);
-    if (rule.dst_prefix != 32) {
-      as.EmitPush(mask);
-      as.Emit(Op::kAnd);
+    if (rule.dst_prefix <= ctx.dst_consumed) {
+      ++elided;
+    } else {
+      EmitLoadField(as, kOffDstIp, Op::kLoad32);
+      uint32_t mask = PrefixMask(rule.dst_prefix);
+      if (rule.dst_prefix != 32) {
+        as.EmitPush(mask);
+        as.Emit(Op::kAnd);
+      }
+      EmitRequireEq(as, rule.dst_ip & mask, next);
     }
-    EmitRequireEq(as, rule.dst_ip & mask, next);
   }
   // Port ranges: exact match compiles to one eq; a real range to one or
-  // two unsigned comparisons (port >= lo  <=>  port > lo-1).
+  // two unsigned comparisons (port >= lo  <=>  port > lo-1). A bound the
+  // proven domain already satisfies is dropped; narrowing to a single value
+  // drops the whole check.
   struct PortCheck {
     size_t offset;
     net::Port lo, hi;
+    PortDomain dom;
   };
-  for (const PortCheck& check : {PortCheck{kOffSrcPort, rule.sport_lo, rule.sport_hi},
-                                 PortCheck{kOffDstPort, rule.dport_lo, rule.dport_hi}}) {
+  for (const PortCheck& check :
+       {PortCheck{kOffSrcPort, rule.sport_lo, rule.sport_hi, ctx.sport},
+        PortCheck{kOffDstPort, rule.dport_lo, rule.dport_hi, ctx.dport}}) {
+    const bool lo_proven = check.lo <= check.dom.lo;
+    const bool hi_proven = check.hi >= check.dom.hi;
     if (check.lo == 0 && check.hi == 0xFFFF) {
       continue;  // any
+    }
+    if (lo_proven && hi_proven) {
+      ++elided;
+      continue;
     }
     if (check.lo == check.hi) {
       EmitLoadField(as, check.offset, Op::kLoad16);
       EmitRequireEq(as, check.lo, next);
       continue;
     }
-    if (check.lo > 0) {
+    if (check.lo > 0 && !lo_proven) {
       EmitLoadField(as, check.offset, Op::kLoad16);
       as.EmitPush(static_cast<uint64_t>(check.lo) - 1);
       as.Emit(Op::kGtU);
       as.EmitJump(Op::kJz, next);
     }
-    if (check.hi < 0xFFFF) {
+    if (check.hi < 0xFFFF && !hi_proven) {
       EmitLoadField(as, check.offset, Op::kLoad16);
       as.EmitPush(static_cast<uint64_t>(check.hi) + 1);
       as.Emit(Op::kLtU);
@@ -108,6 +159,7 @@ void EmitRuleTests(sfi::Assembler& as, const Rule& rule, uint32_t index, uint16_
   // rides along so the host knows which procedures to run post-match).
   as.EmitPush(EncodeVerdict(rule.verdict, chain, index));
   as.Emit(Op::kRetV);
+  return elided;
 }
 
 // --- decision-tree construction ---------------------------------------------
@@ -152,23 +204,11 @@ FieldSpec SpecOf(int field) {
   }
 }
 
-// What the path from the root has already proven about any packet reaching a
-// node: address bits consumed by ancestor LPM nodes and the port segment
-// narrowed by ancestor interval nodes. This is what makes re-splitting the
-// same field deeper both sound (a /24 under a /16 bucket splits on the
-// remaining bits) and non-degenerate (a range covering the whole reachable
-// segment stops discriminating instead of re-splitting forever).
-struct PortDomain {
-  uint16_t lo = 0;
-  uint16_t hi = 0xFFFF;
-};
-
-struct SplitContext {
-  uint8_t src_consumed = 0;  // leading src-ip bits matched by ancestors
-  uint8_t dst_consumed = 0;
-  PortDomain sport;
-  PortDomain dport;
-};
+// SplitContext (declared above, next to the leaf emitter) is what makes
+// re-splitting the same field deeper both sound (a /24 under a /16 bucket
+// splits on the remaining bits) and non-degenerate (a range covering the
+// whole reachable segment stops discriminating instead of re-splitting
+// forever) — and it is what the leaf emitter elides proven predicates from.
 
 struct RuleRef {
   uint32_t index;  // original rule-set position (reported on match)
@@ -184,6 +224,7 @@ struct TreeNode {
                                                    // interval: values.size()+1 segments
   std::unique_ptr<TreeNode> wild;  // exact/LPM: key matched nothing
   std::vector<RuleRef> rules;      // leaf candidates, in order
+  SplitContext ctx;                // leaf: what the path proved (elision input)
 };
 
 constexpr size_t kLeafMax = 3;   // don't split sets a short chain beats
@@ -461,6 +502,9 @@ std::unique_ptr<TreeNode> BuildTree(std::vector<RuleRef> rules, int depth, Split
         SplitContext child = ctx;
         switch (best.kind) {
           case DispatchKind::kExact:
+            // Bucket membership pins the field exactly; leaves under this
+            // bucket can skip the rule-level proto test.
+            child.proto = static_cast<int16_t>(node->values[i]);
             break;  // re-splits die on distinct < 2
           case DispatchKind::kLpm:
             (best_field == kFieldDstIp ? child.dst_consumed : child.src_consumed) =
@@ -487,6 +531,7 @@ std::unique_ptr<TreeNode> BuildTree(std::vector<RuleRef> rules, int depth, Split
   }
   stats->rule_instances += rules.size();
   node->rules = std::move(rules);
+  node->ctx = ctx;  // the leaf emitter elides predicates this path proved
   return node;
 }
 
@@ -504,7 +549,8 @@ class TreeEmitter {
     if (node.field < 0) {
       for (const RuleRef& ref : node.rules) {
         std::string fail = NewLabel();
-        EmitRuleTests(as_, *ref.rule, ref.index, chain_of_[ref.index], fail);
+        elided_predicates_ +=
+            EmitRuleTests(as_, *ref.rule, ref.index, chain_of_[ref.index], fail, node.ctx);
         as_.Label(fail);
       }
       as_.EmitJump(Op::kJmp, default_label);
@@ -596,9 +642,14 @@ class TreeEmitter {
 
   std::string NewLabel() { return "L" + std::to_string(counter_++); }
 
+ public:
+  size_t elided_predicates() const { return elided_predicates_; }
+
+ private:
   sfi::Assembler& as_;
   const std::vector<uint16_t>& chain_of_;
   size_t counter_ = 0;
+  size_t elided_predicates_ = 0;
 };
 
 }  // namespace
@@ -676,6 +727,7 @@ Result<CompiledFilter> CompileRules(const RuleSet& rules, CompileOptions options
   as.Label(default_label);
   as.EmitPush(EncodeVerdict(rules.default_verdict, 0, net::kDefaultRuleIndex));
   as.Emit(Op::kRetV);
+  out.elided_predicates = emitter.elided_predicates();
 
   PARA_ASSIGN_OR_RETURN(out.program, as.Finish(/*memory_bytes=*/kDescriptorBytes));
   return out;

@@ -96,6 +96,10 @@ struct CompiledFilter {
   size_t lpm_nodes = 0;               // of which: longest-prefix-match trie nodes
   size_t interval_nodes = 0;          // of which: port-range interval nodes
   size_t emitted_rule_instances = 0;  // leaf rule tests (>= rule_count if split)
+  // Rule predicates skipped at the leaves because the dispatch path already
+  // proved them (exact proto bucket, LPM-consumed prefix bits, port segment
+  // inside the rule's range). Pure win: fewer decoded instructions per match.
+  size_t elided_predicates = 0;
 };
 
 // Compiles `rules` into a single-entry-point classifier program. Fails on

@@ -372,6 +372,11 @@ uint64_t PacketFilter::StatsSlot(uint64_t index, uint64_t, uint64_t, uint64_t) {
     case 11: return stats_.flow_reevaluations;
     case 12: return stats_.proc_blocks;
     case 13: return stats_.proc_faults;
+    // Execution-backend observability: silent fallback from the JIT to the
+    // threaded loop must never masquerade as a JIT win in benchmarks or
+    // integration assertions.
+    case 14: return loaded_->vm.backend() == sfi::VmBackend::kJit ? 1 : 0;
+    case 15: return loaded_->vm.stats().jit_runs;
     default: return 0;
   }
 }

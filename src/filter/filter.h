@@ -207,6 +207,11 @@ class PacketFilter : public obj::Object {
   sfi::ExecMode mode() const { return loaded_->vm.mode(); }
   size_t rule_count() const { return loaded_->rule_count; }
   CompileBackend backend() const { return loaded_->backend; }
+  // The SFI execution backend actually serving the classifier (kJit or the
+  // threaded fallback — never kAuto). Exposed so callers can assert the
+  // backend they think they are measuring is the one running; also slot 14
+  // of StatsSlot, with vm_stats().jit_runs at slot 15.
+  sfi::VmBackend exec_backend() const { return loaded_->vm.backend(); }
   uint32_t epoch() const { return epoch_; }
   const std::string& name() const { return config_.name; }
   const FilterStats& stats() const { return stats_; }

@@ -3,12 +3,27 @@
 #include <cstring>
 
 #include "src/base/log.h"
+#include "src/sfi/jit.h"
 #include "src/sfi/verifier.h"
 
 namespace para::sfi {
 
-VerifiedProgramCache::VerifiedProgramCache(size_t capacity) : capacity_(capacity) {
+namespace {
+
+// The artifact's resident footprint excluding JIT code: the decoded stream
+// is the dominant term (16 bytes per instruction), the byte program rides
+// along as the certified identity.
+size_t DecodedCost(const VerifiedProgram& verified) {
+  return verified.code.size() * sizeof(DecodedInsn) +
+         verified.entry_points.size() * sizeof(uint32_t) + verified.program.code.size();
+}
+
+}  // namespace
+
+VerifiedProgramCache::VerifiedProgramCache(size_t capacity, size_t memory_budget)
+    : capacity_(capacity), memory_budget_(memory_budget) {
   PARA_CHECK(capacity > 0);
+  PARA_CHECK(memory_budget > 0);
   entries_.reserve(capacity);
 }
 
@@ -38,6 +53,33 @@ std::string VerifiedProgramCache::KeyOf(const Program& program, VerifyOptions op
   return key;
 }
 
+void VerifiedProgramCache::Recharge(Entry& entry) {
+  size_t cost = DecodedCost(*entry.verified);
+  if (entry.verified->jit_cache != nullptr) {
+    // Native code compiled since the last touch (per mode, lazily, by the
+    // first Vm to run the artifact) starts counting against the envelope
+    // here — this is what keeps a handful of huge JIT'd programs from
+    // silently tripling the cache's real footprint.
+    cost += entry.verified->jit_cache->code_bytes();
+  }
+  charged_bytes_ += cost - entry.charged;
+  entry.charged = cost;
+}
+
+void VerifiedProgramCache::EvictWhileOverBounds() {
+  while (entries_.size() > 1 &&
+         (entries_.size() > capacity_ || charged_bytes_ > memory_budget_)) {
+    if (entries_.size() > capacity_) {
+      ++stats_.evictions;
+    } else {
+      ++stats_.byte_evictions;
+    }
+    charged_bytes_ -= lru_.back().charged;
+    entries_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+}
+
 Result<std::shared_ptr<const VerifiedProgram>> VerifiedProgramCache::GetOrVerify(
     const Program& program, VerifyOptions options) {
   std::string key = KeyOf(program, options);
@@ -45,7 +87,12 @@ Result<std::shared_ptr<const VerifiedProgram>> VerifiedProgramCache::GetOrVerify
   if (it != entries_.end()) {
     ++stats_.hits;
     lru_.splice(lru_.begin(), lru_, it->second);
-    return it->second->verified;
+    // A hit is where lazily compiled JIT code gets noticed: re-cost the
+    // entry and shed colder ones if the envelope is now exceeded.
+    Recharge(lru_.front());
+    std::shared_ptr<const VerifiedProgram> verified = lru_.front().verified;
+    EvictWhileOverBounds();
+    return verified;
   }
 
   auto verified = Verify(program, options);  // copies: the caller keeps its Program
@@ -54,14 +101,11 @@ Result<std::shared_ptr<const VerifiedProgram>> VerifiedProgramCache::GetOrVerify
     return verified.status();
   }
   ++stats_.misses;
-  if (entries_.size() >= capacity_) {
-    ++stats_.evictions;
-    entries_.erase(lru_.back().key);
-    lru_.pop_back();
-  }
   auto shared = std::make_shared<const VerifiedProgram>(std::move(*verified));
-  lru_.push_front(Entry{std::move(key), shared});
+  lru_.push_front(Entry{std::move(key), shared, 0});
   entries_.emplace(lru_.front().key, lru_.begin());
+  Recharge(lru_.front());
+  EvictWhileOverBounds();
   return shared;
 }
 
@@ -69,6 +113,7 @@ bool VerifiedProgramCache::Invalidate(const std::vector<uint8_t>& identity) {
   bool dropped = false;
   for (auto it = lru_.begin(); it != lru_.end();) {
     if (it->verified->identity() == identity) {
+      charged_bytes_ -= it->charged;
       entries_.erase(it->key);
       it = lru_.erase(it);
       ++stats_.invalidations;
@@ -83,6 +128,7 @@ bool VerifiedProgramCache::Invalidate(const std::vector<uint8_t>& identity) {
 void VerifiedProgramCache::Clear() {
   lru_.clear();
   entries_.clear();
+  charged_bytes_ = 0;
 }
 
 }  // namespace para::sfi

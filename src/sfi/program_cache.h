@@ -24,14 +24,27 @@ struct ProgramCacheStats {
   uint64_t misses = 0;        // verified fresh and inserted
   uint64_t failures = 0;      // verification failed (never cached)
   uint64_t invalidations = 0;
-  uint64_t evictions = 0;
+  uint64_t evictions = 0;       // count-bound evictions
+  uint64_t byte_evictions = 0;  // memory-envelope evictions
 };
 
 class VerifiedProgramCache {
  public:
-  // `capacity` bounds live entries; least-recently-used entries are evicted
-  // (their VerifiedPrograms survive as long as someone holds the shared_ptr).
-  explicit VerifiedProgramCache(size_t capacity = 64);
+  // An artifact's resident cost: decoded stream + entry table + byte program,
+  // PLUS any native code its JitCacheSlot holds. JIT code appears *after*
+  // insertion (compilation is lazy, on a Vm's first run), so entries are
+  // re-costed every time they are touched and the total maintained by delta.
+  static constexpr size_t kDefaultMemoryBudget = 8u << 20;  // 8 MiB
+
+  // `capacity` bounds live entries and `memory_budget` bounds their summed
+  // cost; least-recently-used entries are evicted when either bound is
+  // exceeded (their VerifiedPrograms — and any mapped JIT code they carry —
+  // survive as long as someone holds the shared_ptr, so eviction never
+  // unmaps code under an in-flight Vm). The most recent entry is always
+  // kept, even when it alone exceeds the budget: a cache that refuses the
+  // program it was just asked for would turn every load into a re-verify.
+  explicit VerifiedProgramCache(size_t capacity = 64,
+                                size_t memory_budget = kDefaultMemoryBudget);
 
   // Returns the cached artifact for `program` verified under `options`,
   // verifying (and caching) it on miss. Artifacts built with different
@@ -51,12 +64,18 @@ class VerifiedProgramCache {
 
   size_t size() const { return entries_.size(); }
   size_t capacity() const { return capacity_; }
+  size_t memory_budget() const { return memory_budget_; }
+  // Bytes currently charged against the budget (as of the last touch of each
+  // entry — JIT code compiled since an entry was last touched is picked up
+  // on its next touch).
+  size_t charged_bytes() const { return charged_bytes_; }
   const ProgramCacheStats& stats() const { return stats_; }
 
  private:
   struct Entry {
     std::string key;
     std::shared_ptr<const VerifiedProgram> verified;
+    size_t charged = 0;  // this entry's share of charged_bytes_
   };
   using LruList = std::list<Entry>;
 
@@ -67,7 +86,16 @@ class VerifiedProgramCache {
   // plus the options.
   static std::string KeyOf(const Program& program, VerifyOptions options);
 
+  // Re-samples `entry`'s cost (decoded + current JIT bytes) and folds the
+  // delta into charged_bytes_.
+  void Recharge(Entry& entry);
+  // Evicts from the LRU tail while either bound is exceeded, always keeping
+  // the most recently used entry.
+  void EvictWhileOverBounds();
+
   size_t capacity_;
+  size_t memory_budget_;
+  size_t charged_bytes_ = 0;
   LruList lru_;  // front = most recently used
   std::unordered_map<std::string, LruList::iterator> entries_;
   ProgramCacheStats stats_;

@@ -26,11 +26,16 @@
 #define PARAMECIUM_SRC_SFI_VERIFIED_PROGRAM_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/sfi/isa.h"
 
 namespace para::sfi {
+
+// Defined in jit.h: per-artifact cache of native code compiled from the
+// decoded stream, shared by every Vm bound to the program.
+struct JitCacheSlot;
 
 // Synthetic decoded opcodes. kCheckStack reuses the kOpCount slot (which the
 // verifier guarantees never appears as a real instruction); kEndOfCode sits
@@ -97,6 +102,14 @@ struct VerifiedProgram {
   std::vector<uint32_t> entry_points; // decoded-stream indices, per method slot
   VerifyReport report;
   bool fused = false;  // whether the superinstruction pass ran (VerifyOptions)
+
+  // Native code compiled lazily from `code` (jit.h), one slot per ExecMode.
+  // A shared_ptr (not a plain member) because VerifiedProgram is movable and
+  // the slot holds a mutex; sharing also means every Vm bound to a cached
+  // artifact reuses the same compiled code, and cache invalidation can never
+  // unmap code under an in-flight Vm (the Vm keeps the JitProgram alive).
+  // Null for hand-assembled VerifiedPrograms that bypassed Verify().
+  std::shared_ptr<JitCacheSlot> jit_cache;
 
   // Code identity for certification: digests the byte form, exactly as
   // before — the decoded stream is derived, never signed.

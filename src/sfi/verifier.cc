@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cstring>
 #include <limits>
+#include <memory>
+
+#include "src/sfi/jit.h"
 
 namespace para::sfi {
 
@@ -258,6 +261,10 @@ Result<VerifiedProgram> Verify(Program program, VerifyOptions options) {
   out.report = report;
   out.fused = options.fuse_superinstructions;
   out.program = std::move(program);
+  // Every verified artifact gets a JIT slot so compiled code is shared by
+  // all Vms bound to it (and cached alongside the decoded stream by
+  // VerifiedProgramCache). Compilation itself stays lazy — first JIT run.
+  out.jit_cache = std::make_shared<JitCacheSlot>();
   return out;
 }
 

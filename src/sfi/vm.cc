@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/base/log.h"
+#include "src/sfi/jit.h"
 
 // Threaded-code dispatch needs GNU labels-as-values; every supported
 // toolchain (gcc, clang) has them. Anything else falls back to a switch
@@ -32,15 +33,19 @@ size_t RoundUpPow2(size_t v) {
 
 }  // namespace
 
-Vm::Vm(const VerifiedProgram* program, ExecMode mode)
+Vm::Vm(const VerifiedProgram* program, ExecMode mode, VmBackend backend)
     // Power-of-two size so trusted mode can mask addresses; +8 bytes of slack
     // so a masked address near the top can still take a full-width access
     // without a range branch on the hot path.
     : program_(program),
       mode_(mode),
+      backend_(backend == VmBackend::kThreaded || !JitAvailable() ? VmBackend::kThreaded
+                                                                  : VmBackend::kJit),
       memory_(RoundUpPow2(program->program.memory_bytes) + 8, 0) {
   PARA_CHECK(program != nullptr);
 }
+
+Vm::~Vm() = default;
 
 void Vm::SetHostHelper(size_t index, HostHelper helper, void* ctx) {
   PARA_CHECK(index < kMaxHostHelpers);
@@ -63,12 +68,87 @@ Result<uint64_t> Vm::Run(size_t method, uint64_t a0, uint64_t a1, uint64_t a2, u
   if (method >= program_->entry_points.size()) {
     return Status(ErrorCode::kNotFound, "no such entry point");
   }
+  if (backend_ == VmBackend::kJit) {
+    if (jit_ == nullptr) {
+      auto compiled = GetOrCompileJit(*program_, mode_);
+      if (compiled.ok()) {
+        jit_ = std::move(compiled).value();
+      } else {
+        // Fail open to the portable loop, but observably: backend() flips so
+        // tests (and the filter's stats) can tell fallback from a JIT run.
+        backend_ = VmBackend::kThreaded;
+      }
+    }
+    if (jit_ != nullptr) {
+      return RunJit(method, a0, a1, a2, a3);
+    }
+  }
   // Compile-time specialization: the trusted loop contains no trace of the
   // run-time checks, exactly like certified native code.
   if (mode_ == ExecMode::kSandboxed) {
     return RunImpl<true>(method, a0, a1, a2, a3);
   }
   return RunImpl<false>(method, a0, a1, a2, a3);
+}
+
+Result<uint64_t> Vm::RunJit(size_t method, uint64_t a0, uint64_t a1, uint64_t a2, uint64_t a3) {
+  if (jit_ctx_ == nullptr) {
+    jit_ctx_ = std::make_unique<JitContext>();
+  }
+  JitContext& ctx = *jit_ctx_;
+  ctx.args[0] = a0;
+  ctx.args[1] = a1;
+  ctx.args[2] = a2;
+  ctx.args[3] = a3;
+  ctx.mem = memory_.data();
+  // Same saturation as RunImpl: memory() is mutable, so never let mem_size
+  // wrap (a wrapped size would disable every sandbox bounds check).
+  ctx.mem_size = memory_.size() < 8 ? 0 : memory_.size() - 8;
+  ctx.fuel = fuel_;
+  ctx.instructions = 0;
+  ctx.bounds_checks = 0;
+  ctx.calls = 0;
+  ctx.host_calls = 0;
+  ctx.helpers = host_helpers_;
+  ctx.helper_ctx = host_ctx_;
+  ctx.result = 0;
+  ctx.call_sp = 0;
+
+  const JitFault fault = jit_->Run(method, &ctx);
+
+  // Counter deltas land in stats_ on every exit, fault or clean — the same
+  // contract as the interpreter's CounterFlush destructor.
+  stats_.instructions += ctx.instructions;
+  stats_.bounds_checks += ctx.bounds_checks;
+  stats_.calls += ctx.calls;
+  stats_.host_calls += ctx.host_calls;
+  ++stats_.jit_runs;
+
+  switch (fault) {
+    case JitFault::kNone:
+      return ctx.result;
+    // Codes and messages are byte-identical to RunImpl's: callers (and the
+    // differential tests) must not be able to tell the backends apart.
+    case JitFault::kOutOfFuel:
+      return Status(ErrorCode::kResourceExhausted, "out of fuel");
+    case JitFault::kLoadOutOfBounds:
+      return Status(ErrorCode::kOutOfRange, "load out of bounds");
+    case JitFault::kStoreOutOfBounds:
+      return Status(ErrorCode::kOutOfRange, "store out of bounds");
+    case JitFault::kDivideByZero:
+      return Status(ErrorCode::kInvalidArgument, "divide by zero");
+    case JitFault::kStackUnderflow:
+      return Status(ErrorCode::kFailedPrecondition, "stack underflow");
+    case JitFault::kStackOverflow:
+      return Status(ErrorCode::kResourceExhausted, "stack overflow");
+    case JitFault::kCallDepth:
+      return Status(ErrorCode::kResourceExhausted, "call depth exceeded");
+    case JitFault::kUnboundHostHelper:
+      return Status(ErrorCode::kFailedPrecondition, "unbound host helper");
+    case JitFault::kPcOutOfCode:
+      return Status(ErrorCode::kOutOfRange, "pc out of code");
+  }
+  return Status(ErrorCode::kInternal, "jit: bad fault code");
 }
 
 template <bool kSandboxed>

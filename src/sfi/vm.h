@@ -14,6 +14,7 @@
 #define PARAMECIUM_SRC_SFI_VM_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/base/status.h"
@@ -23,11 +24,19 @@ namespace para::sfi {
 
 enum class ExecMode : uint8_t { kSandboxed, kTrusted };
 
+// Execution backend. kAuto resolves at Vm construction to the native JIT
+// where this build/host supports it (and PARA_SFI_NO_JIT is unset), else to
+// the portable threaded interpreter. The two are metering-equivalent —
+// bit-identical fuel boundaries, VmStats, results, and faults — which the
+// differential tests enforce, so the choice is pure performance.
+enum class VmBackend : uint8_t { kAuto, kThreaded, kJit };
+
 struct VmStats {
   uint64_t instructions = 0;  // real instructions retired (synthetics excluded)
   uint64_t bounds_checks = 0;
   uint64_t calls = 0;
   uint64_t host_calls = 0;  // kHostCall helper invocations
+  uint64_t jit_runs = 0;    // Run() invocations served by native code
 };
 
 // One bound host helper: called with its registration context and the value
@@ -37,6 +46,9 @@ struct VmStats {
 // certified program behave bit-for-bit like its sandboxed self.
 using HostHelper = uint64_t (*)(void* ctx, uint64_t arg);
 
+class JitProgram;   // jit.h
+struct JitContext;  // jit.h
+
 class Vm {
  public:
   static constexpr size_t kStackSlots = 1024;
@@ -45,7 +57,11 @@ class Vm {
 
   // The program must outlive the Vm. Callers typically hold it through a
   // shared_ptr from VerifiedProgramCache or by value next to the Vm.
-  Vm(const VerifiedProgram* program, ExecMode mode);
+  // `backend` resolves immediately: kAuto picks the JIT where available;
+  // an explicit kJit on a host without one falls back to the threaded loop
+  // (observable through backend(), never silent in the tests).
+  Vm(const VerifiedProgram* program, ExecMode mode, VmBackend backend = VmBackend::kAuto);
+  ~Vm();
 
   // Runs entry point `method` with up to four arguments. Returns the value
   // produced by retv/halt. Sandboxed mode pays every dynamic check (fuel
@@ -64,6 +80,9 @@ class Vm {
   std::vector<uint8_t>& memory() { return memory_; }
   const VmStats& stats() const { return stats_; }
   ExecMode mode() const { return mode_; }
+  // The resolved backend actually serving Run(): kThreaded or kJit, never
+  // kAuto. Downgrades to kThreaded permanently if JIT compilation fails.
+  VmBackend backend() const { return backend_; }
   const VerifiedProgram& program() const { return *program_; }
   void set_fuel(uint64_t fuel) { fuel_ = fuel; }
 
@@ -86,13 +105,22 @@ class Vm {
   // slot is unbound (the caller faults, mode-invariantly).
   [[gnu::noinline]] bool CallHostHelper(uint32_t slot, uint64_t* top);
 
+  // Native-code Run path: compiles lazily on first use (shared through the
+  // program's JitCacheSlot), maps JitFaults back to the interpreter's exact
+  // Status codes and messages, and folds the run's counter deltas into
+  // stats_.
+  Result<uint64_t> RunJit(size_t method, uint64_t a0, uint64_t a1, uint64_t a2, uint64_t a3);
+
   const VerifiedProgram* program_;
   ExecMode mode_;
+  VmBackend backend_;
   std::vector<uint8_t> memory_;
   uint64_t fuel_ = kDefaultFuel;
   VmStats stats_;
   HostHelper host_helpers_[kMaxHostHelpers] = {};
   void* host_ctx_[kMaxHostHelpers] = {};
+  std::shared_ptr<const JitProgram> jit_;  // pinned compiled code (jit backend)
+  std::unique_ptr<JitContext> jit_ctx_;    // reused across runs (~10 KiB)
 };
 
 }  // namespace para::sfi

@@ -13,6 +13,8 @@
 #include "src/components/protocol_stack.h"
 #include "src/filter/filter.h"
 #include "src/filter/rule.h"
+#include "src/sfi/jit.h"
+#include "src/sfi/vm.h"
 #include "tests/components/test_fixture.h"
 
 namespace para::filter {
@@ -304,6 +306,48 @@ TEST_F(FilterIntegrationTest, DriverFrameHookFiltersBeforeTheStack) {
   auto iface = driver_b_->GetInterface(components::NetDriverType()->name());
   ASSERT_TRUE(iface.ok());
   EXPECT_EQ((*iface)->Invoke(5, 3), filtered);
+}
+
+TEST_F(FilterIntegrationTest, ExecutionBackendIsObservableNotAssumed) {
+  // The classifier's execution backend (JIT vs threaded fallback) is part of
+  // the filter's observable state: a silent fallback must be detectable, so
+  // a "JIT" benchmark number can never secretly be the interpreter. Asserted
+  // both through the typed accessors and through the exported interface
+  // (stats slots 14/15) a management client would use.
+  FilterConfig config;
+  config.name = "observed";
+  auto filter = PacketFilter::Create(config);
+  ASSERT_TRUE(filter.ok());
+  auto rules = ParseRules("drop dport 9999\ndefault pass\n");
+  ASSERT_TRUE(rules.ok());
+  ASSERT_TRUE((*filter)->Load(*rules).ok());
+  rx_->stack().SetIngressFilter((*filter)->Hook());
+
+  EXPECT_TRUE(Send(4000, 80, "one").ok());
+  EXPECT_TRUE(Send(4000, 9999, "two").ok());
+  ASSERT_GE((*filter)->stats().evaluated, 2u);
+
+  const bool jit = sfi::JitAvailable();
+  EXPECT_EQ((*filter)->exec_backend(),
+            jit ? sfi::VmBackend::kJit : sfi::VmBackend::kThreaded);
+  if (jit) {
+    // Both classifications were served by native code, not the threaded loop.
+    EXPECT_GE((*filter)->vm_stats().jit_runs, 2u);
+  } else {
+    EXPECT_EQ((*filter)->vm_stats().jit_runs, 0u);
+  }
+
+  auto iface = (*filter)->GetInterface(FilterType()->name());
+  ASSERT_TRUE(iface.ok());
+  EXPECT_EQ((*iface)->Invoke(0, 14), jit ? 1u : 0u);
+  EXPECT_EQ((*iface)->Invoke(0, 15), (*filter)->vm_stats().jit_runs);
+
+  // A hot reload re-resolves the backend: the replacement program must land
+  // on the same backend on this host, and its run counter starts fresh.
+  ASSERT_TRUE((*filter)->Load(*rules).ok());
+  EXPECT_EQ((*filter)->exec_backend(),
+            jit ? sfi::VmBackend::kJit : sfi::VmBackend::kThreaded);
+  EXPECT_EQ((*iface)->Invoke(0, 15), 0u);
 }
 
 }  // namespace

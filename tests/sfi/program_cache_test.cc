@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "src/sfi/assembler.h"
+#include "src/sfi/jit.h"
 #include "src/sfi/program_cache.h"
 #include "src/sfi/vm.h"
 
@@ -179,6 +180,92 @@ TEST(ProgramCacheTest, InvalidationForcesReverifyButSparesLiveUsers) {
   ASSERT_TRUE(reloaded.ok());
   EXPECT_EQ(cache.stats().misses, misses + 1);
   EXPECT_NE(reloaded->get(), live.get());
+}
+
+TEST(ProgramCacheTest, MemoryBudgetEvictsByBytesButKeepsMostRecent) {
+  Program a = MakeProgram(1), b = MakeProgram(2), c = MakeProgram(3);
+  // Probe the deterministic per-entry decoded cost.
+  VerifiedProgramCache probe(8);
+  ASSERT_TRUE(probe.GetOrVerify(a).ok());
+  const size_t cost = probe.charged_bytes();
+  ASSERT_GT(cost, 0u);
+
+  // Budget fits two entries but not three; capacity is not the binding bound.
+  VerifiedProgramCache cache(64, cost * 2 + cost / 2);
+  ASSERT_TRUE(cache.GetOrVerify(a).ok());
+  ASSERT_TRUE(cache.GetOrVerify(b).ok());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().byte_evictions, 0u);
+
+  ASSERT_TRUE(cache.GetOrVerify(c).ok());  // pushes over budget: LRU (a) goes
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().byte_evictions, 1u);
+  EXPECT_EQ(cache.stats().evictions, 0u);  // count bound never hit
+  EXPECT_LE(cache.charged_bytes(), cache.memory_budget());
+
+  // The evicted identity re-verifies on its next load.
+  uint64_t misses = cache.stats().misses;
+  ASSERT_TRUE(cache.GetOrVerify(a).ok());
+  EXPECT_EQ(cache.stats().misses, misses + 1);
+
+  // A budget too small for even one entry still keeps the most recent one:
+  // refusing the program just asked for would defeat the cache entirely.
+  VerifiedProgramCache tiny(64, 1);
+  ASSERT_TRUE(tiny.GetOrVerify(a).ok());
+  ASSERT_TRUE(tiny.GetOrVerify(b).ok());
+  EXPECT_EQ(tiny.size(), 1u);
+  EXPECT_EQ(tiny.stats().byte_evictions, 1u);
+  EXPECT_GT(tiny.charged_bytes(), tiny.memory_budget());  // tolerated for MRU
+}
+
+TEST(ProgramCacheTest, JitCodeBytesChargeTowardTheBudget) {
+  if (!JitAvailable()) {
+    GTEST_SKIP() << "JIT unavailable";
+  }
+  Program a = MakeProgram(10), b = MakeProgram(11), c = MakeProgram(12);
+
+  // Probe both cost components: the decoded artifact, and the native code a
+  // JIT'd run attaches to it.
+  VerifiedProgramCache probe(8);
+  auto probed = probe.GetOrVerify(a);
+  ASSERT_TRUE(probed.ok());
+  const size_t decoded_cost = probe.charged_bytes();
+  {
+    Vm vm(probed->get(), ExecMode::kSandboxed, VmBackend::kJit);
+    ASSERT_TRUE(vm.Run(0, 1).ok());
+    ASSERT_EQ(vm.backend(), VmBackend::kJit);
+  }
+  const size_t jit_bytes = (*probed)->jit_cache->code_bytes();
+  ASSERT_GT(jit_bytes, 0u);
+
+  // Room for three decoded artifacts but not for three plus compiled code.
+  VerifiedProgramCache cache(64, decoded_cost * 3 + jit_bytes / 2);
+  auto va = cache.GetOrVerify(a);
+  ASSERT_TRUE(va.ok());
+  ASSERT_TRUE(cache.GetOrVerify(b).ok());
+  ASSERT_TRUE(cache.GetOrVerify(c).ok());
+  EXPECT_EQ(cache.size(), 3u);
+  const size_t charged_before = cache.charged_bytes();
+
+  // Compiling happens lazily inside a Vm; the cache only learns about the
+  // growth when the entry is next touched.
+  Vm vm(va->get(), ExecMode::kSandboxed, VmBackend::kJit);
+  ASSERT_TRUE(vm.Run(0, 1).ok());
+  EXPECT_EQ((*va)->jit_cache->code_bytes(), jit_bytes);
+  EXPECT_EQ(cache.charged_bytes(), charged_before);
+
+  // Touching `a` re-samples its cost (decoded + native) and the byte bound
+  // evicts least-recently-used entries to make room.
+  ASSERT_TRUE(cache.GetOrVerify(a).ok());
+  EXPECT_GT(cache.stats().byte_evictions, 0u);
+  EXPECT_LT(cache.size(), 3u);
+  EXPECT_TRUE(cache.charged_bytes() <= cache.memory_budget() || cache.size() == 1);
+
+  // The recharged entry itself survived — same artifact, compiled code and
+  // all, still shared with the in-flight Vm.
+  auto again = cache.GetOrVerify(a);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->get(), va->get());
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 
 #include "src/base/random.h"
 #include "src/sfi/assembler.h"
+#include "src/sfi/jit.h"
 #include "src/sfi/verifier.h"
 #include "src/sfi/vm.h"
 
@@ -114,8 +115,8 @@ TEST_P(SfiDifferentialTest, ModesAgreeOnRandomPrograms) {
     ASSERT_TRUE(verified.ok());
 
     uint64_t a0 = rng.Next(), a1 = rng.Next(), a2 = rng.Next(), a3 = rng.Next();
-    Vm trusted(&*verified, ExecMode::kTrusted);
-    Vm sandboxed(&*verified, ExecMode::kSandboxed);
+    Vm trusted(&*verified, ExecMode::kTrusted, VmBackend::kThreaded);
+    Vm sandboxed(&*verified, ExecMode::kSandboxed, VmBackend::kThreaded);
     auto t = trusted.Run(0, a0, a1, a2, a3);
     auto s = sandboxed.Run(0, a0, a1, a2, a3);
     ASSERT_TRUE(t.ok()) << "trusted failed: " << t.status().message();
@@ -128,10 +129,126 @@ TEST_P(SfiDifferentialTest, ModesAgreeOnRandomPrograms) {
     EXPECT_EQ(trusted.stats().bounds_checks, 0u);
     // Metering is mode-independent: both engines retire the same stream.
     EXPECT_EQ(trusted.stats().instructions, sandboxed.stats().instructions);
+
+    // The JIT backend must reproduce the threaded results exactly — value,
+    // memory image, and every counter — in both modes.
+    if (JitAvailable()) {
+      for (ExecMode mode : {ExecMode::kSandboxed, ExecMode::kTrusted}) {
+        Vm& oracle = mode == ExecMode::kSandboxed ? sandboxed : trusted;
+        Vm jit(&*verified, mode, VmBackend::kJit);
+        auto j = jit.Run(0, a0, a1, a2, a3);
+        ASSERT_TRUE(j.ok()) << "jit failed: " << j.status().message();
+        EXPECT_EQ(*j, *t) << "jit divergence, round " << round;
+        EXPECT_EQ(jit.memory(), oracle.memory()) << "jit memory divergence, round " << round;
+        EXPECT_EQ(jit.stats().instructions, oracle.stats().instructions) << round;
+        EXPECT_EQ(jit.stats().bounds_checks, oracle.stats().bounds_checks) << round;
+        EXPECT_EQ(jit.stats().jit_runs, 1u);
+      }
+    }
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SfiDifferentialTest, ::testing::Range(0, 6));
+
+TEST(SfiDifferentialTest, FaultingProgramsAgreeAcrossBackends) {
+  // Fuzz the fail-closed paths: random programs that may divide by zero or
+  // touch out-of-bounds addresses, run sandboxed with randomly starved fuel.
+  // The JIT and the threaded loop must agree on everything observable —
+  // success/failure, Status code and message, value, memory image, and all
+  // VmStats counters. (Trusted mode is never fed unsafe programs, so the
+  // fault fuzz is sandboxed-only; trusted parity is covered by the in-bounds
+  // fuzz above and the metering sweep.)
+  if (!JitAvailable()) {
+    GTEST_SKIP() << "JIT unavailable";
+  }
+  para::Random rng(0xFA17);
+  for (int round = 0; round < 200; ++round) {
+    Assembler as;
+    int depth = 0;
+    for (int i = 0, n = 4 + static_cast<int>(rng.NextBelow(30)); i < n; ++i) {
+      switch (rng.NextBelow(6)) {
+        case 0:
+          as.EmitPush(rng.Next() & 0xFFFF);
+          ++depth;
+          break;
+        case 1:
+          as.EmitLdArg(static_cast<uint8_t>(rng.NextBelow(4)));
+          ++depth;
+          break;
+        case 2: {
+          // Address occasionally far out of bounds.
+          uint64_t addr = rng.NextBool(0.3) ? (1ull << 26) + rng.NextBelow(4096)
+                                            : rng.NextBelow(512) * 8;
+          as.EmitPush(addr);
+          as.Emit(Op::kLoad64);
+          ++depth;
+          break;
+        }
+        case 3: {
+          uint64_t addr = rng.NextBool(0.3) ? (1ull << 26) + rng.NextBelow(4096)
+                                            : rng.NextBelow(512) * 8;
+          as.EmitPush(addr);
+          as.EmitPush(rng.Next() & 0xFFFF);
+          as.Emit(Op::kStore64);
+          break;
+        }
+        case 4:
+          if (depth >= 2) {
+            // Divisor may be zero (an ldarg of a zero argument, or a pushed 0).
+            as.Emit(rng.NextBool(0.5) ? Op::kDivU : Op::kRemU);
+            --depth;
+          } else {
+            as.EmitPush(rng.NextBelow(3));  // sometimes 0: a future divisor
+            ++depth;
+          }
+          break;
+        case 5:
+          if (depth >= 2) {
+            as.Emit(rng.NextBool(0.5) ? Op::kAdd : Op::kSub);
+            --depth;
+          } else {
+            as.EmitPush(rng.NextBelow(3));
+            ++depth;
+          }
+          break;
+      }
+    }
+    if (depth == 0) {
+      as.EmitPush(0);
+      ++depth;
+    }
+    while (depth > 1) {
+      as.Emit(Op::kDrop);
+      --depth;
+    }
+    as.Emit(Op::kRetV);
+    auto program = as.Finish(4096);
+    ASSERT_TRUE(program.ok());
+    auto verified = Verify(*program);
+    ASSERT_TRUE(verified.ok());
+
+    uint64_t a0 = rng.NextBelow(4);  // small: zero divisors are common
+    uint64_t fuel = rng.NextBool(0.25) ? rng.NextBelow(24) : Vm::kDefaultFuel;
+    Vm threaded(&*verified, ExecMode::kSandboxed, VmBackend::kThreaded);
+    Vm jitted(&*verified, ExecMode::kSandboxed, VmBackend::kJit);
+    threaded.set_fuel(fuel);
+    jitted.set_fuel(fuel);
+    auto t = threaded.Run(0, a0);
+    auto j = jitted.Run(0, a0);
+    ASSERT_EQ(t.ok(), j.ok()) << "round " << round << " threaded: " << t.status().message()
+                              << " jit: " << j.status().message();
+    if (t.ok()) {
+      EXPECT_EQ(*t, *j) << round;
+    } else {
+      EXPECT_EQ(t.status().code(), j.status().code()) << round;
+      EXPECT_EQ(t.status().message(), j.status().message()) << round;
+    }
+    EXPECT_EQ(threaded.memory(), jitted.memory()) << round;
+    EXPECT_EQ(threaded.stats().instructions, jitted.stats().instructions) << round;
+    EXPECT_EQ(threaded.stats().bounds_checks, jitted.stats().bounds_checks) << round;
+    EXPECT_EQ(threaded.stats().calls, jitted.stats().calls) << round;
+  }
+}
 
 TEST(SfiDifferentialTest, SandboxCatchesWhatTrustedWouldCorrupt) {
   // The complementary property: for an out-of-bounds program, only the

@@ -11,11 +11,23 @@
 
 #include "src/base/random.h"
 #include "src/sfi/assembler.h"
+#include "src/sfi/jit.h"
 #include "src/sfi/verifier.h"
 #include "src/sfi/vm.h"
 
 namespace para::sfi {
 namespace {
+
+// Every execution backend the host offers: metering assertions must hold for
+// each one, not just whichever kAuto picks. On non-JIT hosts this degrades
+// to the threaded loop alone.
+std::vector<VmBackend> BackendsUnderTest() {
+  std::vector<VmBackend> backends = {VmBackend::kThreaded};
+  if (JitAvailable()) {
+    backends.push_back(VmBackend::kJit);
+  }
+  return backends;
+}
 
 struct ReferenceResult {
   bool ok = false;
@@ -363,16 +375,18 @@ TEST_P(MeteringExactnessTest, CountsMatchReferenceInterpreter) {
                                        a0 * 3);
     ASSERT_TRUE(ref.ok);
     for (ExecMode mode : {ExecMode::kSandboxed, ExecMode::kTrusted}) {
-      Vm vm(&*verified, mode);
-      auto result = vm.Run(0, a0, a0 * 3);
-      ASSERT_TRUE(result.ok()) << result.status().message();
-      EXPECT_EQ(*result, ref.value) << "a0=" << a0;
-      EXPECT_EQ(vm.stats().instructions, ref.instructions) << "a0=" << a0;
-      EXPECT_EQ(vm.stats().calls, ref.calls) << "a0=" << a0;
-      if (mode == ExecMode::kSandboxed) {
-        EXPECT_EQ(vm.stats().bounds_checks, ref.bounds_checks) << "a0=" << a0;
-      } else {
-        EXPECT_EQ(vm.stats().bounds_checks, 0u) << "a0=" << a0;
+      for (VmBackend backend : BackendsUnderTest()) {
+        Vm vm(&*verified, mode, backend);
+        auto result = vm.Run(0, a0, a0 * 3);
+        ASSERT_TRUE(result.ok()) << result.status().message();
+        EXPECT_EQ(*result, ref.value) << "a0=" << a0;
+        EXPECT_EQ(vm.stats().instructions, ref.instructions) << "a0=" << a0;
+        EXPECT_EQ(vm.stats().calls, ref.calls) << "a0=" << a0;
+        if (mode == ExecMode::kSandboxed) {
+          EXPECT_EQ(vm.stats().bounds_checks, ref.bounds_checks) << "a0=" << a0;
+        } else {
+          EXPECT_EQ(vm.stats().bounds_checks, 0u) << "a0=" << a0;
+        }
       }
     }
   }
@@ -395,24 +409,26 @@ TEST(MeteringExactnessTest, FuelBoundaryIsExact) {
   uint64_t n = probe.stats().instructions;
   ASSERT_GT(n, 0u);
 
-  Vm exact(&*verified, ExecMode::kSandboxed);
-  exact.set_fuel(n);
-  EXPECT_TRUE(exact.Run(0, 16).ok());
-  EXPECT_EQ(exact.stats().instructions, n);
+  for (VmBackend backend : BackendsUnderTest()) {
+    Vm exact(&*verified, ExecMode::kSandboxed, backend);
+    exact.set_fuel(n);
+    EXPECT_TRUE(exact.Run(0, 16).ok());
+    EXPECT_EQ(exact.stats().instructions, n);
 
-  Vm starved(&*verified, ExecMode::kSandboxed);
-  starved.set_fuel(n - 1);
-  auto result = starved.Run(0, 16);
-  ASSERT_FALSE(result.ok());
-  EXPECT_EQ(result.status().code(), ErrorCode::kResourceExhausted);
-  // The starving instruction is not retired: n-1 counted, as before.
-  EXPECT_EQ(starved.stats().instructions, n - 1);
+    Vm starved(&*verified, ExecMode::kSandboxed, backend);
+    starved.set_fuel(n - 1);
+    auto result = starved.Run(0, 16);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), ErrorCode::kResourceExhausted);
+    // The starving instruction is not retired: n-1 counted, as before.
+    EXPECT_EQ(starved.stats().instructions, n - 1);
 
-  // Trusted mode is unmetered: the same program runs on empty fuel.
-  Vm trusted(&*verified, ExecMode::kTrusted);
-  trusted.set_fuel(0);
-  EXPECT_TRUE(trusted.Run(0, 16).ok());
-  EXPECT_EQ(trusted.stats().instructions, n);
+    // Trusted mode is unmetered: the same program runs on empty fuel.
+    Vm trusted(&*verified, ExecMode::kTrusted, backend);
+    trusted.set_fuel(0);
+    EXPECT_TRUE(trusted.Run(0, 16).ok());
+    EXPECT_EQ(trusted.stats().instructions, n);
+  }
 }
 
 TEST(MeteringExactnessTest, FusedAndUnfusedStreamsAgreeExactly) {
@@ -475,19 +491,61 @@ TEST(MeteringExactnessTest, FuelBoundaryInsideFusedPairIsExact) {
   ASSERT_EQ(ref.instructions, 1u);
   ASSERT_EQ(ref.bounds_checks, 0u);
 
-  Vm starved(&*verified, ExecMode::kSandboxed);
-  starved.set_fuel(1);
-  auto result = starved.Run(0);
-  ASSERT_FALSE(result.ok());
-  EXPECT_EQ(result.status().code(), ErrorCode::kResourceExhausted);
-  EXPECT_EQ(starved.stats().instructions, 1u);
-  EXPECT_EQ(starved.stats().bounds_checks, 0u);
+  for (VmBackend backend : BackendsUnderTest()) {
+    Vm starved(&*verified, ExecMode::kSandboxed, backend);
+    starved.set_fuel(1);
+    auto result = starved.Run(0);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), ErrorCode::kResourceExhausted);
+    EXPECT_EQ(starved.stats().instructions, 1u);
+    EXPECT_EQ(starved.stats().bounds_checks, 0u);
 
-  Vm exact(&*verified, ExecMode::kSandboxed);
-  exact.set_fuel(3);
-  ASSERT_TRUE(exact.Run(0).ok());
-  EXPECT_EQ(exact.stats().instructions, 3u);
-  EXPECT_EQ(exact.stats().bounds_checks, 1u);
+    Vm exact(&*verified, ExecMode::kSandboxed, backend);
+    exact.set_fuel(3);
+    ASSERT_TRUE(exact.Run(0).ok());
+    EXPECT_EQ(exact.stats().instructions, 3u);
+    EXPECT_EQ(exact.stats().bounds_checks, 1u);
+  }
+}
+
+TEST(MeteringExactnessTest, FuelStarvationSweepIsBackendInvariant) {
+  // Exhaustive fuel sweep over every fixture: at every possible starvation
+  // point — including mid-fused-pair boundaries — the JIT and the threaded
+  // loop must agree with the reference interpreter on success/failure, the
+  // retired-instruction count, and the bounds-check count. This is the
+  // bit-identical-metering claim at its sharpest.
+  for (size_t f = 0; f < std::size(kFixtures); ++f) {
+    auto program = Assembler::Assemble(kFixtures[f]);
+    ASSERT_TRUE(program.ok());
+    auto verified = Verify(*program);
+    ASSERT_TRUE(verified.ok());
+
+    const uint64_t a0 = 5;
+    ReferenceResult full =
+        ReferenceRun(*program, /*sandboxed=*/true, Vm::kDefaultFuel, 0, a0, a0 * 3);
+    ASSERT_TRUE(full.ok);
+
+    for (uint64_t fuel = 0; fuel <= full.instructions + 1; ++fuel) {
+      ReferenceResult ref = ReferenceRun(*program, /*sandboxed=*/true, fuel, 0, a0, a0 * 3);
+      for (VmBackend backend : BackendsUnderTest()) {
+        Vm vm(&*verified, ExecMode::kSandboxed, backend);
+        vm.set_fuel(fuel);
+        auto result = vm.Run(0, a0, a0 * 3);
+        ASSERT_EQ(result.ok(), ref.ok) << "fixture " << f << " fuel " << fuel;
+        if (ref.ok) {
+          EXPECT_EQ(*result, ref.value) << "fixture " << f << " fuel " << fuel;
+        } else {
+          EXPECT_EQ(result.status().code(), ErrorCode::kResourceExhausted)
+              << "fixture " << f << " fuel " << fuel;
+        }
+        EXPECT_EQ(vm.stats().instructions, ref.instructions)
+            << "fixture " << f << " fuel " << fuel;
+        EXPECT_EQ(vm.stats().bounds_checks, ref.bounds_checks)
+            << "fixture " << f << " fuel " << fuel;
+        EXPECT_EQ(vm.stats().calls, ref.calls) << "fixture " << f << " fuel " << fuel;
+      }
+    }
+  }
 }
 
 TEST(MeteringExactnessTest, JumpTargetSuppressesFusion) {
