@@ -20,8 +20,10 @@
 #include <vector>
 
 #include "src/base/random.h"
+#include "src/base/telemetry.h"
 #include "src/components/net_driver.h"
 #include "src/components/protocol_stack.h"
+#include "src/components/telemetry_object.h"
 #include "src/filter/filter.h"
 #include "src/filter/rule.h"
 #include "src/hw/netdev.h"
@@ -257,6 +259,33 @@ int main() {
   PARA_CHECK(rejects_seen == 1);
   PARA_CHECK(proc_events_seen == 2);
   PARA_CHECK(stats.proc_blocks == 2);
+
+  // --- Final act: the unified telemetry view --------------------------------
+  // Everything the demo just did — proxy faults, event dispatches, filter
+  // verdicts, flow-table traffic, SFI runs — landed in one registry under
+  // one naming scheme. Bind "paramecium.telemetry" and dump it.
+  auto telemetry = components::TelemetryObject::Create();
+  PARA_CHECK(bed.nucleus->directory()
+                 .Register("/services/telemetry", telemetry.get(),
+                           bed.nucleus->kernel_context())
+                 .ok());
+  std::printf("\n-- paramecium.telemetry snapshot (filter + flow + sfi rows) --\n");
+  const telemetry::Snapshot snap = telemetry->TakeSnapshot();
+  for (const telemetry::MetricValue& m : snap.metrics) {
+    if (m.value == 0) continue;  // only rows the demo actually moved
+    if (m.name.rfind("filter.", 0) == 0 || m.name.rfind("sfi.", 0) == 0) {
+      std::printf("  %-44s %llu\n", m.name.c_str(),
+                  static_cast<unsigned long long>(m.value));
+    }
+  }
+  const std::vector<telemetry::TraceEvent> trace =
+      telemetry::Registry::Get().TraceSnapshot();
+  std::printf("trace ring: %zu events buffered (chrome://tracing JSON is %zu bytes)\n",
+              trace.size(), telemetry->RenderTraceJson().size());
+  if constexpr (telemetry::kEnabled) {
+    PARA_CHECK(!trace.empty());  // the certified reload alone spans the ring
+  }
+
   std::printf("firewall demo OK\n");
   return 0;
 }

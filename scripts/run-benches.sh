@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Runs every bench_* target with JSON output so the perf trajectory of the
 # repo accumulates as machine-readable artifacts. One BENCH_<name>.json per
-# bench lands in the output directory; CI uploads them per run.
+# bench lands in the output directory; CI uploads them per run. The
+# BENCH_telemetry.json rows price each instrumentation primitive (counter
+# increment, histogram record, trace instant/span, snapshot) — diff them
+# against a -DPARA_NO_TELEMETRY=ON run to read the layer's exact overhead.
 #
 # Usage: scripts/run-benches.sh <build-dir> [out-dir] [extra benchmark args...]
 #   scripts/run-benches.sh build-rel                 # full run, JSON into CWD

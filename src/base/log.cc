@@ -3,6 +3,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <utility>
+
+#include "src/base/telemetry.h"
 
 namespace para {
 
@@ -22,16 +25,37 @@ const char* Basename(const char* path) {
 }  // namespace
 
 void Logger::Logv(LogLevel level, const char* file, int line, const char* fmt, va_list args) {
-  if (level < min_level_) {
+  if (level < min_level()) {
     return;
+  }
+  // Interleave with telemetry spans: name is the __FILE__ literal (static
+  // storage), arg packs (level << 32) | line for the exporter to unpack.
+  telemetry::EmitTrace(file, telemetry::TracePhase::kInstant,
+                       (static_cast<uint64_t>(level) << 32) | static_cast<uint32_t>(line),
+                       telemetry::kTraceFlagLog);
+  if constexpr (telemetry::kEnabled) {
+    static telemetry::Counter lines[] = {
+        telemetry::Registry::Get().counter("base.log.trace"),
+        telemetry::Registry::Get().counter("base.log.debug"),
+        telemetry::Registry::Get().counter("base.log.info"),
+        telemetry::Registry::Get().counter("base.log.warn"),
+        telemetry::Registry::Get().counter("base.log.error"),
+        telemetry::Registry::Get().counter("base.log.fatal"),
+    };
+    lines[static_cast<size_t>(level)].Inc();
   }
   char body[1024];
   vsnprintf(body, sizeof(body), fmt, args);
   char full[1200];
   snprintf(full, sizeof(full), "[%s] %s:%d: %s", LogLevelName(level).data(), Basename(file),
            line, body);
-  if (sink_) {
-    sink_(level, full);
+  Sink sink;
+  {
+    std::lock_guard<std::mutex> lock(sink_mu_);
+    sink = sink_;  // invoke outside the lock: a sink may itself log
+  }
+  if (sink) {
+    sink(level, full);
   } else {
     fprintf(stderr, "%s\n", full);
   }

@@ -4,9 +4,11 @@
 #ifndef PARAMECIUM_SRC_BASE_LOG_H_
 #define PARAMECIUM_SRC_BASE_LOG_H_
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <string_view>
 
@@ -26,20 +28,26 @@ constexpr std::string_view LogLevelName(LogLevel level) {
   return "?";
 }
 
-// Global log configuration. Not thread-safe by design: configure once at
-// start-up (the simulated machine is single-threaded at the host level; the
-// thread package is cooperative).
+// Global log configuration. Thread-safe: the level gate is an atomic load,
+// the sink is swapped under a mutex and invoked from a copy, so concurrent
+// host threads (telemetry tests, sanitizer runs) and cooperative popups can
+// log while a test swaps the capture sink. Every emitted line also lands in
+// the telemetry trace ring as an instant event, so logs interleave with
+// spans in the chrome-trace export.
 class Logger {
  public:
   using Sink = std::function<void(LogLevel, std::string_view)>;
 
   static Logger& Get();
 
-  void set_min_level(LogLevel level) { min_level_ = level; }
-  LogLevel min_level() const { return min_level_; }
+  void set_min_level(LogLevel level) { min_level_.store(level, std::memory_order_relaxed); }
+  LogLevel min_level() const { return min_level_.load(std::memory_order_relaxed); }
 
   // Replaces the output sink; pass nullptr to restore the stderr default.
-  void set_sink(Sink sink) { sink_ = std::move(sink); }
+  void set_sink(Sink sink) {
+    std::lock_guard<std::mutex> lock(sink_mu_);
+    sink_ = std::move(sink);
+  }
 
   void Logv(LogLevel level, const char* file, int line, const char* fmt, va_list args);
   void Log(LogLevel level, const char* file, int line, const char* fmt, ...)
@@ -47,7 +55,8 @@ class Logger {
 
  private:
   Logger() = default;
-  LogLevel min_level_ = LogLevel::kInfo;
+  std::atomic<LogLevel> min_level_{LogLevel::kInfo};
+  std::mutex sink_mu_;
   Sink sink_;
 };
 

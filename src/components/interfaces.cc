@@ -50,4 +50,10 @@ const obj::TypeInfo* MeasurementType() {
   return &type;
 }
 
+const obj::TypeInfo* TelemetryType() {
+  static const obj::TypeInfo type("paramecium.telemetry", 1,
+                                  {"metric_count", "reset", "trace_count", "render"});
+  return &type;
+}
+
 }  // namespace para::components

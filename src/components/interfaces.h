@@ -74,6 +74,17 @@ const obj::TypeInfo* ThreadPackageType();
 //   1 reset()        -> 0
 const obj::TypeInfo* MeasurementType();
 
+// Telemetry exporter: the process-wide metrics registry and trace rings as a
+// directory-named object (observability is itself a reconfigurable
+// component). The render slot follows the uniform u64 convention by caching
+// the rendered document in the object and returning its byte length;
+// in-process callers then read it via TelemetryObject::last_render().
+//   0 metric_count()  -> metrics registered (owned + aliases)
+//   1 reset()         -> 0 (zeroes metrics, rebases aliases, clears traces)
+//   2 trace_count()   -> committed trace events currently visible
+//   3 render(kind)    -> bytes rendered (0 text, 1 Prometheus, 2 trace JSON)
+const obj::TypeInfo* TelemetryType();
+
 }  // namespace para::components
 
 #endif  // PARAMECIUM_SRC_COMPONENTS_INTERFACES_H_

@@ -10,13 +10,35 @@ uint64_t CallMonitor::Trampoline(void* state, uint64_t a0, uint64_t a1, uint64_t
   CallMonitor* monitor = record->monitor;
   ++record->calls;
   ++monitor->total_calls_;
+  // The process-wide ring gets an instant event too, so monitored calls show
+  // up between spans in the chrome-trace export (arg = slot).
+  PARA_TRACE_INSTANT("components.monitor.call", record->slot);
   // Forward to the original implementation (delegation).
   uint64_t result = record->target_iface->Invoke(record->slot, a0, a1, a2, a3);
-  if (monitor->trace_.size() < monitor->trace_limit_) {
-    monitor->trace_.push_back(
-        MonitorRecord{record->interface_name, record->slot, a0, a1, result});
+  if (monitor->trace_limit_ > 0) {
+    MonitorRecord entry{record->interface_name, record->slot, a0, a1, result};
+    if (monitor->ring_.size() < monitor->trace_limit_) {
+      monitor->ring_.push_back(std::move(entry));
+    } else {
+      monitor->ring_[monitor->ring_pos_ % monitor->trace_limit_] = std::move(entry);
+    }
+    ++monitor->ring_pos_;
   }
   return result;
+}
+
+std::vector<MonitorRecord> CallMonitor::trace() const {
+  std::vector<MonitorRecord> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < trace_limit_ || trace_limit_ == 0) {
+    out = ring_;  // never wrapped: ring order is chronological
+  } else {
+    const size_t head = ring_pos_ % trace_limit_;  // oldest surviving entry
+    for (size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(head + i) % trace_limit_]);
+    }
+  }
+  return out;
 }
 
 std::unique_ptr<CallMonitor> CallMonitor::Wrap(obj::Object* target, size_t trace_limit) {
@@ -44,6 +66,15 @@ std::unique_ptr<CallMonitor> CallMonitor::Wrap(obj::Object* target, size_t trace
     measurement.SetSlot(0, obj::Thunk<CallMonitor, &CallMonitor::Invocations>());
     measurement.SetSlot(1, obj::Thunk<CallMonitor, &CallMonitor::ResetMeasurement>());
     monitor->ExportInterface(MeasurementType()->name(), std::move(measurement));
+  }
+  // Per-slot counters double as registry metrics (aliases: the SlotRecord
+  // fields stay the source of truth, so calls_for() is telemetry-free).
+  monitor->metrics_.Counter("components.monitor.total_calls", &monitor->total_calls_);
+  for (const auto& record : monitor->records_) {
+    monitor->metrics_.Counter(
+        "components.monitor." + record->interface_name + "." +
+            record->target_iface->type()->method_name(record->slot),
+        &record->calls);
   }
   return monitor;
 }

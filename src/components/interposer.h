@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/base/status.h"
+#include "src/base/telemetry.h"
 #include "src/components/interfaces.h"
 #include "src/nucleus/vmem.h"
 #include "src/obj/object.h"
@@ -41,12 +42,20 @@ class CallMonitor : public obj::Object {
 
   uint64_t total_calls() const { return total_calls_; }
   uint64_t calls_for(const std::string& interface_name, size_t slot) const;
-  const std::vector<MonitorRecord>& trace() const { return trace_; }
+
+  // Chronological (oldest first) copy of the bounded trace ring. The ring
+  // keeps the most recent `trace_limit` calls — it overwrites its oldest
+  // entry instead of going quiet once full, so a long-lived monitor always
+  // shows the latest activity. Each monitored call also lands in the
+  // process-wide telemetry trace ring, and the per-slot counters are
+  // registered as "components.monitor.<interface>.<method>" metrics.
+  std::vector<MonitorRecord> trace() const;
 
   uint64_t Invocations(uint64_t, uint64_t, uint64_t, uint64_t) { return total_calls_; }
   uint64_t ResetMeasurement(uint64_t, uint64_t, uint64_t, uint64_t) {
     total_calls_ = 0;
-    trace_.clear();
+    ring_.clear();
+    ring_pos_ = 0;
     return 0;
   }
 
@@ -65,8 +74,12 @@ class CallMonitor : public obj::Object {
 
   size_t trace_limit_;
   uint64_t total_calls_ = 0;
-  std::vector<MonitorRecord> trace_;
+  std::vector<MonitorRecord> ring_;  // grows to trace_limit_, then overwrites
+  uint64_t ring_pos_ = 0;            // monotonic count of recorded calls
   std::vector<std::unique_ptr<SlotRecord>> records_;
+  // Declared last: the aliases point at the fields above, so they must
+  // unregister before those fields are destroyed.
+  telemetry::ScopedMetricGroup metrics_;
 };
 
 class PacketSnoop : public obj::Object {

@@ -12,7 +12,18 @@ using nucleus::VAddr;
 
 NetDriver::NetDriver(nucleus::VirtualMemoryService* vmem, nucleus::EventService* events,
                      hw::NetworkDevice* device, nucleus::Context* home)
-    : vmem_(vmem), events_(events), device_(device), home_(home) {}
+    : vmem_(vmem), events_(events), device_(device), home_(home) {
+  // Same order as kNetDriverStatsSlotNames / the Stats() switch. The device
+  // counters are behind accessors, so indices 0–2 are function-backed.
+  metrics_.Fn("components.net_driver.frames_sent", [device] { return device->frames_sent(); },
+              telemetry::MetricKind::kCounter);
+  metrics_.Fn("components.net_driver.frames_received",
+              [device] { return device->frames_received(); }, telemetry::MetricKind::kCounter);
+  metrics_.Fn("components.net_driver.frames_dropped",
+              [device] { return device->frames_dropped(); }, telemetry::MetricKind::kCounter);
+  metrics_.Counter("components.net_driver.frames_filtered", &frames_filtered_);
+  metrics_.Counter("components.net_driver.invocations", &invocations_);
+}
 
 NetDriver::~NetDriver() {
   if (event_registration_ != 0) {

@@ -8,8 +8,10 @@
 
 #include <deque>
 #include <memory>
+#include <string_view>
 #include <vector>
 
+#include "src/base/telemetry.h"
 #include "src/components/interfaces.h"
 #include "src/hw/netdev.h"
 #include "src/net/filter_hook.h"
@@ -18,6 +20,17 @@
 #include "src/obj/object.h"
 
 namespace para::components {
+
+// Names for NetDriverType's stats(index) slot, in index order — the single
+// source of truth tying the numbered slots to the `components.net_driver.*`
+// registry metrics and to the slot-map test. Indices 0–2 read the device's
+// own counters; 3 is the driver-level frame filter tally.
+inline constexpr std::string_view kNetDriverStatsSlotNames[] = {
+    "frames_sent",
+    "frames_received",
+    "frames_dropped",
+    "frames_filtered",
+};
 
 class NetDriver : public obj::Object {
  public:
@@ -67,6 +80,9 @@ class NetDriver : public obj::Object {
   net::RawFrameHook frame_filter_;
   uint64_t frames_filtered_ = 0;
   uint64_t invocations_ = 0;
+  // Aliases over the device's counters and this driver's tallies — declared
+  // last so they unregister before the fields/device pointer die.
+  telemetry::ScopedMetricGroup metrics_;
 };
 
 }  // namespace para::components

@@ -134,6 +134,8 @@ uint64_t StackComponent::Recv(uint64_t port, uint64_t dest_vaddr, uint64_t capac
 }
 
 uint64_t StackComponent::Stats(uint64_t index, uint64_t, uint64_t, uint64_t) {
+  static_assert(std::size(kStackStatsSlotNames) == 13,
+                "stats slot table out of step with the switch below");
   const net::StackStats& s = stack_->stats();
   switch (index) {
     case 0: return s.frames_out;

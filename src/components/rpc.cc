@@ -43,6 +43,11 @@ Status RpcComponent::Setup() {
   iface.SetSlot(0, obj::Thunk<RpcComponent, &RpcComponent::CallSlot>());
   iface.SetSlot(1, obj::Thunk<RpcComponent, &RpcComponent::ProcedureCount>());
   ExportInterface(RpcType()->name(), std::move(iface));
+  metrics_.Counter("components.rpc.calls", &stats_.calls);
+  metrics_.Counter("components.rpc.replies", &stats_.replies);
+  metrics_.Counter("components.rpc.timeouts", &stats_.timeouts);
+  metrics_.Counter("components.rpc.server_requests", &stats_.server_requests);
+  metrics_.Counter("components.rpc.server_errors", &stats_.server_errors);
 
   // The §2 evolution example: the measurement interface is exported
   // *alongside* the RPC interface; existing RPC clients are untouched.
@@ -125,6 +130,9 @@ void RpcComponent::OnDatagram(const net::Datagram& datagram) {
 
 Result<std::vector<uint8_t>> RpcComponent::Call(uint32_t proc,
                                                 std::span<const uint8_t> request) {
+  // Always-on span: an RPC round trip is microseconds at best (it parks the
+  // calling fiber), so the two ring stores are noise.
+  PARA_TRACE_SCOPE_ARG("components.rpc.call", proc);
   ++stats_.calls;
   uint32_t xid = next_xid_++;
   auto pending = std::make_unique<PendingCall>();

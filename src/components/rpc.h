@@ -23,6 +23,7 @@
 
 #include "src/base/arena.h"
 #include "src/base/status.h"
+#include "src/base/telemetry.h"
 #include "src/components/interfaces.h"
 #include "src/components/protocol_stack.h"
 #include "src/nucleus/vmem.h"
@@ -118,6 +119,8 @@ class RpcComponent : public obj::Object {
   Arena tx_arena_;
   Arena request_arena_;
   RpcStats stats_;
+  // Aliases onto stats_ — declared last so they unregister first.
+  telemetry::ScopedMetricGroup metrics_;
 };
 
 }  // namespace para::components

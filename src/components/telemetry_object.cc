@@ -1,0 +1,240 @@
+#include "src/components/telemetry_object.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace para::components {
+
+namespace {
+
+using telemetry::MetricKind;
+using telemetry::TraceEvent;
+using telemetry::TracePhase;
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+void AppendF(std::string& out, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+void AppendF(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  out += buf;
+}
+
+// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*. The registry's dots and
+// "#N" dedupe suffixes become underscores.
+std::string PrometheusName(const std::string& name) {
+  std::string out = "para_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+                    c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+void AppendJsonString(std::string& out, const char* s) {
+  out += '"';
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      AppendF(out, "\\u%04x", c);
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+}
+
+// Inclusive upper bound of log2 bucket i (values whose bit width is i).
+double BucketUpperBound(size_t i) {
+  if (i == 0) return 0.0;
+  if (i >= 64) return 18446744073709551615.0;  // 2^64 - 1
+  return static_cast<double>((uint64_t{1} << i) - 1);
+}
+
+}  // namespace
+
+std::unique_ptr<TelemetryObject> TelemetryObject::Create() {
+  auto object = std::unique_ptr<TelemetryObject>(new TelemetryObject());
+  object->Setup();
+  return object;
+}
+
+void TelemetryObject::Setup() {
+  obj::Interface iface(TelemetryType(), this);
+  iface.SetSlot(0, obj::Thunk<TelemetryObject, &TelemetryObject::MetricCount>());
+  iface.SetSlot(1, obj::Thunk<TelemetryObject, &TelemetryObject::ResetSlot>());
+  iface.SetSlot(2, obj::Thunk<TelemetryObject, &TelemetryObject::TraceCount>());
+  iface.SetSlot(3, obj::Thunk<TelemetryObject, &TelemetryObject::Render>());
+  ExportInterface(TelemetryType()->name(), std::move(iface));
+}
+
+std::string TelemetryObject::RenderText() const {
+  const telemetry::Snapshot snap = telemetry::Registry::Get().TakeSnapshot();
+  std::string out;
+  AppendF(out, "== paramecium telemetry: %zu metrics, %.0f ticks/s ==\n", snap.metrics.size(),
+          snap.ticks_per_second);
+  for (const auto& m : snap.metrics) {
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        AppendF(out, "%-48s %20" PRIu64 "\n", m.name.c_str(), m.value);
+        break;
+      case MetricKind::kGauge:
+        AppendF(out, "%-48s %20" PRIu64 " (gauge)\n", m.name.c_str(), m.value);
+        break;
+      case MetricKind::kHistogram: {
+        AppendF(out, "%-48s count=%" PRIu64 " sum=%" PRIu64, m.name.c_str(), m.hist.count,
+                m.hist.sum);
+        if (m.hist.count > 0) {
+          AppendF(out, " avg=%.1f", static_cast<double>(m.hist.sum) /
+                                        static_cast<double>(m.hist.count));
+        }
+        out += '\n';
+        for (size_t i = 0; i < telemetry::detail::kHistBuckets; ++i) {
+          if (m.hist.buckets[i] == 0) continue;
+          AppendF(out, "  le 2^%-2zu-1 : %" PRIu64 "\n", i, m.hist.buckets[i]);
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string TelemetryObject::RenderPrometheus() const {
+  const telemetry::Snapshot snap = telemetry::Registry::Get().TakeSnapshot();
+  std::string out;
+  for (const auto& m : snap.metrics) {
+    const std::string name = PrometheusName(m.name);
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        AppendF(out, "# TYPE %s counter\n%s %" PRIu64 "\n", name.c_str(), name.c_str(), m.value);
+        break;
+      case MetricKind::kGauge:
+        AppendF(out, "# TYPE %s gauge\n%s %" PRIu64 "\n", name.c_str(), name.c_str(), m.value);
+        break;
+      case MetricKind::kHistogram: {
+        AppendF(out, "# TYPE %s histogram\n", name.c_str());
+        uint64_t cumulative = 0;
+        size_t top = telemetry::detail::kHistBuckets;
+        while (top > 0 && m.hist.buckets[top - 1] == 0) --top;
+        for (size_t i = 0; i < top; ++i) {
+          cumulative += m.hist.buckets[i];
+          AppendF(out, "%s_bucket{le=\"%.0f\"} %" PRIu64 "\n", name.c_str(), BucketUpperBound(i),
+                  cumulative);
+        }
+        AppendF(out, "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n", name.c_str(), m.hist.count);
+        AppendF(out, "%s_sum %" PRIu64 "\n", name.c_str(), m.hist.sum);
+        AppendF(out, "%s_count %" PRIu64 "\n", name.c_str(), m.hist.count);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string TelemetryObject::RenderTraceJson() const {
+  const std::vector<TraceEvent> events = telemetry::Registry::Get().TraceSnapshot();
+  const double ticks_per_us = telemetry::Registry::TicksPerSecond() / 1e6;
+  const uint64_t t0 = events.empty() ? 0 : events.front().ts;
+  auto micros = [&](uint64_t ts) {
+    return static_cast<double>(ts - t0) / (ticks_per_us > 0 ? ticks_per_us : 1.0);
+  };
+
+  std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](const char* name, const char* cat, const char* ph, double ts_us, double dur_us,
+                  uint32_t tid, uint64_t arg, bool with_dur) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":";
+    AppendJsonString(out, name);
+    AppendF(out, ",\"cat\":\"%s\",\"ph\":\"%s\",\"pid\":1,\"tid\":%u,\"ts\":%.3f", cat, ph, tid,
+            ts_us);
+    if (with_dur) AppendF(out, ",\"dur\":%.3f", dur_us);
+    AppendF(out, ",\"args\":{\"arg\":%" PRIu64 "}}", arg);
+  };
+
+  // Begin/end events pair up per thread into chrome "X" complete events;
+  // events whose partner was overwritten by ring wraparound are dropped so
+  // the document always parses.
+  std::map<uint32_t, std::vector<TraceEvent>> open;  // per-tid stack of kBegin
+  for (const TraceEvent& e : events) {
+    if (e.name == nullptr) continue;
+    switch (e.phase) {
+      case TracePhase::kBegin:
+        open[e.tid].push_back(e);
+        break;
+      case TracePhase::kEnd: {
+        auto& stack = open[e.tid];
+        // Unwind to the matching begin (drops begins whose end was lost).
+        while (!stack.empty() && stack.back().name != e.name) stack.pop_back();
+        if (stack.empty()) break;
+        const TraceEvent begin = stack.back();
+        stack.pop_back();
+        emit(begin.name, "para", "X", micros(begin.ts), micros(e.ts) - micros(begin.ts), e.tid,
+             begin.arg, /*with_dur=*/true);
+        break;
+      }
+      case TracePhase::kInstant: {
+        if ((e.flags & telemetry::kTraceFlagLog) != 0) {
+          // Logger events: name is a __FILE__ literal, arg = level<<32 | line.
+          char label[128];
+          snprintf(label, sizeof(label), "log %s:%u", Basename(e.name),
+                   static_cast<uint32_t>(e.arg & 0xFFFFFFFFu));
+          emit(label, "log", "i", micros(e.ts), 0, e.tid, e.arg >> 32, /*with_dur=*/false);
+        } else {
+          emit(e.name, "para", "i", micros(e.ts), 0, e.tid, e.arg, /*with_dur=*/false);
+        }
+        break;
+      }
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+void TelemetryObject::ResetAll() {
+  telemetry::Registry::Get().Reset();
+  telemetry::Registry::Get().ClearTrace();
+}
+
+uint64_t TelemetryObject::MetricCount(uint64_t, uint64_t, uint64_t, uint64_t) {
+  return telemetry::Registry::Get().metric_count();
+}
+
+uint64_t TelemetryObject::ResetSlot(uint64_t, uint64_t, uint64_t, uint64_t) {
+  ResetAll();
+  return 0;
+}
+
+uint64_t TelemetryObject::TraceCount(uint64_t, uint64_t, uint64_t, uint64_t) {
+  return telemetry::Registry::Get().TraceSnapshot().size();
+}
+
+uint64_t TelemetryObject::Render(uint64_t kind, uint64_t, uint64_t, uint64_t) {
+  switch (kind) {
+    case 0: last_render_ = RenderText(); break;
+    case 1: last_render_ = RenderPrometheus(); break;
+    case 2: last_render_ = RenderTraceJson(); break;
+    default: return 0;
+  }
+  return last_render_.size();
+}
+
+}  // namespace para::components

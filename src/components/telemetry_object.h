@@ -1,0 +1,55 @@
+// Telemetry exporter component: wraps the process-wide telemetry registry
+// (src/base/telemetry.h) in an obj::Object so observability itself is a
+// named, invocable component — register it in the directory as
+// "paramecium.telemetry" and any domain that can name it can snapshot, reset,
+// or export every metric and trace in the system.
+//
+// Three render formats:
+//  * text        — human-readable "name = value" dump plus histogram buckets;
+//  * Prometheus  — text exposition (counter/gauge/histogram with le labels);
+//  * trace JSON  — chrome://tracing / Perfetto "traceEvents" document built
+//                  from the per-thread rings (begin/end pairs become complete
+//                  "X" events, instants "i", logger events a "log" category).
+#ifndef PARAMECIUM_SRC_COMPONENTS_TELEMETRY_OBJECT_H_
+#define PARAMECIUM_SRC_COMPONENTS_TELEMETRY_OBJECT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/base/telemetry.h"
+#include "src/components/interfaces.h"
+#include "src/obj/object.h"
+
+namespace para::components {
+
+class TelemetryObject : public obj::Object {
+ public:
+  static std::unique_ptr<TelemetryObject> Create();
+
+  // In-process API (the slot interface returns lengths; these return data).
+  telemetry::Snapshot TakeSnapshot() const { return telemetry::Registry::Get().TakeSnapshot(); }
+  std::string RenderText() const;
+  std::string RenderPrometheus() const;
+  std::string RenderTraceJson() const;
+  void ResetAll();
+
+  // Slot methods (TelemetryType): see interfaces.h for the contract.
+  uint64_t MetricCount(uint64_t, uint64_t, uint64_t, uint64_t);
+  uint64_t ResetSlot(uint64_t, uint64_t, uint64_t, uint64_t);
+  uint64_t TraceCount(uint64_t, uint64_t, uint64_t, uint64_t);
+  uint64_t Render(uint64_t kind, uint64_t, uint64_t, uint64_t);
+
+  // Document produced by the most recent render slot call.
+  const std::string& last_render() const { return last_render_; }
+
+ private:
+  TelemetryObject() = default;
+  void Setup();
+
+  std::string last_render_;
+};
+
+}  // namespace para::components
+
+#endif  // PARAMECIUM_SRC_COMPONENTS_TELEMETRY_OBJECT_H_

@@ -59,7 +59,48 @@ Result<std::unique_ptr<PacketFilter>> PacketFilter::Create(FilterConfig config) 
   iface.SetSlot(2, obj::Thunk<PacketFilter, &PacketFilter::ModeSlot>());
   iface.SetSlot(3, obj::Thunk<PacketFilter, &PacketFilter::FlowCountSlot>());
   f->ExportInterface(FilterType()->name(), std::move(iface));
+  f->RegisterMetrics();
   return f;
+}
+
+void PacketFilter::RegisterMetrics() {
+  if constexpr (!telemetry::kEnabled) return;
+  const std::string prefix = "filter." + config_.name + ".";
+  // Slot-order sources, index-matched to kFilterStatsSlotNames. The aliases
+  // read the same fields StatsSlot serves, so the numbered control interface
+  // and the registry can never disagree.
+  const uint64_t* slot_sources[] = {
+      &stats_.evaluated,         &stats_.pass,           &stats_.drop,
+      &stats_.reject,            &stats_.proc_invocations, &stats_.flow_hits,
+      &stats_.reloads,           &stats_.events_raised,  &stats_.vm_faults,
+      &stats_.flow_hits_reverse, &stats_.descriptor_faults, &stats_.flow_reevaluations,
+      &stats_.proc_blocks,       &stats_.proc_faults,
+  };
+  static_assert(std::size(slot_sources) + 2 == std::size(kFilterStatsSlotNames),
+                "slots 14/15 are VM-derived; everything else must be a stats_ field");
+  for (size_t i = 0; i < std::size(slot_sources); ++i) {
+    metrics_.Counter(prefix + std::string(kFilterStatsSlotNames[i]), slot_sources[i]);
+  }
+  // Slots 14/15 read through loaded_, which a hot reload swaps — closures,
+  // not pointers.
+  metrics_.Fn(prefix + std::string(kFilterStatsSlotNames[14]),
+              [this] { return loaded_->vm.backend() == sfi::VmBackend::kJit ? uint64_t{1} : 0; },
+              telemetry::MetricKind::kGauge);
+  metrics_.Fn(prefix + std::string(kFilterStatsSlotNames[15]),
+              [this] { return loaded_->vm.stats().jit_runs; },
+              telemetry::MetricKind::kCounter);
+  const FlowTableStats& fs = flows_.stats();
+  metrics_.Counter(prefix + "flow.hits", &fs.hits);
+  metrics_.Counter(prefix + "flow.reverse_hits", &fs.reverse_hits);
+  metrics_.Counter(prefix + "flow.misses", &fs.misses);
+  metrics_.Counter(prefix + "flow.inserts", &fs.inserts);
+  metrics_.Counter(prefix + "flow.evictions", &fs.evictions);
+  metrics_.Counter(prefix + "flow.expirations", &fs.expirations);
+  metrics_.Counter(prefix + "flow.reorientations", &fs.reorientations);
+  metrics_.Fn(prefix + "flow.live", [this] { return static_cast<uint64_t>(flows_.size()); },
+              telemetry::MetricKind::kGauge);
+  metrics_.Fn(prefix + "rules", [this] { return static_cast<uint64_t>(loaded_->rule_count); },
+              telemetry::MetricKind::kGauge);
 }
 
 // The filter never executes an unverified program: verification produces the
@@ -177,6 +218,9 @@ void PacketFilter::NotifyVerdict(const FilterDecision& decision, FilterDirection
 // Runs the installed classifier over `view`, failing closed on marshalling
 // or VM faults. Pure classification: verdict counters are the caller's job.
 uint64_t PacketFilter::Classify(const net::PacketView& view) {
+  // On sampled packets the pipeline stages mark their completion in the
+  // trace ring, inside the enclosing "filter.classify" span.
+  const bool traced = telemetry::kEnabled && trace_sample_active_;
   if (!WritePacketDescriptor(view, loaded_->vm.memory(), loaded_->payload_bytes_needed)) {
     // The VM memory cannot hold the descriptor. Running anyway would
     // classify whatever descriptor is still in memory — the *previous*
@@ -184,7 +228,13 @@ uint64_t PacketFilter::Classify(const net::PacketView& view) {
     ++stats_.descriptor_faults;
     return EncodeVerdict(FilterVerdict::kDrop, 0, net::kDefaultRuleIndex);
   }
+  if (traced) [[unlikely]] {
+    PARA_TRACE_INSTANT("filter.descriptor_marshal", loaded_->payload_bytes_needed);
+  }
   Result<uint64_t> run = loaded_->vm.Run(0);
+  if (traced) [[unlikely]] {
+    PARA_TRACE_INSTANT("filter.tree_dispatch", run.ok() ? *run : ~uint64_t{0});
+  }
   if (!run.ok()) {
     // A compiled program cannot fault, but an SFI violation in a sandboxed
     // one must fail closed: the packet is dropped, not let through.
@@ -192,6 +242,31 @@ uint64_t PacketFilter::Classify(const net::PacketView& view) {
     return EncodeVerdict(FilterVerdict::kDrop, 0, net::kDefaultRuleIndex);
   }
   return *run;
+}
+
+void PacketFilter::RecordClassifyLatency(net::FilterVerdict verdict, uint64_t ticks) {
+  if constexpr (telemetry::kEnabled) {
+    // Global (not per-instance) names: owned histograms are never reclaimed,
+    // so per-filter names would exhaust the fixed histogram capacity in
+    // long test runs. Per-instance telemetry stays in the aliases.
+    static struct {
+      telemetry::Histogram pass =
+          telemetry::Registry::Get().histogram("filter.engine.classify_ticks.pass");
+      telemetry::Histogram drop =
+          telemetry::Registry::Get().histogram("filter.engine.classify_ticks.drop");
+      telemetry::Histogram reject =
+          telemetry::Registry::Get().histogram("filter.engine.classify_ticks.reject");
+    } telem;
+    switch (verdict) {
+      case FilterVerdict::kPass: telem.pass.Record(ticks); break;
+      case FilterVerdict::kDrop: telem.drop.Record(ticks); break;
+      case FilterVerdict::kReject: telem.reject.Record(ticks); break;
+    }
+    telemetry::EmitTrace("filter.classify", telemetry::TracePhase::kEnd,
+                         static_cast<uint64_t>(verdict));
+  } else {
+    (void)verdict, (void)ticks;
+  }
 }
 
 void PacketFilter::CountVerdict(const FilterDecision& decision, FilterDirection dir) {
@@ -213,6 +288,9 @@ void PacketFilter::RunChain(FilterDecision* decision, const net::PacketView& vie
                             FilterDirection dir) {
   if (decision->chain == 0 || decision->chain > loaded_->chains.size()) {
     return;
+  }
+  if (telemetry::kEnabled && trace_sample_active_) [[unlikely]] {
+    PARA_TRACE_INSTANT("filter.proc_chain", decision->chain);
   }
   for (const std::unique_ptr<ProcInstance>& proc : loaded_->chains[decision->chain - 1]) {
     // Re-marshal the descriptor each run (header fields only — procedures do
@@ -332,11 +410,29 @@ FilterDecision PacketFilter::Evaluate(const net::PacketView& view, FilterDirecti
     }
   }
 
+  // Classifier path: sampled 1-in-32 for per-verdict latency histograms and
+  // a "filter.classify" trace span (the stages inside mark themselves when
+  // the sample is active). The flow-hit paths above stay uninstrumented —
+  // their telemetry is all snapshot-time aliases.
+  uint64_t classify_t0 = 0;
+  if constexpr (telemetry::kEnabled) {
+    trace_sample_active_ = (++telemetry_sample_ & 31) == 0;
+    if (trace_sample_active_) [[unlikely]] {
+      telemetry::EmitTrace("filter.classify", telemetry::TracePhase::kBegin, 0);
+      classify_t0 = telemetry::TraceClock();
+    }
+  }
   uint64_t encoded = Classify(view);
   FilterDecision decision = DecodeVerdict(encoded);
   const bool admitted = VerdictPasses(decision.verdict);
   RunChain(&decision, view, dir);
   CountVerdict(decision, dir);
+  if constexpr (telemetry::kEnabled) {
+    if (trace_sample_active_) [[unlikely]] {
+      RecordClassifyLatency(decision.verdict, telemetry::TraceClock() - classify_t0);
+      trace_sample_active_ = false;
+    }
+  }
 
   // Only passing *dispatch* verdicts establish a flow: drops and rejects
   // re-evaluate every time, so tightening the rules takes effect for them

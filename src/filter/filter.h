@@ -35,8 +35,10 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 
 #include "src/base/status.h"
+#include "src/base/telemetry.h"
 #include "src/base/vclock.h"
 #include "src/filter/compiler.h"
 #include "src/filter/extension.h"
@@ -159,6 +161,30 @@ struct FilterStats {
   uint64_t proc_faults = 0;           // procedure faulted/ran dry; packet dropped
 };
 
+// StatsSlot's slot order, by name. This array is the single source of truth
+// shared by the control interface, the telemetry aliases ("filter.<name>.*"
+// metrics are registered in this order), and the slot-map test — a new slot
+// added here without a matching StatsSlot case (or vice versa) fails the
+// table-driven test instead of silently aliasing a neighbour.
+inline constexpr std::string_view kFilterStatsSlotNames[] = {
+    "evaluated",           // 0
+    "pass",                // 1
+    "drop",                // 2
+    "reject",              // 3
+    "proc_invocations",    // 4
+    "flow_hits",           // 5
+    "reloads",             // 6
+    "events_raised",       // 7
+    "vm_faults",           // 8
+    "flow_hits_reverse",   // 9
+    "descriptor_faults",   // 10
+    "flow_reevaluations",  // 11
+    "proc_blocks",         // 12
+    "proc_faults",         // 13
+    "backend_jit",         // 14 (gauge: 1 when the installed VM runs the JIT)
+    "jit_runs",            // 15
+};
+
 class PacketFilter : public obj::Object {
  public:
   // Starts with an empty sandboxed rule set (default verdict: pass).
@@ -260,6 +286,12 @@ class PacketFilter : public obj::Object {
                  std::vector<ProcChain> chains, sfi::ExecMode mode);
   void RaiseEvent(uint64_t detail);
   void NotifyVerdict(const net::FilterDecision& decision, net::FilterDirection dir);
+  // Registers the "filter.<config.name>.*" aliases (slot table + flow-table
+  // stats); called once from Create, after the bootstrap load.
+  void RegisterMetrics();
+  // Sampled classifier-path latency: ends the "filter.classify" span and
+  // records the ticks into the per-verdict histogram.
+  void RecordClassifyLatency(net::FilterVerdict verdict, uint64_t ticks);
   uint64_t Classify(const net::PacketView& view);
   void CountVerdict(const net::FilterDecision& decision, net::FilterDirection dir);
   // Runs `decision`'s procedure chain (if any) over `view`, applying block /
@@ -277,6 +309,13 @@ class PacketFilter : public obj::Object {
   uint32_t epoch_ = 0;
   FilterStats stats_;
   uint64_t rng_state_ = 0;  // xorshift64* state behind RandomHelper
+  // 1-in-32 sampling state for classifier-path latency/tracing. The flow-hit
+  // fast path is deliberately untouched: its telemetry is all aliases.
+  uint64_t telemetry_sample_ = 0;
+  bool trace_sample_active_ = false;
+  // Registry aliases onto the members above — declared last so they
+  // unregister before their sources are destroyed.
+  telemetry::ScopedMetricGroup metrics_;
 };
 
 }  // namespace para::filter

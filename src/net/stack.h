@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/base/status.h"
+#include "src/base/telemetry.h"
 #include "src/net/filter_hook.h"
 #include "src/net/headers.h"
 #include "src/net/pktbuf.h"
@@ -97,6 +98,10 @@ class ProtocolStack {
   FilterHook ingress_filter_;
   FilterHook egress_filter_;
   StackStats stats_;
+  // Aliases onto stats_ — declared last so they unregister first. The names
+  // are "net.stack.<host>.<field>" (per-instance, so two stacks in one test
+  // process do not collide).
+  telemetry::ScopedMetricGroup metrics_;
 };
 
 }  // namespace para::net

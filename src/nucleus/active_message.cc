@@ -7,6 +7,10 @@ namespace para::nucleus {
 ActiveMessageService::ActiveMessageService(VirtualMemoryService* vmem, EventService* events)
     : vmem_(vmem), events_(events) {
   PARA_CHECK(vmem != nullptr && events != nullptr);
+  metrics_.Counter("nucleus.am.sends", &stats_.sends);
+  metrics_.Counter("nucleus.am.deliveries", &stats_.deliveries);
+  metrics_.Counter("nucleus.am.dropped_full", &stats_.dropped_full);
+  metrics_.Counter("nucleus.am.dropped_no_handler", &stats_.dropped_no_handler);
 }
 
 Result<uint64_t> ActiveMessageService::CreateEndpoint(Context* context) {

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "src/base/status.h"
+#include "src/base/telemetry.h"
 #include "src/nucleus/event.h"
 #include "src/nucleus/vmem.h"
 #include "src/obj/object.h"
@@ -82,6 +83,8 @@ class ActiveMessageService : public obj::Object {
   std::map<uint64_t, Endpoint> endpoints_;
   uint64_t next_endpoint_ = 1;
   AmStats stats_;
+  // Aliases onto stats_ — declared last so they unregister first.
+  telemetry::ScopedMetricGroup metrics_;
 };
 
 }  // namespace para::nucleus

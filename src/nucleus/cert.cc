@@ -203,7 +203,15 @@ Result<Certificate> CertifierChain::Certify(const std::string& component_name, u
 }
 
 CertificationService::CertificationService(crypto::RsaPublicKey authority_key)
-    : authority_key_(std::move(authority_key)) {}
+    : authority_key_(std::move(authority_key)) {
+  metrics_.Counter("nucleus.cert.validations", &stats_.validations);
+  metrics_.Counter("nucleus.cert.accepted", &stats_.accepted);
+  metrics_.Counter("nucleus.cert.rejected_digest", &stats_.rejected_digest);
+  metrics_.Counter("nucleus.cert.rejected_signer", &stats_.rejected_signer);
+  metrics_.Counter("nucleus.cert.rejected_signature", &stats_.rejected_signature);
+  metrics_.Counter("nucleus.cert.rejected_flags", &stats_.rejected_flags);
+  metrics_.Counter("nucleus.cert.cache_hits", &stats_.cache_hits);
+}
 
 Status CertificationService::RegisterGrant(const DelegationGrant& grant) {
   crypto::Digest digest = crypto::Sha256::Hash(grant.SignedBytes());
@@ -218,6 +226,10 @@ Status CertificationService::RegisterGrant(const DelegationGrant& grant) {
 
 Status CertificationService::Validate(const Certificate& certificate,
                                       std::span<const uint8_t> code) const {
+  // Validation is a cold, milliseconds-scale path (RSA verify on a miss), so
+  // the span is always-on — it is the event the trace viewer uses to explain
+  // load-time stalls.
+  PARA_TRACE_SCOPE_ARG("nucleus.cert.validate", code.size());
   ++stats_.validations;
   // 1. Digest binding: the component must be byte-identical to what was
   //    certified. This is recomputed on every load — the tamper check is

@@ -26,6 +26,7 @@
 
 #include "src/base/random.h"
 #include "src/base/status.h"
+#include "src/base/telemetry.h"
 #include "src/crypto/rsa.h"
 #include "src/crypto/sha256.h"
 #include "src/obj/object.h"
@@ -176,6 +177,8 @@ class CertificationService : public obj::Object {
   // is re-checked on every call; only the delegation/signature work is
   // elided on a hit.
   mutable std::set<std::string> validated_;
+  // Aliases onto stats_ — declared last so they unregister first.
+  telemetry::ScopedMetricGroup metrics_;
 };
 
 // Digest over a component's code identity (code || name || version).

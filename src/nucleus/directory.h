@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "src/base/status.h"
+#include "src/base/telemetry.h"
 #include "src/nucleus/context.h"
 #include "src/nucleus/proxy.h"
 #include "src/obj/object.h"
@@ -44,7 +45,13 @@ struct DirectoryStats {
 
 class DirectoryService : public obj::Object {
  public:
-  explicit DirectoryService(ProxyEngine* proxies) : proxies_(proxies), root_(new Node) {}
+  explicit DirectoryService(ProxyEngine* proxies) : proxies_(proxies), root_(new Node) {
+    metrics_.Counter("nucleus.directory.lookups", &stats_.lookups);
+    metrics_.Counter("nucleus.directory.binds", &stats_.binds);
+    metrics_.Counter("nucleus.directory.proxy_binds", &stats_.proxy_binds);
+    metrics_.Counter("nucleus.directory.override_hits", &stats_.override_hits);
+    metrics_.Counter("nucleus.directory.interpositions", &stats_.interpositions);
+  }
 
   // Registers `object` (living in `owner`) at an absolute path like
   // "/shared/network". Intermediate directories are created. The directory
@@ -106,6 +113,8 @@ class DirectoryService : public obj::Object {
   ProxyEngine* proxies_;
   std::unique_ptr<Node> root_;
   DirectoryStats stats_;
+  // Aliases onto stats_ — declared last so they unregister first.
+  telemetry::ScopedMetricGroup metrics_;
 };
 
 }  // namespace para::nucleus

@@ -8,6 +8,9 @@ EventService::EventService(hw::Machine* machine, threads::PopupEngine* popup)
     : machine_(machine), popup_(popup), table_(kEventCount) {
   PARA_CHECK(machine != nullptr && popup != nullptr);
   machine_->irq().set_delivery_hook([this](int line) { Dispatch(IrqEvent(line), 0); });
+  metrics_.Counter("nucleus.events.raised", &stats_.raised);
+  metrics_.Counter("nucleus.events.dispatched", &stats_.dispatched);
+  metrics_.Counter("nucleus.events.unhandled", &stats_.unhandled);
 }
 
 Result<uint64_t> EventService::Register(EventNumber event, Context* context,
@@ -95,6 +98,14 @@ void EventService::RaiseTrap(EventNumber trap, uint64_t detail) {
 
 void EventService::Dispatch(EventNumber event, uint64_t detail) {
   ++stats_.raised;
+  if constexpr (telemetry::kEnabled) {
+    // 1-in-64 sampled instant: raw dispatch is a ~16 ns path, so the trace
+    // marker (a TSC read + ring store) cannot be always-on.
+    thread_local uint64_t sample_tick = 0;
+    if ((++sample_tick & 63) == 0) [[unlikely]] {
+      PARA_TRACE_INSTANT("nucleus.event.dispatch", event);
+    }
+  }
   EventSlots& slots = table_[event];
   if (slots.live == 0) {
     ++stats_.unhandled;

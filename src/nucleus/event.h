@@ -16,6 +16,7 @@
 
 #include "src/base/inline_function.h"
 #include "src/base/status.h"
+#include "src/base/telemetry.h"
 #include "src/hw/machine.h"
 #include "src/nucleus/context.h"
 #include "src/obj/object.h"
@@ -115,6 +116,8 @@ class EventService : public obj::Object {
   int dispatch_depth_ = 0;
   bool pending_compaction_ = false;
   EventStats stats_;
+  // Aliases onto stats_ — declared last so they unregister first.
+  telemetry::ScopedMetricGroup metrics_;
 };
 
 }  // namespace para::nucleus

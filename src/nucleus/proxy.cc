@@ -128,11 +128,37 @@ class ProxyObject : public obj::Object {
     return stub->record->proxy->Call(*stub->record, stub->slot, a0, a1, a2, a3);
   }
 
+  // Sampled latency/trace recorder for the cross-domain call path: a span
+  // plus a histogram sample on 1-in-32 calls, destructor-driven so every
+  // early return (marshalling failure, fault rejection) still closes the
+  // span.
+  struct SampledCallTrace {
+    bool on;
+    uint64_t t0 = 0;
+    SampledCallTrace(bool on_in, uint64_t slot) : on(on_in) {
+      if (on) {
+        telemetry::EmitTrace("nucleus.proxy.call", telemetry::TracePhase::kBegin, slot);
+        t0 = telemetry::TraceClock();
+      }
+    }
+    ~SampledCallTrace() {
+      if (on) {
+        if constexpr (telemetry::kEnabled) {
+          static telemetry::Histogram ticks =
+              telemetry::Registry::Get().histogram("nucleus.proxy.call_ticks");
+          ticks.Record(telemetry::TraceClock() - t0);
+        }
+        telemetry::EmitTrace("nucleus.proxy.call", telemetry::TracePhase::kEnd, 0);
+      }
+    }
+  };
+
   uint64_t Call(const IfaceRecord& record, size_t slot, uint64_t a0, uint64_t a1, uint64_t a2,
                 uint64_t a3) {
     ProxyEngine* engine = engine_;
     VirtualMemoryService* vmem = engine->vmem_;
     ++engine->stats_.calls;
+    SampledCallTrace trace(telemetry::kEnabled && (engine->stats_.calls & 31) == 0, slot);
 
     // Client-side marshalling goes through the software MMU so the client's
     // mapping state is honored: a bad mapping fails the call (error

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "src/base/status.h"
+#include "src/base/telemetry.h"
 #include "src/nucleus/vmem.h"
 #include "src/obj/object.h"
 
@@ -52,7 +53,12 @@ struct ProxyOptions {
 
 class ProxyEngine {
  public:
-  explicit ProxyEngine(VirtualMemoryService* vmem) : vmem_(vmem) {}
+  explicit ProxyEngine(VirtualMemoryService* vmem) : vmem_(vmem) {
+    metrics_.Counter("nucleus.proxy.calls", &stats_.calls);
+    metrics_.Counter("nucleus.proxy.faults", &stats_.faults);
+    metrics_.Counter("nucleus.proxy.context_switches", &stats_.context_switches);
+    metrics_.Counter("nucleus.proxy.payload_bytes", &stats_.payload_bytes);
+  }
 
   using Options = ProxyOptions;
 
@@ -73,6 +79,8 @@ class ProxyEngine {
   VirtualMemoryService* vmem_;
   ProxyStats stats_;
   Context* current_domain_ = nullptr;
+  // Aliases onto stats_ — declared last so they unregister first.
+  telemetry::ScopedMetricGroup metrics_;
 };
 
 }  // namespace para::nucleus

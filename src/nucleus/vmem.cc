@@ -12,6 +12,12 @@ VirtualMemoryService::VirtualMemoryService(size_t physical_pages)
       page_refcount_(physical_pages, 0) {
   // Context 0 is the kernel protection domain.
   contexts_.push_back(std::make_unique<Context>(next_context_id_++, "kernel", nullptr));
+  metrics_.Counter("nucleus.vmem.pages_allocated", &stats_.pages_allocated);
+  metrics_.Counter("nucleus.vmem.pages_freed", &stats_.pages_freed);
+  metrics_.Counter("nucleus.vmem.faults", &stats_.faults);
+  metrics_.Counter("nucleus.vmem.fault_handler_runs", &stats_.fault_handler_runs);
+  metrics_.Counter("nucleus.vmem.shared_mappings", &stats_.shared_mappings);
+  metrics_.Counter("nucleus.vmem.io_mappings", &stats_.io_mappings);
 }
 
 Context* VirtualMemoryService::CreateContext(std::string name, Context* parent) {

@@ -19,6 +19,7 @@
 
 #include "src/base/bitmap.h"
 #include "src/base/status.h"
+#include "src/base/telemetry.h"
 #include "src/hw/device.h"
 #include "src/nucleus/context.h"
 #include "src/obj/object.h"
@@ -156,6 +157,8 @@ class VirtualMemoryService : public obj::Object {
   std::vector<IoWindow> io_windows_;       // indexed by Pte::phys for io PTEs
   ContextId next_context_id_ = 0;
   VmemStats stats_;
+  // Aliases onto stats_ — declared last so they unregister first.
+  telemetry::ScopedMetricGroup metrics_;
 };
 
 }  // namespace para::nucleus

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "src/base/log.h"
+#include "src/base/telemetry.h"
 #include "src/sfi/isa.h"
 
 // The backend is x86-64-only by design (ROADMAP names it the reference
@@ -415,6 +416,13 @@ struct Fixup {
 
 Result<std::unique_ptr<const JitProgram>> JitCompile(const VerifiedProgram& program,
                                                      ExecMode mode) {
+  // Compiles are rare (lazy, cached per program x mode) and slow enough that
+  // an always-on span + counter costs nothing relative to the work.
+  PARA_TRACE_SCOPE_ARG("sfi.jit.compile", program.code.size());
+  if constexpr (telemetry::kEnabled) {
+    static telemetry::Counter compiles = telemetry::Registry::Get().counter("sfi.jit.compiles");
+    compiles.Inc();
+  }
   const bool sandboxed = mode == ExecMode::kSandboxed;
   Emitter e;
   e.buf.reserve(program.code.size() * 80 + 512);

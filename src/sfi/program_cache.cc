@@ -25,6 +25,14 @@ VerifiedProgramCache::VerifiedProgramCache(size_t capacity, size_t memory_budget
   PARA_CHECK(capacity > 0);
   PARA_CHECK(memory_budget > 0);
   entries_.reserve(capacity);
+  metrics_.Counter("sfi.program_cache.hits", &stats_.hits);
+  metrics_.Counter("sfi.program_cache.misses", &stats_.misses);
+  metrics_.Counter("sfi.program_cache.failures", &stats_.failures);
+  metrics_.Counter("sfi.program_cache.invalidations", &stats_.invalidations);
+  metrics_.Counter("sfi.program_cache.evictions", &stats_.evictions);
+  metrics_.Counter("sfi.program_cache.byte_evictions", &stats_.byte_evictions);
+  metrics_.Fn("sfi.program_cache.charged_bytes",
+              [this] { return static_cast<uint64_t>(charged_bytes_); });
 }
 
 std::string VerifiedProgramCache::KeyOf(const Program& program, VerifyOptions options) {
@@ -95,6 +103,7 @@ Result<std::shared_ptr<const VerifiedProgram>> VerifiedProgramCache::GetOrVerify
     return verified;
   }
 
+  PARA_TRACE_SCOPE_ARG("sfi.verify", program.code.size());
   auto verified = Verify(program, options);  // copies: the caller keeps its Program
   if (!verified.ok()) {
     ++stats_.failures;

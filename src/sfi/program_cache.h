@@ -14,6 +14,7 @@
 #include <unordered_map>
 
 #include "src/base/status.h"
+#include "src/base/telemetry.h"
 #include "src/sfi/verified_program.h"
 #include "src/sfi/verifier.h"
 
@@ -99,6 +100,8 @@ class VerifiedProgramCache {
   LruList lru_;  // front = most recently used
   std::unordered_map<std::string, LruList::iterator> entries_;
   ProgramCacheStats stats_;
+  // Registry aliases onto stats_; declared after it so they unregister first.
+  telemetry::ScopedMetricGroup metrics_;
 };
 
 }  // namespace para::sfi

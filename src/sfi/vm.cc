@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/base/log.h"
+#include "src/base/telemetry.h"
 #include "src/sfi/jit.h"
 
 // Threaded-code dispatch needs GNU labels-as-values; every supported
@@ -65,6 +66,34 @@ bool Vm::CallHostHelper(uint32_t slot, uint64_t* top) {
 }
 
 Result<uint64_t> Vm::Run(size_t method, uint64_t a0, uint64_t a1, uint64_t a2, uint64_t a3) {
+  if constexpr (telemetry::kEnabled) {
+    // One static guard + one relaxed per-thread store on every run; the
+    // expensive parts (TSC reads, a trace span carrying the resolved
+    // backend, the latency histogram) are sampled 1-in-64 using the run
+    // counter itself as the sequence number.
+    static struct {
+      telemetry::Counter runs = telemetry::Registry::Get().counter("sfi.vm.runs");
+      telemetry::Histogram ticks = telemetry::Registry::Get().histogram("sfi.vm.run_ticks");
+    } telem;
+    const uint64_t n = telem.runs.IncAndCount();
+    if ((n & 63) == 0) [[unlikely]] {
+      telemetry::EmitTrace("sfi.vm.run", telemetry::TracePhase::kBegin,
+                           static_cast<uint64_t>(backend_));
+      const uint64_t t0 = telemetry::TraceClock();
+      Result<uint64_t> result = RunDispatch(method, a0, a1, a2, a3);
+      telem.ticks.Record(telemetry::TraceClock() - t0);
+      // End arg carries the backend that actually served the run (a lazy
+      // JIT-compile failure flips backend_ inside RunDispatch).
+      telemetry::EmitTrace("sfi.vm.run", telemetry::TracePhase::kEnd,
+                           static_cast<uint64_t>(backend_));
+      return result;
+    }
+  }
+  return RunDispatch(method, a0, a1, a2, a3);
+}
+
+Result<uint64_t> Vm::RunDispatch(size_t method, uint64_t a0, uint64_t a1, uint64_t a2,
+                                 uint64_t a3) {
   if (method >= program_->entry_points.size()) {
     return Status(ErrorCode::kNotFound, "no such entry point");
   }

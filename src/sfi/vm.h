@@ -98,6 +98,10 @@ class Vm {
   template <bool kSandboxed>
   Result<uint64_t> RunImpl(size_t method, uint64_t a0, uint64_t a1, uint64_t a2, uint64_t a3);
 
+  // Run() minus the telemetry wrapper: entry-point check, lazy JIT resolve,
+  // and dispatch to the native code or the mode-specialized threaded loop.
+  Result<uint64_t> RunDispatch(size_t method, uint64_t a0, uint64_t a1, uint64_t a2, uint64_t a3);
+
   // Out-of-line body of kHostCall (slot lookup, null check, indirect call).
   // Keeping the indirect call outside RunImpl keeps the threaded dispatch
   // loop compact — an inline call site there perturbs register allocation

@@ -1,0 +1,247 @@
+// TelemetryObject exporter tests: the slot contract, the three render
+// formats, and a round-trip parse of the chrome://tracing JSON document with
+// a minimal in-test JSON reader (no external parser in the image).
+#include "src/components/telemetry_object.h"
+
+#include <cctype>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/base/telemetry.h"
+#include "src/components/interfaces.h"
+
+namespace para::components {
+namespace {
+
+// --- minimal JSON reader -------------------------------------------------
+// Just enough to round-trip the exporter's output: objects, arrays, strings
+// with \" and \\ and \uXXXX escapes, and numbers (kept as raw text).
+
+struct JsonValue {
+  enum Kind { kNull, kNumber, kString, kArray, kObject } kind = kNull;
+  std::string text;  // number literal or decoded string
+  std::vector<JsonValue> items;
+  std::vector<std::pair<std::string, JsonValue>> fields;
+
+  const JsonValue* Field(const std::string& name) const {
+    for (const auto& [key, value] : fields) {
+      if (key == name) return &value;
+    }
+    return nullptr;
+  }
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out) { return ParseValue(out) && (SkipWs(), pos_ == text_.size()); }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+  }
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_++];
+        if (esc == 'u') {
+          if (pos_ + 4 > text_.size()) return false;
+          const unsigned code = std::stoul(text_.substr(pos_, 4), nullptr, 16);
+          pos_ += 4;
+          *out += static_cast<char>(code);  // exporter only escapes < 0x20
+        } else {
+          *out += esc;  // \" \\ \/ — exporter emits no \n style escapes
+        }
+      } else {
+        *out += c;
+      }
+    }
+    return Consume('"');
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipWs();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '"') {
+      out->kind = JsonValue::kString;
+      return ParseString(&out->text);
+    }
+    if (c == '{') {
+      ++pos_;
+      out->kind = JsonValue::kObject;
+      SkipWs();
+      if (Consume('}')) return true;
+      do {
+        std::string key;
+        if (!ParseString(&key) || !Consume(':')) return false;
+        JsonValue value;
+        if (!ParseValue(&value)) return false;
+        out->fields.emplace_back(std::move(key), std::move(value));
+      } while (Consume(','));
+      return Consume('}');
+    }
+    if (c == '[') {
+      ++pos_;
+      out->kind = JsonValue::kArray;
+      SkipWs();
+      if (Consume(']')) return true;
+      do {
+        JsonValue value;
+        if (!ParseValue(&value)) return false;
+        out->items.push_back(std::move(value));
+      } while (Consume(','));
+      return Consume(']');
+    }
+    // Number (or bare literal): scan to the next structural character.
+    out->kind = JsonValue::kNumber;
+    out->text.clear();
+    while (pos_ < text_.size() && text_[pos_] != ',' && text_[pos_] != '}' && text_[pos_] != ']') {
+      out->text += text_[pos_++];
+    }
+    return !out->text.empty();
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+// -------------------------------------------------------------------------
+
+TEST(TelemetryObjectTest, ExportsSlotInterface) {
+  auto object = TelemetryObject::Create();
+  auto iface = object->GetInterface(TelemetryType()->name());
+  ASSERT_TRUE(iface.ok());
+
+  telemetry::Registry::Get().counter("para.test.obj.slot").Inc();
+  // Slot 0: metric count (owned + aliases; other suites' metrics included).
+  EXPECT_GE((*iface)->Invoke(0), 1u);
+  // Slot 3: render text, returns the byte length of the document.
+  const uint64_t text_len = (*iface)->Invoke(3, 0);
+  EXPECT_EQ(text_len, object->last_render().size());
+  EXPECT_NE(object->last_render().find("paramecium telemetry"), std::string::npos);
+  // Unknown render kind is a zero-length no-op.
+  EXPECT_EQ((*iface)->Invoke(3, 99), 0u);
+}
+
+TEST(TelemetryObjectTest, TextRenderListsMetricsAndHistograms) {
+  if constexpr (!telemetry::kEnabled) GTEST_SKIP() << "built with PARA_NO_TELEMETRY";
+  auto object = TelemetryObject::Create();
+  telemetry::Registry::Get().counter("para.test.obj.text").Add(41);
+  telemetry::Histogram hist = telemetry::Registry::Get().histogram("para.test.obj.texthist");
+  hist.Record(6);  // bucket 3 ([4,7])
+  const std::string text = object->RenderText();
+  EXPECT_NE(text.find("para.test.obj.text"), std::string::npos);
+  EXPECT_NE(text.find("para.test.obj.texthist"), std::string::npos);
+  EXPECT_NE(text.find("le 2^3 -1 : 1"), std::string::npos);
+}
+
+TEST(TelemetryObjectTest, PrometheusRenderEmitsTypedSeries) {
+  if constexpr (!telemetry::kEnabled) GTEST_SKIP() << "built with PARA_NO_TELEMETRY";
+  auto object = TelemetryObject::Create();
+  telemetry::Registry::Get().counter("para.test.obj.prom").Add(7);
+  telemetry::Histogram hist = telemetry::Registry::Get().histogram("para.test.obj.promhist");
+  hist.Record(3);
+  hist.Record(5);
+  const std::string prom = object->RenderPrometheus();
+  // Dots become underscores; values and types come through.
+  EXPECT_NE(prom.find("# TYPE para_para_test_obj_prom counter"), std::string::npos);
+  EXPECT_NE(prom.find("para_para_test_obj_prom 7"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE para_para_test_obj_promhist histogram"), std::string::npos);
+  // Cumulative buckets: le="3" covers the 3, le="7" both samples.
+  EXPECT_NE(prom.find("para_para_test_obj_promhist_bucket{le=\"3\"} 1"), std::string::npos);
+  EXPECT_NE(prom.find("para_para_test_obj_promhist_bucket{le=\"7\"} 2"), std::string::npos);
+  EXPECT_NE(prom.find("para_para_test_obj_promhist_bucket{le=\"+Inf\"} 2"), std::string::npos);
+  EXPECT_NE(prom.find("para_para_test_obj_promhist_sum 8"), std::string::npos);
+  EXPECT_NE(prom.find("para_para_test_obj_promhist_count 2"), std::string::npos);
+}
+
+TEST(TelemetryObjectTest, TraceJsonRoundTripsThroughAParser) {
+  if constexpr (!telemetry::kEnabled) GTEST_SKIP() << "built with PARA_NO_TELEMETRY";
+  auto object = TelemetryObject::Create();
+  telemetry::Registry::Get().ClearTrace();
+  {
+    PARA_TRACE_SCOPE_ARG("para.test.obj.span", 11);
+    PARA_TRACE_INSTANT("para.test.obj.instant", 5);
+  }
+
+  const std::string json = object->RenderTraceJson();
+  JsonValue doc;
+  ASSERT_TRUE(JsonReader(json).Parse(&doc)) << json;
+  ASSERT_EQ(doc.kind, JsonValue::kObject);
+  const JsonValue* events = doc.Field("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->kind, JsonValue::kArray);
+
+  bool saw_span = false;
+  bool saw_instant = false;
+  for (const JsonValue& event : events->items) {
+    ASSERT_EQ(event.kind, JsonValue::kObject);
+    const JsonValue* name = event.Field("name");
+    const JsonValue* ph = event.Field("ph");
+    ASSERT_NE(name, nullptr);
+    ASSERT_NE(ph, nullptr);
+    if (name->text == "para.test.obj.span") {
+      saw_span = true;
+      // Paired begin/end became one complete event with a duration.
+      EXPECT_EQ(ph->text, "X");
+      EXPECT_NE(event.Field("dur"), nullptr);
+      const JsonValue* args = event.Field("args");
+      ASSERT_NE(args, nullptr);
+      ASSERT_NE(args->Field("arg"), nullptr);
+      EXPECT_EQ(args->Field("arg")->text, "11");
+    } else if (name->text == "para.test.obj.instant") {
+      saw_instant = true;
+      EXPECT_EQ(ph->text, "i");
+    }
+  }
+  EXPECT_TRUE(saw_span);
+  EXPECT_TRUE(saw_instant);
+}
+
+TEST(TelemetryObjectTest, UnmatchedBeginsAreDroppedNotEmittedBroken) {
+  if constexpr (!telemetry::kEnabled) GTEST_SKIP() << "built with PARA_NO_TELEMETRY";
+  auto object = TelemetryObject::Create();
+  telemetry::Registry::Get().ClearTrace();
+  // A begin with no end (as after ring wraparound) must not corrupt the
+  // document or appear as a complete event.
+  telemetry::EmitTrace("para.test.obj.orphan", telemetry::TracePhase::kBegin, 1);
+  const std::string json = object->RenderTraceJson();
+  JsonValue doc;
+  ASSERT_TRUE(JsonReader(json).Parse(&doc)) << json;
+  EXPECT_EQ(json.find("para.test.obj.orphan"), std::string::npos);
+}
+
+TEST(TelemetryObjectTest, ResetSlotClearsMetricsAndTrace) {
+  if constexpr (!telemetry::kEnabled) GTEST_SKIP() << "built with PARA_NO_TELEMETRY";
+  auto object = TelemetryObject::Create();
+  auto iface = object->GetInterface(TelemetryType()->name());
+  ASSERT_TRUE(iface.ok());
+  telemetry::Counter counter = telemetry::Registry::Get().counter("para.test.obj.reset");
+  counter.Add(9);
+  PARA_TRACE_INSTANT("para.test.obj.resetmark", 1);
+  ASSERT_GE((*iface)->Invoke(2), 1u);  // trace count sees the instant
+  (*iface)->Invoke(1);                 // reset
+  EXPECT_EQ(counter.Value(), 0u);
+  EXPECT_EQ((*iface)->Invoke(2), 0u);
+}
+
+}  // namespace
+}  // namespace para::components
