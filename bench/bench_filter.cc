@@ -341,6 +341,126 @@ void BM_FilterProcChainTrusted(benchmark::State& state) {
   BM_FilterProcEngine(state, kProcChainRules, /*certified=*/true);
 }
 
+// --- batched verdicts: amortized VM entry ------------------------------------
+// The same 256-rule certified-trusted prefix/range set, evaluated one packet
+// at a time vs in EvaluateBatch bursts. Flow tracking is off so every packet
+// runs the classifier — the path batching amortizes (descriptor marshal up
+// front, one Vm::Burst per chunk: JitContext setup and the native prologue
+// paid once per burst instead of once per packet). Compare per-item times:
+// the acceptance bar is BM_FilterBatch/32 ≥1.5× faster per packet than
+// BM_FilterBatchSingle.
+
+struct BatchBenchSetup {
+  std::unique_ptr<PacketFilter> filter;
+  std::vector<std::vector<uint8_t>> payloads;
+  std::vector<net::PacketView> views;
+};
+
+BatchBenchSetup MakeBatchBench(size_t batch, size_t shards) {
+  BatchBenchSetup setup;
+  FilterConfig config;
+  config.shards = shards;
+  config.track_flows = false;  // every packet exercises the classifier
+  auto filter = PacketFilter::Create(std::move(config));
+  PARA_CHECK(filter.ok());
+  auto& fx = CryptoFixture::Get();
+  PARA_CHECK(
+      (*filter)->LoadCertified(PrefixRangeRules(256), *fx.signer, *fx.service).ok());
+  setup.filter = std::move(*filter);
+  setup.payloads.reserve(batch);
+  setup.views.reserve(batch);
+  for (size_t i = 0; i < batch; ++i) {
+    auto& payload = setup.payloads.emplace_back(64, uint8_t{0x42});
+    net::PacketView view = BenchPacket(payload);
+    view.src_port = static_cast<net::Port>(4000 + i);  // distinct conversations
+    setup.views.push_back(view);
+  }
+  return setup;
+}
+
+void BM_FilterBatch(benchmark::State& state) {
+  auto setup = MakeBatchBench(static_cast<size_t>(state.range(0)), /*shards=*/1);
+  std::vector<net::FilterDecision> decisions(setup.views.size());
+  for (auto _ : state) {
+    setup.filter->EvaluateBatch(setup.views, net::FilterDirection::kIngress, decisions);
+    benchmark::DoNotOptimize(decisions.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(setup.views.size()));
+  state.counters["jit"] =
+      setup.filter->exec_backend() == sfi::VmBackend::kJit ? 1.0 : 0.0;
+}
+
+// The single-Evaluate comparison row over the identical packet sequence.
+void BM_FilterBatchSingle(benchmark::State& state) {
+  auto setup = MakeBatchBench(static_cast<size_t>(state.range(0)), /*shards=*/1);
+  for (auto _ : state) {
+    for (const auto& view : setup.views) {
+      auto decision = setup.filter->Evaluate(view, net::FilterDirection::kIngress);
+      benchmark::DoNotOptimize(decision);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(setup.views.size()));
+  state.counters["jit"] =
+      setup.filter->exec_backend() == sfi::VmBackend::kJit ? 1.0 : 0.0;
+}
+
+// --- sharded data plane: per-RX-queue scaling --------------------------------
+// N benchmark threads drive one filter with N shards, each thread feeding
+// bursts whose conversations pre-steer to its own shard — the one-queue-per-
+// shard deployment, with hardware RSS stood in for by SteerShard. Real-time
+// items/s across the rows is the scaling curve (acceptance: 4 shards ≥3×
+// one shard).
+
+struct ShardedBenchState {
+  std::unique_ptr<PacketFilter> filter;
+  std::vector<std::vector<uint8_t>> payloads;
+  std::vector<std::vector<net::PacketView>> per_shard;
+};
+ShardedBenchState g_sharded;  // created in Setup, before threads spawn
+
+void ShardedSetup(const benchmark::State& state) {
+  const auto shards = static_cast<size_t>(state.threads());
+  FilterConfig config;
+  config.shards = shards;
+  config.track_flows = false;
+  auto filter = PacketFilter::Create(std::move(config));
+  PARA_CHECK(filter.ok());
+  auto& fx = CryptoFixture::Get();
+  PARA_CHECK(
+      (*filter)->LoadCertified(PrefixRangeRules(256), *fx.signer, *fx.service).ok());
+  g_sharded.filter = std::move(*filter);
+  g_sharded.per_shard.assign(shards, {});
+  constexpr size_t kBurst = 32;
+  uint32_t salt = 0;
+  for (size_t s = 0; s < shards; ++s) {
+    while (g_sharded.per_shard[s].size() < kBurst) {
+      auto& payload = g_sharded.payloads.emplace_back(64, uint8_t{0x42});
+      net::PacketView view = BenchPacket(payload);
+      view.src_ip = 0x0A000001 + salt++;
+      if (g_sharded.filter->SteerShard(view) == s) {
+        g_sharded.per_shard[s].push_back(view);
+      } else {
+        g_sharded.payloads.pop_back();
+      }
+    }
+  }
+}
+
+void ShardedTeardown(const benchmark::State&) { g_sharded = ShardedBenchState{}; }
+
+void BM_FilterSharded(benchmark::State& state) {
+  PacketFilter& filter = *g_sharded.filter;
+  const auto& mine = g_sharded.per_shard[static_cast<size_t>(state.thread_index())];
+  std::vector<net::FilterDecision> decisions(mine.size());
+  for (auto _ : state) {
+    filter.EvaluateBatch(mine, net::FilterDirection::kIngress, decisions);
+    benchmark::DoNotOptimize(decisions.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(mine.size()));
+  state.counters["shards"] = benchmark::Counter(static_cast<double>(state.threads()),
+                                                benchmark::Counter::kAvgThreads);
+}
+
 // --- hot reload cost ---------------------------------------------------------
 
 void BM_FilterReloadSandboxed(benchmark::State& state) {
@@ -392,6 +512,16 @@ BENCHMARK(BM_FilterRateLimitSandboxed);
 BENCHMARK(BM_FilterRateLimitTrusted);
 BENCHMARK(BM_FilterProcChainSandboxed);
 BENCHMARK(BM_FilterProcChainTrusted);
+BENCHMARK(BM_FilterBatch)->Arg(8)->Arg(32)->Arg(64);
+BENCHMARK(BM_FilterBatchSingle)->Arg(32);
+BENCHMARK(BM_FilterSharded)
+    ->Setup(ShardedSetup)
+    ->Teardown(ShardedTeardown)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
 BENCHMARK(BM_FilterReloadSandboxed)->Arg(16)->Arg(256);
 BENCHMARK(BM_FilterReloadCertified)->Arg(16)->Arg(256);
 

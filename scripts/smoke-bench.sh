@@ -120,7 +120,7 @@ FILTER_BASELINE="bench-baseline/BENCH_filter_after.json"
 if [[ -f "${FILTER_BASELINE}" ]] && command -v python3 >/dev/null 2>&1 &&
    grep -q BM_FilterTrustedRange "${FILTER_BASELINE}"; then
   "${BUILD_DIR}/bench/bench_filter" \
-    --benchmark_filter='^(BM_FilterTrustedRange/256|BM_FilterEngineFlowHit/16|BM_FilterCalibrate)$' \
+    --benchmark_filter='^(BM_FilterTrustedRange/256|BM_FilterEngineFlowHit/16|BM_FilterBatch/32|BM_FilterCalibrate)$' \
     --benchmark_repetitions=5 \
     --benchmark_out="${SMOKE_FILTER_JSON}" --benchmark_out_format=json >/dev/null
   # 1.5x: the trusted threaded loop is code-layout-sensitive (an unrelated
@@ -139,6 +139,16 @@ if [[ -f "${FILTER_BASELINE}" ]] && command -v python3 >/dev/null 2>&1 &&
       "BM_FilterEngineFlowHit/16" BM_FilterCalibrate 1.05
   else
     echo "smoke-bench: no-chain kPass gate skipped (row missing from baseline)"
+  fi
+  # 1.25x: the batched-verdict path (one Vm::Burst per chunk, descriptors
+  # marshalled up front). Regressing this undoes the amortized-JIT-entry win
+  # the sharded data plane exists for; the row is far less layout-sensitive
+  # than the single-packet trusted loop, so the tighter limit holds.
+  if grep -q "BM_FilterBatch/32" "${FILTER_BASELINE}"; then
+    compare_gate "${FILTER_BASELINE}" "${SMOKE_FILTER_JSON}" \
+      "BM_FilterBatch/32" BM_FilterCalibrate 1.25
+  else
+    echo "smoke-bench: batch gate skipped (row missing from baseline)"
   fi
 else
   echo "smoke-bench: filter range gate skipped (no baseline or no python3)"

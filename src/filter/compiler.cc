@@ -733,31 +733,6 @@ Result<CompiledFilter> CompileRules(const RuleSet& rules, CompileOptions options
   return out;
 }
 
-bool WritePacketDescriptor(const net::PacketView& view, std::span<uint8_t> memory,
-                           size_t payload_bytes) {
-  if (memory.size() < kDescriptorBytes) {
-    return false;
-  }
-  uint8_t* base = memory.data();
-  uint32_t src = view.src_ip;
-  uint32_t dst = view.dst_ip;
-  uint16_t sport = view.src_port;
-  uint16_t dport = view.dst_port;
-  std::memcpy(base + kOffSrcIp, &src, 4);
-  std::memcpy(base + kOffDstIp, &dst, 4);
-  std::memcpy(base + kOffSrcPort, &sport, 2);
-  std::memcpy(base + kOffDstPort, &dport, 2);
-  base[kOffProto] = view.proto;
-  base[kOffTtl] = view.ttl;
-  uint64_t len = view.payload.size();
-  std::memcpy(base + kOffPayloadLen, &len, 8);
-  size_t copy = std::min({payload_bytes, view.payload.size(), kMaxPayloadCapture});
-  if (copy > 0) {
-    std::memcpy(base + kOffPayload, view.payload.data(), copy);
-  }
-  return true;
-}
-
 uint64_t NativeMatch(const RuleSet& rules, const net::PacketView& view) {
   uint16_t chains_assigned = 0;
   for (size_t i = 0; i < rules.rules.size(); ++i) {

@@ -26,7 +26,10 @@
 #ifndef PARAMECIUM_SRC_FILTER_COMPILER_H_
 #define PARAMECIUM_SRC_FILTER_COMPILER_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <cstring>
+#include <span>
 
 #include "src/base/status.h"
 #include "src/filter/rule.h"
@@ -111,9 +114,34 @@ Result<CompiledFilter> CompileRules(const RuleSet& rules, CompileOptions options
 // Marshals `view` into the descriptor region of `memory` (the VM's data
 // memory). `payload_bytes` bounds how much payload is copied (pass
 // CompiledFilter::payload_bytes_needed). Returns false if `memory` is too
-// small to hold the descriptor.
-bool WritePacketDescriptor(const net::PacketView& view, std::span<uint8_t> memory,
-                           size_t payload_bytes = kMaxPayloadCapture);
+// small to hold the descriptor. Inline: this is the per-packet marshal on
+// both the single-Evaluate and batched data-plane hot paths, and rule sets
+// without payload predicates (payload_bytes == 0) fold the capture copy
+// away entirely at the call site.
+inline bool WritePacketDescriptor(const net::PacketView& view, std::span<uint8_t> memory,
+                                  size_t payload_bytes = kMaxPayloadCapture) {
+  if (memory.size() < kDescriptorBytes) {
+    return false;
+  }
+  uint8_t* base = memory.data();
+  uint32_t src = view.src_ip;
+  uint32_t dst = view.dst_ip;
+  uint16_t sport = view.src_port;
+  uint16_t dport = view.dst_port;
+  std::memcpy(base + kOffSrcIp, &src, 4);
+  std::memcpy(base + kOffDstIp, &dst, 4);
+  std::memcpy(base + kOffSrcPort, &sport, 2);
+  std::memcpy(base + kOffDstPort, &dport, 2);
+  base[kOffProto] = view.proto;
+  base[kOffTtl] = view.ttl;
+  uint64_t len = view.payload.size();
+  std::memcpy(base + kOffPayloadLen, &len, 8);
+  size_t copy = std::min({payload_bytes, view.payload.size(), kMaxPayloadCapture});
+  if (copy > 0) {
+    std::memcpy(base + kOffPayload, view.payload.data(), copy);
+  }
+  return true;
+}
 
 // Host-native evaluation of the same rule semantics (first match wins),
 // returning the same encoding as the compiled classifier.

@@ -1,5 +1,10 @@
 #include "src/filter/filter.h"
 
+#include <algorithm>
+#include <bit>
+#include <cstdlib>
+#include <optional>
+
 #include "src/base/log.h"
 #include "src/sfi/verifier.h"
 
@@ -9,37 +14,85 @@ using net::FilterDecision;
 using net::FilterDirection;
 using net::FilterVerdict;
 
+namespace {
+
+// Shard count when FilterConfig::shards is 0: the PARA_FILTER_SHARDS
+// environment variable (the CI sharded leg sets it), defaulting to 1.
+// Malformed or out-of-range values fall back to 1 rather than failing the
+// filter into existence.
+size_t DefaultShardCount() {
+  const char* env = std::getenv("PARA_FILTER_SHARDS");
+  if (env == nullptr || *env == '\0') {
+    return 1;
+  }
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0' || v == 0 || v > kMaxFilterShards) {
+    return 1;
+  }
+  return static_cast<size_t>(v);
+}
+
+// Seed spreader for per-shard RNG streams (splitmix64 finalizer).
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
 const obj::TypeInfo* FilterType() {
   static const obj::TypeInfo type("paramecium.net.filter", 1,
                                   {"stats", "rule_count", "mode", "flow_count"});
   return &type;
 }
 
-PacketFilter::PacketFilter(FilterConfig config)
-    : config_(std::move(config)),
-      flows_(config_.flow_capacity, config_.clock, config_.flow_ttl),
-      // xorshift64* needs a non-zero state; fold a fixed odd constant in for
-      // callers that zero the seed.
-      rng_state_(config_.proc_seed != 0 ? config_.proc_seed : 0x2545F4914F6CDD1Dull) {}
+PacketFilter::PacketFilter(FilterConfig config) : config_(std::move(config)) {
+  const size_t n = config_.shards;
+  // Total capacity splits evenly; the ceiling keeps a 1-shard filter exactly
+  // at the configured capacity and never rounds a shard down to zero.
+  const size_t per_shard_capacity = (config_.flow_capacity + n - 1) / n;
+  // xorshift64* needs a non-zero state; fold a fixed odd constant in for
+  // callers that zero the seed. Shard 0 keeps the exact legacy stream (the
+  // single-shard differential tests depend on it); further shards derive
+  // statistically independent streams from the same seed.
+  const uint64_t base = config_.proc_seed != 0 ? config_.proc_seed : 0x2545F4914F6CDD1Dull;
+  shards_.reserve(n);
+  for (size_t s = 0; s < n; ++s) {
+    uint64_t seed = s == 0 ? base : SplitMix64(base + 0x9E3779B97F4A7C15ull * s);
+    if (seed == 0) {
+      seed = 0x2545F4914F6CDD1Dull;
+    }
+    shards_.push_back(std::make_unique<Shard>(this, s, per_shard_capacity, seed));
+  }
+}
 
 uint64_t PacketFilter::NowHelper(void* ctx, uint64_t) {
-  auto* self = static_cast<PacketFilter*>(ctx);
+  auto* shard = static_cast<Shard*>(ctx);
+  PacketFilter* self = shard->owner;
   if (self->config_.clock != nullptr) {
     return self->config_.clock->now();
   }
-  // No clock configured: fall back to the evaluation counter, which at least
-  // is deterministic and monotonic (a ratelimit procedure then only ever
-  // grants its initial burst — real rates need a real clock).
-  return self->stats_.evaluated;
+  // No clock configured: fall back to the evaluation counter — summed across
+  // shards so the value is still monotonic under sharding — which at least
+  // is deterministic (a ratelimit procedure then only ever grants its
+  // initial burst; real rates need a real clock).
+  uint64_t evaluated = 0;
+  for (const std::unique_ptr<Shard>& s : self->shards_) {
+    evaluated += s->stats.evaluated;
+  }
+  return evaluated;
 }
 
 uint64_t PacketFilter::RandomHelper(void* ctx, uint64_t modulus) {
-  auto* self = static_cast<PacketFilter*>(ctx);
-  uint64_t x = self->rng_state_;
+  auto* shard = static_cast<Shard*>(ctx);
+  uint64_t x = shard->rng_state;
   x ^= x >> 12;
   x ^= x << 25;
   x ^= x >> 27;
-  self->rng_state_ = x;
+  shard->rng_state = x;
   uint64_t value = x * 0x2545F4914F6CDD1Dull;
   return modulus == 0 ? 0 : value % modulus;
 }
@@ -48,10 +101,17 @@ Result<std::unique_ptr<PacketFilter>> PacketFilter::Create(FilterConfig config) 
   if (config.flow_capacity == 0) {
     return Status(ErrorCode::kInvalidArgument, "flow table needs capacity");
   }
+  if (config.shards == 0) {
+    config.shards = DefaultShardCount();
+  }
+  if (config.shards > kMaxFilterShards) {
+    return Status(ErrorCode::kInvalidArgument, "too many filter shards");
+  }
   auto f = std::unique_ptr<PacketFilter>(new PacketFilter(std::move(config)));
   PARA_RETURN_IF_ERROR(f->Load(RuleSet{}));  // empty set, default pass
-  f->stats_.reloads = 0;                     // the bootstrap load is not a reload
-  f->epoch_ = 0;
+  f->shards_[0]->stats.reloads = 0;          // the bootstrap load is not a reload
+  f->epoch_.store(0, std::memory_order_relaxed);
+  f->LiveGen()->install_epoch = 0;
 
   obj::Interface iface(FilterType(), f.get());
   iface.SetSlot(0, obj::Thunk<PacketFilter, &PacketFilter::StatsSlot>());
@@ -66,40 +126,44 @@ Result<std::unique_ptr<PacketFilter>> PacketFilter::Create(FilterConfig config) 
 void PacketFilter::RegisterMetrics() {
   if constexpr (!telemetry::kEnabled) return;
   const std::string prefix = "filter." + config_.name + ".";
-  // Slot-order sources, index-matched to kFilterStatsSlotNames. The aliases
-  // read the same fields StatsSlot serves, so the numbered control interface
-  // and the registry can never disagree.
-  const uint64_t* slot_sources[] = {
-      &stats_.evaluated,         &stats_.pass,           &stats_.drop,
-      &stats_.reject,            &stats_.proc_invocations, &stats_.flow_hits,
-      &stats_.reloads,           &stats_.events_raised,  &stats_.vm_faults,
-      &stats_.flow_hits_reverse, &stats_.descriptor_faults, &stats_.flow_reevaluations,
-      &stats_.proc_blocks,       &stats_.proc_faults,
-  };
-  static_assert(std::size(slot_sources) + 2 == std::size(kFilterStatsSlotNames),
-                "slots 14/15 are VM-derived; everything else must be a stats_ field");
-  for (size_t i = 0; i < std::size(slot_sources); ++i) {
-    metrics_.Counter(prefix + std::string(kFilterStatsSlotNames[i]), slot_sources[i]);
+  // Every slot goes through StatsSlot, which merges shard counters at
+  // snapshot time — the numbered control interface and the registry can
+  // never disagree. (Raw-pointer aliases would register one per shard under
+  // suffixed names; a closure merges instead.)
+  for (size_t i = 0; i < std::size(kFilterStatsSlotNames); ++i) {
+    metrics_.Fn(prefix + std::string(kFilterStatsSlotNames[i]),
+                [this, i] { return StatsSlot(i, 0, 0, 0); },
+                i == 14 ? telemetry::MetricKind::kGauge : telemetry::MetricKind::kCounter);
   }
-  // Slots 14/15 read through loaded_, which a hot reload swaps — closures,
-  // not pointers.
-  metrics_.Fn(prefix + std::string(kFilterStatsSlotNames[14]),
-              [this] { return loaded_->vm.backend() == sfi::VmBackend::kJit ? uint64_t{1} : 0; },
+  struct FlowField {
+    const char* name;
+    uint64_t FlowTableStats::*field;
+  };
+  static constexpr FlowField kFlowFields[] = {
+      {"flow.hits", &FlowTableStats::hits},
+      {"flow.reverse_hits", &FlowTableStats::reverse_hits},
+      {"flow.misses", &FlowTableStats::misses},
+      {"flow.inserts", &FlowTableStats::inserts},
+      {"flow.evictions", &FlowTableStats::evictions},
+      {"flow.expirations", &FlowTableStats::expirations},
+      {"flow.reorientations", &FlowTableStats::reorientations},
+  };
+  for (const FlowField& ff : kFlowFields) {
+    metrics_.Fn(prefix + ff.name,
+                [this, field = ff.field] {
+                  uint64_t sum = 0;
+                  for (const std::unique_ptr<Shard>& s : shards_) {
+                    sum += s->flows.stats().*field;
+                  }
+                  return sum;
+                },
+                telemetry::MetricKind::kCounter);
+  }
+  metrics_.Fn(prefix + "flow.live", [this] { return flow_count(); },
               telemetry::MetricKind::kGauge);
-  metrics_.Fn(prefix + std::string(kFilterStatsSlotNames[15]),
-              [this] { return loaded_->vm.stats().jit_runs; },
-              telemetry::MetricKind::kCounter);
-  const FlowTableStats& fs = flows_.stats();
-  metrics_.Counter(prefix + "flow.hits", &fs.hits);
-  metrics_.Counter(prefix + "flow.reverse_hits", &fs.reverse_hits);
-  metrics_.Counter(prefix + "flow.misses", &fs.misses);
-  metrics_.Counter(prefix + "flow.inserts", &fs.inserts);
-  metrics_.Counter(prefix + "flow.evictions", &fs.evictions);
-  metrics_.Counter(prefix + "flow.expirations", &fs.expirations);
-  metrics_.Counter(prefix + "flow.reorientations", &fs.reorientations);
-  metrics_.Fn(prefix + "flow.live", [this] { return static_cast<uint64_t>(flows_.size()); },
+  metrics_.Fn(prefix + "rules", [this] { return static_cast<uint64_t>(LiveGen()->rule_count); },
               telemetry::MetricKind::kGauge);
-  metrics_.Fn(prefix + "rules", [this] { return static_cast<uint64_t>(loaded_->rule_count); },
+  metrics_.Fn(prefix + "shards", [this] { return static_cast<uint64_t>(shards_.size()); },
               telemetry::MetricKind::kGauge);
 }
 
@@ -117,21 +181,27 @@ Result<std::shared_ptr<const sfi::VerifiedProgram>> PacketFilter::VerifyProgram(
       std::make_shared<sfi::VerifiedProgram>(std::move(verified)));
 }
 
-Result<std::vector<PacketFilter::ProcChain>> PacketFilter::InstantiateChains(
+Result<std::vector<std::vector<PacketFilter::ProcChain>>> PacketFilter::InstantiateChains(
     const CompiledFilter& compiled, sfi::ExecMode mode, nucleus::Certifier* certifier,
     const nucleus::CertificationService* service) {
   const RuleProcRegistry& registry = config_.procs != nullptr ? *config_.procs : BuiltIns();
-  std::vector<ProcChain> chains;
-  chains.reserve(compiled.chains.size());
+  const size_t nshards = shards_.size();
+  std::vector<std::vector<ProcChain>> per_shard(nshards);
+  for (std::vector<ProcChain>& chains : per_shard) {
+    chains.reserve(compiled.chains.size());
+  }
   uint16_t ordinal = 0;
   for (const std::vector<RuleProcSpec>& specs : compiled.chains) {
-    ProcChain chain;
-    chain.reserve(specs.size());
+    std::vector<ProcChain> chain(nshards);
     for (const RuleProcSpec& spec : specs) {
       if (ordinal >= 0x7FF) {
         // The event encoding carries the procedure id in 11 bits.
         return Status(ErrorCode::kResourceExhausted, "too many procedure instances");
       }
+      // Generate/verify/certify ONCE per spec: shards share the verified
+      // (and certified) artifact and differ only in VM state. Ordinals are
+      // identical across shards, so event details agree wherever the packet
+      // steered.
       PARA_ASSIGN_OR_RETURN(sfi::Program program, registry.Generate(spec));
       PARA_ASSIGN_OR_RETURN(std::shared_ptr<const sfi::VerifiedProgram> verified,
                             VerifyProgram(program));
@@ -140,35 +210,70 @@ Result<std::vector<PacketFilter::ProcChain>> PacketFilter::InstantiateChains(
         // trusted as its least-trusted link, so there is no blanket grant.
         PARA_ASSIGN_OR_RETURN(
             nucleus::Certificate cert,
-            certifier->Certify(config_.name + "/" + spec.name, epoch_ + 1,
+            certifier->Certify(config_.name + "/" + spec.name, epoch() + 1,
                                verified->identity(), nucleus::kCertKernelEligible,
-                               /*now=*/epoch_ + 1));
+                               /*now=*/epoch() + 1));
         PARA_RETURN_IF_ERROR(service->ValidateForKernel(cert, verified->identity()));
       }
-      auto inst = std::make_unique<ProcInstance>(spec, ++ordinal, std::move(verified), mode);
-      // One fuel budget per invocation: Run() works on a copy, so setting it
-      // once here bounds every packet's procedure run.
-      inst->vm.set_fuel(config_.proc_fuel);
-      inst->vm.SetHostHelper(kProcHelperNow, &PacketFilter::NowHelper, this);
-      inst->vm.SetHostHelper(kProcHelperRandom, &PacketFilter::RandomHelper, this);
-      chain.push_back(std::move(inst));
+      ++ordinal;
+      for (size_t s = 0; s < nshards; ++s) {
+        auto inst = std::make_unique<ProcInstance>(spec, ordinal, verified, mode);
+        // One fuel budget per invocation: Run() works on a copy, so setting
+        // it once here bounds every packet's procedure run.
+        inst->vm.set_fuel(config_.proc_fuel);
+        inst->vm.SetHostHelper(kProcHelperNow, &PacketFilter::NowHelper, shards_[s].get());
+        inst->vm.SetHostHelper(kProcHelperRandom, &PacketFilter::RandomHelper,
+                               shards_[s].get());
+        chain[s].push_back(std::move(inst));
+      }
     }
-    chains.push_back(std::move(chain));
+    for (size_t s = 0; s < nshards; ++s) {
+      per_shard[s].push_back(std::move(chain[s]));
+    }
   }
-  return chains;
+  return per_shard;
 }
 
 Status PacketFilter::Install(const CompiledFilter& compiled,
                              std::shared_ptr<const sfi::VerifiedProgram> program,
-                             std::vector<ProcChain> chains, sfi::ExecMode mode) {
-  auto loaded = std::make_unique<LoadedProgram>(std::move(program), mode);
-  loaded->rule_count = compiled.rule_count;
-  loaded->payload_bytes_needed = compiled.payload_bytes_needed;
-  loaded->backend = compiled.backend;
-  loaded->chains = std::move(chains);
-  loaded_ = std::move(loaded);
-  ++epoch_;
-  ++stats_.reloads;
+                             std::vector<std::vector<ProcChain>> chains, sfi::ExecMode mode) {
+  auto gen = std::make_unique<LoadedProgram>();
+  gen->program = std::move(program);
+  gen->rule_count = compiled.rule_count;
+  gen->payload_bytes_needed = compiled.payload_bytes_needed;
+  gen->backend = compiled.backend;
+  gen->shards.reserve(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    auto exec = std::make_unique<ShardExec>(gen->program.get(), mode);
+    exec->chains = std::move(chains[s]);
+    // Provision the descriptor-slot region BEFORE publication: batch chunks
+    // re-base guest address 0 onto slots [0, kMaxFilterBatch *
+    // kFilterBatchSlot). The size keeps the VM's power-of-two-plus-slack
+    // memory invariant.
+    if (exec->vm.memory().size() < kMaxFilterBatch * kFilterBatchSlot + 8) {
+      exec->vm.memory().resize(kMaxFilterBatch * kFilterBatchSlot + 8, 0);
+    }
+    gen->shards.push_back(std::move(exec));
+  }
+
+  std::lock_guard<std::mutex> lock(reload_mu_);
+  const uint32_t next = epoch_.load(std::memory_order_relaxed) + 1;
+  gen->install_epoch = next;
+  LoadedProgram* raw = gen.get();
+  LoadedProgram* old = live_.load(std::memory_order_relaxed);
+  generations_.push_back(std::move(gen));
+  // Publish generation then epoch, both seq_cst: a reader whose announced
+  // epoch is >= `next` is guaranteed (by the seq_cst total order against its
+  // announce-then-load sequence) to observe the NEW generation, which is
+  // what makes the reclamation condition in ReclaimRetiredLocked sound.
+  live_.store(raw, std::memory_order_seq_cst);
+  epoch_.store(next, std::memory_order_seq_cst);
+  ++shards_[0]->stats.reloads;
+  if (old != nullptr) {
+    old->retired_at = next;
+    reclaim_pending_.store(true, std::memory_order_relaxed);
+    ReclaimRetiredLocked();
+  }
   return OkStatus();
 }
 
@@ -177,7 +282,7 @@ Status PacketFilter::Load(const RuleSet& rules) {
   PARA_ASSIGN_OR_RETURN(std::shared_ptr<const sfi::VerifiedProgram> verified,
                         VerifyProgram(compiled.program));
   PARA_ASSIGN_OR_RETURN(
-      std::vector<ProcChain> chains,
+      std::vector<std::vector<ProcChain>> chains,
       InstantiateChains(compiled, sfi::ExecMode::kSandboxed, nullptr, nullptr));
   return Install(compiled, std::move(verified), std::move(chains), sfi::ExecMode::kSandboxed);
 }
@@ -192,53 +297,120 @@ Status PacketFilter::LoadCertified(const RuleSet& rules, nucleus::Certifier& cer
                         VerifyProgram(compiled.program));
   PARA_ASSIGN_OR_RETURN(
       nucleus::Certificate cert,
-      certifier.Certify(config_.name, epoch_ + 1, verified->identity(),
-                        nucleus::kCertKernelEligible, /*now=*/epoch_ + 1));
+      certifier.Certify(config_.name, epoch() + 1, verified->identity(),
+                        nucleus::kCertKernelEligible, /*now=*/epoch() + 1));
   // Load-time validation by the kernel: digest binding, delegation chain,
   // kernel-eligibility. Only a validated program may run without checks.
   PARA_RETURN_IF_ERROR(service.ValidateForKernel(cert, verified->identity()));
   PARA_ASSIGN_OR_RETURN(
-      std::vector<ProcChain> chains,
+      std::vector<std::vector<ProcChain>> chains,
       InstantiateChains(compiled, sfi::ExecMode::kTrusted, &certifier, &service));
   return Install(compiled, std::move(verified), std::move(chains), sfi::ExecMode::kTrusted);
 }
 
-void PacketFilter::RaiseEvent(uint64_t detail) {
+// --- Epoch-based reclamation -----------------------------------------------
+
+void PacketFilter::AnnounceShard(Shard& shard) {
+  if (shards_.size() == 1) {
+    // Single shard: no concurrent reader/reload contract (same as the
+    // pre-sharding filter), so no fences on the packet path.
+    shard.pinned.store(epoch_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    return;
+  }
+  shard.pinned.store(epoch_.load(std::memory_order_seq_cst), std::memory_order_seq_cst);
+}
+
+PacketFilter::LoadedProgram* PacketFilter::LoadLivePinned() {
+  if (shards_.size() == 1) {
+    return live_.load(std::memory_order_relaxed);
+  }
+  // seq_cst: ordered after this shard's announce store. If a concurrent
+  // reload's epoch store preceded our epoch read, its generation store did
+  // too (writer order); if not, our announce precedes the writer's scan and
+  // the old generation stays alive until we unpin.
+  return live_.load(std::memory_order_seq_cst);
+}
+
+void PacketFilter::UnpinShard(Shard& shard) {
+  shard.pinned.store(kShardIdle, std::memory_order_release);
+  if (reclaim_pending_.load(std::memory_order_relaxed)) {
+    ReclaimRetired();
+  }
+}
+
+void PacketFilter::ReclaimRetired() {
+  std::lock_guard<std::mutex> lock(reload_mu_);
+  ReclaimRetiredLocked();
+}
+
+void PacketFilter::ReclaimRetiredLocked() {
+  // A retired generation is reclaimable once every shard's announced epoch
+  // is >= the epoch that retired it: such a reader provably obtained a newer
+  // generation, and kShardIdle (max) means the shard is at a quiescent
+  // point and constrains nothing.
+  uint64_t min_pinned = kShardIdle;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    min_pinned = std::min(min_pinned, shard->pinned.load(std::memory_order_seq_cst));
+  }
+  std::erase_if(generations_, [min_pinned](const std::unique_ptr<LoadedProgram>& gen) {
+    return gen->retired_at != 0 && min_pinned >= gen->retired_at;
+  });
+  bool pending = false;
+  for (const std::unique_ptr<LoadedProgram>& gen : generations_) {
+    pending |= gen->retired_at != 0;
+  }
+  reclaim_pending_.store(pending, std::memory_order_relaxed);
+}
+
+size_t PacketFilter::retired_generations() {
+  std::lock_guard<std::mutex> lock(reload_mu_);
+  size_t count = 0;
+  for (const std::unique_ptr<LoadedProgram>& gen : generations_) {
+    count += gen->retired_at != 0 ? 1 : 0;
+  }
+  return count;
+}
+
+// --- Evaluation -------------------------------------------------------------
+
+void PacketFilter::RaiseEvent(Shard& shard, uint64_t detail) {
   if (config_.events != nullptr &&
       config_.events->registration_count(nucleus::kTrapFilterVerdict) > 0) {
-    ++stats_.events_raised;
+    ++shard.stats.events_raised;
     config_.events->RaiseTrap(nucleus::kTrapFilterVerdict, detail);
   }
 }
 
-void PacketFilter::NotifyVerdict(const FilterDecision& decision, FilterDirection dir) {
-  RaiseEvent(EncodeFilterEvent(decision.verdict, dir, /*proc=*/0, decision.rule));
+void PacketFilter::NotifyVerdict(Shard& shard, const FilterDecision& decision,
+                                 FilterDirection dir) {
+  RaiseEvent(shard, EncodeFilterEvent(decision.verdict, dir, /*proc=*/0, decision.rule));
 }
 
 // Runs the installed classifier over `view`, failing closed on marshalling
 // or VM faults. Pure classification: verdict counters are the caller's job.
-uint64_t PacketFilter::Classify(const net::PacketView& view) {
+uint64_t PacketFilter::Classify(Shard& shard, LoadedProgram& gen, const net::PacketView& view) {
+  sfi::Vm& vm = gen.shards[shard.index]->vm;
   // On sampled packets the pipeline stages mark their completion in the
   // trace ring, inside the enclosing "filter.classify" span.
-  const bool traced = telemetry::kEnabled && trace_sample_active_;
-  if (!WritePacketDescriptor(view, loaded_->vm.memory(), loaded_->payload_bytes_needed)) {
+  const bool traced = telemetry::kEnabled && shard.trace_sample_active;
+  if (!WritePacketDescriptor(view, vm.memory(), gen.payload_bytes_needed)) {
     // The VM memory cannot hold the descriptor. Running anyway would
     // classify whatever descriptor is still in memory — the *previous*
     // packet. Fail closed instead.
-    ++stats_.descriptor_faults;
+    ++shard.stats.descriptor_faults;
     return EncodeVerdict(FilterVerdict::kDrop, 0, net::kDefaultRuleIndex);
   }
   if (traced) [[unlikely]] {
-    PARA_TRACE_INSTANT("filter.descriptor_marshal", loaded_->payload_bytes_needed);
+    PARA_TRACE_INSTANT("filter.descriptor_marshal", gen.payload_bytes_needed);
   }
-  Result<uint64_t> run = loaded_->vm.Run(0);
+  Result<uint64_t> run = vm.Run(0);
   if (traced) [[unlikely]] {
     PARA_TRACE_INSTANT("filter.tree_dispatch", run.ok() ? *run : ~uint64_t{0});
   }
   if (!run.ok()) {
     // A compiled program cannot fault, but an SFI violation in a sandboxed
     // one must fail closed: the packet is dropped, not let through.
-    ++stats_.vm_faults;
+    ++shard.stats.vm_faults;
     return EncodeVerdict(FilterVerdict::kDrop, 0, net::kDefaultRuleIndex);
   }
   return *run;
@@ -269,35 +441,37 @@ void PacketFilter::RecordClassifyLatency(net::FilterVerdict verdict, uint64_t ti
   }
 }
 
-void PacketFilter::CountVerdict(const FilterDecision& decision, FilterDirection dir) {
+void PacketFilter::CountVerdict(Shard& shard, const FilterDecision& decision,
+                                FilterDirection dir) {
   switch (decision.verdict) {
     case FilterVerdict::kPass:
-      ++stats_.pass;
+      ++shard.stats.pass;
       break;
     case FilterVerdict::kDrop:
-      ++stats_.drop;
+      ++shard.stats.drop;
       break;
     case FilterVerdict::kReject:
-      ++stats_.reject;
-      NotifyVerdict(decision, dir);
+      ++shard.stats.reject;
+      NotifyVerdict(shard, decision, dir);
       break;
   }
 }
 
-void PacketFilter::RunChain(FilterDecision* decision, const net::PacketView& view,
-                            FilterDirection dir) {
-  if (decision->chain == 0 || decision->chain > loaded_->chains.size()) {
+void PacketFilter::RunChain(Shard& shard, LoadedProgram& gen, FilterDecision* decision,
+                            const net::PacketView& view, FilterDirection dir) {
+  ShardExec& exec = *gen.shards[shard.index];
+  if (decision->chain == 0 || decision->chain > exec.chains.size()) {
     return;
   }
-  if (telemetry::kEnabled && trace_sample_active_) [[unlikely]] {
+  if (telemetry::kEnabled && shard.trace_sample_active) [[unlikely]] {
     PARA_TRACE_INSTANT("filter.proc_chain", decision->chain);
   }
-  for (const std::unique_ptr<ProcInstance>& proc : loaded_->chains[decision->chain - 1]) {
+  for (const std::unique_ptr<ProcInstance>& proc : exec.chains[decision->chain - 1]) {
     // Re-marshal the descriptor each run (header fields only — procedures do
     // not see payload). Everything past kProcStateBase is the procedure's
     // persistent state and survives untouched.
     if (!WritePacketDescriptor(view, proc->vm.memory(), /*payload_bytes=*/0)) {
-      ++stats_.proc_faults;
+      ++shard.stats.proc_faults;
       ++proc->faults;
       decision->verdict = FilterVerdict::kDrop;
       return;
@@ -306,16 +480,16 @@ void PacketFilter::RunChain(FilterDecision* decision, const net::PacketView& vie
     if (!run.ok()) {
       // SFI violation or fuel exhaustion mid-chain: the packet is dropped,
       // the filter (and the rest of the rule set) lives on.
-      ++stats_.proc_faults;
+      ++shard.stats.proc_faults;
       ++proc->faults;
       decision->verdict = FilterVerdict::kDrop;
       return;
     }
-    ++stats_.proc_invocations;
+    ++shard.stats.proc_invocations;
     ++proc->invocations;
     const uint64_t result = *run;
     if (result & kProcResultBlock) {
-      ++stats_.proc_blocks;
+      ++shard.stats.proc_blocks;
       ++proc->blocks;
       if (VerdictPasses(decision->verdict)) {
         decision->verdict = FilterVerdict::kDrop;
@@ -325,7 +499,7 @@ void PacketFilter::RunChain(FilterDecision* decision, const net::PacketView& vie
       decision->ttl = ttl;
     }
     if (result & kProcResultEvent) {
-      RaiseEvent(EncodeFilterEvent(decision->verdict, dir, proc->ordinal, decision->rule));
+      RaiseEvent(shard, EncodeFilterEvent(decision->verdict, dir, proc->ordinal, decision->rule));
     }
     if (result & kProcResultBlock) {
       return;  // a blocked packet sees no further procedures
@@ -333,14 +507,20 @@ void PacketFilter::RunChain(FilterDecision* decision, const net::PacketView& vie
   }
 }
 
-FilterDecision PacketFilter::Evaluate(const net::PacketView& view, FilterDirection dir) {
-  ++stats_.evaluated;
+template <bool kSampled, typename ClassifyFn>
+FilterDecision PacketFilter::EvaluateOn(Shard& shard, LoadedProgram& gen,
+                                        const net::PacketView& view, FilterDirection dir,
+                                        ClassifyFn&& classify) {
+  ++shard.stats.evaluated;
 
   FlowKey key{view.src_ip, view.dst_ip, view.src_port, view.dst_port, view.proto};
   if (config_.track_flows) {
     FlowTable::Direction flow_dir;
-    if (FlowEntry* flow = flows_.Find(key, &flow_dir)) {
-      if (flow->epoch == epoch_ || config_.flow_keepalive_across_reloads) {
+    if (FlowEntry* flow = shard.flows.Find(key, &flow_dir)) {
+      // Entries compare against the PINNED generation's epoch, not the
+      // global counter: mid-burst, a concurrent reload must not flip a
+      // packet's verdict source halfway through.
+      if (flow->epoch == gen.install_epoch || config_.flow_keepalive_across_reloads) {
         if (flow_dir == FlowTable::Direction::kForward) {
           ++flow->packets;
           flow->bytes += view.payload.size();
@@ -348,24 +528,24 @@ FilterDecision PacketFilter::Evaluate(const net::PacketView& view, FilterDirecti
           // Reply traffic: shares the established entry, counted per direction.
           ++flow->reverse_packets;
           flow->reverse_bytes += view.payload.size();
-          ++stats_.flow_hits_reverse;
+          ++shard.stats.flow_hits_reverse;
         }
-        ++stats_.flow_hits;
+        ++shard.stats.flow_hits;
         const uint64_t cached = flow->verdict;
         if (((cached >> 4) & 0xFFF) == 0) {
           // Chain-less fast path: only passing dispatch verdicts establish
           // flows, so the cached verdict is a plain pass — count it and go.
           // (Decoding into a fresh rvalue keeps the return value in
           // registers; the chain path below takes the decision's address.)
-          ++stats_.pass;
+          ++shard.stats.pass;
           return DecodeVerdict(cached);
         }
         // Established flows still pay their rule's procedures: a rate
         // limiter keeps limiting, a logger keeps sampling. A block drops
         // this packet, not the flow.
         FilterDecision decision = DecodeVerdict(cached);
-        RunChain(&decision, view, dir);
-        CountVerdict(decision, dir);
+        RunChain(shard, gen, &decision, view, dir);
+        CountVerdict(shard, decision, dir);
         return decision;
       }
       // The flow was admitted by a rule set that is no longer installed: its
@@ -373,9 +553,9 @@ FilterDecision PacketFilter::Evaluate(const net::PacketView& view, FilterDirecti
       // to a dead generation. Fail closed — drop the stale entry and
       // re-decide against the installed rules; a passing verdict
       // re-establishes.
-      ++stats_.flow_reevaluations;
+      ++shard.stats.flow_reevaluations;
       FlowKey forward = flow->key;
-      flows_.Erase(forward);
+      shard.flows.Erase(forward);
       if (flow_dir == FlowTable::Direction::kReverse) {
         // The rules describe the forward direction — that is what admitted
         // the flow, and what would re-admit it (the reply tuple never
@@ -389,17 +569,17 @@ FilterDecision PacketFilter::Evaluate(const net::PacketView& view, FilterDirecti
         fwd.src_port = forward.src_port;
         fwd.dst_port = forward.dst_port;
         fwd.proto = forward.proto;
-        uint64_t encoded = Classify(fwd);
+        uint64_t encoded = classify(fwd, /*synthetic=*/true);
         FilterDecision decision = DecodeVerdict(encoded);
         // The dispatch verdict re-admits (or not) on the synthetic forward
         // view; the procedures judge the packet actually in hand.
         const bool admitted = VerdictPasses(decision.verdict);
-        RunChain(&decision, view, dir);
-        CountVerdict(decision, dir);
+        RunChain(shard, gen, &decision, view, dir);
+        CountVerdict(shard, decision, dir);
         if (admitted) {
           // Re-established in its original orientation; this packet is its
           // first reply-direction traffic.
-          FlowEntry* fresh = flows_.Insert(forward, encoded, epoch_);
+          FlowEntry* fresh = shard.flows.Insert(forward, encoded, gen.install_epoch);
           fresh->reverse_packets = 1;
           fresh->reverse_bytes = view.payload.size();
         }
@@ -413,24 +593,28 @@ FilterDecision PacketFilter::Evaluate(const net::PacketView& view, FilterDirecti
   // Classifier path: sampled 1-in-32 for per-verdict latency histograms and
   // a "filter.classify" trace span (the stages inside mark themselves when
   // the sample is active). The flow-hit paths above stay uninstrumented —
-  // their telemetry is all snapshot-time aliases.
+  // their telemetry is all snapshot-time aliases. The batch path never
+  // samples (kSampled = false): sampling state is per shard and the stats
+  // the differential test compares never see it.
   uint64_t classify_t0 = 0;
-  if constexpr (telemetry::kEnabled) {
-    trace_sample_active_ = (++telemetry_sample_ & 31) == 0;
-    if (trace_sample_active_) [[unlikely]] {
+  if constexpr (kSampled && telemetry::kEnabled) {
+    shard.trace_sample_active = (++shard.telemetry_sample & 31) == 0;
+    if (shard.trace_sample_active) [[unlikely]] {
       telemetry::EmitTrace("filter.classify", telemetry::TracePhase::kBegin, 0);
       classify_t0 = telemetry::TraceClock();
     }
   }
-  uint64_t encoded = Classify(view);
+  uint64_t encoded = classify(view, /*synthetic=*/false);
   FilterDecision decision = DecodeVerdict(encoded);
   const bool admitted = VerdictPasses(decision.verdict);
-  RunChain(&decision, view, dir);
-  CountVerdict(decision, dir);
-  if constexpr (telemetry::kEnabled) {
-    if (trace_sample_active_) [[unlikely]] {
+  if (decision.chain != 0) {  // chain-less verdicts skip the call entirely
+    RunChain(shard, gen, &decision, view, dir);
+  }
+  CountVerdict(shard, decision, dir);
+  if constexpr (kSampled && telemetry::kEnabled) {
+    if (shard.trace_sample_active) [[unlikely]] {
       RecordClassifyLatency(decision.verdict, telemetry::TraceClock() - classify_t0);
-      trace_sample_active_ = false;
+      shard.trace_sample_active = false;
     }
   }
 
@@ -439,11 +623,162 @@ FilterDecision PacketFilter::Evaluate(const net::PacketView& view, FilterDirecti
   // immediately. A procedure block drops this packet but still establishes —
   // the cached word carries the chain id, and every hit re-runs the chain.
   if (config_.track_flows && admitted) {
-    FlowEntry* flow = flows_.Insert(key, encoded, epoch_);
+    FlowEntry* flow = shard.flows.Insert(key, encoded, gen.install_epoch);
     flow->packets = 1;
     flow->bytes = view.payload.size();
   }
   return decision;
+}
+
+FilterDecision PacketFilter::Evaluate(const net::PacketView& view, FilterDirection dir) {
+  Shard& shard = *shards_[SteerShard(view)];
+  AnnounceShard(shard);
+  LoadedProgram& gen = *LoadLivePinned();
+  FilterDecision decision = EvaluateOn<true>(
+      shard, gen, view, dir,
+      [this, &shard, &gen](const net::PacketView& v, bool) { return Classify(shard, gen, v); });
+  UnpinShard(shard);
+  return decision;
+}
+
+void PacketFilter::EvaluateChunk(std::span<const net::PacketView> views, FilterDirection dir,
+                                 FilterDecision* out) {
+  const size_t n = views.size();
+  uint8_t shard_of[kMaxFilterBatch];
+  uint64_t touched = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const size_t s = SteerShard(views[i]);
+    shard_of[i] = static_cast<uint8_t>(s);
+    touched |= uint64_t{1} << s;
+  }
+  // Pin every touched shard, then resolve the generation ONCE: the whole
+  // chunk evaluates against one rule-set generation, and a concurrent
+  // reload cannot reclaim it until every one of these shards unpins.
+  for (uint64_t bits = touched; bits != 0; bits &= bits - 1) {
+    AnnounceShard(*shards_[static_cast<size_t>(std::countr_zero(bits))]);
+  }
+  LoadedProgram& gen = *LoadLivePinned();
+
+  // Marshal every descriptor up front, packet i into slot i of its shard's
+  // VM memory — one pass of cache-friendly copies instead of a marshal
+  // interleaved with every VM entry. Failures are deferred: the single-packet
+  // path only counts a descriptor fault when the classifier actually runs
+  // (a flow hit never marshals), so the batch path must too. Single-shard
+  // chunks (every steered per-RX-queue burst) hoist the slot base out of the
+  // loop — the general walk re-derives it per packet through the shard table.
+  const bool single_shard = (touched & (touched - 1)) == 0;
+  const size_t s0 = static_cast<size_t>(std::countr_zero(touched));
+  uint64_t marshal_failed = 0;
+  if (single_shard) {
+    uint8_t* const slots = gen.shards[s0]->vm.memory().data();
+    for (size_t i = 0; i < n; ++i) {
+      std::span<uint8_t> slot(slots + i * kFilterBatchSlot, kFilterBatchSlot);
+      if (!WritePacketDescriptor(views[i], slot, gen.payload_bytes_needed)) {
+        marshal_failed |= uint64_t{1} << i;
+      }
+    }
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      sfi::Vm& vm = gen.shards[shard_of[i]]->vm;
+      std::span<uint8_t> slot(vm.memory().data() + i * kFilterBatchSlot, kFilterBatchSlot);
+      if (!WritePacketDescriptor(views[i], slot, gen.payload_bytes_needed)) {
+        marshal_failed |= uint64_t{1} << i;
+      }
+    }
+  }
+
+  // One Vm::Burst per touched shard, opened lazily: JitContext invariants
+  // written once, VmStats/telemetry flushed once, entered once per packet.
+  std::optional<sfi::Vm::Burst> bursts[kMaxFilterShards];
+
+  // Single-shard, flow-tracking-off chunks (the steered per-RX-queue shape)
+  // hand the whole descriptor walk to the VM's burst trampoline: one entry
+  // into generated code classifies every slot, instead of one host round
+  // trip per packet, and the evaluation loop reads verdicts straight out of
+  // the [result, fault] pairs. Flow tracking keeps the per-packet path
+  // below — classification must stay lazy there (a flow hit never runs the
+  // VM, and an insert from packet i can turn packet j>i into a hit), which
+  // an eager sweep cannot reproduce. Classify order and per-slot metering
+  // are unchanged (CallMany's contract), so stats stay
+  // differential-identical.
+  if (!config_.track_flows && marshal_failed == 0 && single_shard) {
+    uint64_t vm_pairs[2 * kMaxFilterBatch];
+    bursts[s0].emplace(gen.shards[s0]->vm.BeginBurst(0));
+    if (bursts[s0]->CallMany(0, kFilterBatchSlot, n, vm_pairs)) {
+      Shard& shard = *shards_[s0];
+      for (size_t i = 0; i < n; ++i) {
+        // track_flows is off, so EvaluateOn can never take the synthetic
+        // re-decide path — the classifier result is always pair i.
+        out[i] = EvaluateOn<false>(shard, gen, views[i], dir,
+                                   [&](const net::PacketView&, bool) -> uint64_t {
+                                     if (vm_pairs[2 * i + 1] != 0) [[unlikely]] {
+                                       // Same fail-closed drop the per-packet
+                                       // path produces on a VM fault.
+                                       ++shard.stats.vm_faults;
+                                       return EncodeVerdict(FilterVerdict::kDrop, 0,
+                                                            net::kDefaultRuleIndex);
+                                     }
+                                     return vm_pairs[2 * i];
+                                   });
+      }
+      bursts[s0].reset();
+      UnpinShard(shard);
+      return;
+    }
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    Shard& shard = *shards_[shard_of[i]];
+    ShardExec& exec = *gen.shards[shard_of[i]];
+    std::optional<sfi::Vm::Burst>& burst = bursts[shard_of[i]];
+    if (!burst.has_value()) {
+      burst.emplace(exec.vm.BeginBurst(0));
+    }
+    const bool failed = (marshal_failed >> i) & 1;
+    out[i] = EvaluateOn<false>(
+        shard, gen, views[i], dir,
+        [&, i](const net::PacketView& v, bool synthetic) -> uint64_t {
+          if (synthetic) {
+            // Stale-epoch reverse re-decide: overwrite this packet's slot
+            // with the synthetic forward view (the original descriptor is
+            // never consulted again on this path).
+            std::span<uint8_t> slot(exec.vm.memory().data() + i * kFilterBatchSlot,
+                                    kFilterBatchSlot);
+            if (!WritePacketDescriptor(v, slot, gen.payload_bytes_needed)) {
+              ++shard.stats.descriptor_faults;
+              return EncodeVerdict(FilterVerdict::kDrop, 0, net::kDefaultRuleIndex);
+            }
+          } else if (failed) {
+            ++shard.stats.descriptor_faults;
+            return EncodeVerdict(FilterVerdict::kDrop, 0, net::kDefaultRuleIndex);
+          }
+          Result<uint64_t> run = burst->Call(i * kFilterBatchSlot);
+          if (!run.ok()) {
+            ++shard.stats.vm_faults;
+            return EncodeVerdict(FilterVerdict::kDrop, 0, net::kDefaultRuleIndex);
+          }
+          return *run;
+        });
+  }
+  // Close the bursts (flushing their deferred VM stats into the pinned
+  // generation's VMs) BEFORE unpinning the shards.
+  for (std::optional<sfi::Vm::Burst>& burst : bursts) {
+    burst.reset();
+  }
+  for (uint64_t bits = touched; bits != 0; bits &= bits - 1) {
+    UnpinShard(*shards_[static_cast<size_t>(std::countr_zero(bits))]);
+  }
+}
+
+void PacketFilter::EvaluateBatch(std::span<const net::PacketView> views, FilterDirection dir,
+                                 std::span<FilterDecision> decisions) {
+  PARA_CHECK(decisions.size() >= views.size());
+  size_t off = 0;
+  while (off < views.size()) {
+    const size_t n = std::min(views.size() - off, kMaxFilterBatch);
+    EvaluateChunk(views.subspan(off, n), dir, decisions.data() + off);
+    off += n;
+  }
 }
 
 net::FilterHook PacketFilter::Hook() {
@@ -452,41 +787,98 @@ net::FilterHook PacketFilter::Hook() {
   };
 }
 
+net::FilterBatchHook PacketFilter::BatchHook() {
+  return [this](std::span<const net::PacketView> views, FilterDirection dir,
+                std::span<FilterDecision> decisions) { EvaluateBatch(views, dir, decisions); };
+}
+
+// --- Merged views -----------------------------------------------------------
+
+FilterStats PacketFilter::MergedStats() const {
+  FilterStats total;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    const FilterStats& s = shard->stats;
+    total.evaluated += s.evaluated;
+    total.pass += s.pass;
+    total.drop += s.drop;
+    total.reject += s.reject;
+    total.proc_invocations += s.proc_invocations;
+    total.flow_hits += s.flow_hits;
+    total.flow_hits_reverse += s.flow_hits_reverse;
+    total.reloads += s.reloads;
+    total.events_raised += s.events_raised;
+    total.vm_faults += s.vm_faults;
+    total.descriptor_faults += s.descriptor_faults;
+    total.flow_reevaluations += s.flow_reevaluations;
+    total.proc_blocks += s.proc_blocks;
+    total.proc_faults += s.proc_faults;
+  }
+  return total;
+}
+
+FilterStats PacketFilter::stats() const { return MergedStats(); }
+
+sfi::VmStats PacketFilter::vm_stats() const {
+  sfi::VmStats total;
+  for (const std::unique_ptr<ShardExec>& exec : LiveGen()->shards) {
+    const sfi::VmStats& s = exec->vm.stats();
+    total.instructions += s.instructions;
+    total.bounds_checks += s.bounds_checks;
+    total.calls += s.calls;
+    total.host_calls += s.host_calls;
+    total.jit_runs += s.jit_runs;
+  }
+  return total;
+}
+
+uint64_t PacketFilter::flow_count() const {
+  uint64_t total = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    total += shard->flows.size();
+  }
+  return total;
+}
+
 uint64_t PacketFilter::StatsSlot(uint64_t index, uint64_t, uint64_t, uint64_t) {
+  // Execution-backend observability: silent fallback from the JIT to the
+  // threaded loop must never masquerade as a JIT win in benchmarks or
+  // integration assertions.
+  if (index == 14) {
+    return exec_backend() == sfi::VmBackend::kJit ? 1 : 0;
+  }
+  if (index == 15) {
+    return vm_stats().jit_runs;
+  }
+  const FilterStats s = MergedStats();
   switch (index) {
-    case 0: return stats_.evaluated;
-    case 1: return stats_.pass;
-    case 2: return stats_.drop;
-    case 3: return stats_.reject;
-    case 4: return stats_.proc_invocations;
-    case 5: return stats_.flow_hits;
-    case 6: return stats_.reloads;
-    case 7: return stats_.events_raised;
-    case 8: return stats_.vm_faults;
-    case 9: return stats_.flow_hits_reverse;
-    case 10: return stats_.descriptor_faults;
-    case 11: return stats_.flow_reevaluations;
-    case 12: return stats_.proc_blocks;
-    case 13: return stats_.proc_faults;
-    // Execution-backend observability: silent fallback from the JIT to the
-    // threaded loop must never masquerade as a JIT win in benchmarks or
-    // integration assertions.
-    case 14: return loaded_->vm.backend() == sfi::VmBackend::kJit ? 1 : 0;
-    case 15: return loaded_->vm.stats().jit_runs;
+    case 0: return s.evaluated;
+    case 1: return s.pass;
+    case 2: return s.drop;
+    case 3: return s.reject;
+    case 4: return s.proc_invocations;
+    case 5: return s.flow_hits;
+    case 6: return s.reloads;
+    case 7: return s.events_raised;
+    case 8: return s.vm_faults;
+    case 9: return s.flow_hits_reverse;
+    case 10: return s.descriptor_faults;
+    case 11: return s.flow_reevaluations;
+    case 12: return s.proc_blocks;
+    case 13: return s.proc_faults;
     default: return 0;
   }
 }
 
 uint64_t PacketFilter::RuleCountSlot(uint64_t, uint64_t, uint64_t, uint64_t) {
-  return loaded_->rule_count;
+  return LiveGen()->rule_count;
 }
 
 uint64_t PacketFilter::ModeSlot(uint64_t, uint64_t, uint64_t, uint64_t) {
-  return loaded_->vm.mode() == sfi::ExecMode::kTrusted ? 1 : 0;
+  return mode() == sfi::ExecMode::kTrusted ? 1 : 0;
 }
 
 uint64_t PacketFilter::FlowCountSlot(uint64_t, uint64_t, uint64_t, uint64_t) {
-  return flows_.size();
+  return flow_count();
 }
 
 }  // namespace para::filter

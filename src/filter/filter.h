@@ -33,9 +33,13 @@
 #ifndef PARAMECIUM_SRC_FILTER_FILTER_H_
 #define PARAMECIUM_SRC_FILTER_FILTER_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
+#include <span>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "src/base/status.h"
 #include "src/base/telemetry.h"
@@ -106,6 +110,19 @@ constexpr uint32_t VerdictEventRule(uint64_t detail) {
 
 struct FilterConfig {
   std::string name = "filter";
+  // Data-plane shards (one per RX queue). Each shard owns a FlowTable
+  // partition, a classifier Vm (sharing the one compiled/JITted program),
+  // per-shard procedure-chain state, and its own stats — merged on read.
+  // Packets steer by a symmetric 5-tuple hash (SymmetricFlowHash), so a
+  // conversation and its reply always land on the same shard. Concurrent
+  // Evaluate/EvaluateBatch callers must target disjoint shards — in the
+  // intended deployment each worker owns one RX queue whose RSS hash agrees
+  // with SteerShard, so a worker's burst maps entirely onto its own shard.
+  // 0 = resolve from the PARA_FILTER_SHARDS environment variable (the CI
+  // sharded leg sets it), defaulting to 1; an explicit value wins over the
+  // environment. Must not exceed kMaxFilterShards.
+  size_t shards = 0;
+  // Total flow capacity, split evenly across shards.
   size_t flow_capacity = 1024;
   bool track_flows = true;
   // Reload semantics for established flows. By default a flow-table hit
@@ -185,6 +202,19 @@ inline constexpr std::string_view kFilterStatsSlotNames[] = {
     "jit_runs",            // 15
 };
 
+// Sharded data-plane limits. kMaxFilterShards bounds the steering set the
+// batch path tracks in one machine word; the batch constants fix the
+// descriptor-slot layout every shard Vm's memory is provisioned for: a burst
+// chunk marshals up to kMaxFilterBatch descriptors side by side at
+// kFilterBatchSlot-byte stride, then evaluates each by re-basing guest
+// address 0 onto its slot (one VM burst per shard per chunk, amortizing
+// JitContext setup and the native prologue across the burst).
+inline constexpr size_t kMaxFilterShards = 64;
+inline constexpr size_t kMaxFilterBatch = 64;    // packets per burst chunk
+inline constexpr size_t kFilterBatchSlot = 256;  // bytes per descriptor slot
+static_assert(kFilterBatchSlot >= kDescriptorBytes,
+              "a descriptor (header fields + payload capture) must fit its slot");
+
 class PacketFilter : public obj::Object {
  public:
   // Starts with an empty sandboxed rule set (default verdict: pass).
@@ -206,11 +236,28 @@ class PacketFilter : public obj::Object {
 
   // Evaluates one packet: flow-table fast path first (either direction),
   // then the compiled classifier. A sandboxed program fault fails closed
-  // (drop).
+  // (drop). The packet is steered to its shard; the shard pins the live
+  // rule-set generation for the duration (epoch-based reclamation — a
+  // concurrent reload never frees a generation mid-evaluation when
+  // shards > 1; see AnnounceShard for the single-shard caveat).
   net::FilterDecision Evaluate(const net::PacketView& view, net::FilterDirection dir);
+
+  // Evaluates a burst: decisions[i] receives views[i]'s verdict, with
+  // per-packet verdicts, flow-table updates, stats, and procedure-chain
+  // semantics bit-identical to calling Evaluate in a loop (the differential
+  // test enforces it). The win is amortization: descriptors are marshalled
+  // into per-shard VM slot memory up front, each touched shard pins the
+  // generation once, and each shard's classifier runs as one Vm::Burst —
+  // JitContext invariants written once, stats flushed once. Requires
+  // decisions.size() >= views.size().
+  void EvaluateBatch(std::span<const net::PacketView> views, net::FilterDirection dir,
+                     std::span<net::FilterDecision> decisions);
 
   // Adapter for ProtocolStack::SetIngressFilter/SetEgressFilter.
   net::FilterHook Hook();
+
+  // Adapter for ProtocolStack::SetIngressBatchFilter (batched ingress).
+  net::FilterBatchHook BatchHook();
 
   // One instantiated procedure: its spec, its own verified program (and, on
   // the certified path, its own validated certificate) and its own VM —
@@ -230,25 +277,66 @@ class PacketFilter : public obj::Object {
   };
   using ProcChain = std::vector<std::unique_ptr<ProcInstance>>;
 
-  sfi::ExecMode mode() const { return loaded_->vm.mode(); }
-  size_t rule_count() const { return loaded_->rule_count; }
-  CompileBackend backend() const { return loaded_->backend; }
+  sfi::ExecMode mode() const { return LiveGen()->shards[0]->vm.mode(); }
+  size_t rule_count() const { return LiveGen()->rule_count; }
+  CompileBackend backend() const { return LiveGen()->backend; }
   // The SFI execution backend actually serving the classifier (kJit or the
   // threaded fallback — never kAuto). Exposed so callers can assert the
   // backend they think they are measuring is the one running; also slot 14
   // of StatsSlot, with vm_stats().jit_runs at slot 15.
-  sfi::VmBackend exec_backend() const { return loaded_->vm.backend(); }
-  uint32_t epoch() const { return epoch_; }
+  sfi::VmBackend exec_backend() const { return LiveGen()->shards[0]->vm.backend(); }
+  uint32_t epoch() const { return epoch_.load(std::memory_order_relaxed); }
   const std::string& name() const { return config_.name; }
-  const FilterStats& stats() const { return stats_; }
-  const sfi::VmStats& vm_stats() const { return loaded_->vm.stats(); }
-  // The VM bound to the installed program (diagnostics and fault-injection
-  // tests; Evaluate owns its descriptor memory between packets).
-  sfi::Vm& vm() { return loaded_->vm; }
-  const sfi::VerifiedProgram& verified_program() const { return *loaded_->program; }
-  FlowTable& flows() { return flows_; }
-  // The installed procedure chains (chains()[i] backs chain id i+1).
-  const std::vector<ProcChain>& chains() const { return loaded_->chains; }
+  // Stats are per shard and merged on read (the sharded counterpart of the
+  // old single struct — by value now, so callers see a snapshot).
+  FilterStats stats() const;
+  // Classifier VmStats merged across the live generation's shard VMs.
+  sfi::VmStats vm_stats() const;
+  // Shard 0's VM bound to the installed program (diagnostics and
+  // fault-injection tests; Evaluate owns its descriptor memory between
+  // packets). Single-shard filters — the default — have exactly one.
+  sfi::Vm& vm() { return LiveGen()->shards[0]->vm; }
+  const sfi::VerifiedProgram& verified_program() const { return *LiveGen()->program; }
+  // Shard 0's flow-table partition (the whole table when shards == 1), or a
+  // specific shard's.
+  FlowTable& flows() { return flows(0); }
+  FlowTable& flows(size_t shard) { return shards_[shard]->flows; }
+  // The installed procedure chains (chains()[i] backs chain id i+1); state
+  // is per shard, shard 0 by default.
+  const std::vector<ProcChain>& chains() const { return chains(0); }
+  const std::vector<ProcChain>& chains(size_t shard) const {
+    return LiveGen()->shards[shard]->chains;
+  }
+
+  size_t shard_count() const { return shards_.size(); }
+  // The shard `view`'s conversation steers to: SymmetricFlowHash modulo the
+  // shard count, so forward and reply packets agree (the property test
+  // enforces it). Exposed so drivers/benches can pre-steer per-queue
+  // traffic the way hardware RSS would.
+  size_t SteerShard(const net::PacketView& view) const {
+    if (shards_.size() == 1) {
+      return 0;
+    }
+    return static_cast<size_t>(
+        SymmetricFlowHash(FlowKey{view.src_ip, view.dst_ip, view.src_port, view.dst_port,
+                                  view.proto}) %
+        shards_.size());
+  }
+  // Live flow entries across all shards.
+  uint64_t flow_count() const;
+
+  // Epoch-based reclamation controls. Retired generations (replaced by a
+  // reload but possibly still pinned by an in-flight burst) are reclaimed
+  // automatically on the next reload and at burst exit; ReclaimRetired
+  // forces a scan now. retired_generations() counts the still-unreclaimed
+  // ones (0 once every shard has passed a quiescent point).
+  void ReclaimRetired();
+  size_t retired_generations();
+  // Test-only: pins `shard` at the current epoch as if a burst were in
+  // flight (or idles it again), letting tests drive the quiescence protocol
+  // deterministically.
+  void DebugPinShard(size_t shard) { AnnounceShard(*shards_[shard]); }
+  void DebugUnpinShard(size_t shard) { UnpinShard(*shards_[shard]); }
 
   // FilterType() slot implementations (uniform u64 convention).
   uint64_t StatsSlot(uint64_t index, uint64_t, uint64_t, uint64_t);
@@ -257,62 +345,138 @@ class PacketFilter : public obj::Object {
   uint64_t FlowCountSlot(uint64_t, uint64_t, uint64_t, uint64_t);
 
  private:
-  // The verified artifact and the VM bound to it; the artifact is shared
-  // (cache, in-flight readers), so a hot reload is one pointer swap and the
-  // old program stays alive for anyone still holding it.
-  struct LoadedProgram {
-    LoadedProgram(std::shared_ptr<const sfi::VerifiedProgram> p, sfi::ExecMode mode)
-        : program(std::move(p)), vm(program.get(), mode) {}
-    std::shared_ptr<const sfi::VerifiedProgram> program;
+  struct Shard;
+
+  // Per-shard execution state bound to one installed generation: a
+  // classifier VM (own JitContext, sharing the generation's verified program
+  // and its one compiled JitProgram) plus the shard's procedure-chain
+  // instances with their persistent per-shard VM state.
+  struct ShardExec {
+    ShardExec(const sfi::VerifiedProgram* p, sfi::ExecMode mode) : vm(p, mode) {}
     sfi::Vm vm;
+    std::vector<ProcChain> chains;  // chains[i] backs chain id i+1
+  };
+
+  // One installed rule-set generation. The verified artifact is shared
+  // (cache, in-flight readers); the generation itself is owned by
+  // generations_ and reclaimed by the epoch protocol once no shard can
+  // still be using it — a hot reload never blocks the data plane.
+  struct LoadedProgram {
+    std::shared_ptr<const sfi::VerifiedProgram> program;
     size_t rule_count = 0;
     size_t payload_bytes_needed = 0;
     CompileBackend backend = CompileBackend::kLinear;
-    std::vector<ProcChain> chains;  // chains[i] backs chain id i+1
+    uint32_t install_epoch = 0;  // the epoch this generation defines
+    // Epoch at which this generation was replaced; 0 while live. Guarded by
+    // reload_mu_.
+    uint64_t retired_at = 0;
+    std::vector<std::unique_ptr<ShardExec>> shards;  // one per data-plane shard
+  };
+
+  // Announce-slot sentinel: the shard is at a quiescent point (no burst in
+  // flight). Compares greater than every epoch, so idle shards never hold a
+  // retired generation back.
+  static constexpr uint64_t kShardIdle = ~uint64_t{0};
+
+  // One data-plane shard: flow-table partition, stats, procedure RNG stream,
+  // trace-sampling state, and the EBR announce slot. Cache-line aligned so
+  // per-queue workers do not false-share counters.
+  struct alignas(64) Shard {
+    Shard(PacketFilter* filter, size_t shard_index, size_t flow_capacity, uint64_t rng_seed)
+        : owner(filter),
+          index(shard_index),
+          flows(flow_capacity, filter->config_.clock, filter->config_.flow_ttl),
+          rng_state(rng_seed) {}
+    PacketFilter* owner;
+    size_t index;
+    FlowTable flows;
+    FilterStats stats;
+    uint64_t rng_state;  // xorshift64* state behind RandomHelper
+    // 1-in-32 sampling state for classifier-path latency/tracing. The
+    // flow-hit fast path is deliberately untouched: its telemetry is all
+    // aliases. Batch evaluation never samples.
+    uint64_t telemetry_sample = 0;
+    bool trace_sample_active = false;
+    // EBR announce slot: the rule-set epoch pinned by the burst in flight on
+    // this shard, or kShardIdle at a quiescent point.
+    std::atomic<uint64_t> pinned{kShardIdle};
   };
 
   explicit PacketFilter(FilterConfig config);
 
   Result<std::shared_ptr<const sfi::VerifiedProgram>> VerifyProgram(const sfi::Program& program);
-  // Generates, verifies and (for kTrusted) certifies one VM per procedure
-  // spec in `compiled.chains`. Any failure fails the whole load — nothing
-  // partial is ever installed.
-  Result<std::vector<ProcChain>> InstantiateChains(const CompiledFilter& compiled,
-                                                   sfi::ExecMode mode,
-                                                   nucleus::Certifier* certifier,
-                                                   const nucleus::CertificationService* service);
+  // Generates, verifies and (for kTrusted) certifies each procedure spec in
+  // `compiled.chains` ONCE, then instantiates one VM per spec per shard from
+  // the same verified program (ordinals identical across shards). Any
+  // failure fails the whole load — nothing partial is ever installed.
+  // Returns chains indexed [shard][chain].
+  Result<std::vector<std::vector<ProcChain>>> InstantiateChains(
+      const CompiledFilter& compiled, sfi::ExecMode mode, nucleus::Certifier* certifier,
+      const nucleus::CertificationService* service);
   Status Install(const CompiledFilter& compiled,
                  std::shared_ptr<const sfi::VerifiedProgram> program,
-                 std::vector<ProcChain> chains, sfi::ExecMode mode);
-  void RaiseEvent(uint64_t detail);
-  void NotifyVerdict(const net::FilterDecision& decision, net::FilterDirection dir);
+                 std::vector<std::vector<ProcChain>> chains, sfi::ExecMode mode);
+  void RaiseEvent(Shard& shard, uint64_t detail);
+  void NotifyVerdict(Shard& shard, const net::FilterDecision& decision, net::FilterDirection dir);
   // Registers the "filter.<config.name>.*" aliases (slot table + flow-table
-  // stats); called once from Create, after the bootstrap load.
+  // stats, both merged across shards at snapshot time); called once from
+  // Create, after the bootstrap load.
   void RegisterMetrics();
   // Sampled classifier-path latency: ends the "filter.classify" span and
   // records the ticks into the per-verdict histogram.
   void RecordClassifyLatency(net::FilterVerdict verdict, uint64_t ticks);
-  uint64_t Classify(const net::PacketView& view);
-  void CountVerdict(const net::FilterDecision& decision, net::FilterDirection dir);
+  // Single-packet classifier run on `shard`'s VM of `gen` (descriptor at
+  // guest address 0), failing closed on marshal or VM faults.
+  uint64_t Classify(Shard& shard, LoadedProgram& gen, const net::PacketView& view);
+  void CountVerdict(Shard& shard, const net::FilterDecision& decision, net::FilterDirection dir);
   // Runs `decision`'s procedure chain (if any) over `view`, applying block /
   // event / TTL results to the decision in place.
-  void RunChain(net::FilterDecision* decision, const net::PacketView& view,
-                net::FilterDirection dir);
+  void RunChain(Shard& shard, LoadedProgram& gen, net::FilterDecision* decision,
+                const net::PacketView& view, net::FilterDirection dir);
+  // The shared evaluation engine: flow fast path, stale-epoch re-decide,
+  // chain dispatch, verdict counting, flow establishment. `classify(view,
+  // synthetic)` runs the classifier — the single path runs the shard VM
+  // directly, the batch path calls into its per-shard burst (re-marshalling
+  // slot contents when `synthetic`). kSampled gates the 1-in-32 classifier
+  // trace sampling (single-packet path only), which FilterStats never sees —
+  // so batch and single stats stay bit-identical.
+  template <bool kSampled, typename ClassifyFn>
+  net::FilterDecision EvaluateOn(Shard& shard, LoadedProgram& gen, const net::PacketView& view,
+                                 net::FilterDirection dir, ClassifyFn&& classify);
+  // One chunk of at most kMaxFilterBatch packets: steer, pin touched shards,
+  // pre-marshal descriptors, evaluate in order through per-shard bursts.
+  void EvaluateChunk(std::span<const net::PacketView> views, net::FilterDirection dir,
+                     net::FilterDecision* out);
 
-  // Host helpers bound on every procedure VM (ctx = the PacketFilter).
+  // EBR reader protocol: announce the current epoch on the shard, THEN load
+  // the live generation (AnnounceShard before LoadLivePinned, both seq_cst
+  // when sharded). The writer publishes the new generation and epoch before
+  // scanning announce slots, so — by the seq_cst total order — a reader that
+  // observed the old generation has its older pinned epoch visible to every
+  // subsequent scan, and the generation survives until the shard goes idle.
+  // Single-shard filters use relaxed ordering: no fences on the packet path
+  // (today's cost model), with today's semantics — a reload from a thread
+  // concurrently evaluating on the same single shard was never safe.
+  void AnnounceShard(Shard& shard);
+  LoadedProgram* LoadLivePinned();
+  void UnpinShard(Shard& shard);
+  void ReclaimRetiredLocked();
+  LoadedProgram* LiveGen() const { return live_.load(std::memory_order_acquire); }
+  FilterStats MergedStats() const;
+
+  // Host helpers bound on every procedure VM (ctx = the owning Shard, so
+  // each shard's rndblock stream and rate-limiter clocks are independent and
+  // deterministic).
   static uint64_t NowHelper(void* ctx, uint64_t arg);
   static uint64_t RandomHelper(void* ctx, uint64_t modulus);
 
   FilterConfig config_;
-  std::unique_ptr<LoadedProgram> loaded_;
-  FlowTable flows_;
-  uint32_t epoch_ = 0;
-  FilterStats stats_;
-  uint64_t rng_state_ = 0;  // xorshift64* state behind RandomHelper
-  // 1-in-32 sampling state for classifier-path latency/tracing. The flow-hit
-  // fast path is deliberately untouched: its telemetry is all aliases.
-  uint64_t telemetry_sample_ = 0;
-  bool trace_sample_active_ = false;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint32_t> epoch_{0};
+  std::atomic<LoadedProgram*> live_{nullptr};
+  std::atomic<bool> reclaim_pending_{false};
+  std::mutex reload_mu_;
+  std::vector<std::unique_ptr<LoadedProgram>> generations_;  // guarded by reload_mu_
   // Registry aliases onto the members above — declared last so they
   // unregister before their sources are destroyed.
   telemetry::ScopedMetricGroup metrics_;

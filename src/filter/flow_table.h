@@ -51,6 +51,33 @@ struct FlowKeyHash {
   }
 };
 
+// Symmetric 5-tuple hash for shard steering: a conversation and its reply
+// MUST land on the same shard, so the two (addr, port) endpoints are ordered
+// canonically before mixing — SymmetricFlowHash(k) == SymmetricFlowHash(
+// k.Reversed()) for every key, which the property tests enforce over random
+// tuples. Distinct from FlowKeyHash on purpose: the flow map wants forward
+// and reversed tuples in different buckets (it probes both), the steering
+// hash wants them identical.
+inline uint64_t SymmetricFlowHash(const FlowKey& key) {
+  uint64_t a = static_cast<uint64_t>(key.src_ip) << 16 | key.src_port;
+  uint64_t b = static_cast<uint64_t>(key.dst_ip) << 16 | key.dst_port;
+  if (a > b) {
+    const uint64_t t = a;
+    a = b;
+    b = t;
+  }
+  // splitmix64-style finalization over the ordered endpoints + proto.
+  uint64_t h = a * 0x9E3779B97F4A7C15ull;
+  h ^= h >> 32;
+  h += b;
+  h *= 0xBF58476D1CE4E5B9ull;
+  h ^= h >> 29;
+  h += key.proto;
+  h *= 0x94D049BB133111EBull;
+  h ^= h >> 32;
+  return h;
+}
+
 struct FlowEntry {
   FlowKey key;           // the initiating (forward) direction
   uint64_t verdict = 0;  // encoded verdict cached from rule evaluation

@@ -77,6 +77,13 @@ static_assert(sizeof(FilterDecision) == 8, "FilterDecision must stay register-si
 // Datagram-level hook installed on the stack's ingress/egress paths.
 using FilterHook = std::function<FilterDecision(const PacketView&, FilterDirection)>;
 
+// Batched datagram-level hook: one call decides a whole burst. The hook
+// writes decisions[i] for views[i] (decisions.size() >= views.size()) with
+// per-packet semantics identical to calling a FilterHook in a loop — the
+// batch exists to amortize filter entry costs, not to change verdicts.
+using FilterBatchHook = std::function<void(std::span<const PacketView> views, FilterDirection,
+                                           std::span<FilterDecision> decisions)>;
+
 // Raw frame-level hook for drivers: return false to drop the frame.
 using RawFrameHook = std::function<bool(std::span<const uint8_t> frame)>;
 

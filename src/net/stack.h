@@ -73,12 +73,26 @@ class ProtocolStack {
   // Driver-facing input: a raw frame arrived on the wire.
   void OnFrame(std::span<const uint8_t> frame);
 
+  // Driver-facing input for a burst of frames (one RX-queue poll). With a
+  // batch ingress filter installed, all frames are decapsulated first and
+  // the filter decides the surviving packets in ONE EvaluateBatch-style
+  // call — amortizing filter entry costs across the burst — with verdicts,
+  // counters, and delivery order identical to calling OnFrame per frame.
+  // Without one it degrades to exactly that loop.
+  void OnFrameBurst(std::span<const std::span<const uint8_t>> frames);
+
   // Filter hook points. The ingress hook runs after UDP decap with a
   // zero-copy PacketView aliasing the frame — a dropped packet never
   // materializes a Datagram, so the verdict costs no allocation. The egress
   // hook runs before encapsulation. Pass nullptr to remove a hook.
   void SetIngressFilter(FilterHook hook) { ingress_filter_ = std::move(hook); }
   void SetEgressFilter(FilterHook hook) { egress_filter_ = std::move(hook); }
+  // Batched ingress hook, consulted by OnFrameBurst (OnFrame keeps using the
+  // per-packet hook). Install both from the same filter to keep single-frame
+  // and burst ingress consistent.
+  void SetIngressBatchFilter(FilterBatchHook hook) {
+    ingress_batch_filter_ = std::move(hook);
+  }
 
   const StackStats& stats() const { return stats_; }
   const StackConfig& config() const { return config_; }
@@ -90,6 +104,14 @@ class ProtocolStack {
   // — ingress has no header left to rewrite).
   bool ApplyFilter(const FilterHook& hook, const PacketView& view, FilterDirection dir,
                    uint8_t* ttl_override = nullptr);
+  // The counting half of ApplyFilter, shared with the batch path (which gets
+  // its decisions from one hook call for the whole burst).
+  bool ApplyDecision(const FilterDecision& decision, uint8_t* ttl_override);
+  // Eth/IP/UDP ingress decapsulation with the drop counters; on success
+  // `packet` holds the payload and `view` aliases it (header fields filled).
+  bool DecapIngress(std::span<const uint8_t> frame, PacketBuffer* packet, PacketView* view);
+  // Socket lookup + datagram materialization for a packet the filter passed.
+  void Deliver(const PacketView& view);
 
   StackConfig config_;
   FrameSender sender_;
@@ -97,6 +119,7 @@ class ProtocolStack {
   std::map<Port, DatagramHandler> sockets_;
   FilterHook ingress_filter_;
   FilterHook egress_filter_;
+  FilterBatchHook ingress_batch_filter_;
   StackStats stats_;
   // Aliases onto stats_ — declared last so they unregister first. The names
   // are "net.stack.<host>.<field>" (per-instance, so two stacks in one test

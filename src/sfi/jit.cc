@@ -50,12 +50,6 @@ JitProgram::~JitProgram() {
 #endif
 }
 
-JitFault JitProgram::Run(size_t method, JitContext* ctx) const {
-  using Fn = uint64_t (*)(JitContext*);
-  auto fn = reinterpret_cast<Fn>(static_cast<uint8_t*>(buffer_) + entry_offsets_[method]);
-  return static_cast<JitFault>(fn(ctx));
-}
-
 #if PARA_SFI_JIT_BACKEND
 
 namespace {
@@ -91,6 +85,12 @@ constexpr int32_t kOffResult = offsetof(JitContext, result);
 constexpr int32_t kOffCallSp = offsetof(JitContext, call_sp);
 constexpr int32_t kOffCallStack = offsetof(JitContext, call_stack);
 constexpr int32_t kOffStack = offsetof(JitContext, stack);
+constexpr int32_t kOffBurstMem = offsetof(JitContext, burst_mem);
+constexpr int32_t kOffBurstMemSize = offsetof(JitContext, burst_mem_size);
+constexpr int32_t kOffBurstStride = offsetof(JitContext, burst_stride);
+constexpr int32_t kOffBurstCount = offsetof(JitContext, burst_count);
+constexpr int32_t kOffBurstFuel = offsetof(JitContext, burst_fuel);
+constexpr int32_t kOffBurstOut = offsetof(JitContext, burst_out);
 
 // Minimal x86-64 emitter: only the encodings the translator needs, each a
 // named method so the op templates below read like the assembly they emit.
@@ -245,6 +245,11 @@ class Emitter {
     Byte(opcode);  // 0x01 add / 0x29 sub / 0x21 and / 0x09 or / 0x31 xor: [mem] op= reg
     Mem(reg, base, index, scale, disp);
   }
+  void AluRegMem(uint8_t opcode, int reg, int base, int32_t disp) {
+    Rex(true, reg, kNoIndex, base);
+    Byte(opcode);  // 0x03 add / 0x2B sub: reg op= [mem]
+    Mem(reg, base, kNoIndex, 0, disp);
+  }
   void SubRegReg(int dst, int src) {
     Rex(true, src, kNoIndex, dst);
     Byte(0x29);
@@ -341,6 +346,12 @@ class Emitter {
   // Direct jumps to already-emitted code (the stubs).
   void JmpTo(size_t target) {
     Byte(0xE9);
+    U32(static_cast<uint32_t>(target - (pos() + 4)));
+  }
+  // Direct near call to already-emitted code (the entry stubs, from the
+  // burst trampolines).
+  void CallTo(size_t target) {
+    Byte(0xE8);
     U32(static_cast<uint32_t>(target - (pos() + 4)));
   }
   void JccTo(uint8_t cc, size_t target) {
@@ -771,6 +782,66 @@ Result<std::unique_ptr<const JitProgram>> JitCompile(const VerifiedProgram& prog
     e.JmpTo(insn_off[entry]);
   }
 
+  // ---- burst trampolines (one per method slot) ----
+  // The batch-entry ABI: loops the method over ctx->burst_count descriptor
+  // slots entirely in native code. Per slot it re-bases ctx.mem/mem_size
+  // (the window shrinks in step with the base, exactly like a loop of
+  // re-based single runs; the host guarantees every slot sits under the
+  // bounds slack so the size cursor cannot wrap), re-arms the fuel budget,
+  // zeroes the call stack, calls the method's entry stub, and stores the
+  // [result, fault] pair. Each entry run starts from the same context state
+  // a single run would have written, so metering is bit-identical per slot.
+  std::vector<uint32_t> burst_offsets;
+  burst_offsets.reserve(program.entry_points.size());
+  for (size_t m = 0; m < program.entry_points.size(); ++m) {
+    burst_offsets.push_back(static_cast<uint32_t>(e.pos()));
+    e.PushReg(kRbx);
+    e.PushReg(kRbp);
+    e.PushReg(kR12);
+    e.PushReg(kR13);
+    e.PushReg(kR14);
+    e.PushReg(kR15);
+    e.SubRegImm8(4 /*rsp*/, 8);  // entry stubs expect C++-caller alignment
+    e.MovRegReg(kRbx, kRdi);
+    e.MovRegMem(kRbp, kRbx, kNoIndex, 0, kOffBurstMem);      // slot base cursor
+    e.MovRegMem(kR12, kRbx, kNoIndex, 0, kOffBurstMemSize);  // slot size cursor
+    e.MovRegMem(kR13, kRbx, kNoIndex, 0, kOffBurstOut);
+    e.MovRegMem(kR14, kRbx, kNoIndex, 0, kOffBurstCount);
+    e.XorReg32(kR15);  // burst-total instructions retired
+    e.TestRegReg(kR14);
+    const size_t skip = e.JccPlaceholder(kCcE);
+    const size_t loop_top = e.pos();
+    e.MovMemReg(kRbx, kNoIndex, 0, kOffMem, kRbp);
+    e.MovMemReg(kRbx, kNoIndex, 0, kOffMemSize, kR12);
+    if (sandboxed) {
+      e.MovRegMem(kRax, kRbx, kNoIndex, 0, kOffBurstFuel);
+      e.MovMemReg(kRbx, kNoIndex, 0, kOffFuel, kRax);
+    }
+    e.MovMemImm32(kRbx, kOffCallSp, 0);
+    e.MovRegReg(kRdi, kRbx);
+    e.CallTo(entry_offsets[m]);
+    e.MovMemReg(kR13, kNoIndex, 0, 8, kRax);  // pair.fault (0 = clean)
+    e.MovRegMem(kRax, kRbx, kNoIndex, 0, kOffResult);
+    e.MovMemReg(kR13, kNoIndex, 0, 0, kRax);            // pair.result
+    e.AluRegMem(0x03, kR15, kRbx, kOffInstructions);    // += this run's retire count
+    e.AluRegMem(0x03, kRbp, kRbx, kOffBurstStride);     // next slot base
+    e.AluRegMem(0x2B, kR12, kRbx, kOffBurstStride);     // window shrinks in step
+    e.AddRegImm8(kR13, 16);
+    e.SubRegImm8(kR14, 1);
+    e.JccTo(kCcNE, loop_top);
+    e.PatchU32(skip, static_cast<uint32_t>(e.pos() - (skip + 4)));
+    e.MovMemReg(kRbx, kNoIndex, 0, kOffInstructions, kR15);  // burst total
+    e.AddRegImm8(4 /*rsp*/, 8);
+    e.PopReg(kR15);
+    e.PopReg(kR14);
+    e.PopReg(kR13);
+    e.PopReg(kR12);
+    e.PopReg(kRbp);
+    e.PopReg(kRbx);
+    e.XorReg32(kRax);
+    e.Ret();
+  }
+
   // ---- publish: copy into a fresh mapping, then seal W^X ----
   const long page_long = sysconf(_SC_PAGESIZE);
   const size_t page = page_long > 0 ? static_cast<size_t>(page_long) : 4096;
@@ -791,6 +862,7 @@ Result<std::unique_ptr<const JitProgram>> JitCompile(const VerifiedProgram& prog
   compiled->mapped_bytes_ = mapped;
   compiled->code_bytes_ = e.buf.size();
   compiled->entry_offsets_ = std::move(entry_offsets);
+  compiled->burst_entry_offsets_ = std::move(burst_offsets);
   compiled->mode_ = mode;
   return std::unique_ptr<const JitProgram>(std::move(compiled));
 }

@@ -54,6 +54,16 @@ struct JitContext {
   uint64_t call_sp; // native-address call stack, bounded at Vm::kCallDepth
   const void* call_stack[Vm::kCallDepth];
   uint64_t stack[Vm::kStackSlots];  // operand stack
+  // Batch-entry block (burst trampoline ABI; see JitProgram::RunBurst): the
+  // host writes these once per burst, then the generated trampoline loops
+  // the method over `burst_count` descriptor slots without returning to C++
+  // between packets.
+  uint8_t* burst_mem;       // slot 0 guest base
+  uint64_t burst_mem_size;  // usable bytes at slot 0 (bounds slack excluded)
+  uint64_t burst_stride;    // bytes from one slot base to the next
+  uint64_t burst_count;     // slots to evaluate
+  uint64_t burst_fuel;      // per-slot fuel budget (sandboxed runs re-arm it)
+  uint64_t* burst_out;      // interleaved [result, fault] pairs, 2 per slot
 };
 
 // Fault codes the generated code returns (0 = clean return). The host maps
@@ -83,7 +93,28 @@ class JitProgram {
   // Runs entry point `method` (caller guarantees it is in range) over `ctx`,
   // which the caller fully initialized. Returns the fault code; on kNone the
   // result value is in ctx->result. ctx->instructions is always written.
-  JitFault Run(size_t method, JitContext* ctx) const;
+  // Inline: the body is one indirect call, and keeping it visible lets the
+  // Vm's dispatch collapse to a single call frame (part of the amortized
+  // entry-cost work — the smoke gate holds BM_SfiNullTrusted to this).
+  JitFault Run(size_t method, JitContext* ctx) const {
+    using Fn = uint64_t (*)(JitContext*);
+    auto fn = reinterpret_cast<Fn>(static_cast<uint8_t*>(buffer_) + entry_offsets_[method]);
+    return static_cast<JitFault>(fn(ctx));
+  }
+
+  // Enters `method`'s burst trampoline: evaluates ctx->burst_count slots as
+  // the burst_* fields describe, leaving [result, fault] pairs in
+  // ctx->burst_out and the burst's total retired-instruction count in
+  // ctx->instructions. Per slot this is bit-identical to Run() over the
+  // re-based window — Vm::Burst::CallMany is the only caller and owns the
+  // layout preconditions (notably that every slot fits under the bounds
+  // slack, so the trampoline's shrinking size cursor cannot wrap).
+  void RunBurst(size_t method, JitContext* ctx) const {
+    using Fn = uint64_t (*)(JitContext*);
+    auto fn =
+        reinterpret_cast<Fn>(static_cast<uint8_t*>(buffer_) + burst_entry_offsets_[method]);
+    fn(ctx);
+  }
 
   ExecMode mode() const { return mode_; }
   size_t code_bytes() const { return code_bytes_; }  // mapped executable bytes
@@ -96,7 +127,8 @@ class JitProgram {
   void* buffer_ = nullptr;   // mmap base, PROT_READ|PROT_EXEC once built
   size_t mapped_bytes_ = 0;  // mmap length (page-rounded)
   size_t code_bytes_ = 0;    // bytes actually emitted
-  std::vector<uint32_t> entry_offsets_;  // per method slot, into buffer_
+  std::vector<uint32_t> entry_offsets_;        // per method slot, into buffer_
+  std::vector<uint32_t> burst_entry_offsets_;  // per method slot: burst trampoline
   ExecMode mode_ = ExecMode::kSandboxed;
 };
 

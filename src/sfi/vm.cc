@@ -32,6 +32,34 @@ size_t RoundUpPow2(size_t v) {
 [[maybe_unused]] constexpr uint8_t OpIndex(Op op) { return static_cast<uint8_t>(op); }
 [[maybe_unused]] constexpr uint8_t OpIndex(uint8_t raw) { return raw; }
 
+// Codes and messages are byte-identical to RunImpl's: callers (and the
+// differential tests) must not be able to tell the backends apart.
+Status JitFaultToStatus(JitFault fault) {
+  switch (fault) {
+    case JitFault::kNone:
+      break;  // callers handle the clean exit themselves
+    case JitFault::kOutOfFuel:
+      return Status(ErrorCode::kResourceExhausted, "out of fuel");
+    case JitFault::kLoadOutOfBounds:
+      return Status(ErrorCode::kOutOfRange, "load out of bounds");
+    case JitFault::kStoreOutOfBounds:
+      return Status(ErrorCode::kOutOfRange, "store out of bounds");
+    case JitFault::kDivideByZero:
+      return Status(ErrorCode::kInvalidArgument, "divide by zero");
+    case JitFault::kStackUnderflow:
+      return Status(ErrorCode::kFailedPrecondition, "stack underflow");
+    case JitFault::kStackOverflow:
+      return Status(ErrorCode::kResourceExhausted, "stack overflow");
+    case JitFault::kCallDepth:
+      return Status(ErrorCode::kResourceExhausted, "call depth exceeded");
+    case JitFault::kUnboundHostHelper:
+      return Status(ErrorCode::kFailedPrecondition, "unbound host helper");
+    case JitFault::kPcOutOfCode:
+      return Status(ErrorCode::kOutOfRange, "pc out of code");
+  }
+  return Status(ErrorCode::kInternal, "jit: bad fault code");
+}
+
 }  // namespace
 
 Vm::Vm(const VerifiedProgram* program, ExecMode mode, VmBackend backend)
@@ -115,32 +143,53 @@ Result<uint64_t> Vm::RunDispatch(size_t method, uint64_t a0, uint64_t a1, uint64
   // Compile-time specialization: the trusted loop contains no trace of the
   // run-time checks, exactly like certified native code.
   if (mode_ == ExecMode::kSandboxed) {
-    return RunImpl<true>(method, a0, a1, a2, a3);
+    return RunImpl<true>(method, a0, a1, a2, a3, 0);
   }
-  return RunImpl<false>(method, a0, a1, a2, a3);
+  return RunImpl<false>(method, a0, a1, a2, a3, 0);
+}
+
+JitContext& Vm::JitCtx() {
+  if (jit_ctx_ == nullptr) [[unlikely]] {
+    jit_ctx_ = std::make_unique<JitContext>();
+    // Invariant fields, written once at attach. The helper table pointers
+    // target the member arrays themselves, so SetHostHelper's in-place
+    // writes are visible without re-publishing.
+    jit_ctx_->helpers = host_helpers_;
+    jit_ctx_->helper_ctx = host_ctx_;
+  }
+  JitContext& ctx = *jit_ctx_;
+  // memory() is a mutable accessor: refresh the base/size only when the
+  // vector moved or was resized. Same saturation as RunImpl — never let
+  // mem_size wrap (a wrapped size would disable every sandbox bounds check).
+  if (memory_.data() != jit_mem_base_ || memory_.size() != jit_mem_bytes_) [[unlikely]] {
+    jit_mem_base_ = memory_.data();
+    jit_mem_bytes_ = memory_.size();
+    ctx.mem = jit_mem_base_;
+    ctx.mem_size = jit_mem_bytes_ < 8 ? 0 : jit_mem_bytes_ - 8;
+  }
+  return ctx;
 }
 
 Result<uint64_t> Vm::RunJit(size_t method, uint64_t a0, uint64_t a1, uint64_t a2, uint64_t a3) {
-  if (jit_ctx_ == nullptr) {
-    jit_ctx_ = std::make_unique<JitContext>();
-  }
-  JitContext& ctx = *jit_ctx_;
+  JitContext& ctx = JitCtx();
   ctx.args[0] = a0;
   ctx.args[1] = a1;
   ctx.args[2] = a2;
   ctx.args[3] = a3;
-  ctx.mem = memory_.data();
-  // Same saturation as RunImpl: memory() is mutable, so never let mem_size
-  // wrap (a wrapped size would disable every sandbox bounds check).
-  ctx.mem_size = memory_.size() < 8 ? 0 : memory_.size() - 8;
-  ctx.fuel = fuel_;
-  ctx.instructions = 0;
-  ctx.bounds_checks = 0;
+  // instructions and result need no reset: every exit path (fault stubs
+  // included) funnels through the common epilogue, which overwrites
+  // ctx.instructions from the retire counter, and ctx.result is written by
+  // every clean exit and unread on faults. The incremented-in-place
+  // counters and the call stack pointer DO need zeroing per run — except
+  // that trusted code neither reads fuel nor touches bounds_checks (the
+  // prologue skips the fuel load; no checks are emitted), so those two
+  // fields go untouched on the trusted path.
+  if (mode_ == ExecMode::kSandboxed) {
+    ctx.fuel = fuel_;
+    ctx.bounds_checks = 0;
+  }
   ctx.calls = 0;
   ctx.host_calls = 0;
-  ctx.helpers = host_helpers_;
-  ctx.helper_ctx = host_ctx_;
-  ctx.result = 0;
   ctx.call_sp = 0;
 
   const JitFault fault = jit_->Run(method, &ctx);
@@ -148,48 +197,146 @@ Result<uint64_t> Vm::RunJit(size_t method, uint64_t a0, uint64_t a1, uint64_t a2
   // Counter deltas land in stats_ on every exit, fault or clean — the same
   // contract as the interpreter's CounterFlush destructor.
   stats_.instructions += ctx.instructions;
-  stats_.bounds_checks += ctx.bounds_checks;
+  if (mode_ == ExecMode::kSandboxed) {
+    stats_.bounds_checks += ctx.bounds_checks;
+  }
   stats_.calls += ctx.calls;
   stats_.host_calls += ctx.host_calls;
   ++stats_.jit_runs;
 
-  switch (fault) {
-    case JitFault::kNone:
-      return ctx.result;
-    // Codes and messages are byte-identical to RunImpl's: callers (and the
-    // differential tests) must not be able to tell the backends apart.
-    case JitFault::kOutOfFuel:
-      return Status(ErrorCode::kResourceExhausted, "out of fuel");
-    case JitFault::kLoadOutOfBounds:
-      return Status(ErrorCode::kOutOfRange, "load out of bounds");
-    case JitFault::kStoreOutOfBounds:
-      return Status(ErrorCode::kOutOfRange, "store out of bounds");
-    case JitFault::kDivideByZero:
-      return Status(ErrorCode::kInvalidArgument, "divide by zero");
-    case JitFault::kStackUnderflow:
-      return Status(ErrorCode::kFailedPrecondition, "stack underflow");
-    case JitFault::kStackOverflow:
-      return Status(ErrorCode::kResourceExhausted, "stack overflow");
-    case JitFault::kCallDepth:
-      return Status(ErrorCode::kResourceExhausted, "call depth exceeded");
-    case JitFault::kUnboundHostHelper:
-      return Status(ErrorCode::kFailedPrecondition, "unbound host helper");
-    case JitFault::kPcOutOfCode:
-      return Status(ErrorCode::kOutOfRange, "pc out of code");
+  if (fault == JitFault::kNone) {
+    return ctx.result;
   }
-  return Status(ErrorCode::kInternal, "jit: bad fault code");
+  return JitFaultToStatus(fault);
+}
+
+Vm::Burst::Burst(Vm& vm, size_t method)
+    : vm_(&vm), method_(method), valid_(method < vm.program_->entry_points.size()) {
+  // Resolve the backend exactly like RunDispatch — lazy compile, observable
+  // fallback — so a burst is indistinguishable from a loop of Run().
+  if (valid_ && vm_->backend_ == VmBackend::kJit && vm_->jit_ == nullptr) {
+    auto compiled = GetOrCompileJit(*vm_->program_, vm_->mode_);
+    if (compiled.ok()) {
+      vm_->jit_ = std::move(compiled).value();
+    } else {
+      vm_->backend_ = VmBackend::kThreaded;
+    }
+  }
+  jit_ = valid_ && vm_->backend_ == VmBackend::kJit;
+  if (jit_) {
+    JitContext& ctx = vm_->JitCtx();
+    ctx.args[1] = 0;
+    ctx.args[2] = 0;
+    ctx.args[3] = 0;
+    // Zeroed once here; the generated code increments them in place, so they
+    // accumulate across the whole burst and flush in the destructor.
+    ctx.bounds_checks = 0;
+    ctx.calls = 0;
+    ctx.host_calls = 0;
+  }
+}
+
+Vm::Burst::~Burst() {
+  if (vm_ == nullptr) {
+    return;  // moved-from
+  }
+  if (jit_ && jit_runs_ > 0) {
+    JitContext& ctx = *vm_->jit_ctx_;
+    vm_->stats_.instructions += instructions_;
+    vm_->stats_.bounds_checks += ctx.bounds_checks;
+    vm_->stats_.calls += ctx.calls;
+    vm_->stats_.host_calls += ctx.host_calls;
+    vm_->stats_.jit_runs += jit_runs_;
+    // ctx.mem was re-based per call: clear the cache key so the next
+    // single-run path re-publishes the true base and full size.
+    vm_->jit_mem_base_ = nullptr;
+  }
+  if constexpr (telemetry::kEnabled) {
+    if (runs_ > 0) {
+      static telemetry::Counter counter = telemetry::Registry::Get().counter("sfi.vm.runs");
+      counter.Add(runs_);
+    }
+  }
+}
+
+Result<uint64_t> Vm::Burst::Call(size_t mem_off, uint64_t a0) {
+  if (!valid_) {
+    return Status(ErrorCode::kNotFound, "no such entry point");
+  }
+  PARA_CHECK(mem_off <= vm_->memory_.size());
+  ++runs_;
+  if (!jit_) {
+    // Threaded backend: RunImpl flushes its own counters per call; only the
+    // descriptor re-base differs from a plain Run().
+    if (vm_->mode_ == ExecMode::kSandboxed) {
+      return vm_->RunImpl<true>(method_, a0, 0, 0, 0, mem_off);
+    }
+    return vm_->RunImpl<false>(method_, a0, 0, 0, 0, mem_off);
+  }
+  JitContext& ctx = *vm_->jit_ctx_;
+  ctx.args[0] = a0;
+  // Re-base guest address 0 onto the descriptor slot; sandboxed bounds
+  // shrink by the same offset (saturating, as everywhere).
+  ctx.mem = vm_->memory_.data() + mem_off;
+  const size_t bytes = vm_->memory_.size();
+  ctx.mem_size = (bytes < 8 || bytes - 8 < mem_off) ? 0 : bytes - 8 - mem_off;
+  ctx.fuel = vm_->fuel_;
+  ctx.call_sp = 0;
+
+  const JitFault fault = vm_->jit_->Run(method_, &ctx);
+  instructions_ += ctx.instructions;
+  ++jit_runs_;
+  if (fault == JitFault::kNone) {
+    return ctx.result;
+  }
+  return JitFaultToStatus(fault);
+}
+
+bool Vm::Burst::CallMany(size_t base_off, size_t stride, size_t count, uint64_t* out) {
+  if (!valid_ || !jit_ || count == 0) {
+    return false;
+  }
+  // The whole layout must sit under the bounds slack: every slot i then gets
+  // the exact window Call(base_off + i*stride) would compute, and the
+  // trampoline's monotonically shrinking size cursor can never wrap — which
+  // is what keeps the sandboxed bounds checks sound across the burst.
+  const size_t bytes = vm_->memory_.size();
+  if (bytes < 8 || base_off > bytes - 8) {
+    return false;
+  }
+  if (stride != 0 && count - 1 > (bytes - 8 - base_off) / stride) {
+    return false;
+  }
+  JitContext& ctx = *vm_->jit_ctx_;
+  ctx.args[0] = 0;
+  ctx.burst_mem = vm_->memory_.data() + base_off;
+  ctx.burst_mem_size = bytes - 8 - base_off;
+  ctx.burst_stride = stride;
+  ctx.burst_count = count;
+  ctx.burst_fuel = vm_->fuel_;
+  ctx.burst_out = out;
+  vm_->jit_->RunBurst(method_, &ctx);
+  // The trampoline left the burst's total retire count in ctx.instructions;
+  // per-slot jit_runs accounting matches a loop of Call().
+  runs_ += count;
+  jit_runs_ += count;
+  instructions_ += ctx.instructions;
+  return true;
 }
 
 template <bool kSandboxed>
-Result<uint64_t> Vm::RunImpl(size_t method, uint64_t a0, uint64_t a1, uint64_t a2,
-                             uint64_t a3) {
+Result<uint64_t> Vm::RunImpl(size_t method, uint64_t a0, uint64_t a1, uint64_t a2, uint64_t a3,
+                             size_t mem_off) {
   const DecodedInsn* const code = program_->code.data();
   constexpr bool sandboxed = kSandboxed;
   // Power of two with 8 bytes of slack beyond — but memory() is a mutable
   // accessor, so saturate rather than wrap if a caller shrank it below the
   // slack (a wrapped mem_size would disable every sandbox bounds check).
-  const size_t mem_size = memory_.size() < 8 ? 0 : memory_.size() - 8;
-  uint8_t* const mem = memory_.data();
+  // A burst re-bases guest address 0 to memory_[mem_off]; the usable size
+  // shrinks by the same offset, saturating identically.
+  const size_t mem_size =
+      (memory_.size() < 8 || memory_.size() - 8 < mem_off) ? 0 : memory_.size() - 8 - mem_off;
+  uint8_t* const mem = memory_.data() + (mem_off <= memory_.size() ? mem_off : 0);
   (void)mem_size;
 
   uint64_t stack[kStackSlots];

@@ -77,6 +77,71 @@ class Vm {
   Result<uint64_t> Run(size_t method, uint64_t a0 = 0, uint64_t a1 = 0, uint64_t a2 = 0,
                        uint64_t a3 = 0);
 
+  // A burst amortizes per-run entry cost across many calls to one entry
+  // point. On the JIT backend the JitContext invariants (memory base/size,
+  // helper table) are written once at burst start, the VmStats/telemetry
+  // flush is deferred to burst end, and bounds_checks/calls/host_calls
+  // accumulate in the context across the whole burst. Each Call() may
+  // re-base guest address 0 to byte offset `mem_off` of this Vm's memory —
+  // sandboxed bounds shrink by the same offset — which lets a caller marshal
+  // N packet descriptors side by side and evaluate each without re-copying.
+  // Results, faults, fuel boundaries, and final VmStats are bit-identical to
+  // the equivalent loop of Run() calls (the differential tests enforce it).
+  // Do not call Run() on the Vm while one of its bursts is open: the
+  // deferred counter flush would double- or under-count.
+  class Burst {
+   public:
+    Burst(const Burst&) = delete;
+    Burst& operator=(const Burst&) = delete;
+    // Movable so callers can stage bursts in std::optional slots; the
+    // moved-from burst is inert (its flush responsibility transfers).
+    Burst(Burst&& other) noexcept
+        : vm_(other.vm_),
+          method_(other.method_),
+          valid_(other.valid_),
+          jit_(other.jit_),
+          runs_(other.runs_),
+          jit_runs_(other.jit_runs_),
+          instructions_(other.instructions_) {
+      other.vm_ = nullptr;
+    }
+    ~Burst();
+
+    // Runs the burst's entry point with guest address 0 at memory()[mem_off]
+    // and a single argument. mem_off must not exceed memory().size().
+    Result<uint64_t> Call(size_t mem_off, uint64_t a0 = 0);
+
+    // Evaluates `count` descriptor slots in ONE native entry: slot i behaves
+    // exactly like Call(base_off + i*stride, /*a0=*/0) — same re-based
+    // window, same per-slot fuel budget, same metering — but the loop runs
+    // inside the program's generated burst trampoline, so the per-packet
+    // host round trip disappears. out[2i] receives slot i's result and
+    // out[2i+1] its fault word (0 = clean; nonzero values are
+    // backend-internal codes, treat as a boolean). A faulting slot does not
+    // stop the burst — later slots still evaluate, as they would in a loop
+    // of Call(). Returns false without touching `out` when this burst
+    // cannot take the fast path (threaded backend, unknown entry point,
+    // count 0, or a layout whose last slot would cross the memory bounds
+    // slack) — callers fall back to a loop of Call().
+    bool CallMany(size_t base_off, size_t stride, size_t count, uint64_t* out);
+
+   private:
+    friend class Vm;
+    Burst(Vm& vm, size_t method);
+
+    Vm* vm_;
+    size_t method_;
+    bool valid_;  // entry point exists
+    bool jit_;    // served by native code
+    uint64_t runs_ = 0;
+    uint64_t jit_runs_ = 0;
+    uint64_t instructions_ = 0;
+  };
+
+  // The burst object must not outlive the Vm (or a memory() reallocation is
+  // fine — Call() re-reads the base every call on both backends).
+  Burst BeginBurst(size_t method) { return Burst(*this, method); }
+
   std::vector<uint8_t>& memory() { return memory_; }
   const VmStats& stats() const { return stats_; }
   ExecMode mode() const { return mode_; }
@@ -95,8 +160,12 @@ class Vm {
   // The dispatch loop, specialized per mode at compile time so trusted
   // execution carries no residue of the sandbox checks. Computed-goto
   // threaded code under GCC/Clang, a switch loop elsewhere.
+  // `mem_off` re-bases guest address 0 to memory_[mem_off] (burst descriptor
+  // slots); sandboxed bounds shrink by the same offset, so the check
+  // semantics are those of a memory that starts at the slot.
   template <bool kSandboxed>
-  Result<uint64_t> RunImpl(size_t method, uint64_t a0, uint64_t a1, uint64_t a2, uint64_t a3);
+  Result<uint64_t> RunImpl(size_t method, uint64_t a0, uint64_t a1, uint64_t a2, uint64_t a3,
+                           size_t mem_off = 0);
 
   // Run() minus the telemetry wrapper: entry-point check, lazy JIT resolve,
   // and dispatch to the native code or the mode-specialized threaded loop.
@@ -112,8 +181,19 @@ class Vm {
   // Native-code Run path: compiles lazily on first use (shared through the
   // program's JitCacheSlot), maps JitFaults back to the interpreter's exact
   // Status codes and messages, and folds the run's counter deltas into
-  // stats_.
-  Result<uint64_t> RunJit(size_t method, uint64_t a0, uint64_t a1, uint64_t a2, uint64_t a3);
+  // stats_. Forced inline: its only callers are in vm.cc, and collapsing the
+  // Run → dispatch → native-entry chain into one frame is part of the
+  // entry-cost budget the BM_SfiNullTrusted smoke gate enforces.
+  [[gnu::always_inline]] inline Result<uint64_t> RunJit(size_t method, uint64_t a0,
+                                                        uint64_t a1, uint64_t a2, uint64_t a3);
+
+  // Returns the persistent JitContext, allocating it and writing the
+  // invariant fields (helper table) on first use, and refreshing the cached
+  // memory base/size only when memory() was resized or reallocated. This is
+  // the leaner calling convention that shaves the per-run setup cost: a
+  // steady-state Run() writes args/fuel and zeroes four counters, nothing
+  // else.
+  JitContext& JitCtx();
 
   const VerifiedProgram* program_;
   ExecMode mode_;
@@ -125,6 +205,11 @@ class Vm {
   void* host_ctx_[kMaxHostHelpers] = {};
   std::shared_ptr<const JitProgram> jit_;  // pinned compiled code (jit backend)
   std::unique_ptr<JitContext> jit_ctx_;    // reused across runs (~10 KiB)
+  // Cache keys for the JitContext's mem/mem_size fields: when they still
+  // match memory_, the per-run path skips both stores. A Burst that re-based
+  // ctx.mem clears jit_mem_base_ on close to force a refresh.
+  uint8_t* jit_mem_base_ = nullptr;
+  size_t jit_mem_bytes_ = 0;
 };
 
 }  // namespace para::sfi

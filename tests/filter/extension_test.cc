@@ -175,6 +175,7 @@ TEST(RuleProcTest, ProcedureStateIsPerRuleNeverShared)
 {
   FilterConfig config;
   config.track_flows = false;
+  config.shards = 1;  // the test reads shard 0's chain state directly
   auto filter = PacketFilter::Create(config);
   ASSERT_TRUE(filter.ok());
   auto rules = ParseRules(
@@ -223,6 +224,7 @@ TEST(RuleProcTest, NormalizeRequestsTtlRewriteOnlyWhenNeeded) {
 TEST(RuleProcTest, FuelExhaustionMidChainDropsPacketNotFilter) {
   FilterConfig config;
   config.track_flows = false;
+  config.shards = 1;     // the test reads shard 0's chain state directly
   config.proc_fuel = 3;  // not enough for even the count procedure
   auto filter = PacketFilter::Create(config);
   ASSERT_TRUE(filter.ok());
@@ -253,6 +255,7 @@ TEST(RuleProcTest, HotReloadResetsProcedureStateAndReevaluatesFlows) {
   // No clock: the ratelimit refill is (virtually) zero, so burst=1 admits
   // exactly one packet per procedure instance lifetime.
   FilterConfig config;
+  config.shards = 1;  // per-shard ratelimit buckets; the test drains shard 0's
   auto filter = PacketFilter::Create(config);
   ASSERT_TRUE(filter.ok());
   auto rules = ParseRules("pass dport 80 proc ratelimit(rate=1,burst=1)\ndefault drop\n");

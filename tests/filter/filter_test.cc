@@ -917,7 +917,9 @@ TEST(PacketFilterTest, DescriptorMarshallingFailureFailsClosed) {
   // packet. The filter must drop instead.
   auto rules = ParseRules("drop dport 23\ndefault pass\n");
   ASSERT_TRUE(rules.ok());
-  auto filter = PacketFilter::Create({});
+  FilterConfig config;
+  config.shards = 1;  // fault injection targets shard 0's vm()
+  auto filter = PacketFilter::Create(config);
   ASSERT_TRUE(filter.ok());
   ASSERT_TRUE((*filter)->Load(*rules).ok());
 
