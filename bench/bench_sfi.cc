@@ -215,6 +215,19 @@ void BM_SfiFieldCheckSandboxedUnfused(benchmark::State& state) {
                                       static_cast<uint64_t>(state.range(0)),
                                       {.fuse_superinstructions = false});
 }
+// The analysis A/B rows: kFieldCheckSource's constant-offset loads are all
+// statically provable, so NoAnalysis isolates what check elision shaves off
+// the sandboxed hot path (the default row above runs analyzed).
+void BM_SfiFieldCheckSandboxedNoAnalysis(benchmark::State& state) {
+  RunBench<sfi::ExecMode::kSandboxed>(state, kFieldCheckSource,
+                                      static_cast<uint64_t>(state.range(0)),
+                                      {.analyze = false});
+}
+void BM_SfiChecksumSandboxedNoAnalysis(benchmark::State& state) {
+  RunBench<sfi::ExecMode::kSandboxed>(state, kChecksumSource,
+                                      static_cast<uint64_t>(state.range(0)),
+                                      {.analyze = false});
+}
 
 // Threaded-loop comparison rows: the same workloads with the JIT forced off.
 // The unsuffixed rows above run whatever kAuto resolves to (the JIT on
@@ -263,6 +276,9 @@ void BM_SfiFieldCheckSandboxedThreaded(benchmark::State& state) {
 }
 
 // Load-time cost: Verify (and, post-refactor, pre-decode) by program size.
+// range(1) toggles the static-analysis pass, so the analyzer's load-time
+// price — the fixpoint over the interval domain — reads directly off the
+// Analyzed-vs-Plain pair at each size.
 void BM_SfiVerify(benchmark::State& state) {
   // Repeat the arithmetic body to reach the requested instruction count.
   std::string source;
@@ -272,8 +288,9 @@ void BM_SfiVerify(benchmark::State& state) {
   }
   source += "halt\n";
   sfi::Program program = MustAssemble(source);
+  const sfi::VerifyOptions options = {.analyze = state.range(1) != 0};
   for (auto _ : state) {
-    auto verified = sfi::Verify(program);
+    auto verified = sfi::Verify(program, options);
     benchmark::DoNotOptimize(verified);
   }
   state.counters["code_bytes"] = static_cast<double>(program.code.size());
@@ -306,6 +323,8 @@ BENCHMARK(BM_SfiFieldCheckTrusted)->Arg(64)->Arg(256);
 BENCHMARK(BM_SfiFieldCheckTrustedUnfused)->Arg(64)->Arg(256);
 BENCHMARK(BM_SfiFieldCheckSandboxed)->Arg(64)->Arg(256);
 BENCHMARK(BM_SfiFieldCheckSandboxedUnfused)->Arg(64)->Arg(256);
+BENCHMARK(BM_SfiFieldCheckSandboxedNoAnalysis)->Arg(64)->Arg(256);
+BENCHMARK(BM_SfiChecksumSandboxedNoAnalysis)->Arg(64)->Arg(256);
 BENCHMARK(BM_SfiNullTrustedThreaded);
 BENCHMARK(BM_SfiNullSandboxedThreaded);
 BENCHMARK(BM_SfiArithTrustedThreaded);
@@ -316,7 +335,9 @@ BENCHMARK(BM_SfiBranchyTrustedThreaded)->Arg(64)->Arg(256);
 BENCHMARK(BM_SfiBranchySandboxedThreaded)->Arg(64)->Arg(256);
 BENCHMARK(BM_SfiFieldCheckTrustedThreaded)->Arg(64)->Arg(256);
 BENCHMARK(BM_SfiFieldCheckSandboxedThreaded)->Arg(64)->Arg(256);
-BENCHMARK(BM_SfiVerify)->Arg(16)->Arg(256)->Arg(4096);
+BENCHMARK(BM_SfiVerify)
+    ->ArgsProduct({{16, 256, 4096}, {0, 1}})
+    ->ArgNames({"insns", "analyze"});
 BENCHMARK(BM_SfiCalibrate);
 
 }  // namespace

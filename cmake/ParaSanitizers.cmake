@@ -2,10 +2,25 @@
 # than per-target: sanitizer runtimes must be linked into every binary, and
 # mixing instrumented and uninstrumented static libraries produces false
 # negatives.
+if(PARA_SANITIZE AND PARA_TSAN)
+  message(FATAL_ERROR "PARA_SANITIZE and PARA_TSAN are mutually exclusive: "
+                      "ASan and TSan cannot be linked into one binary")
+endif()
+
 if(PARA_SANITIZE)
   add_compile_options(
     -fsanitize=address,undefined
     -fno-omit-frame-pointer
     -fno-sanitize-recover=all)
   add_link_options(-fsanitize=address,undefined)
+endif()
+
+# ThreadSanitizer flavor (-DPARA_TSAN=ON): the data-race gate for the
+# sharded filter data plane, epoch reclamation, and telemetry registry.
+# Same global-application rationale as above.
+if(PARA_TSAN)
+  add_compile_options(
+    -fsanitize=thread
+    -fno-omit-frame-pointer)
+  add_link_options(-fsanitize=thread)
 endif()

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (checks pinned in .clang-tidy, warnings-as-errors) over
+# every .cc under src/ tests/ bench/ examples/, using the compile commands of
+# an existing build tree. Mirrors check-format.sh: zero findings or nonzero
+# exit.
+# Usage: scripts/check-tidy.sh [build-dir] [clang-tidy-binary]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+CLANG_TIDY="${2:-clang-tidy}"
+
+if [[ ! -f "${BUILD_DIR}/compile_commands.json" ]]; then
+  echo "error: ${BUILD_DIR}/compile_commands.json not found." >&2
+  echo "Configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON first." >&2
+  exit 2
+fi
+
+"${CLANG_TIDY}" --version
+
+mapfile -t files < <(find src tests bench examples -name '*.cc' -o -name '*.cpp')
+
+# run-clang-tidy parallelizes when available; fall back to a serial loop so
+# the gate works with a bare clang-tidy install.
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  run-clang-tidy -clang-tidy-binary "${CLANG_TIDY}" -p "${BUILD_DIR}" \
+    -quiet "${files[@]}"
+else
+  for f in "${files[@]}"; do
+    "${CLANG_TIDY}" -p "${BUILD_DIR}" --quiet "$f"
+  done
+fi
+echo "tidy OK: ${#files[@]} files"

@@ -97,7 +97,7 @@ SMOKE_FILTER_JSON="$(mktemp /tmp/smoke_filter.XXXXXX.json)"
 trap 'rm -f "${SMOKE_SFI_JSON}" "${SMOKE_FILTER_JSON}"' EXIT
 if [[ -f "${SFI_BASELINE}" ]] && command -v python3 >/dev/null 2>&1; then
   "${BUILD_DIR}/bench/bench_sfi" \
-    --benchmark_filter='^(BM_SfiNullTrusted|BM_SfiFieldCheckTrusted/256|BM_SfiCalibrate)$' \
+    --benchmark_filter='^(BM_SfiNullTrusted|BM_SfiFieldCheckTrusted/256|BM_SfiFieldCheckSandboxed(Threaded)?/256|BM_SfiCalibrate)$' \
     --benchmark_repetitions=5 \
     --benchmark_out="${SMOKE_SFI_JSON}" --benchmark_out_format=json >/dev/null
   compare_gate "${SFI_BASELINE}" "${SMOKE_SFI_JSON}" BM_SfiNullTrusted BM_SfiCalibrate 1.25
@@ -110,6 +110,22 @@ if [[ -f "${SFI_BASELINE}" ]] && command -v python3 >/dev/null 2>&1; then
       "BM_SfiFieldCheckTrusted/256" BM_SfiCalibrate 1.05
   else
     echo "smoke-bench: sfi telemetry gate skipped (row missing from baseline)"
+  fi
+  # The check-elision lock-in gates: the baseline rows were recorded with the
+  # static analyzer discharging every bounds check in kFieldCheckSource.
+  #  * Threaded row at 1.12x — re-introducing the run-time checks costs ~16%
+  #    on the threaded loop (the largest elision win), safely above the
+  #    interpreter's code-layout wobble but below the regression.
+  #  * Default-backend (JIT) row at 1.10x — the JIT absorbs a predicted
+  #    range test almost for free, so this row gates general sandboxed
+  #    dispatch health more than elision itself.
+  if grep -q "BM_SfiFieldCheckSandboxedThreaded/256" "${SFI_BASELINE}"; then
+    compare_gate "${SFI_BASELINE}" "${SMOKE_SFI_JSON}" \
+      "BM_SfiFieldCheckSandboxedThreaded/256" BM_SfiCalibrate 1.12
+    compare_gate "${SFI_BASELINE}" "${SMOKE_SFI_JSON}" \
+      "BM_SfiFieldCheckSandboxed/256" BM_SfiCalibrate 1.10
+  else
+    echo "smoke-bench: elision gates skipped (rows missing from baseline)"
   fi
 else
   echo "smoke-bench: sfi gate skipped (no baseline or no python3)"

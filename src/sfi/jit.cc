@@ -91,6 +91,7 @@ constexpr int32_t kOffBurstStride = offsetof(JitContext, burst_stride);
 constexpr int32_t kOffBurstCount = offsetof(JitContext, burst_count);
 constexpr int32_t kOffBurstFuel = offsetof(JitContext, burst_fuel);
 constexpr int32_t kOffBurstOut = offsetof(JitContext, burst_out);
+constexpr int32_t kOffStaticProofs = offsetof(JitContext, static_proofs);
 
 // Minimal x86-64 emitter: only the encodings the translator needs, each a
 // named method so the op templates below read like the assembly they emit.
@@ -378,8 +379,11 @@ class Emitter {
 struct Stubs {
   size_t exit_common;  // rax = fault code; flushes r15, restores, returns
   size_t ret_zero;     // clean return with result 0 (halt / outermost ret)
-  size_t fault[10];    // indexed by JitFault
+  size_t fault[11];    // indexed by JitFault
 };
+constexpr int kNumFaults = static_cast<int>(JitFault::kElideFloorMiss) + 1;
+static_assert(kNumFaults == sizeof(Stubs::fault) / sizeof(size_t),
+              "one stub per JitFault value");
 
 // Operand-stack accessors. r12 is the slot index of the next free slot;
 // slot_disp is in *slots* relative to r12 (e.g. -1 = top of stack).
@@ -462,7 +466,7 @@ Result<std::unique_ptr<const JitProgram>> JitCompile(const VerifiedProgram& prog
   e.MovMemImm32(kRbx, kOffResult, 0);
   e.XorReg32(kRax);
   e.JmpTo(stubs.exit_common);
-  for (int f = 1; f < 10; ++f) {
+  for (int f = 1; f < kNumFaults; ++f) {
     stubs.fault[f] = e.pos();
     e.MovRegImm(kRax, static_cast<uint64_t>(f));
     e.JmpTo(stubs.exit_common);
@@ -487,6 +491,52 @@ Result<std::unique_ptr<const JitProgram>> JitCompile(const VerifiedProgram& prog
       if (sandboxed) {
         BoundsCheck(e, width, fault_load);
       }
+      e.LoadWidth(kRax, kR13, kRax, width);
+      StoreSlot(e, kRax, 0);
+      e.AddRegImm8(kR12, 1);
+      continue;
+    }
+    // Elided accesses: the verifier's static analyzer proved these in-bounds
+    // for every memory window >= program.elide_floor (the entry stub rejects
+    // smaller windows before running), so sandboxed code skips the range
+    // test. The access is still charged: each elided site bumps ONLY
+    // ctx->static_proofs — one counter RMW, same cost as the checked site's
+    // bounds_checks bump — and the host folds static_proofs into
+    // bounds_checks at flush time, so the coverage count is bit-identical
+    // with analyze=false. Metering is untouched: fuel boundaries cannot
+    // move. Trusted code is identical to the unelided trusted template.
+    if (op >= kOpLoad8Elided && op <= kOpLoad64Elided) {
+      const size_t width = size_t{1} << (op - kOpLoad8Elided);
+      Meter(e, sandboxed, stubs);
+      if (sandboxed) {
+        e.IncMem(kRbx, kOffStaticProofs);
+      }
+      LoadSlot(e, kRax, -1);  // addr; top is replaced in place
+      e.LoadWidth(kRax, kR13, kRax, width);
+      StoreSlot(e, kRax, -1);
+      continue;
+    }
+    if (op >= kOpStore8Elided && op <= kOpStore64Elided) {
+      const size_t width = size_t{1} << (op - kOpStore8Elided);
+      Meter(e, sandboxed, stubs);
+      if (sandboxed) {
+        e.IncMem(kRbx, kOffStaticProofs);
+      }
+      e.SubRegImm8(kR12, 2);
+      LoadSlot(e, kRdx, 1);  // stored value (old top)
+      LoadSlot(e, kRax, 0);  // addr
+      e.StoreWidth(kR13, kRax, kRdx, width);
+      continue;
+    }
+    if (op >= kOpFusedPushLoad8Elided && op <= kOpFusedPushLoad64Elided) {
+      // push imm; loadN with the check discharged — still meters twice.
+      const size_t width = size_t{1} << (op - kOpFusedPushLoad8Elided);
+      Meter(e, sandboxed, stubs);
+      Meter(e, sandboxed, stubs);
+      if (sandboxed) {
+        e.IncMem(kRbx, kOffStaticProofs);
+      }
+      e.MovRegImm(kRax, insn.imm);
       e.LoadWidth(kRax, kR13, kRax, width);
       StoreSlot(e, kRax, 0);
       e.AddRegImm8(kR12, 1);
@@ -779,6 +829,17 @@ Result<std::unique_ptr<const JitProgram>> JitCompile(const VerifiedProgram& prog
       e.MovRegMem(kR14, kRbx, kNoIndex, 0, kOffFuel);
     }
     e.XorReg32(kR15);
+    if (sandboxed && program.elide_floor > 0) {
+      // Elision soundness gate: the analyzer's proofs assumed at least
+      // elide_floor usable bytes. A run over a smaller window (shrunk
+      // memory(), deep burst re-base) bails out to the host before executing
+      // anything; the host re-runs it on the checked interpreter.
+      // CmpRegImm is imm32-only, so the floor goes through rcx.
+      e.MovRegMem(kRax, kRbx, kNoIndex, 0, kOffMemSize);
+      e.MovRegImm(kRcx, program.elide_floor);
+      e.CmpRegReg(kRax, kRcx);
+      e.JccTo(kCcB, stubs.fault[static_cast<int>(JitFault::kElideFloorMiss)]);
+    }
     e.JmpTo(insn_off[entry]);
   }
 

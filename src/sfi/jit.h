@@ -64,6 +64,10 @@ struct JitContext {
   uint64_t burst_count;     // slots to evaluate
   uint64_t burst_fuel;      // per-slot fuel budget (sandboxed runs re-arm it)
   uint64_t* burst_out;      // interleaved [result, fault] pairs, 2 per slot
+  // Statically discharged subset of bounds_checks (elided opcodes),
+  // incremented in place by sandboxed generated code. Appended here —
+  // layout is ABI, see above.
+  uint64_t static_proofs;
 };
 
 // Fault codes the generated code returns (0 = clean return). The host maps
@@ -79,6 +83,12 @@ enum class JitFault : uint64_t {
   kCallDepth,
   kUnboundHostHelper,
   kPcOutOfCode,
+  // Not a guest fault: the sandboxed entry stub raises it when ctx->mem_size
+  // is below the program's elide_floor, before executing anything. The host
+  // dispatchers intercept it and re-run on the checked interpreter (and
+  // Vm::Burst::CallMany prechecks the layout so burst trampolines never see
+  // it).
+  kElideFloorMiss,
 };
 
 // An immutable compiled program: executable code in a W^X mmap buffer plus

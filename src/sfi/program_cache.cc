@@ -56,8 +56,16 @@ std::string VerifiedProgramCache::KeyOf(const Program& program, VerifyOptions op
   }
   append_u64(program.memory_bytes);
   // Options shape the decoded artifact: a fused and an unfused build of the
-  // same bytes must occupy distinct slots.
+  // same bytes must occupy distinct slots, and an analyzed stream (elided
+  // opcodes, dropped stack checks) must never be handed to a caller that
+  // asked for the plain one. The static_assert below is the tripwire for
+  // new VerifyOptions fields: growing the struct without extending this key
+  // would silently alias distinct artifacts.
   key.push_back(options.fuse_superinstructions ? '\1' : '\0');
+  key.push_back(options.analyze ? '\1' : '\0');
+  static_assert(sizeof(VerifyOptions) == 2,
+                "new VerifyOptions field? append it to KeyOf and update "
+                "tests/sfi/program_cache_test.cc");
   return key;
 }
 

@@ -72,6 +72,16 @@ class VerifiedProgramCache {
   size_t charged_bytes() const { return charged_bytes_; }
   const ProgramCacheStats& stats() const { return stats_; }
 
+  // Certification digests only the code bytes (Program::identity()), but two
+  // programs with identical code can still differ in entry points or memory
+  // size — and identical programs verified under different options yield
+  // different artifacts — so the cache key covers the full structural tuple
+  // plus EVERY VerifyOptions field (a static_assert on sizeof(VerifyOptions)
+  // in the definition trips when a field is added without extending the
+  // key). Public so the key-coverage regression test can flip each option
+  // field and assert the keys diverge.
+  static std::string KeyOf(const Program& program, VerifyOptions options);
+
  private:
   struct Entry {
     std::string key;
@@ -79,13 +89,6 @@ class VerifiedProgramCache {
     size_t charged = 0;  // this entry's share of charged_bytes_
   };
   using LruList = std::list<Entry>;
-
-  // Certification digests only the code bytes (Program::identity()), but two
-  // programs with identical code can still differ in entry points or memory
-  // size — and identical programs verified under different options yield
-  // different artifacts — so the cache key covers the full structural tuple
-  // plus the options.
-  static std::string KeyOf(const Program& program, VerifyOptions options);
 
   // Re-samples `entry`'s cost (decoded + current JIT bytes) and folds the
   // delta into charged_bytes_.

@@ -62,7 +62,58 @@ inline constexpr uint8_t kOpFusedLtUJz = kOpEndOfCode + 9;
 inline constexpr uint8_t kOpFusedLtUJnz = kOpEndOfCode + 10;
 inline constexpr uint8_t kOpFusedGtUJz = kOpEndOfCode + 11;
 inline constexpr uint8_t kOpFusedGtUJnz = kOpEndOfCode + 12;
-inline constexpr size_t kDecodedOpCount = kOpFusedGtUJnz + 1;
+
+// Check-free variants the static analyzer (analysis.h) substitutes when it
+// has PROVED the access in bounds for every execution reaching it, given the
+// program's declared memory size. Sandboxed dispatch of an elided op performs
+// the access with no range test but still charges `bounds_checks` (the access
+// is guarded — statically) plus `static_proofs` (how it was discharged), so
+// VmStats are identical whether or not the analyzer ran. The proof assumed
+// `mem_size >= VerifiedProgram::elide_floor`; both backends re-check that
+// single inequality per run and fall back to the checked variants when an
+// embedder shrank the window (Burst re-basing, a shrunk memory()).
+inline constexpr uint8_t kOpLoad8Elided = kOpFusedGtUJnz + 1;
+inline constexpr uint8_t kOpLoad16Elided = kOpFusedGtUJnz + 2;
+inline constexpr uint8_t kOpLoad32Elided = kOpFusedGtUJnz + 3;
+inline constexpr uint8_t kOpLoad64Elided = kOpFusedGtUJnz + 4;
+inline constexpr uint8_t kOpStore8Elided = kOpFusedGtUJnz + 5;
+inline constexpr uint8_t kOpStore16Elided = kOpFusedGtUJnz + 6;
+inline constexpr uint8_t kOpStore32Elided = kOpFusedGtUJnz + 7;
+inline constexpr uint8_t kOpStore64Elided = kOpFusedGtUJnz + 8;
+inline constexpr uint8_t kOpFusedPushLoad8Elided = kOpFusedGtUJnz + 9;
+inline constexpr uint8_t kOpFusedPushLoad16Elided = kOpFusedGtUJnz + 10;
+inline constexpr uint8_t kOpFusedPushLoad32Elided = kOpFusedGtUJnz + 11;
+inline constexpr uint8_t kOpFusedPushLoad64Elided = kOpFusedGtUJnz + 12;
+inline constexpr size_t kDecodedOpCount = kOpFusedPushLoad64Elided + 1;
+
+// Elided <-> checked opcode mapping. The operand layout of each elided op is
+// identical to its checked original, so a backend that cannot honour the
+// elision this run (mem_size below the floor) dispatches the checked handler
+// on the same DecodedInsn.
+constexpr uint8_t ElidedOpOf(uint8_t op) {
+  if (op >= static_cast<uint8_t>(Op::kLoad8) && op <= static_cast<uint8_t>(Op::kLoad64)) {
+    return static_cast<uint8_t>(kOpLoad8Elided + (op - static_cast<uint8_t>(Op::kLoad8)));
+  }
+  if (op >= static_cast<uint8_t>(Op::kStore8) && op <= static_cast<uint8_t>(Op::kStore64)) {
+    return static_cast<uint8_t>(kOpStore8Elided + (op - static_cast<uint8_t>(Op::kStore8)));
+  }
+  if (op >= kOpFusedPushLoad8 && op <= kOpFusedPushLoad64) {
+    return static_cast<uint8_t>(kOpFusedPushLoad8Elided + (op - kOpFusedPushLoad8));
+  }
+  return op;  // not an elidable access
+}
+constexpr uint8_t UnelidedOpOf(uint8_t op) {
+  if (op >= kOpLoad8Elided && op <= kOpLoad64Elided) {
+    return static_cast<uint8_t>(static_cast<uint8_t>(Op::kLoad8) + (op - kOpLoad8Elided));
+  }
+  if (op >= kOpStore8Elided && op <= kOpStore64Elided) {
+    return static_cast<uint8_t>(static_cast<uint8_t>(Op::kStore8) + (op - kOpStore8Elided));
+  }
+  if (op >= kOpFusedPushLoad8Elided && op <= kOpFusedPushLoad64Elided) {
+    return static_cast<uint8_t>(kOpFusedPushLoad8 + (op - kOpFusedPushLoad8Elided));
+  }
+  return op;
+}
 
 // One pre-decoded instruction. 16 bytes, fixed width.
 struct DecodedInsn {
@@ -89,8 +140,12 @@ struct VerifyReport {
   size_t jumps = 0;
   size_t memory_ops = 0;
   size_t basic_blocks = 0;
-  size_t stack_checks = 0;  // kCheckStack instructions materialized
+  size_t stack_checks = 0;  // kCheckStack instructions in the final stream
   size_t fused_pairs = 0;   // superinstructions emitted (two byte insns each)
+  // Static-analysis results (all zero when VerifyOptions::analyze is off).
+  size_t elided_accesses = 0;       // loads/stores proven in-bounds, checks elided
+  size_t dropped_stack_checks = 0;  // kCheckStack ops implied by every predecessor
+  size_t unreachable_insns = 0;     // real instructions no entry point can reach
 };
 
 // A verified, executable program. Immutable after Verify() builds it — Vm
@@ -102,6 +157,14 @@ struct VerifiedProgram {
   std::vector<uint32_t> entry_points; // decoded-stream indices, per method slot
   VerifyReport report;
   bool fused = false;  // whether the superinstruction pass ran (VerifyOptions)
+  bool analyzed = false;  // whether the static-analysis pass ran (VerifyOptions)
+
+  // Minimum usable mem_size the analyzer's in-bounds proofs assumed: the
+  // largest `addr + width` among elided accesses (0 when nothing was elided).
+  // A run whose sandboxed window is smaller — a shrunk memory(), a Burst
+  // re-base deep into the arena — dispatches the checked variants instead;
+  // behaviour is identical either way, only `static_proofs` stops counting.
+  uint64_t elide_floor = 0;
 
   // Native code compiled lazily from `code` (jit.h), one slot per ExecMode.
   // A shared_ptr (not a plain member) because VerifiedProgram is movable and

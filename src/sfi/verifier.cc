@@ -5,6 +5,7 @@
 #include <limits>
 #include <memory>
 
+#include "src/sfi/analysis.h"
 #include "src/sfi/jit.h"
 
 namespace para::sfi {
@@ -258,6 +259,67 @@ Result<VerifiedProgram> Verify(Program program, VerifyOptions options) {
   for (uint32_t entry : program.entry_points) {
     out.entry_points.push_back(decoded_entry[index_at[entry]]);
   }
+
+  // Pass 6 (optional): abstract interpretation over the finished stream.
+  // Three rewrites come back: provably in-bounds accesses flip to their
+  // check-free elided opcodes, kCheckStack slots implied by every
+  // predecessor are compacted out (targets and entry points remapped), and
+  // a reachable provably-faulting access or divide rejects the program here
+  // instead of faulting on some future packet.
+  if (options.analyze) {
+    auto analyzed =
+        analysis::AnalyzeProgram(out.code, out.entry_points, program.memory_bytes);
+    if (!analyzed.ok()) {
+      return analyzed.status();
+    }
+    const analysis::ProgramAnalysis& facts = *analyzed;
+    for (size_t i = 0; i < out.code.size(); ++i) {
+      if (facts.elide[i]) {
+        out.code[i].op = ElidedOpOf(out.code[i].op);
+      }
+    }
+    if (facts.dropped_stack_checks > 0) {
+      // Compact the stream around dropped checks. A dropped slot's remap
+      // value equals the next kept slot's new index, so jump targets and
+      // entry points that pointed at a dropped check land on the first real
+      // instruction of its block.
+      std::vector<uint32_t> remap(out.code.size());
+      std::vector<DecodedInsn> compacted;
+      compacted.reserve(out.code.size() - facts.dropped_stack_checks);
+      for (size_t i = 0; i < out.code.size(); ++i) {
+        remap[i] = static_cast<uint32_t>(compacted.size());
+        if (!facts.drop_check[i]) {
+          compacted.push_back(out.code[i]);
+        }
+      }
+      for (DecodedInsn& insn : compacted) {
+        switch (insn.op) {
+          case static_cast<uint8_t>(Op::kJmp):
+          case static_cast<uint8_t>(Op::kJz):
+          case static_cast<uint8_t>(Op::kJnz):
+          case static_cast<uint8_t>(Op::kCall):
+            insn.target = remap[insn.target];
+            break;
+          default:
+            if (insn.op >= kOpFusedEqJz && insn.op <= kOpFusedGtUJnz) {
+              insn.target = remap[insn.target];
+            }
+            break;
+        }
+      }
+      out.code = std::move(compacted);
+      for (uint32_t& entry : out.entry_points) {
+        entry = remap[entry];
+      }
+      report.stack_checks -= facts.dropped_stack_checks;
+    }
+    report.elided_accesses = facts.elided_accesses;
+    report.dropped_stack_checks = facts.dropped_stack_checks;
+    report.unreachable_insns = facts.unreachable_insns;
+    out.analyzed = true;
+    out.elide_floor = facts.elide_floor;
+  }
+
   out.report = report;
   out.fused = options.fuse_superinstructions;
   out.program = std::move(program);

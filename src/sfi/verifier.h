@@ -30,6 +30,17 @@ struct VerifyOptions {
   // meters as two instructions); the differential suite proves it. Off is
   // mainly for A/B measurement and for oracles that want the plain stream.
   bool fuse_superinstructions = true;
+
+  // Run the forward abstract-interpretation pass (analysis.h) over the
+  // decoded stream: prove constant-range loads/stores in bounds and mark
+  // them check-free, REJECT programs with a reachable provably-faulting
+  // access or divide-by-zero, drop kCheckStack ops implied by every
+  // predecessor, and flag unreachable code in the report. Metering, fuel
+  // boundaries, and VmStats (minus static_proofs) are bit-identical either
+  // way; the differential suite proves it. Off is for A/B measurement and
+  // for tests that exercise the run-time fault paths the analyzer would
+  // otherwise turn into load-time rejections.
+  bool analyze = true;
 };
 
 // Verifies `program` and, on success, returns the executable artifact. The

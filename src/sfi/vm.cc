@@ -5,6 +5,7 @@
 
 #include "src/base/log.h"
 #include "src/base/telemetry.h"
+#include "src/sfi/analysis.h"
 #include "src/sfi/jit.h"
 
 // Threaded-code dispatch needs GNU labels-as-values; every supported
@@ -28,6 +29,17 @@ size_t RoundUpPow2(size_t v) {
   }
   return p;
 }
+
+// The static analyzer works from mirrored copies of this engine's limits
+// (analysis.h cannot include vm.h — the verifier sits below the VM in the
+// layer DAG). An in-bounds or stack-envelope proof is only sound if the
+// mirrors agree with the real constants, so pin them here.
+static_assert(analysis::kStackSlots == Vm::kStackSlots,
+              "analyzer stack-envelope proofs assume the VM stack size");
+static_assert(analysis::UsableMemorySize(1) == 1 && analysis::UsableMemorySize(216) == 256 &&
+                  analysis::UsableMemorySize(4096) == 4096 &&
+                  analysis::UsableMemorySize(4097) == 8192,
+              "analyzer bounds proofs assume the VM memory rounding");
 
 [[maybe_unused]] constexpr uint8_t OpIndex(Op op) { return static_cast<uint8_t>(op); }
 [[maybe_unused]] constexpr uint8_t OpIndex(uint8_t raw) { return raw; }
@@ -56,6 +68,12 @@ Status JitFaultToStatus(JitFault fault) {
       return Status(ErrorCode::kFailedPrecondition, "unbound host helper");
     case JitFault::kPcOutOfCode:
       return Status(ErrorCode::kOutOfRange, "pc out of code");
+    case JitFault::kElideFloorMiss:
+      // Raised by the sandboxed entry stub when mem_size dropped below the
+      // analyzer's elide_floor. Every caller intercepts it and re-runs on
+      // the checked interpreter before mapping faults; reaching here is a
+      // dispatcher bug, not a guest fault.
+      return Status(ErrorCode::kInternal, "jit: elide floor miss escaped fallback");
   }
   return Status(ErrorCode::kInternal, "jit: bad fault code");
 }
@@ -187,6 +205,7 @@ Result<uint64_t> Vm::RunJit(size_t method, uint64_t a0, uint64_t a1, uint64_t a2
   if (mode_ == ExecMode::kSandboxed) {
     ctx.fuel = fuel_;
     ctx.bounds_checks = 0;
+    ctx.static_proofs = 0;
   }
   ctx.calls = 0;
   ctx.host_calls = 0;
@@ -194,11 +213,25 @@ Result<uint64_t> Vm::RunJit(size_t method, uint64_t a0, uint64_t a1, uint64_t a2
 
   const JitFault fault = jit_->Run(method, &ctx);
 
+  if (fault == JitFault::kElideFloorMiss) [[unlikely]] {
+    // The sandboxed entry stub found mem_size below the analyzer's
+    // elide_floor before executing anything (no counters moved, nothing
+    // retired): this run cannot honour the elisions, so serve it with the
+    // checked interpreter, whose dispatch re-routes elided opcodes to their
+    // checked handlers. Metering and stats are identical; only
+    // static_proofs stops counting — and jit_runs, honestly, does not tick.
+    return RunImpl<true>(method, a0, a1, a2, a3, 0);
+  }
+
   // Counter deltas land in stats_ on every exit, fault or clean — the same
   // contract as the interpreter's CounterFlush destructor.
   stats_.instructions += ctx.instructions;
   if (mode_ == ExecMode::kSandboxed) {
-    stats_.bounds_checks += ctx.bounds_checks;
+    // Same flush-time fold as CounterFlush: ctx.bounds_checks holds the
+    // dynamically tested accesses, ctx.static_proofs the elided ones; their
+    // sum is the coverage count VmStats::bounds_checks reports.
+    stats_.bounds_checks += ctx.bounds_checks + ctx.static_proofs;
+    stats_.static_proofs += ctx.static_proofs;
   }
   stats_.calls += ctx.calls;
   stats_.host_calls += ctx.host_calls;
@@ -231,6 +264,7 @@ Vm::Burst::Burst(Vm& vm, size_t method)
     // Zeroed once here; the generated code increments them in place, so they
     // accumulate across the whole burst and flush in the destructor.
     ctx.bounds_checks = 0;
+    ctx.static_proofs = 0;
     ctx.calls = 0;
     ctx.host_calls = 0;
   }
@@ -243,7 +277,8 @@ Vm::Burst::~Burst() {
   if (jit_ && jit_runs_ > 0) {
     JitContext& ctx = *vm_->jit_ctx_;
     vm_->stats_.instructions += instructions_;
-    vm_->stats_.bounds_checks += ctx.bounds_checks;
+    vm_->stats_.bounds_checks += ctx.bounds_checks + ctx.static_proofs;
+    vm_->stats_.static_proofs += ctx.static_proofs;
     vm_->stats_.calls += ctx.calls;
     vm_->stats_.host_calls += ctx.host_calls;
     vm_->stats_.jit_runs += jit_runs_;
@@ -284,6 +319,17 @@ Result<uint64_t> Vm::Burst::Call(size_t mem_off, uint64_t a0) {
   ctx.call_sp = 0;
 
   const JitFault fault = vm_->jit_->Run(method_, &ctx);
+  if (fault == JitFault::kElideFloorMiss) [[unlikely]] {
+    // Re-based window below the analyzer's elide_floor: this call must take
+    // the checked interpreter (nothing ran, no counters moved). The context
+    // was re-based above and the destructor's cache-key clear only fires
+    // after a served JIT run, so clear it here.
+    vm_->jit_mem_base_ = nullptr;
+    if (vm_->mode_ == ExecMode::kSandboxed) {
+      return vm_->RunImpl<true>(method_, a0, 0, 0, 0, mem_off);
+    }
+    return vm_->RunImpl<false>(method_, a0, 0, 0, 0, mem_off);
+  }
   instructions_ += ctx.instructions;
   ++jit_runs_;
   if (fault == JitFault::kNone) {
@@ -305,6 +351,15 @@ bool Vm::Burst::CallMany(size_t base_off, size_t stride, size_t count, uint64_t*
     return false;
   }
   if (stride != 0 && count - 1 > (bytes - 8 - base_off) / stride) {
+    return false;
+  }
+  // The analyzer's in-bounds proofs assume every window >= elide_floor, and
+  // the trampoline (unlike the host dispatchers) has no per-slot checked
+  // fallback — so if the burst's smallest window (the last slot's) dips
+  // below the floor, decline the fast path and let the caller loop Call(),
+  // which falls back per run.
+  if (vm_->mode_ == ExecMode::kSandboxed && vm_->program_->elide_floor != 0 &&
+      bytes - 8 - base_off - (count - 1) * stride < vm_->program_->elide_floor) {
     return false;
   }
   JitContext& ctx = *vm_->jit_ctx_;
@@ -339,6 +394,15 @@ Result<uint64_t> Vm::RunImpl(size_t method, uint64_t a0, uint64_t a1, uint64_t a
   uint8_t* const mem = memory_.data() + (mem_off <= memory_.size() ? mem_off : 0);
   (void)mem_size;
 
+  // One inequality per run decides whether the analyzer's in-bounds proofs
+  // hold for THIS window: a shrunk memory() or a deep burst re-base can
+  // drop mem_size below what the proofs assumed, in which case elided
+  // opcodes dispatch their checked handlers instead (dual label tables /
+  // remapped switch). Trusted mode never checks bounds, so both variants
+  // are already identical there.
+  const bool elide_ok = !sandboxed || mem_size >= program_->elide_floor;
+  (void)elide_ok;
+
   uint64_t stack[kStackSlots];
   size_t sp = 0;  // next free slot
   size_t call_stack[kCallDepth];
@@ -351,14 +415,19 @@ Result<uint64_t> Vm::RunImpl(size_t method, uint64_t a0, uint64_t a1, uint64_t a
   // carries no extra stores.
   struct CounterFlush {
     uint64_t instructions = 0;
-    uint64_t checks = 0;
+    uint64_t checks = 0;  // dynamically tested accesses only
+    uint64_t proofs = 0;  // statically discharged accesses (elided handlers)
     uint64_t calls = 0;
     uint64_t host_calls = 0;
     VmStats* stats;
     explicit CounterFlush(VmStats* s) : stats(s) {}
     ~CounterFlush() {
       stats->instructions += instructions;
-      stats->bounds_checks += checks;
+      // bounds_checks is check *coverage*: dynamic tests plus statically
+      // discharged accesses. Folding at flush time keeps elided handlers at
+      // one counter bump each, same as checked ones.
+      stats->bounds_checks += checks + proofs;
+      stats->static_proofs += proofs;
       stats->calls += calls;
       stats->host_calls += host_calls;
     }
@@ -382,33 +451,51 @@ Result<uint64_t> Vm::RunImpl(size_t method, uint64_t a0, uint64_t a1, uint64_t a
   } while (0)
 
 #if PARA_SFI_THREADED
+// Two dispatch tables, differing only in the twelve elided slots: the
+// default table routes them to their check-free handlers, the fallback
+// table to the original checked handlers (same DecodedInsn layout either
+// way). Picking the table once per run — `labels` below — is how the
+// elide_floor guard costs zero per-instruction work.
+#define VM_LABELS_COMMON                                                                    \
+  &&lbl_halt, &&lbl_push, &&lbl_drop, &&lbl_dup, &&lbl_swap, &&lbl_add, &&lbl_sub,          \
+      &&lbl_mul, &&lbl_divu, &&lbl_remu, &&lbl_and_, &&lbl_or_, &&lbl_xor_, &&lbl_shl,      \
+      &&lbl_shr, &&lbl_eq, &&lbl_ne, &&lbl_ltu, &&lbl_gtu, &&lbl_not_, &&lbl_load8,         \
+      &&lbl_load16, &&lbl_load32, &&lbl_load64, &&lbl_store8, &&lbl_store16, &&lbl_store32, \
+      &&lbl_store64, &&lbl_jmp, &&lbl_jz, &&lbl_jnz, &&lbl_call, &&lbl_ret, &&lbl_ldarg,    \
+      &&lbl_retv, &&lbl_hostcall, &&lbl_check, &&lbl_end, &&lbl_pushload8, &&lbl_pushload16, \
+      &&lbl_pushload32, &&lbl_pushload64, &&lbl_eqjz, &&lbl_eqjnz, &&lbl_nejz, &&lbl_nejnz, \
+      &&lbl_ltujz, &&lbl_ltujnz, &&lbl_gtujz, &&lbl_gtujnz
   static const void* const kLabels[kDecodedOpCount] = {
-      &&lbl_halt,   &&lbl_push,   &&lbl_drop,   &&lbl_dup,    &&lbl_swap,  &&lbl_add,
-      &&lbl_sub,    &&lbl_mul,    &&lbl_divu,   &&lbl_remu,   &&lbl_and_,  &&lbl_or_,
-      &&lbl_xor_,   &&lbl_shl,    &&lbl_shr,    &&lbl_eq,     &&lbl_ne,    &&lbl_ltu,
-      &&lbl_gtu,    &&lbl_not_,    &&lbl_load8,  &&lbl_load16, &&lbl_load32, &&lbl_load64,
-      &&lbl_store8, &&lbl_store16, &&lbl_store32, &&lbl_store64, &&lbl_jmp, &&lbl_jz,
-      &&lbl_jnz,    &&lbl_call,   &&lbl_ret,    &&lbl_ldarg,  &&lbl_retv,  &&lbl_hostcall,
-      &&lbl_check,
-      &&lbl_end,    &&lbl_pushload8, &&lbl_pushload16, &&lbl_pushload32, &&lbl_pushload64,
-      &&lbl_eqjz,   &&lbl_eqjnz,  &&lbl_nejz,   &&lbl_nejnz,  &&lbl_ltujz, &&lbl_ltujnz,
-      &&lbl_gtujz,  &&lbl_gtujnz,
+      VM_LABELS_COMMON,
+      &&lbl_load8e,  &&lbl_load16e,  &&lbl_load32e,  &&lbl_load64e,
+      &&lbl_store8e, &&lbl_store16e, &&lbl_store32e, &&lbl_store64e,
+      &&lbl_pushload8e, &&lbl_pushload16e, &&lbl_pushload32e, &&lbl_pushload64e,
   };
+  static const void* const kLabelsNoElide[kDecodedOpCount] = {
+      VM_LABELS_COMMON,
+      &&lbl_load8,  &&lbl_load16,  &&lbl_load32,  &&lbl_load64,
+      &&lbl_store8, &&lbl_store16, &&lbl_store32, &&lbl_store64,
+      &&lbl_pushload8, &&lbl_pushload16, &&lbl_pushload32, &&lbl_pushload64,
+  };
+#undef VM_LABELS_COMMON
+  const void* const* const labels = elide_ok ? kLabels : kLabelsNoElide;
 #define VM_OP(name, value) lbl_##name:
 #define VM_NEXT()                 \
   do {                            \
     insn = code + pc;             \
-    goto* kLabels[insn->op];      \
+    goto* labels[insn->op];       \
   } while (0)
 #define VM_DISPATCH_BEGIN() VM_NEXT();
 #define VM_DISPATCH_END()
 #else
 #define VM_OP(name, value) case OpIndex(value):
 #define VM_NEXT() continue
-#define VM_DISPATCH_BEGIN() \
-  for (;;) {                \
-    insn = code + pc;       \
-    switch (insn->op) {
+// The switch build honours elide_floor by remapping elided opcodes back to
+// their checked originals at dispatch when the window is too small.
+#define VM_DISPATCH_BEGIN()                                       \
+  for (;;) {                                                      \
+    insn = code + pc;                                             \
+    switch (elide_ok ? insn->op : UnelidedOpOf(insn->op)) {
 #define VM_DISPATCH_END()                                          \
   default:                                                         \
     return Status(ErrorCode::kInternal, "bad decoded opcode");     \
@@ -497,6 +584,54 @@ Result<uint64_t> Vm::RunImpl(size_t method, uint64_t a0, uint64_t a1, uint64_t a
     std::memcpy(mem + addr, &stored, (width));                        \
     ++pc;                                                             \
     VM_NEXT();                                                        \
+  }
+
+// Elided accesses: the verifier's analyzer PROVED addr+width <= mem_size for
+// every execution reaching this op (given mem_size >= elide_floor, which the
+// per-run table/remap selection guaranteed before dispatching here), so the
+// range test is gone. The access is still a guarded one — bounds_checks
+// charges it exactly like the checked handler would, static_proofs records
+// how it was discharged — and metering keeps the same order (fuel fault
+// before either counter moves).
+#define VM_LOAD_ELIDED(name, value, width)  \
+  VM_OP(name, value) {                      \
+    VM_METER();                             \
+    if constexpr (sandboxed) {              \
+      ++counters.proofs;                    \
+    }                                       \
+    uint64_t addr = stack[sp - 1];          \
+    uint64_t loaded = 0;                    \
+    std::memcpy(&loaded, mem + addr, (width)); \
+    stack[sp - 1] = loaded;                 \
+    ++pc;                                   \
+    VM_NEXT();                              \
+  }
+
+#define VM_STORE_ELIDED(name, value, width) \
+  VM_OP(name, value) {                      \
+    VM_METER();                             \
+    uint64_t stored = stack[--sp];          \
+    uint64_t addr = stack[--sp];            \
+    if constexpr (sandboxed) {              \
+      ++counters.proofs;                    \
+    }                                       \
+    std::memcpy(mem + addr, &stored, (width)); \
+    ++pc;                                   \
+    VM_NEXT();                              \
+  }
+
+#define VM_FUSED_PUSH_LOAD_ELIDED(name, value, width) \
+  VM_OP(name, value) {                                \
+    VM_METER(); /* the push */                        \
+    VM_METER(); /* the load */                        \
+    if constexpr (sandboxed) {                        \
+      ++counters.proofs;                              \
+    }                                                 \
+    uint64_t loaded = 0;                              \
+    std::memcpy(&loaded, mem + insn->imm, (width));   \
+    stack[sp++] = loaded;                             \
+    ++pc;                                             \
+    VM_NEXT();                                        \
   }
 
   VM_DISPATCH_BEGIN()
@@ -666,6 +801,19 @@ Result<uint64_t> Vm::RunImpl(size_t method, uint64_t a0, uint64_t a1, uint64_t a
   VM_FUSED_CMP_JUMP(gtujz, kOpFusedGtUJz, lhs <= rhs)
   VM_FUSED_CMP_JUMP(gtujnz, kOpFusedGtUJnz, lhs > rhs)
 
+  VM_LOAD_ELIDED(load8e, kOpLoad8Elided, 1)
+  VM_LOAD_ELIDED(load16e, kOpLoad16Elided, 2)
+  VM_LOAD_ELIDED(load32e, kOpLoad32Elided, 4)
+  VM_LOAD_ELIDED(load64e, kOpLoad64Elided, 8)
+  VM_STORE_ELIDED(store8e, kOpStore8Elided, 1)
+  VM_STORE_ELIDED(store16e, kOpStore16Elided, 2)
+  VM_STORE_ELIDED(store32e, kOpStore32Elided, 4)
+  VM_STORE_ELIDED(store64e, kOpStore64Elided, 8)
+  VM_FUSED_PUSH_LOAD_ELIDED(pushload8e, kOpFusedPushLoad8Elided, 1)
+  VM_FUSED_PUSH_LOAD_ELIDED(pushload16e, kOpFusedPushLoad16Elided, 2)
+  VM_FUSED_PUSH_LOAD_ELIDED(pushload32e, kOpFusedPushLoad32Elided, 4)
+  VM_FUSED_PUSH_LOAD_ELIDED(pushload64e, kOpFusedPushLoad64Elided, 8)
+
   VM_DISPATCH_END()
 
 #undef VM_METER
@@ -678,6 +826,9 @@ Result<uint64_t> Vm::RunImpl(size_t method, uint64_t a0, uint64_t a1, uint64_t a
 #undef VM_STORE
 #undef VM_FUSED_PUSH_LOAD
 #undef VM_FUSED_CMP_JUMP
+#undef VM_LOAD_ELIDED
+#undef VM_STORE_ELIDED
+#undef VM_FUSED_PUSH_LOAD_ELIDED
 }
 
 }  // namespace para::sfi

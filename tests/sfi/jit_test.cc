@@ -15,10 +15,10 @@
 namespace para::sfi {
 namespace {
 
-VerifiedProgram MustVerify(const char* src) {
+VerifiedProgram MustVerify(const char* src, VerifyOptions options = {}) {
   auto program = Assembler::Assemble(src);
   EXPECT_TRUE(program.ok()) << program.status().message();
-  auto verified = Verify(*program);
+  auto verified = Verify(*program, options);
   EXPECT_TRUE(verified.ok()) << verified.status().message();
   return std::move(*verified);
 }
@@ -119,11 +119,12 @@ TEST(JitTest, CompiledCodeIsSharedPerModeThroughTheSlot) {
 // bit-identical observable behavior: status code AND message, value,
 // instructions, bounds_checks, calls.
 void ExpectBackendParity(const char* src, ExecMode mode, uint64_t fuel,
-                         uint64_t a0 = 0, HostHelper helper = nullptr) {
+                         uint64_t a0 = 0, HostHelper helper = nullptr,
+                         VerifyOptions options = {}) {
   if (!JitAvailable()) {
     GTEST_SKIP() << "JIT unavailable";
   }
-  auto verified = MustVerify(src);
+  auto verified = MustVerify(src, options);
   Vm threaded(&verified, mode, VmBackend::kThreaded);
   Vm jitted(&verified, mode, VmBackend::kJit);
   ASSERT_EQ(jitted.backend(), VmBackend::kJit);
@@ -152,12 +153,15 @@ void ExpectBackendParity(const char* src, ExecMode mode, uint64_t fuel,
 }
 
 TEST(JitTest, FaultParityLoadOutOfBounds) {
-  ExpectBackendParity("push 0xFFFFFF8\nload64\nretv", ExecMode::kSandboxed, Vm::kDefaultFuel);
+  // analyze=false: the analyzer would reject this provably-OOB load at
+  // verify time; the subject here is the *run-time* fault parity.
+  ExpectBackendParity("push 0xFFFFFF8\nload64\nretv", ExecMode::kSandboxed, Vm::kDefaultFuel,
+                      /*a0=*/0, /*helper=*/nullptr, {.analyze = false});
 }
 
 TEST(JitTest, FaultParityStoreOutOfBounds) {
   ExpectBackendParity("push 0xFFFFFF8\npush 1\nstore64\nhalt", ExecMode::kSandboxed,
-                      Vm::kDefaultFuel);
+                      Vm::kDefaultFuel, /*a0=*/0, /*helper=*/nullptr, {.analyze = false});
 }
 
 TEST(JitTest, FaultParityDivideByZero) {

@@ -122,6 +122,66 @@ TEST(ProgramCacheTest, VerifyOptionsKeyDistinctArtifacts) {
   EXPECT_EQ(cache.size(), 0u);
 }
 
+TEST(ProgramCacheTest, KeyCoversEveryVerifyOptionsField) {
+  // Regression tripwire for satellite audits: the cache key must cover
+  // EVERY VerifyOptions field. A static_assert on sizeof(VerifyOptions) in
+  // KeyOf's definition fires at compile time when a field is added; this
+  // test is the run-time half — it enumerates all 2^N option vectors for
+  // the N known fields and requires all keys pairwise distinct. When a new
+  // field lands, the static_assert forces whoever adds it to extend both
+  // KeyOf and this table.
+  Program program = MakeProgram(3);
+  const VerifyOptions variants[] = {
+      {.fuse_superinstructions = false, .analyze = false},
+      {.fuse_superinstructions = false, .analyze = true},
+      {.fuse_superinstructions = true, .analyze = false},
+      {.fuse_superinstructions = true, .analyze = true},
+  };
+  constexpr size_t kVariants = std::size(variants);
+  static_assert(kVariants == (size_t{1} << 2),
+                "cover every combination of the known VerifyOptions fields");
+  std::string keys[kVariants];
+  for (size_t i = 0; i < kVariants; ++i) {
+    keys[i] = VerifiedProgramCache::KeyOf(program, variants[i]);
+  }
+  for (size_t i = 0; i < kVariants; ++i) {
+    for (size_t j = i + 1; j < kVariants; ++j) {
+      EXPECT_NE(keys[i], keys[j]) << "options vectors " << i << " and " << j
+                                  << " alias one cache slot";
+    }
+  }
+  // And the same options over a different structural tuple still diverge.
+  Program other = MakeProgram(3);
+  other.memory_bytes = program.memory_bytes * 2;
+  EXPECT_NE(VerifiedProgramCache::KeyOf(other, variants[0]), keys[0]);
+}
+
+TEST(ProgramCacheTest, AnalyzedAndPlainArtifactsOccupyDistinctSlots) {
+  // analyze=true rewrites the decoded stream (elided opcodes, dropped stack
+  // checks); handing the analyzed artifact to an analyze=false caller would
+  // violate its contract exactly like the fusion aliasing above.
+  VerifiedProgramCache cache(8);
+  Assembler as;
+  as.EmitPush(0);
+  as.Emit(Op::kLoad64);  // constant in-bounds: the analyzer elides it
+  as.Emit(Op::kRetV);
+  auto program = as.Finish();
+  ASSERT_TRUE(program.ok());
+
+  auto analyzed = cache.GetOrVerify(*program);  // analyze defaults on
+  auto plain = cache.GetOrVerify(*program, {.analyze = false});
+  ASSERT_TRUE(analyzed.ok());
+  ASSERT_TRUE(plain.ok());
+  EXPECT_NE(analyzed->get(), plain->get());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE((*analyzed)->analyzed);
+  EXPECT_FALSE((*plain)->analyzed);
+  EXPECT_GT((*analyzed)->report.elided_accesses, 0u);
+  EXPECT_EQ((*plain)->report.elided_accesses, 0u);
+  EXPECT_EQ(cache.GetOrVerify(*program)->get(), analyzed->get());
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
 TEST(ProgramCacheTest, VerificationFailuresAreNotCached) {
   VerifiedProgramCache cache(8);
   Program bad;

@@ -224,7 +224,11 @@ TEST(SfiDifferentialTest, FaultingProgramsAgreeAcrossBackends) {
     as.Emit(Op::kRetV);
     auto program = as.Finish(4096);
     ASSERT_TRUE(program.ok());
-    auto verified = Verify(*program);
+    // analyze=false: these programs are *built* to fault (constant far-OOB
+    // addresses), which the analyzer would reject at verify time. The fault
+    // fuzz's subject is run-time parity, so it runs on the plain artifact;
+    // AnalysisOnOffAgree below covers the analyzed side.
+    auto verified = Verify(*program, {.analyze = false});
     ASSERT_TRUE(verified.ok());
 
     uint64_t a0 = rng.NextBelow(4);  // small: zero divisors are common
@@ -260,13 +264,190 @@ TEST(SfiDifferentialTest, SandboxCatchesWhatTrustedWouldCorrupt) {
     retv
   )");
   ASSERT_TRUE(program.ok());
-  auto verified = Verify(*program);
+  auto verified = Verify(*program, {.analyze = false});
   ASSERT_TRUE(verified.ok());
   Vm sandboxed(&*verified, ExecMode::kSandboxed);
   auto result = sandboxed.Run(0);
   EXPECT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), para::ErrorCode::kOutOfRange);
+
+  // With analysis on, the same program never reaches execution: the verifier
+  // rejects the provable fault under the same code the sandbox would raise.
+  auto rejected = Verify(*program);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), para::ErrorCode::kOutOfRange);
 }
+
+class AnalysisDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AnalysisDifferentialTest, AnalysisOnOffAgreeBitExactly) {
+  // The elision soundness contract: verifying with analyze on and off must
+  // produce observably identical executions — value, Status code AND
+  // message, memory image, fuel boundaries, and every VmStats counter except
+  // static_proofs (the analyzed artifact's elided subset) — on both backends
+  // and in both modes. Uses the in-bounds generator (constant addresses
+  // < 4096), so elision actually fires; the analyzed artifact must still
+  // *count* every access in bounds_checks.
+  para::Random rng(static_cast<uint64_t>(GetParam()) * 0xA11A + 3);
+  uint64_t total_proofs = 0;
+  for (int round = 0; round < 20; ++round) {
+    Program program = GenerateProgram(rng, 60);
+    auto plain = Verify(program, {.analyze = false});
+    auto analyzed = Verify(program);  // analyze defaults on
+    ASSERT_TRUE(plain.ok());
+    ASSERT_TRUE(analyzed.ok()) << analyzed.status().message();
+    EXPECT_FALSE(plain->analyzed);
+    EXPECT_TRUE(analyzed->analyzed);
+
+    uint64_t a0 = rng.Next(), a1 = rng.Next(), a2 = rng.Next(), a3 = rng.Next();
+    // Starved fuel in some rounds: elision must not move fuel boundaries.
+    uint64_t fuel = rng.NextBool(0.25) ? rng.NextBelow(40) : Vm::kDefaultFuel;
+    std::vector<VmBackend> backends = {VmBackend::kThreaded};
+    if (JitAvailable()) {
+      backends.push_back(VmBackend::kJit);
+    }
+    for (VmBackend backend : backends) {
+      for (ExecMode mode : {ExecMode::kSandboxed, ExecMode::kTrusted}) {
+        if (mode == ExecMode::kTrusted && fuel != Vm::kDefaultFuel) {
+          continue;  // trusted runs unmetered; the starved round is moot
+        }
+        Vm off(&*plain, mode, backend);
+        Vm on(&*analyzed, mode, backend);
+        off.set_fuel(fuel);
+        on.set_fuel(fuel);
+        auto r_off = off.Run(0, a0, a1, a2, a3);
+        auto r_on = on.Run(0, a0, a1, a2, a3);
+        ASSERT_EQ(r_off.ok(), r_on.ok())
+            << "round " << round << " off: " << r_off.status().message()
+            << " on: " << r_on.status().message();
+        if (r_off.ok()) {
+          EXPECT_EQ(*r_off, *r_on) << round;
+        } else {
+          EXPECT_EQ(r_off.status().code(), r_on.status().code()) << round;
+          EXPECT_EQ(r_off.status().message(), r_on.status().message()) << round;
+        }
+        EXPECT_EQ(off.memory(), on.memory()) << round;
+        EXPECT_EQ(off.stats().instructions, on.stats().instructions) << round;
+        // bounds_checks is check *coverage*, not check cost: identical.
+        EXPECT_EQ(off.stats().bounds_checks, on.stats().bounds_checks) << round;
+        EXPECT_EQ(off.stats().calls, on.stats().calls) << round;
+        EXPECT_EQ(off.stats().host_calls, on.stats().host_calls) << round;
+        // static_proofs: zero without analysis or trust; bounded by coverage.
+        EXPECT_EQ(off.stats().static_proofs, 0u) << round;
+        if (mode == ExecMode::kTrusted) {
+          EXPECT_EQ(on.stats().static_proofs, 0u) << round;
+        } else {
+          EXPECT_LE(on.stats().static_proofs, on.stats().bounds_checks) << round;
+          total_proofs += on.stats().static_proofs;
+        }
+      }
+    }
+  }
+  // The generator only emits constant in-bounds addresses, so across the
+  // sweep the analyzer must have discharged a nonzero number of checks —
+  // otherwise this test is vacuously comparing identical artifacts.
+  EXPECT_GT(total_proofs, 0u);
+}
+
+TEST_P(AnalysisDifferentialTest, AnalysisOnOffAgreeOnFaultingPrograms) {
+  // Fault-path flavor: programs with far-OOB constant addresses and zero
+  // divisors. When analyze-on verification *accepts* such a program (the
+  // fault was not provable/reachable), execution must be bit-identical to
+  // the plain artifact; when it rejects, the rejection must carry one of the
+  // two analysis codes. Reuses the FaultingProgramsAgreeAcrossBackends
+  // generator shape, threaded-only (JIT parity is covered above).
+  para::Random rng(static_cast<uint64_t>(GetParam()) * 0xFA17 + 11);
+  int rejected = 0, compared = 0;
+  for (int round = 0; round < 120; ++round) {
+    Assembler as;
+    int depth = 0;
+    for (int i = 0, n = 4 + static_cast<int>(rng.NextBelow(30)); i < n; ++i) {
+      switch (rng.NextBelow(5)) {
+        case 0:
+          as.EmitPush(rng.Next() & 0xFFFF);
+          ++depth;
+          break;
+        case 1:
+          as.EmitLdArg(static_cast<uint8_t>(rng.NextBelow(4)));
+          ++depth;
+          break;
+        case 2: {
+          uint64_t addr = rng.NextBool(0.2) ? (1ull << 26) + rng.NextBelow(4096)
+                                            : rng.NextBelow(512) * 8;
+          as.EmitPush(addr);
+          as.Emit(Op::kLoad64);
+          ++depth;
+          break;
+        }
+        case 3:
+          if (depth >= 2) {
+            as.Emit(rng.NextBool(0.5) ? Op::kDivU : Op::kRemU);
+            --depth;
+          } else {
+            as.EmitPush(rng.NextBelow(3));
+            ++depth;
+          }
+          break;
+        case 4:
+          if (depth >= 2) {
+            as.Emit(rng.NextBool(0.5) ? Op::kAdd : Op::kSub);
+            --depth;
+          } else {
+            as.EmitPush(rng.NextBelow(3));
+            ++depth;
+          }
+          break;
+      }
+    }
+    if (depth == 0) {
+      as.EmitPush(0);
+      ++depth;
+    }
+    while (depth > 1) {
+      as.Emit(Op::kDrop);
+      --depth;
+    }
+    as.Emit(Op::kRetV);
+    auto program = as.Finish(4096);
+    ASSERT_TRUE(program.ok());
+    auto plain = Verify(*program, {.analyze = false});
+    ASSERT_TRUE(plain.ok());
+    auto analyzed = Verify(*program);
+    if (!analyzed.ok()) {
+      EXPECT_TRUE(analyzed.status().code() == para::ErrorCode::kOutOfRange ||
+                  analyzed.status().code() == para::ErrorCode::kInvalidArgument)
+          << analyzed.status().message();
+      ++rejected;
+      continue;
+    }
+    ++compared;
+    uint64_t a0 = rng.NextBelow(4);
+    uint64_t fuel = rng.NextBool(0.25) ? rng.NextBelow(24) : Vm::kDefaultFuel;
+    Vm off(&*plain, ExecMode::kSandboxed, VmBackend::kThreaded);
+    Vm on(&*analyzed, ExecMode::kSandboxed, VmBackend::kThreaded);
+    off.set_fuel(fuel);
+    on.set_fuel(fuel);
+    auto r_off = off.Run(0, a0);
+    auto r_on = on.Run(0, a0);
+    ASSERT_EQ(r_off.ok(), r_on.ok())
+        << "round " << round << " off: " << r_off.status().message()
+        << " on: " << r_on.status().message();
+    if (!r_off.ok()) {
+      EXPECT_EQ(r_off.status().code(), r_on.status().code()) << round;
+      EXPECT_EQ(r_off.status().message(), r_on.status().message()) << round;
+    } else {
+      EXPECT_EQ(*r_off, *r_on) << round;
+    }
+    EXPECT_EQ(off.memory(), on.memory()) << round;
+    EXPECT_EQ(off.stats().instructions, on.stats().instructions) << round;
+    EXPECT_EQ(off.stats().bounds_checks, on.stats().bounds_checks) << round;
+  }
+  // The mix must exercise both arms, or the seed went degenerate.
+  EXPECT_GT(rejected, 0);
+  EXPECT_GT(compared, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnalysisDifferentialTest, ::testing::Range(0, 4));
 
 }  // namespace
 }  // namespace para::sfi
